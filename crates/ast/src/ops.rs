@@ -1,0 +1,242 @@
+//! Operators of the MPY language.
+//!
+//! The error-model language EML can rewrite operators as well as operands
+//! (paper Figure 8, rule `COMPR` replaces a comparison operator by any of
+//! `{<, >, ≤, ≥, ==, ≠}`), so each operator enum exposes an `all()`
+//! enumeration and a `symbol()` used by the pretty-printer and the feedback
+//! generator.
+
+use std::fmt;
+
+/// Binary arithmetic operators (`Arith Op` in paper Figure 6(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinOp {
+    /// `+` — integer addition, list/str/tuple concatenation.
+    Add,
+    /// `-` — integer subtraction.
+    Sub,
+    /// `*` — integer multiplication, sequence repetition.
+    Mul,
+    /// `/` — integer division (Python 2 semantics: floor on ints).
+    Div,
+    /// `//` — floor division.
+    FloorDiv,
+    /// `%` — modulo.
+    Mod,
+    /// `**` — exponentiation.
+    Pow,
+}
+
+impl BinOp {
+    /// All arithmetic operators, in a fixed order.
+    pub fn all() -> &'static [BinOp] {
+        &[
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::FloorDiv,
+            BinOp::Mod,
+            BinOp::Pow,
+        ]
+    }
+
+    /// The surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::FloorDiv => "//",
+            BinOp::Mod => "%",
+            BinOp::Pow => "**",
+        }
+    }
+
+    /// Binding strength used by the pretty printer (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Mul | BinOp::Div | BinOp::FloorDiv | BinOp::Mod => 5,
+            BinOp::Pow => 6,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Comparison operators (`Comp Op` in paper Figure 6(a)), extended with the
+/// membership tests `in` / `not in` which several benchmarks
+/// (hangman1/hangman2) rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `in`
+    In,
+    /// `not in`
+    NotIn,
+}
+
+impl CmpOp {
+    /// All comparison operators.
+    pub fn all() -> &'static [CmpOp] {
+        &[
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::In,
+            CmpOp::NotIn,
+        ]
+    }
+
+    /// The relational operators only — the set `{<, >, ≤, ≥, ==, ≠}` that the
+    /// paper's `COMPR` correction rule ranges over.
+    pub fn relational() -> &'static [CmpOp] {
+        &[CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne]
+    }
+
+    /// The surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::In => "in",
+            CmpOp::NotIn => "not in",
+        }
+    }
+
+    /// The comparison with its arguments swapped (`a < b` ⇔ `b > a`), used by
+    /// normalisation in tests.
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Boolean connectives (`Bool Op` in paper Figure 6(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BoolOp {
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+impl BoolOp {
+    /// All boolean connectives.
+    pub fn all() -> &'static [BoolOp] {
+        &[BoolOp::And, BoolOp::Or]
+    }
+
+    /// The surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BoolOp::And => "and",
+            BoolOp::Or => "or",
+        }
+    }
+}
+
+impl fmt::Display for BoolOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnaryOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical negation `not e`.
+    Not,
+}
+
+impl UnaryOp {
+    /// The surface syntax of the operator (including trailing space for `not`).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnaryOp::Neg => "-",
+            UnaryOp::Not => "not ",
+        }
+    }
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_round_trip_through_display() {
+        for op in BinOp::all() {
+            assert_eq!(format!("{op}"), op.symbol());
+        }
+        for op in CmpOp::all() {
+            assert_eq!(format!("{op}"), op.symbol());
+        }
+        for op in BoolOp::all() {
+            assert_eq!(format!("{op}"), op.symbol());
+        }
+    }
+
+    #[test]
+    fn relational_subset_of_all() {
+        for op in CmpOp::relational() {
+            assert!(CmpOp::all().contains(op));
+        }
+        assert_eq!(CmpOp::relational().len(), 6);
+    }
+
+    #[test]
+    fn flipped_is_involutive_on_relationals() {
+        for &op in CmpOp::relational() {
+            assert_eq!(op.flipped().flipped(), op);
+        }
+    }
+
+    #[test]
+    fn precedence_orders_mul_above_add() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Pow.precedence() > BinOp::Mul.precedence());
+    }
+}

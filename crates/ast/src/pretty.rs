@@ -1,0 +1,396 @@
+//! Pretty-printer: renders MPY ASTs back to concrete syntax.
+//!
+//! The printer is used for three purposes:
+//!
+//! 1. round-tripping in parser tests (`parse(print(ast)) == ast`),
+//! 2. rendering "the problematic expression in the line" and "the new
+//!    modified value of the sub-expression" in feedback messages
+//!    (paper Figure 2(d)–(f)), and
+//! 3. debugging output of synthesised candidate programs.
+
+use crate::ops::UnaryOp;
+use crate::{Expr, FuncDef, Program, Stmt, StmtKind, Target};
+use std::fmt::Write as _;
+
+/// Renders an expression as MPY source.
+///
+/// ```
+/// use afg_ast::{Expr, ops::CmpOp};
+/// let e = Expr::compare(CmpOp::Eq, Expr::call("len", vec![Expr::var("poly")]), Expr::Int(1));
+/// assert_eq!(afg_ast::pretty::expr_to_string(&e), "len(poly) == 1");
+/// ```
+pub fn expr_to_string(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, expr, 0);
+    out
+}
+
+/// Renders an assignment target as MPY source.
+pub fn target_to_string(target: &Target) -> String {
+    match target {
+        Target::Var(name) => name.clone(),
+        Target::Index(base, index) => {
+            format!("{}[{}]", expr_to_string(base), expr_to_string(index))
+        }
+        Target::Tuple(items) => items
+            .iter()
+            .map(target_to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+    }
+}
+
+/// Renders a single statement (and its nested blocks) with the given
+/// indentation level (4 spaces per level).
+pub fn stmt_to_string(stmt: &Stmt, indent: usize) -> String {
+    let mut out = String::new();
+    write_stmt(&mut out, stmt, indent);
+    out
+}
+
+/// Renders a function definition as MPY source.
+pub fn func_to_string(func: &FuncDef) -> String {
+    let mut out = String::new();
+    let params = func
+        .params
+        .iter()
+        .map(|p| p.name.clone())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "def {}({}):", func.name, params);
+    if func.body.is_empty() {
+        out.push_str("    pass\n");
+    }
+    for stmt in &func.body {
+        write_stmt(&mut out, stmt, 1);
+    }
+    out
+}
+
+/// Renders a whole program as MPY source.
+pub fn program_to_string(program: &Program) -> String {
+    let mut out = String::new();
+    for func in &program.funcs {
+        out.push_str(&func_to_string(func));
+        out.push('\n');
+    }
+    for stmt in &program.top_level {
+        write_stmt(&mut out, stmt, 0);
+    }
+    out
+}
+
+fn write_stmt(out: &mut String, stmt: &Stmt, indent: usize) {
+    let pad = "    ".repeat(indent);
+    match &stmt.kind {
+        StmtKind::Assign(target, value) => {
+            let _ = writeln!(out, "{pad}{} = {}", target_to_string(target), expr_to_string(value));
+        }
+        StmtKind::AugAssign(target, op, value) => {
+            let _ = writeln!(
+                out,
+                "{pad}{} {}= {}",
+                target_to_string(target),
+                op.symbol(),
+                expr_to_string(value)
+            );
+        }
+        StmtKind::ExprStmt(expr) => {
+            let _ = writeln!(out, "{pad}{}", expr_to_string(expr));
+        }
+        StmtKind::If(cond, then_body, else_body) => {
+            let _ = writeln!(out, "{pad}if {}:", expr_to_string(cond));
+            write_block(out, then_body, indent + 1);
+            if !else_body.is_empty() {
+                let _ = writeln!(out, "{pad}else:");
+                write_block(out, else_body, indent + 1);
+            }
+        }
+        StmtKind::While(cond, body) => {
+            let _ = writeln!(out, "{pad}while {}:", expr_to_string(cond));
+            write_block(out, body, indent + 1);
+        }
+        StmtKind::For(var, iter, body) => {
+            let _ = writeln!(out, "{pad}for {} in {}:", var, expr_to_string(iter));
+            write_block(out, body, indent + 1);
+        }
+        StmtKind::Return(Some(expr)) => {
+            let _ = writeln!(out, "{pad}return {}", expr_to_string(expr));
+        }
+        StmtKind::Return(None) => {
+            let _ = writeln!(out, "{pad}return");
+        }
+        StmtKind::Print(args) => {
+            let rendered = args.iter().map(expr_to_string).collect::<Vec<_>>().join(", ");
+            let _ = writeln!(out, "{pad}print({rendered})");
+        }
+        StmtKind::Pass => {
+            let _ = writeln!(out, "{pad}pass");
+        }
+        StmtKind::Break => {
+            let _ = writeln!(out, "{pad}break");
+        }
+        StmtKind::Continue => {
+            let _ = writeln!(out, "{pad}continue");
+        }
+    }
+}
+
+fn write_block(out: &mut String, body: &[Stmt], indent: usize) {
+    if body.is_empty() {
+        let _ = writeln!(out, "{}pass", "    ".repeat(indent));
+        return;
+    }
+    for stmt in body {
+        write_stmt(out, stmt, indent);
+    }
+}
+
+/// Precedence levels: 0 = lowest (ternary), then or, and, not, comparison,
+/// arithmetic (4-6 from `BinOp::precedence`), 7 = unary minus,
+/// 8 = postfix/primary.
+fn write_expr(out: &mut String, expr: &Expr, parent_prec: u8) {
+    let prec = expr_precedence(expr);
+    let needs_parens = prec < parent_prec;
+    if needs_parens {
+        out.push('(');
+    }
+    match expr {
+        Expr::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Bool(true) => out.push_str("True"),
+        Expr::Bool(false) => out.push_str("False"),
+        Expr::Str(s) => {
+            let _ = write!(out, "'{}'", s.replace('\\', "\\\\").replace('\'', "\\'"));
+        }
+        Expr::None => out.push_str("None"),
+        Expr::Var(name) => out.push_str(name),
+        Expr::List(items) => {
+            out.push('[');
+            write_comma_separated(out, items);
+            out.push(']');
+        }
+        Expr::Tuple(items) => {
+            out.push('(');
+            write_comma_separated(out, items);
+            if items.len() == 1 {
+                out.push(',');
+            }
+            out.push(')');
+        }
+        Expr::Dict(items) => {
+            out.push('{');
+            for (i, (k, v)) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, k, 0);
+                out.push_str(": ");
+                write_expr(out, v, 0);
+            }
+            out.push('}');
+        }
+        Expr::Index(base, index) => {
+            write_expr(out, base, 8);
+            out.push('[');
+            write_expr(out, index, 0);
+            out.push(']');
+        }
+        Expr::Slice(base, lower, upper) => {
+            write_expr(out, base, 8);
+            out.push('[');
+            if let Some(l) = lower {
+                write_expr(out, l, 0);
+            }
+            out.push(':');
+            if let Some(u) = upper {
+                write_expr(out, u, 0);
+            }
+            out.push(']');
+        }
+        Expr::BinOp(op, left, right) => {
+            let p = op.precedence();
+            write_expr(out, left, p);
+            let _ = write!(out, " {} ", op.symbol());
+            // For left-associative operators the right operand needs strictly
+            // higher precedence to force parentheses on same-precedence
+            // children; `**` is right-associative so its exponent does not.
+            let right_prec = if *op == crate::ops::BinOp::Pow { p } else { p + 1 };
+            write_expr(out, right, right_prec);
+        }
+        Expr::UnaryOp(op, operand) => {
+            out.push_str(op.symbol());
+            let operand_prec = match op {
+                UnaryOp::Neg => 7,
+                UnaryOp::Not => 3,
+            };
+            write_expr(out, operand, operand_prec);
+        }
+        Expr::Compare(op, left, right) => {
+            write_expr(out, left, 4);
+            let _ = write!(out, " {} ", op.symbol());
+            write_expr(out, right, 4);
+        }
+        Expr::BoolExpr(op, left, right) => {
+            let p = expr_precedence(expr);
+            write_expr(out, left, p);
+            let _ = write!(out, " {} ", op.symbol());
+            write_expr(out, right, p + 1);
+        }
+        Expr::Call(func, args) => {
+            out.push_str(func);
+            out.push('(');
+            write_comma_separated(out, args);
+            out.push(')');
+        }
+        Expr::MethodCall(recv, method, args) => {
+            write_expr(out, recv, 8);
+            out.push('.');
+            out.push_str(method);
+            out.push('(');
+            write_comma_separated(out, args);
+            out.push(')');
+        }
+        Expr::IfExpr(body, cond, orelse) => {
+            write_expr(out, body, 1);
+            out.push_str(" if ");
+            write_expr(out, cond, 1);
+            out.push_str(" else ");
+            write_expr(out, orelse, 0);
+        }
+    }
+    if needs_parens {
+        out.push(')');
+    }
+}
+
+fn write_comma_separated(out: &mut String, items: &[Expr]) {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_expr(out, item, 0);
+    }
+}
+
+fn expr_precedence(expr: &Expr) -> u8 {
+    match expr {
+        Expr::IfExpr(..) => 0,
+        Expr::BoolExpr(op, ..) => match op {
+            crate::ops::BoolOp::Or => 1,
+            crate::ops::BoolOp::And => 2,
+        },
+        Expr::UnaryOp(UnaryOp::Not, _) => 3,
+        Expr::Compare(..) => 4,
+        Expr::BinOp(op, ..) => op.precedence(),
+        Expr::UnaryOp(UnaryOp::Neg, _) => 7,
+        _ => 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{BinOp, BoolOp, CmpOp};
+    use crate::Param;
+    use crate::types::MpyType;
+
+    #[test]
+    fn renders_literals() {
+        assert_eq!(expr_to_string(&Expr::Int(5)), "5");
+        assert_eq!(expr_to_string(&Expr::Bool(true)), "True");
+        assert_eq!(expr_to_string(&Expr::str("_")), "'_'");
+        assert_eq!(expr_to_string(&Expr::None), "None");
+        assert_eq!(expr_to_string(&Expr::List(vec![])), "[]");
+        assert_eq!(expr_to_string(&Expr::List(vec![Expr::Int(0)])), "[0]");
+        assert_eq!(expr_to_string(&Expr::Tuple(vec![Expr::Int(1)])), "(1,)");
+    }
+
+    #[test]
+    fn parenthesises_by_precedence() {
+        // (1 + 2) * 3 needs parentheses; 1 + 2 * 3 does not.
+        let sum = Expr::binop(BinOp::Add, Expr::Int(1), Expr::Int(2));
+        let e = Expr::binop(BinOp::Mul, sum.clone(), Expr::Int(3));
+        assert_eq!(expr_to_string(&e), "(1 + 2) * 3");
+        let e = Expr::binop(BinOp::Add, Expr::Int(1), Expr::binop(BinOp::Mul, Expr::Int(2), Expr::Int(3)));
+        assert_eq!(expr_to_string(&e), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn right_associative_subtraction_is_parenthesised() {
+        // 1 - (2 - 3) must keep its parentheses.
+        let inner = Expr::binop(BinOp::Sub, Expr::Int(2), Expr::Int(3));
+        let e = Expr::binop(BinOp::Sub, Expr::Int(1), inner);
+        assert_eq!(expr_to_string(&e), "1 - (2 - 3)");
+    }
+
+    #[test]
+    fn renders_comparisons_and_bool_ops() {
+        let cmp = Expr::compare(CmpOp::Le, Expr::var("idx"), Expr::var("plen"));
+        assert_eq!(expr_to_string(&cmp), "idx <= plen");
+        let both = Expr::BoolExpr(
+            BoolOp::And,
+            Box::new(cmp.clone()),
+            Box::new(Expr::compare(CmpOp::Gt, Expr::var("idx"), Expr::Int(0))),
+        );
+        assert_eq!(expr_to_string(&both), "idx <= plen and idx > 0");
+    }
+
+    #[test]
+    fn renders_calls_indexing_and_slices() {
+        let e = Expr::index(Expr::var("poly"), Expr::var("i"));
+        assert_eq!(expr_to_string(&e), "poly[i]");
+        let e = Expr::Slice(Box::new(Expr::var("result")), Some(Box::new(Expr::Int(1))), None);
+        assert_eq!(expr_to_string(&e), "result[1:]");
+        let e = Expr::MethodCall(Box::new(Expr::var("deriv")), "append".into(), vec![Expr::Int(0)]);
+        assert_eq!(expr_to_string(&e), "deriv.append(0)");
+    }
+
+    #[test]
+    fn renders_statements_and_functions() {
+        let func = FuncDef {
+            name: "f".into(),
+            params: vec![Param::new("x", MpyType::Int)],
+            body: vec![
+                Stmt::new(2, StmtKind::Assign(Target::Var("y".into()), Expr::Int(0))),
+                Stmt::new(
+                    3,
+                    StmtKind::If(
+                        Expr::compare(CmpOp::Gt, Expr::var("x"), Expr::Int(0)),
+                        vec![Stmt::new(4, StmtKind::Return(Some(Expr::var("x"))))],
+                        vec![Stmt::new(6, StmtKind::Return(Some(Expr::var("y"))))],
+                    ),
+                ),
+            ],
+            line: 1,
+        };
+        let rendered = func_to_string(&func);
+        let expected = "def f(x):\n    y = 0\n    if x > 0:\n        return x\n    else:\n        return y\n";
+        assert_eq!(rendered, expected);
+    }
+
+    #[test]
+    fn renders_for_and_while_loops() {
+        let s = Stmt::new(
+            1,
+            StmtKind::For(
+                "e".into(),
+                Expr::call("range", vec![Expr::Int(0), Expr::call("len", vec![Expr::var("poly")])]),
+                vec![Stmt::new(2, StmtKind::AugAssign(Target::Var("z".into()), BinOp::Add, Expr::Int(1)))],
+            ),
+        );
+        assert_eq!(
+            stmt_to_string(&s, 0),
+            "for e in range(0, len(poly)):\n    z += 1\n"
+        );
+        let s = Stmt::new(1, StmtKind::While(Expr::Bool(true), vec![Stmt::new(2, StmtKind::Break)]));
+        assert_eq!(stmt_to_string(&s, 1), "    while True:\n        break\n");
+    }
+
+    #[test]
+    fn empty_blocks_render_pass() {
+        let s = Stmt::new(1, StmtKind::If(Expr::Bool(true), vec![], vec![]));
+        assert_eq!(stmt_to_string(&s, 0), "if True:\n    pass\n");
+    }
+}

@@ -1,0 +1,136 @@
+//! Instructor-declared MPY types.
+//!
+//! MPY (like Python) is dynamically typed, but the paper requires the
+//! instructor to declare the types of the graded function's arguments and
+//! return value by appending a suffix to the parameter name
+//! (`poly_list_int`, `secretWord_str`, …).  These declared types drive the
+//! bounded input enumeration used for equivalence checking, mirroring the
+//! role of the `MultiType` driver functions in the paper's SKETCH encoding.
+
+use std::fmt;
+
+/// A declared MPY type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MpyType {
+    /// Bounded integer (the paper uses 4-bit integers by default).
+    Int,
+    /// Boolean.
+    Bool,
+    /// String over a small alphabet.
+    Str,
+    /// Homogeneous list of the element type.
+    List(Box<MpyType>),
+    /// Homogeneous tuple of the element type.
+    Tuple(Box<MpyType>),
+    /// Dictionary from `Int` keys to the value type (only what the
+    /// benchmarks need).
+    Dict(Box<MpyType>),
+    /// Unknown/unconstrained type; enumerated as a small mix of ints and
+    /// short lists.
+    Dynamic,
+}
+
+impl MpyType {
+    /// Shorthand for `List(Int)`, the most common benchmark input type.
+    pub fn list_int() -> MpyType {
+        MpyType::List(Box::new(MpyType::Int))
+    }
+
+    /// Shorthand for `Tuple(Int)`.
+    pub fn tuple_int() -> MpyType {
+        MpyType::Tuple(Box::new(MpyType::Int))
+    }
+
+    /// Shorthand for `List(Str)`.
+    pub fn list_str() -> MpyType {
+        MpyType::List(Box::new(MpyType::Str))
+    }
+
+    /// Parses a parameter-name type suffix in the paper's convention.
+    ///
+    /// `"poly_list_int"` ⇒ `(base "poly", Some(List(Int)))`;
+    /// a name without a recognised suffix returns `(name, None)`.
+    ///
+    /// Recognised suffixes (longest match first): `_list_int`, `_list_str`,
+    /// `_tuple_int`, `_dict_int`, `_int`, `_bool`, `_str`.
+    pub fn parse_suffix(name: &str) -> (String, Option<MpyType>) {
+        const SUFFIXES: &[(&str, fn() -> MpyType)] = &[
+            ("_list_int", MpyType::list_int as fn() -> MpyType),
+            ("_list_str", MpyType::list_str),
+            ("_tuple_int", MpyType::tuple_int),
+            ("_dict_int", || MpyType::Dict(Box::new(MpyType::Int))),
+            ("_int", || MpyType::Int),
+            ("_bool", || MpyType::Bool),
+            ("_str", || MpyType::Str),
+        ];
+        for (suffix, make) in SUFFIXES {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if !base.is_empty() {
+                    return (base.to_string(), Some(make()));
+                }
+            }
+        }
+        (name.to_string(), None)
+    }
+
+    /// Whether this type describes a sequence (list, tuple or string).
+    pub fn is_sequence(&self) -> bool {
+        matches!(self, MpyType::List(_) | MpyType::Tuple(_) | MpyType::Str)
+    }
+}
+
+impl fmt::Display for MpyType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpyType::Int => write!(f, "int"),
+            MpyType::Bool => write!(f, "bool"),
+            MpyType::Str => write!(f, "str"),
+            MpyType::List(t) => write!(f, "list[{t}]"),
+            MpyType::Tuple(t) => write!(f, "tuple[{t}]"),
+            MpyType::Dict(t) => write!(f, "dict[int, {t}]"),
+            MpyType::Dynamic => write!(f, "dynamic"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_style_suffixes() {
+        assert_eq!(
+            MpyType::parse_suffix("poly_list_int"),
+            ("poly".to_string(), Some(MpyType::list_int()))
+        );
+        assert_eq!(MpyType::parse_suffix("n_int"), ("n".to_string(), Some(MpyType::Int)));
+        assert_eq!(
+            MpyType::parse_suffix("secretWord_str"),
+            ("secretWord".to_string(), Some(MpyType::Str))
+        );
+        assert_eq!(
+            MpyType::parse_suffix("lettersGuessed_list_str"),
+            ("lettersGuessed".to_string(), Some(MpyType::list_str()))
+        );
+    }
+
+    #[test]
+    fn names_without_suffix_are_untouched() {
+        assert_eq!(MpyType::parse_suffix("poly"), ("poly".to_string(), None));
+        // A bare suffix must not produce an empty base name.
+        assert_eq!(MpyType::parse_suffix("_int"), ("_int".to_string(), None));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(MpyType::list_int().to_string(), "list[int]");
+        assert_eq!(MpyType::Dict(Box::new(MpyType::Str)).to_string(), "dict[int, str]");
+    }
+
+    #[test]
+    fn sequence_classification() {
+        assert!(MpyType::Str.is_sequence());
+        assert!(MpyType::list_int().is_sequence());
+        assert!(!MpyType::Int.is_sequence());
+    }
+}

@@ -1,0 +1,395 @@
+//! AST traversal and rewriting utilities.
+//!
+//! These helpers back the error-model transformation (`afg-eml`), which needs
+//! to (a) measure syntax-tree sizes to check rule well-formedness
+//! (paper Definition 1), (b) enumerate the variables in scope for the `?a`
+//! shorthand, and (c) rewrite every expression position of a program.
+
+use crate::{Expr, FuncDef, Program, Stmt, StmtKind, Target};
+use std::collections::BTreeSet;
+
+/// Number of nodes in an expression's syntax tree.
+pub fn expr_size(expr: &Expr) -> usize {
+    let mut size = 1;
+    for child in expr_children(expr) {
+        size += expr_size(child);
+    }
+    size
+}
+
+/// Number of nodes in a statement's syntax tree (statements, targets and
+/// expressions all count as one node each).
+pub fn stmt_size(stmt: &Stmt) -> usize {
+    let mut size = 1;
+    match &stmt.kind {
+        StmtKind::Assign(target, value) => {
+            size += target_size(target) + expr_size(value);
+        }
+        StmtKind::AugAssign(target, _, value) => {
+            size += target_size(target) + expr_size(value);
+        }
+        StmtKind::ExprStmt(expr) => size += expr_size(expr),
+        StmtKind::If(cond, then_body, else_body) => {
+            size += expr_size(cond);
+            size += then_body.iter().map(stmt_size).sum::<usize>();
+            size += else_body.iter().map(stmt_size).sum::<usize>();
+        }
+        StmtKind::While(cond, body) => {
+            size += expr_size(cond);
+            size += body.iter().map(stmt_size).sum::<usize>();
+        }
+        StmtKind::For(_, iter, body) => {
+            size += 1 + expr_size(iter);
+            size += body.iter().map(stmt_size).sum::<usize>();
+        }
+        StmtKind::Return(Some(expr)) => size += expr_size(expr),
+        StmtKind::Print(args) => size += args.iter().map(expr_size).sum::<usize>(),
+        StmtKind::Return(None) | StmtKind::Pass | StmtKind::Break | StmtKind::Continue => {}
+    }
+    size
+}
+
+/// Number of nodes in a function's syntax tree.
+pub fn func_size(func: &FuncDef) -> usize {
+    1 + func.params.len() + func.body.iter().map(stmt_size).sum::<usize>()
+}
+
+fn target_size(target: &Target) -> usize {
+    match target {
+        Target::Var(_) => 1,
+        Target::Index(base, index) => 1 + expr_size(base) + expr_size(index),
+        Target::Tuple(items) => 1 + items.iter().map(target_size).sum::<usize>(),
+    }
+}
+
+/// The direct sub-expressions of an expression, in evaluation order.
+pub fn expr_children(expr: &Expr) -> Vec<&Expr> {
+    match expr {
+        Expr::Int(_) | Expr::Bool(_) | Expr::Str(_) | Expr::None | Expr::Var(_) => vec![],
+        Expr::List(items) | Expr::Tuple(items) | Expr::Call(_, items) => items.iter().collect(),
+        Expr::Dict(items) => items.iter().flat_map(|(k, v)| [k, v]).collect(),
+        Expr::Index(a, b) => vec![a, b],
+        Expr::Slice(base, lower, upper) => {
+            let mut children: Vec<&Expr> = vec![base];
+            if let Some(l) = lower {
+                children.push(l);
+            }
+            if let Some(u) = upper {
+                children.push(u);
+            }
+            children
+        }
+        Expr::BinOp(_, a, b) | Expr::Compare(_, a, b) | Expr::BoolExpr(_, a, b) => vec![a, b],
+        Expr::UnaryOp(_, a) => vec![a],
+        Expr::MethodCall(recv, _, args) => {
+            let mut children: Vec<&Expr> = vec![recv];
+            children.extend(args.iter());
+            children
+        }
+        Expr::IfExpr(a, b, c) => vec![a, b, c],
+    }
+}
+
+/// All variable names referenced by an expression, in first-occurrence order
+/// without duplicates.
+pub fn expr_vars(expr: &Expr) -> Vec<String> {
+    let mut seen = BTreeSet::new();
+    let mut ordered = Vec::new();
+    collect_expr_vars(expr, &mut seen, &mut ordered);
+    ordered
+}
+
+fn collect_expr_vars(expr: &Expr, seen: &mut BTreeSet<String>, ordered: &mut Vec<String>) {
+    if let Expr::Var(name) = expr {
+        if seen.insert(name.clone()) {
+            ordered.push(name.clone());
+        }
+    }
+    for child in expr_children(expr) {
+        collect_expr_vars(child, seen, ordered);
+    }
+}
+
+/// All variable names a function mentions: parameters, assignment targets and
+/// loop variables, in first-occurrence order.  This is the scope used to
+/// instantiate the `?a` shorthand of EML rules ("any variable of the same
+/// type in scope"); because MPY is dynamically typed we over-approximate with
+/// every name bound in the function.
+pub fn func_scope_vars(func: &FuncDef) -> Vec<String> {
+    let mut seen = BTreeSet::new();
+    let mut ordered = Vec::new();
+    for param in &func.params {
+        if seen.insert(param.name.clone()) {
+            ordered.push(param.name.clone());
+        }
+    }
+    collect_bound_vars(&func.body, &mut seen, &mut ordered);
+    ordered
+}
+
+fn collect_bound_vars(body: &[Stmt], seen: &mut BTreeSet<String>, ordered: &mut Vec<String>) {
+    for stmt in body {
+        match &stmt.kind {
+            StmtKind::Assign(target, _) | StmtKind::AugAssign(target, _, _) => {
+                for name in target.bound_names() {
+                    if seen.insert(name.clone()) {
+                        ordered.push(name);
+                    }
+                }
+            }
+            StmtKind::For(var, _, inner) => {
+                if seen.insert(var.clone()) {
+                    ordered.push(var.clone());
+                }
+                collect_bound_vars(inner, seen, ordered);
+            }
+            StmtKind::If(_, then_body, else_body) => {
+                collect_bound_vars(then_body, seen, ordered);
+                collect_bound_vars(else_body, seen, ordered);
+            }
+            StmtKind::While(_, inner) => collect_bound_vars(inner, seen, ordered),
+            _ => {}
+        }
+    }
+}
+
+/// Applies `f` to every statement of a function body, recursing into nested
+/// blocks (pre-order).
+pub fn visit_stmts<'a>(body: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for stmt in body {
+        f(stmt);
+        match &stmt.kind {
+            StmtKind::If(_, then_body, else_body) => {
+                visit_stmts(then_body, f);
+                visit_stmts(else_body, f);
+            }
+            StmtKind::While(_, inner) | StmtKind::For(_, _, inner) => visit_stmts(inner, f),
+            _ => {}
+        }
+    }
+}
+
+/// Applies `f` to every expression of a statement block, including nested
+/// statements (pre-order over statements, then pre-order over each
+/// expression tree).
+pub fn visit_exprs<'a>(body: &'a [Stmt], f: &mut impl FnMut(&'a Expr)) {
+    visit_stmts(body, &mut |stmt| {
+        for expr in stmt_exprs(&stmt.kind) {
+            visit_expr_tree(expr, f);
+        }
+    });
+}
+
+fn visit_expr_tree<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(expr);
+    for child in expr_children(expr) {
+        visit_expr_tree(child, f);
+    }
+}
+
+/// The top-level expressions appearing directly in a statement (not recursing
+/// into nested statement blocks).
+pub fn stmt_exprs(kind: &StmtKind) -> Vec<&Expr> {
+    match kind {
+        StmtKind::Assign(target, value) | StmtKind::AugAssign(target, _, value) => {
+            let mut exprs = target_exprs(target);
+            exprs.push(value);
+            exprs
+        }
+        StmtKind::ExprStmt(expr) => vec![expr],
+        StmtKind::If(cond, _, _) | StmtKind::While(cond, _) => vec![cond],
+        StmtKind::For(_, iter, _) => vec![iter],
+        StmtKind::Return(Some(expr)) => vec![expr],
+        StmtKind::Print(args) => args.iter().collect(),
+        StmtKind::Return(None) | StmtKind::Pass | StmtKind::Break | StmtKind::Continue => vec![],
+    }
+}
+
+fn target_exprs(target: &Target) -> Vec<&Expr> {
+    match target {
+        Target::Var(_) => vec![],
+        Target::Index(base, index) => vec![base, index],
+        Target::Tuple(items) => items.iter().flat_map(target_exprs).collect(),
+    }
+}
+
+/// Total number of statements in a program (used to report the paper's
+/// "Median LOC" column, which counts statement lines).
+pub fn program_stmt_count(program: &Program) -> usize {
+    let mut count = 0;
+    for func in &program.funcs {
+        count += 1;
+        visit_stmts(&func.body, &mut |_| count += 1);
+    }
+    visit_stmts(&program.top_level, &mut |_| count += 1);
+    count
+}
+
+/// Rewrites an expression bottom-up: children are rewritten first, then `f`
+/// is applied to the rebuilt node.
+pub fn map_expr(expr: &Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+    let rebuilt = match expr {
+        Expr::Int(_) | Expr::Bool(_) | Expr::Str(_) | Expr::None | Expr::Var(_) => expr.clone(),
+        Expr::List(items) => Expr::List(items.iter().map(|e| map_expr(e, f)).collect()),
+        Expr::Tuple(items) => Expr::Tuple(items.iter().map(|e| map_expr(e, f)).collect()),
+        Expr::Dict(items) => Expr::Dict(
+            items
+                .iter()
+                .map(|(k, v)| (map_expr(k, f), map_expr(v, f)))
+                .collect(),
+        ),
+        Expr::Index(a, b) => Expr::Index(Box::new(map_expr(a, f)), Box::new(map_expr(b, f))),
+        Expr::Slice(base, lower, upper) => Expr::Slice(
+            Box::new(map_expr(base, f)),
+            lower.as_ref().map(|l| Box::new(map_expr(l, f))),
+            upper.as_ref().map(|u| Box::new(map_expr(u, f))),
+        ),
+        Expr::BinOp(op, a, b) => {
+            Expr::BinOp(*op, Box::new(map_expr(a, f)), Box::new(map_expr(b, f)))
+        }
+        Expr::UnaryOp(op, a) => Expr::UnaryOp(*op, Box::new(map_expr(a, f))),
+        Expr::Compare(op, a, b) => {
+            Expr::Compare(*op, Box::new(map_expr(a, f)), Box::new(map_expr(b, f)))
+        }
+        Expr::BoolExpr(op, a, b) => {
+            Expr::BoolExpr(*op, Box::new(map_expr(a, f)), Box::new(map_expr(b, f)))
+        }
+        Expr::Call(name, args) => {
+            Expr::Call(name.clone(), args.iter().map(|e| map_expr(e, f)).collect())
+        }
+        Expr::MethodCall(recv, name, args) => Expr::MethodCall(
+            Box::new(map_expr(recv, f)),
+            name.clone(),
+            args.iter().map(|e| map_expr(e, f)).collect(),
+        ),
+        Expr::IfExpr(a, b, c) => Expr::IfExpr(
+            Box::new(map_expr(a, f)),
+            Box::new(map_expr(b, f)),
+            Box::new(map_expr(c, f)),
+        ),
+    };
+    f(rebuilt)
+}
+
+/// Substitutes variables by expressions (capture is not a concern in MPY
+/// because there are no binders inside expressions).
+pub fn substitute_vars(expr: &Expr, subst: &dyn Fn(&str) -> Option<Expr>) -> Expr {
+    map_expr(expr, &mut |e| match &e {
+        Expr::Var(name) => subst(name).unwrap_or(e.clone()),
+        _ => e,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{BinOp, CmpOp};
+    use crate::types::MpyType;
+    use crate::Param;
+
+    fn sample_func() -> FuncDef {
+        // def f(poly):
+        //     deriv = []
+        //     for e in range(0, len(poly)):
+        //         deriv.append(poly[e] * e)
+        //     return deriv
+        FuncDef {
+            name: "f".into(),
+            params: vec![Param::new("poly", MpyType::list_int())],
+            body: vec![
+                Stmt::new(2, StmtKind::Assign(Target::Var("deriv".into()), Expr::List(vec![]))),
+                Stmt::new(
+                    3,
+                    StmtKind::For(
+                        "e".into(),
+                        Expr::call("range", vec![Expr::Int(0), Expr::call("len", vec![Expr::var("poly")])]),
+                        vec![Stmt::new(
+                            4,
+                            StmtKind::ExprStmt(Expr::MethodCall(
+                                Box::new(Expr::var("deriv")),
+                                "append".into(),
+                                vec![Expr::binop(
+                                    BinOp::Mul,
+                                    Expr::index(Expr::var("poly"), Expr::var("e")),
+                                    Expr::var("e"),
+                                )],
+                            )),
+                        )],
+                    ),
+                ),
+                Stmt::new(5, StmtKind::Return(Some(Expr::var("deriv")))),
+            ],
+            line: 1,
+        }
+    }
+
+    #[test]
+    fn sizes_count_every_node() {
+        let e = Expr::binop(BinOp::Mul, Expr::Int(2), Expr::var("x"));
+        assert_eq!(expr_size(&e), 3);
+        let e = Expr::compare(
+            CmpOp::Lt,
+            Expr::index(Expr::var("x"), Expr::var("i")),
+            Expr::index(Expr::var("y"), Expr::var("j")),
+        );
+        assert_eq!(expr_size(&e), 7);
+    }
+
+    #[test]
+    fn scope_vars_include_params_targets_and_loop_vars() {
+        let vars = func_scope_vars(&sample_func());
+        assert_eq!(vars, vec!["poly".to_string(), "deriv".to_string(), "e".to_string()]);
+    }
+
+    #[test]
+    fn expr_vars_are_deduplicated_in_order() {
+        let e = Expr::binop(
+            BinOp::Add,
+            Expr::binop(BinOp::Mul, Expr::var("x"), Expr::var("y")),
+            Expr::var("x"),
+        );
+        assert_eq!(expr_vars(&e), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn visit_exprs_reaches_nested_blocks() {
+        let func = sample_func();
+        let mut range_calls = 0;
+        visit_exprs(&func.body, &mut |e| {
+            if matches!(e, Expr::Call(name, _) if name == "range") {
+                range_calls += 1;
+            }
+        });
+        assert_eq!(range_calls, 1);
+        let mut total = 0;
+        visit_exprs(&func.body, &mut |_| total += 1);
+        assert!(total > 10, "expected to visit every sub-expression, saw {total}");
+    }
+
+    #[test]
+    fn map_expr_rewrites_bottom_up() {
+        let e = Expr::binop(BinOp::Add, Expr::Int(1), Expr::Int(2));
+        let doubled = map_expr(&e, &mut |node| match node {
+            Expr::Int(v) => Expr::Int(v * 10),
+            other => other,
+        });
+        assert_eq!(doubled, Expr::binop(BinOp::Add, Expr::Int(10), Expr::Int(20)));
+    }
+
+    #[test]
+    fn substitution_replaces_only_requested_vars() {
+        let e = Expr::binop(BinOp::Add, Expr::var("x"), Expr::var("y"));
+        let replaced = substitute_vars(&e, &|name| {
+            (name == "x").then(|| Expr::Int(7))
+        });
+        assert_eq!(replaced, Expr::binop(BinOp::Add, Expr::Int(7), Expr::var("y")));
+    }
+
+    #[test]
+    fn program_stmt_count_counts_defs_and_statements() {
+        let mut program = Program::new();
+        program.funcs.push(sample_func());
+        // def + assign + for + exprstmt + return = 5
+        assert_eq!(program_stmt_count(&program), 5);
+    }
+}

@@ -1,0 +1,206 @@
+//! Test-case-based feedback — the baseline the paper compares against.
+//!
+//! MITx's 6.00x graded Python exercises by running each submission on a
+//! fixed handful of test cases and reporting the failing ones back to the
+//! student (paper §1).  This crate implements that baseline so the
+//! experiment harness can contrast its input coverage and feedback quality
+//! with the synthesis-based grader (paper §6: "our tool typically performs
+//! the equivalence check over more than 10^6 inputs" versus "a few dozens of
+//! test-cases").
+
+use afg_ast::Program;
+use afg_interp::{ExecLimits, ExecResult, Value};
+use afg_parser::{parse_program, ParseError};
+
+/// One failing test case, as the student would see it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailingTest {
+    /// The inputs the submission was run on.
+    pub inputs: Vec<Value>,
+    /// What the reference implementation produces.
+    pub expected: String,
+    /// What the submission produced (a value or an error kind).
+    pub actual: String,
+}
+
+/// The baseline's verdict for one submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseOutcome {
+    /// The submission does not parse.
+    SyntaxError(ParseError),
+    /// All test cases pass.
+    AllPassed {
+        /// Number of test cases run.
+        total: usize,
+    },
+    /// Some test cases fail; they are reported back verbatim.
+    Failed {
+        /// Number of test cases run.
+        total: usize,
+        /// The failing cases.
+        failures: Vec<FailingTest>,
+    },
+}
+
+impl TestCaseOutcome {
+    /// Whether the submission passed every test case.
+    pub fn passed(&self) -> bool {
+        matches!(self, TestCaseOutcome::AllPassed { .. })
+    }
+}
+
+/// A test-case-based grader for one assignment.
+pub struct TestCaseGrader {
+    reference: Program,
+    entry: String,
+    tests: Vec<Vec<Value>>,
+    limits: ExecLimits,
+}
+
+impl TestCaseGrader {
+    /// Builds a baseline grader from the reference source and a fixed list
+    /// of test inputs (each entry is one argument tuple).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if the reference implementation is invalid.
+    pub fn new(
+        reference_source: &str,
+        entry: &str,
+        tests: Vec<Vec<Value>>,
+    ) -> Result<TestCaseGrader, ParseError> {
+        let reference = parse_program(reference_source)?;
+        Ok(TestCaseGrader { reference, entry: entry.to_string(), tests, limits: ExecLimits::fast() })
+    }
+
+    /// Number of test cases this grader covers — compare with
+    /// `EquivalenceOracle::valid_input_count()` for the coverage argument of
+    /// paper §6.
+    pub fn num_tests(&self) -> usize {
+        self.tests.len()
+    }
+
+    /// Grades a submission.
+    pub fn grade_source(&self, student_source: &str) -> TestCaseOutcome {
+        let student = match parse_program(student_source) {
+            Ok(program) => program,
+            Err(err) => return TestCaseOutcome::SyntaxError(err),
+        };
+        self.grade_program(&student)
+    }
+
+    /// Grades an already-parsed submission.
+    pub fn grade_program(&self, student: &Program) -> TestCaseOutcome {
+        let mut failures = Vec::new();
+        for inputs in &self.tests {
+            let expected = ExecResult::observe(&self.reference, Some(&self.entry), inputs, self.limits);
+            let actual = ExecResult::observe(student, Some(&self.entry), inputs, self.limits);
+            if !actual.matches(&expected, false) {
+                failures.push(FailingTest {
+                    inputs: inputs.clone(),
+                    expected: describe(&expected),
+                    actual: describe(&actual),
+                });
+            }
+        }
+        if failures.is_empty() {
+            TestCaseOutcome::AllPassed { total: self.tests.len() }
+        } else {
+            TestCaseOutcome::Failed { total: self.tests.len(), failures }
+        }
+    }
+}
+
+fn describe(result: &ExecResult) -> String {
+    match result {
+        ExecResult::Ok(outcome) => outcome.value.repr(),
+        ExecResult::Err(kind) => format!("error: {kind}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REFERENCE: &str = "\
+def computeDeriv(poly_list_int):
+    result = []
+    for i in range(len(poly_list_int)):
+        result += [i * poly_list_int[i]]
+    if len(poly_list_int) == 1:
+        return result
+    else:
+        return result[1:]
+";
+
+    fn grader() -> TestCaseGrader {
+        TestCaseGrader::new(
+            REFERENCE,
+            "computeDeriv",
+            vec![
+                vec![Value::int_list([2, -3, 1, 4])],
+                vec![Value::int_list([7])],
+                vec![Value::int_list([0, 0])],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn passes_correct_submissions() {
+        let outcome = grader().grade_source(
+            "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    d = []\n    for i in range(1, len(poly)):\n        d.append(i * poly[i])\n    return d\n",
+        );
+        assert!(outcome.passed());
+    }
+
+    #[test]
+    fn reports_failing_cases_with_expected_and_actual() {
+        let outcome = grader().grade_source(
+            "def computeDeriv(poly):\n    d = []\n    for i in range(1, len(poly)):\n        d.append(i * poly[i])\n    return d\n",
+        );
+        match outcome {
+            TestCaseOutcome::Failed { total, failures } => {
+                assert_eq!(total, 3);
+                // The missing [0] base case fails exactly the singleton test.
+                assert_eq!(failures.len(), 1);
+                assert_eq!(failures[0].expected, "[0]");
+                assert_eq!(failures[0].actual, "[]");
+            }
+            other => panic!("expected failures, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_sparse_test_suite_can_miss_bugs() {
+        // Only length >= 2 tests: the missing base case goes unnoticed —
+        // exactly the weakness of test-case feedback the paper motivates.
+        let sparse = TestCaseGrader::new(
+            REFERENCE,
+            "computeDeriv",
+            vec![vec![Value::int_list([2, -3, 1, 4])], vec![Value::int_list([0, 0])]],
+        )
+        .unwrap();
+        let outcome = sparse.grade_source(
+            "def computeDeriv(poly):\n    d = []\n    for i in range(1, len(poly)):\n        d.append(i * poly[i])\n    return d\n",
+        );
+        assert!(outcome.passed(), "the sparse suite cannot distinguish the buggy submission");
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        let outcome = grader().grade_source("def computeDeriv(poly)\n    return poly\n");
+        assert!(matches!(outcome, TestCaseOutcome::SyntaxError(_)));
+    }
+
+    #[test]
+    fn crashes_count_as_failures() {
+        let outcome = grader().grade_source("def computeDeriv(poly):\n    return poly[10]\n");
+        match outcome {
+            TestCaseOutcome::Failed { failures, .. } => {
+                assert!(failures.iter().all(|f| f.actual.starts_with("error:")));
+            }
+            other => panic!("expected failures, got {other:?}"),
+        }
+    }
+}

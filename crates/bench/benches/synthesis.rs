@@ -1,0 +1,123 @@
+//! Criterion benchmarks for the feedback-generation pipeline.
+//!
+//! * `grade/<problem>` — end-to-end grading time of one representative
+//!   incorrect submission per benchmark problem (the per-submission seconds
+//!   of Table 1).
+//! * `backend/{cegis,enumerative}` — ablation of the SAT-backed CEGISMIN
+//!   search against cost-ordered enumeration (paper §7.4).
+//! * `substrate/*` — micro-benchmarks of the substrates: the interpreter,
+//!   the error-model transformation and the SAT solver.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use afg_core::GraderConfig;
+use afg_corpus::{generate_corpus, problems, CorpusSpec, Origin};
+use afg_eml::{apply_error_model, library};
+use afg_interp::{run_function, EquivalenceConfig, EquivalenceOracle, ExecLimits, Value};
+use afg_parser::parse_program;
+use afg_sat::Solver;
+use afg_synth::{Backend, SynthesisConfig};
+
+/// A representative incorrect submission for a problem: the first mutated
+/// submission of its seeded corpus.
+fn incorrect_submission(problem: &afg_corpus::Problem) -> String {
+    let corpus = generate_corpus(problem, &CorpusSpec::table1_like(40, 1));
+    corpus
+        .into_iter()
+        .find(|s| matches!(s.origin, Origin::Mutated(_)))
+        .map(|s| s.source)
+        .expect("corpus contains mutated submissions")
+}
+
+fn bench_grading(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grade");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for id in ["compDeriv", "iterPower", "recurPower", "oddTuples", "evalPoly"] {
+        let problem = problems::problem(id).expect("known benchmark");
+        let grader = problem.autograder(GraderConfig::fast());
+        let submission = incorrect_submission(&problem);
+        group.bench_function(id, |b| {
+            b.iter(|| std::hint::black_box(grader.grade_source(&submission)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    let problem = problems::compute_deriv();
+    let reference = parse_program(problem.reference).unwrap();
+    let oracle = EquivalenceOracle::from_reference(
+        &reference,
+        EquivalenceConfig { entry: Some(problem.entry.to_string()), ..EquivalenceConfig::default() },
+    );
+    let student = parse_program(
+        "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    d = []\n    for i in range(0, len(poly)):\n        d.append(i * poly[i])\n    return d\n",
+    )
+    .unwrap();
+    let choices = apply_error_model(&student, Some(problem.entry), &problem.model).unwrap();
+
+    for (name, backend) in [("cegis", Backend::Cegis), ("enumerative", Backend::Enumerative)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(backend.synthesize(&choices, &oracle, &SynthesisConfig::fast()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(20);
+
+    // Interpreter: one run of the reference computeDeriv on a 4-element list.
+    let reference = parse_program(problems::compute_deriv().reference).unwrap();
+    let input = vec![Value::int_list([2, -3, 1, 4])];
+    group.bench_function("interpreter_computeDeriv", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                run_function(&reference, Some("computeDeriv"), &input, ExecLimits::fast()).unwrap(),
+            )
+        });
+    });
+
+    // Error-model transformation of the Figure 2(a) submission.
+    let student = parse_program(
+        "def computeDeriv(poly):\n    deriv = []\n    zero = 0\n    if (len(poly) == 1):\n        return deriv\n    for e in range(0, len(poly)):\n        if (poly[e] == 0):\n            zero += 1\n        else:\n            deriv.append(poly[e]*e)\n    return deriv\n",
+    )
+    .unwrap();
+    let model = library::compute_deriv_model();
+    group.bench_function("transform_figure2a", |b| {
+        b.iter(|| std::hint::black_box(apply_error_model(&student, Some("computeDeriv"), &model).unwrap()));
+    });
+
+    // SAT solver: pigeonhole 5 pigeons / 4 holes (unsatisfiable).
+    group.bench_function("sat_pigeonhole_5_4", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new();
+            let pigeons: Vec<Vec<_>> = (0..5).map(|_| solver.new_vars(4)).collect();
+            for row in &pigeons {
+                let lits: Vec<_> = row.iter().map(|v| v.positive()).collect();
+                solver.add_clause(&lits);
+            }
+            for hole in 0..4 {
+                for i in 0..5 {
+                    for j in (i + 1)..5 {
+                        solver.add_clause(&[pigeons[i][hole].negative(), pigeons[j][hole].negative()]);
+                    }
+                }
+            }
+            std::hint::black_box(solver.solve())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_grading, bench_backends, bench_substrates);
+criterion_main!(benches);

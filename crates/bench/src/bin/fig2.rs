@@ -1,0 +1,81 @@
+//! Reproduces the worked example of **Figure 2**: three very different
+//! student submissions for `computeDeriv` and the feedback the tool
+//! generates for each one.
+//!
+//! ```text
+//! cargo run --release -p afg-bench --bin fig2
+//! ```
+
+use afg_core::{GradeOutcome, GraderConfig};
+use afg_corpus::problems;
+
+/// Figure 2(a): misses the `[0]` base case, iterates from 0, and skips zero
+/// coefficients.
+const STUDENT_A: &str = "\
+def computeDeriv(poly):
+    deriv = []
+    zero = 0
+    if (len(poly) == 1):
+        return deriv
+    for e in range(0, len(poly)):
+        if (poly[e] == 0):
+            zero += 1
+        else:
+            deriv.append(poly[e]*e)
+    return deriv
+";
+
+/// Figure 2(b): consumes the list with `pop` inside a while loop and misses
+/// the base case.
+const STUDENT_B: &str = "\
+def computeDeriv(poly):
+    idx = 1
+    deriv = list([])
+    plen = len(poly)
+    while idx <= plen:
+        coeff = poly.pop(1)
+        deriv += [coeff * idx]
+        idx = idx + 1
+    if len(poly) < 2:
+        return deriv
+";
+
+/// Figure 2(c): builds the result with `range(1, length)` and a backwards
+/// while loop.
+const STUDENT_C: &str = "\
+def computeDeriv(poly):
+    length = int(len(poly)-1)
+    i = length
+    deriv = range(1,length)
+    if len(poly) == 1:
+        deriv = [0]
+    else:
+        while i >= 0:
+            new = poly[i] * i
+            i -= 1
+            deriv[i] = new
+    return deriv
+";
+
+fn main() {
+    let problem = problems::compute_deriv();
+    let grader = problem.autograder(GraderConfig::default());
+
+    for (label, source) in [("Figure 2(a)", STUDENT_A), ("Figure 2(b)", STUDENT_B), ("Figure 2(c)", STUDENT_C)] {
+        println!("=== {label} ===");
+        println!("{source}");
+        match grader.grade_source(source) {
+            GradeOutcome::Feedback(feedback) => {
+                println!("{feedback}");
+                println!("(graded in {:.2}s)", feedback.elapsed.as_secs_f64());
+            }
+            GradeOutcome::Correct => println!("The submission is already correct.\n"),
+            GradeOutcome::CannotFix => {
+                println!("The error model cannot repair this submission with local corrections.\n");
+            }
+            GradeOutcome::Timeout => println!("The synthesis budget was exhausted.\n"),
+            GradeOutcome::SyntaxError(err) => println!("Syntax error: {err}\n"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,314 @@
+//! Experiment harness shared by the Table 1 / Figure 14 binaries and the
+//! criterion benches.
+//!
+//! The entry point is [`run_problem`]: generate a seeded corpus for one
+//! benchmark problem, grade every submission, and aggregate the counters the
+//! paper reports (total attempts, syntax errors, test set, correct,
+//! incorrect, feedback generated, average and median grading time).
+
+use std::time::{Duration, Instant};
+
+use afg_core::{Autograder, GradeOutcome, GraderConfig};
+use afg_corpus::{generate_corpus, CorpusSpec, Problem, Submission};
+use afg_eml::ErrorModel;
+
+/// How one submission was graded, with timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GradeRecord {
+    /// Which bucket the submission landed in.
+    pub kind: GradeKind,
+    /// Number of corrections, when feedback was generated.
+    pub corrections: Option<usize>,
+    /// Wall-clock grading time (zero for syntax errors, which are filtered
+    /// before grading).
+    pub elapsed: Duration,
+}
+
+/// The buckets of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GradeKind {
+    /// Fails to parse; excluded from the test set.
+    SyntaxError,
+    /// Equivalent to the reference.
+    Correct,
+    /// Incorrect and repaired by the error model (feedback generated).
+    Fixed,
+    /// Incorrect and not repairable with the error model.
+    NotFixed,
+    /// The synthesis budget was exhausted.
+    Timeout,
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Benchmark name (e.g. `compDeriv-6.00x`).
+    pub name: String,
+    /// Statement count of the reference implementation (stand-in for the
+    /// paper's median student LOC, which needs the real submissions).
+    pub median_loc: usize,
+    /// Total generated attempts.
+    pub total_attempts: usize,
+    /// Attempts with syntax errors.
+    pub syntax_errors: usize,
+    /// Attempts that parse (the graded test set).
+    pub test_set: usize,
+    /// Correct attempts.
+    pub correct: usize,
+    /// Incorrect attempts.
+    pub incorrect: usize,
+    /// Incorrect attempts for which feedback was generated.
+    pub generated_feedback: usize,
+    /// Mean grading time over the incorrect attempts.
+    pub average_time: Duration,
+    /// Median grading time over the incorrect attempts.
+    pub median_time: Duration,
+}
+
+impl Table1Row {
+    /// Percentage of incorrect attempts with generated feedback.
+    pub fn feedback_percent(&self) -> f64 {
+        if self.incorrect == 0 {
+            0.0
+        } else {
+            100.0 * self.generated_feedback as f64 / self.incorrect as f64
+        }
+    }
+
+    /// Formats the row the way the paper's Table 1 lays it out.
+    pub fn format_row(&self) -> String {
+        format!(
+            "{:<22} {:>4} {:>6} {:>7} {:>8} {:>8} {:>9} {:>14} {:>9.2}s {:>9.2}s",
+            self.name,
+            self.median_loc,
+            self.total_attempts,
+            self.syntax_errors,
+            self.test_set,
+            self.correct,
+            self.incorrect,
+            format!("{} ({:.1}%)", self.generated_feedback, self.feedback_percent()),
+            self.average_time.as_secs_f64(),
+            self.median_time.as_secs_f64(),
+        )
+    }
+
+    /// The header matching [`Table1Row::format_row`].
+    pub fn header() -> String {
+        format!(
+            "{:<22} {:>4} {:>6} {:>7} {:>8} {:>8} {:>9} {:>14} {:>10} {:>10}",
+            "Benchmark",
+            "LOC",
+            "Total",
+            "Syntax",
+            "TestSet",
+            "Correct",
+            "Incorrect",
+            "Feedback",
+            "AvgTime",
+            "MedTime"
+        )
+    }
+}
+
+
+/// The grading budget used by the experiment binaries: up to four coordinated
+/// corrections (the paper's Figure 14(a) tail) with a two-second per-submission
+/// budget.
+pub fn experiment_config() -> GraderConfig {
+    GraderConfig {
+        synthesis: afg_synth::SynthesisConfig {
+            max_cost: 4,
+            max_candidates: 20_000,
+            time_budget: std::time::Duration::from_secs(2),
+        },
+        ..GraderConfig::fast()
+    }
+}
+
+/// Grades one submission and classifies it into a Table 1 bucket.
+pub fn grade_submission(grader: &Autograder, submission: &Submission) -> GradeRecord {
+    let start = Instant::now();
+    let outcome = grader.grade_source(&submission.source);
+    let elapsed = start.elapsed();
+    let (kind, corrections) = match outcome {
+        GradeOutcome::SyntaxError(_) => (GradeKind::SyntaxError, None),
+        GradeOutcome::Correct => (GradeKind::Correct, None),
+        GradeOutcome::Feedback(feedback) => (GradeKind::Fixed, Some(feedback.cost)),
+        GradeOutcome::CannotFix => (GradeKind::NotFixed, None),
+        GradeOutcome::Timeout => (GradeKind::Timeout, None),
+    };
+    GradeRecord { kind, corrections, elapsed }
+}
+
+/// Grades a whole corpus for one problem, optionally overriding the error
+/// model (used by the Figure 14(b)/(c) sweeps).
+pub fn run_problem_with_model(
+    problem: &Problem,
+    model: Option<ErrorModel>,
+    spec: &CorpusSpec,
+    config: GraderConfig,
+) -> (Table1Row, Vec<GradeRecord>) {
+    let mut grader = problem.autograder(config);
+    if let Some(model) = model {
+        grader.set_model(model);
+    }
+    let corpus = generate_corpus(problem, spec);
+    let records: Vec<GradeRecord> = corpus
+        .iter()
+        .map(|submission| grade_submission(&grader, submission))
+        .collect();
+    (aggregate(problem, &records), records)
+}
+
+/// Grades a whole corpus for one problem with its own error model.
+pub fn run_problem(
+    problem: &Problem,
+    spec: &CorpusSpec,
+    config: GraderConfig,
+) -> (Table1Row, Vec<GradeRecord>) {
+    run_problem_with_model(problem, None, spec, config)
+}
+
+fn aggregate(problem: &Problem, records: &[GradeRecord]) -> Table1Row {
+    let syntax_errors = records.iter().filter(|r| r.kind == GradeKind::SyntaxError).count();
+    let correct = records.iter().filter(|r| r.kind == GradeKind::Correct).count();
+    let fixed = records.iter().filter(|r| r.kind == GradeKind::Fixed).count();
+    let test_set = records.len() - syntax_errors;
+    let incorrect = test_set - correct;
+
+    let mut incorrect_times: Vec<Duration> = records
+        .iter()
+        .filter(|r| matches!(r.kind, GradeKind::Fixed | GradeKind::NotFixed | GradeKind::Timeout))
+        .map(|r| r.elapsed)
+        .collect();
+    incorrect_times.sort_unstable();
+    let average_time = if incorrect_times.is_empty() {
+        Duration::ZERO
+    } else {
+        incorrect_times.iter().sum::<Duration>() / incorrect_times.len() as u32
+    };
+    let median_time = incorrect_times
+        .get(incorrect_times.len() / 2)
+        .copied()
+        .unwrap_or(Duration::ZERO);
+
+    Table1Row {
+        name: problem.name.to_string(),
+        median_loc: problem.reference_loc(),
+        total_attempts: records.len(),
+        syntax_errors,
+        test_set,
+        correct,
+        incorrect,
+        generated_feedback: fixed,
+        average_time,
+        median_time,
+    }
+}
+
+/// Histogram of the number of corrections over the fixed submissions
+/// (Figure 14(a)).
+pub fn corrections_histogram(records: &[GradeRecord], max_bucket: usize) -> Vec<usize> {
+    let mut histogram = vec![0usize; max_bucket + 1];
+    for record in records {
+        if let Some(cost) = record.corrections {
+            let bucket = cost.min(max_bucket);
+            histogram[bucket] += 1;
+        }
+    }
+    histogram
+}
+
+/// Parses the standard harness command-line options (`--attempts N`,
+/// `--seed N`) shared by the experiment binaries.
+pub fn parse_cli_options(args: &[String], default_attempts: usize) -> (usize, u64) {
+    let mut attempts = default_attempts;
+    let mut seed = 20130616; // PLDI 2013's first day.
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--attempts" => {
+                if let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    attempts = value;
+                }
+                i += 1;
+            }
+            "--seed" => {
+                if let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    seed = value;
+                }
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (attempts, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afg_corpus::problems;
+
+    #[test]
+    fn grades_a_small_corpus_end_to_end() {
+        let problem = problems::iter_power();
+        let spec = CorpusSpec::table1_like(16, 5);
+        let (row, records) = run_problem(&problem, &spec, GraderConfig::fast());
+        assert_eq!(row.total_attempts, 16);
+        assert_eq!(row.syntax_errors + row.test_set, 16);
+        assert_eq!(row.correct + row.incorrect, row.test_set);
+        assert!(row.generated_feedback <= row.incorrect);
+        assert_eq!(records.len(), 16);
+        // Correct submissions exist in the mix, and some incorrect ones are fixed.
+        assert!(row.correct > 0);
+        assert!(row.generated_feedback > 0, "row: {row:?}");
+    }
+
+    #[test]
+    fn histogram_buckets_by_cost() {
+        let records = vec![
+            GradeRecord { kind: GradeKind::Fixed, corrections: Some(1), elapsed: Duration::ZERO },
+            GradeRecord { kind: GradeKind::Fixed, corrections: Some(2), elapsed: Duration::ZERO },
+            GradeRecord { kind: GradeKind::Fixed, corrections: Some(1), elapsed: Duration::ZERO },
+            GradeRecord { kind: GradeKind::NotFixed, corrections: None, elapsed: Duration::ZERO },
+            GradeRecord { kind: GradeKind::Fixed, corrections: Some(7), elapsed: Duration::ZERO },
+        ];
+        let histogram = corrections_histogram(&records, 4);
+        assert_eq!(histogram, vec![0, 2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn table_row_formatting_and_percentages() {
+        let row = Table1Row {
+            name: "compDeriv-6.00x".into(),
+            median_loc: 8,
+            total_attempts: 100,
+            syntax_errors: 25,
+            test_set: 75,
+            correct: 30,
+            incorrect: 45,
+            generated_feedback: 30,
+            average_time: Duration::from_millis(120),
+            median_time: Duration::from_millis(80),
+        };
+        assert!((row.feedback_percent() - 66.666).abs() < 0.1);
+        let formatted = row.format_row();
+        assert!(formatted.contains("compDeriv-6.00x"));
+        assert!(formatted.contains("66.7%"));
+        assert!(Table1Row::header().contains("Feedback"));
+    }
+
+    #[test]
+    fn cli_parsing_defaults_and_overrides() {
+        let (attempts, seed) = parse_cli_options(&[], 40);
+        assert_eq!(attempts, 40);
+        assert_eq!(seed, 20130616);
+        let args: Vec<String> =
+            ["--attempts", "12", "--seed", "99"].iter().map(|s| s.to_string()).collect();
+        let (attempts, seed) = parse_cli_options(&args, 40);
+        assert_eq!(attempts, 12);
+        assert_eq!(seed, 99);
+    }
+}

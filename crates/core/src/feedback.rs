@@ -1,0 +1,255 @@
+//! Feedback data structures and natural-language rendering.
+//!
+//! The paper's feedback (Figure 2(d)–(f)) consists of up to four pieces of
+//! information per correction — the line number, the problematic expression,
+//! the sub-expression to modify, and the new value — and a *feedback-level*
+//! parameter controls how many of them the student is shown (§2).
+
+use std::fmt;
+use std::time::Duration;
+
+use afg_eml::{ChoiceAssignment, ChoiceInfo, ChoiceProgram};
+use afg_synth::SynthesisStats;
+
+/// How much of each correction is revealed to the student (paper §2: "The
+/// feedback generator is parameterized with a feedback-level parameter").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedbackLevel {
+    /// Include the line number of the error.
+    pub location: bool,
+    /// Include the problematic expression on that line.
+    pub expression: bool,
+    /// Include the sub-expression that needs to change.
+    pub subexpression: bool,
+    /// Include the corrected value of the sub-expression.
+    pub replacement: bool,
+}
+
+impl FeedbackLevel {
+    /// Full feedback: everything the tool knows (the level used in Figure 2).
+    pub fn full() -> FeedbackLevel {
+        FeedbackLevel { location: true, expression: true, subexpression: true, replacement: true }
+    }
+
+    /// Only the location of the error ("look at line 6").
+    pub fn location_only() -> FeedbackLevel {
+        FeedbackLevel { location: true, expression: false, subexpression: false, replacement: false }
+    }
+
+    /// Location plus the problematic expression, but not the fix — a hint
+    /// level instructors commonly prefer.
+    pub fn hint() -> FeedbackLevel {
+        FeedbackLevel { location: true, expression: true, subexpression: true, replacement: false }
+    }
+}
+
+impl Default for FeedbackLevel {
+    fn default() -> FeedbackLevel {
+        FeedbackLevel::full()
+    }
+}
+
+/// One correction: the information extracted from one non-default choice of
+/// the minimal solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Correction {
+    /// 1-based source line of the statement being corrected.
+    pub line: u32,
+    /// Name of the correction rule responsible (e.g. `"RANR"`).
+    pub rule: String,
+    /// The original (problematic) fragment.
+    pub original: String,
+    /// The corrected fragment.
+    pub replacement: String,
+    /// Rendered natural-language message.
+    pub message: String,
+}
+
+/// The feedback produced for one incorrect submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Feedback {
+    /// The corrections, in source-line order.
+    pub corrections: Vec<Correction>,
+    /// Total number of corrections (the paper's `totalCost`).
+    pub cost: usize,
+    /// Time spent grading this submission.
+    pub elapsed: Duration,
+    /// Synthesizer statistics.
+    pub stats: SynthesisStats,
+}
+
+impl Feedback {
+    /// Renders the feedback as the paper presents it:
+    /// "The program requires N change(s):" followed by one bullet per
+    /// correction.
+    pub fn render(&self, level: FeedbackLevel) -> String {
+        let mut out = format!(
+            "The program requires {} change{}:\n",
+            self.cost,
+            if self.cost == 1 { "" } else { "s" }
+        );
+        for correction in &self.corrections {
+            out.push_str("  * ");
+            out.push_str(&render_correction(correction, level));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Feedback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(FeedbackLevel::full()))
+    }
+}
+
+fn render_correction(correction: &Correction, level: FeedbackLevel) -> String {
+    if level.location && level.expression && level.subexpression && level.replacement {
+        return correction.message.clone();
+    }
+    let mut parts = Vec::new();
+    if level.location {
+        parts.push(format!("look at line {}", correction.line));
+    }
+    if level.expression || level.subexpression {
+        parts.push(format!("the expression {} is not right", correction.original));
+    }
+    if level.replacement {
+        parts.push(format!("it should be {}", correction.replacement));
+    }
+    if parts.is_empty() {
+        parts.push("one more change is needed".to_string());
+    }
+    let mut sentence = parts.join("; ");
+    if let Some(first) = sentence.get_mut(0..1) {
+        first.make_ascii_uppercase();
+    }
+    sentence
+}
+
+/// Builds the corrections for a minimal solution by mapping each non-default
+/// choice back to its [`ChoiceInfo`] (paper §4.3: "Mapping SKETCH solution to
+/// generate feedback").
+pub fn corrections_from_assignment(
+    program: &ChoiceProgram,
+    assignment: &ChoiceAssignment,
+) -> Vec<Correction> {
+    let mut corrections: Vec<Correction> = assignment
+        .non_default()
+        .filter_map(|(id, option)| {
+            let info = program.choice_info(id)?;
+            Some(build_correction(info, option))
+        })
+        .collect();
+    corrections.sort_by_key(|c| c.line);
+    corrections
+}
+
+fn build_correction(info: &ChoiceInfo, option: usize) -> Correction {
+    let replacement = info
+        .options
+        .get(option)
+        .cloned()
+        .unwrap_or_else(|| "<unknown>".to_string());
+    let message = match &info.message {
+        Some(template) => template
+            .replace("{line}", &info.line.to_string())
+            .replace("{original}", &info.original)
+            .replace("{replacement}", &replacement),
+        None => default_message(info, &replacement),
+    };
+    Correction {
+        line: info.line,
+        rule: info.rule.clone(),
+        original: info.original.clone(),
+        replacement,
+        message,
+    }
+}
+
+/// The fallback message, phrased like the paper's generated feedback.
+fn default_message(info: &ChoiceInfo, replacement: &str) -> String {
+    // Recognise the common "increment by one" shape for a friendlier message.
+    if replacement == format!("{} + 1", info.original) {
+        return format!(
+            "In the expression {} in line {}, increment {} by 1",
+            info.original, info.line, info.original
+        );
+    }
+    if replacement == format!("{} - 1", info.original) {
+        return format!(
+            "In the expression {} in line {}, decrement {} by 1",
+            info.original, info.line, info.original
+        );
+    }
+    format!(
+        "In the expression {} in line {}, replace {} with {}",
+        info.original, info.line, info.original, replacement
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afg_eml::ChoiceId;
+
+    fn info(message: Option<&str>) -> ChoiceInfo {
+        ChoiceInfo {
+            id: ChoiceId(0),
+            line: 6,
+            rule: "RANR".into(),
+            original: "0".into(),
+            options: vec!["0".into(), "0 + 1".into(), "1".into()],
+            message: message.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn default_message_recognises_increments() {
+        let correction = build_correction(&info(None), 1);
+        assert_eq!(correction.message, "In the expression 0 in line 6, increment 0 by 1");
+        let correction = build_correction(&info(None), 2);
+        assert_eq!(correction.message, "In the expression 0 in line 6, replace 0 with 1");
+    }
+
+    #[test]
+    fn custom_templates_substitute_placeholders() {
+        let correction = build_correction(
+            &info(Some("In line {line}, change {original} to {replacement}")),
+            2,
+        );
+        assert_eq!(correction.message, "In line 6, change 0 to 1");
+    }
+
+    #[test]
+    fn feedback_levels_control_detail() {
+        let feedback = Feedback {
+            corrections: vec![build_correction(&info(None), 2)],
+            cost: 1,
+            elapsed: Duration::from_millis(10),
+            stats: SynthesisStats::default(),
+        };
+        let full = feedback.render(FeedbackLevel::full());
+        assert!(full.contains("The program requires 1 change:"));
+        assert!(full.contains("replace 0 with 1"));
+
+        let location = feedback.render(FeedbackLevel::location_only());
+        assert!(location.contains("line 6"));
+        assert!(!location.contains("replace"));
+
+        let hint = feedback.render(FeedbackLevel::hint());
+        assert!(hint.contains("is not right"));
+        assert!(!hint.contains("it should be"));
+    }
+
+    #[test]
+    fn plural_rendering() {
+        let feedback = Feedback {
+            corrections: vec![build_correction(&info(None), 1), build_correction(&info(None), 2)],
+            cost: 2,
+            elapsed: Duration::ZERO,
+            stats: SynthesisStats::default(),
+        };
+        assert!(feedback.to_string().starts_with("The program requires 2 changes:"));
+    }
+}

@@ -1,0 +1,256 @@
+//! The synthetic student-submission generator.
+//!
+//! Generates, for one benchmark problem, a population of submissions with
+//! the same structure the paper reports in Table 1: a fraction with syntax
+//! errors (removed before grading), a fraction of correct solutions (written
+//! with several distinct algorithms), a large fraction of *fixable*
+//! incorrect solutions (correct solutions seeded with 1–4 realistic local
+//! mistakes), and a tail of unfixable submissions (big conceptual errors,
+//! empty or trivial attempts).
+
+use afg_ast::pretty;
+use afg_parser::parse_program;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::mutate::mutate_program;
+use crate::problem::Problem;
+
+/// Why a generated submission looks the way it does (used for analysis and
+/// debugging; the grader never sees it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Origin {
+    /// A correct solution (possibly a different algorithm than the
+    /// reference).
+    Correct,
+    /// A correct solution with `n` injected mistakes.
+    Mutated(usize),
+    /// A hand-written big-conceptual-error solution.
+    Conceptual,
+    /// An empty or trivial attempt ("completely incorrect" in §5.3).
+    Trivial,
+    /// A submission that does not parse.
+    SyntaxError,
+}
+
+/// One generated submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Submission {
+    /// The submission's source code.
+    pub source: String,
+    /// How it was generated.
+    pub origin: Origin,
+}
+
+/// The population mix for one problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusSpec {
+    /// Total number of submissions to generate.
+    pub total: usize,
+    /// Fraction that fail to parse.
+    pub syntax_fraction: f64,
+    /// Fraction that are correct.
+    pub correct_fraction: f64,
+    /// Fraction that are unfixable (conceptual errors / trivial attempts);
+    /// the remainder are mutated-but-plausibly-fixable submissions.
+    pub unfixable_fraction: f64,
+    /// RNG seed — corpora are fully reproducible.
+    pub seed: u64,
+}
+
+impl CorpusSpec {
+    /// A mix loosely matching the aggregate proportions of Table 1
+    /// (≈25 % syntax errors, ≈45 % of the parsable set correct, and roughly
+    /// a third of the incorrect set unfixable).
+    pub fn table1_like(total: usize, seed: u64) -> CorpusSpec {
+        CorpusSpec {
+            total,
+            syntax_fraction: 0.25,
+            correct_fraction: 0.35,
+            unfixable_fraction: 0.12,
+            seed,
+        }
+    }
+
+    /// A small corpus for unit tests.
+    pub fn small(seed: u64) -> CorpusSpec {
+        CorpusSpec::table1_like(24, seed)
+    }
+}
+
+/// Generates a corpus of submissions for a problem.
+pub fn generate_corpus(problem: &Problem, spec: &CorpusSpec) -> Vec<Submission> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut submissions = Vec::with_capacity(spec.total);
+    let seeds = problem.mutation_seeds();
+
+    let syntax_count = (spec.total as f64 * spec.syntax_fraction).round() as usize;
+    let correct_count = (spec.total as f64 * spec.correct_fraction).round() as usize;
+    let unfixable_count = (spec.total as f64 * spec.unfixable_fraction).round() as usize;
+    let mutated_count = spec
+        .total
+        .saturating_sub(syntax_count + correct_count + unfixable_count);
+
+    for _ in 0..syntax_count {
+        let seed_source = seeds.choose(&mut rng).expect("problems have seeds");
+        submissions.push(Submission {
+            source: corrupt_syntax(seed_source, &mut rng),
+            origin: Origin::SyntaxError,
+        });
+    }
+    for _ in 0..correct_count {
+        let seed_source = seeds.choose(&mut rng).expect("problems have seeds");
+        submissions.push(Submission { source: (*seed_source).to_string(), origin: Origin::Correct });
+    }
+    for i in 0..unfixable_count {
+        // Alternate between the hand-written conceptual errors and trivial
+        // attempts so both buckets are represented.
+        if i % 2 == 0 && !problem.conceptual_mutants.is_empty() {
+            let source = problem
+                .conceptual_mutants
+                .choose(&mut rng)
+                .expect("non-empty conceptual mutants");
+            submissions.push(Submission { source: (*source).to_string(), origin: Origin::Conceptual });
+        } else {
+            submissions.push(Submission {
+                source: trivial_attempt(problem, &mut rng),
+                origin: Origin::Trivial,
+            });
+        }
+    }
+    for _ in 0..mutated_count {
+        let seed_source = seeds.choose(&mut rng).expect("problems have seeds");
+        let mut program = parse_program(seed_source).expect("seed solutions parse");
+        let mutations = sample_mutation_count(&mut rng);
+        let applied = mutate_program(&mut program, mutations, &mut rng);
+        submissions.push(Submission {
+            source: pretty::program_to_string(&program),
+            origin: Origin::Mutated(applied.len()),
+        });
+    }
+
+    submissions.shuffle(&mut rng);
+    submissions
+}
+
+/// The distribution of injected-mistake counts, shaped like the paper's
+/// Figure 14(a): most incorrect attempts need one or two corrections, a
+/// long-ish tail needs three or four coordinated ones.
+fn sample_mutation_count(rng: &mut impl Rng) -> usize {
+    match rng.gen_range(0..100u32) {
+        0..=61 => 1,
+        62..=86 => 2,
+        87..=95 => 3,
+        _ => 4,
+    }
+}
+
+/// Produces a plausibly student-like syntax error by corrupting one line
+/// (a missing colon, an unbalanced parenthesis, a dangling `=`).
+fn corrupt_syntax(source: &str, rng: &mut impl Rng) -> String {
+    let lines: Vec<&str> = source.lines().collect();
+    let which = rng.gen_range(0..lines.len());
+    let mut corrupted = String::new();
+    for (i, line) in lines.iter().enumerate() {
+        if i == which {
+            match rng.gen_range(0..3u8) {
+                0 => corrupted.push_str(&line.replace(':', "")),
+                1 => corrupted.push_str(&line.replace('(', "")),
+                _ => {
+                    corrupted.push_str(line);
+                    corrupted.push_str(" =");
+                }
+            }
+        } else {
+            corrupted.push_str(line);
+        }
+        corrupted.push('\n');
+    }
+    // The targeted line may not have contained the corrupted token; make
+    // sure the result really is a syntax error (students' broken files are).
+    if parse_program(&corrupted).is_ok() {
+        corrupted.push_str("    return ((\n");
+    }
+    corrupted
+}
+
+/// Produces an empty or trivial attempt.
+fn trivial_attempt(problem: &Problem, rng: &mut impl Rng) -> String {
+    let reference = parse_program(problem.reference).expect("reference parses");
+    let entry = reference.entry(Some(problem.entry)).expect("entry exists");
+    let params: Vec<String> = entry.params.iter().map(|p| p.name.clone()).collect();
+    let header = format!("def {}({}):", problem.entry, params.join(", "));
+    match rng.gen_range(0..3u8) {
+        0 => format!("{header}\n    pass\n"),
+        1 => format!("{header}\n    print('hello')\n"),
+        _ => format!("{header}\n    return None\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems;
+
+    #[test]
+    fn corpus_has_the_requested_size_and_mix() {
+        let problem = problems::compute_deriv();
+        let spec = CorpusSpec::table1_like(80, 42);
+        let corpus = generate_corpus(&problem, &spec);
+        assert_eq!(corpus.len(), 80);
+        let syntax = corpus.iter().filter(|s| s.origin == Origin::SyntaxError).count();
+        let correct = corpus.iter().filter(|s| s.origin == Origin::Correct).count();
+        let mutated = corpus.iter().filter(|s| matches!(s.origin, Origin::Mutated(_))).count();
+        assert_eq!(syntax, 20);
+        assert_eq!(correct, 28);
+        assert!(mutated > 20);
+    }
+
+    #[test]
+    fn corpus_is_reproducible_for_a_fixed_seed() {
+        let problem = problems::iter_power();
+        let a = generate_corpus(&problem, &CorpusSpec::small(7));
+        let b = generate_corpus(&problem, &CorpusSpec::small(7));
+        assert_eq!(a, b);
+        let c = generate_corpus(&problem, &CorpusSpec::small(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn syntax_error_submissions_really_fail_to_parse_mostly() {
+        let problem = problems::compute_deriv();
+        let corpus = generate_corpus(&problem, &CorpusSpec::table1_like(60, 3));
+        let syntax_subs: Vec<&Submission> =
+            corpus.iter().filter(|s| s.origin == Origin::SyntaxError).collect();
+        let failing = syntax_subs
+            .iter()
+            .filter(|s| parse_program(&s.source).is_err())
+            .count();
+        // Corruption is heuristic; the overwhelming majority must fail to parse.
+        assert!(failing * 10 >= syntax_subs.len() * 8, "{failing}/{}", syntax_subs.len());
+    }
+
+    #[test]
+    fn mutated_submissions_parse() {
+        let problem = problems::hangman2();
+        let corpus = generate_corpus(&problem, &CorpusSpec::table1_like(40, 11));
+        for submission in corpus.iter().filter(|s| matches!(s.origin, Origin::Mutated(_))) {
+            parse_program(&submission.source)
+                .unwrap_or_else(|e| panic!("mutated submission must parse: {e}\n{}", submission.source));
+        }
+    }
+
+    #[test]
+    fn mutation_count_distribution_is_heavy_on_single_mistakes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = [0usize; 5];
+        for _ in 0..1000 {
+            counts[sample_mutation_count(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[3]);
+        assert!(counts[3] > counts[4]);
+        assert_eq!(counts[0], 0);
+    }
+}

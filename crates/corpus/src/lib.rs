@@ -1,0 +1,29 @@
+//! Benchmark problems, per-problem error models and the synthetic
+//! student-submission corpus.
+//!
+//! The paper evaluates on thousands of real 6.00/6.00x submissions, which
+//! are not public.  This crate substitutes a **seeded synthetic corpus**
+//! with the same population structure (see DESIGN.md for the substitution
+//! argument): every benchmark problem ships a reference implementation,
+//! algorithmically distinct correct solutions, hand-written conceptual-error
+//! solutions, an EML error model, and the [`generate`] module produces
+//! submissions by corrupting and mutating the correct solutions.
+//!
+//! # Example
+//!
+//! ```
+//! use afg_corpus::{problems, CorpusSpec, generate_corpus};
+//!
+//! let problem = problems::compute_deriv();
+//! let corpus = generate_corpus(&problem, &CorpusSpec::small(42));
+//! assert_eq!(corpus.len(), 24);
+//! ```
+
+mod generate;
+mod mutate;
+mod problem;
+pub mod problems;
+
+pub use generate::{generate_corpus, CorpusSpec, Origin, Submission};
+pub use mutate::{mutate_program, MutationKind};
+pub use problem::Problem;

@@ -1,0 +1,419 @@
+//! Mutation engine: synthesises *incorrect student submissions* by seeding
+//! realistic local mistakes into correct solutions.
+//!
+//! The real 6.00/6.00x submission datasets are not public, so the corpus is
+//! generated: each incorrect submission is a correct solution with one to
+//! four injected mistakes drawn from the error classes the paper catalogues
+//! (off-by-one iteration bounds, wrong initialisation constants, flipped
+//! comparisons, wrong arithmetic operators, wrong list indices, missing
+//! corner-case returns, misused variables).  Because different students make
+//! the *same* kinds of mistakes, sampling mutations from a fixed operator
+//! set also reproduces the "repetitive mistakes" structure the paper relies
+//! on (Figure 14(b)).
+
+use afg_ast::ops::{BinOp, CmpOp};
+use afg_ast::visit::func_scope_vars;
+use afg_ast::{Expr, FuncDef, Program, Stmt, StmtKind};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The kinds of mistakes the mutator can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationKind {
+    /// Shift an integer literal by ±1 (wrong bound, wrong initialiser).
+    TweakConstant,
+    /// Replace a comparison operator (`<` vs `<=`, `==` vs `!=`, ...).
+    SwapComparison,
+    /// Replace an arithmetic operator (`*` vs `+`, `**` vs `*`, ...).
+    SwapArithmetic,
+    /// Shift a list index by ±1.
+    ShiftIndex,
+    /// Replace a returned expression by a degenerate value (`[]`, `0`) or
+    /// strip a slice.
+    BreakReturn,
+    /// Delete a guard `if` statement (losing a corner case).
+    DropGuard,
+    /// Use the wrong variable.
+    MisuseVariable,
+}
+
+impl MutationKind {
+    /// All operators, in a fixed order.
+    pub fn all() -> &'static [MutationKind] {
+        &[
+            MutationKind::TweakConstant,
+            MutationKind::SwapComparison,
+            MutationKind::SwapArithmetic,
+            MutationKind::ShiftIndex,
+            MutationKind::BreakReturn,
+            MutationKind::DropGuard,
+            MutationKind::MisuseVariable,
+        ]
+    }
+}
+
+/// Applies `count` random mutations to the entry function of `program`.
+/// Returns the kinds that were actually applied (some operators may find no
+/// applicable site in a given program).
+pub fn mutate_program(program: &mut Program, count: usize, rng: &mut impl Rng) -> Vec<MutationKind> {
+    let mut applied = Vec::new();
+    let Some(func) = program.funcs.first_mut() else {
+        return applied;
+    };
+    let mut attempts = 0;
+    while applied.len() < count && attempts < count * 12 {
+        attempts += 1;
+        let kind = sample_kind(rng);
+        if apply_mutation(func, kind, rng) {
+            applied.push(kind);
+        }
+    }
+    applied
+}
+
+/// Samples a mutation kind with the weights observed in the paper's error
+/// catalogue: most student mistakes are wrong constants, bounds, comparisons
+/// and indices; dropped guards and misused variables are rarer.
+fn sample_kind(rng: &mut impl Rng) -> MutationKind {
+    match rng.gen_range(0..100u32) {
+        0..=29 => MutationKind::TweakConstant,
+        30..=54 => MutationKind::SwapComparison,
+        55..=69 => MutationKind::ShiftIndex,
+        70..=81 => MutationKind::SwapArithmetic,
+        82..=91 => MutationKind::BreakReturn,
+        92..=95 => MutationKind::DropGuard,
+        _ => MutationKind::MisuseVariable,
+    }
+}
+
+fn apply_mutation(func: &mut FuncDef, kind: MutationKind, rng: &mut impl Rng) -> bool {
+    match kind {
+        MutationKind::TweakConstant => {
+            let delta = if rng.gen_bool(0.5) { 1 } else { -1 };
+            rewrite_random_expr(func, rng, &mut |expr, rng| match expr {
+                Expr::Int(v) => {
+                    let _ = rng;
+                    Some(Expr::Int(*v + delta))
+                }
+                _ => None,
+            })
+        }
+        MutationKind::SwapComparison => rewrite_random_expr(func, rng, &mut |expr, rng| match expr {
+            Expr::Compare(op, l, r) => {
+                let replacement = *CmpOp::relational().choose(rng).expect("non-empty");
+                if replacement == *op {
+                    None
+                } else {
+                    Some(Expr::Compare(replacement, l.clone(), r.clone()))
+                }
+            }
+            _ => None,
+        }),
+        MutationKind::SwapArithmetic => rewrite_random_expr(func, rng, &mut |expr, rng| match expr {
+            Expr::BinOp(op, l, r) => {
+                let choices = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Pow];
+                let replacement = *choices.choose(rng).expect("non-empty");
+                if replacement == *op {
+                    None
+                } else {
+                    Some(Expr::BinOp(replacement, l.clone(), r.clone()))
+                }
+            }
+            _ => None,
+        }),
+        MutationKind::ShiftIndex => {
+            let delta = if rng.gen_bool(0.5) { 1 } else { -1 };
+            rewrite_random_expr(func, rng, &mut |expr, _rng| match expr {
+                Expr::Index(base, index) => Some(Expr::Index(
+                    base.clone(),
+                    Box::new(Expr::binop(BinOp::Add, (**index).clone(), Expr::Int(delta))),
+                )),
+                _ => None,
+            })
+        }
+        MutationKind::BreakReturn => mutate_random_return(func, rng),
+        MutationKind::DropGuard => drop_random_guard(&mut func.body, rng),
+        MutationKind::MisuseVariable => {
+            let vars = func_scope_vars(func);
+            if vars.len() < 2 {
+                return false;
+            }
+            rewrite_random_expr(func, rng, &mut |expr, rng| match expr {
+                Expr::Var(name) => {
+                    let other = vars.choose(rng).expect("non-empty");
+                    if other == name {
+                        None
+                    } else {
+                        Some(Expr::var(other.clone()))
+                    }
+                }
+                _ => None,
+            })
+        }
+    }
+}
+
+/// Rewrites one randomly chosen expression node for which `try_rewrite`
+/// returns a replacement.  Returns whether anything changed.
+fn rewrite_random_expr(
+    func: &mut FuncDef,
+    rng: &mut impl Rng,
+    try_rewrite: &mut dyn FnMut(&Expr, &mut dyn rand::RngCore) -> Option<Expr>,
+) -> bool {
+    // First pass: count rewritable sites.
+    let mut sites = 0usize;
+    for_each_expr_mut(&mut func.body, &mut |expr| {
+        if try_rewrite(expr, rng).is_some() {
+            sites += 1;
+        }
+        None
+    });
+    if sites == 0 {
+        return false;
+    }
+    let target = rng.gen_range(0..sites);
+    let mut seen = 0usize;
+    let mut done = false;
+    for_each_expr_mut(&mut func.body, &mut |expr| {
+        if done {
+            return None;
+        }
+        if let Some(replacement) = try_rewrite(expr, rng) {
+            if seen == target {
+                done = true;
+                return Some(replacement);
+            }
+            seen += 1;
+        }
+        None
+    });
+    done
+}
+
+/// Walks every expression of a statement block (including nested blocks) in
+/// a deterministic order, replacing an expression when the callback returns
+/// `Some`.  The callback sees nodes bottom-up within each expression tree.
+fn for_each_expr_mut(body: &mut [Stmt], f: &mut dyn FnMut(&Expr) -> Option<Expr>) {
+    for stmt in body {
+        match &mut stmt.kind {
+            StmtKind::Assign(_, value)
+            | StmtKind::AugAssign(_, _, value)
+            | StmtKind::ExprStmt(value) => rewrite_expr(value, f),
+            StmtKind::If(cond, then_body, else_body) => {
+                rewrite_expr(cond, f);
+                for_each_expr_mut(then_body, f);
+                for_each_expr_mut(else_body, f);
+            }
+            StmtKind::While(cond, inner) => {
+                rewrite_expr(cond, f);
+                for_each_expr_mut(inner, f);
+            }
+            StmtKind::For(_, iter, inner) => {
+                rewrite_expr(iter, f);
+                for_each_expr_mut(inner, f);
+            }
+            StmtKind::Return(Some(value)) => rewrite_expr(value, f),
+            StmtKind::Print(args) => {
+                for arg in args {
+                    rewrite_expr(arg, f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn rewrite_expr(expr: &mut Expr, f: &mut dyn FnMut(&Expr) -> Option<Expr>) {
+    if let Some(replacement) = f(expr) {
+        *expr = replacement;
+        return;
+    }
+    match expr {
+        Expr::List(items) | Expr::Tuple(items) | Expr::Call(_, items) => {
+            for item in items {
+                rewrite_expr(item, f);
+            }
+        }
+        Expr::Dict(items) => {
+            for (k, v) in items {
+                rewrite_expr(k, f);
+                rewrite_expr(v, f);
+            }
+        }
+        Expr::Index(a, b) | Expr::BinOp(_, a, b) | Expr::Compare(_, a, b) | Expr::BoolExpr(_, a, b) => {
+            rewrite_expr(a, f);
+            rewrite_expr(b, f);
+        }
+        Expr::Slice(base, lower, upper) => {
+            rewrite_expr(base, f);
+            if let Some(l) = lower {
+                rewrite_expr(l, f);
+            }
+            if let Some(u) = upper {
+                rewrite_expr(u, f);
+            }
+        }
+        Expr::UnaryOp(_, a) => rewrite_expr(a, f),
+        Expr::MethodCall(recv, _, args) => {
+            rewrite_expr(recv, f);
+            for arg in args {
+                rewrite_expr(arg, f);
+            }
+        }
+        Expr::IfExpr(a, b, c) => {
+            rewrite_expr(a, f);
+            rewrite_expr(b, f);
+            rewrite_expr(c, f);
+        }
+        _ => {}
+    }
+}
+
+fn mutate_random_return(func: &mut FuncDef, rng: &mut impl Rng) -> bool {
+    let total = count_returns(&func.body);
+    if total == 0 {
+        return false;
+    }
+    let target = rng.gen_range(0..total);
+    let flavour = rng.gen_range(0..3u8);
+    let mut seen = 0usize;
+    break_nth_return(&mut func.body, target, flavour, &mut seen)
+}
+
+fn count_returns(body: &[Stmt]) -> usize {
+    let mut count = 0;
+    for stmt in body {
+        match &stmt.kind {
+            StmtKind::Return(Some(_)) => count += 1,
+            StmtKind::If(_, a, b) => count += count_returns(a) + count_returns(b),
+            StmtKind::While(_, inner) | StmtKind::For(_, _, inner) => count += count_returns(inner),
+            _ => {}
+        }
+    }
+    count
+}
+
+fn break_nth_return(body: &mut [Stmt], target: usize, flavour: u8, seen: &mut usize) -> bool {
+    for stmt in body {
+        match &mut stmt.kind {
+            StmtKind::Return(Some(value)) => {
+                if *seen == target {
+                    *value = match (flavour, value.clone()) {
+                        (_, Expr::Slice(base, _, _)) => (*base).clone(),
+                        (0, _) => Expr::List(vec![]),
+                        (1, _) => Expr::Int(0),
+                        (_, original) => Expr::List(vec![original]),
+                    };
+                    return true;
+                }
+                *seen += 1;
+            }
+            StmtKind::If(_, a, b) => {
+                if break_nth_return(a, target, flavour, seen) || break_nth_return(b, target, flavour, seen) {
+                    return true;
+                }
+            }
+            StmtKind::While(_, inner) | StmtKind::For(_, _, inner) => {
+                if break_nth_return(inner, target, flavour, seen) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn drop_random_guard(body: &mut Vec<Stmt>, rng: &mut impl Rng) -> bool {
+    let guard_positions: Vec<usize> = body
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s.kind, StmtKind::If(_, _, ref e) if e.is_empty()))
+        .map(|(i, _)| i)
+        .collect();
+    if let Some(&position) = guard_positions.as_slice().choose(rng) {
+        // Keep at least one statement so the program still parses sensibly.
+        if body.len() > 1 {
+            body.remove(position);
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afg_parser::parse_program;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SEED_PROGRAM: &str = "\
+def computeDeriv(poly):
+    if len(poly) == 1:
+        return [0]
+    deriv = []
+    for i in range(1, len(poly)):
+        deriv.append(i * poly[i])
+    return deriv
+";
+
+    #[test]
+    fn mutations_change_the_program_deterministically() {
+        let original = parse_program(SEED_PROGRAM).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mutated = original.clone();
+        let applied = mutate_program(&mut mutated, 2, &mut rng);
+        assert!(!applied.is_empty());
+        assert_ne!(original, mutated, "mutation should modify the AST");
+
+        // Same seed, same result.
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let mut mutated2 = original.clone();
+        mutate_program(&mut mutated2, 2, &mut rng2);
+        assert_eq!(mutated, mutated2);
+    }
+
+    #[test]
+    fn mutated_programs_still_parse_after_printing() {
+        let original = parse_program(SEED_PROGRAM).unwrap();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut mutated = original.clone();
+            mutate_program(&mut mutated, 3, &mut rng);
+            let printed = afg_ast::pretty::program_to_string(&mutated);
+            parse_program(&printed).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{printed}"));
+        }
+    }
+
+    #[test]
+    fn most_mutants_are_behaviourally_different() {
+        use afg_interp::{EquivalenceConfig, EquivalenceOracle};
+        let original = parse_program(SEED_PROGRAM).unwrap();
+        let oracle = EquivalenceOracle::from_reference(
+            &original,
+            EquivalenceConfig { entry: Some("computeDeriv".into()), ..EquivalenceConfig::default() },
+        );
+        let mut different = 0;
+        let total = 30;
+        for seed in 0..total {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut mutated = original.clone();
+            mutate_program(&mut mutated, 1, &mut rng);
+            if oracle.find_counterexample(&mutated).is_some() {
+                different += 1;
+            }
+        }
+        assert!(
+            different > total / 2,
+            "only {different}/{total} single mutations changed behaviour"
+        );
+    }
+
+    #[test]
+    fn programs_without_functions_are_left_alone() {
+        let mut program = parse_program("x = 1\n").unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(mutate_program(&mut program, 2, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Benchmark problem definitions.
+//!
+//! A [`Problem`] bundles everything the experiments need about one
+//! assignment: the instructor's reference implementation and entry-point
+//! name, the EML error model, a handful of algorithmically distinct correct
+//! solutions (students solve the same problem in very different ways —
+//! paper Figure 2), hand-written *conceptual-error* submissions that local
+//! rules cannot fix (paper §5.3), and the fixed test inputs used by the
+//! test-case baseline.
+
+use afg_core::{Autograder, GraderConfig};
+use afg_eml::ErrorModel;
+use afg_interp::Value;
+use afg_parser::parse_program;
+
+/// One benchmark assignment.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// Short identifier, e.g. `"compDeriv"`.
+    pub id: &'static str,
+    /// The paper's benchmark name, e.g. `"compDeriv-6.00x"`.
+    pub name: &'static str,
+    /// Name of the graded function.
+    pub entry: &'static str,
+    /// The instructor's reference implementation (MPY source).
+    pub reference: &'static str,
+    /// The problem-specific error model.
+    pub model: ErrorModel,
+    /// Correct solutions using different algorithms (used both as test
+    /// oracles for the corpus generator and as mutation seeds).
+    pub correct_variants: Vec<&'static str>,
+    /// Incorrect solutions with *big conceptual errors* that no local
+    /// correction rule can fix.
+    pub conceptual_mutants: Vec<&'static str>,
+    /// The fixed inputs used by the test-case baseline (roughly the number
+    /// of test cases 6.00x used).
+    pub test_inputs: Vec<Vec<Value>>,
+}
+
+impl Problem {
+    /// Builds an [`Autograder`] for this problem with the given budget.
+    pub fn autograder(&self, config: GraderConfig) -> Autograder {
+        Autograder::new(self.reference, self.entry, self.model.clone(), config)
+            .expect("benchmark reference implementations parse")
+    }
+
+    /// All seeds usable for mutation: the reference plus the correct
+    /// variants.
+    pub fn mutation_seeds(&self) -> Vec<&'static str> {
+        let mut seeds = vec![self.reference];
+        seeds.extend(self.correct_variants.iter().copied());
+        seeds
+    }
+
+    /// Median statement count of the reference implementation — the
+    /// "Median LOC" column of Table 1 is approximated by the reference's
+    /// size since we do not have the real submissions.
+    pub fn reference_loc(&self) -> usize {
+        let program = parse_program(self.reference).expect("reference parses");
+        afg_ast::visit::program_stmt_count(&program)
+    }
+
+    /// Sanity check used by tests: every correct variant must actually be
+    /// equivalent to the reference, and every conceptual mutant must not be.
+    pub fn validate(&self) -> Result<(), String> {
+        let grader = self.autograder(GraderConfig::fast());
+        for (i, variant) in self.correct_variants.iter().enumerate() {
+            let program = parse_program(variant)
+                .map_err(|e| format!("{}: correct variant {i} does not parse: {e}", self.id))?;
+            if grader.oracle().find_counterexample(&program).is_some() {
+                return Err(format!("{}: correct variant {i} is not equivalent to the reference", self.id));
+            }
+        }
+        for (i, mutant) in self.conceptual_mutants.iter().enumerate() {
+            let program = parse_program(mutant)
+                .map_err(|e| format!("{}: conceptual mutant {i} does not parse: {e}", self.id))?;
+            if grader.oracle().find_counterexample(&program).is_none() {
+                return Err(format!("{}: conceptual mutant {i} is unexpectedly correct", self.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::problems;
+
+    #[test]
+    fn every_problem_has_a_parsable_reference_and_model() {
+        for problem in problems::all_problems() {
+            assert!(!problem.model.is_empty(), "{} has an empty error model", problem.id);
+            assert!(problem.model.is_well_formed(), "{} has an ill-formed model", problem.id);
+            assert!(problem.reference_loc() >= 2, "{} reference is trivial", problem.id);
+            assert!(!problem.test_inputs.is_empty(), "{} has no baseline tests", problem.id);
+        }
+    }
+
+    #[test]
+    fn problem_ids_are_unique() {
+        let problems = problems::all_problems();
+        let mut ids: Vec<&str> = problems.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(before, ids.len());
+    }
+}

@@ -1,0 +1,723 @@
+//! The benchmark problems of the paper's evaluation (Table 1).
+//!
+//! All problems from the first four weeks of 6.00/6.00x are implemented in
+//! MPY, plus the three PEX4FUN C# exercises transliterated to MPY (the
+//! algorithms are language independent).  Two substitutions, both documented
+//! in DESIGN.md, follow the paper's own practice: `compBal-stdin` is graded
+//! as a function over integers (floats and raw stdin are outside MPY), and
+//! the stock-market dollar thresholds are scaled down so that the bounded
+//! input space exercises both sides of each comparison (paper §6: "the tool
+//! currently replaces them with smaller teacher-provided constant values").
+
+use afg_eml::{library, ErrorModel, Rule, Template};
+use afg_interp::Value;
+
+use crate::problem::Problem;
+
+/// All benchmark problems, in the order they appear in Table 1.
+pub fn all_problems() -> Vec<Problem> {
+    vec![
+        prod_by_sum(),
+        odd_tuples(),
+        compute_deriv(),
+        eval_poly(),
+        comp_bal(),
+        iter_power(),
+        recur_power(),
+        iter_gcd(),
+        hangman1(),
+        hangman2(),
+        stock_market_1(),
+        stock_market_2(),
+        restaurant_rush(),
+    ]
+}
+
+/// Looks a problem up by its identifier.
+pub fn problem(id: &str) -> Option<Problem> {
+    all_problems().into_iter().find(|p| p.id == id)
+}
+
+fn ints(values: &[i64]) -> Vec<Value> {
+    values.iter().map(|&v| Value::Int(v)).collect()
+}
+
+/// `prodBySum-6.00`: multiply two numbers using only addition.
+pub fn prod_by_sum() -> Problem {
+    Problem {
+        id: "prodBySum",
+        name: "prodBySum-6.00",
+        entry: "iterMul",
+        reference: "\
+def iterMul(a_int, b_int):
+    result = 0
+    for i in range(b_int):
+        result += a_int
+    return result
+",
+        model: ErrorModel::new("prodBySum")
+            .with_rule(library::initr())
+            .with_rule(library::ranr1())
+            .with_rule(library::compr())
+            .with_rule(library::arith_op_rule())
+            .with_rule(library::retr_generic()),
+        correct_variants: vec![
+            "\
+def iterMul(a, b):
+    total = 0
+    count = 0
+    while count < b:
+        total = total + a
+        count = count + 1
+    return total
+",
+            "\
+def iterMul(a, b):
+    result = 0
+    for i in range(0, b):
+        result = result + a
+    return result
+",
+        ],
+        conceptual_mutants: vec![
+            "\
+def iterMul(a, b):
+    return a + b
+",
+        ],
+        test_inputs: vec![ints(&[3, 2]), ints(&[0, 3]), ints(&[2, 0]), ints(&[-2, 3])],
+    }
+}
+
+/// `oddTuples`: every other element of a tuple.
+pub fn odd_tuples() -> Problem {
+    Problem {
+        id: "oddTuples",
+        name: "oddTuples-6.00x",
+        entry: "oddTuples",
+        reference: "\
+def oddTuples(aTup_tuple_int):
+    result = ()
+    for i in range(len(aTup_tuple_int)):
+        if i % 2 == 0:
+            result += (aTup_tuple_int[i],)
+    return result
+",
+        model: ErrorModel::new("oddTuples")
+            .with_rule(library::ranr1())
+            .with_rule(library::ranr2())
+            .with_rule(library::compr())
+            .with_rule(library::indr())
+            .with_rule(library::initr())
+            .with_rule(library::const_tweak()),
+        correct_variants: vec![
+            "\
+def oddTuples(aTup):
+    result = ()
+    i = 0
+    while i < len(aTup):
+        result = result + (aTup[i],)
+        i = i + 2
+    return result
+",
+        ],
+        conceptual_mutants: vec![
+            "\
+def oddTuples(aTup):
+    return aTup
+",
+        ],
+        test_inputs: vec![
+            vec![Value::Tuple(vec![Value::Int(1), Value::Int(2), Value::Int(3)])],
+            vec![Value::Tuple(vec![])],
+            vec![Value::Tuple(vec![Value::Int(5)])],
+        ],
+    }
+}
+
+/// `compDeriv`: derivative of a polynomial represented as a coefficient list.
+pub fn compute_deriv() -> Problem {
+    Problem {
+        id: "compDeriv",
+        name: "compDeriv-6.00x",
+        entry: "computeDeriv",
+        reference: "\
+def computeDeriv(poly_list_int):
+    result = []
+    for i in range(len(poly_list_int)):
+        result += [i * poly_list_int[i]]
+    if len(poly_list_int) == 1:
+        return result
+    else:
+        return result[1:]
+",
+        model: library::compute_deriv_model(),
+        correct_variants: vec![
+            "\
+def computeDeriv(poly):
+    if len(poly) == 1:
+        return [0]
+    deriv = []
+    for i in range(1, len(poly)):
+        deriv.append(i * poly[i])
+    return deriv
+",
+            "\
+def computeDeriv(poly):
+    deriv = []
+    i = 1
+    while i < len(poly):
+        deriv = deriv + [poly[i] * i]
+        i = i + 1
+    if len(poly) == 1:
+        return [0]
+    return deriv
+",
+        ],
+        conceptual_mutants: vec![
+            "\
+def computeDeriv(poly):
+    return poly
+",
+            "\
+def computeDeriv(poly):
+    total = 0
+    for c in poly:
+        total += c
+    return [total]
+",
+        ],
+        test_inputs: vec![
+            vec![Value::int_list([2, -3, 1, 4])],
+            vec![Value::int_list([7])],
+            vec![Value::int_list([0, 0])],
+            vec![Value::int_list([1, 2, 3])],
+        ],
+    }
+}
+
+/// `evalPoly`: evaluate a polynomial at a point.
+pub fn eval_poly() -> Problem {
+    Problem {
+        id: "evalPoly",
+        name: "evalPoly-6.00x",
+        entry: "evaluatePoly",
+        reference: "\
+def evaluatePoly(poly_list_int, x_int):
+    result = 0
+    for i in range(len(poly_list_int)):
+        result += poly_list_int[i] * x_int ** i
+    return result
+",
+        model: ErrorModel::new("evalPoly")
+            .with_rule(library::ranr1())
+            .with_rule(library::ranr2())
+            .with_rule(library::arith_op_rule())
+            .with_rule(library::indr())
+            .with_rule(library::initr())
+            .with_rule(library::compr())
+            .with_rule(library::const_tweak()),
+        correct_variants: vec![
+            "\
+def evaluatePoly(poly, x):
+    total = 0
+    power = 1
+    for c in poly:
+        total = total + c * power
+        power = power * x
+    return total
+",
+        ],
+        conceptual_mutants: vec![
+            // The paper's Figure 13(a): uses list.index, which returns the
+            // first occurrence and is wrong for repeated coefficients.
+            "\
+def evaluatePoly(poly, x):
+    result = 0
+    for i in list(poly):
+        result += i * x ** poly.index(i)
+    return result
+",
+        ],
+        test_inputs: vec![
+            vec![Value::int_list([0, 0, 5]), Value::Int(2)],
+            vec![Value::int_list([1]), Value::Int(3)],
+            vec![Value::int_list([]), Value::Int(1)],
+        ],
+    }
+}
+
+/// `compBal`: the stdin/print instalment problem, graded as an integer
+/// function that prints the month-by-month balance (see module docs).
+pub fn comp_bal() -> Problem {
+    Problem {
+        id: "compBal",
+        name: "compBal-stdin-6.00",
+        entry: "computeBalances",
+        reference: "\
+def computeBalances(balance_int, payment_int):
+    month = 1
+    while month <= 3:
+        balance = balance_int - payment_int * month
+        print(month, balance)
+        month += 1
+    return balance_int - payment_int * 3
+",
+        model: ErrorModel::new("compBal")
+            .with_rule(Rule::drop_print("DROPPRINT"))
+            .with_rule(library::initr())
+            .with_rule(library::compr())
+            .with_rule(library::arith_op_rule())
+            .with_rule(library::retr_generic())
+            .with_rule(library::const_tweak()),
+        correct_variants: vec![
+            "\
+def computeBalances(balance, payment):
+    for month in range(1, 4):
+        print(month, balance - payment * month)
+    return balance - payment * 3
+",
+        ],
+        conceptual_mutants: vec![
+            "\
+def computeBalances(balance, payment):
+    print(balance)
+    return balance
+",
+        ],
+        test_inputs: vec![ints(&[3, 1]), ints(&[0, 0]), ints(&[4, 2])],
+    }
+}
+
+/// `iterPower`: exponentiation by repeated multiplication.
+pub fn iter_power() -> Problem {
+    Problem {
+        id: "iterPower",
+        name: "iterPower-6.00x",
+        entry: "iterPower",
+        reference: "\
+def iterPower(base_int, exp_int):
+    result = 1
+    for i in range(exp_int):
+        result *= base_int
+    return result
+",
+        model: ErrorModel::new("iterPower")
+            .with_rule(library::initr())
+            .with_rule(library::ranr1())
+            .with_rule(library::arith_op_rule())
+            .with_rule(library::compr())
+            .with_rule(library::retr_generic()),
+        correct_variants: vec![
+            "\
+def iterPower(base, exp):
+    result = 1
+    count = 0
+    while count < exp:
+        result = result * base
+        count = count + 1
+    return result
+",
+        ],
+        conceptual_mutants: vec![
+            "\
+def iterPower(base, exp):
+    return base * exp
+",
+        ],
+        test_inputs: vec![ints(&[2, 3]), ints(&[3, 0]), ints(&[0, 2]), ints(&[-2, 2])],
+    }
+}
+
+/// `recurPower`: exponentiation by recursion.
+pub fn recur_power() -> Problem {
+    Problem {
+        id: "recurPower",
+        name: "recurPower-6.00x",
+        entry: "recurPower",
+        reference: "\
+def recurPower(base_int, exp_int):
+    if exp_int <= 0:
+        return 1
+    return base_int * recurPower(base_int, exp_int - 1)
+",
+        model: ErrorModel::new("recurPower")
+            .with_rule(library::compr())
+            .with_rule(library::arith_op_rule())
+            .with_rule(library::retr_generic())
+            .with_rule(library::initr())
+            .with_rule(library::indr()),
+        correct_variants: vec![
+            "\
+def recurPower(base, exp):
+    if exp > 0:
+        return base * recurPower(base, exp - 1)
+    return 1
+",
+        ],
+        conceptual_mutants: vec![
+            "\
+def recurPower(base, exp):
+    return base
+",
+        ],
+        test_inputs: vec![ints(&[2, 3]), ints(&[5, 0]), ints(&[3, 1])],
+    }
+}
+
+/// `iterGCD`: greatest common divisor, iteratively.
+pub fn iter_gcd() -> Problem {
+    Problem {
+        id: "iterGCD",
+        name: "iterGCD-6.00x",
+        entry: "gcdIter",
+        reference: "\
+def gcdIter(a_int, b_int):
+    if a_int < 0 or b_int < 0:
+        return 0
+    if a_int == 0 or b_int == 0:
+        return a_int + b_int
+    test = min(a_int, b_int)
+    while a_int % test != 0 or b_int % test != 0:
+        test -= 1
+    return test
+",
+        model: ErrorModel::new("iterGCD")
+            .with_rule(library::compr())
+            .with_rule(library::initr())
+            .with_rule(library::arith_op_rule())
+            .with_rule(library::indr())
+            .with_rule(library::retr_generic())
+            .with_rule(library::const_tweak()),
+        correct_variants: vec![
+            "\
+def gcdIter(a, b):
+    if a < 0 or b < 0:
+        return 0
+    while b != 0:
+        temp = a % b
+        a = b
+        b = temp
+    return a
+",
+        ],
+        conceptual_mutants: vec![
+            "\
+def gcdIter(a, b):
+    return min(a, b)
+",
+        ],
+        test_inputs: vec![ints(&[4, 6]), ints(&[3, 5]), ints(&[0, 4]), ints(&[2, 2])],
+    }
+}
+
+/// `hangman1`: has the word been fully guessed?
+pub fn hangman1() -> Problem {
+    Problem {
+        id: "hangman1",
+        name: "hangman1-str-6.00x",
+        entry: "isWordGuessed",
+        reference: "\
+def isWordGuessed(secretWord_str, lettersGuessed_list_str):
+    for letter in secretWord_str:
+        if letter not in lettersGuessed_list_str:
+            return False
+    return True
+",
+        model: ErrorModel::new("hangman1")
+            .with_rule(library::compr())
+            .with_rule(library::retr_bool())
+            .with_rule(library::initr())
+            .with_rule(library::indr()),
+        correct_variants: vec![
+            "\
+def isWordGuessed(secretWord, lettersGuessed):
+    guessed = True
+    for letter in secretWord:
+        if letter in lettersGuessed:
+            guessed = guessed
+        else:
+            guessed = False
+    return guessed
+",
+        ],
+        conceptual_mutants: vec![
+            "\
+def isWordGuessed(secretWord, lettersGuessed):
+    for letter in lettersGuessed:
+        if letter in secretWord:
+            return True
+    return False
+",
+        ],
+        test_inputs: vec![
+            vec![
+                Value::Str("ab".into()),
+                Value::List(vec![Value::Str("a".into()), Value::Str("b".into())]),
+            ],
+            vec![Value::Str("ab".into()), Value::List(vec![Value::Str("a".into())])],
+            vec![Value::Str("".into()), Value::List(vec![])],
+        ],
+    }
+}
+
+/// `hangman2`: show the partially guessed word.
+pub fn hangman2() -> Problem {
+    Problem {
+        id: "hangman2",
+        name: "hangman2-str-6.00x",
+        entry: "getGuessedWord",
+        reference: "\
+def getGuessedWord(secretWord_str, lettersGuessed_list_str):
+    result = ''
+    for letter in secretWord_str:
+        if letter in lettersGuessed_list_str:
+            result += letter
+        else:
+            result += '_'
+    return result
+",
+        model: ErrorModel::new("hangman2")
+            .with_rule(library::compr())
+            .with_rule(library::initr())
+            .with_rule(library::indr())
+            .with_rule(library::retr_generic())
+            .with_rule(library::const_tweak()),
+        correct_variants: vec![
+            "\
+def getGuessedWord(secretWord, lettersGuessed):
+    shown = ''
+    for i in range(len(secretWord)):
+        if secretWord[i] in lettersGuessed:
+            shown = shown + secretWord[i]
+        else:
+            shown = shown + '_'
+    return shown
+",
+        ],
+        conceptual_mutants: vec![
+            // The paper's Figure 13(b): replaces the *guessed* letters by '_'
+            // instead of the not-yet-guessed ones.
+            "\
+def getGuessedWord(secretWord, lettersGuessed):
+    for letter in lettersGuessed:
+        secretWord = secretWord.replace(letter, '_')
+    return secretWord
+",
+        ],
+        test_inputs: vec![
+            vec![
+                Value::Str("abb".into()),
+                Value::List(vec![Value::Str("b".into())]),
+            ],
+            vec![Value::Str("ab".into()), Value::List(vec![])],
+        ],
+    }
+}
+
+/// `stock-market-I` (PEX4FUN, C# in the paper): is the stock stable —
+/// fewer than 2 day-to-day changes larger than 2 (thresholds scaled to the
+/// bounded input space)?
+pub fn stock_market_1() -> Problem {
+    Problem {
+        id: "stockMarketI",
+        name: "stock-market-I(C#)",
+        entry: "isStable",
+        reference: "\
+def isStable(prices_list_int):
+    big = 0
+    for i in range(1, len(prices_list_int)):
+        change = prices_list_int[i] - prices_list_int[i - 1]
+        if change < 0:
+            change = 0 - change
+        if change > 2:
+            big += 1
+    if big < 2:
+        return True
+    return False
+",
+        model: ErrorModel::new("stockMarketI")
+            .with_rule(library::compr())
+            .with_rule(library::initr())
+            .with_rule(library::indr())
+            .with_rule(library::ranr2())
+            .with_rule(library::retr_bool())
+            .with_rule(library::const_tweak()),
+        correct_variants: vec![
+            "\
+def isStable(prices):
+    count = 0
+    i = 1
+    while i < len(prices):
+        diff = prices[i] - prices[i - 1]
+        if diff > 2 or diff < -2:
+            count = count + 1
+        i = i + 1
+    return count < 2
+",
+        ],
+        conceptual_mutants: vec![
+            "\
+def isStable(prices):
+    return len(prices) < 3
+",
+        ],
+        test_inputs: vec![
+            vec![Value::int_list([0, 3, 0])],
+            vec![Value::int_list([1, 1, 1])],
+            vec![Value::int_list([])],
+        ],
+    }
+}
+
+/// `stock-market-II`: is the max-min spread over a window small
+/// (threshold scaled down)?
+pub fn stock_market_2() -> Problem {
+    Problem {
+        id: "stockMarketII",
+        name: "stock-market-II(C#)",
+        entry: "smallSpread",
+        reference: "\
+def smallSpread(prices_list_int, start_int, end_int):
+    if start_int < 0 or end_int >= len(prices_list_int) or start_int > end_int:
+        return False
+    lowest = prices_list_int[start_int]
+    highest = prices_list_int[start_int]
+    for i in range(start_int, end_int + 1):
+        if prices_list_int[i] < lowest:
+            lowest = prices_list_int[i]
+        if prices_list_int[i] > highest:
+            highest = prices_list_int[i]
+    return highest - lowest < 4
+",
+        model: ErrorModel::new("stockMarketII")
+            .with_rule(library::compr())
+            .with_rule(library::indr())
+            .with_rule(library::ranr2())
+            .with_rule(library::initr())
+            .with_rule(library::retr_bool())
+            .with_rule(library::const_tweak()),
+        correct_variants: vec![
+            "\
+def smallSpread(prices, start, end):
+    if start < 0 or end >= len(prices) or start > end:
+        return False
+    window = prices[start:end + 1]
+    return max(window) - min(window) < 4
+",
+        ],
+        conceptual_mutants: vec![
+            "\
+def smallSpread(prices, start, end):
+    return True
+",
+        ],
+        test_inputs: vec![
+            vec![Value::int_list([1, 2, 3]), Value::Int(0), Value::Int(2)],
+            vec![Value::int_list([0, 3]), Value::Int(0), Value::Int(1)],
+            vec![Value::int_list([1]), Value::Int(0), Value::Int(0)],
+        ],
+    }
+}
+
+/// `restaurant rush`: maximum contiguous subsequence sum (Kadane's problem).
+pub fn restaurant_rush() -> Problem {
+    Problem {
+        id: "restaurantRush",
+        name: "restaurant rush (C#)",
+        entry: "bestRush",
+        reference: "\
+def bestRush(orders_list_int):
+    best = 0
+    current = 0
+    for x in orders_list_int:
+        current = current + x
+        if current < 0:
+            current = 0
+        if current > best:
+            best = current
+    return best
+",
+        model: ErrorModel::new("restaurantRush")
+            .with_rule(library::compr())
+            .with_rule(library::initr())
+            .with_rule(library::indr())
+            .with_rule(library::arith_op_rule())
+            .with_rule(library::retr_generic())
+            .with_rule(library::const_tweak()),
+        correct_variants: vec![
+            "\
+def bestRush(orders):
+    best = 0
+    for i in range(len(orders)):
+        total = 0
+        for j in range(i, len(orders)):
+            total = total + orders[j]
+            if total > best:
+                best = total
+    return best
+",
+        ],
+        conceptual_mutants: vec![
+            "\
+def bestRush(orders):
+    total = 0
+    for x in orders:
+        total += x
+    return total
+",
+        ],
+        test_inputs: vec![
+            vec![Value::int_list([2, -1, 3])],
+            vec![Value::int_list([-2, -1])],
+            vec![Value::int_list([])],
+        ],
+    }
+}
+
+/// Incremental error models E0..E5 for a problem (paper Figure 14(b)); E0 is
+/// the empty model, E_k keeps the first `k` rules.
+pub fn incremental_models(problem: &Problem, steps: usize) -> Vec<ErrorModel> {
+    (0..=steps.min(problem.model.len())).map(|k| problem.model.truncated(k)).collect()
+}
+
+/// A tiny extra rule used by the richest models in the Figure 14(b) sweep.
+pub fn extra_constant_rule() -> Rule {
+    Rule::expr(
+        "CONSTR",
+        afg_eml::Pattern::AnyConst("n".into()),
+        vec![Template::meta_plus("n", 1), Template::meta_plus("n", -1)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_problems_cover_the_papers_benchmarks() {
+        let problems = all_problems();
+        assert_eq!(problems.len(), 13);
+        assert!(problem("compDeriv").is_some());
+        assert!(problem("doesNotExist").is_none());
+    }
+
+    #[test]
+    fn every_problem_validates() {
+        // Correct variants really are equivalent to the reference, and
+        // conceptual mutants really are wrong — on the bounded input space.
+        for problem in all_problems() {
+            problem.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn incremental_models_grow_by_one_rule() {
+        let problem = compute_deriv();
+        let models = incremental_models(&problem, 5);
+        assert_eq!(models.len(), 6);
+        for (k, model) in models.iter().enumerate() {
+            assert_eq!(model.len(), k);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! EML — the error model language of the automated feedback generator
+//! (paper §3).
+//!
+//! An error model is a set of correction rules `L → R` describing the local
+//! mistakes students typically make on an assignment.  Applying a model to a
+//! student submission ([`apply_error_model`]) yields a [`ChoiceProgram`]: an
+//! M̃PY program-with-choices that concisely represents every candidate
+//! correction, where option 0 of each choice is the original fragment and the
+//! *cost* of a candidate is the number of non-default choices it takes
+//! (the "number of corrections").
+//!
+//! The crate provides
+//!
+//! * [`rules`] — patterns, templates, rules and error models (with the
+//!   paper's well-formedness checks, Definitions 1 and 2),
+//! * [`choice`] — the M̃PY choice AST, assignments and concretisation,
+//! * [`transform`] — the `T_E` transformation (paper §3.3),
+//! * [`library`] — the Figure 8 rules (`INDR`, `INITR`, `RANR`, `COMPR`,
+//!   `RETR`, ...) and the `computeDeriv` models, and
+//! * [`text`] — a textual front end for writing models as `L -> R1 | R2`.
+//!
+//! # Example
+//!
+//! ```
+//! use afg_eml::{apply_error_model, library};
+//!
+//! let student = afg_parser::parse_program(
+//!     "def computeDeriv(poly):\n    deriv = []\n    for e in range(0, len(poly)):\n        deriv.append(poly[e] * e)\n    return deriv\n",
+//! )?;
+//! let model = library::section_2_1_model();
+//! let choices = apply_error_model(&student, Some("computeDeriv"), &model)?;
+//! assert!(choices.num_choices() > 0);
+//! // All-default selections reproduce the original submission.
+//! assert_eq!(choices.original_program().funcs[0].name, "computeDeriv");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod choice;
+pub mod library;
+pub mod rules;
+pub mod text;
+pub mod transform;
+
+pub use choice::{
+    concretize_expr, CExpr, CFuncDef, CStmt, CStmtKind, ChoiceAssignment, ChoiceId, ChoiceInfo,
+    ChoiceProgram, OpChoice,
+};
+pub use rules::{Bindings, CmpTemplate, ErrorModel, Pattern, Rule, RuleKind, Template};
+pub use text::{parse_error_model, EmlParseError};
+pub use transform::{apply_error_model, TransformError};

@@ -1,0 +1,307 @@
+//! Reusable correction rules and the error models used in the paper.
+//!
+//! The constructors here mirror Figure 8 (the `computeDeriv` error model:
+//! `INDR`, `INITR`, `RANR`, `COMPR`, `RETR`) plus the generic rules the other
+//! benchmark problems need (operand tweaks on arithmetic, off-by-one slice
+//! bounds, string-literal swaps, ...).  Problem-specific models in
+//! `afg-corpus` are assembled from these constructors.
+
+use afg_ast::ops::BinOp;
+use afg_ast::Expr;
+
+use crate::rules::{CmpTemplate, ErrorModel, Pattern, Rule, Template};
+
+/// `INDR`: `v[a] → v[{a+1, a−1, ?a}]` — fix list-access indices.
+pub fn indr() -> Rule {
+    Rule::expr(
+        "INDR",
+        Pattern::Index(Box::new(Pattern::AnyVar("v".into())), Box::new(Pattern::meta("a"))),
+        vec![Template::Index(
+            Box::new(Template::meta("v")),
+            Box::new(Template::SetOf(
+                "a".into(),
+                vec![
+                    Template::meta_plus("a", 1),
+                    Template::meta_plus("a", -1),
+                    Template::AnyScopeVar,
+                ],
+            )),
+        )],
+    )
+    .with_message("In the list access {original} in line {line}, change the index to {replacement}")
+}
+
+/// `INITR`: `v = n → v = {n+1, n−1, 0, 1}` — fix constant initialisations.
+pub fn initr() -> Rule {
+    Rule::init(
+        "INITR",
+        vec![
+            Template::meta_plus("n", 1),
+            Template::meta_plus("n", -1),
+            Template::Int(0),
+            Template::Int(1),
+        ],
+    )
+    .with_message("In the initialization in line {line}, replace {original} with {replacement}")
+}
+
+/// `RANR` (two-argument form): `range(a0, a1) → range({a0, 0, 1, a0−1, a0+1}, {a1, a1+1, a1−1})`.
+pub fn ranr2() -> Rule {
+    Rule::expr(
+        "RANR",
+        Pattern::Call("range".into(), vec![Pattern::meta("a0"), Pattern::meta("a1")]),
+        vec![Template::Call(
+            "range".into(),
+            vec![
+                Template::SetOf(
+                    "a0".into(),
+                    vec![
+                        Template::Int(0),
+                        Template::Int(1),
+                        Template::meta_plus("a0", -1),
+                        Template::meta_plus("a0", 1),
+                    ],
+                ),
+                Template::SetOf(
+                    "a1".into(),
+                    vec![Template::meta_plus("a1", 1), Template::meta_plus("a1", -1)],
+                ),
+            ],
+        )],
+    )
+    .with_message("In the expression {original} in line {line}, change the range bounds to {replacement}")
+}
+
+/// `RANR` (one-argument form): `range(a0) → range({a0, a0+1, a0−1})`, also
+/// allowing the iteration to start at 1.
+pub fn ranr1() -> Rule {
+    Rule::expr(
+        "RANR1",
+        Pattern::Call("range".into(), vec![Pattern::meta("a0")]),
+        vec![
+            Template::Call(
+                "range".into(),
+                vec![Template::SetOf(
+                    "a0".into(),
+                    vec![Template::meta_plus("a0", 1), Template::meta_plus("a0", -1)],
+                )],
+            ),
+            Template::Call("range".into(), vec![Template::Int(1), Template::meta("a0")]),
+        ],
+    )
+    .with_message("In the expression {original} in line {line}, change the iteration bounds to {replacement}")
+}
+
+/// `COMPR`: rewrite comparisons — change the operator, nudge either operand
+/// by one, replace an operand by another variable in scope, or replace the
+/// whole comparison by `True`/`False`.
+pub fn compr() -> Rule {
+    Rule::expr(
+        "COMPR",
+        Pattern::Compare(None, Box::new(Pattern::meta("a0")), Box::new(Pattern::meta("a1"))),
+        vec![
+            Template::Compare(
+                CmpTemplate::AnyRelational,
+                Box::new(Template::SetOf(
+                    "a0".into(),
+                    vec![Template::meta_plus("a0", -1), Template::meta_plus("a0", 1)],
+                )),
+                Box::new(Template::SetOf(
+                    "a1".into(),
+                    vec![
+                        Template::meta_plus("a1", -1),
+                        Template::meta_plus("a1", 1),
+                        Template::Int(0),
+                        Template::Int(1),
+                    ],
+                )),
+            ),
+            Template::Bool(true),
+            Template::Bool(false),
+        ],
+    )
+    .with_message("In the comparison expression {original} in line {line}, change it to {replacement}")
+}
+
+/// `RETR`: rewrite return expressions with the `computeDeriv` corner cases —
+/// return `[0]` for singleton inputs or drop the leading element.
+pub fn retr_compute_deriv() -> Rule {
+    Rule::ret(
+        "RETR",
+        vec![
+            Template::List(vec![Template::Int(0)]),
+            Template::IfExpr(
+                Box::new(Template::List(vec![Template::Int(0)])),
+                Box::new(Template::Compare(
+                    CmpTemplate::Fixed(afg_ast::ops::CmpOp::Eq),
+                    Box::new(Template::Call("len".into(), vec![Template::meta("a")])),
+                    Box::new(Template::Int(1)),
+                )),
+                Box::new(Template::meta("a")),
+            ),
+            Template::Slice(Box::new(Template::meta("a")), Some(Box::new(Template::Int(1))), None),
+        ],
+    )
+    .with_message("In the return statement return {original} in line {line}, replace {original} with {replacement}")
+}
+
+/// A generic return rule: return `0`, `1`, the empty list or a slice of the
+/// returned expression instead.
+pub fn retr_generic() -> Rule {
+    Rule::ret(
+        "RETR",
+        vec![
+            Template::Int(0),
+            Template::Int(1),
+            Template::List(vec![]),
+            Template::Slice(Box::new(Template::meta("a")), Some(Box::new(Template::Int(1))), None),
+        ],
+    )
+    .with_message("In the return statement return {original} in line {line}, replace {original} with {replacement}")
+}
+
+/// Operand tweak for arithmetic: `a0 ⊕ a1 → {a0⊕a1 ±1}` and swapped-operator
+/// variants (`+`↔`-`, `*`↔`**`), covering the iterPower/recurPower mistakes.
+pub fn arith_op_rule() -> Rule {
+    Rule::expr(
+        "ARITHR",
+        Pattern::BinOp(None, Box::new(Pattern::meta("a0")), Box::new(Pattern::meta("a1"))),
+        vec![
+            Template::BinOp(BinOp::Add, Box::new(Template::meta("a0")), Box::new(Template::meta("a1"))),
+            Template::BinOp(BinOp::Sub, Box::new(Template::meta("a0")), Box::new(Template::meta("a1"))),
+            Template::BinOp(BinOp::Mul, Box::new(Template::meta("a0")), Box::new(Template::meta("a1"))),
+            Template::BinOp(BinOp::Pow, Box::new(Template::meta("a0")), Box::new(Template::meta("a1"))),
+        ],
+    )
+    .with_message("In the expression {original} in line {line}, change it to {replacement}")
+}
+
+/// Constant tweak anywhere: an integer literal may be off by one.
+/// Deliberately *not* part of most models (it explodes the search space);
+/// used by the richer E4/E5 models in the Figure 14(b) experiment.
+pub fn const_tweak() -> Rule {
+    Rule::expr(
+        "CONSTR",
+        Pattern::AnyConst("n".into()),
+        vec![Template::meta_plus("n", 1), Template::meta_plus("n", -1)],
+    )
+    .with_message("In line {line}, replace the constant {original} with {replacement}")
+}
+
+/// Variable-swap rule: any variable reference may be replaced by another
+/// in-scope variable.  Expensive; only the richest models include it.
+pub fn var_swap() -> Rule {
+    Rule::expr("VARR", Pattern::AnyVar("v".into()), vec![Template::AnyScopeVar])
+        .with_message("In line {line}, replace the variable {original} with {replacement}")
+}
+
+/// Return-value rule for boolean problems (hangman1): flip the returned
+/// boolean or return a comparison outcome.
+pub fn retr_bool() -> Rule {
+    Rule::ret("RETBOOL", vec![Template::Bool(true), Template::Bool(false)])
+        .with_message("In the return statement in line {line}, return {replacement} instead")
+}
+
+/// The optional "add the missing singleton base case" statement insertion
+/// used by the `computeDeriv` model (Figure 2(e)).
+pub fn insert_compute_deriv_base_case(param: &str) -> Rule {
+    let condition = Expr::compare(
+        afg_ast::ops::CmpOp::Eq,
+        Expr::call("len", vec![Expr::var(param)]),
+        Expr::Int(1),
+    );
+    let body = vec![afg_ast::Stmt::synthetic(afg_ast::StmtKind::Return(Some(Expr::List(vec![
+        Expr::Int(0),
+    ]))))];
+    let stmt = afg_ast::Stmt::synthetic(afg_ast::StmtKind::If(condition, body, vec![]));
+    Rule::insert_top("BASECASE", vec![stmt])
+        .with_message("Add the base case at the top to return [0] for len({param})=1")
+}
+
+/// The simplified three-rule model used for exposition in paper §2.1.
+pub fn section_2_1_model() -> ErrorModel {
+    ErrorModel::new("computeDeriv-simple")
+        .with_rule(
+            Rule::ret("RETR", vec![Template::List(vec![Template::Int(0)])]).with_message(
+                "In the return statement return {original} in line {line}, replace {original} by {replacement}",
+            ),
+        )
+        .with_rule(
+            Rule::expr(
+                "RANR",
+                Pattern::Call("range".into(), vec![Pattern::meta("a1"), Pattern::meta("a2")]),
+                vec![Template::Call(
+                    "range".into(),
+                    vec![Template::meta_plus("a1", 1), Template::meta("a2")],
+                )],
+            )
+            .with_message("In the expression {original} in line {line}, increment the lower bound by 1"),
+        )
+        .with_rule(
+            Rule::expr(
+                "EQFALSE",
+                Pattern::Compare(
+                    Some(afg_ast::ops::CmpOp::Eq),
+                    Box::new(Pattern::meta("a0")),
+                    Box::new(Pattern::meta("a1")),
+                ),
+                vec![Template::Bool(false)],
+            )
+            .with_message("In the comparison expression {original} in line {line}, change {original} to False"),
+        )
+}
+
+/// The full `computeDeriv` error model of Figure 8 (`E`): `INDR`, `INITR`,
+/// `RANR`, `COMPR`, `RETR`, plus the optional base-case insertion.
+pub fn compute_deriv_model() -> ErrorModel {
+    ErrorModel::new("computeDeriv")
+        .with_rule(retr_compute_deriv())
+        .with_rule(ranr2())
+        .with_rule(ranr1())
+        .with_rule(compr())
+        .with_rule(initr())
+        .with_rule(indr())
+        .with_rule(insert_compute_deriv_base_case("poly"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_library_rules_are_well_formed() {
+        for rule in [
+            indr(),
+            initr(),
+            ranr2(),
+            ranr1(),
+            compr(),
+            retr_compute_deriv(),
+            retr_generic(),
+            arith_op_rule(),
+            const_tweak(),
+            var_swap(),
+            retr_bool(),
+            insert_compute_deriv_base_case("poly"),
+        ] {
+            assert!(rule.is_well_formed(), "rule {} is not well-formed", rule.name);
+        }
+        assert!(section_2_1_model().is_well_formed());
+        assert!(compute_deriv_model().is_well_formed());
+    }
+
+    #[test]
+    fn compute_deriv_model_has_the_figure_8_rules() {
+        let model = compute_deriv_model();
+        let names: Vec<&str> = model.rules.iter().map(|r| r.name.as_str()).collect();
+        for expected in ["INDR", "INITR", "RANR", "COMPR", "RETR"] {
+            assert!(names.contains(&expected), "missing rule {expected} in {names:?}");
+        }
+    }
+
+    #[test]
+    fn messages_are_attached_to_rules() {
+        assert!(indr().message.unwrap().contains("{line}"));
+        assert!(compr().message.unwrap().contains("{original}"));
+    }
+}

@@ -1,0 +1,610 @@
+//! Correction rules: the abstract syntax of EML.
+//!
+//! An EML error model is a set of rewrite rules `L → R` (paper §3.2).
+//! The left-hand side is a [`Pattern`] over MPY expressions (or one of a
+//! small number of statement shapes); the right-hand side is a list of
+//! alternative [`Template`]s.  Matching binds the pattern's metavariables;
+//! instantiating a template may reference those bindings (`a`), re-enter the
+//! transformation on them (`a'`, the paper's *prime* operator), expand to
+//! every variable in scope (`?a`), or offer nested sets of alternatives.
+
+use std::collections::HashMap;
+
+use afg_ast::ops::{BinOp, CmpOp};
+use afg_ast::{Expr, Stmt};
+
+/// A pattern over MPY expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// Metavariable matching any expression and binding it (`a`, `a0`, ...).
+    AnyExpr(String),
+    /// Metavariable matching only a variable reference (`v`, `v0`, ...).
+    AnyVar(String),
+    /// Metavariable matching only an integer literal (`n`, `n0`, ...).
+    AnyConst(String),
+    /// Matches anything without binding.
+    Wildcard,
+    /// Matches a specific variable name.
+    Var(String),
+    /// Matches a specific integer literal.
+    Int(i64),
+    /// Matches a specific boolean literal.
+    Bool(bool),
+    /// Matches a list literal element-wise.
+    List(Vec<Pattern>),
+    /// Matches indexing `base[index]`.
+    Index(Box<Pattern>, Box<Pattern>),
+    /// Matches a call to a specific function.
+    Call(String, Vec<Pattern>),
+    /// Matches a method call with a specific method name.
+    MethodCall(Box<Pattern>, String, Vec<Pattern>),
+    /// Matches a binary operation; `None` matches any arithmetic operator and
+    /// records it in the bindings.
+    BinOp(Option<BinOp>, Box<Pattern>, Box<Pattern>),
+    /// Matches a comparison; `None` matches any comparison operator and
+    /// records it in the bindings.
+    Compare(Option<CmpOp>, Box<Pattern>, Box<Pattern>),
+}
+
+impl Pattern {
+    /// Shorthand for an expression metavariable.
+    pub fn meta(name: impl Into<String>) -> Pattern {
+        Pattern::AnyExpr(name.into())
+    }
+
+    /// Number of nodes in the pattern (used by well-formedness checking).
+    pub fn size(&self) -> usize {
+        match self {
+            Pattern::AnyExpr(_)
+            | Pattern::AnyVar(_)
+            | Pattern::AnyConst(_)
+            | Pattern::Wildcard
+            | Pattern::Var(_)
+            | Pattern::Int(_)
+            | Pattern::Bool(_) => 1,
+            Pattern::List(items) => 1 + items.iter().map(Pattern::size).sum::<usize>(),
+            Pattern::Index(a, b) => 1 + a.size() + b.size(),
+            Pattern::Call(_, args) => 1 + args.iter().map(Pattern::size).sum::<usize>(),
+            Pattern::MethodCall(recv, _, args) => {
+                1 + recv.size() + args.iter().map(Pattern::size).sum::<usize>()
+            }
+            Pattern::BinOp(_, a, b) | Pattern::Compare(_, a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// The depth (1 = top level) at which each metavariable is bound.
+    pub fn metavar_depths(&self, depth: usize, out: &mut HashMap<String, usize>) {
+        match self {
+            Pattern::AnyExpr(name) | Pattern::AnyVar(name) | Pattern::AnyConst(name) => {
+                out.entry(name.clone()).or_insert(depth);
+            }
+            Pattern::List(items) => {
+                for item in items {
+                    item.metavar_depths(depth + 1, out);
+                }
+            }
+            Pattern::Index(a, b) | Pattern::BinOp(_, a, b) | Pattern::Compare(_, a, b) => {
+                a.metavar_depths(depth + 1, out);
+                b.metavar_depths(depth + 1, out);
+            }
+            Pattern::Call(_, args) => {
+                for arg in args {
+                    arg.metavar_depths(depth + 1, out);
+                }
+            }
+            Pattern::MethodCall(recv, _, args) => {
+                recv.metavar_depths(depth + 1, out);
+                for arg in args {
+                    arg.metavar_depths(depth + 1, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The bindings produced by a successful match.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bindings {
+    exprs: HashMap<String, Expr>,
+    /// The comparison operator matched by a `Compare(None, ..)` pattern.
+    pub cmp_op: Option<CmpOp>,
+    /// The arithmetic operator matched by a `BinOp(None, ..)` pattern.
+    pub bin_op: Option<BinOp>,
+}
+
+impl Bindings {
+    /// The expression bound to a metavariable.
+    pub fn expr(&self, name: &str) -> Option<&Expr> {
+        self.exprs.get(name)
+    }
+
+    /// Binds a metavariable directly (used by the transformation for the
+    /// fixed-shape `Init` and `Return` rules whose bindings are implicit).
+    pub fn insert(&mut self, name: impl Into<String>, expr: Expr) {
+        self.exprs.insert(name.into(), expr);
+    }
+
+    fn bind(&mut self, name: &str, expr: &Expr) -> bool {
+        match self.exprs.get(name) {
+            Some(existing) => existing == expr,
+            None => {
+                self.exprs.insert(name.to_string(), expr.clone());
+                true
+            }
+        }
+    }
+}
+
+/// Attempts to match `pattern` against `expr`, returning the bindings.
+pub fn match_expr(pattern: &Pattern, expr: &Expr) -> Option<Bindings> {
+    let mut bindings = Bindings::default();
+    if match_into(pattern, expr, &mut bindings) {
+        Some(bindings)
+    } else {
+        None
+    }
+}
+
+fn match_into(pattern: &Pattern, expr: &Expr, bindings: &mut Bindings) -> bool {
+    match pattern {
+        Pattern::Wildcard => true,
+        Pattern::AnyExpr(name) => bindings.bind(name, expr),
+        Pattern::AnyVar(name) => matches!(expr, Expr::Var(_)) && bindings.bind(name, expr),
+        Pattern::AnyConst(name) => matches!(expr, Expr::Int(_)) && bindings.bind(name, expr),
+        Pattern::Var(expected) => matches!(expr, Expr::Var(name) if name == expected),
+        Pattern::Int(expected) => matches!(expr, Expr::Int(v) if v == expected),
+        Pattern::Bool(expected) => matches!(expr, Expr::Bool(b) if b == expected),
+        Pattern::List(patterns) => match expr {
+            Expr::List(items) if items.len() == patterns.len() => patterns
+                .iter()
+                .zip(items)
+                .all(|(p, e)| match_into(p, e, bindings)),
+            _ => false,
+        },
+        Pattern::Index(base_p, index_p) => match expr {
+            Expr::Index(base, index) => {
+                match_into(base_p, base, bindings) && match_into(index_p, index, bindings)
+            }
+            _ => false,
+        },
+        Pattern::Call(name, arg_patterns) => match expr {
+            Expr::Call(func, args) if func == name && args.len() == arg_patterns.len() => {
+                arg_patterns.iter().zip(args).all(|(p, e)| match_into(p, e, bindings))
+            }
+            _ => false,
+        },
+        Pattern::MethodCall(recv_p, name, arg_patterns) => match expr {
+            Expr::MethodCall(recv, method, args)
+                if method == name && args.len() == arg_patterns.len() =>
+            {
+                match_into(recv_p, recv, bindings)
+                    && arg_patterns.iter().zip(args).all(|(p, e)| match_into(p, e, bindings))
+            }
+            _ => false,
+        },
+        Pattern::BinOp(op_pattern, left_p, right_p) => match expr {
+            Expr::BinOp(op, left, right) => {
+                let op_matches = match op_pattern {
+                    Some(expected) => expected == op,
+                    None => {
+                        bindings.bin_op = Some(*op);
+                        true
+                    }
+                };
+                op_matches && match_into(left_p, left, bindings) && match_into(right_p, right, bindings)
+            }
+            _ => false,
+        },
+        Pattern::Compare(op_pattern, left_p, right_p) => match expr {
+            Expr::Compare(op, left, right) => {
+                let op_matches = match op_pattern {
+                    Some(expected) => expected == op,
+                    None => {
+                        bindings.cmp_op = Some(*op);
+                        true
+                    }
+                };
+                op_matches && match_into(left_p, left, bindings) && match_into(right_p, right, bindings)
+            }
+            _ => false,
+        },
+    }
+}
+
+/// The operator position of a comparison template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CmpTemplate {
+    /// A fixed operator.
+    Fixed(CmpOp),
+    /// The operator bound by the pattern (unchanged).
+    Original,
+    /// A choice among all relational operators, with the original as the
+    /// zero-cost default (the paper's `õpc = {<, >, ≤, ≥, ==, ≠}`).
+    AnyRelational,
+}
+
+/// A right-hand-side template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Template {
+    /// A bound metavariable inserted verbatim (no further transformation).
+    Meta(String),
+    /// A bound metavariable that is *recursively transformed* by the error
+    /// model — the paper's prime operator `a'`.
+    MetaPrime(String),
+    /// The whole matched expression, verbatim.
+    Original,
+    /// Every variable in scope (the paper's `?a` shorthand); expands to one
+    /// alternative per variable.
+    AnyScopeVar,
+    /// A set of alternatives for the position originally occupied by the
+    /// given metavariable: the metavariable's binding is the zero-cost
+    /// default and each listed template is a cost-1 alternative.
+    SetOf(String, Vec<Template>),
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// List literal.
+    List(Vec<Template>),
+    /// Variable reference.
+    Var(String),
+    /// Indexing.
+    Index(Box<Template>, Box<Template>),
+    /// Slicing.
+    Slice(Box<Template>, Option<Box<Template>>, Option<Box<Template>>),
+    /// Binary operation.
+    BinOp(BinOp, Box<Template>, Box<Template>),
+    /// Comparison, possibly with an operator choice.
+    Compare(CmpTemplate, Box<Template>, Box<Template>),
+    /// Function call.
+    Call(String, Vec<Template>),
+    /// Method call.
+    MethodCall(Box<Template>, String, Vec<Template>),
+    /// Conditional expression.
+    IfExpr(Box<Template>, Box<Template>, Box<Template>),
+}
+
+impl Template {
+    /// Shorthand: reference to a bound metavariable.
+    pub fn meta(name: impl Into<String>) -> Template {
+        Template::Meta(name.into())
+    }
+
+    /// Shorthand: `meta + delta` (or `meta - |delta|`).
+    pub fn meta_plus(name: impl Into<String>, delta: i64) -> Template {
+        let base = Template::meta(name);
+        if delta >= 0 {
+            Template::BinOp(BinOp::Add, Box::new(base), Box::new(Template::Int(delta)))
+        } else {
+            Template::BinOp(BinOp::Sub, Box::new(base), Box::new(Template::Int(-delta)))
+        }
+    }
+
+    /// Names of the primed metavariables used anywhere in the template.
+    pub fn primed_metavars(&self, out: &mut Vec<String>) {
+        match self {
+            Template::MetaPrime(name) => out.push(name.clone()),
+            Template::SetOf(_, items) | Template::List(items) | Template::Call(_, items) => {
+                for t in items {
+                    t.primed_metavars(out);
+                }
+            }
+            Template::Index(a, b) | Template::BinOp(_, a, b) | Template::Compare(_, a, b) => {
+                a.primed_metavars(out);
+                b.primed_metavars(out);
+            }
+            Template::Slice(base, lower, upper) => {
+                base.primed_metavars(out);
+                if let Some(l) = lower {
+                    l.primed_metavars(out);
+                }
+                if let Some(u) = upper {
+                    u.primed_metavars(out);
+                }
+            }
+            Template::MethodCall(recv, _, args) => {
+                recv.primed_metavars(out);
+                for a in args {
+                    a.primed_metavars(out);
+                }
+            }
+            Template::IfExpr(a, b, c) => {
+                a.primed_metavars(out);
+                b.primed_metavars(out);
+                c.primed_metavars(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The different kinds of correction rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleKind {
+    /// Rewrite any expression matching `pattern` into one of `alternatives`.
+    Expr {
+        /// Pattern over expressions.
+        pattern: Pattern,
+        /// Correction alternatives; each costs one correction when chosen.
+        alternatives: Vec<Template>,
+    },
+    /// Rewrite the right-hand side of a constant initialisation `v = n`
+    /// (the paper's `INITR`).  The bindings `v` and `n` are available.
+    Init {
+        /// Correction alternatives for the initialiser.
+        alternatives: Vec<Template>,
+    },
+    /// Rewrite the expression of a `return` statement (the paper's `RETR`).
+    /// The binding `a` holds the returned expression.
+    Return {
+        /// Correction alternatives for the returned expression.
+        alternatives: Vec<Template>,
+    },
+    /// Optionally insert the given statements at the top of the function
+    /// (used for "add the missing base case" corrections, Figure 2(e)).
+    InsertTop {
+        /// Statements to insert when the correction is selected.
+        stmts: Vec<Stmt>,
+    },
+    /// Optionally delete `print` statements (used by the stdin/stdout
+    /// problems, paper §6).
+    DropPrint,
+}
+
+/// A correction rule: a named rewrite with an optional feedback message
+/// template (placeholders `{line}`, `{original}`, `{replacement}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Rule name (e.g. `"RANR"`).
+    pub name: String,
+    /// What the rule rewrites.
+    pub kind: RuleKind,
+    /// Optional custom feedback message template.
+    pub message: Option<String>,
+}
+
+impl Rule {
+    /// Creates an expression-rewrite rule.
+    pub fn expr(name: impl Into<String>, pattern: Pattern, alternatives: Vec<Template>) -> Rule {
+        Rule { name: name.into(), kind: RuleKind::Expr { pattern, alternatives }, message: None }
+    }
+
+    /// Creates an initialisation-rewrite rule.
+    pub fn init(name: impl Into<String>, alternatives: Vec<Template>) -> Rule {
+        Rule { name: name.into(), kind: RuleKind::Init { alternatives }, message: None }
+    }
+
+    /// Creates a return-rewrite rule.
+    pub fn ret(name: impl Into<String>, alternatives: Vec<Template>) -> Rule {
+        Rule { name: name.into(), kind: RuleKind::Return { alternatives }, message: None }
+    }
+
+    /// Creates a statement-insertion rule.
+    pub fn insert_top(name: impl Into<String>, stmts: Vec<Stmt>) -> Rule {
+        Rule { name: name.into(), kind: RuleKind::InsertTop { stmts }, message: None }
+    }
+
+    /// Creates a print-dropping rule.
+    pub fn drop_print(name: impl Into<String>) -> Rule {
+        Rule { name: name.into(), kind: RuleKind::DropPrint, message: None }
+    }
+
+    /// Attaches a custom feedback message template.
+    #[must_use]
+    pub fn with_message(mut self, message: impl Into<String>) -> Rule {
+        self.message = Some(message.into());
+        self
+    }
+
+    /// Checks the paper's well-formedness condition (Definition 1): every
+    /// primed metavariable in the right-hand side must be bound strictly
+    /// below the root of the left-hand side, so that recursive
+    /// transformation always shrinks the term being visited.
+    pub fn is_well_formed(&self) -> bool {
+        let (pattern, alternatives): (Option<&Pattern>, &[Template]) = match &self.kind {
+            RuleKind::Expr { pattern, alternatives } => (Some(pattern), alternatives),
+            RuleKind::Init { alternatives } | RuleKind::Return { alternatives } => {
+                (None, alternatives)
+            }
+            RuleKind::InsertTop { .. } | RuleKind::DropPrint => return true,
+        };
+        let mut primed = Vec::new();
+        for alt in alternatives {
+            alt.primed_metavars(&mut primed);
+        }
+        if primed.is_empty() {
+            return true;
+        }
+        match pattern {
+            None => {
+                // Init / Return rules bind their metavariable at the top
+                // level, so priming it would not shrink the term.
+                false
+            }
+            Some(pattern) => {
+                let mut depths = HashMap::new();
+                pattern.metavar_depths(1, &mut depths);
+                primed.iter().all(|name| depths.get(name).is_some_and(|&d| d > 1))
+            }
+        }
+    }
+}
+
+/// A named collection of correction rules.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ErrorModel {
+    /// Model name (e.g. `"computeDeriv-E"`).
+    pub name: String,
+    /// The correction rules, applied in order.
+    pub rules: Vec<Rule>,
+}
+
+impl ErrorModel {
+    /// Creates an empty error model.
+    pub fn new(name: impl Into<String>) -> ErrorModel {
+        ErrorModel { name: name.into(), rules: Vec::new() }
+    }
+
+    /// Adds a rule (builder style).
+    #[must_use]
+    pub fn with_rule(mut self, rule: Rule) -> ErrorModel {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Adds several rules (builder style).
+    #[must_use]
+    pub fn with_rules(mut self, rules: impl IntoIterator<Item = Rule>) -> ErrorModel {
+        self.rules.extend(rules);
+        self
+    }
+
+    /// Number of rules in the model.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the model has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The paper's Definition 2: a model is well-formed iff all of its rules
+    /// are.
+    pub fn is_well_formed(&self) -> bool {
+        self.rules.iter().all(Rule::is_well_formed)
+    }
+
+    /// A model containing the first `n` rules — used for the "problems
+    /// corrected with increasing error-model complexity" experiment
+    /// (paper Figure 14(b), models E0..E5).
+    pub fn truncated(&self, n: usize) -> ErrorModel {
+        ErrorModel {
+            name: format!("{}-E{}", self.name, n),
+            rules: self.rules.iter().take(n).cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afg_parser::parse_expr;
+
+    #[test]
+    fn matches_index_pattern_like_indr() {
+        // v[a] matches poly[e]
+        let pattern = Pattern::Index(
+            Box::new(Pattern::AnyVar("v".into())),
+            Box::new(Pattern::meta("a")),
+        );
+        let expr = parse_expr("poly[e]").unwrap();
+        let bindings = match_expr(&pattern, &expr).expect("should match");
+        assert_eq!(bindings.expr("v"), Some(&Expr::var("poly")));
+        assert_eq!(bindings.expr("a"), Some(&Expr::var("e")));
+        // but not a call
+        assert!(match_expr(&pattern, &parse_expr("len(poly)").unwrap()).is_none());
+        // and not when the base is not a variable
+        assert!(match_expr(&pattern, &parse_expr("f(x)[e]").unwrap()).is_none());
+    }
+
+    #[test]
+    fn matches_range_call_like_ranr() {
+        let pattern = Pattern::Call("range".into(), vec![Pattern::meta("a0"), Pattern::meta("a1")]);
+        let expr = parse_expr("range(0, len(poly))").unwrap();
+        let bindings = match_expr(&pattern, &expr).unwrap();
+        assert_eq!(bindings.expr("a0"), Some(&Expr::Int(0)));
+        assert!(match_expr(&pattern, &parse_expr("range(10)").unwrap()).is_none());
+    }
+
+    #[test]
+    fn matches_any_comparison_like_compr() {
+        let pattern = Pattern::Compare(None, Box::new(Pattern::meta("a0")), Box::new(Pattern::meta("a1")));
+        let bindings = match_expr(&pattern, &parse_expr("poly[e] == 0").unwrap()).unwrap();
+        assert_eq!(bindings.cmp_op, Some(CmpOp::Eq));
+        let bindings = match_expr(&pattern, &parse_expr("i >= 0").unwrap()).unwrap();
+        assert_eq!(bindings.cmp_op, Some(CmpOp::Ge));
+    }
+
+    #[test]
+    fn repeated_metavariables_must_bind_equal_terms() {
+        // a + a matches x + x but not x + y.
+        let pattern = Pattern::BinOp(
+            Some(BinOp::Add),
+            Box::new(Pattern::meta("a")),
+            Box::new(Pattern::meta("a")),
+        );
+        assert!(match_expr(&pattern, &parse_expr("x + x").unwrap()).is_some());
+        assert!(match_expr(&pattern, &parse_expr("x + y").unwrap()).is_none());
+    }
+
+    #[test]
+    fn const_metavariable_only_matches_integers() {
+        let pattern = Pattern::AnyConst("n".into());
+        assert!(match_expr(&pattern, &parse_expr("3").unwrap()).is_some());
+        assert!(match_expr(&pattern, &parse_expr("x").unwrap()).is_none());
+        assert!(match_expr(&pattern, &parse_expr("[1]").unwrap()).is_none());
+    }
+
+    #[test]
+    fn well_formedness_follows_definition_1() {
+        // C1 : v[a] -> {(v[a])' + 1} is NOT well-formed (prime on the whole match).
+        // We model it as priming a metavariable bound at the root.
+        let bad = Rule::expr(
+            "C1",
+            Pattern::meta("whole"),
+            vec![Template::BinOp(
+                BinOp::Add,
+                Box::new(Template::MetaPrime("whole".into())),
+                Box::new(Template::Int(1)),
+            )],
+        );
+        assert!(!bad.is_well_formed());
+
+        // C2 : v[a] -> {v'[a'] + 1} is well-formed (primes on strict subterms).
+        let good = Rule::expr(
+            "C2",
+            Pattern::Index(Box::new(Pattern::AnyVar("v".into())), Box::new(Pattern::meta("a"))),
+            vec![Template::BinOp(
+                BinOp::Add,
+                Box::new(Template::Index(
+                    Box::new(Template::MetaPrime("v".into())),
+                    Box::new(Template::MetaPrime("a".into())),
+                )),
+                Box::new(Template::Int(1)),
+            )],
+        );
+        assert!(good.is_well_formed());
+
+        let model = ErrorModel::new("m").with_rules([good, bad]);
+        assert!(!model.is_well_formed());
+    }
+
+    #[test]
+    fn truncated_models_grow_monotonically() {
+        let model = ErrorModel::new("m").with_rules([
+            Rule::ret("R1", vec![Template::List(vec![Template::Int(0)])]),
+            Rule::init("R2", vec![Template::meta_plus("n", 1)]),
+            Rule::drop_print("R3"),
+        ]);
+        assert_eq!(model.truncated(0).len(), 0);
+        assert_eq!(model.truncated(2).len(), 2);
+        assert_eq!(model.truncated(10).len(), 3);
+        assert!(model.truncated(2).name.ends_with("E2"));
+    }
+
+    #[test]
+    fn template_helpers() {
+        assert_eq!(
+            Template::meta_plus("a", 1),
+            Template::BinOp(BinOp::Add, Box::new(Template::meta("a")), Box::new(Template::Int(1)))
+        );
+        assert_eq!(
+            Template::meta_plus("a", -1),
+            Template::BinOp(BinOp::Sub, Box::new(Template::meta("a")), Box::new(Template::Int(1)))
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! Textual front end for EML error models.
+//!
+//! The paper describes EML as a high-level language the instructor writes
+//! correction rules in.  This module provides a concrete syntax for the
+//! practical subset our benchmark models need and parses it into
+//! [`ErrorModel`] values.  One rule per line:
+//!
+//! ```text
+//! # The simplified computeDeriv model of paper §2.1
+//! RETR:  return a       ->  [0]
+//! RANR:  range(a0, a1)  ->  range(a0 + 1, a1)
+//! EQF:   a0 == a1       ->  False
+//! ```
+//!
+//! * Left-hand sides are MPY expressions over *metavariables*: names
+//!   starting with `a` or `b` match any expression, names starting with `v`
+//!   match only variables, names starting with `n` match only integer
+//!   constants.  Two statement-shaped forms are recognised: `return a`
+//!   (return rewrites) and `v = n` (constant-initialisation rewrites).
+//! * The special form `cmp(a0, a1)` matches a comparison with any operator.
+//! * Right-hand sides are `|`-separated alternatives, each an MPY expression
+//!   over the bound metavariables.  `?x` stands for "any variable in scope"
+//!   and `cmpany(a0, a1)` for "the comparison with any relational operator".
+//! * Blank lines and `#` comments are ignored.
+//!
+//! Richer rules (nested option sets, primed sub-terms, statement insertion)
+//! are built with the programmatic API in [`crate::rules`] /
+//! [`crate::library`]; the textual form covers the common cases so an
+//! instructor can iterate quickly.
+
+use std::error::Error;
+use std::fmt;
+
+use afg_ast::ops::BinOp;
+use afg_ast::Expr;
+use afg_parser::parse_expr;
+
+use crate::rules::{CmpTemplate, ErrorModel, Pattern, Rule, Template};
+
+/// Error raised while parsing a textual error model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmlParseError {
+    /// 1-based line in the model text.
+    pub line: u32,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl EmlParseError {
+    fn new(line: u32, message: impl Into<String>) -> EmlParseError {
+        EmlParseError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for EmlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error model syntax error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for EmlParseError {}
+
+/// Parses a textual error model.
+///
+/// # Errors
+///
+/// Returns an [`EmlParseError`] describing the first malformed rule.
+pub fn parse_error_model(name: &str, text: &str) -> Result<ErrorModel, EmlParseError> {
+    let mut model = ErrorModel::new(name);
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        model.rules.push(parse_rule(line, line_no)?);
+    }
+    Ok(model)
+}
+
+fn parse_rule(line: &str, line_no: u32) -> Result<Rule, EmlParseError> {
+    let (name, rest) = match line.split_once(':') {
+        Some((name, rest)) => (name.trim().to_string(), rest.trim()),
+        None => return Err(EmlParseError::new(line_no, "expected 'NAME: lhs -> rhs'")),
+    };
+    let (lhs_text, rhs_text) = match rest.split_once("->") {
+        Some((lhs, rhs)) => (lhs.trim(), rhs.trim()),
+        None => return Err(EmlParseError::new(line_no, "expected '->' between the rule sides")),
+    };
+    if lhs_text.is_empty() || rhs_text.is_empty() {
+        return Err(EmlParseError::new(line_no, "both sides of the rule must be non-empty"));
+    }
+
+    // Statement-shaped left-hand sides.
+    if let Some(ret_expr) = lhs_text.strip_prefix("return ") {
+        let metavars = vec![ret_expr.trim().to_string()];
+        if metavars[0] != "a" {
+            return Err(EmlParseError::new(line_no, "return rules must be written as 'return a'"));
+        }
+        let alternatives = parse_alternatives(rhs_text, &metavars, line_no)?;
+        return Ok(Rule::ret(name, alternatives));
+    }
+    if lhs_text == "v = n" {
+        let metavars = vec!["v".to_string(), "n".to_string()];
+        let alternatives = parse_alternatives(rhs_text, &metavars, line_no)?;
+        return Ok(Rule::init(name, alternatives));
+    }
+
+    // Expression rules.
+    let lhs_expr = parse_mpy(lhs_text, line_no)?;
+    let pattern = expr_to_pattern(&lhs_expr);
+    let mut metavars = Vec::new();
+    collect_metavars(&pattern, &mut metavars);
+    let alternatives = parse_alternatives(rhs_text, &metavars, line_no)?;
+    Ok(Rule::expr(name, pattern, alternatives))
+}
+
+fn parse_alternatives(
+    rhs_text: &str,
+    metavars: &[String],
+    line_no: u32,
+) -> Result<Vec<Template>, EmlParseError> {
+    rhs_text
+        .split('|')
+        .map(|alt| {
+            let alt = alt.trim();
+            if alt.starts_with('?') {
+                return Ok(Template::AnyScopeVar);
+            }
+            let expr = parse_mpy(alt, line_no)?;
+            Ok(expr_to_template(&expr, metavars))
+        })
+        .collect()
+}
+
+/// Parses an MPY expression after rewriting the EML-only tokens (`?x`) into
+/// placeholder identifiers the MPY lexer accepts.
+fn parse_mpy(text: &str, line_no: u32) -> Result<Expr, EmlParseError> {
+    let rewritten = text.replace('?', "__any_");
+    parse_expr(&rewritten).map_err(|e| EmlParseError::new(line_no, e.message))
+}
+
+fn is_metavar(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some('a') | Some('b') | Some('v') | Some('n') => chars.all(|c| c.is_ascii_digit()),
+        _ => false,
+    }
+}
+
+fn expr_to_pattern(expr: &Expr) -> Pattern {
+    match expr {
+        Expr::Var(name) if name.starts_with('v') && is_metavar(name) => Pattern::AnyVar(name.clone()),
+        Expr::Var(name) if name.starts_with('n') && is_metavar(name) => Pattern::AnyConst(name.clone()),
+        Expr::Var(name) if is_metavar(name) => Pattern::AnyExpr(name.clone()),
+        Expr::Var(name) => Pattern::Var(name.clone()),
+        Expr::Int(v) => Pattern::Int(*v),
+        Expr::Bool(b) => Pattern::Bool(*b),
+        Expr::List(items) => Pattern::List(items.iter().map(expr_to_pattern).collect()),
+        Expr::Index(base, index) => {
+            Pattern::Index(Box::new(expr_to_pattern(base)), Box::new(expr_to_pattern(index)))
+        }
+        Expr::Call(name, args) if name == "cmp" && args.len() == 2 => Pattern::Compare(
+            None,
+            Box::new(expr_to_pattern(&args[0])),
+            Box::new(expr_to_pattern(&args[1])),
+        ),
+        Expr::Call(name, args) => {
+            Pattern::Call(name.clone(), args.iter().map(expr_to_pattern).collect())
+        }
+        Expr::MethodCall(recv, name, args) => Pattern::MethodCall(
+            Box::new(expr_to_pattern(recv)),
+            name.clone(),
+            args.iter().map(expr_to_pattern).collect(),
+        ),
+        Expr::BinOp(op, left, right) => Pattern::BinOp(
+            Some(*op),
+            Box::new(expr_to_pattern(left)),
+            Box::new(expr_to_pattern(right)),
+        ),
+        Expr::Compare(op, left, right) => Pattern::Compare(
+            Some(*op),
+            Box::new(expr_to_pattern(left)),
+            Box::new(expr_to_pattern(right)),
+        ),
+        // Anything else is matched structurally through a wildcard; the
+        // textual subset does not need finer patterns.
+        _ => Pattern::Wildcard,
+    }
+}
+
+fn collect_metavars(pattern: &Pattern, out: &mut Vec<String>) {
+    match pattern {
+        Pattern::AnyExpr(name) | Pattern::AnyVar(name) | Pattern::AnyConst(name) => {
+            if !out.contains(name) {
+                out.push(name.clone());
+            }
+        }
+        Pattern::List(items) => items.iter().for_each(|p| collect_metavars(p, out)),
+        Pattern::Index(a, b) | Pattern::BinOp(_, a, b) | Pattern::Compare(_, a, b) => {
+            collect_metavars(a, out);
+            collect_metavars(b, out);
+        }
+        Pattern::Call(_, args) => args.iter().for_each(|p| collect_metavars(p, out)),
+        Pattern::MethodCall(recv, _, args) => {
+            collect_metavars(recv, out);
+            args.iter().for_each(|p| collect_metavars(p, out));
+        }
+        _ => {}
+    }
+}
+
+fn expr_to_template(expr: &Expr, metavars: &[String]) -> Template {
+    match expr {
+        Expr::Var(name) if name.starts_with("__any_") => Template::AnyScopeVar,
+        Expr::Var(name) if metavars.contains(name) => Template::Meta(name.clone()),
+        Expr::Var(name) => Template::Var(name.clone()),
+        Expr::Int(v) => Template::Int(*v),
+        Expr::Bool(b) => Template::Bool(*b),
+        Expr::Str(s) => Template::Str(s.clone()),
+        Expr::List(items) => {
+            Template::List(items.iter().map(|e| expr_to_template(e, metavars)).collect())
+        }
+        Expr::Index(base, index) => Template::Index(
+            Box::new(expr_to_template(base, metavars)),
+            Box::new(expr_to_template(index, metavars)),
+        ),
+        Expr::Slice(base, lower, upper) => Template::Slice(
+            Box::new(expr_to_template(base, metavars)),
+            lower.as_ref().map(|l| Box::new(expr_to_template(l, metavars))),
+            upper.as_ref().map(|u| Box::new(expr_to_template(u, metavars))),
+        ),
+        Expr::Call(name, args) if name == "cmpany" && args.len() == 2 => Template::Compare(
+            CmpTemplate::AnyRelational,
+            Box::new(expr_to_template(&args[0], metavars)),
+            Box::new(expr_to_template(&args[1], metavars)),
+        ),
+        Expr::Call(name, args) => Template::Call(
+            name.clone(),
+            args.iter().map(|e| expr_to_template(e, metavars)).collect(),
+        ),
+        Expr::MethodCall(recv, name, args) => Template::MethodCall(
+            Box::new(expr_to_template(recv, metavars)),
+            name.clone(),
+            args.iter().map(|e| expr_to_template(e, metavars)).collect(),
+        ),
+        Expr::BinOp(op, left, right) => Template::BinOp(
+            *op,
+            Box::new(expr_to_template(left, metavars)),
+            Box::new(expr_to_template(right, metavars)),
+        ),
+        Expr::Compare(op, left, right) => Template::Compare(
+            CmpTemplate::Fixed(*op),
+            Box::new(expr_to_template(left, metavars)),
+            Box::new(expr_to_template(right, metavars)),
+        ),
+        Expr::IfExpr(a, b, c) => Template::IfExpr(
+            Box::new(expr_to_template(a, metavars)),
+            Box::new(expr_to_template(b, metavars)),
+            Box::new(expr_to_template(c, metavars)),
+        ),
+        Expr::UnaryOp(afg_ast::ops::UnaryOp::Neg, inner) => Template::BinOp(
+            BinOp::Sub,
+            Box::new(Template::Int(0)),
+            Box::new(expr_to_template(inner, metavars)),
+        ),
+        other => Template::Str(afg_ast::pretty::expr_to_string(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleKind;
+
+    const SECTION_2_1: &str = "\
+# The simplified computeDeriv model of paper section 2.1
+RETR:  return a       ->  [0]
+RANR:  range(a0, a1)  ->  range(a0 + 1, a1)
+EQF:   a0 == a1       ->  False
+";
+
+    #[test]
+    fn parses_the_section_2_1_model() {
+        let model = parse_error_model("computeDeriv-simple", SECTION_2_1).unwrap();
+        assert_eq!(model.len(), 3);
+        assert!(matches!(model.rules[0].kind, RuleKind::Return { .. }));
+        assert!(matches!(model.rules[1].kind, RuleKind::Expr { .. }));
+        assert!(model.is_well_formed());
+    }
+
+    #[test]
+    fn parses_init_rules_and_scope_vars() {
+        let text = "INITR: v = n -> n + 1 | n - 1 | 0\nINDR: v[a] -> v[a + 1] | v[a - 1] | v[?x]\n";
+        let model = parse_error_model("m", text).unwrap();
+        assert_eq!(model.len(), 2);
+        match &model.rules[0].kind {
+            RuleKind::Init { alternatives } => assert_eq!(alternatives.len(), 3),
+            other => panic!("expected init rule, got {other:?}"),
+        }
+        match &model.rules[1].kind {
+            RuleKind::Expr { pattern, alternatives } => {
+                assert!(matches!(pattern, Pattern::Index(_, _)));
+                assert_eq!(alternatives.len(), 3);
+                assert!(matches!(
+                    &alternatives[2],
+                    Template::Index(_, idx) if matches!(**idx, Template::AnyScopeVar)
+                ));
+            }
+            other => panic!("expected expr rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_comparison_wildcards() {
+        let text = "COMPR: cmp(a0, a1) -> cmpany(a0, a1) | True | False\n";
+        let model = parse_error_model("m", text).unwrap();
+        match &model.rules[0].kind {
+            RuleKind::Expr { pattern, alternatives } => {
+                assert!(matches!(pattern, Pattern::Compare(None, _, _)));
+                assert!(matches!(&alternatives[0], Template::Compare(CmpTemplate::AnyRelational, _, _)));
+                assert_eq!(alternatives.len(), 3);
+            }
+            other => panic!("expected expr rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concrete_names_are_not_metavariables() {
+        let text = "R: len(poly) -> len(poly) - 1\n";
+        let model = parse_error_model("m", text).unwrap();
+        match &model.rules[0].kind {
+            RuleKind::Expr { pattern, .. } => match pattern {
+                Pattern::Call(name, args) => {
+                    assert_eq!(name, "len");
+                    assert_eq!(args[0], Pattern::Var("poly".into()));
+                }
+                other => panic!("unexpected pattern {other:?}"),
+            },
+            other => panic!("expected expr rule, got {other:?}"),
+        }
+        assert!(is_metavar("a0"));
+        assert!(is_metavar("v"));
+        assert!(!is_metavar("poly"));
+        assert!(!is_metavar("value"));
+    }
+
+    #[test]
+    fn reports_malformed_rules_with_line_numbers() {
+        let err = parse_error_model("m", "RULE missing arrow\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_error_model("m", "\n\nR: x -> \n").unwrap_err();
+        assert_eq!(err.line, 3);
+        let err = parse_error_model("m", "R: return xs -> [0]\n").unwrap_err();
+        assert!(err.message.contains("return a"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let model = parse_error_model("m", "\n# only comments\n\n").unwrap();
+        assert!(model.is_empty());
+    }
+}

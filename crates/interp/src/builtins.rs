@@ -1,0 +1,574 @@
+//! Built-in functions and methods of the MPY runtime.
+//!
+//! These mirror the Python builtins the paper's benchmark problems rely on
+//! (`len`, `range`, `abs`, `int`, `str`, `list`, `tuple`, `sum`, `min`,
+//! `max`, `sorted`) and the list/str/dict methods that appear in student
+//! submissions (`append`, `pop`, `insert`, `index`, `remove`, `extend`,
+//! `count`, `reverse`, `sort`, `replace`, `lower`, `upper`, `find`,
+//! `startswith`, `keys`, `values`, `get`).
+
+use crate::error::RuntimeError;
+use crate::value::Value;
+
+/// Result of trying a builtin: `None` means "no builtin with that name",
+/// letting the interpreter fall back to user-defined functions.
+pub type BuiltinResult = Option<Result<Value, RuntimeError>>;
+
+/// Calls a builtin free function, if `name` names one.
+pub fn call_builtin(name: &str, args: &[Value]) -> BuiltinResult {
+    let result = match name {
+        "len" => builtin_len(args),
+        "range" => builtin_range(args),
+        "abs" => builtin_abs(args),
+        "int" => builtin_int(args),
+        "str" => single(args, "str").map(|v| Value::Str(v.display_str())),
+        "bool" => single(args, "bool").map(|v| Value::Bool(v.is_truthy())),
+        "list" => builtin_list(args),
+        "tuple" => builtin_tuple(args),
+        "sum" => builtin_sum(args),
+        "min" => builtin_min_max(args, true),
+        "max" => builtin_min_max(args, false),
+        "sorted" => builtin_sorted(args),
+        "float" => Err(RuntimeError::Unsupported(
+            "floating point values are outside the MPY subset".to_string(),
+        )),
+        _ => return None,
+    };
+    Some(result)
+}
+
+fn single<'a>(args: &'a [Value], name: &str) -> Result<&'a Value, RuntimeError> {
+    if args.len() != 1 {
+        return Err(RuntimeError::Type(format!(
+            "{name}() takes exactly one argument ({} given)",
+            args.len()
+        )));
+    }
+    Ok(&args[0])
+}
+
+fn builtin_len(args: &[Value]) -> Result<Value, RuntimeError> {
+    match single(args, "len")? {
+        Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+        Value::List(items) | Value::Tuple(items) => Ok(Value::Int(items.len() as i64)),
+        Value::Dict(items) => Ok(Value::Int(items.len() as i64)),
+        other => Err(RuntimeError::Type(format!(
+            "object of type '{}' has no len()",
+            other.type_name()
+        ))),
+    }
+}
+
+fn builtin_range(args: &[Value]) -> Result<Value, RuntimeError> {
+    let as_int = |v: &Value| {
+        v.as_int().ok_or_else(|| {
+            RuntimeError::Type(format!("range() integer argument expected, got {}", v.type_name()))
+        })
+    };
+    let (start, stop, step) = match args.len() {
+        1 => (0, as_int(&args[0])?, 1),
+        2 => (as_int(&args[0])?, as_int(&args[1])?, 1),
+        3 => (as_int(&args[0])?, as_int(&args[1])?, as_int(&args[2])?),
+        n => {
+            return Err(RuntimeError::Type(format!(
+                "range expected at most 3 arguments, got {n}"
+            )))
+        }
+    };
+    if step == 0 {
+        return Err(RuntimeError::Value("range() arg 3 must not be zero".to_string()));
+    }
+    let mut items = Vec::new();
+    let mut i = start;
+    // The bound guards against student-sized mistakes like range(0, 10**9).
+    const MAX_RANGE: usize = 100_000;
+    while (step > 0 && i < stop) || (step < 0 && i > stop) {
+        items.push(Value::Int(i));
+        if items.len() > MAX_RANGE {
+            return Err(RuntimeError::FuelExhausted);
+        }
+        i += step;
+    }
+    Ok(Value::List(items))
+}
+
+fn builtin_abs(args: &[Value]) -> Result<Value, RuntimeError> {
+    match single(args, "abs")?.as_int() {
+        Some(v) => Ok(Value::Int(v.checked_abs().ok_or(RuntimeError::Overflow)?)),
+        None => Err(RuntimeError::Type("bad operand type for abs()".to_string())),
+    }
+}
+
+fn builtin_int(args: &[Value]) -> Result<Value, RuntimeError> {
+    match single(args, "int")? {
+        Value::Int(v) => Ok(Value::Int(*v)),
+        Value::Bool(b) => Ok(Value::Int(i64::from(*b))),
+        Value::Str(s) => s
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| RuntimeError::Value(format!("invalid literal for int(): '{s}'"))),
+        other => Err(RuntimeError::Type(format!(
+            "int() argument must be a string or a number, not '{}'",
+            other.type_name()
+        ))),
+    }
+}
+
+fn to_items(value: &Value) -> Result<Vec<Value>, RuntimeError> {
+    match value {
+        Value::List(items) | Value::Tuple(items) => Ok(items.clone()),
+        Value::Str(s) => Ok(s.chars().map(|c| Value::Str(c.to_string())).collect()),
+        Value::Dict(items) => Ok(items.iter().map(|(k, _)| k.clone()).collect()),
+        other => Err(RuntimeError::Type(format!("'{}' object is not iterable", other.type_name()))),
+    }
+}
+
+fn builtin_list(args: &[Value]) -> Result<Value, RuntimeError> {
+    if args.is_empty() {
+        return Ok(Value::List(vec![]));
+    }
+    Ok(Value::List(to_items(single(args, "list")?)?))
+}
+
+fn builtin_tuple(args: &[Value]) -> Result<Value, RuntimeError> {
+    if args.is_empty() {
+        return Ok(Value::Tuple(vec![]));
+    }
+    Ok(Value::Tuple(to_items(single(args, "tuple")?)?))
+}
+
+fn builtin_sum(args: &[Value]) -> Result<Value, RuntimeError> {
+    let items = to_items(single(args, "sum")?)?;
+    let mut total: i64 = 0;
+    for item in items {
+        let v = item
+            .as_int()
+            .ok_or_else(|| RuntimeError::Type("unsupported operand type(s) for +".to_string()))?;
+        total = total.checked_add(v).ok_or(RuntimeError::Overflow)?;
+    }
+    Ok(Value::Int(total))
+}
+
+fn builtin_min_max(args: &[Value], want_min: bool) -> Result<Value, RuntimeError> {
+    let items = if args.len() == 1 {
+        to_items(&args[0])?
+    } else {
+        args.to_vec()
+    };
+    if items.is_empty() {
+        return Err(RuntimeError::Value("min()/max() of an empty sequence".to_string()));
+    }
+    let mut best = items[0].clone();
+    for item in &items[1..] {
+        let ord = item
+            .py_cmp(&best)
+            .ok_or_else(|| RuntimeError::Type("values are not comparable".to_string()))?;
+        let replace = if want_min { ord.is_lt() } else { ord.is_gt() };
+        if replace {
+            best = item.clone();
+        }
+    }
+    Ok(best)
+}
+
+fn builtin_sorted(args: &[Value]) -> Result<Value, RuntimeError> {
+    let mut items = to_items(single(args, "sorted")?)?;
+    sort_values(&mut items)?;
+    Ok(Value::List(items))
+}
+
+fn sort_values(items: &mut [Value]) -> Result<(), RuntimeError> {
+    let mut error = false;
+    items.sort_by(|a, b| {
+        a.py_cmp(b).unwrap_or_else(|| {
+            error = true;
+            std::cmp::Ordering::Equal
+        })
+    });
+    if error {
+        return Err(RuntimeError::Type("values are not comparable".to_string()));
+    }
+    Ok(())
+}
+
+/// Calls a method on a receiver value.
+///
+/// Returns the method's result plus a flag indicating whether the receiver
+/// was mutated in place (so the interpreter knows to write it back to its
+/// variable).
+pub fn call_method(
+    recv: &mut Value,
+    method: &str,
+    args: &[Value],
+) -> Result<(Value, bool), RuntimeError> {
+    match recv {
+        Value::List(items) => list_method(items, method, args),
+        Value::Str(s) => str_method(s, method, args).map(|v| (v, false)),
+        Value::Dict(entries) => dict_method(entries, method, args),
+        Value::Tuple(items) => match method {
+            "index" => {
+                let target = args.first().ok_or_else(|| {
+                    RuntimeError::Type("index() takes exactly one argument".to_string())
+                })?;
+                match items.iter().position(|v| v.py_eq(target)) {
+                    Some(i) => Ok((Value::Int(i as i64), false)),
+                    None => Err(RuntimeError::Value("tuple.index(x): x not in tuple".to_string())),
+                }
+            }
+            "count" => {
+                let target = args.first().ok_or_else(|| {
+                    RuntimeError::Type("count() takes exactly one argument".to_string())
+                })?;
+                let n = items.iter().filter(|v| v.py_eq(target)).count();
+                Ok((Value::Int(n as i64), false))
+            }
+            _ => Err(RuntimeError::Type(format!(
+                "'tuple' object has no attribute '{method}'"
+            ))),
+        },
+        other => Err(RuntimeError::Type(format!(
+            "'{}' object has no attribute '{}'",
+            other.type_name(),
+            method
+        ))),
+    }
+}
+
+fn list_method(
+    items: &mut Vec<Value>,
+    method: &str,
+    args: &[Value],
+) -> Result<(Value, bool), RuntimeError> {
+    match method {
+        "append" => {
+            let value = args
+                .first()
+                .ok_or_else(|| RuntimeError::Type("append() takes exactly one argument".to_string()))?;
+            items.push(value.clone());
+            Ok((Value::None, true))
+        }
+        "extend" => {
+            let value = args
+                .first()
+                .ok_or_else(|| RuntimeError::Type("extend() takes exactly one argument".to_string()))?;
+            items.extend(to_items(value)?);
+            Ok((Value::None, true))
+        }
+        "insert" => {
+            if args.len() != 2 {
+                return Err(RuntimeError::Type("insert() takes exactly 2 arguments".to_string()));
+            }
+            let idx = args[0]
+                .as_int()
+                .ok_or_else(|| RuntimeError::Type("insert() index must be an integer".to_string()))?;
+            // Python clamps insert positions.
+            let pos = if idx < 0 {
+                (items.len() as i64 + idx).max(0) as usize
+            } else {
+                (idx as usize).min(items.len())
+            };
+            items.insert(pos, args[1].clone());
+            Ok((Value::None, true))
+        }
+        "pop" => {
+            if items.is_empty() {
+                return Err(RuntimeError::Index("pop from empty list".to_string()));
+            }
+            let idx = match args.first() {
+                None => items.len() as i64 - 1,
+                Some(v) => v
+                    .as_int()
+                    .ok_or_else(|| RuntimeError::Type("pop() index must be an integer".to_string()))?,
+            };
+            let pos = normalise_index(idx, items.len())
+                .ok_or_else(|| RuntimeError::Index("pop index out of range".to_string()))?;
+            Ok((items.remove(pos), true))
+        }
+        "remove" => {
+            let target = args
+                .first()
+                .ok_or_else(|| RuntimeError::Type("remove() takes exactly one argument".to_string()))?;
+            match items.iter().position(|v| v.py_eq(target)) {
+                Some(pos) => {
+                    items.remove(pos);
+                    Ok((Value::None, true))
+                }
+                None => Err(RuntimeError::Value("list.remove(x): x not in list".to_string())),
+            }
+        }
+        "index" => {
+            let target = args
+                .first()
+                .ok_or_else(|| RuntimeError::Type("index() takes exactly one argument".to_string()))?;
+            match items.iter().position(|v| v.py_eq(target)) {
+                Some(pos) => Ok((Value::Int(pos as i64), false)),
+                None => Err(RuntimeError::Value("list.index(x): x not in list".to_string())),
+            }
+        }
+        "count" => {
+            let target = args
+                .first()
+                .ok_or_else(|| RuntimeError::Type("count() takes exactly one argument".to_string()))?;
+            let n = items.iter().filter(|v| v.py_eq(target)).count();
+            Ok((Value::Int(n as i64), false))
+        }
+        "reverse" => {
+            items.reverse();
+            Ok((Value::None, true))
+        }
+        "sort" => {
+            sort_values(items)?;
+            Ok((Value::None, true))
+        }
+        _ => Err(RuntimeError::Type(format!("'list' object has no attribute '{method}'"))),
+    }
+}
+
+fn str_method(s: &str, method: &str, args: &[Value]) -> Result<Value, RuntimeError> {
+    let str_arg = |i: usize| -> Result<String, RuntimeError> {
+        match args.get(i) {
+            Some(Value::Str(v)) => Ok(v.clone()),
+            Some(other) => Err(RuntimeError::Type(format!(
+                "expected a string argument, got {}",
+                other.type_name()
+            ))),
+            None => Err(RuntimeError::Type("missing string argument".to_string())),
+        }
+    };
+    match method {
+        "replace" => {
+            let old = str_arg(0)?;
+            let new = str_arg(1)?;
+            if old.is_empty() {
+                return Err(RuntimeError::Value("replace() with empty pattern".to_string()));
+            }
+            Ok(Value::Str(s.replace(&old, &new)))
+        }
+        "lower" => Ok(Value::Str(s.to_lowercase())),
+        "upper" => Ok(Value::Str(s.to_uppercase())),
+        "strip" => Ok(Value::Str(s.trim().to_string())),
+        "find" => {
+            let needle = str_arg(0)?;
+            Ok(Value::Int(match s.find(&needle) {
+                Some(byte_pos) => s[..byte_pos].chars().count() as i64,
+                None => -1,
+            }))
+        }
+        "count" => {
+            let needle = str_arg(0)?;
+            if needle.is_empty() {
+                return Ok(Value::Int(s.chars().count() as i64 + 1));
+            }
+            Ok(Value::Int(s.matches(&needle).count() as i64))
+        }
+        "startswith" => Ok(Value::Bool(s.starts_with(&str_arg(0)?))),
+        "endswith" => Ok(Value::Bool(s.ends_with(&str_arg(0)?))),
+        "split" => {
+            let parts: Vec<Value> = if args.is_empty() {
+                s.split_whitespace().map(|p| Value::Str(p.to_string())).collect()
+            } else {
+                s.split(&str_arg(0)?).map(|p| Value::Str(p.to_string())).collect()
+            };
+            Ok(Value::List(parts))
+        }
+        "join" => {
+            let items = to_items(args.first().ok_or_else(|| {
+                RuntimeError::Type("join() takes exactly one argument".to_string())
+            })?)?;
+            let mut parts = Vec::new();
+            for item in items {
+                match item {
+                    Value::Str(part) => parts.push(part),
+                    other => {
+                        return Err(RuntimeError::Type(format!(
+                            "sequence item: expected string, {} found",
+                            other.type_name()
+                        )))
+                    }
+                }
+            }
+            Ok(Value::Str(parts.join(s)))
+        }
+        "isdigit" => Ok(Value::Bool(!s.is_empty() && s.chars().all(|c| c.is_ascii_digit()))),
+        _ => Err(RuntimeError::Type(format!("'str' object has no attribute '{method}'"))),
+    }
+}
+
+fn dict_method(
+    entries: &mut Vec<(Value, Value)>,
+    method: &str,
+    args: &[Value],
+) -> Result<(Value, bool), RuntimeError> {
+    match method {
+        "keys" => Ok((Value::List(entries.iter().map(|(k, _)| k.clone()).collect()), false)),
+        "values" => Ok((Value::List(entries.iter().map(|(_, v)| v.clone()).collect()), false)),
+        "items" => Ok((
+            Value::List(
+                entries
+                    .iter()
+                    .map(|(k, v)| Value::Tuple(vec![k.clone(), v.clone()]))
+                    .collect(),
+            ),
+            false,
+        )),
+        "get" => {
+            let key = args
+                .first()
+                .ok_or_else(|| RuntimeError::Type("get() takes at least one argument".to_string()))?;
+            let default = args.get(1).cloned().unwrap_or(Value::None);
+            let found = entries.iter().find(|(k, _)| k.py_eq(key)).map(|(_, v)| v.clone());
+            Ok((found.unwrap_or(default), false))
+        }
+        "has_key" => {
+            let key = args
+                .first()
+                .ok_or_else(|| RuntimeError::Type("has_key() takes exactly one argument".to_string()))?;
+            Ok((Value::Bool(entries.iter().any(|(k, _)| k.py_eq(key))), false))
+        }
+        _ => Err(RuntimeError::Type(format!("'dict' object has no attribute '{method}'"))),
+    }
+}
+
+/// Converts a (possibly negative) Python index into a vector position.
+pub fn normalise_index(index: i64, len: usize) -> Option<usize> {
+    let len = len as i64;
+    let adjusted = if index < 0 { index + len } else { index };
+    if adjusted < 0 || adjusted >= len {
+        None
+    } else {
+        Some(adjusted as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(result: BuiltinResult) -> Value {
+        result.expect("builtin exists").expect("builtin succeeds")
+    }
+
+    #[test]
+    fn len_on_sequences_and_strings() {
+        assert_eq!(ok(call_builtin("len", &[Value::int_list([1, 2, 3])])), Value::Int(3));
+        assert_eq!(ok(call_builtin("len", &[Value::Str("abc".into())])), Value::Int(3));
+        assert!(call_builtin("len", &[Value::Int(3)]).unwrap().is_err());
+    }
+
+    #[test]
+    fn range_matches_python() {
+        assert_eq!(ok(call_builtin("range", &[Value::Int(3)])), Value::int_list([0, 1, 2]));
+        assert_eq!(
+            ok(call_builtin("range", &[Value::Int(1), Value::Int(4)])),
+            Value::int_list([1, 2, 3])
+        );
+        assert_eq!(
+            ok(call_builtin("range", &[Value::Int(5), Value::Int(0), Value::Int(-2)])),
+            Value::int_list([5, 3, 1])
+        );
+        assert_eq!(ok(call_builtin("range", &[Value::Int(0)])), Value::List(vec![]));
+        assert!(call_builtin("range", &[Value::Int(1), Value::Int(2), Value::Int(0)])
+            .unwrap()
+            .is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ok(call_builtin("int", &[Value::Str(" 7 ".into())])), Value::Int(7));
+        assert_eq!(ok(call_builtin("str", &[Value::Int(7)])), Value::Str("7".into()));
+        assert_eq!(
+            ok(call_builtin("list", &[Value::Str("ab".into())])),
+            Value::List(vec![Value::Str("a".into()), Value::Str("b".into())])
+        );
+        assert_eq!(
+            ok(call_builtin("tuple", &[Value::int_list([1])])),
+            Value::Tuple(vec![Value::Int(1)])
+        );
+        assert_eq!(ok(call_builtin("list", &[])), Value::List(vec![]));
+    }
+
+    #[test]
+    fn aggregation_builtins() {
+        assert_eq!(ok(call_builtin("sum", &[Value::int_list([1, 2, 3])])), Value::Int(6));
+        assert_eq!(ok(call_builtin("max", &[Value::int_list([1, 5, 3])])), Value::Int(5));
+        assert_eq!(ok(call_builtin("min", &[Value::Int(4), Value::Int(2)])), Value::Int(2));
+        assert_eq!(
+            ok(call_builtin("sorted", &[Value::int_list([3, 1, 2])])),
+            Value::int_list([1, 2, 3])
+        );
+        assert!(call_builtin("max", &[Value::List(vec![])]).unwrap().is_err());
+    }
+
+    #[test]
+    fn unknown_names_are_not_builtins() {
+        assert!(call_builtin("computeDeriv", &[]).is_none());
+    }
+
+    #[test]
+    fn float_is_rejected_as_unsupported() {
+        let err = call_builtin("float", &[Value::Int(1)]).unwrap().unwrap_err();
+        assert_eq!(err.kind(), "UnsupportedFeature");
+    }
+
+    #[test]
+    fn list_methods_mutate_in_place() {
+        let mut v = Value::int_list([1, 2, 3]);
+        let (ret, mutated) = call_method(&mut v, "append", &[Value::Int(4)]).unwrap();
+        assert_eq!(ret, Value::None);
+        assert!(mutated);
+        assert_eq!(v, Value::int_list([1, 2, 3, 4]));
+
+        let (popped, _) = call_method(&mut v, "pop", &[Value::Int(1)]).unwrap();
+        assert_eq!(popped, Value::Int(2));
+        assert_eq!(v, Value::int_list([1, 3, 4]));
+
+        let (idx, mutated) = call_method(&mut v, "index", &[Value::Int(3)]).unwrap();
+        assert_eq!(idx, Value::Int(1));
+        assert!(!mutated);
+
+        call_method(&mut v, "insert", &[Value::Int(0), Value::Int(9)]).unwrap();
+        assert_eq!(v, Value::int_list([9, 1, 3, 4]));
+
+        call_method(&mut v, "sort", &[]).unwrap();
+        assert_eq!(v, Value::int_list([1, 3, 4, 9]));
+    }
+
+    #[test]
+    fn list_index_of_missing_element_is_value_error() {
+        let mut v = Value::int_list([1, 2]);
+        let err = call_method(&mut v, "index", &[Value::Int(9)]).unwrap_err();
+        assert_eq!(err.kind(), "ValueError");
+    }
+
+    #[test]
+    fn str_methods() {
+        let mut s = Value::Str("hangman".into());
+        let (replaced, mutated) =
+            call_method(&mut s, "replace", &[Value::Str("a".into()), Value::Str("_".into())]).unwrap();
+        assert_eq!(replaced, Value::Str("h_ngm_n".into()));
+        assert!(!mutated);
+        let (found, _) = call_method(&mut s, "find", &[Value::Str("gma".into())]).unwrap();
+        assert_eq!(found, Value::Int(3));
+        let (missing, _) = call_method(&mut s, "find", &[Value::Str("zz".into())]).unwrap();
+        assert_eq!(missing, Value::Int(-1));
+    }
+
+    #[test]
+    fn dict_methods() {
+        let mut d = Value::Dict(vec![(Value::Int(1), Value::Str("a".into()))]);
+        let (keys, _) = call_method(&mut d, "keys", &[]).unwrap();
+        assert_eq!(keys, Value::int_list([1]));
+        let (got, _) = call_method(&mut d, "get", &[Value::Int(2), Value::Int(0)]).unwrap();
+        assert_eq!(got, Value::Int(0));
+    }
+
+    #[test]
+    fn negative_index_normalisation() {
+        assert_eq!(normalise_index(-1, 3), Some(2));
+        assert_eq!(normalise_index(0, 3), Some(0));
+        assert_eq!(normalise_index(3, 3), None);
+        assert_eq!(normalise_index(-4, 3), None);
+        assert_eq!(normalise_index(0, 0), None);
+    }
+}

@@ -1,0 +1,326 @@
+//! Bounded equivalence checking between a student program and the reference
+//! implementation.
+//!
+//! The paper's SKETCH harness "compares the outputs of the translated student
+//! and reference implementations on all inputs of a bounded size" (§2.3).
+//! [`EquivalenceOracle`] is the enumerative analogue: it precomputes the
+//! reference outcome on every bounded input once, then answers
+//! counterexample queries for candidate programs.
+
+use afg_ast::types::MpyType;
+use afg_ast::Program;
+
+use crate::error::RuntimeError;
+use crate::inputs::InputSpace;
+use crate::interp::{run_function, ExecLimits, Outcome};
+use crate::value::Value;
+
+/// The observable behaviour of one program run: either a value plus output,
+/// or the kind of error it raised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecResult {
+    /// Execution finished normally.
+    Ok(Outcome),
+    /// Execution raised an error of the given kind (`"IndexError"`, ...).
+    Err(&'static str),
+}
+
+impl ExecResult {
+    /// Runs `program` on `args` and captures the result.
+    pub fn observe(
+        program: &Program,
+        entry: Option<&str>,
+        args: &[Value],
+        limits: ExecLimits,
+    ) -> ExecResult {
+        match run_function(program, entry, args, limits) {
+            Ok(outcome) => ExecResult::Ok(outcome),
+            Err(err) => ExecResult::Err(err.kind()),
+        }
+    }
+
+    /// Whether this result is a successful execution.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ExecResult::Ok(_))
+    }
+
+    /// Whether a student result matches a reference result.
+    ///
+    /// Behavioural match means: the student run succeeds, returns a value
+    /// that is Python-equal to the reference value and, when
+    /// `compare_output` is set, prints the same lines.
+    pub fn matches(&self, reference: &ExecResult, compare_output: bool) -> bool {
+        match (self, reference) {
+            (ExecResult::Ok(student), ExecResult::Ok(reference)) => {
+                student.value.py_eq(&reference.value)
+                    && (!compare_output || student.output == reference.output)
+            }
+            // A reference error means the input is outside the reference's
+            // domain; such inputs never count against the student.
+            (_, ExecResult::Err(_)) => true,
+            (ExecResult::Err(_), ExecResult::Ok(_)) => false,
+        }
+    }
+}
+
+/// Configuration of the equivalence check.
+#[derive(Debug, Clone)]
+pub struct EquivalenceConfig {
+    /// Bounded input space.
+    pub space: InputSpace,
+    /// Per-run resource limits.
+    pub limits: ExecLimits,
+    /// Name of the graded function (entry point).
+    pub entry: Option<String>,
+    /// Whether printed output is part of the observable behaviour
+    /// (only the stdin/print style problems set this).
+    pub compare_output: bool,
+}
+
+impl Default for EquivalenceConfig {
+    fn default() -> EquivalenceConfig {
+        EquivalenceConfig {
+            space: InputSpace::default(),
+            limits: ExecLimits::fast(),
+            entry: None,
+            compare_output: false,
+        }
+    }
+}
+
+/// A reusable oracle answering "does this candidate behave like the
+/// reference on every bounded input?".
+#[derive(Debug, Clone)]
+pub struct EquivalenceOracle {
+    inputs: Vec<Vec<Value>>,
+    reference_results: Vec<ExecResult>,
+    config: EquivalenceConfig,
+}
+
+impl EquivalenceOracle {
+    /// Builds an oracle for a reference implementation whose parameters have
+    /// the given declared types.
+    ///
+    /// The reference is run once on every input of the bounded space and the
+    /// results are cached.
+    pub fn new(reference: &Program, param_types: &[MpyType], config: EquivalenceConfig) -> EquivalenceOracle {
+        let inputs = config.space.enumerate_args(param_types);
+        let reference_results = inputs
+            .iter()
+            .map(|args| ExecResult::observe(reference, config.entry.as_deref(), args, config.limits))
+            .collect();
+        EquivalenceOracle { inputs, reference_results, config }
+    }
+
+    /// Builds an oracle, reading the parameter types from the reference
+    /// program's entry function (the paper's name-suffix convention).
+    pub fn from_reference(reference: &Program, config: EquivalenceConfig) -> EquivalenceOracle {
+        let param_types: Vec<MpyType> = reference
+            .entry(config.entry.as_deref())
+            .map(|f| f.params.iter().map(|p| p.ty.clone()).collect())
+            .unwrap_or_default();
+        EquivalenceOracle::new(reference, &param_types, config)
+    }
+
+    /// The bounded inputs the oracle checks, in order.
+    pub fn inputs(&self) -> &[Vec<Value>] {
+        &self.inputs
+    }
+
+    /// The cached reference result for input `index`.
+    pub fn reference_result(&self, index: usize) -> &ExecResult {
+        &self.reference_results[index]
+    }
+
+    /// Number of inputs on which the reference executes successfully.
+    pub fn valid_input_count(&self) -> usize {
+        self.reference_results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Checks the candidate on a single input, by index.
+    pub fn check_input(&self, candidate: &Program, index: usize) -> bool {
+        let result = ExecResult::observe(
+            candidate,
+            self.config.entry.as_deref(),
+            &self.inputs[index],
+            self.config.limits,
+        );
+        result.matches(&self.reference_results[index], self.config.compare_output)
+    }
+
+    /// Finds the first input on which the candidate disagrees with the
+    /// reference, or `None` if the candidate is equivalent on the whole
+    /// bounded space.
+    pub fn find_counterexample(&self, candidate: &Program) -> Option<usize> {
+        (0..self.inputs.len()).find(|&i| !self.check_input(candidate, i))
+    }
+
+    /// Whether the candidate is equivalent to the reference on the bounded
+    /// space.
+    pub fn is_equivalent(&self, candidate: &Program) -> bool {
+        self.find_counterexample(candidate).is_none()
+    }
+
+    /// Runs the candidate on an explicit list of input indices (the CEGIS
+    /// counterexample set) and reports whether it agrees on all of them.
+    pub fn agrees_on(&self, candidate: &Program, indices: &[usize]) -> bool {
+        indices.iter().all(|&i| self.check_input(candidate, i))
+    }
+}
+
+/// Classification of a submission against the reference, used when building
+/// the experiment corpus (Table 1's Correct / Incorrect split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Behaviourally equivalent to the reference on the bounded space.
+    Correct,
+    /// Differs from the reference on at least one bounded input.
+    Incorrect,
+}
+
+/// Classifies a parsed submission as correct or incorrect.
+pub fn classify(oracle: &EquivalenceOracle, submission: &Program) -> Verdict {
+    if oracle.is_equivalent(submission) {
+        Verdict::Correct
+    } else {
+        Verdict::Incorrect
+    }
+}
+
+/// Convenience helper: runs both programs on one input and reports whether
+/// the student matches the reference there.
+pub fn agree_on_input(
+    reference: &Program,
+    student: &Program,
+    entry: Option<&str>,
+    args: &[Value],
+    limits: ExecLimits,
+    compare_output: bool,
+) -> Result<bool, RuntimeError> {
+    let reference_result = ExecResult::observe(reference, entry, args, limits);
+    let student_result = ExecResult::observe(student, entry, args, limits);
+    Ok(student_result.matches(&reference_result, compare_output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afg_parser::parse_program;
+
+    const REFERENCE: &str = "\
+def computeDeriv(poly_list_int):
+    result = []
+    for i in range(len(poly_list_int)):
+        result += [i * poly_list_int[i]]
+    if len(poly_list_int) == 1:
+        return result
+    else:
+        return result[1:]
+";
+
+    // Correct alternative algorithm (builds the result with append).
+    const CORRECT_VARIANT: &str = "\
+def computeDeriv(poly):
+    if len(poly) == 1:
+        return [0]
+    deriv = []
+    for i in range(1, len(poly)):
+        deriv.append(i * poly[i])
+    return deriv
+";
+
+    // Figure 2(a): misses the [0] base case and iterates from 0.
+    const INCORRECT: &str = "\
+def computeDeriv(poly):
+    deriv = []
+    zero = 0
+    if (len(poly) == 1):
+        return deriv
+    for e in range(0, len(poly)):
+        if (poly[e] == 0):
+            zero += 1
+        else:
+            deriv.append(poly[e]*e)
+    return deriv
+";
+
+    fn oracle() -> EquivalenceOracle {
+        let reference = parse_program(REFERENCE).unwrap();
+        let config = EquivalenceConfig {
+            entry: Some("computeDeriv".to_string()),
+            ..EquivalenceConfig::default()
+        };
+        EquivalenceOracle::from_reference(&reference, config)
+    }
+
+    #[test]
+    fn reference_is_equivalent_to_itself() {
+        let oracle = oracle();
+        let reference = parse_program(REFERENCE).unwrap();
+        assert!(oracle.is_equivalent(&reference));
+        assert!(oracle.valid_input_count() > 10);
+    }
+
+    #[test]
+    fn note_single_element_semantics_of_reference() {
+        // The paper's reference returns `result` (which is [0 * poly[0]]) for
+        // singleton lists, i.e. [0] — the variant must agree.
+        let oracle = oracle();
+        let variant = parse_program(CORRECT_VARIANT).unwrap();
+        assert!(oracle.is_equivalent(&variant));
+    }
+
+    #[test]
+    fn incorrect_submission_yields_small_counterexample() {
+        let oracle = oracle();
+        let student = parse_program(INCORRECT).unwrap();
+        let cex = oracle.find_counterexample(&student).expect("should differ");
+        // The first differing input should be small — a list of length <= 2.
+        match &oracle.inputs()[cex][0] {
+            Value::List(items) => assert!(items.len() <= 2),
+            other => panic!("unexpected input {other:?}"),
+        }
+        assert_eq!(classify(&oracle, &student), Verdict::Incorrect);
+    }
+
+    #[test]
+    fn exec_results_match_semantics() {
+        let ok = ExecResult::Ok(Outcome { value: Value::Int(1), output: vec![] });
+        let ok_same = ExecResult::Ok(Outcome { value: Value::Int(1), output: vec!["x".into()] });
+        let err = ExecResult::Err("IndexError");
+        assert!(ok_same.matches(&ok, false));
+        assert!(!ok_same.matches(&ok, true));
+        assert!(!err.matches(&ok, false));
+        // Inputs where the reference errors never count against the student.
+        assert!(ok.matches(&err, false));
+        assert!(err.matches(&err, false));
+    }
+
+    #[test]
+    fn agrees_on_subset_of_inputs() {
+        let oracle = oracle();
+        let student = parse_program(INCORRECT).unwrap();
+        let cex = oracle.find_counterexample(&student).unwrap();
+        assert!(!oracle.agrees_on(&student, &[cex]));
+        // The empty counterexample set is vacuously satisfied.
+        assert!(oracle.agrees_on(&student, &[]));
+    }
+
+    #[test]
+    fn agree_on_single_input_helper() {
+        let reference = parse_program(REFERENCE).unwrap();
+        let student = parse_program(INCORRECT).unwrap();
+        let args = vec![Value::int_list([7])];
+        let same = agree_on_input(
+            &reference,
+            &student,
+            Some("computeDeriv"),
+            &args,
+            ExecLimits::fast(),
+            false,
+        )
+        .unwrap();
+        // Reference returns [0], the student returns [] — they disagree.
+        assert!(!same);
+    }
+}

@@ -1,0 +1,101 @@
+//! Runtime errors raised while interpreting MPY programs.
+//!
+//! Student submissions routinely crash (index out of range, type confusion,
+//! infinite loops); the grader treats every error as "this input
+//! distinguishes the submission from the reference", so errors are ordinary
+//! values from the grader's point of view rather than process failures.
+
+use std::error::Error;
+use std::fmt;
+
+/// A runtime error produced by the MPY interpreter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RuntimeError {
+    /// Operation applied to values of the wrong type (`TypeError`).
+    Type(String),
+    /// Name not bound in the current scope (`NameError`).
+    Name(String),
+    /// Sequence index out of range (`IndexError`).
+    Index(String),
+    /// Missing dictionary key (`KeyError`).
+    Key(String),
+    /// Bad value for an otherwise well-typed operation, e.g. `list.index`
+    /// on a missing element (`ValueError`).
+    Value(String),
+    /// Integer division or modulo by zero (`ZeroDivisionError`).
+    ZeroDivision,
+    /// Arithmetic overflowed the host integer width (student exponentials
+    /// can explode; Python would keep going with bignums, we stop).
+    Overflow,
+    /// The step budget was exhausted — the MPY program is looping
+    /// (or recursing) too long.  Plays the role of the paper's 4-minute
+    /// timeout, but counted in interpreter steps for determinism.
+    FuelExhausted,
+    /// Recursion deeper than the configured bound.
+    RecursionLimit,
+    /// The program used a feature outside the supported MPY subset
+    /// ("Unimplemented features" bucket in paper §5.3).
+    Unsupported(String),
+}
+
+impl RuntimeError {
+    /// Short Python-style class name for the error (used in reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RuntimeError::Type(_) => "TypeError",
+            RuntimeError::Name(_) => "NameError",
+            RuntimeError::Index(_) => "IndexError",
+            RuntimeError::Key(_) => "KeyError",
+            RuntimeError::Value(_) => "ValueError",
+            RuntimeError::ZeroDivision => "ZeroDivisionError",
+            RuntimeError::Overflow => "OverflowError",
+            RuntimeError::FuelExhausted => "Timeout",
+            RuntimeError::RecursionLimit => "RecursionError",
+            RuntimeError::Unsupported(_) => "UnsupportedFeature",
+        }
+    }
+
+    /// Whether the error is a resource bound (timeout / recursion) rather
+    /// than a genuine semantic error of the program.
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(self, RuntimeError::FuelExhausted | RuntimeError::RecursionLimit)
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Type(msg)
+            | RuntimeError::Name(msg)
+            | RuntimeError::Index(msg)
+            | RuntimeError::Key(msg)
+            | RuntimeError::Value(msg)
+            | RuntimeError::Unsupported(msg) => write!(f, "{}: {}", self.kind(), msg),
+            _ => write!(f, "{}", self.kind()),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display() {
+        assert_eq!(RuntimeError::ZeroDivision.kind(), "ZeroDivisionError");
+        assert_eq!(
+            RuntimeError::Type("cannot add int and list".into()).to_string(),
+            "TypeError: cannot add int and list"
+        );
+        assert_eq!(RuntimeError::FuelExhausted.to_string(), "Timeout");
+    }
+
+    #[test]
+    fn resource_limits_are_classified() {
+        assert!(RuntimeError::FuelExhausted.is_resource_limit());
+        assert!(RuntimeError::RecursionLimit.is_resource_limit());
+        assert!(!RuntimeError::ZeroDivision.is_resource_limit());
+    }
+}

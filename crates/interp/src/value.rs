@@ -1,0 +1,246 @@
+//! Runtime values — the Rust analogue of the paper's `MultiType` struct.
+//!
+//! The paper models Python's dynamic typing in the statically-typed SKETCH
+//! language with a `MultiType` struct carrying a type flag and one field per
+//! possible payload (paper Figure 5).  In Rust the idiomatic encoding of the
+//! same idea is an enum.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically-typed MPY runtime value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Integer (`flag == INTEGER` in the paper's MultiType).
+    Int(i64),
+    /// Boolean (`flag == BOOL`).
+    Bool(bool),
+    /// String (`flag == STRING`).
+    Str(String),
+    /// List (`flag == LIST`).
+    List(Vec<Value>),
+    /// Tuple (`flag == TUPLE`).
+    Tuple(Vec<Value>),
+    /// Dictionary (`flag == DICTIONARY`); represented as an association list
+    /// in insertion order, which is all the benchmarks need.
+    Dict(Vec<(Value, Value)>),
+    /// The `None` value.
+    None,
+}
+
+impl Value {
+    /// Python truthiness: `0`, `False`, `''`, `[]`, `()`, `{}` and `None` are
+    /// falsy, everything else is truthy.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Bool(b) => *b,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(items) | Value::Tuple(items) => !items.is_empty(),
+            Value::Dict(items) => !items.is_empty(),
+            Value::None => false,
+        }
+    }
+
+    /// The value's type name as Python would report it (`int`, `list`, ...).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+            Value::Tuple(_) => "tuple",
+            Value::Dict(_) => "dict",
+            Value::None => "NoneType",
+        }
+    }
+
+    /// Returns the integer content, treating booleans as `0`/`1` the way
+    /// Python arithmetic does.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Python equality: booleans compare equal to the corresponding integers,
+    /// sequences compare element-wise, everything else is structural.
+    pub fn py_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(_) | Value::Bool(_), Value::Int(_) | Value::Bool(_)) => {
+                self.as_int() == other.as_int()
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::List(a), Value::List(b)) | (Value::Tuple(a), Value::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.py_eq(y))
+            }
+            (Value::Dict(a), Value::Dict(b)) => {
+                a.len() == b.len()
+                    && a.iter().all(|(k, v)| {
+                        b.iter().any(|(k2, v2)| k.py_eq(k2) && v.py_eq(v2))
+                    })
+            }
+            (Value::None, Value::None) => true,
+            _ => false,
+        }
+    }
+
+    /// Python ordering for values of comparable types (ints/bools,
+    /// strings, and sequences element-wise).  Returns `None` when the two
+    /// types are not ordered against each other in MPY.
+    pub fn py_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(_) | Value::Bool(_), Value::Int(_) | Value::Bool(_)) => {
+                Some(self.as_int()?.cmp(&other.as_int()?))
+            }
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::List(a), Value::List(b)) | (Value::Tuple(a), Value::Tuple(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.py_cmp(y)? {
+                        Ordering::Equal => continue,
+                        non_eq => return Some(non_eq),
+                    }
+                }
+                Some(a.len().cmp(&b.len()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Renders the value the way Python's `repr` would (single-quoted
+    /// strings, `True`/`False`, `None`).
+    pub fn repr(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Bool(true) => "True".to_string(),
+            Value::Bool(false) => "False".to_string(),
+            Value::Str(s) => format!("'{s}'"),
+            Value::List(items) => {
+                let inner: Vec<String> = items.iter().map(Value::repr).collect();
+                format!("[{}]", inner.join(", "))
+            }
+            Value::Tuple(items) => {
+                let inner: Vec<String> = items.iter().map(Value::repr).collect();
+                if items.len() == 1 {
+                    format!("({},)", inner[0])
+                } else {
+                    format!("({})", inner.join(", "))
+                }
+            }
+            Value::Dict(items) => {
+                let inner: Vec<String> = items
+                    .iter()
+                    .map(|(k, v)| format!("{}: {}", k.repr(), v.repr()))
+                    .collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+            Value::None => "None".to_string(),
+        }
+    }
+
+    /// Renders the value the way Python's `str` would (strings unquoted).
+    pub fn display_str(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            other => other.repr(),
+        }
+    }
+
+    /// Builds a list-of-ints value, the most common benchmark input.
+    pub fn int_list(items: impl IntoIterator<Item = i64>) -> Value {
+        Value::List(items.into_iter().map(Value::Int).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_str())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<Vec<i64>> for Value {
+    fn from(v: Vec<i64>) -> Value {
+        Value::int_list(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_matches_python() {
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Int(-1).is_truthy());
+        assert!(!Value::Str(String::new()).is_truthy());
+        assert!(!Value::List(vec![]).is_truthy());
+        assert!(Value::List(vec![Value::Int(0)]).is_truthy());
+        assert!(!Value::None.is_truthy());
+    }
+
+    #[test]
+    fn bool_and_int_compare_equal() {
+        assert!(Value::Bool(true).py_eq(&Value::Int(1)));
+        assert!(Value::Bool(false).py_eq(&Value::Int(0)));
+        assert!(!Value::Bool(true).py_eq(&Value::Int(2)));
+    }
+
+    #[test]
+    fn lists_compare_elementwise_and_lexicographically() {
+        let a = Value::int_list([1, 2]);
+        let b = Value::int_list([1, 2]);
+        let c = Value::int_list([1, 3]);
+        assert!(a.py_eq(&b));
+        assert!(!a.py_eq(&c));
+        assert_eq!(a.py_cmp(&c), Some(Ordering::Less));
+        assert_eq!(a.py_cmp(&Value::int_list([1])), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn cross_type_comparison_is_undefined() {
+        assert_eq!(Value::Int(1).py_cmp(&Value::Str("a".into())), None);
+        assert!(!Value::Int(1).py_eq(&Value::Str("1".into())));
+    }
+
+    #[test]
+    fn repr_matches_python_conventions() {
+        assert_eq!(Value::int_list([1, 2]).repr(), "[1, 2]");
+        assert_eq!(Value::Tuple(vec![Value::Int(1)]).repr(), "(1,)");
+        assert_eq!(Value::Str("ab".into()).repr(), "'ab'");
+        assert_eq!(Value::Str("ab".into()).display_str(), "ab");
+        assert_eq!(Value::Bool(true).repr(), "True");
+        assert_eq!(Value::None.repr(), "None");
+        assert_eq!(
+            Value::Dict(vec![(Value::Int(1), Value::Str("a".into()))]).repr(),
+            "{1: 'a'}"
+        );
+    }
+
+    #[test]
+    fn conversions_from_rust_types() {
+        assert_eq!(Value::from(3), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(vec![1, 2]), Value::int_list([1, 2]));
+    }
+}

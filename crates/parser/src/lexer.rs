@@ -1,0 +1,458 @@
+//! Indentation-aware lexer for MPY.
+//!
+//! The lexer turns MPY source into a stream of [`Token`]s, synthesising
+//! `Indent`/`Dedent`/`Newline` tokens from the layout exactly the way the
+//! CPython tokenizer does for the subset we support: comments are stripped,
+//! blank lines ignored, and lines are implicitly joined while inside
+//! brackets.
+
+use crate::ParseError;
+
+/// A lexical token together with the position it started at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// The token itself.
+    pub kind: TokenKind,
+}
+
+/// The kinds of MPY tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// String literal (contents only, quotes removed).
+    Str(String),
+    /// Identifier that is not a keyword.
+    Name(String),
+    /// Keyword (`def`, `return`, `if`, ...).
+    Keyword(Keyword),
+    /// Punctuation or operator.
+    Op(Op),
+    /// End of a logical line.
+    Newline,
+    /// Increase of indentation starting a block.
+    Indent,
+    /// Decrease of indentation ending a block.
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+/// MPY keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Def,
+    Return,
+    If,
+    Elif,
+    Else,
+    While,
+    For,
+    In,
+    Not,
+    And,
+    Or,
+    True,
+    False,
+    None,
+    Pass,
+    Break,
+    Continue,
+    Print,
+}
+
+impl Keyword {
+    fn from_str(word: &str) -> Option<Keyword> {
+        Some(match word {
+            "def" => Keyword::Def,
+            "return" => Keyword::Return,
+            "if" => Keyword::If,
+            "elif" => Keyword::Elif,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "for" => Keyword::For,
+            "in" => Keyword::In,
+            "not" => Keyword::Not,
+            "and" => Keyword::And,
+            "or" => Keyword::Or,
+            "True" => Keyword::True,
+            "False" => Keyword::False,
+            "None" => Keyword::None,
+            "pass" => Keyword::Pass,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "print" => Keyword::Print,
+            _ => return None,
+        })
+    }
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Plus,
+    Minus,
+    Star,
+    DoubleStar,
+    Slash,
+    DoubleSlash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Dot,
+    Semicolon,
+}
+
+/// Tokenizes MPY source.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unterminated strings, inconsistent
+/// indentation, integer overflow or characters outside the MPY alphabet
+/// (e.g. tabs mixed with spaces are accepted, but `@` is not).
+pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut indent_stack: Vec<usize> = vec![0];
+    let mut bracket_depth: usize = 0;
+
+    for (line_idx, raw_line) in source.lines().enumerate() {
+        let line_no = (line_idx + 1) as u32;
+        let line = raw_line.trim_end();
+
+        // Measure indentation before stripping it (tabs count as 8 columns,
+        // mirroring CPython's default tab size).
+        let mut indent = 0usize;
+        let mut content_start = 0usize;
+        for (i, ch) in line.char_indices() {
+            match ch {
+                ' ' => indent += 1,
+                '\t' => indent += 8 - (indent % 8),
+                _ => {
+                    content_start = i;
+                    break;
+                }
+            }
+            content_start = i + ch.len_utf8();
+        }
+        let content = &line[content_start..];
+        if content.is_empty() || content.starts_with('#') {
+            continue; // blank line or pure comment
+        }
+
+        // Layout handling is suppressed inside brackets (implicit joining).
+        if bracket_depth == 0 {
+            let current = *indent_stack.last().expect("indent stack is never empty");
+            if indent > current {
+                indent_stack.push(indent);
+                tokens.push(Token { line: line_no, col: 1, kind: TokenKind::Indent });
+            } else if indent < current {
+                while *indent_stack.last().expect("indent stack is never empty") > indent {
+                    indent_stack.pop();
+                    tokens.push(Token { line: line_no, col: 1, kind: TokenKind::Dedent });
+                }
+                if *indent_stack.last().expect("indent stack is never empty") != indent {
+                    return Err(ParseError::new(
+                        line_no,
+                        1,
+                        "unindent does not match any outer indentation level",
+                    ));
+                }
+            }
+        }
+
+        lex_line(content, line_no, content_start as u32 + 1, &mut tokens, &mut bracket_depth)?;
+
+        if bracket_depth == 0 {
+            tokens.push(Token { line: line_no, col: line.len() as u32 + 1, kind: TokenKind::Newline });
+        }
+    }
+
+    if bracket_depth > 0 {
+        return Err(ParseError::new(
+            source.lines().count() as u32,
+            1,
+            "unexpected end of input inside brackets",
+        ));
+    }
+    let last_line = source.lines().count().max(1) as u32;
+    while indent_stack.len() > 1 {
+        indent_stack.pop();
+        tokens.push(Token { line: last_line, col: 1, kind: TokenKind::Dedent });
+    }
+    tokens.push(Token { line: last_line, col: 1, kind: TokenKind::Eof });
+    Ok(tokens)
+}
+
+fn lex_line(
+    content: &str,
+    line: u32,
+    col_offset: u32,
+    tokens: &mut Vec<Token>,
+    bracket_depth: &mut usize,
+) -> Result<(), ParseError> {
+    let bytes: Vec<char> = content.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let ch = bytes[i];
+        let col = col_offset + i as u32;
+        match ch {
+            ' ' | '\t' => {
+                i += 1;
+            }
+            '#' => break, // trailing comment
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // Reject float literals explicitly: MPY is integer-only.
+                if i < bytes.len() && bytes[i] == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    return Err(ParseError::new(line, col, "floating point literals are not supported in MPY"));
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(line, col, "integer literal out of range"))?;
+                tokens.push(Token { line, col, kind: TokenKind::Int(value) });
+            }
+            '\'' | '"' => {
+                let quote = ch;
+                let mut value = String::new();
+                i += 1;
+                let mut closed = false;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if c == '\\' && i + 1 < bytes.len() {
+                        let escaped = bytes[i + 1];
+                        value.push(match escaped {
+                            'n' => '\n',
+                            't' => '\t',
+                            '\\' => '\\',
+                            '\'' => '\'',
+                            '"' => '"',
+                            other => other,
+                        });
+                        i += 2;
+                        continue;
+                    }
+                    if c == quote {
+                        closed = true;
+                        i += 1;
+                        break;
+                    }
+                    value.push(c);
+                    i += 1;
+                }
+                if !closed {
+                    return Err(ParseError::new(line, col, "unterminated string literal"));
+                }
+                tokens.push(Token { line, col, kind: TokenKind::Str(value) });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                let kind = match Keyword::from_str(&word) {
+                    Some(kw) => TokenKind::Keyword(kw),
+                    None => TokenKind::Name(word),
+                };
+                tokens.push(Token { line, col, kind });
+            }
+            _ => {
+                let (op, advance) = lex_operator(&bytes, i)
+                    .ok_or_else(|| ParseError::new(line, col, format!("unexpected character '{ch}'")))?;
+                match op {
+                    Op::LParen | Op::LBracket | Op::LBrace => *bracket_depth += 1,
+                    Op::RParen | Op::RBracket | Op::RBrace => {
+                        *bracket_depth = bracket_depth.saturating_sub(1);
+                    }
+                    _ => {}
+                }
+                tokens.push(Token { line, col, kind: TokenKind::Op(op) });
+                i += advance;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn lex_operator(chars: &[char], i: usize) -> Option<(Op, usize)> {
+    let two: Option<(char, char)> = if i + 1 < chars.len() {
+        Some((chars[i], chars[i + 1]))
+    } else {
+        None
+    };
+    if let Some(pair) = two {
+        let op = match pair {
+            ('*', '*') => Some(Op::DoubleStar),
+            ('/', '/') => Some(Op::DoubleSlash),
+            ('=', '=') => Some(Op::Eq),
+            ('!', '=') => Some(Op::Ne),
+            ('<', '=') => Some(Op::Le),
+            ('>', '=') => Some(Op::Ge),
+            ('+', '=') => Some(Op::PlusAssign),
+            ('-', '=') => Some(Op::MinusAssign),
+            ('*', '=') => Some(Op::StarAssign),
+            ('/', '=') => Some(Op::SlashAssign),
+            ('<', '>') => Some(Op::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            return Some((op, 2));
+        }
+    }
+    let op = match chars[i] {
+        '+' => Op::Plus,
+        '-' => Op::Minus,
+        '*' => Op::Star,
+        '/' => Op::Slash,
+        '%' => Op::Percent,
+        '=' => Op::Assign,
+        '<' => Op::Lt,
+        '>' => Op::Gt,
+        '(' => Op::LParen,
+        ')' => Op::RParen,
+        '[' => Op::LBracket,
+        ']' => Op::RBracket,
+        '{' => Op::LBrace,
+        '}' => Op::RBrace,
+        ',' => Op::Comma,
+        ':' => Op::Colon,
+        '.' => Op::Dot,
+        ';' => Op::Semicolon,
+        _ => return None,
+    };
+    Some((op, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        let toks = kinds("x = 1 + 2\n");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Name("x".into()),
+                TokenKind::Op(Op::Assign),
+                TokenKind::Int(1),
+                TokenKind::Op(Op::Plus),
+                TokenKind::Int(2),
+                TokenKind::Newline,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn emits_indent_and_dedent() {
+        let toks = kinds("if x:\n    y = 1\nz = 2\n");
+        assert!(toks.contains(&TokenKind::Indent));
+        assert!(toks.contains(&TokenKind::Dedent));
+        let indent_pos = toks.iter().position(|t| *t == TokenKind::Indent).unwrap();
+        let dedent_pos = toks.iter().position(|t| *t == TokenKind::Dedent).unwrap();
+        assert!(indent_pos < dedent_pos);
+    }
+
+    #[test]
+    fn closes_all_blocks_at_eof() {
+        let toks = kinds("if x:\n    if y:\n        z = 1\n");
+        let dedents = toks.iter().filter(|t| **t == TokenKind::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let toks = kinds("# a comment\n\nx = 1  # trailing\n");
+        assert_eq!(toks.iter().filter(|t| matches!(t, TokenKind::Newline)).count(), 1);
+        assert!(toks.contains(&TokenKind::Int(1)));
+    }
+
+    #[test]
+    fn strings_support_both_quotes_and_escapes() {
+        let toks = kinds("s = 'a_\"b'\nt = \"c\\nd\"\n");
+        assert!(toks.contains(&TokenKind::Str("a_\"b".into())));
+        assert!(toks.contains(&TokenKind::Str("c\nd".into())));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let toks = kinds("a <= b != c ** d // e += 1\n");
+        assert!(toks.contains(&TokenKind::Op(Op::Le)));
+        assert!(toks.contains(&TokenKind::Op(Op::Ne)));
+        assert!(toks.contains(&TokenKind::Op(Op::DoubleStar)));
+        assert!(toks.contains(&TokenKind::Op(Op::DoubleSlash)));
+        assert!(toks.contains(&TokenKind::Op(Op::PlusAssign)));
+    }
+
+    #[test]
+    fn implicit_line_joining_inside_brackets() {
+        let toks = kinds("x = [1,\n     2,\n     3]\n");
+        // Only one logical line.
+        assert_eq!(toks.iter().filter(|t| matches!(t, TokenKind::Newline)).count(), 1);
+        assert!(!toks.contains(&TokenKind::Indent));
+    }
+
+    #[test]
+    fn keywords_are_recognised() {
+        let toks = kinds("def f():\n    return True\n");
+        assert!(toks.contains(&TokenKind::Keyword(Keyword::Def)));
+        assert!(toks.contains(&TokenKind::Keyword(Keyword::Return)));
+        assert!(toks.contains(&TokenKind::Keyword(Keyword::True)));
+    }
+
+    #[test]
+    fn rejects_bad_indentation() {
+        let err = tokenize("if x:\n    y = 1\n  z = 2\n").unwrap_err();
+        assert!(err.to_string().contains("unindent"));
+    }
+
+    #[test]
+    fn rejects_unterminated_string_and_floats() {
+        assert!(tokenize("s = 'abc\n").is_err());
+        assert!(tokenize("x = 1.5\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = tokenize("x = @\n").unwrap_err();
+        assert!(err.to_string().contains('@'));
+    }
+
+    #[test]
+    fn token_positions_are_one_based() {
+        let toks = tokenize("x = 1\n").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].col, 1);
+        assert_eq!(toks[2].col, 5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Lexer and parser for MPY, the mini-Python subset used by the automated
+//! feedback generator.
+//!
+//! The paper's tool uses CPython's `ast` module as its front end; this crate
+//! plays the same role for our reproduction.  It accepts the Python subset
+//! that every benchmark program in the paper's evaluation needs — function
+//! definitions, assignments (plain and augmented), `if`/`elif`/`else`,
+//! `while`, `for ... in ...`, `return`, `print`, integer/string/list/tuple/
+//! dict literals, slicing, method calls, boolean and comparison operators,
+//! and conditional expressions — and rejects everything else with a
+//! [`ParseError`] carrying a line and column.
+//!
+//! Submissions that fail to parse are the "syntax errors" column of the
+//! paper's Table 1: they are removed from the test set before grading.
+//!
+//! # Example
+//!
+//! ```
+//! let source = "\
+//! def computeDeriv(poly_list_int):
+//!     result = []
+//!     for i in range(len(poly_list_int)):
+//!         result += [i * poly_list_int[i]]
+//!     if len(poly_list_int) == 1:
+//!         return result
+//!     else:
+//!         return result[1:]
+//! ";
+//! let program = afg_parser::parse_program(source)?;
+//! assert_eq!(program.funcs.len(), 1);
+//! assert_eq!(program.funcs[0].name, "computeDeriv");
+//! // The `_list_int` suffix declares the parameter type (paper §2.1).
+//! assert_eq!(program.funcs[0].params[0].ty, afg_ast::types::MpyType::list_int());
+//! # Ok::<(), afg_parser::ParseError>(())
+//! ```
+
+pub mod lexer;
+mod parser;
+
+use std::error::Error;
+use std::fmt;
+
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::Parser;
+
+use afg_ast::{Expr, Program};
+
+/// A syntax error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the error.
+    pub line: u32,
+    /// 1-based column of the error.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a new parse error.
+    pub fn new(line: u32, col: u32, message: impl Into<String>) -> ParseError {
+        ParseError { line, col, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at line {}, column {}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parses a complete MPY program (function definitions plus optional
+/// top-level statements).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first lexical or syntactic
+/// problem encountered.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source)?;
+    Parser::new(tokens).parse_program()
+}
+
+/// Parses a single MPY expression (no trailing input allowed).
+///
+/// Used by the EML rule parser and by tests.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not exactly one expression.
+pub fn parse_expr(source: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(source)?;
+    Parser::new(tokens).parse_single_expr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_displays_position() {
+        let err = ParseError::new(3, 7, "unexpected token");
+        assert_eq!(err.to_string(), "syntax error at line 3, column 7: unexpected token");
+    }
+
+    #[test]
+    fn parse_expr_accepts_only_one_expression() {
+        assert!(parse_expr("1 + 2").is_ok());
+        assert!(parse_expr("1 + ").is_err());
+        assert!(parse_expr("x = 1").is_err());
+    }
+}

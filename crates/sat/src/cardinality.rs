@@ -1,0 +1,180 @@
+//! Cardinality constraints via the sequential-counter encoding.
+//!
+//! CEGISMIN repeatedly tightens the bound "total number of corrections
+//! `< k`" (paper Algorithm 1, line 13).  The synthesis encoding expresses
+//! the total cost as the number of true choice-selector variables, so the
+//! bound is an *at-most-(k−1)* cardinality constraint.  The sequential
+//! counter encoding (Sinz 2005) is used because it is small, propagates
+//! well, and is easy to audit.
+
+use crate::literal::Lit;
+use crate::solver::Solver;
+
+/// Adds clauses enforcing "at most `bound` of `lits` are true".
+///
+/// Uses the sequential-counter encoding with `lits.len() * bound` auxiliary
+/// variables.  A `bound` of zero forces every literal false; a bound no
+/// smaller than `lits.len()` adds nothing.
+///
+/// Returns `false` if the solver became unsatisfiable while adding clauses.
+pub fn add_at_most(solver: &mut Solver, lits: &[Lit], bound: usize) -> bool {
+    let n = lits.len();
+    if bound >= n {
+        return true;
+    }
+    if bound == 0 {
+        for &lit in lits {
+            if !solver.add_clause(&[lit.negated()]) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    // registers[i][j] ⇔ at least j+1 of lits[0..=i] are true.
+    let mut registers: Vec<Vec<Lit>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<Lit> = (0..bound).map(|_| solver.new_var().positive()).collect();
+        registers.push(row);
+    }
+
+    // First element: r[0][0] ⇔ lits[0]; higher counts impossible.
+    if !solver.add_implication(lits[0], registers[0][0]) {
+        return false;
+    }
+    for j in 1..bound {
+        if !solver.add_clause(&[registers[0][j].negated()]) {
+            return false;
+        }
+    }
+
+    for i in 1..n {
+        // Count carries over: r[i-1][j] → r[i][j].
+        for j in 0..bound {
+            if !solver.add_implication(registers[i - 1][j], registers[i][j]) {
+                return false;
+            }
+        }
+        // A true literal increments the count: lits[i] → r[i][0] and
+        // lits[i] ∧ r[i-1][j-1] → r[i][j].
+        if !solver.add_implication(lits[i], registers[i][0]) {
+            return false;
+        }
+        for j in 1..bound {
+            if !solver.add_clause(&[
+                lits[i].negated(),
+                registers[i - 1][j - 1].negated(),
+                registers[i][j],
+            ]) {
+                return false;
+            }
+        }
+        // Overflow is forbidden: lits[i] ∧ r[i-1][bound-1] → ⊥.
+        if !solver.add_clause(&[lits[i].negated(), registers[i - 1][bound - 1].negated()]) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Adds clauses enforcing "at least `bound` of `lits` are true", by the dual
+/// at-most constraint on the negations.
+///
+/// Returns `false` if the solver became unsatisfiable while adding clauses.
+pub fn add_at_least(solver: &mut Solver, lits: &[Lit], bound: usize) -> bool {
+    if bound == 0 {
+        return true;
+    }
+    if bound > lits.len() {
+        // Impossible: force a contradiction.
+        return solver.add_clause(&[]);
+    }
+    let negated: Vec<Lit> = lits.iter().map(|l| l.negated()).collect();
+    add_at_most(solver, &negated, lits.len() - bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SatResult;
+
+    fn count_true(model: &crate::literal::Model, lits: &[Lit]) -> usize {
+        lits.iter().filter(|&&l| model.lit_is_true(l)).count()
+    }
+
+    #[test]
+    fn at_most_bound_is_respected() {
+        for bound in 0..=4 {
+            let mut solver = Solver::new();
+            let vars = solver.new_vars(4);
+            let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+            assert!(add_at_most(&mut solver, &lits, bound));
+            match solver.solve() {
+                SatResult::Sat(model) => assert!(count_true(&model, &lits) <= bound),
+                SatResult::Unsat => panic!("at-most-{bound} over 4 literals must be satisfiable"),
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_zero_forces_all_false() {
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(3);
+        let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        assert!(add_at_most(&mut solver, &lits, 0));
+        let model = match solver.solve() {
+            SatResult::Sat(m) => m,
+            SatResult::Unsat => panic!("satisfiable"),
+        };
+        assert_eq!(count_true(&model, &lits), 0);
+    }
+
+    #[test]
+    fn at_most_conflicts_with_forced_literals() {
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(3);
+        let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        for l in &lits {
+            assert!(solver.add_clause(&[*l]));
+        }
+        add_at_most(&mut solver, &lits, 2);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn at_least_bound_is_respected() {
+        for bound in 0..=3 {
+            let mut solver = Solver::new();
+            let vars = solver.new_vars(3);
+            let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+            assert!(add_at_least(&mut solver, &lits, bound));
+            match solver.solve() {
+                SatResult::Sat(model) => assert!(count_true(&model, &lits) >= bound),
+                SatResult::Unsat => panic!("at-least-{bound} over 3 literals must be satisfiable"),
+            }
+        }
+    }
+
+    #[test]
+    fn at_least_more_than_available_is_unsat() {
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(2);
+        let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        add_at_least(&mut solver, &lits, 3);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn combined_window_of_counts() {
+        // Exactly 2 of 4 literals: at most 2 and at least 2.
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(4);
+        let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        assert!(add_at_most(&mut solver, &lits, 2));
+        assert!(add_at_least(&mut solver, &lits, 2));
+        match solver.solve() {
+            SatResult::Sat(model) => assert_eq!(count_true(&model, &lits), 2),
+            SatResult::Unsat => panic!("exactly-2 of 4 must be satisfiable"),
+        }
+    }
+}

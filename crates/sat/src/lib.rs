@@ -1,0 +1,115 @@
+//! A small CDCL SAT solver with cardinality constraints.
+//!
+//! The paper's tool searches the space of candidate corrections with the
+//! SKETCH synthesizer, whose back end is SAT-based CEGIS.  `afg-sat` is the
+//! SAT substrate of our reproduction: the synthesis crate encodes each
+//! correction choice as boolean selector variables, blocks failed candidates
+//! with learnt clauses, and bounds the total correction cost through the
+//! cardinality encodings in [`cardinality`].
+//!
+//! # Example
+//!
+//! ```
+//! use afg_sat::{Solver, SatResult};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause(&[a.positive(), b.positive()]);
+//! solver.add_clause(&[a.negative()]);
+//! match solver.solve() {
+//!     SatResult::Sat(model) => assert!(model.value(b)),
+//!     SatResult::Unsat => unreachable!("the formula is satisfiable"),
+//! }
+//! ```
+
+pub mod cardinality;
+mod literal;
+mod solver;
+
+pub use cardinality::{add_at_least, add_at_most};
+pub use literal::{Lit, Model, Var};
+pub use solver::{SatResult, Solver};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute-force satisfiability of a CNF over `n` variables.
+    fn brute_force_sat(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
+        for assignment in 0u32..(1 << num_vars) {
+            let value = |v: usize| assignment & (1 << v) != 0;
+            if clauses
+                .iter()
+                .all(|clause| clause.iter().any(|&(v, positive)| value(v) == positive))
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
+        prop::collection::vec((0..num_vars, any::<bool>()), 1..=3)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The CDCL solver agrees with brute force on random small CNFs, and
+        /// when it reports SAT its model really satisfies every clause.
+        #[test]
+        fn solver_agrees_with_brute_force(
+            clauses in prop::collection::vec(clause_strategy(6), 1..24)
+        ) {
+            let num_vars = 6usize;
+            let mut solver = Solver::new();
+            let vars = solver.new_vars(num_vars);
+            let mut trivially_unsat = false;
+            for clause in &clauses {
+                let lits: Vec<Lit> = clause
+                    .iter()
+                    .map(|&(v, positive)| if positive { vars[v].positive() } else { vars[v].negative() })
+                    .collect();
+                if !solver.add_clause(&lits) {
+                    trivially_unsat = true;
+                }
+            }
+            let expected = brute_force_sat(num_vars, &clauses);
+            if trivially_unsat {
+                prop_assert!(!expected);
+                return Ok(());
+            }
+            match solver.solve() {
+                SatResult::Sat(model) => {
+                    prop_assert!(expected, "solver said SAT but brute force says UNSAT");
+                    for clause in &clauses {
+                        prop_assert!(clause.iter().any(|&(v, positive)| model.value(vars[v]) == positive));
+                    }
+                }
+                SatResult::Unsat => prop_assert!(!expected, "solver said UNSAT but brute force says SAT"),
+            }
+        }
+
+        /// The at-most-k encoding never admits a model with more than k true
+        /// literals, and is satisfiable whenever k > 0.
+        #[test]
+        fn cardinality_encoding_is_sound(k in 0usize..5, n in 1usize..6) {
+            let mut solver = Solver::new();
+            let vars = solver.new_vars(n);
+            let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+            prop_assert!(add_at_most(&mut solver, &lits, k));
+            match solver.solve() {
+                SatResult::Sat(model) => {
+                    let count = vars.iter().filter(|v| model.value(**v)).count();
+                    prop_assert!(count <= k);
+                }
+                SatResult::Unsat => {
+                    // With no other constraints the all-false assignment always works.
+                    prop_assert!(false, "at-most-{k} over {n} free literals must be satisfiable");
+                }
+            }
+        }
+    }
+}

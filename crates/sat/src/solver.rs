@@ -1,0 +1,628 @@
+//! A CDCL SAT solver.
+//!
+//! The paper delegates its search over correction choices to the SKETCH
+//! synthesizer, whose inner loop is a SAT solver.  This module provides that
+//! substrate: a conflict-driven clause-learning solver with two-literal
+//! watching, first-UIP conflict analysis, VSIDS-style activity ordering,
+//! phase saving and geometric restarts.  The instances produced by the
+//! synthesis encoding are small (hundreds of variables), so the solver
+//! favours clarity over heroic optimisation.
+
+use crate::literal::{Lit, Model, Var};
+
+/// The answer to a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// The formula is satisfiable; a model is provided.
+    Sat(Model),
+    /// The formula is unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Returns the model if the result is `Sat`.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(model) => Some(model),
+            SatResult::Unsat => None,
+        }
+    }
+
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+const UNASSIGNED: u8 = 2;
+
+/// An incremental CDCL SAT solver.
+///
+/// Clauses may be added between `solve` calls; learnt clauses are kept, so
+/// repeated solving (as done by the CEGIS loop, which adds blocking clauses
+/// and tightening cost bounds) is cheap.
+#[derive(Debug, Default)]
+pub struct Solver {
+    /// Clause database; index 0.. are both original and learnt clauses.
+    clauses: Vec<Vec<Lit>>,
+    /// For each literal index, the clauses currently watching it.
+    watches: Vec<Vec<usize>>,
+    /// Current assignment per variable: 0 = false, 1 = true, 2 = unassigned.
+    assign: Vec<u8>,
+    /// Saved phase per variable (last assigned polarity).
+    phase: Vec<bool>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Reason clause index for each assigned variable (None for decisions).
+    reason: Vec<Option<usize>>,
+    /// Assignment trail.
+    trail: Vec<Lit>,
+    /// Trail indices where each decision level starts.
+    trail_lim: Vec<usize>,
+    /// Next trail position to propagate.
+    propagate_head: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    /// Current activity increment.
+    var_inc: f64,
+    /// False once a top-level conflict has been derived.
+    ok: bool,
+    /// Number of conflicts seen (drives restarts).
+    conflicts: u64,
+    /// Statistics: number of decisions.
+    decisions: u64,
+    /// Statistics: number of propagations.
+    propagations: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver { var_inc: 1.0, ok: true, ..Solver::default() }
+    }
+
+    /// Number of variables currently allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original plus learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Statistics: `(decisions, propagations, conflicts)` since creation.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.decisions, self.propagations, self.conflicts)
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let index = self.assign.len() as u32;
+        self.assign.push(UNASSIGNED);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        Var(index)
+    }
+
+    /// Allocates `n` fresh variables and returns them.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    fn lit_value(&self, lit: Lit) -> u8 {
+        let v = self.assign[lit.var().index()];
+        if v == UNASSIGNED {
+            UNASSIGNED
+        } else if lit.is_positive() {
+            v
+        } else {
+            1 - v
+        }
+    }
+
+    /// Adds a clause.  Returns `false` if the clause makes the formula
+    /// trivially unsatisfiable (empty clause, or a unit clause conflicting
+    /// with the top-level assignment).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        // Adding clauses is only allowed at decision level 0.
+        self.cancel_until(0);
+
+        // Normalise: drop duplicate literals, detect tautologies.
+        let mut clause: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &lit in lits {
+            if clause.contains(&lit.negated()) {
+                return true; // tautology: x ∨ ¬x — trivially satisfied
+            }
+            if !clause.contains(&lit) {
+                clause.push(lit);
+            }
+        }
+        // Remove literals already false at level 0; a clause already true at
+        // level 0 can be dropped.
+        clause.retain(|&lit| self.lit_value(lit) != 0 || self.level[lit.var().index()] != 0);
+        if clause.iter().any(|&lit| self.lit_value(lit) == 1 && self.level[lit.var().index()] == 0) {
+            return true;
+        }
+
+        match clause.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                if self.lit_value(clause[0]) == 0 {
+                    self.ok = false;
+                    return false;
+                }
+                if self.lit_value(clause[0]) == UNASSIGNED {
+                    self.enqueue(clause[0], None);
+                }
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                let index = self.clauses.len();
+                self.watches[clause[0].negated().index()].push(index);
+                self.watches[clause[1].negated().index()].push(index);
+                self.clauses.push(clause);
+                true
+            }
+        }
+    }
+
+    /// Adds the clause `a → b`, i.e. `¬a ∨ b`.
+    pub fn add_implication(&mut self, a: Lit, b: Lit) -> bool {
+        self.add_clause(&[a.negated(), b])
+    }
+
+    /// Adds clauses forcing exactly one of `lits` to be true.
+    pub fn add_exactly_one(&mut self, lits: &[Lit]) -> bool {
+        if !self.add_clause(lits) {
+            return false;
+        }
+        for i in 0..lits.len() {
+            for j in (i + 1)..lits.len() {
+                if !self.add_clause(&[lits[i].negated(), lits[j].negated()]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) {
+        let var = lit.var().index();
+        debug_assert_eq!(self.assign[var], UNASSIGNED);
+        self.assign[var] = u8::from(lit.is_positive());
+        self.phase[var] = lit.is_positive();
+        self.level[var] = self.trail_lim.len() as u32;
+        self.reason[var] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation.  Returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.propagate_head < self.trail.len() {
+            let lit = self.trail[self.propagate_head];
+            self.propagate_head += 1;
+            self.propagations += 1;
+
+            // Clauses watching ¬lit need attention now that lit became true.
+            let mut watch_list = std::mem::take(&mut self.watches[lit.index()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let clause_index = watch_list[i];
+                match self.examine_clause(clause_index, lit) {
+                    WatchOutcome::KeepWatching => {
+                        i += 1;
+                    }
+                    WatchOutcome::Rewatched => {
+                        watch_list.swap_remove(i);
+                    }
+                    WatchOutcome::Conflict => {
+                        // Put the remaining watches back before returning.
+                        self.watches[lit.index()].extend(watch_list.drain(..));
+                        return Some(clause_index);
+                    }
+                }
+            }
+            self.watches[lit.index()].extend(watch_list);
+        }
+        None
+    }
+
+    fn examine_clause(&mut self, clause_index: usize, false_lit: Lit) -> WatchOutcome {
+        // The literal that just became false is ¬false_lit... i.e. the
+        // watched literal equal to false_lit.negated().
+        let watched = false_lit.negated();
+        // Ensure the falsified literal is at position 1.
+        if self.clauses[clause_index][0] == watched {
+            self.clauses[clause_index].swap(0, 1);
+        }
+        debug_assert_eq!(self.clauses[clause_index][1], watched);
+
+        // If the other watched literal is already true the clause is
+        // satisfied; keep watching.
+        let first = self.clauses[clause_index][0];
+        if self.lit_value(first) == 1 {
+            return WatchOutcome::KeepWatching;
+        }
+
+        // Look for a new literal to watch.
+        for k in 2..self.clauses[clause_index].len() {
+            let candidate = self.clauses[clause_index][k];
+            if self.lit_value(candidate) != 0 {
+                self.clauses[clause_index].swap(1, k);
+                self.watches[candidate.negated().index()].push(clause_index);
+                return WatchOutcome::Rewatched;
+            }
+        }
+
+        // Clause is unit or conflicting.
+        if self.lit_value(first) == 0 {
+            WatchOutcome::Conflict
+        } else {
+            self.enqueue(first, Some(clause_index));
+            WatchOutcome::KeepWatching
+        }
+    }
+
+    fn bump_activity(&mut self, var: Var) {
+        self.activity[var.index()] += self.var_inc;
+        if self.activity[var.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis.  Returns the learnt clause and the level
+    /// to backtrack to.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+        let current_level = self.trail_lim.len() as u32;
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut lit: Option<Lit> = None;
+        let mut reason_clause = conflict;
+        let mut trail_index = self.trail.len();
+
+        loop {
+            let clause = self.clauses[reason_clause].clone();
+            // Skip the asserting literal itself when walking a reason clause.
+            let skip = lit.map(|l| l);
+            for &q in &clause {
+                if Some(q) == skip {
+                    continue;
+                }
+                let v = q.var();
+                if !seen[v.index()] && self.level[v.index()] > 0 {
+                    seen[v.index()] = true;
+                    self.bump_activity(v);
+                    if self.level[v.index()] >= current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal on the trail (at the current level) that
+            // participates in the conflict.
+            loop {
+                trail_index -= 1;
+                let trail_lit = self.trail[trail_index];
+                if seen[trail_lit.var().index()] {
+                    lit = Some(trail_lit);
+                    break;
+                }
+            }
+            let asserting = lit.expect("conflict analysis found a literal");
+            counter -= 1;
+            seen[asserting.var().index()] = false;
+            if counter == 0 {
+                // First UIP found; it is asserted negated in the learnt clause.
+                learnt.insert(0, asserting.negated());
+                break;
+            }
+            reason_clause = self.reason[asserting.var().index()]
+                .expect("non-decision literal must have a reason");
+        }
+
+        // Backtrack level = highest level among the other learnt literals.
+        // That literal is moved to position 1 so that both watched literals
+        // of the learnt clause are the last to become unassigned when
+        // backtracking, preserving the watching invariant.
+        let mut backtrack_level = 0;
+        let mut second_watch = 1;
+        for (offset, l) in learnt.iter().enumerate().skip(1) {
+            let lvl = self.level[l.var().index()];
+            if lvl > backtrack_level {
+                backtrack_level = lvl;
+                second_watch = offset;
+            }
+        }
+        if learnt.len() > 1 {
+            learnt.swap(1, second_watch);
+        }
+        (learnt, backtrack_level)
+    }
+
+    fn cancel_until(&mut self, target_level: u32) {
+        while self.trail_lim.len() as u32 > target_level {
+            let start = self.trail_lim.pop().expect("non-empty trail_lim");
+            while self.trail.len() > start {
+                let lit = self.trail.pop().expect("non-empty trail");
+                let var = lit.var().index();
+                self.assign[var] = UNASSIGNED;
+                self.reason[var] = None;
+            }
+        }
+        self.propagate_head = self.propagate_head.min(self.trail.len());
+    }
+
+    fn pick_branch_var(&self) -> Option<Var> {
+        let mut best: Option<(f64, usize)> = None;
+        for (index, &value) in self.assign.iter().enumerate() {
+            if value == UNASSIGNED {
+                let act = self.activity[index];
+                if best.map_or(true, |(b, _)| act > b) {
+                    best = Some((act, index));
+                }
+            }
+        }
+        best.map(|(_, index)| Var(index as u32))
+    }
+
+    /// Decides satisfiability of the current clause set.
+    pub fn solve(&mut self) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_limit = 100u64;
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.trail_lim.is_empty() {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                let (learnt, backtrack_level) = self.analyze(conflict);
+                self.cancel_until(backtrack_level);
+                self.var_inc *= 1.05;
+                if learnt.len() == 1 {
+                    if self.lit_value(learnt[0]) == 0 {
+                        self.ok = false;
+                        return SatResult::Unsat;
+                    }
+                    if self.lit_value(learnt[0]) == UNASSIGNED {
+                        self.enqueue(learnt[0], None);
+                    }
+                } else {
+                    let index = self.clauses.len();
+                    self.watches[learnt[0].negated().index()].push(index);
+                    self.watches[learnt[1].negated().index()].push(index);
+                    let asserting = learnt[0];
+                    self.clauses.push(learnt);
+                    self.enqueue(asserting, Some(index));
+                }
+            } else {
+                if conflicts_since_restart >= restart_limit {
+                    conflicts_since_restart = 0;
+                    restart_limit = restart_limit.saturating_mul(3) / 2;
+                    self.cancel_until(0);
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        // All variables assigned: build the model.
+                        let values = self.assign.iter().map(|&v| v == 1).collect();
+                        let model = Model { values };
+                        // Leave the solver reusable for incremental calls.
+                        self.cancel_until(0);
+                        return SatResult::Sat(model);
+                    }
+                    Some(var) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.phase[var.index()];
+                        let lit = if phase { var.positive() } else { var.negative() };
+                        self.enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum WatchOutcome {
+    KeepWatching,
+    Rewatched,
+    Conflict,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver: &mut Solver, n: usize) -> Vec<Var> {
+        solver.new_vars(n)
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        assert!(s.add_clause(&[v[0].positive(), v[1].positive()]));
+        assert!(s.solve().is_sat());
+
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        assert!(s.add_clause(&[v[0].positive()]));
+        assert!(!s.add_clause(&[v[0].negative()]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        let _ = lits(&mut s, 3);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        let clauses = vec![
+            vec![v[0].positive(), v[1].positive()],
+            vec![v[0].negative(), v[2].positive()],
+            vec![v[1].negative(), v[3].positive()],
+            vec![v[2].negative(), v[3].negative()],
+        ];
+        for c in &clauses {
+            assert!(s.add_clause(c));
+        }
+        let result = s.solve();
+        let model = result.model().expect("satisfiable");
+        for c in &clauses {
+            assert!(c.iter().any(|&l| model.lit_is_true(l)), "clause {c:?} unsatisfied");
+        }
+    }
+
+    #[test]
+    fn implication_chain_propagates() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 5);
+        assert!(s.add_clause(&[v[0].positive()]));
+        for i in 0..4 {
+            assert!(s.add_implication(v[i].positive(), v[i + 1].positive()));
+        }
+        let result = s.solve();
+        let model = result.model().unwrap();
+        for var in &v {
+            assert!(model.value(*var));
+        }
+    }
+
+    #[test]
+    fn exactly_one_constraint() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        let all: Vec<Lit> = v.iter().map(|x| x.positive()).collect();
+        assert!(s.add_exactly_one(&all));
+        let result = s.solve();
+        let model = result.model().unwrap();
+        let count = v.iter().filter(|x| model.value(**x)).count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn pigeonhole_3_pigeons_2_holes_is_unsat() {
+        // p_{i,j}: pigeon i sits in hole j.
+        let mut s = Solver::new();
+        let mut p = vec![vec![]; 3];
+        for row in p.iter_mut() {
+            *row = s.new_vars(2);
+        }
+        // Every pigeon sits somewhere.
+        for row in &p {
+            assert!(s.add_clause(&[row[0].positive(), row[1].positive()]));
+        }
+        // No two pigeons share a hole.
+        for j in 0..2 {
+            for i in 0..3 {
+                for k in (i + 1)..3 {
+                    assert!(s.add_clause(&[p[i][j].negative(), p[k][j].negative()]));
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn incremental_blocking_enumerates_all_models() {
+        // 3 free variables -> 8 models; block each model as it is found.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        // A tautological-ish clause mentioning the vars so they are branched on.
+        assert!(s.add_clause(&[v[0].positive(), v[0].negative()]));
+        assert!(s.add_clause(&[v[1].positive(), v[1].negative()]));
+        assert!(s.add_clause(&[v[2].positive(), v[2].negative()]));
+        let mut count = 0;
+        loop {
+            match s.solve() {
+                SatResult::Unsat => break,
+                SatResult::Sat(model) => {
+                    count += 1;
+                    assert!(count <= 8, "enumerated more models than exist");
+                    let blocking: Vec<Lit> = v
+                        .iter()
+                        .map(|&var| if model.value(var) { var.negative() } else { var.positive() })
+                        .collect();
+                    s.add_clause(&blocking);
+                }
+            }
+        }
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn unsat_formula_with_learning() {
+        // (a ∨ b) ∧ (a ∨ ¬b) ∧ (¬a ∨ b) ∧ (¬a ∨ ¬b)
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        assert!(s.add_clause(&[v[0].positive(), v[1].positive()]));
+        assert!(s.add_clause(&[v[0].positive(), v[1].negative()]));
+        assert!(s.add_clause(&[v[0].negative(), v[1].positive()]));
+        // The last clause may already be decided unsat at add time or at solve time.
+        let _ = s.add_clause(&[v[0].negative(), v[1].negative()]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses_are_harmless() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        assert!(s.add_clause(&[v[0].positive(), v[0].positive(), v[1].positive()]));
+        assert!(s.add_clause(&[v[0].positive(), v[0].negative()]));
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[v[0].positive(), v[1].positive(), v[2].positive()]);
+        let _ = s.solve();
+        let (decisions, propagations, _conflicts) = s.stats();
+        assert!(decisions + propagations > 0);
+    }
+}

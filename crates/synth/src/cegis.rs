@@ -1,0 +1,211 @@
+//! CEGIS and CEGISMIN: counterexample-guided search for minimal corrections.
+//!
+//! The paper extends SKETCH's CEGIS loop with the CEGISMIN algorithm
+//! (Algorithm 1): whenever the verifier accepts a candidate, the constraint
+//! `totalCost < best` is added and the synthesis/verification loop continues
+//! until the constraints become unsatisfiable, at which point the best
+//! solution seen so far is returned.
+//!
+//! Our verifier is the bounded-exhaustive [`EquivalenceOracle`] rather than
+//! SKETCH's symbolic one, so candidate consistency with the accumulated
+//! counterexamples is established by (cheap) interpretation and failed
+//! candidates are excluded with blocking clauses.
+
+use std::time::Instant;
+
+use afg_eml::ChoiceProgram;
+use afg_interp::EquivalenceOracle;
+use afg_sat::{SatResult, Solver};
+
+use crate::config::{Solution, SynthesisConfig, SynthesisOutcome, SynthesisStats};
+use crate::encode::ChoiceEncoding;
+
+/// The SAT-backed CEGIS/CEGISMIN synthesizer.
+#[derive(Debug, Clone, Default)]
+pub struct CegisSolver;
+
+impl CegisSolver {
+    /// Creates a solver.
+    pub fn new() -> CegisSolver {
+        CegisSolver
+    }
+
+    /// Searches for a minimal-cost choice assignment that makes the
+    /// transformed submission equivalent to the reference on the bounded
+    /// input space.
+    pub fn synthesize(
+        &self,
+        program: &ChoiceProgram,
+        oracle: &EquivalenceOracle,
+        config: &SynthesisConfig,
+    ) -> SynthesisOutcome {
+        let start = Instant::now();
+        let mut stats = SynthesisStats::default();
+
+        // Step 0: a submission that is already equivalent needs no feedback.
+        let original = program.original_program();
+        stats.candidates_checked += 1;
+        let first_cex = match oracle.find_counterexample(&original) {
+            None => return SynthesisOutcome::AlreadyCorrect,
+            Some(cex) => cex,
+        };
+
+        let mut solver = Solver::new();
+        let encoding = ChoiceEncoding::new(&mut solver, program);
+        encoding.add_cost_bound(&mut solver, config.max_cost);
+
+        // The counterexample set σ of Algorithm 1, seeded with the input that
+        // already distinguishes the unmodified submission.
+        let mut counterexamples: Vec<usize> = vec![first_cex];
+        stats.counterexamples = 1;
+        // The original program (all-default assignment) is known bad.
+        encoding.block_assignment(&mut solver, &afg_eml::ChoiceAssignment::default_choices());
+
+        let mut best: Option<Solution> = None;
+
+        loop {
+            if start.elapsed() > config.time_budget || stats.candidates_checked > config.max_candidates {
+                stats.elapsed = start.elapsed();
+                return match best {
+                    Some(mut solution) => {
+                        solution.stats = stats;
+                        SynthesisOutcome::Fixed(solution)
+                    }
+                    None => SynthesisOutcome::Timeout(stats),
+                };
+            }
+            stats.cegis_iterations += 1;
+
+            // Synthesis phase: ask the SAT solver for a candidate assignment
+            // consistent with all blocking clauses and the cost bound.
+            let assignment = match solver.solve() {
+                SatResult::Unsat => {
+                    stats.elapsed = start.elapsed();
+                    return match best {
+                        Some(mut solution) => {
+                            solution.stats = stats;
+                            SynthesisOutcome::Fixed(solution)
+                        }
+                        None => SynthesisOutcome::NoRepairFound(stats),
+                    };
+                }
+                SatResult::Sat(model) => encoding.decode(&model),
+            };
+
+            let candidate = program.concretize(&assignment);
+            stats.candidates_checked += 1;
+
+            // Fast path: check the accumulated counterexamples first.
+            if !oracle.agrees_on(&candidate, &counterexamples) {
+                encoding.block_assignment(&mut solver, &assignment);
+                continue;
+            }
+
+            // Verification phase: bounded-exhaustive equivalence check.
+            match oracle.find_counterexample(&candidate) {
+                Some(cex) => {
+                    if !counterexamples.contains(&cex) {
+                        counterexamples.push(cex);
+                        stats.counterexamples += 1;
+                    }
+                    encoding.block_assignment(&mut solver, &assignment);
+                }
+                None => {
+                    // Verification succeeded: record the solution and tighten
+                    // the cost bound (CEGISMIN line 13: minHole < minHoleVal).
+                    let cost = assignment.cost();
+                    let improved = best.as_ref().map_or(true, |b| cost < b.cost);
+                    if improved {
+                        best = Some(Solution {
+                            assignment: assignment.clone(),
+                            cost,
+                            stats: SynthesisStats::default(),
+                        });
+                    }
+                    if cost == 0 {
+                        break;
+                    }
+                    encoding.add_cost_bound(&mut solver, cost - 1);
+                    encoding.block_assignment(&mut solver, &assignment);
+                }
+            }
+        }
+
+        stats.elapsed = start.elapsed();
+        match best {
+            Some(mut solution) => {
+                solution.stats = stats;
+                SynthesisOutcome::Fixed(solution)
+            }
+            None => SynthesisOutcome::NoRepairFound(stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afg_eml::{apply_error_model, library};
+    use afg_interp::{EquivalenceConfig, EquivalenceOracle};
+    use afg_parser::parse_program;
+
+    const REFERENCE: &str = "\
+def computeDeriv(poly_list_int):
+    result = []
+    for i in range(len(poly_list_int)):
+        result += [i * poly_list_int[i]]
+    if len(poly_list_int) == 1:
+        return result
+    else:
+        return result[1:]
+";
+
+    fn oracle() -> EquivalenceOracle {
+        let reference = parse_program(REFERENCE).unwrap();
+        EquivalenceOracle::from_reference(
+            &reference,
+            EquivalenceConfig { entry: Some("computeDeriv".into()), ..EquivalenceConfig::default() },
+        )
+    }
+
+    #[test]
+    fn correct_submission_needs_no_corrections() {
+        let student = parse_program(
+            "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    out = []\n    for i in range(1, len(poly)):\n        out.append(i * poly[i])\n    return out\n",
+        )
+        .unwrap();
+        let cp = apply_error_model(&student, Some("computeDeriv"), &library::compute_deriv_model()).unwrap();
+        let outcome = CegisSolver::new().synthesize(&cp, &oracle(), &SynthesisConfig::fast());
+        assert_eq!(outcome, SynthesisOutcome::AlreadyCorrect);
+    }
+
+    #[test]
+    fn single_correction_bug_is_fixed_with_cost_one() {
+        // Iterates from 0 instead of 1: the leading zero coefficient stays in
+        // the result for lists of length > 1.
+        let student = parse_program(
+            "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    out = []\n    for i in range(0, len(poly)):\n        out.append(i * poly[i])\n    return out\n",
+        )
+        .unwrap();
+        let cp = apply_error_model(&student, Some("computeDeriv"), &library::compute_deriv_model()).unwrap();
+        let outcome = CegisSolver::new().synthesize(&cp, &oracle(), &SynthesisConfig::fast());
+        let solution = outcome.solution().expect("should be fixable");
+        assert_eq!(solution.cost, 1, "minimal repair should be a single correction");
+        // The repaired program really is equivalent.
+        let repaired = cp.concretize(&solution.assignment);
+        assert!(oracle().is_equivalent(&repaired));
+    }
+
+    #[test]
+    fn unfixable_submission_reports_no_repair() {
+        // Returns a constant — no local correction in the model can fix it.
+        let student = parse_program("def computeDeriv(poly):\n    return 42\n").unwrap();
+        let model = library::section_2_1_model();
+        let cp = apply_error_model(&student, Some("computeDeriv"), &model).unwrap();
+        let outcome = CegisSolver::new().synthesize(&cp, &oracle(), &SynthesisConfig::fast());
+        assert!(matches!(
+            outcome,
+            SynthesisOutcome::NoRepairFound(_) | SynthesisOutcome::Timeout(_)
+        ));
+    }
+}

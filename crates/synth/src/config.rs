@@ -1,0 +1,122 @@
+//! Configuration, results and statistics shared by the synthesis back ends.
+
+use std::time::Duration;
+
+use afg_eml::ChoiceAssignment;
+
+/// Resource budget and search bounds for one synthesis run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthesisConfig {
+    /// Upper bound on the number of corrections considered (candidates with
+    /// more non-default choices than this are never explored).
+    pub max_cost: usize,
+    /// Upper bound on the number of candidate programs interpreted.
+    pub max_candidates: usize,
+    /// Wall-clock budget for one submission (the paper uses a 4-minute
+    /// timeout on a 16-core Xeon; our default is much smaller because the
+    /// enumerative oracle is cheaper per query).
+    pub time_budget: Duration,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> SynthesisConfig {
+        SynthesisConfig {
+            max_cost: 4,
+            max_candidates: 50_000,
+            time_budget: Duration::from_secs(10),
+        }
+    }
+}
+
+impl SynthesisConfig {
+    /// A tight budget for unit tests.
+    pub fn fast() -> SynthesisConfig {
+        SynthesisConfig {
+            max_cost: 3,
+            max_candidates: 5_000,
+            time_budget: Duration::from_secs(3),
+        }
+    }
+}
+
+/// Counters describing how hard the synthesizer had to work.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SynthesisStats {
+    /// Candidate programs concretised and interpreted.
+    pub candidates_checked: usize,
+    /// CEGIS iterations (synthesis-phase / verification-phase round trips).
+    pub cegis_iterations: usize,
+    /// Counterexample inputs accumulated.
+    pub counterexamples: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// A repair found by the synthesizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// The minimal-cost choice assignment that makes the submission
+    /// equivalent to the reference on the bounded input space.
+    pub assignment: ChoiceAssignment,
+    /// Number of corrections (`totalCost` in the paper).
+    pub cost: usize,
+    /// Search statistics.
+    pub stats: SynthesisStats,
+}
+
+/// The overall outcome of grading one submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisOutcome {
+    /// The submission is already equivalent to the reference.
+    AlreadyCorrect,
+    /// A minimal set of corrections was found.
+    Fixed(Solution),
+    /// The error model cannot repair this submission (the search space was
+    /// exhausted) — the paper's "cannot be fixed" outcome.
+    NoRepairFound(SynthesisStats),
+    /// The search hit its time or candidate budget before finishing.
+    Timeout(SynthesisStats),
+}
+
+impl SynthesisOutcome {
+    /// The solution, if the submission was fixed.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            SynthesisOutcome::Fixed(solution) => Some(solution),
+            _ => None,
+        }
+    }
+
+    /// Whether feedback can be generated from this outcome (the submission
+    /// was either already correct or fixable).
+    pub fn is_success(&self) -> bool {
+        matches!(self, SynthesisOutcome::AlreadyCorrect | SynthesisOutcome::Fixed(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_reasonable() {
+        let config = SynthesisConfig::default();
+        assert!(config.max_cost >= 3, "the paper needs up to 4 coordinated corrections");
+        assert!(config.time_budget > Duration::from_secs(1));
+        assert!(SynthesisConfig::fast().max_candidates < config.max_candidates);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let stats = SynthesisStats::default();
+        assert!(SynthesisOutcome::AlreadyCorrect.is_success());
+        assert!(!SynthesisOutcome::NoRepairFound(stats.clone()).is_success());
+        assert!(SynthesisOutcome::Timeout(stats).solution().is_none());
+        let solution = Solution {
+            assignment: ChoiceAssignment::default_choices(),
+            cost: 0,
+            stats: SynthesisStats::default(),
+        };
+        assert_eq!(SynthesisOutcome::Fixed(solution.clone()).solution(), Some(&solution));
+    }
+}

@@ -1,0 +1,71 @@
+//! Classroom simulation: generate a synthetic batch of student submissions
+//! for one assignment, grade all of them, and compare the feedback coverage
+//! with the test-case baseline the paper argues against.
+//!
+//! ```text
+//! cargo run --release --example classroom_simulation
+//! ```
+
+use autofeedback::baseline::TestCaseGrader;
+use autofeedback::corpus::{generate_corpus, problems, CorpusSpec, Origin};
+use autofeedback::{GradeOutcome, GraderConfig};
+
+fn main() {
+    let problem = problems::iter_power();
+    let grader = problem.autograder(GraderConfig::fast());
+    let baseline =
+        TestCaseGrader::new(problem.reference, problem.entry, problem.test_inputs.clone())
+            .expect("reference parses");
+
+    let corpus = generate_corpus(&problem, &CorpusSpec::table1_like(30, 2024));
+    println!("Generated {} submissions for {}", corpus.len(), problem.name);
+    println!(
+        "Bounded equivalence oracle covers {} inputs; the baseline runs {} test cases.\n",
+        grader.oracle().valid_input_count(),
+        baseline.num_tests()
+    );
+
+    let mut syntax = 0;
+    let mut correct = 0;
+    let mut fixed = 0;
+    let mut unfixed = 0;
+    let mut baseline_passed_but_wrong = 0;
+
+    for submission in &corpus {
+        match grader.grade_source(&submission.source) {
+            GradeOutcome::SyntaxError(_) => syntax += 1,
+            GradeOutcome::Correct => correct += 1,
+            GradeOutcome::Feedback(feedback) => {
+                fixed += 1;
+                if fixed <= 3 {
+                    println!(
+                        "--- feedback for a {} submission ---\n{}",
+                        origin_name(submission.origin),
+                        feedback
+                    );
+                }
+                // Does the sparse test suite even notice the bug?
+                if baseline.grade_source(&submission.source).passed() {
+                    baseline_passed_but_wrong += 1;
+                }
+            }
+            GradeOutcome::CannotFix | GradeOutcome::Timeout => unfixed += 1,
+        }
+    }
+
+    println!("Results: {syntax} syntax errors, {correct} correct, {fixed} repaired, {unfixed} not repairable");
+    println!(
+        "{baseline_passed_but_wrong} incorrect submissions pass every baseline test case — they would have \
+         received no feedback at all from test-case grading."
+    );
+}
+
+fn origin_name(origin: Origin) -> &'static str {
+    match origin {
+        Origin::Correct => "correct",
+        Origin::Mutated(_) => "mutated",
+        Origin::Conceptual => "conceptual-error",
+        Origin::Trivial => "trivial",
+        Origin::SyntaxError => "syntax-error",
+    }
+}

@@ -1,0 +1,68 @@
+//! The paper's worked example (Section 2 / Figure 2): `computeDeriv`
+//! submissions graded with the Figure 8 error model, shown at the different
+//! feedback levels the instructor can choose.
+//!
+//! ```text
+//! cargo run --example compute_deriv
+//! ```
+
+use autofeedback::corpus::problems;
+use autofeedback::{FeedbackLevel, GradeOutcome, GraderConfig};
+
+const STUDENTS: &[(&str, &str)] = &[
+    (
+        "Figure 2(a)",
+        "\
+def computeDeriv(poly):
+    deriv = []
+    zero = 0
+    if (len(poly) == 1):
+        return deriv
+    for e in range(0, len(poly)):
+        if (poly[e] == 0):
+            zero += 1
+        else:
+            deriv.append(poly[e]*e)
+    return deriv
+",
+    ),
+    (
+        "Figure 2(c)",
+        "\
+def computeDeriv(poly):
+    length = int(len(poly)-1)
+    i = length
+    deriv = range(1,length)
+    if len(poly) == 1:
+        deriv = [0]
+    else:
+        while i >= 0:
+            new = poly[i] * i
+            i -= 1
+            deriv[i] = new
+    return deriv
+",
+    ),
+];
+
+fn main() {
+    let problem = problems::compute_deriv();
+    let grader = problem.autograder(GraderConfig::default());
+
+    for (label, source) in STUDENTS {
+        println!("=== {label} ===");
+        match grader.grade_source(source) {
+            GradeOutcome::Feedback(feedback) => {
+                println!("-- full feedback --");
+                print!("{}", feedback.render(FeedbackLevel::full()));
+                println!("-- hint only --");
+                print!("{}", feedback.render(FeedbackLevel::hint()));
+                println!("-- location only --");
+                print!("{}", feedback.render(FeedbackLevel::location_only()));
+            }
+            GradeOutcome::Correct => println!("already correct"),
+            other => println!("{other:?}"),
+        }
+        println!();
+    }
+}

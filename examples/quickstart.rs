@@ -1,0 +1,56 @@
+//! Quickstart: grade one student submission against a reference
+//! implementation with a three-rule error model.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use autofeedback::eml::parse_error_model;
+use autofeedback::{Autograder, GradeOutcome, GraderConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The instructor writes a reference implementation.  Parameter types are
+    // declared with name suffixes (`_list_int`), as in the paper.
+    let reference = "\
+def computeDeriv(poly_list_int):
+    result = []
+    for i in range(len(poly_list_int)):
+        result += [i * poly_list_int[i]]
+    if len(poly_list_int) == 1:
+        return result
+    else:
+        return result[1:]
+";
+
+    // ... and an error model in EML (the simplified model of paper §2.1).
+    let model = parse_error_model(
+        "computeDeriv-simple",
+        "\
+RETR:  return a       ->  [0]
+RANR:  range(a0, a1)  ->  range(a0 + 1, a1)
+EQF:   a0 == a1       ->  False
+",
+    )?;
+
+    let grader = Autograder::new(reference, "computeDeriv", model, GraderConfig::default())?;
+
+    // A student who starts the iteration at 0 and forgets the [0] base case.
+    let submission = "\
+def computeDeriv(poly):
+    deriv = []
+    if len(poly) == 1:
+        return deriv
+    for e in range(0, len(poly)):
+        deriv.append(poly[e] * e)
+    return deriv
+";
+
+    match grader.grade_source(submission) {
+        GradeOutcome::Correct => println!("The submission is correct."),
+        GradeOutcome::Feedback(feedback) => print!("{feedback}"),
+        GradeOutcome::CannotFix => println!("The error model cannot repair this submission."),
+        GradeOutcome::Timeout => println!("The synthesis budget was exhausted."),
+        GradeOutcome::SyntaxError(err) => println!("Syntax error: {err}"),
+    }
+    Ok(())
+}

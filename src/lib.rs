@@ -1,0 +1,37 @@
+//! `autofeedback` — a Rust reproduction of *Automated Feedback Generation
+//! for Introductory Programming Assignments* (Singh, Gulwani, Solar-Lezama,
+//! PLDI 2013).
+//!
+//! This facade crate re-exports the public API of the workspace so that
+//! examples, integration tests and downstream users need a single
+//! dependency:
+//!
+//! * [`core`] (`afg-core`) — the [`core::Autograder`] end-to-end pipeline,
+//! * [`eml`] (`afg-eml`) — the EML error-model language,
+//! * [`synth`] (`afg-synth`) — CEGIS/CEGISMIN synthesis of minimal
+//!   corrections,
+//! * [`interp`] (`afg-interp`) — the MPY runtime and bounded equivalence
+//!   oracle,
+//! * [`parser`] (`afg-parser`) / [`ast`] (`afg-ast`) — the MPY front end,
+//! * [`sat`] (`afg-sat`) — the CDCL SAT solver substrate,
+//! * [`corpus`] (`afg-corpus`) — benchmark problems and the synthetic
+//!   student-submission generator,
+//! * [`baseline`] (`afg-baseline`) — the test-case feedback baseline.
+//!
+//! See the crate-level examples (`examples/quickstart.rs` and friends) and
+//! the experiment binaries in `afg-bench` for end-to-end usage.
+
+pub use afg_ast as ast;
+pub use afg_baseline as baseline;
+pub use afg_core as core;
+pub use afg_corpus as corpus;
+pub use afg_eml as eml;
+pub use afg_interp as interp;
+pub use afg_parser as parser;
+pub use afg_sat as sat;
+pub use afg_synth as synth;
+
+pub use afg_core::{
+    Autograder, Correction, ErrorModel, Feedback, FeedbackLevel, GradeOutcome, GraderConfig,
+    GraderError,
+};

@@ -1,0 +1,91 @@
+//! Cross-crate property-based tests of the pipeline's core invariants.
+
+use autofeedback::corpus::{mutate_program, problems};
+use autofeedback::eml::{apply_error_model, ChoiceAssignment};
+use autofeedback::interp::{EquivalenceConfig, EquivalenceOracle};
+use autofeedback::parser::parse_program;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pretty-printing any mutated benchmark solution and re-parsing it is a
+    /// fixed point: parse(print(p)) prints identically.
+    #[test]
+    fn mutated_programs_round_trip_through_the_printer(seed in 0u64..500, mutations in 1usize..4) {
+        let problem = problems::compute_deriv();
+        let mut program = parse_program(problem.reference).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        mutate_program(&mut program, mutations, &mut rng);
+        let printed = autofeedback::ast::pretty::program_to_string(&program);
+        let reparsed = parse_program(&printed).expect("printed program parses");
+        prop_assert_eq!(printed, autofeedback::ast::pretty::program_to_string(&reparsed));
+    }
+
+    /// The error-model transformation is *conservative*: with every choice at
+    /// its default, the concretised program behaves exactly like the input
+    /// program on the bounded input space.
+    #[test]
+    fn default_concretisation_preserves_behaviour(seed in 0u64..200) {
+        let problem = problems::compute_deriv();
+        let mut student = parse_program(problem.reference).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        mutate_program(&mut student, 2, &mut rng);
+
+        let choices = apply_error_model(&student, Some(problem.entry), &problem.model).unwrap();
+        let roundtrip = choices.original_program();
+
+        // Build an oracle whose "reference" is the (possibly broken) student
+        // program itself: the default concretisation must be equivalent to it.
+        let oracle = EquivalenceOracle::from_reference(
+            &parse_with_types(&student, problem.reference, problem.entry),
+            EquivalenceConfig { entry: Some(problem.entry.to_string()), ..EquivalenceConfig::default() },
+        );
+        prop_assert!(oracle.is_equivalent(&roundtrip));
+    }
+
+    /// Cost accounting: the cost of an assignment equals the number of
+    /// non-default selections, and concretising the same assignment twice is
+    /// deterministic.
+    #[test]
+    fn assignment_cost_counts_non_default_choices(selection_bits in proptest::collection::vec(any::<bool>(), 0..12)) {
+        let problem = problems::compute_deriv();
+        let student = parse_program(problem.correct_variants[0]).unwrap();
+        let choices = apply_error_model(&student, Some(problem.entry), &problem.model).unwrap();
+
+        let mut assignment = ChoiceAssignment::default_choices();
+        let mut expected_cost = 0;
+        for (info, &flip) in choices.choices.iter().zip(selection_bits.iter()) {
+            if flip && info.options.len() > 1 {
+                assignment.select(info.id, 1);
+                expected_cost += 1;
+            }
+        }
+        prop_assert_eq!(assignment.cost(), expected_cost);
+        prop_assert_eq!(choices.concretize(&assignment), choices.concretize(&assignment));
+    }
+}
+
+/// The student program keeps its own parameter names, but the declared types
+/// live on the reference; borrow them so the oracle enumerates the same
+/// input space for both.
+fn parse_with_types(
+    student: &autofeedback::ast::Program,
+    reference_source: &str,
+    entry: &str,
+) -> autofeedback::ast::Program {
+    let reference = parse_program(reference_source).unwrap();
+    let mut student = student.clone();
+    if let (Some(student_func), Some(reference_func)) =
+        (student.funcs.first_mut(), reference.entry(Some(entry)))
+    {
+        for (param, reference_param) in
+            student_func.params.iter_mut().zip(reference_func.params.iter())
+        {
+            param.ty = reference_param.ty.clone();
+        }
+    }
+    student
+}
