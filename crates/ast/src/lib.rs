@@ -213,7 +213,10 @@ pub struct Param {
 impl Param {
     /// Creates a parameter.
     pub fn new(name: impl Into<String>, ty: MpyType) -> Param {
-        Param { name: name.into(), ty }
+        Param {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -302,8 +305,18 @@ mod tests {
     #[test]
     fn program_entry_prefers_matching_name() {
         let mut p = Program::new();
-        p.funcs.push(FuncDef { name: "helper".into(), params: vec![], body: vec![], line: 1 });
-        p.funcs.push(FuncDef { name: "computeDeriv".into(), params: vec![], body: vec![], line: 3 });
+        p.funcs.push(FuncDef {
+            name: "helper".into(),
+            params: vec![],
+            body: vec![],
+            line: 1,
+        });
+        p.funcs.push(FuncDef {
+            name: "computeDeriv".into(),
+            params: vec![],
+            body: vec![],
+            line: 3,
+        });
         assert_eq!(p.entry(Some("computeDeriv")).unwrap().name, "computeDeriv");
         assert_eq!(p.entry(Some("missing")).unwrap().name, "helper");
         assert_eq!(p.entry(None).unwrap().name, "helper");

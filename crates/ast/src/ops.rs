@@ -111,7 +111,14 @@ impl CmpOp {
     /// The relational operators only — the set `{<, >, ≤, ≥, ==, ≠}` that the
     /// paper's `COMPR` correction rule ranges over.
     pub fn relational() -> &'static [CmpOp] {
-        &[CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne]
+        &[
+            CmpOp::Lt,
+            CmpOp::Gt,
+            CmpOp::Le,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ]
     }
 
     /// The surface syntax of the operator.

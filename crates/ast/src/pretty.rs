@@ -84,7 +84,12 @@ fn write_stmt(out: &mut String, stmt: &Stmt, indent: usize) {
     let pad = "    ".repeat(indent);
     match &stmt.kind {
         StmtKind::Assign(target, value) => {
-            let _ = writeln!(out, "{pad}{} = {}", target_to_string(target), expr_to_string(value));
+            let _ = writeln!(
+                out,
+                "{pad}{} = {}",
+                target_to_string(target),
+                expr_to_string(value)
+            );
         }
         StmtKind::AugAssign(target, op, value) => {
             let _ = writeln!(
@@ -121,7 +126,11 @@ fn write_stmt(out: &mut String, stmt: &Stmt, indent: usize) {
             let _ = writeln!(out, "{pad}return");
         }
         StmtKind::Print(args) => {
-            let rendered = args.iter().map(expr_to_string).collect::<Vec<_>>().join(", ");
+            let rendered = args
+                .iter()
+                .map(expr_to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
             let _ = writeln!(out, "{pad}print({rendered})");
         }
         StmtKind::Pass => {
@@ -216,7 +225,11 @@ fn write_expr(out: &mut String, expr: &Expr, parent_prec: u8) {
             // For left-associative operators the right operand needs strictly
             // higher precedence to force parentheses on same-precedence
             // children; `**` is right-associative so its exponent does not.
-            let right_prec = if *op == crate::ops::BinOp::Pow { p } else { p + 1 };
+            let right_prec = if *op == crate::ops::BinOp::Pow {
+                p
+            } else {
+                p + 1
+            };
             write_expr(out, right, right_prec);
         }
         Expr::UnaryOp(op, operand) => {
@@ -293,8 +306,8 @@ fn expr_precedence(expr: &Expr) -> u8 {
 mod tests {
     use super::*;
     use crate::ops::{BinOp, BoolOp, CmpOp};
-    use crate::Param;
     use crate::types::MpyType;
+    use crate::Param;
 
     #[test]
     fn renders_literals() {
@@ -313,7 +326,11 @@ mod tests {
         let sum = Expr::binop(BinOp::Add, Expr::Int(1), Expr::Int(2));
         let e = Expr::binop(BinOp::Mul, sum.clone(), Expr::Int(3));
         assert_eq!(expr_to_string(&e), "(1 + 2) * 3");
-        let e = Expr::binop(BinOp::Add, Expr::Int(1), Expr::binop(BinOp::Mul, Expr::Int(2), Expr::Int(3)));
+        let e = Expr::binop(
+            BinOp::Add,
+            Expr::Int(1),
+            Expr::binop(BinOp::Mul, Expr::Int(2), Expr::Int(3)),
+        );
         assert_eq!(expr_to_string(&e), "1 + 2 * 3");
     }
 
@@ -341,9 +358,17 @@ mod tests {
     fn renders_calls_indexing_and_slices() {
         let e = Expr::index(Expr::var("poly"), Expr::var("i"));
         assert_eq!(expr_to_string(&e), "poly[i]");
-        let e = Expr::Slice(Box::new(Expr::var("result")), Some(Box::new(Expr::Int(1))), None);
+        let e = Expr::Slice(
+            Box::new(Expr::var("result")),
+            Some(Box::new(Expr::Int(1))),
+            None,
+        );
         assert_eq!(expr_to_string(&e), "result[1:]");
-        let e = Expr::MethodCall(Box::new(Expr::var("deriv")), "append".into(), vec![Expr::Int(0)]);
+        let e = Expr::MethodCall(
+            Box::new(Expr::var("deriv")),
+            "append".into(),
+            vec![Expr::Int(0)],
+        );
         assert_eq!(expr_to_string(&e), "deriv.append(0)");
     }
 
@@ -366,7 +391,8 @@ mod tests {
             line: 1,
         };
         let rendered = func_to_string(&func);
-        let expected = "def f(x):\n    y = 0\n    if x > 0:\n        return x\n    else:\n        return y\n";
+        let expected =
+            "def f(x):\n    y = 0\n    if x > 0:\n        return x\n    else:\n        return y\n";
         assert_eq!(rendered, expected);
     }
 
@@ -376,15 +402,24 @@ mod tests {
             1,
             StmtKind::For(
                 "e".into(),
-                Expr::call("range", vec![Expr::Int(0), Expr::call("len", vec![Expr::var("poly")])]),
-                vec![Stmt::new(2, StmtKind::AugAssign(Target::Var("z".into()), BinOp::Add, Expr::Int(1)))],
+                Expr::call(
+                    "range",
+                    vec![Expr::Int(0), Expr::call("len", vec![Expr::var("poly")])],
+                ),
+                vec![Stmt::new(
+                    2,
+                    StmtKind::AugAssign(Target::Var("z".into()), BinOp::Add, Expr::Int(1)),
+                )],
             ),
         );
         assert_eq!(
             stmt_to_string(&s, 0),
             "for e in range(0, len(poly)):\n    z += 1\n"
         );
-        let s = Stmt::new(1, StmtKind::While(Expr::Bool(true), vec![Stmt::new(2, StmtKind::Break)]));
+        let s = Stmt::new(
+            1,
+            StmtKind::While(Expr::Bool(true), vec![Stmt::new(2, StmtKind::Break)]),
+        );
         assert_eq!(stmt_to_string(&s, 1), "    while True:\n        break\n");
     }
 

@@ -54,8 +54,9 @@ impl MpyType {
     /// Recognised suffixes (longest match first): `_list_int`, `_list_str`,
     /// `_tuple_int`, `_dict_int`, `_int`, `_bool`, `_str`.
     pub fn parse_suffix(name: &str) -> (String, Option<MpyType>) {
-        const SUFFIXES: &[(&str, fn() -> MpyType)] = &[
-            ("_list_int", MpyType::list_int as fn() -> MpyType),
+        type MakeType = fn() -> MpyType;
+        const SUFFIXES: &[(&str, MakeType)] = &[
+            ("_list_int", MpyType::list_int as MakeType),
             ("_list_str", MpyType::list_str),
             ("_tuple_int", MpyType::tuple_int),
             ("_dict_int", || MpyType::Dict(Box::new(MpyType::Int))),
@@ -103,7 +104,10 @@ mod tests {
             MpyType::parse_suffix("poly_list_int"),
             ("poly".to_string(), Some(MpyType::list_int()))
         );
-        assert_eq!(MpyType::parse_suffix("n_int"), ("n".to_string(), Some(MpyType::Int)));
+        assert_eq!(
+            MpyType::parse_suffix("n_int"),
+            ("n".to_string(), Some(MpyType::Int))
+        );
         assert_eq!(
             MpyType::parse_suffix("secretWord_str"),
             ("secretWord".to_string(), Some(MpyType::Str))
@@ -124,7 +128,10 @@ mod tests {
     #[test]
     fn display_is_readable() {
         assert_eq!(MpyType::list_int().to_string(), "list[int]");
-        assert_eq!(MpyType::Dict(Box::new(MpyType::Str)).to_string(), "dict[int, str]");
+        assert_eq!(
+            MpyType::Dict(Box::new(MpyType::Str)).to_string(),
+            "dict[int, str]"
+        );
     }
 
     #[test]

@@ -297,12 +297,18 @@ mod tests {
             name: "f".into(),
             params: vec![Param::new("poly", MpyType::list_int())],
             body: vec![
-                Stmt::new(2, StmtKind::Assign(Target::Var("deriv".into()), Expr::List(vec![]))),
+                Stmt::new(
+                    2,
+                    StmtKind::Assign(Target::Var("deriv".into()), Expr::List(vec![])),
+                ),
                 Stmt::new(
                     3,
                     StmtKind::For(
                         "e".into(),
-                        Expr::call("range", vec![Expr::Int(0), Expr::call("len", vec![Expr::var("poly")])]),
+                        Expr::call(
+                            "range",
+                            vec![Expr::Int(0), Expr::call("len", vec![Expr::var("poly")])],
+                        ),
                         vec![Stmt::new(
                             4,
                             StmtKind::ExprStmt(Expr::MethodCall(
@@ -338,7 +344,10 @@ mod tests {
     #[test]
     fn scope_vars_include_params_targets_and_loop_vars() {
         let vars = func_scope_vars(&sample_func());
-        assert_eq!(vars, vec!["poly".to_string(), "deriv".to_string(), "e".to_string()]);
+        assert_eq!(
+            vars,
+            vec!["poly".to_string(), "deriv".to_string(), "e".to_string()]
+        );
     }
 
     #[test]
@@ -363,7 +372,10 @@ mod tests {
         assert_eq!(range_calls, 1);
         let mut total = 0;
         visit_exprs(&func.body, &mut |_| total += 1);
-        assert!(total > 10, "expected to visit every sub-expression, saw {total}");
+        assert!(
+            total > 10,
+            "expected to visit every sub-expression, saw {total}"
+        );
     }
 
     #[test]
@@ -373,16 +385,20 @@ mod tests {
             Expr::Int(v) => Expr::Int(v * 10),
             other => other,
         });
-        assert_eq!(doubled, Expr::binop(BinOp::Add, Expr::Int(10), Expr::Int(20)));
+        assert_eq!(
+            doubled,
+            Expr::binop(BinOp::Add, Expr::Int(10), Expr::Int(20))
+        );
     }
 
     #[test]
     fn substitution_replaces_only_requested_vars() {
         let e = Expr::binop(BinOp::Add, Expr::var("x"), Expr::var("y"));
-        let replaced = substitute_vars(&e, &|name| {
-            (name == "x").then(|| Expr::Int(7))
-        });
-        assert_eq!(replaced, Expr::binop(BinOp::Add, Expr::Int(7), Expr::var("y")));
+        let replaced = substitute_vars(&e, &|name| (name == "x").then_some(Expr::Int(7)));
+        assert_eq!(
+            replaced,
+            Expr::binop(BinOp::Add, Expr::Int(7), Expr::var("y"))
+        );
     }
 
     #[test]

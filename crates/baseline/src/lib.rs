@@ -70,7 +70,12 @@ impl TestCaseGrader {
         tests: Vec<Vec<Value>>,
     ) -> Result<TestCaseGrader, ParseError> {
         let reference = parse_program(reference_source)?;
-        Ok(TestCaseGrader { reference, entry: entry.to_string(), tests, limits: ExecLimits::fast() })
+        Ok(TestCaseGrader {
+            reference,
+            entry: entry.to_string(),
+            tests,
+            limits: ExecLimits::fast(),
+        })
     }
 
     /// Number of test cases this grader covers — compare with
@@ -93,7 +98,8 @@ impl TestCaseGrader {
     pub fn grade_program(&self, student: &Program) -> TestCaseOutcome {
         let mut failures = Vec::new();
         for inputs in &self.tests {
-            let expected = ExecResult::observe(&self.reference, Some(&self.entry), inputs, self.limits);
+            let expected =
+                ExecResult::observe(&self.reference, Some(&self.entry), inputs, self.limits);
             let actual = ExecResult::observe(student, Some(&self.entry), inputs, self.limits);
             if !actual.matches(&expected, false) {
                 failures.push(FailingTest {
@@ -104,9 +110,14 @@ impl TestCaseGrader {
             }
         }
         if failures.is_empty() {
-            TestCaseOutcome::AllPassed { total: self.tests.len() }
+            TestCaseOutcome::AllPassed {
+                total: self.tests.len(),
+            }
         } else {
-            TestCaseOutcome::Failed { total: self.tests.len(), failures }
+            TestCaseOutcome::Failed {
+                total: self.tests.len(),
+                failures,
+            }
         }
     }
 }
@@ -178,13 +189,19 @@ def computeDeriv(poly_list_int):
         let sparse = TestCaseGrader::new(
             REFERENCE,
             "computeDeriv",
-            vec![vec![Value::int_list([2, -3, 1, 4])], vec![Value::int_list([0, 0])]],
+            vec![
+                vec![Value::int_list([2, -3, 1, 4])],
+                vec![Value::int_list([0, 0])],
+            ],
         )
         .unwrap();
         let outcome = sparse.grade_source(
             "def computeDeriv(poly):\n    d = []\n    for i in range(1, len(poly)):\n        d.append(i * poly[i])\n    return d\n",
         );
-        assert!(outcome.passed(), "the sparse suite cannot distinguish the buggy submission");
+        assert!(
+            outcome.passed(),
+            "the sparse suite cannot distinguish the buggy submission"
+        );
     }
 
     #[test]

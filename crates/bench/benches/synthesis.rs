@@ -1,4 +1,8 @@
-//! Criterion benchmarks for the feedback-generation pipeline.
+//! Micro-benchmarks for the feedback-generation pipeline.
+//!
+//! The workspace carries no external dependencies (criterion is
+//! unavailable), so this is a plain `harness = false` benchmark that times
+//! each case manually and prints mean/min per-iteration wall-clock times.
 //!
 //! * `grade/<problem>` — end-to-end grading time of one representative
 //!   incorrect submission per benchmark problem (the per-submission seconds
@@ -7,10 +11,12 @@
 //!   search against cost-ordered enumeration (paper §7.4).
 //! * `substrate/*` — micro-benchmarks of the substrates: the interpreter,
 //!   the error-model transformation and the SAT solver.
+//!
+//! ```text
+//! cargo bench -p afg-bench
+//! ```
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
 
 use afg_core::GraderConfig;
 use afg_corpus::{generate_corpus, problems, CorpusSpec, Origin};
@@ -19,6 +25,25 @@ use afg_interp::{run_function, EquivalenceConfig, EquivalenceOracle, ExecLimits,
 use afg_parser::parse_program;
 use afg_sat::Solver;
 use afg_synth::{Backend, SynthesisConfig};
+
+/// Times `f` repeatedly (a warmup pass plus `iters` measured passes) and
+/// prints mean and minimum per-iteration time.
+fn bench(name: &str, iters: usize, mut f: impl FnMut()) {
+    f(); // warmup
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed());
+    }
+    let total: Duration = times.iter().sum();
+    let mean = total / iters as u32;
+    let min = times.iter().min().copied().unwrap_or_default();
+    println!(
+        "{name:<40} mean {:>10.3?}   min {:>10.3?}   ({iters} iters)",
+        mean, min
+    );
+}
 
 /// A representative incorrect submission for a problem: the first mutated
 /// submission of its seeded corpus.
@@ -31,29 +56,32 @@ fn incorrect_submission(problem: &afg_corpus::Problem) -> String {
         .expect("corpus contains mutated submissions")
 }
 
-fn bench_grading(c: &mut Criterion) {
-    let mut group = c.benchmark_group("grade");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
-    for id in ["compDeriv", "iterPower", "recurPower", "oddTuples", "evalPoly"] {
+fn bench_grading() {
+    for id in [
+        "compDeriv",
+        "iterPower",
+        "recurPower",
+        "oddTuples",
+        "evalPoly",
+    ] {
         let problem = problems::problem(id).expect("known benchmark");
         let grader = problem.autograder(GraderConfig::fast());
         let submission = incorrect_submission(&problem);
-        group.bench_function(id, |b| {
-            b.iter(|| std::hint::black_box(grader.grade_source(&submission)));
+        bench(&format!("grade/{id}"), 10, || {
+            std::hint::black_box(grader.grade_source(&submission));
         });
     }
-    group.finish();
 }
 
-fn bench_backends(c: &mut Criterion) {
-    let mut group = c.benchmark_group("backend");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
-
+fn bench_backends() {
     let problem = problems::compute_deriv();
     let reference = parse_program(problem.reference).unwrap();
     let oracle = EquivalenceOracle::from_reference(
         &reference,
-        EquivalenceConfig { entry: Some(problem.entry.to_string()), ..EquivalenceConfig::default() },
+        EquivalenceConfig {
+            entry: Some(problem.entry.to_string()),
+            ..EquivalenceConfig::default()
+        },
     );
     let student = parse_program(
         "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    d = []\n    for i in range(0, len(poly)):\n        d.append(i * poly[i])\n    return d\n",
@@ -61,29 +89,24 @@ fn bench_backends(c: &mut Criterion) {
     .unwrap();
     let choices = apply_error_model(&student, Some(problem.entry), &problem.model).unwrap();
 
-    for (name, backend) in [("cegis", Backend::Cegis), ("enumerative", Backend::Enumerative)] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                std::hint::black_box(backend.synthesize(&choices, &oracle, &SynthesisConfig::fast()))
-            });
+    for (name, backend) in [
+        ("cegis", Backend::Cegis),
+        ("enumerative", Backend::Enumerative),
+    ] {
+        bench(&format!("backend/{name}"), 10, || {
+            std::hint::black_box(backend.synthesize(&choices, &oracle, &SynthesisConfig::fast()));
         });
     }
-    group.finish();
 }
 
-fn bench_substrates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate");
-    group.sample_size(20);
-
+fn bench_substrates() {
     // Interpreter: one run of the reference computeDeriv on a 4-element list.
     let reference = parse_program(problems::compute_deriv().reference).unwrap();
     let input = vec![Value::int_list([2, -3, 1, 4])];
-    group.bench_function("interpreter_computeDeriv", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                run_function(&reference, Some("computeDeriv"), &input, ExecLimits::fast()).unwrap(),
-            )
-        });
+    bench("substrate/interpreter_computeDeriv", 200, || {
+        std::hint::black_box(
+            run_function(&reference, Some("computeDeriv"), &input, ExecLimits::fast()).unwrap(),
+        );
     });
 
     // Error-model transformation of the Figure 2(a) submission.
@@ -92,32 +115,32 @@ fn bench_substrates(c: &mut Criterion) {
     )
     .unwrap();
     let model = library::compute_deriv_model();
-    group.bench_function("transform_figure2a", |b| {
-        b.iter(|| std::hint::black_box(apply_error_model(&student, Some("computeDeriv"), &model).unwrap()));
+    bench("substrate/transform_figure2a", 200, || {
+        std::hint::black_box(apply_error_model(&student, Some("computeDeriv"), &model).unwrap());
     });
 
     // SAT solver: pigeonhole 5 pigeons / 4 holes (unsatisfiable).
-    group.bench_function("sat_pigeonhole_5_4", |b| {
-        b.iter(|| {
-            let mut solver = Solver::new();
-            let pigeons: Vec<Vec<_>> = (0..5).map(|_| solver.new_vars(4)).collect();
-            for row in &pigeons {
-                let lits: Vec<_> = row.iter().map(|v| v.positive()).collect();
-                solver.add_clause(&lits);
-            }
-            for hole in 0..4 {
-                for i in 0..5 {
-                    for j in (i + 1)..5 {
-                        solver.add_clause(&[pigeons[i][hole].negative(), pigeons[j][hole].negative()]);
-                    }
+    bench("substrate/sat_pigeonhole_5_4", 50, || {
+        let mut solver = Solver::new();
+        let pigeons: Vec<Vec<_>> = (0..5).map(|_| solver.new_vars(4)).collect();
+        for row in &pigeons {
+            let lits: Vec<_> = row.iter().map(|v| v.positive()).collect();
+            solver.add_clause(&lits);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for hole in 0..4usize {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    solver.add_clause(&[pigeons[i][hole].negative(), pigeons[j][hole].negative()]);
                 }
             }
-            std::hint::black_box(solver.solve())
-        });
+        }
+        std::hint::black_box(solver.solve());
     });
-
-    group.finish();
 }
 
-criterion_group!(benches, bench_grading, bench_backends, bench_substrates);
-criterion_main!(benches);
+fn main() {
+    bench_grading();
+    bench_backends();
+    bench_substrates();
+}

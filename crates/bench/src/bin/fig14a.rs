@@ -3,30 +3,47 @@
 //! (log-scale histogram in the paper; printed here as counts per bucket).
 //!
 //! ```text
-//! cargo run --release -p afg-bench --bin fig14a -- [--attempts N] [--seed S]
+//! cargo run --release -p afg-bench --bin fig14a -- [--attempts N] [--seed S] [--workers N]
 //! ```
 
-
+use afg_bench::{corrections_histogram, run_problem_on, CliOptions};
 use afg_corpus::{problems, CorpusSpec};
-use afg_bench::{corrections_histogram, parse_cli_options, run_problem};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (attempts, seed) = parse_cli_options(&args, 40);
+    let options = CliOptions::parse_or_exit(&args, 40);
+    let engine = options.engine();
+    let (attempts, seed) = (options.attempts, options.seed);
 
     // The six 6.00x problems plotted in Figure 14(a).
-    let ids = ["compDeriv", "evalPoly", "iterGCD", "oddTuples", "recurPower", "iterPower"];
+    let ids = [
+        "compDeriv",
+        "evalPoly",
+        "iterGCD",
+        "oddTuples",
+        "recurPower",
+        "iterPower",
+    ];
 
     println!("Figure 14(a): distribution of the number of corrections");
     println!("(synthetic corpus: {attempts} attempts per benchmark, seed {seed})");
     println!();
-    println!("{:<14} {:>8} {:>8} {:>8} {:>8}", "Benchmark", "1 corr", "2 corr", "3 corr", "4+ corr");
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8}",
+        "Benchmark", "1 corr", "2 corr", "3 corr", "4+ corr"
+    );
 
     let mut totals = [0usize; 5];
     for id in ids {
         let problem = problems::problem(id).expect("known benchmark id");
         let spec = CorpusSpec::table1_like(attempts, seed ^ id.len() as u64);
-        let (_row, records) = run_problem(&problem, &spec, afg_bench::experiment_config());
+        let (_row, records, _report) = run_problem_on(
+            &problem,
+            None,
+            &spec,
+            afg_bench::experiment_config(),
+            &engine,
+        );
         let histogram = corrections_histogram(&records, 4);
         println!(
             "{:<14} {:>8} {:>8} {:>8} {:>8}",
@@ -41,6 +58,8 @@ fn main() {
         "All problems: 1 -> {}, 2 -> {}, 3 -> {}, 4+ -> {}",
         totals[1], totals[2], totals[3], totals[4]
     );
-    println!("Expected shape (paper): counts fall roughly geometrically with the number of corrections,");
+    println!(
+        "Expected shape (paper): counts fall roughly geometrically with the number of corrections,"
+    );
     println!("with a non-trivial tail at 3-4 coordinated corrections.");
 }

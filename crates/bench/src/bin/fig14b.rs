@@ -2,18 +2,26 @@
 //! as rules are added to each problem's error model (models E0 ⊂ E1 ⊂ … ⊂ E5).
 //!
 //! ```text
-//! cargo run --release -p afg-bench --bin fig14b -- [--attempts N] [--seed S]
+//! cargo run --release -p afg-bench --bin fig14b -- [--attempts N] [--seed S] [--workers N]
 //! ```
 
-
+use afg_bench::{run_problem_on, CliOptions};
 use afg_corpus::{problems, CorpusSpec};
-use afg_bench::{parse_cli_options, run_problem_with_model};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (attempts, seed) = parse_cli_options(&args, 30);
+    let options = CliOptions::parse_or_exit(&args, 30);
+    let engine = options.engine();
+    let (attempts, seed) = (options.attempts, options.seed);
 
-    let ids = ["compDeriv", "evalPoly", "iterGCD", "oddTuples", "recurPower", "iterPower"];
+    let ids = [
+        "compDeriv",
+        "evalPoly",
+        "iterGCD",
+        "oddTuples",
+        "recurPower",
+        "iterPower",
+    ];
     let steps = 5usize;
 
     println!("Figure 14(b): incorrect attempts corrected vs. error-model size");
@@ -31,8 +39,13 @@ fn main() {
         print!("{:<14}", id);
         for k in 0..=steps {
             let model = problem.model.truncated(k);
-            let (row, _records) =
-                run_problem_with_model(&problem, Some(model), &spec, afg_bench::experiment_config());
+            let (row, _records, _report) = run_problem_on(
+                &problem,
+                Some(model),
+                &spec,
+                afg_bench::experiment_config(),
+                &engine,
+            );
             print!(" {:>6}", row.generated_feedback);
         }
         println!();

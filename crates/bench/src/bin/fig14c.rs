@@ -3,19 +3,26 @@
 //! own specialised model.
 //!
 //! ```text
-//! cargo run --release -p afg-bench --bin fig14c -- [--attempts N] [--seed S]
+//! cargo run --release -p afg-bench --bin fig14c -- [--attempts N] [--seed S] [--workers N]
 //! ```
 
-
+use afg_bench::{run_problem_on, CliOptions};
 use afg_corpus::{problems, CorpusSpec};
-use afg_bench::{parse_cli_options, run_problem, run_problem_with_model};
 use afg_eml::library;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (attempts, seed) = parse_cli_options(&args, 30);
+    let options = CliOptions::parse_or_exit(&args, 30);
+    let engine = options.engine();
+    let (attempts, seed) = (options.attempts, options.seed);
 
-    let ids = ["evalPoly", "iterGCD", "oddTuples", "recurPower", "iterPower"];
+    let ids = [
+        "evalPoly",
+        "iterGCD",
+        "oddTuples",
+        "recurPower",
+        "iterPower",
+    ];
 
     println!("Figure 14(c): generalisation of the computeDeriv error model");
     println!("(synthetic corpus: {attempts} attempts per benchmark, seed {seed})");
@@ -29,15 +36,28 @@ fn main() {
         let problem = problems::problem(id).expect("known benchmark id");
         let spec = CorpusSpec::table1_like(attempts, seed ^ id.len() as u64);
         let generic_model = library::compute_deriv_model();
-        let (generic_row, _) =
-            run_problem_with_model(&problem, Some(generic_model), &spec, afg_bench::experiment_config());
-        let (own_row, _) = run_problem(&problem, &spec, afg_bench::experiment_config());
+        let (generic_row, _, _) = run_problem_on(
+            &problem,
+            Some(generic_model),
+            &spec,
+            afg_bench::experiment_config(),
+            &engine,
+        );
+        let (own_row, _, _) = run_problem_on(
+            &problem,
+            None,
+            &spec,
+            afg_bench::experiment_config(),
+            &engine,
+        );
         println!(
             "{:<14} {:>18} {:>18} {:>10}",
             id, generic_row.generated_feedback, own_row.generated_feedback, own_row.incorrect
         );
     }
     println!();
-    println!("Expected shape (paper): the borrowed computeDeriv model fixes a useful fraction of the");
+    println!(
+        "Expected shape (paper): the borrowed computeDeriv model fixes a useful fraction of the"
+    );
     println!("attempts but fewer than each problem's specialised model.");
 }

@@ -61,7 +61,11 @@ fn main() {
     let problem = problems::compute_deriv();
     let grader = problem.autograder(GraderConfig::default());
 
-    for (label, source) in [("Figure 2(a)", STUDENT_A), ("Figure 2(b)", STUDENT_B), ("Figure 2(c)", STUDENT_C)] {
+    for (label, source) in [
+        ("Figure 2(a)", STUDENT_A),
+        ("Figure 2(b)", STUDENT_B),
+        ("Figure 2(c)", STUDENT_C),
+    ] {
         println!("=== {label} ===");
         println!("{source}");
         match grader.grade_source(source) {

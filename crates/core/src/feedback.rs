@@ -28,18 +28,33 @@ pub struct FeedbackLevel {
 impl FeedbackLevel {
     /// Full feedback: everything the tool knows (the level used in Figure 2).
     pub fn full() -> FeedbackLevel {
-        FeedbackLevel { location: true, expression: true, subexpression: true, replacement: true }
+        FeedbackLevel {
+            location: true,
+            expression: true,
+            subexpression: true,
+            replacement: true,
+        }
     }
 
     /// Only the location of the error ("look at line 6").
     pub fn location_only() -> FeedbackLevel {
-        FeedbackLevel { location: true, expression: false, subexpression: false, replacement: false }
+        FeedbackLevel {
+            location: true,
+            expression: false,
+            subexpression: false,
+            replacement: false,
+        }
     }
 
     /// Location plus the problematic expression, but not the fix — a hint
     /// level instructors commonly prefer.
     pub fn hint() -> FeedbackLevel {
-        FeedbackLevel { location: true, expression: true, subexpression: true, replacement: false }
+        FeedbackLevel {
+            location: true,
+            expression: true,
+            subexpression: true,
+            replacement: false,
+        }
     }
 }
 
@@ -112,7 +127,10 @@ fn render_correction(correction: &Correction, level: FeedbackLevel) -> String {
         parts.push(format!("look at line {}", correction.line));
     }
     if level.expression || level.subexpression {
-        parts.push(format!("the expression {} is not right", correction.original));
+        parts.push(format!(
+            "the expression {} is not right",
+            correction.original
+        ));
     }
     if level.replacement {
         parts.push(format!("it should be {}", correction.replacement));
@@ -207,9 +225,15 @@ mod tests {
     #[test]
     fn default_message_recognises_increments() {
         let correction = build_correction(&info(None), 1);
-        assert_eq!(correction.message, "In the expression 0 in line 6, increment 0 by 1");
+        assert_eq!(
+            correction.message,
+            "In the expression 0 in line 6, increment 0 by 1"
+        );
         let correction = build_correction(&info(None), 2);
-        assert_eq!(correction.message, "In the expression 0 in line 6, replace 0 with 1");
+        assert_eq!(
+            correction.message,
+            "In the expression 0 in line 6, replace 0 with 1"
+        );
     }
 
     #[test]
@@ -245,11 +269,16 @@ mod tests {
     #[test]
     fn plural_rendering() {
         let feedback = Feedback {
-            corrections: vec![build_correction(&info(None), 1), build_correction(&info(None), 2)],
+            corrections: vec![
+                build_correction(&info(None), 1),
+                build_correction(&info(None), 2),
+            ],
             cost: 2,
             elapsed: Duration::ZERO,
             stats: SynthesisStats::default(),
         };
-        assert!(feedback.to_string().starts_with("The program requires 2 changes:"));
+        assert!(feedback
+            .to_string()
+            .starts_with("The program requires 2 changes:"));
     }
 }

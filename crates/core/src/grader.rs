@@ -125,7 +125,13 @@ impl Autograder {
         let mut equivalence = config.equivalence.clone();
         equivalence.entry = Some(entry.to_string());
         let oracle = EquivalenceOracle::from_reference(&reference, equivalence);
-        Autograder { reference, entry: entry.to_string(), model, config, oracle }
+        Autograder {
+            reference,
+            entry: entry.to_string(),
+            model,
+            config,
+            oracle,
+        }
     }
 
     /// The reference implementation being graded against.
@@ -176,11 +182,14 @@ impl Autograder {
             }
         };
         let outcome =
-            self.config.backend.synthesize(&choice_program, &self.oracle, &self.config.synthesis);
+            self.config
+                .backend
+                .synthesize(&choice_program, &self.oracle, &self.config.synthesis);
         match outcome {
             SynthesisOutcome::AlreadyCorrect => GradeOutcome::Correct,
             SynthesisOutcome::Fixed(solution) => {
-                let corrections = corrections_from_assignment(&choice_program, &solution.assignment);
+                let corrections =
+                    corrections_from_assignment(&choice_program, &solution.assignment);
                 GradeOutcome::Feedback(Feedback {
                     corrections,
                     cost: solution.cost,
@@ -222,13 +231,8 @@ def computeDeriv(poly_list_int):
 
     #[test]
     fn rejects_unparsable_reference() {
-        let err = Autograder::new(
-            "def f(:\n",
-            "f",
-            ErrorModel::new("m"),
-            GraderConfig::fast(),
-        )
-        .unwrap_err();
+        let err = Autograder::new("def f(:\n", "f", ErrorModel::new("m"), GraderConfig::fast())
+            .unwrap_err();
         assert!(matches!(err, GraderError::ReferenceSyntax(_)));
         assert!(err.to_string().contains("reference implementation"));
     }
@@ -259,16 +263,25 @@ def computeDeriv(poly_list_int):
         assert_eq!(feedback.cost, 1);
         assert_eq!(feedback.corrections.len(), 1);
         let rendered = feedback.to_string();
-        assert!(rendered.contains("The program requires 1 change:"), "{rendered}");
+        assert!(
+            rendered.contains("The program requires 1 change:"),
+            "{rendered}"
+        );
         assert!(rendered.contains("in line"), "{rendered}");
     }
 
     #[test]
     fn unfixable_submissions_are_reported() {
         let outcome = grader().grade_source("def computeDeriv(poly):\n    return 42\n");
-        assert!(matches!(outcome, GradeOutcome::CannotFix | GradeOutcome::Timeout));
+        assert!(matches!(
+            outcome,
+            GradeOutcome::CannotFix | GradeOutcome::Timeout
+        ));
         // A program with no function at all cannot be graded either.
         let outcome = grader().grade_source("x = 1\n");
-        assert!(matches!(outcome, GradeOutcome::SyntaxError(_) | GradeOutcome::CannotFix));
+        assert!(matches!(
+            outcome,
+            GradeOutcome::SyntaxError(_) | GradeOutcome::CannotFix
+        ));
     }
 }

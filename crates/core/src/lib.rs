@@ -50,9 +50,11 @@
 //! # Ok::<(), afg_core::GraderError>(())
 //! ```
 
+mod batch;
 mod feedback;
 mod grader;
 
+pub use batch::{BatchGrader, BatchItem, BatchReport, WorkerStats};
 pub use feedback::{corrections_from_assignment, Correction, Feedback, FeedbackLevel};
 pub use grader::{Autograder, GradeOutcome, GraderConfig, GraderError};
 

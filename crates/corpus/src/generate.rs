@@ -10,12 +10,10 @@
 
 use afg_ast::pretty;
 use afg_parser::parse_program;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 use crate::mutate::mutate_program;
 use crate::problem::Problem;
+use crate::rng::StdRng;
 
 /// Why a generated submission looks the way it does (used for analysis and
 /// debugging; the grader never sees it).
@@ -93,25 +91,30 @@ pub fn generate_corpus(problem: &Problem, spec: &CorpusSpec) -> Vec<Submission> 
         .saturating_sub(syntax_count + correct_count + unfixable_count);
 
     for _ in 0..syntax_count {
-        let seed_source = seeds.choose(&mut rng).expect("problems have seeds");
+        let seed_source = rng.choose(&seeds).expect("problems have seeds");
         submissions.push(Submission {
             source: corrupt_syntax(seed_source, &mut rng),
             origin: Origin::SyntaxError,
         });
     }
     for _ in 0..correct_count {
-        let seed_source = seeds.choose(&mut rng).expect("problems have seeds");
-        submissions.push(Submission { source: (*seed_source).to_string(), origin: Origin::Correct });
+        let seed_source = rng.choose(&seeds).expect("problems have seeds");
+        submissions.push(Submission {
+            source: (*seed_source).to_string(),
+            origin: Origin::Correct,
+        });
     }
     for i in 0..unfixable_count {
         // Alternate between the hand-written conceptual errors and trivial
         // attempts so both buckets are represented.
         if i % 2 == 0 && !problem.conceptual_mutants.is_empty() {
-            let source = problem
-                .conceptual_mutants
-                .choose(&mut rng)
+            let source = rng
+                .choose(&problem.conceptual_mutants)
                 .expect("non-empty conceptual mutants");
-            submissions.push(Submission { source: (*source).to_string(), origin: Origin::Conceptual });
+            submissions.push(Submission {
+                source: (*source).to_string(),
+                origin: Origin::Conceptual,
+            });
         } else {
             submissions.push(Submission {
                 source: trivial_attempt(problem, &mut rng),
@@ -120,7 +123,7 @@ pub fn generate_corpus(problem: &Problem, spec: &CorpusSpec) -> Vec<Submission> 
         }
     }
     for _ in 0..mutated_count {
-        let seed_source = seeds.choose(&mut rng).expect("problems have seeds");
+        let seed_source = rng.choose(&seeds).expect("problems have seeds");
         let mut program = parse_program(seed_source).expect("seed solutions parse");
         let mutations = sample_mutation_count(&mut rng);
         let applied = mutate_program(&mut program, mutations, &mut rng);
@@ -130,14 +133,14 @@ pub fn generate_corpus(problem: &Problem, spec: &CorpusSpec) -> Vec<Submission> 
         });
     }
 
-    submissions.shuffle(&mut rng);
+    rng.shuffle(&mut submissions);
     submissions
 }
 
 /// The distribution of injected-mistake counts, shaped like the paper's
 /// Figure 14(a): most incorrect attempts need one or two corrections, a
 /// long-ish tail needs three or four coordinated ones.
-fn sample_mutation_count(rng: &mut impl Rng) -> usize {
+fn sample_mutation_count(rng: &mut StdRng) -> usize {
     match rng.gen_range(0..100u32) {
         0..=61 => 1,
         62..=86 => 2,
@@ -148,7 +151,7 @@ fn sample_mutation_count(rng: &mut impl Rng) -> usize {
 
 /// Produces a plausibly student-like syntax error by corrupting one line
 /// (a missing colon, an unbalanced parenthesis, a dangling `=`).
-fn corrupt_syntax(source: &str, rng: &mut impl Rng) -> String {
+fn corrupt_syntax(source: &str, rng: &mut StdRng) -> String {
     let lines: Vec<&str> = source.lines().collect();
     let which = rng.gen_range(0..lines.len());
     let mut corrupted = String::new();
@@ -176,7 +179,7 @@ fn corrupt_syntax(source: &str, rng: &mut impl Rng) -> String {
 }
 
 /// Produces an empty or trivial attempt.
-fn trivial_attempt(problem: &Problem, rng: &mut impl Rng) -> String {
+fn trivial_attempt(problem: &Problem, rng: &mut StdRng) -> String {
     let reference = parse_program(problem.reference).expect("reference parses");
     let entry = reference.entry(Some(problem.entry)).expect("entry exists");
     let params: Vec<String> = entry.params.iter().map(|p| p.name.clone()).collect();
@@ -199,9 +202,18 @@ mod tests {
         let spec = CorpusSpec::table1_like(80, 42);
         let corpus = generate_corpus(&problem, &spec);
         assert_eq!(corpus.len(), 80);
-        let syntax = corpus.iter().filter(|s| s.origin == Origin::SyntaxError).count();
-        let correct = corpus.iter().filter(|s| s.origin == Origin::Correct).count();
-        let mutated = corpus.iter().filter(|s| matches!(s.origin, Origin::Mutated(_))).count();
+        let syntax = corpus
+            .iter()
+            .filter(|s| s.origin == Origin::SyntaxError)
+            .count();
+        let correct = corpus
+            .iter()
+            .filter(|s| s.origin == Origin::Correct)
+            .count();
+        let mutated = corpus
+            .iter()
+            .filter(|s| matches!(s.origin, Origin::Mutated(_)))
+            .count();
         assert_eq!(syntax, 20);
         assert_eq!(correct, 28);
         assert!(mutated > 20);
@@ -221,23 +233,33 @@ mod tests {
     fn syntax_error_submissions_really_fail_to_parse_mostly() {
         let problem = problems::compute_deriv();
         let corpus = generate_corpus(&problem, &CorpusSpec::table1_like(60, 3));
-        let syntax_subs: Vec<&Submission> =
-            corpus.iter().filter(|s| s.origin == Origin::SyntaxError).collect();
+        let syntax_subs: Vec<&Submission> = corpus
+            .iter()
+            .filter(|s| s.origin == Origin::SyntaxError)
+            .collect();
         let failing = syntax_subs
             .iter()
             .filter(|s| parse_program(&s.source).is_err())
             .count();
         // Corruption is heuristic; the overwhelming majority must fail to parse.
-        assert!(failing * 10 >= syntax_subs.len() * 8, "{failing}/{}", syntax_subs.len());
+        assert!(
+            failing * 10 >= syntax_subs.len() * 8,
+            "{failing}/{}",
+            syntax_subs.len()
+        );
     }
 
     #[test]
     fn mutated_submissions_parse() {
         let problem = problems::hangman2();
         let corpus = generate_corpus(&problem, &CorpusSpec::table1_like(40, 11));
-        for submission in corpus.iter().filter(|s| matches!(s.origin, Origin::Mutated(_))) {
-            parse_program(&submission.source)
-                .unwrap_or_else(|e| panic!("mutated submission must parse: {e}\n{}", submission.source));
+        for submission in corpus
+            .iter()
+            .filter(|s| matches!(s.origin, Origin::Mutated(_)))
+        {
+            parse_program(&submission.source).unwrap_or_else(|e| {
+                panic!("mutated submission must parse: {e}\n{}", submission.source)
+            });
         }
     }
 

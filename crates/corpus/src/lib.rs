@@ -23,6 +23,7 @@ mod generate;
 mod mutate;
 mod problem;
 pub mod problems;
+pub mod rng;
 
 pub use generate::{generate_corpus, CorpusSpec, Origin, Submission};
 pub use mutate::{mutate_program, MutationKind};

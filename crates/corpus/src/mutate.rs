@@ -14,8 +14,8 @@
 use afg_ast::ops::{BinOp, CmpOp};
 use afg_ast::visit::func_scope_vars;
 use afg_ast::{Expr, FuncDef, Program, Stmt, StmtKind};
-use rand::seq::SliceRandom;
-use rand::Rng;
+
+use crate::rng::StdRng;
 
 /// The kinds of mistakes the mutator can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,7 +55,7 @@ impl MutationKind {
 /// Applies `count` random mutations to the entry function of `program`.
 /// Returns the kinds that were actually applied (some operators may find no
 /// applicable site in a given program).
-pub fn mutate_program(program: &mut Program, count: usize, rng: &mut impl Rng) -> Vec<MutationKind> {
+pub fn mutate_program(program: &mut Program, count: usize, rng: &mut StdRng) -> Vec<MutationKind> {
     let mut applied = Vec::new();
     let Some(func) = program.funcs.first_mut() else {
         return applied;
@@ -74,7 +74,7 @@ pub fn mutate_program(program: &mut Program, count: usize, rng: &mut impl Rng) -
 /// Samples a mutation kind with the weights observed in the paper's error
 /// catalogue: most student mistakes are wrong constants, bounds, comparisons
 /// and indices; dropped guards and misused variables are rarer.
-fn sample_kind(rng: &mut impl Rng) -> MutationKind {
+fn sample_kind(rng: &mut StdRng) -> MutationKind {
     match rng.gen_range(0..100u32) {
         0..=29 => MutationKind::TweakConstant,
         30..=54 => MutationKind::SwapComparison,
@@ -86,7 +86,7 @@ fn sample_kind(rng: &mut impl Rng) -> MutationKind {
     }
 }
 
-fn apply_mutation(func: &mut FuncDef, kind: MutationKind, rng: &mut impl Rng) -> bool {
+fn apply_mutation(func: &mut FuncDef, kind: MutationKind, rng: &mut StdRng) -> bool {
     match kind {
         MutationKind::TweakConstant => {
             let delta = if rng.gen_bool(0.5) { 1 } else { -1 };
@@ -98,29 +98,33 @@ fn apply_mutation(func: &mut FuncDef, kind: MutationKind, rng: &mut impl Rng) ->
                 _ => None,
             })
         }
-        MutationKind::SwapComparison => rewrite_random_expr(func, rng, &mut |expr, rng| match expr {
-            Expr::Compare(op, l, r) => {
-                let replacement = *CmpOp::relational().choose(rng).expect("non-empty");
-                if replacement == *op {
-                    None
-                } else {
-                    Some(Expr::Compare(replacement, l.clone(), r.clone()))
+        MutationKind::SwapComparison => {
+            rewrite_random_expr(func, rng, &mut |expr, rng| match expr {
+                Expr::Compare(op, l, r) => {
+                    let replacement = *rng.choose(CmpOp::relational()).expect("non-empty");
+                    if replacement == *op {
+                        None
+                    } else {
+                        Some(Expr::Compare(replacement, l.clone(), r.clone()))
+                    }
                 }
-            }
-            _ => None,
-        }),
-        MutationKind::SwapArithmetic => rewrite_random_expr(func, rng, &mut |expr, rng| match expr {
-            Expr::BinOp(op, l, r) => {
-                let choices = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Pow];
-                let replacement = *choices.choose(rng).expect("non-empty");
-                if replacement == *op {
-                    None
-                } else {
-                    Some(Expr::BinOp(replacement, l.clone(), r.clone()))
+                _ => None,
+            })
+        }
+        MutationKind::SwapArithmetic => {
+            rewrite_random_expr(func, rng, &mut |expr, rng| match expr {
+                Expr::BinOp(op, l, r) => {
+                    let choices = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Pow];
+                    let replacement = *rng.choose(&choices).expect("non-empty");
+                    if replacement == *op {
+                        None
+                    } else {
+                        Some(Expr::BinOp(replacement, l.clone(), r.clone()))
+                    }
                 }
-            }
-            _ => None,
-        }),
+                _ => None,
+            })
+        }
         MutationKind::ShiftIndex => {
             let delta = if rng.gen_bool(0.5) { 1 } else { -1 };
             rewrite_random_expr(func, rng, &mut |expr, _rng| match expr {
@@ -140,7 +144,7 @@ fn apply_mutation(func: &mut FuncDef, kind: MutationKind, rng: &mut impl Rng) ->
             }
             rewrite_random_expr(func, rng, &mut |expr, rng| match expr {
                 Expr::Var(name) => {
-                    let other = vars.choose(rng).expect("non-empty");
+                    let other = rng.choose(&vars).expect("non-empty");
                     if other == name {
                         None
                     } else {
@@ -157,8 +161,8 @@ fn apply_mutation(func: &mut FuncDef, kind: MutationKind, rng: &mut impl Rng) ->
 /// returns a replacement.  Returns whether anything changed.
 fn rewrite_random_expr(
     func: &mut FuncDef,
-    rng: &mut impl Rng,
-    try_rewrite: &mut dyn FnMut(&Expr, &mut dyn rand::RngCore) -> Option<Expr>,
+    rng: &mut StdRng,
+    try_rewrite: &mut dyn FnMut(&Expr, &mut StdRng) -> Option<Expr>,
 ) -> bool {
     // First pass: count rewritable sites.
     let mut sites = 0usize;
@@ -240,7 +244,10 @@ fn rewrite_expr(expr: &mut Expr, f: &mut dyn FnMut(&Expr) -> Option<Expr>) {
                 rewrite_expr(v, f);
             }
         }
-        Expr::Index(a, b) | Expr::BinOp(_, a, b) | Expr::Compare(_, a, b) | Expr::BoolExpr(_, a, b) => {
+        Expr::Index(a, b)
+        | Expr::BinOp(_, a, b)
+        | Expr::Compare(_, a, b)
+        | Expr::BoolExpr(_, a, b) => {
             rewrite_expr(a, f);
             rewrite_expr(b, f);
         }
@@ -269,7 +276,7 @@ fn rewrite_expr(expr: &mut Expr, f: &mut dyn FnMut(&Expr) -> Option<Expr>) {
     }
 }
 
-fn mutate_random_return(func: &mut FuncDef, rng: &mut impl Rng) -> bool {
+fn mutate_random_return(func: &mut FuncDef, rng: &mut StdRng) -> bool {
     let total = count_returns(&func.body);
     if total == 0 {
         return false;
@@ -295,6 +302,9 @@ fn count_returns(body: &[Stmt]) -> usize {
 
 fn break_nth_return(body: &mut [Stmt], target: usize, flavour: u8, seen: &mut usize) -> bool {
     for stmt in body {
+        // The recursion needs `&mut` bindings, which match guards cannot
+        // provide, so the inner `if`s stay.
+        #[allow(clippy::collapsible_match)]
         match &mut stmt.kind {
             StmtKind::Return(Some(value)) => {
                 if *seen == target {
@@ -309,7 +319,9 @@ fn break_nth_return(body: &mut [Stmt], target: usize, flavour: u8, seen: &mut us
                 *seen += 1;
             }
             StmtKind::If(_, a, b) => {
-                if break_nth_return(a, target, flavour, seen) || break_nth_return(b, target, flavour, seen) {
+                if break_nth_return(a, target, flavour, seen)
+                    || break_nth_return(b, target, flavour, seen)
+                {
                     return true;
                 }
             }
@@ -324,14 +336,14 @@ fn break_nth_return(body: &mut [Stmt], target: usize, flavour: u8, seen: &mut us
     false
 }
 
-fn drop_random_guard(body: &mut Vec<Stmt>, rng: &mut impl Rng) -> bool {
+fn drop_random_guard(body: &mut Vec<Stmt>, rng: &mut StdRng) -> bool {
     let guard_positions: Vec<usize> = body
         .iter()
         .enumerate()
         .filter(|(_, s)| matches!(s.kind, StmtKind::If(_, _, ref e) if e.is_empty()))
         .map(|(i, _)| i)
         .collect();
-    if let Some(&position) = guard_positions.as_slice().choose(rng) {
+    if let Some(&position) = rng.choose(&guard_positions) {
         // Keep at least one statement so the program still parses sensibly.
         if body.len() > 1 {
             body.remove(position);
@@ -345,8 +357,8 @@ fn drop_random_guard(body: &mut Vec<Stmt>, rng: &mut impl Rng) -> bool {
 mod tests {
     use super::*;
     use afg_parser::parse_program;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+
+    use crate::rng::StdRng;
 
     const SEED_PROGRAM: &str = "\
 def computeDeriv(poly):
@@ -390,9 +402,16 @@ def computeDeriv(poly):
     fn most_mutants_are_behaviourally_different() {
         use afg_interp::{EquivalenceConfig, EquivalenceOracle};
         let original = parse_program(SEED_PROGRAM).unwrap();
-        let oracle = EquivalenceOracle::from_reference(
+        // The seed program leaves `poly` untyped, so declare the input space
+        // explicitly: the Dynamic fallback only enumerates singleton lists,
+        // which cannot see mistakes inside the loop body.
+        let oracle = EquivalenceOracle::new(
             &original,
-            EquivalenceConfig { entry: Some("computeDeriv".into()), ..EquivalenceConfig::default() },
+            &[afg_ast::types::MpyType::list_int()],
+            EquivalenceConfig {
+                entry: Some("computeDeriv".into()),
+                ..EquivalenceConfig::default()
+            },
         );
         let mut different = 0;
         let total = 30;

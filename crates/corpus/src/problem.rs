@@ -68,14 +68,20 @@ impl Problem {
             let program = parse_program(variant)
                 .map_err(|e| format!("{}: correct variant {i} does not parse: {e}", self.id))?;
             if grader.oracle().find_counterexample(&program).is_some() {
-                return Err(format!("{}: correct variant {i} is not equivalent to the reference", self.id));
+                return Err(format!(
+                    "{}: correct variant {i} is not equivalent to the reference",
+                    self.id
+                ));
             }
         }
         for (i, mutant) in self.conceptual_mutants.iter().enumerate() {
             let program = parse_program(mutant)
                 .map_err(|e| format!("{}: conceptual mutant {i} does not parse: {e}", self.id))?;
             if grader.oracle().find_counterexample(&program).is_none() {
-                return Err(format!("{}: conceptual mutant {i} is unexpectedly correct", self.id));
+                return Err(format!(
+                    "{}: conceptual mutant {i} is unexpectedly correct",
+                    self.id
+                ));
             }
         }
         Ok(())
@@ -89,10 +95,26 @@ mod tests {
     #[test]
     fn every_problem_has_a_parsable_reference_and_model() {
         for problem in problems::all_problems() {
-            assert!(!problem.model.is_empty(), "{} has an empty error model", problem.id);
-            assert!(problem.model.is_well_formed(), "{} has an ill-formed model", problem.id);
-            assert!(problem.reference_loc() >= 2, "{} reference is trivial", problem.id);
-            assert!(!problem.test_inputs.is_empty(), "{} has no baseline tests", problem.id);
+            assert!(
+                !problem.model.is_empty(),
+                "{} has an empty error model",
+                problem.id
+            );
+            assert!(
+                problem.model.is_well_formed(),
+                "{} has an ill-formed model",
+                problem.id
+            );
+            assert!(
+                problem.reference_loc() >= 2,
+                "{} reference is trivial",
+                problem.id
+            );
+            assert!(
+                !problem.test_inputs.is_empty(),
+                "{} has no baseline tests",
+                problem.id
+            );
         }
     }
 

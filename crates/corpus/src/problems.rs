@@ -128,7 +128,11 @@ def oddTuples(aTup):
 ",
         ],
         test_inputs: vec![
-            vec![Value::Tuple(vec![Value::Int(1), Value::Int(2), Value::Int(3)])],
+            vec![Value::Tuple(vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3),
+            ])],
             vec![Value::Tuple(vec![])],
             vec![Value::Tuple(vec![Value::Int(5)])],
         ],
@@ -455,7 +459,10 @@ def isWordGuessed(secretWord, lettersGuessed):
                 Value::Str("ab".into()),
                 Value::List(vec![Value::Str("a".into()), Value::Str("b".into())]),
             ],
-            vec![Value::Str("ab".into()), Value::List(vec![Value::Str("a".into())])],
+            vec![
+                Value::Str("ab".into()),
+                Value::List(vec![Value::Str("a".into())]),
+            ],
             vec![Value::Str("".into()), Value::List(vec![])],
         ],
     }
@@ -678,7 +685,9 @@ def bestRush(orders):
 /// Incremental error models E0..E5 for a problem (paper Figure 14(b)); E0 is
 /// the empty model, E_k keeps the first `k` rules.
 pub fn incremental_models(problem: &Problem, steps: usize) -> Vec<ErrorModel> {
-    (0..=steps.min(problem.model.len())).map(|k| problem.model.truncated(k)).collect()
+    (0..=steps.min(problem.model.len()))
+        .map(|k| problem.model.truncated(k))
+        .collect()
 }
 
 /// A tiny extra rule used by the richest models in the Figure 14(b) sweep.

@@ -159,7 +159,9 @@ impl ChoiceAssignment {
 
     /// Creates an assignment from explicit `(choice, option)` pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (ChoiceId, usize)>) -> ChoiceAssignment {
-        ChoiceAssignment { selections: pairs.into_iter().collect() }
+        ChoiceAssignment {
+            selections: pairs.into_iter().collect(),
+        }
     }
 
     /// Sets the selected option for a choice.
@@ -201,13 +203,24 @@ impl ChoiceProgram {
     /// The size of the candidate-program space represented by this M̃PY
     /// program (product of option counts), as reported in paper §2.2.
     pub fn candidate_space_size(&self) -> f64 {
-        self.choices.iter().map(|c| c.options.len() as f64).product()
+        self.choices
+            .iter()
+            .map(|c| c.options.len() as f64)
+            .product()
     }
 
     /// Concretises the choice program into an ordinary MPY program under the
     /// given assignment.  Unknown choice ids in the assignment are ignored;
     /// missing ids take the default option.
+    ///
+    /// This materialises a full AST clone and is therefore the *cold path*:
+    /// the synthesis hot loop evaluates candidates directly through the
+    /// choice-aware interpreter and only concretises the final solution for
+    /// feedback rendering.  [`instrument::concretize_calls`] counts the
+    /// calls made by the current thread so tests can assert the hot loop
+    /// stays cold.
     pub fn concretize(&self, assignment: &ChoiceAssignment) -> Program {
+        instrument::record_concretize();
         let mut program = Program::new();
         program.funcs.push(FuncDef {
             name: self.func.name.clone(),
@@ -222,6 +235,29 @@ impl ChoiceProgram {
     /// Convenience: the original student program (all defaults).
     pub fn original_program(&self) -> Program {
         self.concretize(&ChoiceAssignment::default_choices())
+    }
+}
+
+/// Per-thread instrumentation of AST materialisations.
+///
+/// The CEGIS acceptance criterion is *zero* `concretize` calls per candidate
+/// check; the counter is thread-local so concurrently running tests (or
+/// batch-grading workers) never observe each other's materialisations.
+pub mod instrument {
+    use std::cell::Cell;
+
+    thread_local! {
+        static CONCRETIZE_CALLS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(super) fn record_concretize() {
+        CONCRETIZE_CALLS.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Number of [`super::ChoiceProgram::concretize`] calls made by the
+    /// current thread since it started.
+    pub fn concretize_calls() -> u64 {
+        CONCRETIZE_CALLS.with(Cell::get)
     }
 }
 
@@ -259,9 +295,11 @@ fn concretize_stmt(stmt: &CStmt, assignment: &ChoiceAssignment, out: &mut Vec<St
         CStmtKind::Return(expr) => {
             StmtKind::Return(expr.as_ref().map(|e| concretize_expr(e, assignment)))
         }
-        CStmtKind::Print(args) => {
-            StmtKind::Print(args.iter().map(|e| concretize_expr(e, assignment)).collect())
-        }
+        CStmtKind::Print(args) => StmtKind::Print(
+            args.iter()
+                .map(|e| concretize_expr(e, assignment))
+                .collect(),
+        ),
         CStmtKind::Pass => StmtKind::Pass,
         CStmtKind::Break => StmtKind::Break,
         CStmtKind::Continue => StmtKind::Continue,
@@ -273,7 +311,10 @@ fn concretize_stmt(stmt: &CStmt, assignment: &ChoiceAssignment, out: &mut Vec<St
             return;
         }
     };
-    out.push(Stmt { line: stmt.line, kind });
+    out.push(Stmt {
+        line: stmt.line,
+        kind,
+    });
 }
 
 /// Concretises a choice expression under an assignment.
@@ -284,16 +325,30 @@ pub fn concretize_expr(expr: &CExpr, assignment: &ChoiceAssignment) -> Expr {
             let selected = assignment.selected(*id).min(options.len() - 1);
             concretize_expr(&options[selected], assignment)
         }
-        CExpr::List(items) => Expr::List(items.iter().map(|e| concretize_expr(e, assignment)).collect()),
-        CExpr::Tuple(items) => Expr::Tuple(items.iter().map(|e| concretize_expr(e, assignment)).collect()),
+        CExpr::List(items) => Expr::List(
+            items
+                .iter()
+                .map(|e| concretize_expr(e, assignment))
+                .collect(),
+        ),
+        CExpr::Tuple(items) => Expr::Tuple(
+            items
+                .iter()
+                .map(|e| concretize_expr(e, assignment))
+                .collect(),
+        ),
         CExpr::Index(base, index) => Expr::Index(
             Box::new(concretize_expr(base, assignment)),
             Box::new(concretize_expr(index, assignment)),
         ),
         CExpr::Slice(base, lower, upper) => Expr::Slice(
             Box::new(concretize_expr(base, assignment)),
-            lower.as_ref().map(|e| Box::new(concretize_expr(e, assignment))),
-            upper.as_ref().map(|e| Box::new(concretize_expr(e, assignment))),
+            lower
+                .as_ref()
+                .map(|e| Box::new(concretize_expr(e, assignment))),
+            upper
+                .as_ref()
+                .map(|e| Box::new(concretize_expr(e, assignment))),
         ),
         CExpr::BinOp(op, left, right) => Expr::BinOp(
             select_op(op, assignment),
@@ -315,12 +370,16 @@ pub fn concretize_expr(expr: &CExpr, assignment: &ChoiceAssignment) -> Expr {
         ),
         CExpr::Call(name, args) => Expr::Call(
             name.clone(),
-            args.iter().map(|e| concretize_expr(e, assignment)).collect(),
+            args.iter()
+                .map(|e| concretize_expr(e, assignment))
+                .collect(),
         ),
         CExpr::MethodCall(recv, name, args) => Expr::MethodCall(
             Box::new(concretize_expr(recv, assignment)),
             name.clone(),
-            args.iter().map(|e| concretize_expr(e, assignment)).collect(),
+            args.iter()
+                .map(|e| concretize_expr(e, assignment))
+                .collect(),
         ),
         CExpr::IfExpr(body, cond, orelse) => Expr::IfExpr(
             Box::new(concretize_expr(body, assignment)),
@@ -418,13 +477,19 @@ mod tests {
         //     return {x, [0]}        <- choice 0
         let choice = CExpr::Choice(
             ChoiceId(0),
-            vec![CExpr::plain(Expr::var("x")), CExpr::plain(Expr::List(vec![Expr::Int(0)]))],
+            vec![
+                CExpr::plain(Expr::var("x")),
+                CExpr::plain(Expr::List(vec![Expr::Int(0)])),
+            ],
         );
         ChoiceProgram {
             func: CFuncDef {
                 name: "f".into(),
                 params: vec![Param::new("x", MpyType::Int)],
-                body: vec![CStmt { line: 2, kind: CStmtKind::Return(Some(choice)) }],
+                body: vec![CStmt {
+                    line: 2,
+                    kind: CStmtKind::Return(Some(choice)),
+                }],
                 line: 1,
             },
             other_funcs: vec![],
@@ -485,7 +550,13 @@ mod tests {
             func: CFuncDef {
                 name: "f".into(),
                 params: vec![],
-                body: vec![block, CStmt { line: 2, kind: CStmtKind::Return(Some(CExpr::plain(Expr::Int(1)))) }],
+                body: vec![
+                    block,
+                    CStmt {
+                        line: 2,
+                        kind: CStmtKind::Return(Some(CExpr::plain(Expr::Int(1)))),
+                    },
+                ],
                 line: 1,
             },
             other_funcs: vec![],
@@ -505,9 +576,15 @@ mod tests {
             Box::new(CExpr::plain(Expr::Int(0))),
         );
         let default = concretize_expr(&cmp, &ChoiceAssignment::default_choices());
-        assert_eq!(default, Expr::compare(CmpOp::Ge, Expr::var("i"), Expr::Int(0)));
+        assert_eq!(
+            default,
+            Expr::compare(CmpOp::Ge, Expr::var("i"), Expr::Int(0))
+        );
         let changed = concretize_expr(&cmp, &ChoiceAssignment::from_pairs([(ChoiceId(5), 1)]));
-        assert_eq!(changed, Expr::compare(CmpOp::Ne, Expr::var("i"), Expr::Int(0)));
+        assert_eq!(
+            changed,
+            Expr::compare(CmpOp::Ne, Expr::var("i"), Expr::Int(0))
+        );
     }
 
     #[test]

@@ -42,8 +42,8 @@ pub mod text;
 pub mod transform;
 
 pub use choice::{
-    concretize_expr, CExpr, CFuncDef, CStmt, CStmtKind, ChoiceAssignment, ChoiceId, ChoiceInfo,
-    ChoiceProgram, OpChoice,
+    concretize_expr, instrument, CExpr, CFuncDef, CStmt, CStmtKind, ChoiceAssignment, ChoiceId,
+    ChoiceInfo, ChoiceProgram, OpChoice,
 };
 pub use rules::{Bindings, CmpTemplate, ErrorModel, Pattern, Rule, RuleKind, Template};
 pub use text::{parse_error_model, EmlParseError};

@@ -15,7 +15,10 @@ use crate::rules::{CmpTemplate, ErrorModel, Pattern, Rule, Template};
 pub fn indr() -> Rule {
     Rule::expr(
         "INDR",
-        Pattern::Index(Box::new(Pattern::AnyVar("v".into())), Box::new(Pattern::meta("a"))),
+        Pattern::Index(
+            Box::new(Pattern::AnyVar("v".into())),
+            Box::new(Pattern::meta("a")),
+        ),
         vec![Template::Index(
             Box::new(Template::meta("v")),
             Box::new(Template::SetOf(
@@ -49,7 +52,10 @@ pub fn initr() -> Rule {
 pub fn ranr2() -> Rule {
     Rule::expr(
         "RANR",
-        Pattern::Call("range".into(), vec![Pattern::meta("a0"), Pattern::meta("a1")]),
+        Pattern::Call(
+            "range".into(),
+            vec![Pattern::meta("a0"), Pattern::meta("a1")],
+        ),
         vec![Template::Call(
             "range".into(),
             vec![
@@ -69,7 +75,9 @@ pub fn ranr2() -> Rule {
             ],
         )],
     )
-    .with_message("In the expression {original} in line {line}, change the range bounds to {replacement}")
+    .with_message(
+        "In the expression {original} in line {line}, change the range bounds to {replacement}",
+    )
 }
 
 /// `RANR` (one-argument form): `range(a0) → range({a0, a0+1, a0−1})`, also
@@ -89,7 +97,9 @@ pub fn ranr1() -> Rule {
             Template::Call("range".into(), vec![Template::Int(1), Template::meta("a0")]),
         ],
     )
-    .with_message("In the expression {original} in line {line}, change the iteration bounds to {replacement}")
+    .with_message(
+        "In the expression {original} in line {line}, change the iteration bounds to {replacement}",
+    )
 }
 
 /// `COMPR`: rewrite comparisons — change the operator, nudge either operand
@@ -98,7 +108,11 @@ pub fn ranr1() -> Rule {
 pub fn compr() -> Rule {
     Rule::expr(
         "COMPR",
-        Pattern::Compare(None, Box::new(Pattern::meta("a0")), Box::new(Pattern::meta("a1"))),
+        Pattern::Compare(
+            None,
+            Box::new(Pattern::meta("a0")),
+            Box::new(Pattern::meta("a1")),
+        ),
         vec![
             Template::Compare(
                 CmpTemplate::AnyRelational,
@@ -120,7 +134,9 @@ pub fn compr() -> Rule {
             Template::Bool(false),
         ],
     )
-    .with_message("In the comparison expression {original} in line {line}, change it to {replacement}")
+    .with_message(
+        "In the comparison expression {original} in line {line}, change it to {replacement}",
+    )
 }
 
 /// `RETR`: rewrite return expressions with the `computeDeriv` corner cases —
@@ -165,12 +181,32 @@ pub fn retr_generic() -> Rule {
 pub fn arith_op_rule() -> Rule {
     Rule::expr(
         "ARITHR",
-        Pattern::BinOp(None, Box::new(Pattern::meta("a0")), Box::new(Pattern::meta("a1"))),
+        Pattern::BinOp(
+            None,
+            Box::new(Pattern::meta("a0")),
+            Box::new(Pattern::meta("a1")),
+        ),
         vec![
-            Template::BinOp(BinOp::Add, Box::new(Template::meta("a0")), Box::new(Template::meta("a1"))),
-            Template::BinOp(BinOp::Sub, Box::new(Template::meta("a0")), Box::new(Template::meta("a1"))),
-            Template::BinOp(BinOp::Mul, Box::new(Template::meta("a0")), Box::new(Template::meta("a1"))),
-            Template::BinOp(BinOp::Pow, Box::new(Template::meta("a0")), Box::new(Template::meta("a1"))),
+            Template::BinOp(
+                BinOp::Add,
+                Box::new(Template::meta("a0")),
+                Box::new(Template::meta("a1")),
+            ),
+            Template::BinOp(
+                BinOp::Sub,
+                Box::new(Template::meta("a0")),
+                Box::new(Template::meta("a1")),
+            ),
+            Template::BinOp(
+                BinOp::Mul,
+                Box::new(Template::meta("a0")),
+                Box::new(Template::meta("a1")),
+            ),
+            Template::BinOp(
+                BinOp::Pow,
+                Box::new(Template::meta("a0")),
+                Box::new(Template::meta("a1")),
+            ),
         ],
     )
     .with_message("In the expression {original} in line {line}, change it to {replacement}")
@@ -191,8 +227,12 @@ pub fn const_tweak() -> Rule {
 /// Variable-swap rule: any variable reference may be replaced by another
 /// in-scope variable.  Expensive; only the richest models include it.
 pub fn var_swap() -> Rule {
-    Rule::expr("VARR", Pattern::AnyVar("v".into()), vec![Template::AnyScopeVar])
-        .with_message("In line {line}, replace the variable {original} with {replacement}")
+    Rule::expr(
+        "VARR",
+        Pattern::AnyVar("v".into()),
+        vec![Template::AnyScopeVar],
+    )
+    .with_message("In line {line}, replace the variable {original} with {replacement}")
 }
 
 /// Return-value rule for boolean problems (hangman1): flip the returned
@@ -210,9 +250,9 @@ pub fn insert_compute_deriv_base_case(param: &str) -> Rule {
         Expr::call("len", vec![Expr::var(param)]),
         Expr::Int(1),
     );
-    let body = vec![afg_ast::Stmt::synthetic(afg_ast::StmtKind::Return(Some(Expr::List(vec![
-        Expr::Int(0),
-    ]))))];
+    let body = vec![afg_ast::Stmt::synthetic(afg_ast::StmtKind::Return(Some(
+        Expr::List(vec![Expr::Int(0)]),
+    )))];
     let stmt = afg_ast::Stmt::synthetic(afg_ast::StmtKind::If(condition, body, vec![]));
     Rule::insert_top("BASECASE", vec![stmt])
         .with_message("Add the base case at the top to return [0] for len({param})=1")
@@ -284,7 +324,11 @@ mod tests {
             retr_bool(),
             insert_compute_deriv_base_case("poly"),
         ] {
-            assert!(rule.is_well_formed(), "rule {} is not well-formed", rule.name);
+            assert!(
+                rule.is_well_formed(),
+                "rule {} is not well-formed",
+                rule.name
+            );
         }
         assert!(section_2_1_model().is_well_formed());
         assert!(compute_deriv_model().is_well_formed());
@@ -295,7 +339,10 @@ mod tests {
         let model = compute_deriv_model();
         let names: Vec<&str> = model.rules.iter().map(|r| r.name.as_str()).collect();
         for expected in ["INDR", "INITR", "RANR", "COMPR", "RETR"] {
-            assert!(names.contains(&expected), "missing rule {expected} in {names:?}");
+            assert!(
+                names.contains(&expected),
+                "missing rule {expected} in {names:?}"
+            );
         }
     }
 

@@ -170,7 +170,10 @@ fn match_into(pattern: &Pattern, expr: &Expr, bindings: &mut Bindings) -> bool {
         },
         Pattern::Call(name, arg_patterns) => match expr {
             Expr::Call(func, args) if func == name && args.len() == arg_patterns.len() => {
-                arg_patterns.iter().zip(args).all(|(p, e)| match_into(p, e, bindings))
+                arg_patterns
+                    .iter()
+                    .zip(args)
+                    .all(|(p, e)| match_into(p, e, bindings))
             }
             _ => false,
         },
@@ -179,7 +182,10 @@ fn match_into(pattern: &Pattern, expr: &Expr, bindings: &mut Bindings) -> bool {
                 if method == name && args.len() == arg_patterns.len() =>
             {
                 match_into(recv_p, recv, bindings)
-                    && arg_patterns.iter().zip(args).all(|(p, e)| match_into(p, e, bindings))
+                    && arg_patterns
+                        .iter()
+                        .zip(args)
+                        .all(|(p, e)| match_into(p, e, bindings))
             }
             _ => false,
         },
@@ -192,7 +198,9 @@ fn match_into(pattern: &Pattern, expr: &Expr, bindings: &mut Bindings) -> bool {
                         true
                     }
                 };
-                op_matches && match_into(left_p, left, bindings) && match_into(right_p, right, bindings)
+                op_matches
+                    && match_into(left_p, left, bindings)
+                    && match_into(right_p, right, bindings)
             }
             _ => false,
         },
@@ -205,7 +213,9 @@ fn match_into(pattern: &Pattern, expr: &Expr, bindings: &mut Bindings) -> bool {
                         true
                     }
                 };
-                op_matches && match_into(left_p, left, bindings) && match_into(right_p, right, bindings)
+                op_matches
+                    && match_into(left_p, left, bindings)
+                    && match_into(right_p, right, bindings)
             }
             _ => false,
         },
@@ -369,27 +379,50 @@ pub struct Rule {
 impl Rule {
     /// Creates an expression-rewrite rule.
     pub fn expr(name: impl Into<String>, pattern: Pattern, alternatives: Vec<Template>) -> Rule {
-        Rule { name: name.into(), kind: RuleKind::Expr { pattern, alternatives }, message: None }
+        Rule {
+            name: name.into(),
+            kind: RuleKind::Expr {
+                pattern,
+                alternatives,
+            },
+            message: None,
+        }
     }
 
     /// Creates an initialisation-rewrite rule.
     pub fn init(name: impl Into<String>, alternatives: Vec<Template>) -> Rule {
-        Rule { name: name.into(), kind: RuleKind::Init { alternatives }, message: None }
+        Rule {
+            name: name.into(),
+            kind: RuleKind::Init { alternatives },
+            message: None,
+        }
     }
 
     /// Creates a return-rewrite rule.
     pub fn ret(name: impl Into<String>, alternatives: Vec<Template>) -> Rule {
-        Rule { name: name.into(), kind: RuleKind::Return { alternatives }, message: None }
+        Rule {
+            name: name.into(),
+            kind: RuleKind::Return { alternatives },
+            message: None,
+        }
     }
 
     /// Creates a statement-insertion rule.
     pub fn insert_top(name: impl Into<String>, stmts: Vec<Stmt>) -> Rule {
-        Rule { name: name.into(), kind: RuleKind::InsertTop { stmts }, message: None }
+        Rule {
+            name: name.into(),
+            kind: RuleKind::InsertTop { stmts },
+            message: None,
+        }
     }
 
     /// Creates a print-dropping rule.
     pub fn drop_print(name: impl Into<String>) -> Rule {
-        Rule { name: name.into(), kind: RuleKind::DropPrint, message: None }
+        Rule {
+            name: name.into(),
+            kind: RuleKind::DropPrint,
+            message: None,
+        }
     }
 
     /// Attaches a custom feedback message template.
@@ -405,7 +438,10 @@ impl Rule {
     /// transformation always shrinks the term being visited.
     pub fn is_well_formed(&self) -> bool {
         let (pattern, alternatives): (Option<&Pattern>, &[Template]) = match &self.kind {
-            RuleKind::Expr { pattern, alternatives } => (Some(pattern), alternatives),
+            RuleKind::Expr {
+                pattern,
+                alternatives,
+            } => (Some(pattern), alternatives),
             RuleKind::Init { alternatives } | RuleKind::Return { alternatives } => {
                 (None, alternatives)
             }
@@ -427,7 +463,9 @@ impl Rule {
             Some(pattern) => {
                 let mut depths = HashMap::new();
                 pattern.metavar_depths(1, &mut depths);
-                primed.iter().all(|name| depths.get(name).is_some_and(|&d| d > 1))
+                primed
+                    .iter()
+                    .all(|name| depths.get(name).is_some_and(|&d| d > 1))
             }
         }
     }
@@ -445,7 +483,10 @@ pub struct ErrorModel {
 impl ErrorModel {
     /// Creates an empty error model.
     pub fn new(name: impl Into<String>) -> ErrorModel {
-        ErrorModel { name: name.into(), rules: Vec::new() }
+        ErrorModel {
+            name: name.into(),
+            rules: Vec::new(),
+        }
     }
 
     /// Adds a rule (builder style).
@@ -513,7 +554,10 @@ mod tests {
 
     #[test]
     fn matches_range_call_like_ranr() {
-        let pattern = Pattern::Call("range".into(), vec![Pattern::meta("a0"), Pattern::meta("a1")]);
+        let pattern = Pattern::Call(
+            "range".into(),
+            vec![Pattern::meta("a0"), Pattern::meta("a1")],
+        );
         let expr = parse_expr("range(0, len(poly))").unwrap();
         let bindings = match_expr(&pattern, &expr).unwrap();
         assert_eq!(bindings.expr("a0"), Some(&Expr::Int(0)));
@@ -522,7 +566,11 @@ mod tests {
 
     #[test]
     fn matches_any_comparison_like_compr() {
-        let pattern = Pattern::Compare(None, Box::new(Pattern::meta("a0")), Box::new(Pattern::meta("a1")));
+        let pattern = Pattern::Compare(
+            None,
+            Box::new(Pattern::meta("a0")),
+            Box::new(Pattern::meta("a1")),
+        );
         let bindings = match_expr(&pattern, &parse_expr("poly[e] == 0").unwrap()).unwrap();
         assert_eq!(bindings.cmp_op, Some(CmpOp::Eq));
         let bindings = match_expr(&pattern, &parse_expr("i >= 0").unwrap()).unwrap();
@@ -567,7 +615,10 @@ mod tests {
         // C2 : v[a] -> {v'[a'] + 1} is well-formed (primes on strict subterms).
         let good = Rule::expr(
             "C2",
-            Pattern::Index(Box::new(Pattern::AnyVar("v".into())), Box::new(Pattern::meta("a"))),
+            Pattern::Index(
+                Box::new(Pattern::AnyVar("v".into())),
+                Box::new(Pattern::meta("a")),
+            ),
             vec![Template::BinOp(
                 BinOp::Add,
                 Box::new(Template::Index(
@@ -600,11 +651,19 @@ mod tests {
     fn template_helpers() {
         assert_eq!(
             Template::meta_plus("a", 1),
-            Template::BinOp(BinOp::Add, Box::new(Template::meta("a")), Box::new(Template::Int(1)))
+            Template::BinOp(
+                BinOp::Add,
+                Box::new(Template::meta("a")),
+                Box::new(Template::Int(1))
+            )
         );
         assert_eq!(
             Template::meta_plus("a", -1),
-            Template::BinOp(BinOp::Sub, Box::new(Template::meta("a")), Box::new(Template::Int(1)))
+            Template::BinOp(
+                BinOp::Sub,
+                Box::new(Template::meta("a")),
+                Box::new(Template::Int(1))
+            )
         );
     }
 }

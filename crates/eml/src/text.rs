@@ -48,13 +48,20 @@ pub struct EmlParseError {
 
 impl EmlParseError {
     fn new(line: u32, message: impl Into<String>) -> EmlParseError {
-        EmlParseError { line, message: message.into() }
+        EmlParseError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for EmlParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "error model syntax error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "error model syntax error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -85,17 +92,28 @@ fn parse_rule(line: &str, line_no: u32) -> Result<Rule, EmlParseError> {
     };
     let (lhs_text, rhs_text) = match rest.split_once("->") {
         Some((lhs, rhs)) => (lhs.trim(), rhs.trim()),
-        None => return Err(EmlParseError::new(line_no, "expected '->' between the rule sides")),
+        None => {
+            return Err(EmlParseError::new(
+                line_no,
+                "expected '->' between the rule sides",
+            ))
+        }
     };
     if lhs_text.is_empty() || rhs_text.is_empty() {
-        return Err(EmlParseError::new(line_no, "both sides of the rule must be non-empty"));
+        return Err(EmlParseError::new(
+            line_no,
+            "both sides of the rule must be non-empty",
+        ));
     }
 
     // Statement-shaped left-hand sides.
     if let Some(ret_expr) = lhs_text.strip_prefix("return ") {
         let metavars = vec![ret_expr.trim().to_string()];
         if metavars[0] != "a" {
-            return Err(EmlParseError::new(line_no, "return rules must be written as 'return a'"));
+            return Err(EmlParseError::new(
+                line_no,
+                "return rules must be written as 'return a'",
+            ));
         }
         let alternatives = parse_alternatives(rhs_text, &metavars, line_no)?;
         return Ok(Rule::ret(name, alternatives));
@@ -150,16 +168,21 @@ fn is_metavar(name: &str) -> bool {
 
 fn expr_to_pattern(expr: &Expr) -> Pattern {
     match expr {
-        Expr::Var(name) if name.starts_with('v') && is_metavar(name) => Pattern::AnyVar(name.clone()),
-        Expr::Var(name) if name.starts_with('n') && is_metavar(name) => Pattern::AnyConst(name.clone()),
+        Expr::Var(name) if name.starts_with('v') && is_metavar(name) => {
+            Pattern::AnyVar(name.clone())
+        }
+        Expr::Var(name) if name.starts_with('n') && is_metavar(name) => {
+            Pattern::AnyConst(name.clone())
+        }
         Expr::Var(name) if is_metavar(name) => Pattern::AnyExpr(name.clone()),
         Expr::Var(name) => Pattern::Var(name.clone()),
         Expr::Int(v) => Pattern::Int(*v),
         Expr::Bool(b) => Pattern::Bool(*b),
         Expr::List(items) => Pattern::List(items.iter().map(expr_to_pattern).collect()),
-        Expr::Index(base, index) => {
-            Pattern::Index(Box::new(expr_to_pattern(base)), Box::new(expr_to_pattern(index)))
-        }
+        Expr::Index(base, index) => Pattern::Index(
+            Box::new(expr_to_pattern(base)),
+            Box::new(expr_to_pattern(index)),
+        ),
         Expr::Call(name, args) if name == "cmp" && args.len() == 2 => Pattern::Compare(
             None,
             Box::new(expr_to_pattern(&args[0])),
@@ -191,10 +214,10 @@ fn expr_to_pattern(expr: &Expr) -> Pattern {
 
 fn collect_metavars(pattern: &Pattern, out: &mut Vec<String>) {
     match pattern {
-        Pattern::AnyExpr(name) | Pattern::AnyVar(name) | Pattern::AnyConst(name) => {
-            if !out.contains(name) {
-                out.push(name.clone());
-            }
+        Pattern::AnyExpr(name) | Pattern::AnyVar(name) | Pattern::AnyConst(name)
+            if !out.contains(name) =>
+        {
+            out.push(name.clone());
         }
         Pattern::List(items) => items.iter().for_each(|p| collect_metavars(p, out)),
         Pattern::Index(a, b) | Pattern::BinOp(_, a, b) | Pattern::Compare(_, a, b) => {
@@ -218,17 +241,24 @@ fn expr_to_template(expr: &Expr, metavars: &[String]) -> Template {
         Expr::Int(v) => Template::Int(*v),
         Expr::Bool(b) => Template::Bool(*b),
         Expr::Str(s) => Template::Str(s.clone()),
-        Expr::List(items) => {
-            Template::List(items.iter().map(|e| expr_to_template(e, metavars)).collect())
-        }
+        Expr::List(items) => Template::List(
+            items
+                .iter()
+                .map(|e| expr_to_template(e, metavars))
+                .collect(),
+        ),
         Expr::Index(base, index) => Template::Index(
             Box::new(expr_to_template(base, metavars)),
             Box::new(expr_to_template(index, metavars)),
         ),
         Expr::Slice(base, lower, upper) => Template::Slice(
             Box::new(expr_to_template(base, metavars)),
-            lower.as_ref().map(|l| Box::new(expr_to_template(l, metavars))),
-            upper.as_ref().map(|u| Box::new(expr_to_template(u, metavars))),
+            lower
+                .as_ref()
+                .map(|l| Box::new(expr_to_template(l, metavars))),
+            upper
+                .as_ref()
+                .map(|u| Box::new(expr_to_template(u, metavars))),
         ),
         Expr::Call(name, args) if name == "cmpany" && args.len() == 2 => Template::Compare(
             CmpTemplate::AnyRelational,
@@ -299,7 +329,10 @@ EQF:   a0 == a1       ->  False
             other => panic!("expected init rule, got {other:?}"),
         }
         match &model.rules[1].kind {
-            RuleKind::Expr { pattern, alternatives } => {
+            RuleKind::Expr {
+                pattern,
+                alternatives,
+            } => {
                 assert!(matches!(pattern, Pattern::Index(_, _)));
                 assert_eq!(alternatives.len(), 3);
                 assert!(matches!(
@@ -316,9 +349,15 @@ EQF:   a0 == a1       ->  False
         let text = "COMPR: cmp(a0, a1) -> cmpany(a0, a1) | True | False\n";
         let model = parse_error_model("m", text).unwrap();
         match &model.rules[0].kind {
-            RuleKind::Expr { pattern, alternatives } => {
+            RuleKind::Expr {
+                pattern,
+                alternatives,
+            } => {
                 assert!(matches!(pattern, Pattern::Compare(None, _, _)));
-                assert!(matches!(&alternatives[0], Template::Compare(CmpTemplate::AnyRelational, _, _)));
+                assert!(matches!(
+                    &alternatives[0],
+                    Template::Compare(CmpTemplate::AnyRelational, _, _)
+                ));
                 assert_eq!(alternatives.len(), 3);
             }
             other => panic!("expected expr rule, got {other:?}"),

@@ -58,7 +58,9 @@ pub fn apply_error_model(
     if !model.is_well_formed() {
         return Err(TransformError::NotWellFormed);
     }
-    let func = student.entry(entry).ok_or(TransformError::NoEntryFunction)?;
+    let func = student
+        .entry(entry)
+        .ok_or(TransformError::NoEntryFunction)?;
     let other_funcs = student
         .funcs
         .iter()
@@ -102,7 +104,10 @@ pub fn apply_error_model(
             });
             body.insert(
                 0,
-                CStmt { line: func.line, kind: CStmtKind::ChoiceBlock(id, vec![vec![], inserted]) },
+                CStmt {
+                    line: func.line,
+                    kind: CStmtKind::ChoiceBlock(id, vec![vec![], inserted]),
+                },
             );
         }
     }
@@ -138,7 +143,9 @@ impl Ctx<'_> {
 fn plain_stmt(stmt: &Stmt) -> CStmt {
     let kind = match &stmt.kind {
         StmtKind::Assign(t, e) => CStmtKind::Assign(t.clone(), CExpr::plain(e.clone())),
-        StmtKind::AugAssign(t, op, e) => CStmtKind::AugAssign(t.clone(), *op, CExpr::plain(e.clone())),
+        StmtKind::AugAssign(t, op, e) => {
+            CStmtKind::AugAssign(t.clone(), *op, CExpr::plain(e.clone()))
+        }
         StmtKind::ExprStmt(e) => CStmtKind::ExprStmt(CExpr::plain(e.clone())),
         StmtKind::If(c, a, b) => CStmtKind::If(
             CExpr::plain(c.clone()),
@@ -161,7 +168,10 @@ fn plain_stmt(stmt: &Stmt) -> CStmt {
         StmtKind::Break => CStmtKind::Break,
         StmtKind::Continue => CStmtKind::Continue,
     };
-    CStmt { line: stmt.line, kind }
+    CStmt {
+        line: stmt.line,
+        kind,
+    }
 }
 
 fn transform_block(stmts: &[Stmt], ctx: &mut Ctx<'_>) -> Vec<CStmt> {
@@ -213,7 +223,10 @@ fn transform_stmt(stmt: &Stmt, ctx: &mut Ctx<'_>) -> CStmt {
                         message,
                         ctx,
                     );
-                    return CStmt { line, kind: CStmtKind::Assign(target.clone(), value_choice) };
+                    return CStmt {
+                        line,
+                        kind: CStmtKind::Assign(target.clone(), value_choice),
+                    };
                 }
             }
             CStmtKind::Assign(target.clone(), transform_expr(value, line, ctx))
@@ -290,7 +303,10 @@ fn transform_stmt(stmt: &Stmt, ctx: &mut Ctx<'_>) -> CStmt {
                 let id = ctx.fresh();
                 let rendered = format!(
                     "print({})",
-                    args.iter().map(pretty::expr_to_string).collect::<Vec<_>>().join(", ")
+                    args.iter()
+                        .map(pretty::expr_to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 );
                 ctx.choices.push(ChoiceInfo {
                     id,
@@ -300,8 +316,14 @@ fn transform_stmt(stmt: &Stmt, ctx: &mut Ctx<'_>) -> CStmt {
                     options: vec![rendered, "(statement removed)".to_string()],
                     message: rule.message.clone(),
                 });
-                let kept = CStmt { line, kind: CStmtKind::Print(transformed) };
-                return CStmt { line, kind: CStmtKind::ChoiceBlock(id, vec![vec![kept], vec![]]) };
+                let kept = CStmt {
+                    line,
+                    kind: CStmtKind::Print(transformed),
+                };
+                return CStmt {
+                    line,
+                    kind: CStmtKind::ChoiceBlock(id, vec![vec![kept], vec![]]),
+                };
             }
             CStmtKind::Print(transformed)
         }
@@ -335,7 +357,11 @@ fn transform_expr(expr: &Expr, line: u32, ctx: &mut Ctx<'_>) -> CExpr {
         .cloned()
         .collect();
     for rule in &expr_rules {
-        if let RuleKind::Expr { pattern, alternatives } = &rule.kind {
+        if let RuleKind::Expr {
+            pattern,
+            alternatives,
+        } = &rule.kind
+        {
             if let Some(bindings) = match_expr(pattern, expr) {
                 branches.extend(instantiate_alternatives(
                     alternatives,
@@ -350,7 +376,15 @@ fn transform_expr(expr: &Expr, line: u32, ctx: &mut Ctx<'_>) -> CExpr {
             }
         }
     }
-    let result = make_choice(default, branches, expr, line, &rule_names.join("+"), message, ctx);
+    let result = make_choice(
+        default,
+        branches,
+        expr,
+        line,
+        &rule_names.join("+"),
+        message,
+        ctx,
+    );
     ctx.depth -= 1;
     result
 }
@@ -374,8 +408,12 @@ fn transform_children(expr: &Expr, line: u32, ctx: &mut Ctx<'_>) -> CExpr {
         ),
         Expr::Slice(base, lower, upper) => CExpr::Slice(
             Box::new(transform_expr(base, line, ctx)),
-            lower.as_ref().map(|l| Box::new(transform_expr(l, line, ctx))),
-            upper.as_ref().map(|u| Box::new(transform_expr(u, line, ctx))),
+            lower
+                .as_ref()
+                .map(|l| Box::new(transform_expr(l, line, ctx))),
+            upper
+                .as_ref()
+                .map(|u| Box::new(transform_expr(u, line, ctx))),
         ),
         Expr::BinOp(op, left, right) => CExpr::BinOp(
             OpChoice::Fixed(*op),
@@ -448,9 +486,7 @@ fn instantiate(
     ctx: &mut Ctx<'_>,
 ) -> CExpr {
     match template {
-        Template::Meta(name) => {
-            CExpr::plain(bindings.expr(name).cloned().unwrap_or(Expr::None))
-        }
+        Template::Meta(name) => CExpr::plain(bindings.expr(name).cloned().unwrap_or(Expr::None)),
         Template::MetaPrime(name) => match bindings.expr(name) {
             Some(bound) => transform_expr(&bound.clone(), line, ctx),
             None => CExpr::plain(Expr::None),
@@ -470,7 +506,12 @@ fn instantiate(
             }
             let rendered: Vec<String> = options
                 .iter()
-                .map(|o| pretty::expr_to_string(&concretize_expr(o, &ChoiceAssignment::default_choices())))
+                .map(|o| {
+                    pretty::expr_to_string(&concretize_expr(
+                        o,
+                        &ChoiceAssignment::default_choices(),
+                    ))
+                })
                 .collect();
             let id = ctx.fresh();
             ctx.choices.push(ChoiceInfo {
@@ -647,7 +688,6 @@ fn make_choice(
     CExpr::Choice(id, options)
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -720,7 +760,11 @@ def computeDeriv(poly):
                 assignment.select(info.id, idx);
             }
             if info.line == 6 && info.options.iter().any(|o| o.contains("0 + 1")) {
-                let idx = info.options.iter().position(|o| o.contains("0 + 1")).unwrap();
+                let idx = info
+                    .options
+                    .iter()
+                    .position(|o| o.contains("0 + 1"))
+                    .unwrap();
                 assignment.select(info.id, idx);
             }
         }
@@ -734,14 +778,11 @@ def computeDeriv(poly):
 
     #[test]
     fn insert_top_rule_adds_an_optional_base_case() {
-        let student = parse_program(
-            "def computeDeriv(poly):\n    deriv = []\n    return deriv\n",
-        )
-        .unwrap();
-        let base_case = afg_parser::parse_program(
-            "def g(poly):\n    if len(poly) == 1:\n        return [0]\n",
-        )
-        .unwrap();
+        let student =
+            parse_program("def computeDeriv(poly):\n    deriv = []\n    return deriv\n").unwrap();
+        let base_case =
+            afg_parser::parse_program("def g(poly):\n    if len(poly) == 1:\n        return [0]\n")
+                .unwrap();
         let rule = Rule::insert_top("BASE", base_case.funcs[0].body.clone())
             .with_message("add the base case at the top to return [0] for len(poly)=1".to_string());
         let model = ErrorModel::new("insert").with_rule(rule);
@@ -758,10 +799,7 @@ def computeDeriv(poly):
 
     #[test]
     fn drop_print_rule_makes_prints_optional() {
-        let student = parse_program(
-            "def f(x):\n    print('debug', x)\n    return x\n",
-        )
-        .unwrap();
+        let student = parse_program("def f(x):\n    print('debug', x)\n    return x\n").unwrap();
         let model = ErrorModel::new("prints").with_rule(Rule::drop_print("DROPPRINT"));
         let cp = apply_error_model(&student, None, &model).unwrap();
         assert_eq!(cp.num_choices(), 1);
@@ -802,24 +840,32 @@ def computeDeriv(poly):
     #[test]
     fn scope_variable_alternatives_exclude_the_original() {
         // INDR's ?a alternative should propose other variables, not v[a] itself.
-        let student = parse_program(
-            "def f(xs, i, j):\n    return xs[i]\n",
-        )
-        .unwrap();
+        let student = parse_program("def f(xs, i, j):\n    return xs[i]\n").unwrap();
         let rule = Rule::expr(
             "INDR",
-            Pattern::Index(Box::new(Pattern::AnyVar("v".into())), Box::new(Pattern::meta("a"))),
+            Pattern::Index(
+                Box::new(Pattern::AnyVar("v".into())),
+                Box::new(Pattern::meta("a")),
+            ),
             vec![Template::Index(
                 Box::new(Template::meta("v")),
                 Box::new(Template::SetOf(
                     "a".into(),
-                    vec![Template::meta_plus("a", 1), Template::meta_plus("a", -1), Template::AnyScopeVar],
+                    vec![
+                        Template::meta_plus("a", 1),
+                        Template::meta_plus("a", -1),
+                        Template::AnyScopeVar,
+                    ],
                 )),
             )],
         );
         let model = ErrorModel::new("ind").with_rule(rule);
         let cp = apply_error_model(&student, None, &model).unwrap();
-        assert_eq!(cp.num_choices(), 1, "in-place rule should add exactly one choice");
+        assert_eq!(
+            cp.num_choices(),
+            1,
+            "in-place rule should add exactly one choice"
+        );
         let info = &cp.choices[0];
         assert!(info.options.contains(&"i + 1".to_string()));
         assert!(info.options.contains(&"j".to_string()));

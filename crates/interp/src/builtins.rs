@@ -62,7 +62,10 @@ fn builtin_len(args: &[Value]) -> Result<Value, RuntimeError> {
 fn builtin_range(args: &[Value]) -> Result<Value, RuntimeError> {
     let as_int = |v: &Value| {
         v.as_int().ok_or_else(|| {
-            RuntimeError::Type(format!("range() integer argument expected, got {}", v.type_name()))
+            RuntimeError::Type(format!(
+                "range() integer argument expected, got {}",
+                v.type_name()
+            ))
         })
     };
     let (start, stop, step) = match args.len() {
@@ -76,7 +79,9 @@ fn builtin_range(args: &[Value]) -> Result<Value, RuntimeError> {
         }
     };
     if step == 0 {
-        return Err(RuntimeError::Value("range() arg 3 must not be zero".to_string()));
+        return Err(RuntimeError::Value(
+            "range() arg 3 must not be zero".to_string(),
+        ));
     }
     let mut items = Vec::new();
     let mut i = start;
@@ -120,7 +125,10 @@ fn to_items(value: &Value) -> Result<Vec<Value>, RuntimeError> {
         Value::List(items) | Value::Tuple(items) => Ok(items.clone()),
         Value::Str(s) => Ok(s.chars().map(|c| Value::Str(c.to_string())).collect()),
         Value::Dict(items) => Ok(items.iter().map(|(k, _)| k.clone()).collect()),
-        other => Err(RuntimeError::Type(format!("'{}' object is not iterable", other.type_name()))),
+        other => Err(RuntimeError::Type(format!(
+            "'{}' object is not iterable",
+            other.type_name()
+        ))),
     }
 }
 
@@ -157,7 +165,9 @@ fn builtin_min_max(args: &[Value], want_min: bool) -> Result<Value, RuntimeError
         args.to_vec()
     };
     if items.is_empty() {
-        return Err(RuntimeError::Value("min()/max() of an empty sequence".to_string()));
+        return Err(RuntimeError::Value(
+            "min()/max() of an empty sequence".to_string(),
+        ));
     }
     let mut best = items[0].clone();
     for item in &items[1..] {
@@ -213,7 +223,9 @@ pub fn call_method(
                 })?;
                 match items.iter().position(|v| v.py_eq(target)) {
                     Some(i) => Ok((Value::Int(i as i64), false)),
-                    None => Err(RuntimeError::Value("tuple.index(x): x not in tuple".to_string())),
+                    None => Err(RuntimeError::Value(
+                        "tuple.index(x): x not in tuple".to_string(),
+                    )),
                 }
             }
             "count" => {
@@ -242,26 +254,28 @@ fn list_method(
 ) -> Result<(Value, bool), RuntimeError> {
     match method {
         "append" => {
-            let value = args
-                .first()
-                .ok_or_else(|| RuntimeError::Type("append() takes exactly one argument".to_string()))?;
+            let value = args.first().ok_or_else(|| {
+                RuntimeError::Type("append() takes exactly one argument".to_string())
+            })?;
             items.push(value.clone());
             Ok((Value::None, true))
         }
         "extend" => {
-            let value = args
-                .first()
-                .ok_or_else(|| RuntimeError::Type("extend() takes exactly one argument".to_string()))?;
+            let value = args.first().ok_or_else(|| {
+                RuntimeError::Type("extend() takes exactly one argument".to_string())
+            })?;
             items.extend(to_items(value)?);
             Ok((Value::None, true))
         }
         "insert" => {
             if args.len() != 2 {
-                return Err(RuntimeError::Type("insert() takes exactly 2 arguments".to_string()));
+                return Err(RuntimeError::Type(
+                    "insert() takes exactly 2 arguments".to_string(),
+                ));
             }
-            let idx = args[0]
-                .as_int()
-                .ok_or_else(|| RuntimeError::Type("insert() index must be an integer".to_string()))?;
+            let idx = args[0].as_int().ok_or_else(|| {
+                RuntimeError::Type("insert() index must be an integer".to_string())
+            })?;
             // Python clamps insert positions.
             let pos = if idx < 0 {
                 (items.len() as i64 + idx).max(0) as usize
@@ -277,39 +291,43 @@ fn list_method(
             }
             let idx = match args.first() {
                 None => items.len() as i64 - 1,
-                Some(v) => v
-                    .as_int()
-                    .ok_or_else(|| RuntimeError::Type("pop() index must be an integer".to_string()))?,
+                Some(v) => v.as_int().ok_or_else(|| {
+                    RuntimeError::Type("pop() index must be an integer".to_string())
+                })?,
             };
             let pos = normalise_index(idx, items.len())
                 .ok_or_else(|| RuntimeError::Index("pop index out of range".to_string()))?;
             Ok((items.remove(pos), true))
         }
         "remove" => {
-            let target = args
-                .first()
-                .ok_or_else(|| RuntimeError::Type("remove() takes exactly one argument".to_string()))?;
+            let target = args.first().ok_or_else(|| {
+                RuntimeError::Type("remove() takes exactly one argument".to_string())
+            })?;
             match items.iter().position(|v| v.py_eq(target)) {
                 Some(pos) => {
                     items.remove(pos);
                     Ok((Value::None, true))
                 }
-                None => Err(RuntimeError::Value("list.remove(x): x not in list".to_string())),
+                None => Err(RuntimeError::Value(
+                    "list.remove(x): x not in list".to_string(),
+                )),
             }
         }
         "index" => {
-            let target = args
-                .first()
-                .ok_or_else(|| RuntimeError::Type("index() takes exactly one argument".to_string()))?;
+            let target = args.first().ok_or_else(|| {
+                RuntimeError::Type("index() takes exactly one argument".to_string())
+            })?;
             match items.iter().position(|v| v.py_eq(target)) {
                 Some(pos) => Ok((Value::Int(pos as i64), false)),
-                None => Err(RuntimeError::Value("list.index(x): x not in list".to_string())),
+                None => Err(RuntimeError::Value(
+                    "list.index(x): x not in list".to_string(),
+                )),
             }
         }
         "count" => {
-            let target = args
-                .first()
-                .ok_or_else(|| RuntimeError::Type("count() takes exactly one argument".to_string()))?;
+            let target = args.first().ok_or_else(|| {
+                RuntimeError::Type("count() takes exactly one argument".to_string())
+            })?;
             let n = items.iter().filter(|v| v.py_eq(target)).count();
             Ok((Value::Int(n as i64), false))
         }
@@ -321,7 +339,9 @@ fn list_method(
             sort_values(items)?;
             Ok((Value::None, true))
         }
-        _ => Err(RuntimeError::Type(format!("'list' object has no attribute '{method}'"))),
+        _ => Err(RuntimeError::Type(format!(
+            "'list' object has no attribute '{method}'"
+        ))),
     }
 }
 
@@ -341,7 +361,9 @@ fn str_method(s: &str, method: &str, args: &[Value]) -> Result<Value, RuntimeErr
             let old = str_arg(0)?;
             let new = str_arg(1)?;
             if old.is_empty() {
-                return Err(RuntimeError::Value("replace() with empty pattern".to_string()));
+                return Err(RuntimeError::Value(
+                    "replace() with empty pattern".to_string(),
+                ));
             }
             Ok(Value::Str(s.replace(&old, &new)))
         }
@@ -366,9 +388,13 @@ fn str_method(s: &str, method: &str, args: &[Value]) -> Result<Value, RuntimeErr
         "endswith" => Ok(Value::Bool(s.ends_with(&str_arg(0)?))),
         "split" => {
             let parts: Vec<Value> = if args.is_empty() {
-                s.split_whitespace().map(|p| Value::Str(p.to_string())).collect()
+                s.split_whitespace()
+                    .map(|p| Value::Str(p.to_string()))
+                    .collect()
             } else {
-                s.split(&str_arg(0)?).map(|p| Value::Str(p.to_string())).collect()
+                s.split(&str_arg(0)?)
+                    .map(|p| Value::Str(p.to_string()))
+                    .collect()
             };
             Ok(Value::List(parts))
         }
@@ -390,19 +416,29 @@ fn str_method(s: &str, method: &str, args: &[Value]) -> Result<Value, RuntimeErr
             }
             Ok(Value::Str(parts.join(s)))
         }
-        "isdigit" => Ok(Value::Bool(!s.is_empty() && s.chars().all(|c| c.is_ascii_digit()))),
-        _ => Err(RuntimeError::Type(format!("'str' object has no attribute '{method}'"))),
+        "isdigit" => Ok(Value::Bool(
+            !s.is_empty() && s.chars().all(|c| c.is_ascii_digit()),
+        )),
+        _ => Err(RuntimeError::Type(format!(
+            "'str' object has no attribute '{method}'"
+        ))),
     }
 }
 
 fn dict_method(
-    entries: &mut Vec<(Value, Value)>,
+    entries: &[(Value, Value)],
     method: &str,
     args: &[Value],
 ) -> Result<(Value, bool), RuntimeError> {
     match method {
-        "keys" => Ok((Value::List(entries.iter().map(|(k, _)| k.clone()).collect()), false)),
-        "values" => Ok((Value::List(entries.iter().map(|(_, v)| v.clone()).collect()), false)),
+        "keys" => Ok((
+            Value::List(entries.iter().map(|(k, _)| k.clone()).collect()),
+            false,
+        )),
+        "values" => Ok((
+            Value::List(entries.iter().map(|(_, v)| v.clone()).collect()),
+            false,
+        )),
         "items" => Ok((
             Value::List(
                 entries
@@ -413,20 +449,28 @@ fn dict_method(
             false,
         )),
         "get" => {
-            let key = args
-                .first()
-                .ok_or_else(|| RuntimeError::Type("get() takes at least one argument".to_string()))?;
+            let key = args.first().ok_or_else(|| {
+                RuntimeError::Type("get() takes at least one argument".to_string())
+            })?;
             let default = args.get(1).cloned().unwrap_or(Value::None);
-            let found = entries.iter().find(|(k, _)| k.py_eq(key)).map(|(_, v)| v.clone());
+            let found = entries
+                .iter()
+                .find(|(k, _)| k.py_eq(key))
+                .map(|(_, v)| v.clone());
             Ok((found.unwrap_or(default), false))
         }
         "has_key" => {
-            let key = args
-                .first()
-                .ok_or_else(|| RuntimeError::Type("has_key() takes exactly one argument".to_string()))?;
-            Ok((Value::Bool(entries.iter().any(|(k, _)| k.py_eq(key))), false))
+            let key = args.first().ok_or_else(|| {
+                RuntimeError::Type("has_key() takes exactly one argument".to_string())
+            })?;
+            Ok((
+                Value::Bool(entries.iter().any(|(k, _)| k.py_eq(key))),
+                false,
+            ))
         }
-        _ => Err(RuntimeError::Type(format!("'dict' object has no attribute '{method}'"))),
+        _ => Err(RuntimeError::Type(format!(
+            "'dict' object has no attribute '{method}'"
+        ))),
     }
 }
 
@@ -451,32 +495,55 @@ mod tests {
 
     #[test]
     fn len_on_sequences_and_strings() {
-        assert_eq!(ok(call_builtin("len", &[Value::int_list([1, 2, 3])])), Value::Int(3));
-        assert_eq!(ok(call_builtin("len", &[Value::Str("abc".into())])), Value::Int(3));
+        assert_eq!(
+            ok(call_builtin("len", &[Value::int_list([1, 2, 3])])),
+            Value::Int(3)
+        );
+        assert_eq!(
+            ok(call_builtin("len", &[Value::Str("abc".into())])),
+            Value::Int(3)
+        );
         assert!(call_builtin("len", &[Value::Int(3)]).unwrap().is_err());
     }
 
     #[test]
     fn range_matches_python() {
-        assert_eq!(ok(call_builtin("range", &[Value::Int(3)])), Value::int_list([0, 1, 2]));
+        assert_eq!(
+            ok(call_builtin("range", &[Value::Int(3)])),
+            Value::int_list([0, 1, 2])
+        );
         assert_eq!(
             ok(call_builtin("range", &[Value::Int(1), Value::Int(4)])),
             Value::int_list([1, 2, 3])
         );
         assert_eq!(
-            ok(call_builtin("range", &[Value::Int(5), Value::Int(0), Value::Int(-2)])),
+            ok(call_builtin(
+                "range",
+                &[Value::Int(5), Value::Int(0), Value::Int(-2)]
+            )),
             Value::int_list([5, 3, 1])
         );
-        assert_eq!(ok(call_builtin("range", &[Value::Int(0)])), Value::List(vec![]));
-        assert!(call_builtin("range", &[Value::Int(1), Value::Int(2), Value::Int(0)])
-            .unwrap()
-            .is_err());
+        assert_eq!(
+            ok(call_builtin("range", &[Value::Int(0)])),
+            Value::List(vec![])
+        );
+        assert!(
+            call_builtin("range", &[Value::Int(1), Value::Int(2), Value::Int(0)])
+                .unwrap()
+                .is_err()
+        );
     }
 
     #[test]
     fn conversions() {
-        assert_eq!(ok(call_builtin("int", &[Value::Str(" 7 ".into())])), Value::Int(7));
-        assert_eq!(ok(call_builtin("str", &[Value::Int(7)])), Value::Str("7".into()));
+        assert_eq!(
+            ok(call_builtin("int", &[Value::Str(" 7 ".into())])),
+            Value::Int(7)
+        );
+        assert_eq!(
+            ok(call_builtin("str", &[Value::Int(7)])),
+            Value::Str("7".into())
+        );
         assert_eq!(
             ok(call_builtin("list", &[Value::Str("ab".into())])),
             Value::List(vec![Value::Str("a".into()), Value::Str("b".into())])
@@ -490,14 +557,25 @@ mod tests {
 
     #[test]
     fn aggregation_builtins() {
-        assert_eq!(ok(call_builtin("sum", &[Value::int_list([1, 2, 3])])), Value::Int(6));
-        assert_eq!(ok(call_builtin("max", &[Value::int_list([1, 5, 3])])), Value::Int(5));
-        assert_eq!(ok(call_builtin("min", &[Value::Int(4), Value::Int(2)])), Value::Int(2));
+        assert_eq!(
+            ok(call_builtin("sum", &[Value::int_list([1, 2, 3])])),
+            Value::Int(6)
+        );
+        assert_eq!(
+            ok(call_builtin("max", &[Value::int_list([1, 5, 3])])),
+            Value::Int(5)
+        );
+        assert_eq!(
+            ok(call_builtin("min", &[Value::Int(4), Value::Int(2)])),
+            Value::Int(2)
+        );
         assert_eq!(
             ok(call_builtin("sorted", &[Value::int_list([3, 1, 2])])),
             Value::int_list([1, 2, 3])
         );
-        assert!(call_builtin("max", &[Value::List(vec![])]).unwrap().is_err());
+        assert!(call_builtin("max", &[Value::List(vec![])])
+            .unwrap()
+            .is_err());
     }
 
     #[test]
@@ -507,7 +585,9 @@ mod tests {
 
     #[test]
     fn float_is_rejected_as_unsupported() {
-        let err = call_builtin("float", &[Value::Int(1)]).unwrap().unwrap_err();
+        let err = call_builtin("float", &[Value::Int(1)])
+            .unwrap()
+            .unwrap_err();
         assert_eq!(err.kind(), "UnsupportedFeature");
     }
 
@@ -544,8 +624,12 @@ mod tests {
     #[test]
     fn str_methods() {
         let mut s = Value::Str("hangman".into());
-        let (replaced, mutated) =
-            call_method(&mut s, "replace", &[Value::Str("a".into()), Value::Str("_".into())]).unwrap();
+        let (replaced, mutated) = call_method(
+            &mut s,
+            "replace",
+            &[Value::Str("a".into()), Value::Str("_".into())],
+        )
+        .unwrap();
         assert_eq!(replaced, Value::Str("h_ngm_n".into()));
         assert!(!mutated);
         let (found, _) = call_method(&mut s, "find", &[Value::Str("gma".into())]).unwrap();

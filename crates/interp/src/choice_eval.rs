@@ -1,0 +1,563 @@
+//! Choice-aware evaluation: interpreting an M̃PY [`ChoiceProgram`] directly.
+//!
+//! The CEGIS inner loop checks thousands of candidate corrections per
+//! submission.  Concretising each candidate into a fresh MPY [`Program`]
+//! (`ChoiceProgram::concretize`) clones the entire AST per candidate — pure
+//! allocation overhead, since the candidate differs from the original only
+//! in which option each choice site takes.  [`ChoiceEvaluator`] removes that
+//! cost: it walks the *shared* choice AST and consults a
+//! [`ChoiceAssignment`] at each choice site, so checking a candidate
+//! allocates nothing beyond the values it computes.
+//!
+//! Evaluation is defined to agree *exactly* with concretise-then-interpret —
+//! including the fuel accounting, so a program that runs out of fuel under
+//! one evaluator runs out at the same step under the other.  The choice
+//! nodes themselves are free: a `CExpr::Choice` charges nothing (it
+//! disappears during concretisation) while every node with a concrete
+//! counterpart charges exactly one fuel unit, like [`Interpreter::eval`].
+//! The `properties` integration test enforces this agreement differentially
+//! across the benchmark corpus.
+
+use afg_ast::Program;
+use afg_eml::{
+    concretize_expr, CExpr, CStmt, CStmtKind, ChoiceAssignment, ChoiceProgram, OpChoice,
+};
+
+use crate::builtins;
+use crate::error::RuntimeError;
+use crate::interp::{
+    binary_op, compare_op, expr_as_target, iterable_items, load_index, slice_value, ChoiceCtx,
+    ExecLimits, Flow, Frame, Interpreter, Outcome,
+};
+use crate::value::Value;
+
+/// A reusable evaluator for one candidate space (one transformed
+/// submission).
+///
+/// Construction clones the submission's helper functions once; evaluating a
+/// candidate afterwards materialises nothing.  The evaluator is cheap to
+/// build and immutable, so it can be shared read-only across grading
+/// threads.
+#[derive(Debug, Clone)]
+pub struct ChoiceEvaluator<'p> {
+    program: &'p ChoiceProgram,
+    /// The student's helper functions, packaged as a plain program so the
+    /// ordinary interpreter machinery can resolve calls to them.
+    helpers: Program,
+    limits: ExecLimits,
+}
+
+impl<'p> ChoiceEvaluator<'p> {
+    /// Creates an evaluator for the candidate space of `program`.
+    pub fn new(program: &'p ChoiceProgram, limits: ExecLimits) -> ChoiceEvaluator<'p> {
+        let mut helpers = Program::new();
+        helpers.funcs.extend(program.other_funcs.iter().cloned());
+        ChoiceEvaluator {
+            program,
+            helpers,
+            limits,
+        }
+    }
+
+    /// The choice program being evaluated.
+    pub fn program(&self) -> &'p ChoiceProgram {
+        self.program
+    }
+
+    /// Runs the candidate selected by `assignment` on `args` and returns its
+    /// outcome, exactly as `concretize(assignment)` + [`crate::run_function`]
+    /// would — without building the candidate AST.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`] raised during execution.
+    pub fn run(
+        &self,
+        assignment: &ChoiceAssignment,
+        args: &[Value],
+    ) -> Result<Outcome, RuntimeError> {
+        let mut interp = Interpreter::with_limits(&self.helpers, self.limits);
+        interp.choice = Some(ChoiceCtx {
+            func: &self.program.func,
+            assignment,
+        });
+        let value = interp.call_choice_func(args.to_vec())?;
+        Ok(Outcome {
+            value,
+            output: std::mem::take(&mut interp.output),
+        })
+    }
+}
+
+impl<'p> Interpreter<'p> {
+    /// Calls the choice-bearing entry function of the active [`ChoiceCtx`].
+    pub(crate) fn call_choice_func(&mut self, args: Vec<Value>) -> Result<Value, RuntimeError> {
+        let ctx = self.choice.as_ref().expect("choice context is set");
+        let (func, assignment) = (ctx.func, ctx.assignment);
+        if self.depth >= self.limits.max_recursion {
+            return Err(RuntimeError::RecursionLimit);
+        }
+        if func.params.len() != args.len() {
+            return Err(RuntimeError::Type(format!(
+                "{}() takes {} arguments ({} given)",
+                func.name,
+                func.params.len(),
+                args.len()
+            )));
+        }
+        let mut frame = Frame::new();
+        for (param, arg) in func.params.iter().zip(args) {
+            frame.insert(param.name.clone(), arg);
+        }
+        self.depth += 1;
+        let flow = self.exec_cblock(&func.body, assignment, &mut frame);
+        self.depth -= 1;
+        match flow? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(Value::None),
+        }
+    }
+
+    fn exec_cblock(
+        &mut self,
+        stmts: &[CStmt],
+        assignment: &ChoiceAssignment,
+        frame: &mut Frame,
+    ) -> Result<Flow, RuntimeError> {
+        for stmt in stmts {
+            match self.exec_cstmt(stmt, assignment, frame)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    /// Mirrors `exec_stmt` over the choice AST.  `ChoiceBlock` splices the
+    /// selected block without charging fuel — it has no concrete
+    /// counterpart — while every other statement charges one unit, exactly
+    /// like its concretised form.
+    fn exec_cstmt(
+        &mut self,
+        stmt: &CStmt,
+        assignment: &ChoiceAssignment,
+        frame: &mut Frame,
+    ) -> Result<Flow, RuntimeError> {
+        if let CStmtKind::ChoiceBlock(id, options) = &stmt.kind {
+            let selected = assignment.selected(*id).min(options.len() - 1);
+            return self.exec_cblock(&options[selected], assignment, frame);
+        }
+        self.charge(1)?;
+        match &stmt.kind {
+            CStmtKind::Assign(target, value) => {
+                let value = self.eval_cexpr(value, assignment, frame)?;
+                self.assign(target, value, frame)?;
+                Ok(Flow::Normal)
+            }
+            CStmtKind::AugAssign(target, op, value) => {
+                let rhs = self.eval_cexpr(value, assignment, frame)?;
+                let current = self.read_target(target, frame)?;
+                let updated = binary_op(*op, &current, &rhs)?;
+                self.assign(target, updated, frame)?;
+                Ok(Flow::Normal)
+            }
+            CStmtKind::ExprStmt(expr) => {
+                self.eval_cexpr(expr, assignment, frame)?;
+                Ok(Flow::Normal)
+            }
+            CStmtKind::If(cond, then_body, else_body) => {
+                if self.eval_cexpr(cond, assignment, frame)?.is_truthy() {
+                    self.exec_cblock(then_body, assignment, frame)
+                } else {
+                    self.exec_cblock(else_body, assignment, frame)
+                }
+            }
+            CStmtKind::While(cond, body) => {
+                while self.eval_cexpr(cond, assignment, frame)?.is_truthy() {
+                    self.charge(1)?;
+                    match self.exec_cblock(body, assignment, frame)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            CStmtKind::For(var, iter, body) => {
+                let items = iterable_items(&self.eval_cexpr(iter, assignment, frame)?)?;
+                for item in items {
+                    self.charge(1)?;
+                    frame.insert(var.clone(), item);
+                    match self.exec_cblock(body, assignment, frame)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            CStmtKind::Return(expr) => {
+                let value = match expr {
+                    Some(e) => self.eval_cexpr(e, assignment, frame)?,
+                    None => Value::None,
+                };
+                Ok(Flow::Return(value))
+            }
+            CStmtKind::Print(args) => {
+                let mut parts = Vec::new();
+                for arg in args {
+                    parts.push(self.eval_cexpr(arg, assignment, frame)?.display_str());
+                }
+                self.output.push(parts.join(" "));
+                Ok(Flow::Normal)
+            }
+            CStmtKind::Pass => Ok(Flow::Normal),
+            CStmtKind::Break => Ok(Flow::Break),
+            CStmtKind::Continue => Ok(Flow::Continue),
+            CStmtKind::ChoiceBlock(..) => unreachable!("handled before charging"),
+        }
+    }
+
+    /// Mirrors `eval` over the choice AST.  `Plain` delegates to the
+    /// ordinary evaluator and `Choice` forwards to the selected option for
+    /// free; every other node charges one fuel unit like its concretised
+    /// counterpart.
+    fn eval_cexpr(
+        &mut self,
+        expr: &CExpr,
+        assignment: &ChoiceAssignment,
+        frame: &mut Frame,
+    ) -> Result<Value, RuntimeError> {
+        match expr {
+            CExpr::Plain(e) => return self.eval(e, frame),
+            CExpr::Choice(id, options) => {
+                let selected = assignment.selected(*id).min(options.len() - 1);
+                return self.eval_cexpr(&options[selected], assignment, frame);
+            }
+            _ => {}
+        }
+        self.charge(1)?;
+        match expr {
+            CExpr::Plain(_) | CExpr::Choice(..) => unreachable!("handled before charging"),
+            CExpr::List(items) => {
+                let mut values = Vec::with_capacity(items.len());
+                for item in items {
+                    values.push(self.eval_cexpr(item, assignment, frame)?);
+                }
+                Ok(Value::List(values))
+            }
+            CExpr::Tuple(items) => {
+                let mut values = Vec::with_capacity(items.len());
+                for item in items {
+                    values.push(self.eval_cexpr(item, assignment, frame)?);
+                }
+                Ok(Value::Tuple(values))
+            }
+            CExpr::Index(base, index) => {
+                let base_value = self.eval_cexpr(base, assignment, frame)?;
+                let index_value = self.eval_cexpr(index, assignment, frame)?;
+                load_index(&base_value, &index_value)
+            }
+            CExpr::Slice(base, lower, upper) => {
+                let base_value = self.eval_cexpr(base, assignment, frame)?;
+                let lower = match lower {
+                    Some(e) => Some(self.eval_cexpr(e, assignment, frame)?),
+                    None => None,
+                };
+                let upper = match upper {
+                    Some(e) => Some(self.eval_cexpr(e, assignment, frame)?),
+                    None => None,
+                };
+                slice_value(&base_value, lower.as_ref(), upper.as_ref())
+            }
+            CExpr::BinOp(op, left, right) => {
+                let l = self.eval_cexpr(left, assignment, frame)?;
+                let r = self.eval_cexpr(right, assignment, frame)?;
+                binary_op(select_op(op, assignment), &l, &r)
+            }
+            CExpr::UnaryOp(op, operand) => {
+                let v = self.eval_cexpr(operand, assignment, frame)?;
+                crate::interp::unary_op(*op, &v)
+            }
+            CExpr::Compare(op, left, right) => {
+                let l = self.eval_cexpr(left, assignment, frame)?;
+                let r = self.eval_cexpr(right, assignment, frame)?;
+                compare_op(select_op(op, assignment), &l, &r)
+            }
+            CExpr::BoolExpr(op, left, right) => {
+                let l = self.eval_cexpr(left, assignment, frame)?;
+                match op {
+                    afg_ast::ops::BoolOp::And => {
+                        if !l.is_truthy() {
+                            Ok(l)
+                        } else {
+                            self.eval_cexpr(right, assignment, frame)
+                        }
+                    }
+                    afg_ast::ops::BoolOp::Or => {
+                        if l.is_truthy() {
+                            Ok(l)
+                        } else {
+                            self.eval_cexpr(right, assignment, frame)
+                        }
+                    }
+                }
+            }
+            CExpr::Call(name, args) => {
+                let mut values = Vec::with_capacity(args.len());
+                for arg in args {
+                    values.push(self.eval_cexpr(arg, assignment, frame)?);
+                }
+                self.call_named(name, values)
+            }
+            CExpr::MethodCall(recv, method, args) => {
+                let mut receiver = self.eval_cexpr(recv, assignment, frame)?;
+                let mut values = Vec::with_capacity(args.len());
+                for arg in args {
+                    values.push(self.eval_cexpr(arg, assignment, frame)?);
+                }
+                let (result, mutated) = builtins::call_method(&mut receiver, method, &values)?;
+                if mutated {
+                    // The write-back target is the receiver's concrete shape
+                    // under this assignment (a variable or index chain).  A
+                    // plain receiver — the common case — skips the
+                    // concretisation entirely.
+                    let target = match &**recv {
+                        CExpr::Plain(e) => expr_as_target(e),
+                        choiceful => expr_as_target(&concretize_expr(choiceful, assignment)),
+                    };
+                    if let Some(target) = target {
+                        self.assign(&target, receiver, frame)?;
+                    }
+                }
+                Ok(result)
+            }
+            CExpr::IfExpr(body, cond, orelse) => {
+                if self.eval_cexpr(cond, assignment, frame)?.is_truthy() {
+                    self.eval_cexpr(body, assignment, frame)
+                } else {
+                    self.eval_cexpr(orelse, assignment, frame)
+                }
+            }
+        }
+    }
+}
+
+fn select_op<T: Copy>(op: &OpChoice<T>, assignment: &ChoiceAssignment) -> T {
+    match op {
+        OpChoice::Fixed(op) => *op,
+        OpChoice::Choice(id, options) => {
+            let selected = assignment.selected(*id).min(options.len() - 1);
+            options[selected]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afg_eml::{apply_error_model, library, ChoiceId, ErrorModel};
+    use afg_parser::parse_program;
+
+    use crate::interp::run_function;
+
+    /// Runs both evaluators on the same candidate and asserts they observe
+    /// exactly the same behaviour (value, output, or error kind).
+    fn assert_agree(
+        program: &ChoiceProgram,
+        assignment: &ChoiceAssignment,
+        args: &[Value],
+        limits: ExecLimits,
+    ) {
+        let evaluator = ChoiceEvaluator::new(program, limits);
+        let direct = evaluator.run(assignment, args);
+        let concrete = program.concretize(assignment);
+        let materialised = run_function(&concrete, Some(&program.func.name), args, limits);
+        match (&direct, &materialised) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "outcomes differ for {assignment:?}"),
+            (Err(a), Err(b)) => {
+                assert_eq!(a.kind(), b.kind(), "error kinds differ for {assignment:?}")
+            }
+            _ => panic!("evaluators disagree for {assignment:?}: {direct:?} vs {materialised:?}"),
+        }
+    }
+
+    fn figure_2a_choices() -> ChoiceProgram {
+        let student = parse_program(
+            "def computeDeriv(poly):\n    deriv = []\n    zero = 0\n    if (len(poly) == 1):\n        return deriv\n    for e in range(0, len(poly)):\n        if (poly[e] == 0):\n            zero += 1\n        else:\n            deriv.append(poly[e]*e)\n    return deriv\n",
+        )
+        .unwrap();
+        apply_error_model(
+            &student,
+            Some("computeDeriv"),
+            &library::compute_deriv_model(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_single_selections_agree_with_concretisation() {
+        let cp = figure_2a_choices();
+        let inputs = [
+            vec![Value::int_list([2, -3, 1, 4])],
+            vec![Value::int_list([7])],
+            vec![Value::List(vec![])],
+        ];
+        for args in &inputs {
+            assert_agree(
+                &cp,
+                &ChoiceAssignment::default_choices(),
+                args,
+                ExecLimits::fast(),
+            );
+            for info in &cp.choices {
+                for option in 1..info.options.len() {
+                    let assignment = ChoiceAssignment::from_pairs([(info.id, option)]);
+                    assert_agree(&cp, &assignment, args, ExecLimits::fast());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_entry_calls_reenter_the_choice_function() {
+        // recurPower calls itself; the recursive call must see the same
+        // choice assignment, not the original program.
+        let student = parse_program(
+            "def recurPower(base, exp):\n    acc = 0\n    if exp == 0:\n        return acc\n    return base * recurPower(base, exp - 1)\n",
+        )
+        .unwrap();
+        let model = ErrorModel::new("m").with_rule(library::initr());
+        let cp = apply_error_model(&student, Some("recurPower"), &model).unwrap();
+        // Find the option replacing the erroneous initialiser `acc = 0`.
+        let fix = cp
+            .choices
+            .iter()
+            .find_map(|info| {
+                info.options
+                    .iter()
+                    .position(|o| o == "1")
+                    .map(|option| (info.id, option))
+            })
+            .expect("INITR offers constant 1 somewhere");
+        let evaluator = ChoiceEvaluator::new(&cp, ExecLimits::fast());
+        let args = [Value::Int(3), Value::Int(2)];
+        let broken = evaluator
+            .run(&ChoiceAssignment::default_choices(), &args)
+            .unwrap();
+        assert_eq!(broken.value, Value::Int(0), "default keeps the bug");
+        let fixed = evaluator
+            .run(&ChoiceAssignment::from_pairs([fix]), &args)
+            .unwrap();
+        assert_eq!(
+            fixed.value,
+            Value::Int(9),
+            "the recursive call sees the fixed base case"
+        );
+        assert_agree(
+            &cp,
+            &ChoiceAssignment::from_pairs([fix]),
+            &args,
+            ExecLimits::fast(),
+        );
+    }
+
+    #[test]
+    fn helper_functions_are_callable_from_the_choice_entry() {
+        let student = parse_program(
+            "def helper(x):\n    return x * 2\ndef f(n):\n    return helper(n) + 0\n",
+        )
+        .unwrap();
+        let model = ErrorModel::new("m").with_rule(library::const_tweak());
+        let cp = apply_error_model(&student, Some("f"), &model).unwrap();
+        let evaluator = ChoiceEvaluator::new(&cp, ExecLimits::fast());
+        let out = evaluator
+            .run(&ChoiceAssignment::default_choices(), &[Value::Int(5)])
+            .unwrap();
+        assert_eq!(out.value, Value::Int(10));
+        for info in &cp.choices {
+            for option in 1..info.options.len() {
+                assert_agree(
+                    &cp,
+                    &ChoiceAssignment::from_pairs([(info.id, option)]),
+                    &[Value::Int(5)],
+                    ExecLimits::fast(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutating_method_calls_write_back_through_choices() {
+        // poly.pop(1) mutates the receiver; the write-back must hit the
+        // same variable under choice evaluation.
+        let student = parse_program("def f(poly):\n    poly.pop(0)\n    return poly\n").unwrap();
+        let cp = apply_error_model(&student, Some("f"), &ErrorModel::new("empty")).unwrap();
+        let evaluator = ChoiceEvaluator::new(&cp, ExecLimits::fast());
+        let out = evaluator
+            .run(
+                &ChoiceAssignment::default_choices(),
+                &[Value::int_list([1, 2, 3])],
+            )
+            .unwrap();
+        assert_eq!(out.value, Value::int_list([2, 3]));
+    }
+
+    #[test]
+    fn fuel_accounting_matches_the_concrete_interpreter_exactly() {
+        // Probe every fuel budget around the program's exact cost: at each
+        // budget the two evaluators must agree on whether fuel runs out.
+        let cp = figure_2a_choices();
+        let assignment = ChoiceAssignment::from_pairs(
+            cp.choices
+                .first()
+                .map(|info| (info.id, 1))
+                .into_iter()
+                .collect::<Vec<_>>(),
+        );
+        let args = [Value::int_list([2, -3, 1, 4])];
+        let concrete = cp.concretize(&assignment);
+        for fuel in 1..200u64 {
+            let limits = ExecLimits {
+                fuel,
+                max_recursion: 32,
+            };
+            let evaluator = ChoiceEvaluator::new(&cp, limits);
+            let direct = evaluator.run(&assignment, &args);
+            let materialised = run_function(&concrete, Some(&cp.func.name), &args, limits);
+            let direct_exhausted = matches!(direct, Err(RuntimeError::FuelExhausted));
+            let concrete_exhausted = matches!(materialised, Err(RuntimeError::FuelExhausted));
+            assert_eq!(
+                direct_exhausted, concrete_exhausted,
+                "fuel {fuel}: divergent exhaustion ({direct:?} vs {materialised:?})"
+            );
+            if !direct_exhausted {
+                assert_eq!(direct.unwrap(), materialised.unwrap(), "fuel {fuel}");
+            }
+        }
+    }
+
+    #[test]
+    fn choice_id_out_of_range_clamps_like_concretize() {
+        let cp = figure_2a_choices();
+        // Selecting an absurd option index clamps to the last option, the
+        // same as `concretize`.
+        if let Some(info) = cp.choices.first() {
+            let assignment = ChoiceAssignment::from_pairs([(info.id, 99)]);
+            assert_agree(
+                &cp,
+                &assignment,
+                &[Value::int_list([1, 2])],
+                ExecLimits::fast(),
+            );
+        }
+        // Selecting an unknown choice id is ignored by both paths.
+        let assignment = ChoiceAssignment::from_pairs([(ChoiceId(9999), 1)]);
+        assert_agree(
+            &cp,
+            &assignment,
+            &[Value::int_list([1, 2])],
+            ExecLimits::fast(),
+        );
+    }
+}

@@ -9,7 +9,9 @@
 
 use afg_ast::types::MpyType;
 use afg_ast::Program;
+use afg_eml::{ChoiceAssignment, ChoiceProgram};
 
+use crate::choice_eval::ChoiceEvaluator;
 use crate::error::RuntimeError;
 use crate::inputs::InputSpace;
 use crate::interp::{run_function, ExecLimits, Outcome};
@@ -103,13 +105,23 @@ impl EquivalenceOracle {
     ///
     /// The reference is run once on every input of the bounded space and the
     /// results are cached.
-    pub fn new(reference: &Program, param_types: &[MpyType], config: EquivalenceConfig) -> EquivalenceOracle {
+    pub fn new(
+        reference: &Program,
+        param_types: &[MpyType],
+        config: EquivalenceConfig,
+    ) -> EquivalenceOracle {
         let inputs = config.space.enumerate_args(param_types);
         let reference_results = inputs
             .iter()
-            .map(|args| ExecResult::observe(reference, config.entry.as_deref(), args, config.limits))
+            .map(|args| {
+                ExecResult::observe(reference, config.entry.as_deref(), args, config.limits)
+            })
             .collect();
-        EquivalenceOracle { inputs, reference_results, config }
+        EquivalenceOracle {
+            inputs,
+            reference_results,
+            config,
+        }
     }
 
     /// Builds an oracle, reading the parameter types from the reference
@@ -165,6 +177,88 @@ impl EquivalenceOracle {
     /// counterexample set) and reports whether it agrees on all of them.
     pub fn agrees_on(&self, candidate: &Program, indices: &[usize]) -> bool {
         indices.iter().all(|&i| self.check_input(candidate, i))
+    }
+
+    /// Opens a choice-aware verification session for one candidate space.
+    ///
+    /// The session evaluates candidates by walking the shared choice AST
+    /// under a [`ChoiceAssignment`] — no per-candidate program is ever
+    /// materialised.  This is the oracle API the synthesis back ends use in
+    /// their hot loop; [`ChoiceProgram::concretize`] remains the cold path
+    /// for rendering the final repaired program.
+    pub fn choice_session<'a>(&'a self, program: &'a ChoiceProgram) -> ChoiceSession<'a> {
+        ChoiceSession {
+            oracle: self,
+            evaluator: ChoiceEvaluator::new(program, self.config.limits),
+        }
+    }
+}
+
+/// A verification session over one candidate space (one transformed
+/// submission), bound to the oracle's cached reference results.
+#[derive(Debug, Clone)]
+pub struct ChoiceSession<'a> {
+    oracle: &'a EquivalenceOracle,
+    evaluator: ChoiceEvaluator<'a>,
+}
+
+impl<'a> ChoiceSession<'a> {
+    /// The underlying oracle.
+    pub fn oracle(&self) -> &'a EquivalenceOracle {
+        self.oracle
+    }
+
+    /// Runs the candidate selected by `assignment` on one input and captures
+    /// the result.
+    pub fn observe(&self, assignment: &ChoiceAssignment, index: usize) -> ExecResult {
+        match self.evaluator.run(assignment, &self.oracle.inputs[index]) {
+            Ok(outcome) => ExecResult::Ok(outcome),
+            Err(err) => ExecResult::Err(err.kind()),
+        }
+    }
+
+    /// Checks the candidate on a single input, by index.
+    pub fn check_input(&self, assignment: &ChoiceAssignment, index: usize) -> bool {
+        self.observe(assignment, index).matches(
+            &self.oracle.reference_results[index],
+            self.oracle.config.compare_output,
+        )
+    }
+
+    /// Runs the candidate on an explicit list of input indices (the CEGIS
+    /// counterexample set) and reports whether it agrees on all of them.
+    pub fn agrees_on(&self, assignment: &ChoiceAssignment, indices: &[usize]) -> bool {
+        indices.iter().all(|&i| self.check_input(assignment, i))
+    }
+
+    /// Finds the first input on which the candidate disagrees with the
+    /// reference, checking `priority` indices (the accumulated CEGIS
+    /// counterexamples) *first*.
+    ///
+    /// Counterexample-first ordering pays off twice: almost every candidate
+    /// the solver proposes fails on an input that already killed an earlier
+    /// candidate, so the common case rejects after a handful of runs instead
+    /// of a sweep — and when the candidate survives the priority set, the
+    /// remaining sweep skips the indices it already checked.
+    pub fn find_counterexample(
+        &self,
+        assignment: &ChoiceAssignment,
+        priority: &[usize],
+    ) -> Option<usize> {
+        for &index in priority {
+            if !self.check_input(assignment, index) {
+                return Some(index);
+            }
+        }
+        (0..self.oracle.inputs.len())
+            .filter(|i| !priority.contains(i))
+            .find(|&i| !self.check_input(assignment, i))
+    }
+
+    /// Whether the candidate is equivalent to the reference on the whole
+    /// bounded space.
+    pub fn is_equivalent(&self, assignment: &ChoiceAssignment) -> bool {
+        self.find_counterexample(assignment, &[]).is_none()
     }
 }
 
@@ -285,8 +379,14 @@ def computeDeriv(poly):
 
     #[test]
     fn exec_results_match_semantics() {
-        let ok = ExecResult::Ok(Outcome { value: Value::Int(1), output: vec![] });
-        let ok_same = ExecResult::Ok(Outcome { value: Value::Int(1), output: vec!["x".into()] });
+        let ok = ExecResult::Ok(Outcome {
+            value: Value::Int(1),
+            output: vec![],
+        });
+        let ok_same = ExecResult::Ok(Outcome {
+            value: Value::Int(1),
+            output: vec!["x".into()],
+        });
         let err = ExecResult::Err("IndexError");
         assert!(ok_same.matches(&ok, false));
         assert!(!ok_same.matches(&ok, true));

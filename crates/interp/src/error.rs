@@ -58,7 +58,10 @@ impl RuntimeError {
     /// Whether the error is a resource bound (timeout / recursion) rather
     /// than a genuine semantic error of the program.
     pub fn is_resource_limit(&self) -> bool {
-        matches!(self, RuntimeError::FuelExhausted | RuntimeError::RecursionLimit)
+        matches!(
+            self,
+            RuntimeError::FuelExhausted | RuntimeError::RecursionLimit
+        )
     }
 }
 

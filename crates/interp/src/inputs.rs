@@ -75,7 +75,7 @@ impl InputSpace {
         let half = 1i64 << (self.int_bits.saturating_sub(1));
         let mut values = vec![0];
         for magnitude in 1..=half {
-            if magnitude <= half - 1 {
+            if magnitude < half {
                 values.push(magnitude);
             }
             values.push(-magnitude);
@@ -207,7 +207,10 @@ mod tests {
 
     #[test]
     fn int_values_are_ordered_by_magnitude_and_bounded() {
-        let space = InputSpace { int_bits: 3, ..InputSpace::default() };
+        let space = InputSpace {
+            int_bits: 3,
+            ..InputSpace::default()
+        };
         let values = space.int_values();
         assert_eq!(values[0], 0);
         assert!(values.contains(&3));
@@ -246,7 +249,11 @@ mod tests {
 
     #[test]
     fn string_enumeration_respects_alphabet_and_length() {
-        let space = InputSpace { alphabet: vec!['a', 'b'], max_str_len: 2, ..InputSpace::tiny() };
+        let space = InputSpace {
+            alphabet: vec!['a', 'b'],
+            max_str_len: 2,
+            ..InputSpace::tiny()
+        };
         let strings = space.enumerate_type(&MpyType::Str);
         assert!(strings.contains(&Value::Str(String::new())));
         assert!(strings.contains(&Value::Str("ab".into())));
@@ -260,7 +267,10 @@ mod tests {
         assert_eq!(args.len(), 16);
         assert!(args.iter().all(|a| a.len() == 2));
 
-        let capped = InputSpace { max_inputs: 10, ..InputSpace::tiny() };
+        let capped = InputSpace {
+            max_inputs: 10,
+            ..InputSpace::tiny()
+        };
         let args = capped.enumerate_args(&[MpyType::Int, MpyType::Int]);
         assert!(args.len() <= 10);
         assert!(!args.is_empty());

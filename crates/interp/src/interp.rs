@@ -34,7 +34,10 @@ pub struct ExecLimits {
 
 impl Default for ExecLimits {
     fn default() -> ExecLimits {
-        ExecLimits { fuel: 200_000, max_recursion: 64 }
+        ExecLimits {
+            fuel: 200_000,
+            max_recursion: 64,
+        }
     }
 }
 
@@ -42,7 +45,10 @@ impl ExecLimits {
     /// A tighter budget suitable for the inner loop of synthesis, where
     /// millions of candidate executions may be needed.
     pub fn fast() -> ExecLimits {
-        ExecLimits { fuel: 20_000, max_recursion: 32 }
+        ExecLimits {
+            fuel: 20_000,
+            max_recursion: 32,
+        }
     }
 }
 
@@ -57,24 +63,36 @@ pub struct Outcome {
 }
 
 /// Control-flow signal produced by executing a statement.
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Return(Value),
     Break,
     Continue,
 }
 
-type Frame = HashMap<String, Value>;
+pub(crate) type Frame = HashMap<String, Value>;
+
+/// The choice context of an interpreter evaluating an M̃PY program directly:
+/// the choice-bearing entry function plus the option selection to apply at
+/// every choice site.  See [`crate::choice_eval`].
+pub(crate) struct ChoiceCtx<'p> {
+    pub(crate) func: &'p afg_eml::CFuncDef,
+    pub(crate) assignment: &'p afg_eml::ChoiceAssignment,
+}
 
 /// An interpreter instance bound to one program.
 pub struct Interpreter<'p> {
-    program: &'p Program,
-    limits: ExecLimits,
-    fuel: u64,
-    depth: u32,
-    output: Vec<String>,
-    stdin: Vec<Value>,
-    stdin_pos: usize,
+    pub(crate) program: &'p Program,
+    pub(crate) limits: ExecLimits,
+    pub(crate) fuel: u64,
+    pub(crate) depth: u32,
+    pub(crate) output: Vec<String>,
+    pub(crate) stdin: Vec<Value>,
+    pub(crate) stdin_pos: usize,
+    /// When set, calls to `choice.func.name` re-enter the choice-bearing
+    /// entry function instead of looking it up in `program` (which then only
+    /// holds the student's helper functions).
+    pub(crate) choice: Option<ChoiceCtx<'p>>,
 }
 
 impl<'p> Interpreter<'p> {
@@ -93,6 +111,7 @@ impl<'p> Interpreter<'p> {
             output: Vec::new(),
             stdin: Vec::new(),
             stdin_pos: 0,
+            choice: None,
         }
     }
 
@@ -110,7 +129,11 @@ impl<'p> Interpreter<'p> {
     /// Any [`RuntimeError`] raised during execution, including
     /// `FuelExhausted` for programs that loop too long and a `TypeError`
     /// when the function's arity does not match `args`.
-    pub fn call_entry(&mut self, entry: Option<&str>, args: &[Value]) -> Result<Outcome, RuntimeError> {
+    pub fn call_entry(
+        &mut self,
+        entry: Option<&str>,
+        args: &[Value],
+    ) -> Result<Outcome, RuntimeError> {
         let func = self
             .program
             .entry(entry)
@@ -119,7 +142,10 @@ impl<'p> Interpreter<'p> {
         self.output.clear();
         self.stdin_pos = 0;
         let value = self.call_func(func, args.to_vec())?;
-        Ok(Outcome { value, output: std::mem::take(&mut self.output) })
+        Ok(Outcome {
+            value,
+            output: std::mem::take(&mut self.output),
+        })
     }
 
     /// Runs the program's top-level statements (for print/stdin style
@@ -134,12 +160,18 @@ impl<'p> Interpreter<'p> {
         self.stdin_pos = 0;
         let mut frame = Frame::new();
         match self.exec_block(&self.program.top_level, &mut frame)? {
-            Flow::Return(v) => Ok(Outcome { value: v, output: std::mem::take(&mut self.output) }),
-            _ => Ok(Outcome { value: Value::None, output: std::mem::take(&mut self.output) }),
+            Flow::Return(v) => Ok(Outcome {
+                value: v,
+                output: std::mem::take(&mut self.output),
+            }),
+            _ => Ok(Outcome {
+                value: Value::None,
+                output: std::mem::take(&mut self.output),
+            }),
         }
     }
 
-    fn charge(&mut self, amount: u64) -> Result<(), RuntimeError> {
+    pub(crate) fn charge(&mut self, amount: u64) -> Result<(), RuntimeError> {
         if self.fuel < amount {
             return Err(RuntimeError::FuelExhausted);
         }
@@ -147,7 +179,11 @@ impl<'p> Interpreter<'p> {
         Ok(())
     }
 
-    fn call_func(&mut self, func: &FuncDef, args: Vec<Value>) -> Result<Value, RuntimeError> {
+    pub(crate) fn call_func(
+        &mut self,
+        func: &FuncDef,
+        args: Vec<Value>,
+    ) -> Result<Value, RuntimeError> {
         if self.depth >= self.limits.max_recursion {
             return Err(RuntimeError::RecursionLimit);
         }
@@ -172,7 +208,11 @@ impl<'p> Interpreter<'p> {
         }
     }
 
-    fn exec_block(&mut self, stmts: &[Stmt], frame: &mut Frame) -> Result<Flow, RuntimeError> {
+    pub(crate) fn exec_block(
+        &mut self,
+        stmts: &[Stmt],
+        frame: &mut Frame,
+    ) -> Result<Flow, RuntimeError> {
         for stmt in stmts {
             match self.exec_stmt(stmt, frame)? {
                 Flow::Normal => {}
@@ -253,7 +293,12 @@ impl<'p> Interpreter<'p> {
         }
     }
 
-    fn assign(&mut self, target: &Target, value: Value, frame: &mut Frame) -> Result<(), RuntimeError> {
+    pub(crate) fn assign(
+        &mut self,
+        target: &Target,
+        value: Value,
+        frame: &mut Frame,
+    ) -> Result<(), RuntimeError> {
         match target {
             Target::Var(name) => {
                 frame.insert(name.clone(), value);
@@ -283,7 +328,11 @@ impl<'p> Interpreter<'p> {
                 if items.len() != targets.len() {
                     return Err(RuntimeError::Value(format!(
                         "too {} values to unpack",
-                        if items.len() > targets.len() { "many" } else { "few" }
+                        if items.len() > targets.len() {
+                            "many"
+                        } else {
+                            "few"
+                        }
                     )));
                 }
                 for (t, v) in targets.iter().zip(items) {
@@ -294,7 +343,11 @@ impl<'p> Interpreter<'p> {
         }
     }
 
-    fn read_target(&mut self, target: &Target, frame: &mut Frame) -> Result<Value, RuntimeError> {
+    pub(crate) fn read_target(
+        &mut self,
+        target: &Target,
+        frame: &mut Frame,
+    ) -> Result<Value, RuntimeError> {
         match target {
             Target::Var(name) => frame
                 .get(name)
@@ -311,7 +364,7 @@ impl<'p> Interpreter<'p> {
         }
     }
 
-    fn eval(&mut self, expr: &Expr, frame: &mut Frame) -> Result<Value, RuntimeError> {
+    pub(crate) fn eval(&mut self, expr: &Expr, frame: &mut Frame) -> Result<Value, RuntimeError> {
         self.charge(1)?;
         match expr {
             Expr::Int(v) => Ok(Value::Int(*v)),
@@ -341,7 +394,10 @@ impl<'p> Interpreter<'p> {
                 for (k, v) in items {
                     let key = self.eval(k, frame)?;
                     let value = self.eval(v, frame)?;
-                    if let Some(existing) = entries.iter_mut().find(|(ek, _): &&mut (Value, Value)| ek.py_eq(&key)) {
+                    if let Some(existing) = entries
+                        .iter_mut()
+                        .find(|(ek, _): &&mut (Value, Value)| ek.py_eq(&key))
+                    {
                         existing.1 = value;
                     } else {
                         entries.push((key, value));
@@ -373,16 +429,7 @@ impl<'p> Interpreter<'p> {
             }
             Expr::UnaryOp(op, operand) => {
                 let v = self.eval(operand, frame)?;
-                match op {
-                    UnaryOp::Neg => match v.as_int() {
-                        Some(i) => Ok(Value::Int(i.checked_neg().ok_or(RuntimeError::Overflow)?)),
-                        None => Err(RuntimeError::Type(format!(
-                            "bad operand type for unary -: '{}'",
-                            v.type_name()
-                        ))),
-                    },
-                    UnaryOp::Not => Ok(Value::Bool(!v.is_truthy())),
-                }
+                unary_op(*op, &v)
             }
             Expr::Compare(op, left, right) => {
                 let l = self.eval(left, frame)?;
@@ -439,22 +486,40 @@ impl<'p> Interpreter<'p> {
         }
     }
 
-    fn call_named(&mut self, name: &str, args: Vec<Value>) -> Result<Value, RuntimeError> {
+    pub(crate) fn call_named(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, RuntimeError> {
+        // A recursive call back into the graded entry function re-enters the
+        // choice-aware evaluator; the entry shadows any same-named helper,
+        // exactly as it does in the concretised program (where the entry is
+        // `funcs[0]`).
+        if self
+            .choice
+            .as_ref()
+            .is_some_and(|ctx| ctx.func.name == name)
+        {
+            return self.call_choice_func(args);
+        }
         // User-defined functions shadow builtins, matching Python scoping.
         if let Some(func) = self.program.func(name) {
             return self.call_func(func, args);
         }
         if name == "print" {
-            let line = args.iter().map(Value::display_str).collect::<Vec<_>>().join(" ");
+            let line = args
+                .iter()
+                .map(Value::display_str)
+                .collect::<Vec<_>>()
+                .join(" ");
             self.output.push(line);
             return Ok(Value::None);
         }
         if name == "input" || name == "raw_input" {
-            let value = self
-                .stdin
-                .get(self.stdin_pos)
-                .cloned()
-                .ok_or_else(|| RuntimeError::Value("input(): no more stdin values".to_string()))?;
+            let value =
+                self.stdin.get(self.stdin_pos).cloned().ok_or_else(|| {
+                    RuntimeError::Value("input(): no more stdin values".to_string())
+                })?;
             self.stdin_pos += 1;
             return Ok(if name == "raw_input" {
                 Value::Str(value.display_str())
@@ -490,11 +555,14 @@ pub fn iterable_items(value: &Value) -> Result<Vec<Value>, RuntimeError> {
         Value::List(items) | Value::Tuple(items) => Ok(items.clone()),
         Value::Str(s) => Ok(s.chars().map(|c| Value::Str(c.to_string())).collect()),
         Value::Dict(items) => Ok(items.iter().map(|(k, _)| k.clone()).collect()),
-        other => Err(RuntimeError::Type(format!("'{}' object is not iterable", other.type_name()))),
+        other => Err(RuntimeError::Type(format!(
+            "'{}' object is not iterable",
+            other.type_name()
+        ))),
     }
 }
 
-fn expr_as_target(expr: &Expr) -> Option<Target> {
+pub(crate) fn expr_as_target(expr: &Expr) -> Option<Target> {
     match expr {
         Expr::Var(name) => Some(Target::Var(name.clone())),
         Expr::Index(base, index) => Some(Target::Index((**base).clone(), (**index).clone())),
@@ -502,7 +570,7 @@ fn expr_as_target(expr: &Expr) -> Option<Target> {
     }
 }
 
-fn load_index(base: &Value, index: &Value) -> Result<Value, RuntimeError> {
+pub(crate) fn load_index(base: &Value, index: &Value) -> Result<Value, RuntimeError> {
     match base {
         Value::List(items) | Value::Tuple(items) => {
             let idx = index
@@ -533,14 +601,19 @@ fn load_index(base: &Value, index: &Value) -> Result<Value, RuntimeError> {
     }
 }
 
-fn store_index(base: &mut Value, index: &Value, value: Value) -> Result<(), RuntimeError> {
+pub(crate) fn store_index(
+    base: &mut Value,
+    index: &Value,
+    value: Value,
+) -> Result<(), RuntimeError> {
     match base {
         Value::List(items) => {
             let idx = index
                 .as_int()
                 .ok_or_else(|| RuntimeError::Type("list indices must be integers".to_string()))?;
-            let pos = normalise_index(idx, items.len())
-                .ok_or_else(|| RuntimeError::Index("list assignment index out of range".to_string()))?;
+            let pos = normalise_index(idx, items.len()).ok_or_else(|| {
+                RuntimeError::Index("list assignment index out of range".to_string())
+            })?;
             items[pos] = value;
             Ok(())
         }
@@ -565,25 +638,35 @@ fn store_index(base: &mut Value, index: &Value, value: Value) -> Result<(), Runt
     }
 }
 
-fn slice_value(base: &Value, lower: Option<&Value>, upper: Option<&Value>) -> Result<Value, RuntimeError> {
-    fn bounds(len: usize, lower: Option<&Value>, upper: Option<&Value>) -> Result<(usize, usize), RuntimeError> {
+pub(crate) fn slice_value(
+    base: &Value,
+    lower: Option<&Value>,
+    upper: Option<&Value>,
+) -> Result<Value, RuntimeError> {
+    fn bounds(
+        len: usize,
+        lower: Option<&Value>,
+        upper: Option<&Value>,
+    ) -> Result<(usize, usize), RuntimeError> {
         let len = len as i64;
         let clamp = |v: i64| -> i64 {
             let adjusted = if v < 0 { v + len } else { v };
             adjusted.clamp(0, len)
         };
-        let lo = match lower {
-            Some(v) => clamp(v.as_int().ok_or_else(|| {
-                RuntimeError::Type("slice indices must be integers".to_string())
-            })?),
-            None => 0,
-        };
-        let hi = match upper {
-            Some(v) => clamp(v.as_int().ok_or_else(|| {
-                RuntimeError::Type("slice indices must be integers".to_string())
-            })?),
-            None => len,
-        };
+        let lo =
+            match lower {
+                Some(v) => clamp(v.as_int().ok_or_else(|| {
+                    RuntimeError::Type("slice indices must be integers".to_string())
+                })?),
+                None => 0,
+            };
+        let hi =
+            match upper {
+                Some(v) => clamp(v.as_int().ok_or_else(|| {
+                    RuntimeError::Type("slice indices must be integers".to_string())
+                })?),
+                None => len,
+            };
         Ok((lo as usize, (hi.max(lo)) as usize))
     }
     match base {
@@ -604,6 +687,20 @@ fn slice_value(base: &Value, lower: Option<&Value>, upper: Option<&Value>) -> Re
             "'{}' object cannot be sliced",
             other.type_name()
         ))),
+    }
+}
+
+/// Evaluates a unary operator with Python semantics.
+pub fn unary_op(op: UnaryOp, v: &Value) -> Result<Value, RuntimeError> {
+    match op {
+        UnaryOp::Neg => match v.as_int() {
+            Some(i) => Ok(Value::Int(i.checked_neg().ok_or(RuntimeError::Overflow)?)),
+            None => Err(RuntimeError::Type(format!(
+                "bad operand type for unary -: '{}'",
+                v.type_name()
+            ))),
+        },
+        UnaryOp::Not => Ok(Value::Bool(!v.is_truthy())),
     }
 }
 
@@ -663,7 +760,11 @@ pub fn binary_op(op: BinOp, left: &Value, right: &Value) -> Result<Value, Runtim
             (Some(a), Some(b)) => {
                 // Python floor division rounds toward negative infinity.
                 let q = a / b;
-                let q = if a % b != 0 && (a < 0) != (b < 0) { q - 1 } else { q };
+                let q = if a % b != 0 && (a < 0) != (b < 0) {
+                    q - 1
+                } else {
+                    q
+                };
                 Ok(Int(q))
             }
             _ => Err(type_error()),
@@ -673,7 +774,11 @@ pub fn binary_op(op: BinOp, left: &Value, right: &Value) -> Result<Value, Runtim
             (Some(a), Some(b)) => {
                 // Python's % takes the sign of the divisor.
                 let r = a % b;
-                let r = if r != 0 && (r < 0) != (b < 0) { r + b } else { r };
+                let r = if r != 0 && (r < 0) != (b < 0) {
+                    r + b
+                } else {
+                    r
+                };
                 Ok(Int(r))
             }
             _ => Err(type_error()),
@@ -721,7 +826,11 @@ pub fn compare_op(op: CmpOp, left: &Value, right: &Value) -> Result<Value, Runti
                     )))
                 }
             };
-            Ok(Value::Bool(if op == CmpOp::In { contained } else { !contained }))
+            Ok(Value::Bool(if op == CmpOp::In {
+                contained
+            } else {
+                !contained
+            }))
         }
         _ => {
             let ordering = left.py_cmp(right).ok_or_else(|| {
@@ -809,7 +918,10 @@ def recurPower(base, exp):
         let out = run(source, "recurPower", &[Value::Int(3), Value::Int(4)]).unwrap();
         assert_eq!(out.value, Value::Int(81));
         let err = run(source, "recurPower", &[Value::Int(3), Value::Int(-1)]).unwrap_err();
-        assert!(matches!(err, RuntimeError::RecursionLimit | RuntimeError::FuelExhausted));
+        assert!(matches!(
+            err,
+            RuntimeError::RecursionLimit | RuntimeError::FuelExhausted
+        ));
     }
 
     #[test]
@@ -821,7 +933,8 @@ def spin(n):
     return n
 ";
         let program = parse_program(source).unwrap();
-        let err = run_function(&program, Some("spin"), &[Value::Int(0)], ExecLimits::fast()).unwrap_err();
+        let err =
+            run_function(&program, Some("spin"), &[Value::Int(0)], ExecLimits::fast()).unwrap_err();
         assert_eq!(err, RuntimeError::FuelExhausted);
     }
 
@@ -865,13 +978,18 @@ def f(x):
 def f(x):
     return x + undefined_variable
 ";
-        assert_eq!(run(source, "f", &[Value::Int(1)]).unwrap_err().kind(), "NameError");
+        assert_eq!(
+            run(source, "f", &[Value::Int(1)]).unwrap_err().kind(),
+            "NameError"
+        );
         let source = "\
 def f(xs):
     return xs[10]
 ";
         assert_eq!(
-            run(source, "f", &[Value::int_list([1, 2])]).unwrap_err().kind(),
+            run(source, "f", &[Value::int_list([1, 2])])
+                .unwrap_err()
+                .kind(),
             "IndexError"
         );
     }
@@ -885,10 +1003,22 @@ def f(xs):
 
     #[test]
     fn arithmetic_semantics_match_python() {
-        assert_eq!(binary_op(BinOp::Div, &Value::Int(7), &Value::Int(2)).unwrap(), Value::Int(3));
-        assert_eq!(binary_op(BinOp::Div, &Value::Int(-7), &Value::Int(2)).unwrap(), Value::Int(-4));
-        assert_eq!(binary_op(BinOp::Mod, &Value::Int(-7), &Value::Int(3)).unwrap(), Value::Int(2));
-        assert_eq!(binary_op(BinOp::Pow, &Value::Int(2), &Value::Int(10)).unwrap(), Value::Int(1024));
+        assert_eq!(
+            binary_op(BinOp::Div, &Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            binary_op(BinOp::Div, &Value::Int(-7), &Value::Int(2)).unwrap(),
+            Value::Int(-4)
+        );
+        assert_eq!(
+            binary_op(BinOp::Mod, &Value::Int(-7), &Value::Int(3)).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            binary_op(BinOp::Pow, &Value::Int(2), &Value::Int(10)).unwrap(),
+            Value::Int(1024)
+        );
         assert_eq!(
             binary_op(BinOp::Add, &Value::int_list([1]), &Value::int_list([2])).unwrap(),
             Value::int_list([1, 2])
@@ -907,7 +1037,12 @@ def f(xs):
     #[test]
     fn comparison_semantics() {
         assert_eq!(
-            compare_op(CmpOp::In, &Value::Str("a".into()), &Value::Str("cat".into())).unwrap(),
+            compare_op(
+                CmpOp::In,
+                &Value::Str("a".into()),
+                &Value::Str("cat".into())
+            )
+            .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
@@ -963,8 +1098,14 @@ def f(x):
     y = 1 if x > 0 else -1
     return y * x or 99
 ";
-        assert_eq!(run(source, "f", &[Value::Int(5)]).unwrap().value, Value::Int(5));
-        assert_eq!(run(source, "f", &[Value::Int(0)]).unwrap().value, Value::Int(99));
+        assert_eq!(
+            run(source, "f", &[Value::Int(5)]).unwrap().value,
+            Value::Int(5)
+        );
+        assert_eq!(
+            run(source, "f", &[Value::Int(0)]).unwrap().value,
+            Value::Int(99)
+        );
     }
 
     #[test]
@@ -975,7 +1116,13 @@ def f(k):
     d[3] = 'three'
     return d[k]
 ";
-        assert_eq!(run(source, "f", &[Value::Int(3)]).unwrap().value, Value::Str("three".into()));
-        assert_eq!(run(source, "f", &[Value::Int(9)]).unwrap_err().kind(), "KeyError");
+        assert_eq!(
+            run(source, "f", &[Value::Int(3)]).unwrap().value,
+            Value::Str("three".into())
+        );
+        assert_eq!(
+            run(source, "f", &[Value::Int(9)]).unwrap_err().kind(),
+            "KeyError"
+        );
     }
 }

@@ -29,13 +29,17 @@
 //! ```
 
 pub mod builtins;
+pub mod choice_eval;
 pub mod equiv;
 pub mod error;
 pub mod inputs;
 pub mod interp;
 pub mod value;
 
-pub use equiv::{classify, EquivalenceConfig, EquivalenceOracle, ExecResult, Verdict};
+pub use choice_eval::ChoiceEvaluator;
+pub use equiv::{
+    classify, ChoiceSession, EquivalenceConfig, EquivalenceOracle, ExecResult, Verdict,
+};
 pub use error::RuntimeError;
 pub use inputs::InputSpace;
 pub use interp::{run_function, ExecLimits, Interpreter, Outcome};

@@ -78,9 +78,8 @@ impl Value {
             }
             (Value::Dict(a), Value::Dict(b)) => {
                 a.len() == b.len()
-                    && a.iter().all(|(k, v)| {
-                        b.iter().any(|(k2, v2)| k.py_eq(k2) && v.py_eq(v2))
-                    })
+                    && a.iter()
+                        .all(|(k, v)| b.iter().any(|(k2, v2)| k.py_eq(k2) && v.py_eq(v2)))
             }
             (Value::None, Value::None) => true,
             _ => false,

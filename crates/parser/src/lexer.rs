@@ -165,11 +165,19 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
             let current = *indent_stack.last().expect("indent stack is never empty");
             if indent > current {
                 indent_stack.push(indent);
-                tokens.push(Token { line: line_no, col: 1, kind: TokenKind::Indent });
+                tokens.push(Token {
+                    line: line_no,
+                    col: 1,
+                    kind: TokenKind::Indent,
+                });
             } else if indent < current {
                 while *indent_stack.last().expect("indent stack is never empty") > indent {
                     indent_stack.pop();
-                    tokens.push(Token { line: line_no, col: 1, kind: TokenKind::Dedent });
+                    tokens.push(Token {
+                        line: line_no,
+                        col: 1,
+                        kind: TokenKind::Dedent,
+                    });
                 }
                 if *indent_stack.last().expect("indent stack is never empty") != indent {
                     return Err(ParseError::new(
@@ -181,10 +189,20 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
             }
         }
 
-        lex_line(content, line_no, content_start as u32 + 1, &mut tokens, &mut bracket_depth)?;
+        lex_line(
+            content,
+            line_no,
+            content_start as u32 + 1,
+            &mut tokens,
+            &mut bracket_depth,
+        )?;
 
         if bracket_depth == 0 {
-            tokens.push(Token { line: line_no, col: line.len() as u32 + 1, kind: TokenKind::Newline });
+            tokens.push(Token {
+                line: line_no,
+                col: line.len() as u32 + 1,
+                kind: TokenKind::Newline,
+            });
         }
     }
 
@@ -198,9 +216,17 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
     let last_line = source.lines().count().max(1) as u32;
     while indent_stack.len() > 1 {
         indent_stack.pop();
-        tokens.push(Token { line: last_line, col: 1, kind: TokenKind::Dedent });
+        tokens.push(Token {
+            line: last_line,
+            col: 1,
+            kind: TokenKind::Dedent,
+        });
     }
-    tokens.push(Token { line: last_line, col: 1, kind: TokenKind::Eof });
+    tokens.push(Token {
+        line: last_line,
+        col: 1,
+        kind: TokenKind::Eof,
+    });
     Ok(tokens)
 }
 
@@ -227,14 +253,26 @@ fn lex_line(
                     i += 1;
                 }
                 // Reject float literals explicitly: MPY is integer-only.
-                if i < bytes.len() && bytes[i] == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
-                    return Err(ParseError::new(line, col, "floating point literals are not supported in MPY"));
+                if i < bytes.len()
+                    && bytes[i] == '.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
+                {
+                    return Err(ParseError::new(
+                        line,
+                        col,
+                        "floating point literals are not supported in MPY",
+                    ));
                 }
                 let text: String = bytes[start..i].iter().collect();
                 let value: i64 = text
                     .parse()
                     .map_err(|_| ParseError::new(line, col, "integer literal out of range"))?;
-                tokens.push(Token { line, col, kind: TokenKind::Int(value) });
+                tokens.push(Token {
+                    line,
+                    col,
+                    kind: TokenKind::Int(value),
+                });
             }
             '\'' | '"' => {
                 let quote = ch;
@@ -267,7 +305,11 @@ fn lex_line(
                 if !closed {
                     return Err(ParseError::new(line, col, "unterminated string literal"));
                 }
-                tokens.push(Token { line, col, kind: TokenKind::Str(value) });
+                tokens.push(Token {
+                    line,
+                    col,
+                    kind: TokenKind::Str(value),
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -282,8 +324,9 @@ fn lex_line(
                 tokens.push(Token { line, col, kind });
             }
             _ => {
-                let (op, advance) = lex_operator(&bytes, i)
-                    .ok_or_else(|| ParseError::new(line, col, format!("unexpected character '{ch}'")))?;
+                let (op, advance) = lex_operator(&bytes, i).ok_or_else(|| {
+                    ParseError::new(line, col, format!("unexpected character '{ch}'"))
+                })?;
                 match op {
                     Op::LParen | Op::LBracket | Op::LBrace => *bracket_depth += 1,
                     Op::RParen | Op::RBracket | Op::RBrace => {
@@ -291,7 +334,11 @@ fn lex_line(
                     }
                     _ => {}
                 }
-                tokens.push(Token { line, col, kind: TokenKind::Op(op) });
+                tokens.push(Token {
+                    line,
+                    col,
+                    kind: TokenKind::Op(op),
+                });
                 i += advance;
             }
         }
@@ -353,7 +400,11 @@ mod tests {
     use super::*;
 
     fn kinds(source: &str) -> Vec<TokenKind> {
-        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(source)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -393,7 +444,12 @@ mod tests {
     #[test]
     fn skips_comments_and_blank_lines() {
         let toks = kinds("# a comment\n\nx = 1  # trailing\n");
-        assert_eq!(toks.iter().filter(|t| matches!(t, TokenKind::Newline)).count(), 1);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t, TokenKind::Newline))
+                .count(),
+            1
+        );
         assert!(toks.contains(&TokenKind::Int(1)));
     }
 
@@ -418,7 +474,12 @@ mod tests {
     fn implicit_line_joining_inside_brackets() {
         let toks = kinds("x = [1,\n     2,\n     3]\n");
         // Only one logical line.
-        assert_eq!(toks.iter().filter(|t| matches!(t, TokenKind::Newline)).count(), 1);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t, TokenKind::Newline))
+                .count(),
+            1
+        );
         assert!(!toks.contains(&TokenKind::Indent));
     }
 

@@ -59,13 +59,21 @@ pub struct ParseError {
 impl ParseError {
     /// Creates a new parse error.
     pub fn new(line: u32, col: u32, message: impl Into<String>) -> ParseError {
-        ParseError { line, col, message: message.into() }
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "syntax error at line {}, column {}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "syntax error at line {}, column {}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -102,7 +110,10 @@ mod tests {
     #[test]
     fn parse_error_displays_position() {
         let err = ParseError::new(3, 7, "unexpected token");
-        assert_eq!(err.to_string(), "syntax error at line 3, column 7: unexpected token");
+        assert_eq!(
+            err.to_string(),
+            "syntax error at line 3, column 7: unexpected token"
+        );
     }
 
     #[test]

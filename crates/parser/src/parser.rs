@@ -52,7 +52,11 @@ impl Parser {
         self.skip_newlines();
         if !self.check_kind(&TokenKind::Eof) {
             let tok = self.peek();
-            return Err(ParseError::new(tok.line, tok.col, "unexpected trailing input after expression"));
+            return Err(ParseError::new(
+                tok.line,
+                tok.col,
+                "unexpected trailing input after expression",
+            ));
         }
         Ok(expr)
     }
@@ -114,7 +118,11 @@ impl Parser {
             Ok(self.advance())
         } else {
             let tok = self.peek();
-            Err(ParseError::new(tok.line, tok.col, format!("expected {what}")))
+            Err(ParseError::new(
+                tok.line,
+                tok.col,
+                format!("expected {what}"),
+            ))
         }
     }
 
@@ -147,7 +155,13 @@ impl Parser {
         let def_tok = self.advance(); // 'def'
         let name = match self.advance().kind {
             TokenKind::Name(n) => n,
-            _ => return Err(ParseError::new(def_tok.line, def_tok.col, "expected function name after 'def'")),
+            _ => {
+                return Err(ParseError::new(
+                    def_tok.line,
+                    def_tok.col,
+                    "expected function name after 'def'",
+                ))
+            }
         };
         self.expect_op(Op::LParen, "'(' after function name")?;
         let mut params = Vec::new();
@@ -156,7 +170,13 @@ impl Parser {
                 let tok = self.advance();
                 let pname = match tok.kind {
                     TokenKind::Name(n) => n,
-                    _ => return Err(ParseError::new(tok.line, tok.col, "expected parameter name")),
+                    _ => {
+                        return Err(ParseError::new(
+                            tok.line,
+                            tok.col,
+                            "expected parameter name",
+                        ))
+                    }
                 };
                 let (_, ty) = MpyType::parse_suffix(&pname);
                 params.push(Param::new(pname, ty.unwrap_or(MpyType::Dynamic)));
@@ -167,7 +187,12 @@ impl Parser {
         }
         self.expect_op(Op::RParen, "')' after parameters")?;
         let body = self.parse_block()?;
-        Ok(FuncDef { name, params, body, line: def_tok.line })
+        Ok(FuncDef {
+            name,
+            params,
+            body,
+            line: def_tok.line,
+        })
     }
 
     // ----- statements -----------------------------------------------------------
@@ -291,8 +316,8 @@ impl Parser {
 
     fn parse_print(&mut self, line: u32) -> Result<Stmt, ParseError> {
         self.advance(); // 'print'
-        // Python-3 style `print(a, b)` and Python-2 style `print a, b` are
-        // both accepted; a bare `print` prints an empty line.
+                        // Python-3 style `print(a, b)` and Python-2 style `print a, b` are
+                        // both accepted; a bare `print` prints an empty line.
         if self.check_kind(&TokenKind::Newline) || self.check_kind(&TokenKind::Eof) {
             return Ok(Stmt::new(line, StmtKind::Print(vec![])));
         }
@@ -344,7 +369,13 @@ impl Parser {
         let tok = self.advance();
         let var = match tok.kind {
             TokenKind::Name(n) => n,
-            _ => return Err(ParseError::new(tok.line, tok.col, "expected loop variable after 'for'")),
+            _ => {
+                return Err(ParseError::new(
+                    tok.line,
+                    tok.col,
+                    "expected loop variable after 'for'",
+                ))
+            }
         };
         if !self.eat_keyword(Keyword::In) {
             return Err(self.error_here("expected 'in' in for statement"));
@@ -391,7 +422,11 @@ impl Parser {
                 return Err(self.error_here("expected 'else' in conditional expression"));
             }
             let orelse = self.parse_expr()?;
-            return Ok(Expr::IfExpr(Box::new(body), Box::new(cond), Box::new(orelse)));
+            return Ok(Expr::IfExpr(
+                Box::new(body),
+                Box::new(cond),
+                Box::new(orelse),
+            ));
         }
         Ok(body)
     }
@@ -455,7 +490,11 @@ impl Parser {
             let Some(op) = op else { break };
             self.advance();
             let right = self.parse_arith()?;
-            comparisons.push(Expr::Compare(op, Box::new(prev.clone()), Box::new(right.clone())));
+            comparisons.push(Expr::Compare(
+                op,
+                Box::new(prev.clone()),
+                Box::new(right.clone()),
+            ));
             prev = right;
         }
         match comparisons.len() {
@@ -555,7 +594,13 @@ impl Parser {
                 let tok = self.advance();
                 let method = match tok.kind {
                     TokenKind::Name(n) => n,
-                    _ => return Err(ParseError::new(tok.line, tok.col, "expected method name after '.'")),
+                    _ => {
+                        return Err(ParseError::new(
+                            tok.line,
+                            tok.col,
+                            "expected method name after '.'",
+                        ))
+                    }
                 };
                 self.expect_op(Op::LParen, "'(' after method name")?;
                 let args = self.parse_call_args()?;
@@ -596,7 +641,11 @@ impl Parser {
                 Some(self.parse_expr()?)
             };
             self.expect_op(Op::RBracket, "']' to close slice")?;
-            return Ok(Expr::Slice(Box::new(base), lower.map(Box::new), upper.map(Box::new)));
+            return Ok(Expr::Slice(
+                Box::new(base),
+                lower.map(Box::new),
+                upper.map(Box::new),
+            ));
         }
         self.expect_op(Op::RBracket, "']' to close index")?;
         let index = lower.ok_or_else(|| self.error_here("empty subscript"))?;
@@ -669,7 +718,11 @@ impl Parser {
                 self.expect_op(Op::RBrace, "'}' to close dictionary")?;
                 Ok(Expr::Dict(items))
             }
-            other => Err(ParseError::new(tok.line, tok.col, format!("unexpected token {other:?}"))),
+            other => Err(ParseError::new(
+                tok.line,
+                tok.col,
+                format!("unexpected token {other:?}"),
+            )),
         }
     }
 }
@@ -829,17 +882,35 @@ def f(x):
 
     #[test]
     fn parses_slices_and_negative_indices() {
-        assert_eq!(pretty::expr_to_string(&parse_expr("xs[1:]").unwrap()), "xs[1:]");
-        assert_eq!(pretty::expr_to_string(&parse_expr("xs[:n]").unwrap()), "xs[:n]");
-        assert_eq!(pretty::expr_to_string(&parse_expr("xs[1:n]").unwrap()), "xs[1:n]");
-        assert_eq!(pretty::expr_to_string(&parse_expr("xs[:]").unwrap()), "xs[:]");
-        assert_eq!(pretty::expr_to_string(&parse_expr("xs[-1]").unwrap()), "xs[-1]");
+        assert_eq!(
+            pretty::expr_to_string(&parse_expr("xs[1:]").unwrap()),
+            "xs[1:]"
+        );
+        assert_eq!(
+            pretty::expr_to_string(&parse_expr("xs[:n]").unwrap()),
+            "xs[:n]"
+        );
+        assert_eq!(
+            pretty::expr_to_string(&parse_expr("xs[1:n]").unwrap()),
+            "xs[1:n]"
+        );
+        assert_eq!(
+            pretty::expr_to_string(&parse_expr("xs[:]").unwrap()),
+            "xs[:]"
+        );
+        assert_eq!(
+            pretty::expr_to_string(&parse_expr("xs[-1]").unwrap()),
+            "xs[-1]"
+        );
     }
 
     #[test]
     fn negative_literals_fold() {
         assert_eq!(parse_expr("-3").unwrap(), Expr::Int(-3));
-        assert!(matches!(parse_expr("-x").unwrap(), Expr::UnaryOp(UnaryOp::Neg, _)));
+        assert!(matches!(
+            parse_expr("-x").unwrap(),
+            Expr::UnaryOp(UnaryOp::Neg, _)
+        ));
     }
 
     #[test]
@@ -853,9 +924,18 @@ def f(x):
 ";
         let program = parse_program(source).unwrap();
         let body = &program.funcs[0].body;
-        assert!(matches!(&body[0].kind, StmtKind::Assign(Target::Tuple(_), Expr::Tuple(_))));
-        assert!(matches!(&body[1].kind, StmtKind::AugAssign(Target::Var(_), BinOp::Add, _)));
-        assert!(matches!(&body[2].kind, StmtKind::Assign(Target::Index(_, _), _)));
+        assert!(matches!(
+            &body[0].kind,
+            StmtKind::Assign(Target::Tuple(_), Expr::Tuple(_))
+        ));
+        assert!(matches!(
+            &body[1].kind,
+            StmtKind::AugAssign(Target::Var(_), BinOp::Add, _)
+        ));
+        assert!(matches!(
+            &body[2].kind,
+            StmtKind::Assign(Target::Index(_, _), _)
+        ));
     }
 
     #[test]
@@ -893,11 +973,16 @@ def f(x):
 
     #[test]
     fn rejects_constructs_outside_mpy() {
-        assert!(parse_program("class Foo:\n    pass\n").is_err() || parse_program("class Foo:\n    pass\n").is_ok());
+        assert!(
+            parse_program("class Foo:\n    pass\n").is_err()
+                || parse_program("class Foo:\n    pass\n").is_ok()
+        );
         // `class` lexes as a name, so it fails at the parser level as a
         // malformed expression statement.
         assert!(parse_program("def f(x):\n    lambda y: y\n").is_err());
-        assert!(parse_program("def f(x):\n    def g(y):\n        return y\n    return g\n").is_err());
+        assert!(
+            parse_program("def f(x):\n    def g(y):\n        return y\n    return g\n").is_err()
+        );
     }
 
     #[test]

@@ -42,16 +42,16 @@ pub fn add_at_most(solver: &mut Solver, lits: &[Lit], bound: usize) -> bool {
     if !solver.add_implication(lits[0], registers[0][0]) {
         return false;
     }
-    for j in 1..bound {
-        if !solver.add_clause(&[registers[0][j].negated()]) {
+    for &register in registers[0].iter().skip(1) {
+        if !solver.add_clause(&[register.negated()]) {
             return false;
         }
     }
 
     for i in 1..n {
         // Count carries over: r[i-1][j] → r[i][j].
-        for j in 0..bound {
-            if !solver.add_implication(registers[i - 1][j], registers[i][j]) {
+        for (&prev, &cur) in registers[i - 1].iter().zip(&registers[i]) {
+            if !solver.add_implication(prev, cur) {
                 return false;
             }
         }

@@ -34,7 +34,29 @@ pub use solver::{SatResult, Solver};
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// Minimal seeded SplitMix64 so the random-CNF sweep needs no external
+    /// dependency and stays reproducible.
+    ///
+    /// Intentionally duplicates `afg_corpus::rng::StdRng`: depending on
+    /// afg-corpus here would create a dev-dependency cycle (afg-corpus →
+    /// afg-core → afg-synth → afg-sat), and the biased `% bound` sampling
+    /// below is fine for test bounds ≤ 64 (bias < 2⁻⁵⁸).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, bound: u64) -> u64 {
+            self.next() % bound
+        }
+    }
 
     /// Brute-force satisfiability of a CNF over `n` variables.
     fn brute_force_sat(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
@@ -50,27 +72,36 @@ mod proptests {
         false
     }
 
-    fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
-        prop::collection::vec((0..num_vars, any::<bool>()), 1..=3)
-    }
+    /// The CDCL solver agrees with brute force on random small CNFs, and
+    /// when it reports SAT its model really satisfies every clause.
+    #[test]
+    fn solver_agrees_with_brute_force() {
+        let num_vars = 6usize;
+        for seed in 0..128u64 {
+            let mut rng = Rng(seed);
+            let num_clauses = 1 + rng.below(23) as usize;
+            let clauses: Vec<Vec<(usize, bool)>> = (0..num_clauses)
+                .map(|_| {
+                    let len = 1 + rng.below(3) as usize;
+                    (0..len)
+                        .map(|_| (rng.below(num_vars as u64) as usize, rng.below(2) == 1))
+                        .collect()
+                })
+                .collect();
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        /// The CDCL solver agrees with brute force on random small CNFs, and
-        /// when it reports SAT its model really satisfies every clause.
-        #[test]
-        fn solver_agrees_with_brute_force(
-            clauses in prop::collection::vec(clause_strategy(6), 1..24)
-        ) {
-            let num_vars = 6usize;
             let mut solver = Solver::new();
             let vars = solver.new_vars(num_vars);
             let mut trivially_unsat = false;
             for clause in &clauses {
                 let lits: Vec<Lit> = clause
                     .iter()
-                    .map(|&(v, positive)| if positive { vars[v].positive() } else { vars[v].negative() })
+                    .map(|&(v, positive)| {
+                        if positive {
+                            vars[v].positive()
+                        } else {
+                            vars[v].negative()
+                        }
+                    })
                     .collect();
                 if !solver.add_clause(&lits) {
                     trivially_unsat = true;
@@ -78,36 +109,56 @@ mod proptests {
             }
             let expected = brute_force_sat(num_vars, &clauses);
             if trivially_unsat {
-                prop_assert!(!expected);
-                return Ok(());
+                assert!(!expected, "seed {seed}");
+                continue;
             }
             match solver.solve() {
                 SatResult::Sat(model) => {
-                    prop_assert!(expected, "solver said SAT but brute force says UNSAT");
+                    assert!(
+                        expected,
+                        "seed {seed}: solver said SAT but brute force says UNSAT"
+                    );
                     for clause in &clauses {
-                        prop_assert!(clause.iter().any(|&(v, positive)| model.value(vars[v]) == positive));
+                        assert!(
+                            clause
+                                .iter()
+                                .any(|&(v, positive)| model.value(vars[v]) == positive),
+                            "seed {seed}: model violates clause {clause:?}"
+                        );
                     }
                 }
-                SatResult::Unsat => prop_assert!(!expected, "solver said UNSAT but brute force says SAT"),
+                SatResult::Unsat => {
+                    assert!(
+                        !expected,
+                        "seed {seed}: solver said UNSAT but brute force says SAT"
+                    );
+                }
             }
         }
+    }
 
-        /// The at-most-k encoding never admits a model with more than k true
-        /// literals, and is satisfiable whenever k > 0.
-        #[test]
-        fn cardinality_encoding_is_sound(k in 0usize..5, n in 1usize..6) {
-            let mut solver = Solver::new();
-            let vars = solver.new_vars(n);
-            let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
-            prop_assert!(add_at_most(&mut solver, &lits, k));
-            match solver.solve() {
-                SatResult::Sat(model) => {
-                    let count = vars.iter().filter(|v| model.value(**v)).count();
-                    prop_assert!(count <= k);
-                }
-                SatResult::Unsat => {
-                    // With no other constraints the all-false assignment always works.
-                    prop_assert!(false, "at-most-{k} over {n} free literals must be satisfiable");
+    /// The at-most-k encoding never admits a model with more than k true
+    /// literals, and is satisfiable whenever the literals are free.
+    #[test]
+    fn cardinality_encoding_is_sound() {
+        for k in 0usize..5 {
+            for n in 1usize..6 {
+                let mut solver = Solver::new();
+                let vars = solver.new_vars(n);
+                let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+                assert!(add_at_most(&mut solver, &lits, k));
+                match solver.solve() {
+                    SatResult::Sat(model) => {
+                        let count = vars.iter().filter(|v| model.value(**v)).count();
+                        assert!(
+                            count <= k,
+                            "at-most-{k} over {n} admitted {count} true literals"
+                        );
+                    }
+                    SatResult::Unsat => {
+                        // With no other constraints the all-false assignment always works.
+                        panic!("at-most-{k} over {n} free literals must be satisfiable");
+                    }
                 }
             }
         }

@@ -130,7 +130,9 @@ mod tests {
 
     #[test]
     fn model_lookup() {
-        let model = Model { values: vec![true, false] };
+        let model = Model {
+            values: vec![true, false],
+        };
         assert!(model.value(Var(0)));
         assert!(!model.value(Var(1)));
         assert!(model.lit_is_true(Var(0).positive()));

@@ -78,7 +78,11 @@ pub struct Solver {
 impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Solver {
-        Solver { var_inc: 1.0, ok: true, ..Solver::default() }
+        Solver {
+            var_inc: 1.0,
+            ok: true,
+            ..Solver::default()
+        }
     }
 
     /// Number of variables currently allocated.
@@ -148,7 +152,10 @@ impl Solver {
         // Remove literals already false at level 0; a clause already true at
         // level 0 can be dropped.
         clause.retain(|&lit| self.lit_value(lit) != 0 || self.level[lit.var().index()] != 0);
-        if clause.iter().any(|&lit| self.lit_value(lit) == 1 && self.level[lit.var().index()] == 0) {
+        if clause
+            .iter()
+            .any(|&lit| self.lit_value(lit) == 1 && self.level[lit.var().index()] == 0)
+        {
             return true;
         }
 
@@ -232,7 +239,7 @@ impl Solver {
                     }
                     WatchOutcome::Conflict => {
                         // Put the remaining watches back before returning.
-                        self.watches[lit.index()].extend(watch_list.drain(..));
+                        self.watches[lit.index()].append(&mut watch_list);
                         return Some(clause_index);
                     }
                 }
@@ -302,7 +309,7 @@ impl Solver {
         loop {
             let clause = self.clauses[reason_clause].clone();
             // Skip the asserting literal itself when walking a reason clause.
-            let skip = lit.map(|l| l);
+            let skip = lit;
             for &q in &clause {
                 if Some(q) == skip {
                     continue;
@@ -377,7 +384,7 @@ impl Solver {
         for (index, &value) in self.assign.iter().enumerate() {
             if value == UNASSIGNED {
                 let act = self.activity[index];
-                if best.map_or(true, |(b, _)| act > b) {
+                if best.is_none_or(|(b, _)| act > b) {
                     best = Some((act, index));
                 }
             }
@@ -446,7 +453,11 @@ impl Solver {
                         self.decisions += 1;
                         self.trail_lim.push(self.trail.len());
                         let phase = self.phase[var.index()];
-                        let lit = if phase { var.positive() } else { var.negative() };
+                        let lit = if phase {
+                            var.positive()
+                        } else {
+                            var.negative()
+                        };
                         self.enqueue(lit, None);
                     }
                 }
@@ -513,7 +524,10 @@ mod tests {
         let result = s.solve();
         let model = result.model().expect("satisfiable");
         for c in &clauses {
-            assert!(c.iter().any(|&l| model.lit_is_true(l)), "clause {c:?} unsatisfied");
+            assert!(
+                c.iter().any(|&l| model.lit_is_true(l)),
+                "clause {c:?} unsatisfied"
+            );
         }
     }
 
@@ -557,10 +571,11 @@ mod tests {
             assert!(s.add_clause(&[row[0].positive(), row[1].positive()]));
         }
         // No two pigeons share a hole.
-        for j in 0..2 {
+        #[allow(clippy::needless_range_loop)]
+        for hole in 0..2usize {
             for i in 0..3 {
                 for k in (i + 1)..3 {
-                    assert!(s.add_clause(&[p[i][j].negative(), p[k][j].negative()]));
+                    assert!(s.add_clause(&[p[i][hole].negative(), p[k][hole].negative()]));
                 }
             }
         }
@@ -585,7 +600,13 @@ mod tests {
                     assert!(count <= 8, "enumerated more models than exist");
                     let blocking: Vec<Lit> = v
                         .iter()
-                        .map(|&var| if model.value(var) { var.negative() } else { var.positive() })
+                        .map(|&var| {
+                            if model.value(var) {
+                                var.negative()
+                            } else {
+                                var.positive()
+                            }
+                        })
                         .collect();
                     s.add_clause(&blocking);
                 }

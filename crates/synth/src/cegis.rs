@@ -10,6 +10,15 @@
 //! SKETCH's symbolic one, so candidate consistency with the accumulated
 //! counterexamples is established by (cheap) interpretation and failed
 //! candidates are excluded with blocking clauses.
+//!
+//! The verification hot loop is **zero-materialisation**: candidates are
+//! evaluated through the oracle's [`afg_interp::ChoiceSession`], which walks
+//! the shared choice AST under the proposed assignment, and inputs are
+//! checked **counterexamples first** — the inputs that killed earlier
+//! candidates almost always kill the next one too, so the common case
+//! rejects a candidate after a handful of runs.  `concretize` is never
+//! called while searching (a unit test counts the calls); it remains the
+//! cold path for rendering the final repaired program.
 
 use std::time::Instant;
 
@@ -41,11 +50,14 @@ impl CegisSolver {
     ) -> SynthesisOutcome {
         let start = Instant::now();
         let mut stats = SynthesisStats::default();
+        let session = oracle.choice_session(program);
 
         // Step 0: a submission that is already equivalent needs no feedback.
-        let original = program.original_program();
+        // Even the original is checked through the choice session (with the
+        // all-default assignment) so grading materialises nothing.
+        let default_assignment = afg_eml::ChoiceAssignment::default_choices();
         stats.candidates_checked += 1;
-        let first_cex = match oracle.find_counterexample(&original) {
+        let first_cex = match session.find_counterexample(&default_assignment, &[]) {
             None => return SynthesisOutcome::AlreadyCorrect,
             Some(cex) => cex,
         };
@@ -59,12 +71,14 @@ impl CegisSolver {
         let mut counterexamples: Vec<usize> = vec![first_cex];
         stats.counterexamples = 1;
         // The original program (all-default assignment) is known bad.
-        encoding.block_assignment(&mut solver, &afg_eml::ChoiceAssignment::default_choices());
+        encoding.block_assignment(&mut solver, &default_assignment);
 
         let mut best: Option<Solution> = None;
 
         loop {
-            if start.elapsed() > config.time_budget || stats.candidates_checked > config.max_candidates {
+            if start.elapsed() > config.time_budget
+                || stats.candidates_checked > config.max_candidates
+            {
                 stats.elapsed = start.elapsed();
                 return match best {
                     Some(mut solution) => {
@@ -92,17 +106,12 @@ impl CegisSolver {
                 SatResult::Sat(model) => encoding.decode(&model),
             };
 
-            let candidate = program.concretize(&assignment);
             stats.candidates_checked += 1;
 
-            // Fast path: check the accumulated counterexamples first.
-            if !oracle.agrees_on(&candidate, &counterexamples) {
-                encoding.block_assignment(&mut solver, &assignment);
-                continue;
-            }
-
-            // Verification phase: bounded-exhaustive equivalence check.
-            match oracle.find_counterexample(&candidate) {
+            // Verification phase: bounded-exhaustive equivalence check over
+            // the shared choice AST, accumulated counterexamples first — the
+            // fast-rejection path and the full sweep in one ordered pass.
+            match session.find_counterexample(&assignment, &counterexamples) {
                 Some(cex) => {
                     if !counterexamples.contains(&cex) {
                         counterexamples.push(cex);
@@ -114,7 +123,7 @@ impl CegisSolver {
                     // Verification succeeded: record the solution and tighten
                     // the cost bound (CEGISMIN line 13: minHole < minHoleVal).
                     let cost = assignment.cost();
-                    let improved = best.as_ref().map_or(true, |b| cost < b.cost);
+                    let improved = best.as_ref().is_none_or(|b| cost < b.cost);
                     if improved {
                         best = Some(Solution {
                             assignment: assignment.clone(),
@@ -164,7 +173,10 @@ def computeDeriv(poly_list_int):
         let reference = parse_program(REFERENCE).unwrap();
         EquivalenceOracle::from_reference(
             &reference,
-            EquivalenceConfig { entry: Some("computeDeriv".into()), ..EquivalenceConfig::default() },
+            EquivalenceConfig {
+                entry: Some("computeDeriv".into()),
+                ..EquivalenceConfig::default()
+            },
         )
     }
 
@@ -174,7 +186,12 @@ def computeDeriv(poly_list_int):
             "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    out = []\n    for i in range(1, len(poly)):\n        out.append(i * poly[i])\n    return out\n",
         )
         .unwrap();
-        let cp = apply_error_model(&student, Some("computeDeriv"), &library::compute_deriv_model()).unwrap();
+        let cp = apply_error_model(
+            &student,
+            Some("computeDeriv"),
+            &library::compute_deriv_model(),
+        )
+        .unwrap();
         let outcome = CegisSolver::new().synthesize(&cp, &oracle(), &SynthesisConfig::fast());
         assert_eq!(outcome, SynthesisOutcome::AlreadyCorrect);
     }
@@ -187,13 +204,64 @@ def computeDeriv(poly_list_int):
             "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    out = []\n    for i in range(0, len(poly)):\n        out.append(i * poly[i])\n    return out\n",
         )
         .unwrap();
-        let cp = apply_error_model(&student, Some("computeDeriv"), &library::compute_deriv_model()).unwrap();
+        let cp = apply_error_model(
+            &student,
+            Some("computeDeriv"),
+            &library::compute_deriv_model(),
+        )
+        .unwrap();
         let outcome = CegisSolver::new().synthesize(&cp, &oracle(), &SynthesisConfig::fast());
         let solution = outcome.solution().expect("should be fixable");
-        assert_eq!(solution.cost, 1, "minimal repair should be a single correction");
+        assert_eq!(
+            solution.cost, 1,
+            "minimal repair should be a single correction"
+        );
         // The repaired program really is equivalent.
         let repaired = cp.concretize(&solution.assignment);
         assert!(oracle().is_equivalent(&repaired));
+    }
+
+    #[test]
+    fn synthesis_materialises_zero_candidate_programs() {
+        // The acceptance criterion of the zero-materialisation refactor: a
+        // full CEGISMIN search — original check, counterexample filtering,
+        // bounded-exhaustive verification, minimisation — performs no
+        // `concretize` call at all.  (The counter is thread-local, so other
+        // tests running concurrently cannot disturb it.)
+        let student = parse_program(
+            "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    out = []\n    for i in range(0, len(poly)):\n        out.append(i * poly[i])\n    return out\n",
+        )
+        .unwrap();
+        let cp = apply_error_model(
+            &student,
+            Some("computeDeriv"),
+            &library::compute_deriv_model(),
+        )
+        .unwrap();
+        let oracle = oracle();
+        let config = SynthesisConfig::fast();
+
+        let before = afg_eml::instrument::concretize_calls();
+        let outcome = CegisSolver::new().synthesize(&cp, &oracle, &config);
+        let after = afg_eml::instrument::concretize_calls();
+        assert!(outcome.solution().is_some(), "the submission is fixable");
+        assert_eq!(
+            after - before,
+            0,
+            "CEGIS checked {} candidates but must concretize none of them",
+            outcome.solution().unwrap().stats.candidates_checked
+        );
+
+        // The enumerative back end honours the same contract.
+        let before = afg_eml::instrument::concretize_calls();
+        let outcome = crate::enumerate::EnumerativeSolver::new().synthesize(&cp, &oracle, &config);
+        let after = afg_eml::instrument::concretize_calls();
+        assert!(outcome.solution().is_some());
+        assert_eq!(
+            after - before,
+            0,
+            "enumeration must not concretize candidates"
+        );
     }
 
     #[test]

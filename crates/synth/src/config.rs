@@ -90,7 +90,10 @@ impl SynthesisOutcome {
     /// Whether feedback can be generated from this outcome (the submission
     /// was either already correct or fixable).
     pub fn is_success(&self) -> bool {
-        matches!(self, SynthesisOutcome::AlreadyCorrect | SynthesisOutcome::Fixed(_))
+        matches!(
+            self,
+            SynthesisOutcome::AlreadyCorrect | SynthesisOutcome::Fixed(_)
+        )
     }
 }
 
@@ -101,7 +104,10 @@ mod tests {
     #[test]
     fn default_config_is_reasonable() {
         let config = SynthesisConfig::default();
-        assert!(config.max_cost >= 3, "the paper needs up to 4 coordinated corrections");
+        assert!(
+            config.max_cost >= 3,
+            "the paper needs up to 4 coordinated corrections"
+        );
         assert!(config.time_budget > Duration::from_secs(1));
         assert!(SynthesisConfig::fast().max_candidates < config.max_candidates);
     }
@@ -117,6 +123,9 @@ mod tests {
             cost: 0,
             stats: SynthesisStats::default(),
         };
-        assert_eq!(SynthesisOutcome::Fixed(solution.clone()).solution(), Some(&solution));
+        assert_eq!(
+            SynthesisOutcome::Fixed(solution.clone()).solution(),
+            Some(&solution)
+        );
     }
 }

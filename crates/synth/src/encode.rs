@@ -97,12 +97,17 @@ impl ChoiceEncoding {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use afg_eml::{ChoiceInfo, CFuncDef};
+    use afg_eml::{CFuncDef, ChoiceInfo};
     use afg_sat::SatResult;
 
     fn toy_program(option_counts: &[usize]) -> ChoiceProgram {
         ChoiceProgram {
-            func: CFuncDef { name: "f".into(), params: vec![], body: vec![], line: 1 },
+            func: CFuncDef {
+                name: "f".into(),
+                params: vec![],
+                body: vec![],
+                line: 1,
+            },
             other_funcs: vec![],
             choices: option_counts
                 .iter()
@@ -135,7 +140,7 @@ mod tests {
         let encoding = ChoiceEncoding::new(&mut solver, &program);
         // Force some selection at site 0 to make the model interesting.
         let lits = encoding.all_selector_lits();
-        solver.add_clause(&lits[0..3].to_vec());
+        solver.add_clause(&lits[0..3]);
         match solver.solve() {
             SatResult::Sat(model) => {
                 let assignment = encoding.decode(&model);
@@ -172,7 +177,10 @@ mod tests {
                 SatResult::Unsat => break,
                 SatResult::Sat(model) => {
                     let assignment = encoding.decode(&model);
-                    assert!(!seen.contains(&assignment), "assignment repeated: {assignment:?}");
+                    assert!(
+                        !seen.contains(&assignment),
+                        "assignment repeated: {assignment:?}"
+                    );
                     seen.push(assignment.clone());
                     assert!(seen.len() <= 4);
                     encoding.block_assignment(&mut solver, &assignment);

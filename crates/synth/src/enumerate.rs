@@ -34,10 +34,11 @@ impl EnumerativeSolver {
     ) -> SynthesisOutcome {
         let start = Instant::now();
         let mut stats = SynthesisStats::default();
+        let session = oracle.choice_session(program);
 
-        let original = program.original_program();
         stats.candidates_checked += 1;
-        let first_cex = match oracle.find_counterexample(&original) {
+        let first_cex = match session.find_counterexample(&ChoiceAssignment::default_choices(), &[])
+        {
             None => return SynthesisOutcome::AlreadyCorrect,
             Some(cex) => cex,
         };
@@ -68,25 +69,24 @@ impl EnumerativeSolver {
                     for (slot, &site_index) in combination.iter().enumerate() {
                         assignment.select(sites[site_index].0, selection[slot]);
                     }
-                    let candidate = program.concretize(&assignment);
                     stats.candidates_checked += 1;
                     stats.cegis_iterations += 1;
 
-                    if oracle.agrees_on(&candidate, &counterexamples) {
-                        match oracle.find_counterexample(&candidate) {
-                            None => {
-                                stats.elapsed = start.elapsed();
-                                return SynthesisOutcome::Fixed(Solution {
-                                    assignment,
-                                    cost,
-                                    stats,
-                                });
-                            }
-                            Some(cex) => {
-                                if !counterexamples.contains(&cex) {
-                                    counterexamples.push(cex);
-                                    stats.counterexamples += 1;
-                                }
+                    // Zero-materialisation check: accumulated counterexamples
+                    // first, then the rest of the bounded space.
+                    match session.find_counterexample(&assignment, &counterexamples) {
+                        None => {
+                            stats.elapsed = start.elapsed();
+                            return SynthesisOutcome::Fixed(Solution {
+                                assignment,
+                                cost,
+                                stats,
+                            });
+                        }
+                        Some(cex) => {
+                            if !counterexamples.contains(&cex) {
+                                counterexamples.push(cex);
+                                stats.counterexamples += 1;
                             }
                         }
                     }
@@ -160,8 +160,8 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 6); // C(4, 2)
-        assert!(!next_combination(&mut vec![], 3));
-        assert!(!next_combination(&mut vec![0, 1, 2, 3], 3));
+        assert!(!next_combination(&mut [], 3));
+        assert!(!next_combination(&mut [0, 1, 2, 3], 3));
     }
 
     const REFERENCE: &str = "\
@@ -176,7 +176,10 @@ def iterPower(base_int, exp_int):
         let reference = parse_program(REFERENCE).unwrap();
         EquivalenceOracle::from_reference(
             &reference,
-            EquivalenceConfig { entry: Some("iterPower".into()), ..EquivalenceConfig::default() },
+            EquivalenceConfig {
+                entry: Some("iterPower".into()),
+                ..EquivalenceConfig::default()
+            },
         )
     }
 
@@ -196,7 +199,10 @@ def iterPower(base_int, exp_int):
 
         let enum_outcome = EnumerativeSolver::new().synthesize(&cp, &oracle, &config);
         let cegis_outcome = CegisSolver::new().synthesize(&cp, &oracle, &config);
-        let enum_cost = enum_outcome.solution().expect("enumerative finds a fix").cost;
+        let enum_cost = enum_outcome
+            .solution()
+            .expect("enumerative finds a fix")
+            .cost;
         let cegis_cost = cegis_outcome.solution().expect("cegis finds a fix").cost;
         assert_eq!(enum_cost, 1);
         assert_eq!(cegis_cost, 1);
@@ -208,7 +214,12 @@ def iterPower(base_int, exp_int):
             "def iterPower(base, exp):\n    result = 1\n    for i in range(exp):\n        result = result * base\n    return result\n",
         )
         .unwrap();
-        let cp = apply_error_model(&student, Some("iterPower"), &afg_eml::ErrorModel::new("empty")).unwrap();
+        let cp = apply_error_model(
+            &student,
+            Some("iterPower"),
+            &afg_eml::ErrorModel::new("empty"),
+        )
+        .unwrap();
         let outcome = EnumerativeSolver::new().synthesize(&cp, &oracle(), &SynthesisConfig::fast());
         assert_eq!(outcome, SynthesisOutcome::AlreadyCorrect);
     }

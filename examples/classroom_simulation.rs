@@ -13,12 +13,19 @@ use autofeedback::{GradeOutcome, GraderConfig};
 fn main() {
     let problem = problems::iter_power();
     let grader = problem.autograder(GraderConfig::fast());
-    let baseline =
-        TestCaseGrader::new(problem.reference, problem.entry, problem.test_inputs.clone())
-            .expect("reference parses");
+    let baseline = TestCaseGrader::new(
+        problem.reference,
+        problem.entry,
+        problem.test_inputs.clone(),
+    )
+    .expect("reference parses");
 
     let corpus = generate_corpus(&problem, &CorpusSpec::table1_like(30, 2024));
-    println!("Generated {} submissions for {}", corpus.len(), problem.name);
+    println!(
+        "Generated {} submissions for {}",
+        corpus.len(),
+        problem.name
+    );
     println!(
         "Bounded equivalence oracle covers {} inputs; the baseline runs {} test cases.\n",
         grader.oracle().valid_input_count(),

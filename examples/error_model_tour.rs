@@ -64,11 +64,17 @@ EQF:   a0 == a1       ->  False
     let mut assignment = ChoiceAssignment::default_choices();
     for info in &choices.choices {
         if info.line == 5 && info.options.iter().any(|o| o == "[0]") {
-            assignment.select(info.id, info.options.iter().position(|o| o == "[0]").unwrap());
+            assignment.select(
+                info.id,
+                info.options.iter().position(|o| o == "[0]").unwrap(),
+            );
         }
     }
     let repaired = choices.concretize(&assignment);
     println!("\nafter selecting the RETR correction on line 5:\n");
-    println!("{}", autofeedback::ast::pretty::program_to_string(&repaired));
+    println!(
+        "{}",
+        autofeedback::ast::pretty::program_to_string(&repaired)
+    );
     Ok(())
 }

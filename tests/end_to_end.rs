@@ -79,7 +79,10 @@ fn backends_agree_and_produce_verified_repairs() {
     let reference = parse_program(problem.reference).unwrap();
     let oracle = EquivalenceOracle::from_reference(
         &reference,
-        EquivalenceConfig { entry: Some(problem.entry.to_string()), ..EquivalenceConfig::default() },
+        EquivalenceConfig {
+            entry: Some(problem.entry.to_string()),
+            ..EquivalenceConfig::default()
+        },
     );
     let student = parse_program(
         "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    d = []\n    for i in range(0, len(poly)):\n        d.append(i * poly[i])\n    return d\n",
@@ -90,12 +93,17 @@ fn backends_agree_and_produce_verified_repairs() {
     let cegis = Backend::Cegis.synthesize(&choices, &oracle, &SynthesisConfig::fast());
     let enumerative = Backend::Enumerative.synthesize(&choices, &oracle, &SynthesisConfig::fast());
     let cegis_solution = cegis.solution().expect("cegis repairs the submission");
-    let enum_solution = enumerative.solution().expect("enumeration repairs the submission");
+    let enum_solution = enumerative
+        .solution()
+        .expect("enumeration repairs the submission");
     assert_eq!(cegis_solution.cost, enum_solution.cost);
 
     for solution in [cegis_solution, enum_solution] {
         let repaired = choices.concretize(&solution.assignment);
-        assert!(oracle.is_equivalent(&repaired), "repair is not equivalent to the reference");
+        assert!(
+            oracle.is_equivalent(&repaired),
+            "repair is not equivalent to the reference"
+        );
     }
 }
 
@@ -116,7 +124,11 @@ fn synthetic_class_is_graded_with_consistent_counters() {
         match grader.grade_source(&submission.source) {
             GradeOutcome::SyntaxError(_) => {
                 syntax += 1;
-                assert_eq!(submission.origin, Origin::SyntaxError, "only corrupted sources may fail to parse");
+                assert_eq!(
+                    submission.origin,
+                    Origin::SyntaxError,
+                    "only corrupted sources may fail to parse"
+                );
             }
             GradeOutcome::Correct => correct += 1,
             GradeOutcome::Feedback(feedback) => {
@@ -127,7 +139,10 @@ fn synthetic_class_is_graded_with_consistent_counters() {
         }
     }
     assert_eq!(syntax + correct + fixed + other, 24);
-    assert!(fixed > 0, "at least one incorrect submission should be repaired");
+    assert!(
+        fixed > 0,
+        "at least one incorrect submission should be repaired"
+    );
     assert!(correct > 0);
 }
 

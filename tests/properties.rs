@@ -1,35 +1,43 @@
 //! Cross-crate property-based tests of the pipeline's core invariants.
+//!
+//! The workspace carries no external dependencies, so instead of a proptest
+//! shrinker these are exhaustive sweeps over seeded inputs — every case is
+//! deterministic and a failure message names the seed that produced it.
 
+use autofeedback::corpus::rng::StdRng;
 use autofeedback::corpus::{mutate_program, problems};
 use autofeedback::eml::{apply_error_model, ChoiceAssignment};
 use autofeedback::interp::{EquivalenceConfig, EquivalenceOracle};
 use autofeedback::parser::parse_program;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Pretty-printing any mutated benchmark solution and re-parsing it is a
-    /// fixed point: parse(print(p)) prints identically.
-    #[test]
-    fn mutated_programs_round_trip_through_the_printer(seed in 0u64..500, mutations in 1usize..4) {
-        let problem = problems::compute_deriv();
+/// Pretty-printing any mutated benchmark solution and re-parsing it is a
+/// fixed point: parse(print(p)) prints identically.
+#[test]
+fn mutated_programs_round_trip_through_the_printer() {
+    let problem = problems::compute_deriv();
+    for seed in 0..60u64 {
+        let mutations = 1 + (seed as usize % 3);
         let mut program = parse_program(problem.reference).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         mutate_program(&mut program, mutations, &mut rng);
         let printed = autofeedback::ast::pretty::program_to_string(&program);
-        let reparsed = parse_program(&printed).expect("printed program parses");
-        prop_assert_eq!(printed, autofeedback::ast::pretty::program_to_string(&reparsed));
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("seed {seed}: printed program parses: {e}\n{printed}"));
+        assert_eq!(
+            printed,
+            autofeedback::ast::pretty::program_to_string(&reparsed),
+            "seed {seed}: printer round trip"
+        );
     }
+}
 
-    /// The error-model transformation is *conservative*: with every choice at
-    /// its default, the concretised program behaves exactly like the input
-    /// program on the bounded input space.
-    #[test]
-    fn default_concretisation_preserves_behaviour(seed in 0u64..200) {
-        let problem = problems::compute_deriv();
+/// The error-model transformation is *conservative*: with every choice at
+/// its default, the concretised program behaves exactly like the input
+/// program on the bounded input space.
+#[test]
+fn default_concretisation_preserves_behaviour() {
+    let problem = problems::compute_deriv();
+    for seed in 0..24u64 {
         let mut student = parse_program(problem.reference).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         mutate_program(&mut student, 2, &mut rng);
@@ -41,30 +49,121 @@ proptest! {
         // program itself: the default concretisation must be equivalent to it.
         let oracle = EquivalenceOracle::from_reference(
             &parse_with_types(&student, problem.reference, problem.entry),
-            EquivalenceConfig { entry: Some(problem.entry.to_string()), ..EquivalenceConfig::default() },
+            EquivalenceConfig {
+                entry: Some(problem.entry.to_string()),
+                ..EquivalenceConfig::default()
+            },
         );
-        prop_assert!(oracle.is_equivalent(&roundtrip));
+        assert!(
+            oracle.is_equivalent(&roundtrip),
+            "seed {seed}: default concretisation drifted"
+        );
     }
+}
 
-    /// Cost accounting: the cost of an assignment equals the number of
-    /// non-default selections, and concretising the same assignment twice is
-    /// deterministic.
-    #[test]
-    fn assignment_cost_counts_non_default_choices(selection_bits in proptest::collection::vec(any::<bool>(), 0..12)) {
-        let problem = problems::compute_deriv();
-        let student = parse_program(problem.correct_variants[0]).unwrap();
-        let choices = apply_error_model(&student, Some(problem.entry), &problem.model).unwrap();
+/// Cost accounting: the cost of an assignment equals the number of
+/// non-default selections, and concretising the same assignment twice is
+/// deterministic.
+#[test]
+fn assignment_cost_counts_non_default_choices() {
+    let problem = problems::compute_deriv();
+    let student = parse_program(problem.correct_variants[0]).unwrap();
+    let choices = apply_error_model(&student, Some(problem.entry), &problem.model).unwrap();
 
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut assignment = ChoiceAssignment::default_choices();
         let mut expected_cost = 0;
-        for (info, &flip) in choices.choices.iter().zip(selection_bits.iter()) {
-            if flip && info.options.len() > 1 {
+        for info in &choices.choices {
+            if rng.gen_bool(0.5) && info.options.len() > 1 {
                 assignment.select(info.id, 1);
                 expected_cost += 1;
             }
         }
-        prop_assert_eq!(assignment.cost(), expected_cost);
-        prop_assert_eq!(choices.concretize(&assignment), choices.concretize(&assignment));
+        assert_eq!(assignment.cost(), expected_cost, "seed {seed}");
+        assert_eq!(
+            choices.concretize(&assignment),
+            choices.concretize(&assignment),
+            "seed {seed}: concretisation must be deterministic"
+        );
+    }
+}
+
+/// The zero-materialisation refactor's differential property: evaluating a
+/// candidate by walking the choice AST under an assignment agrees with
+/// concretising the assignment and interpreting the resulting program — for
+/// every benchmark problem, across default, single-choice and random
+/// multi-choice assignments, on the oracle's bounded inputs.
+#[test]
+fn choice_evaluation_agrees_with_concretisation_on_corpus_problems() {
+    use autofeedback::core::GraderConfig;
+    use autofeedback::interp::{ChoiceEvaluator, ExecLimits};
+
+    let limits = ExecLimits::fast();
+    for problem in problems::all_problems() {
+        let grader = problem.autograder(GraderConfig::fast());
+        let inputs = grader.oracle().inputs();
+        for variant in problem.correct_variants.iter().take(2) {
+            let student = parse_program(variant).expect("corpus variants parse");
+            let Ok(choices) = apply_error_model(&student, Some(problem.entry), &problem.model)
+            else {
+                continue;
+            };
+
+            // Default, every single non-default selection, plus seeded
+            // random multi-choice assignments.
+            let mut assignments = vec![ChoiceAssignment::default_choices()];
+            for info in &choices.choices {
+                for option in 1..info.options.len() {
+                    assignments.push(ChoiceAssignment::from_pairs([(info.id, option)]));
+                }
+            }
+            let mut rng = StdRng::seed_from_u64(problem.id.len() as u64);
+            for _ in 0..8 {
+                let mut assignment = ChoiceAssignment::default_choices();
+                for info in &choices.choices {
+                    if info.options.len() > 1 && rng.gen_bool(0.3) {
+                        assignment.select(info.id, rng.gen_range(1..info.options.len()));
+                    }
+                }
+                assignments.push(assignment);
+            }
+
+            let evaluator = ChoiceEvaluator::new(&choices, limits);
+            for (which, assignment) in assignments.iter().enumerate().take(24) {
+                let concrete = choices.concretize(assignment);
+                // Sample the bounded input space: small spaces are swept
+                // exhaustively, large ones by stride, touching short and
+                // long inputs alike.
+                let stride = (inputs.len() / 64).max(1);
+                for args in inputs.iter().step_by(stride) {
+                    let direct = evaluator.run(assignment, args);
+                    let materialised = autofeedback::interp::run_function(
+                        &concrete,
+                        Some(problem.entry),
+                        args,
+                        limits,
+                    );
+                    match (&direct, &materialised) {
+                        (Ok(a), Ok(b)) => assert_eq!(
+                            a, b,
+                            "{}: assignment #{which} diverged on {args:?}",
+                            problem.id
+                        ),
+                        (Err(a), Err(b)) => assert_eq!(
+                            a.kind(),
+                            b.kind(),
+                            "{}: assignment #{which} error kinds diverged on {args:?}",
+                            problem.id
+                        ),
+                        _ => panic!(
+                            "{}: assignment #{which} diverged on {args:?}: {direct:?} vs {materialised:?}",
+                            problem.id
+                        ),
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -81,8 +180,10 @@ fn parse_with_types(
     if let (Some(student_func), Some(reference_func)) =
         (student.funcs.first_mut(), reference.entry(Some(entry)))
     {
-        for (param, reference_param) in
-            student_func.params.iter_mut().zip(reference_func.params.iter())
+        for (param, reference_param) in student_func
+            .params
+            .iter_mut()
+            .zip(reference_func.params.iter())
         {
             param.ty = reference_param.ty.clone();
         }
