@@ -1,0 +1,319 @@
+//! Canonical forms and submission fingerprints.
+//!
+//! A real class produces thousands of submissions, and a large share of them
+//! are the *same program* up to variable names and formatting — students
+//! copy skeleton code, follow the same tutorial, or resubmit with cosmetic
+//! edits.  The fingerprint cache in `afg-core` exploits this: instead of
+//! re-running CEGIS on a submission it has effectively seen before, it keys
+//! cached grading results on the submission's **canonical form**:
+//!
+//! * every variable (parameters, assignment targets, loop variables and
+//!   references) is alpha-renamed to `v0, v1, …` in first-occurrence order,
+//!   per function scope;
+//! * the program is re-rendered by the pretty-printer, which normalizes
+//!   whitespace, parenthesisation and line layout;
+//! * the instructor-declared parameter types are appended (they are carried
+//!   by name *suffixes*, which renaming would otherwise erase).
+//!
+//! Function, method and builtin names are **not** renamed — calls live in a
+//! separate namespace in MPY, and the grading pipeline looks the entry
+//! function up by name.
+//!
+//! Two programs with equal canonical source are alpha-equivalent: they
+//! evaluate identically on every input and the error-model transformation
+//! produces structurally isomorphic choice programs for them (rule matching
+//! is structural, and option enumeration follows first-occurrence scope
+//! order, which renaming preserves).  That isomorphism is what lets the
+//! cache *replay* a minimal repair found for one submission onto an
+//! alpha-equivalent one — see `afg-core`.
+
+use std::collections::HashMap;
+
+use crate::pretty;
+use crate::visit::map_expr;
+use crate::{Expr, FuncDef, Program, Stmt, StmtKind, Target};
+
+/// An order-preserving variable-renaming map for one function scope.
+struct Renamer {
+    names: HashMap<String, String>,
+}
+
+impl Renamer {
+    fn new() -> Renamer {
+        Renamer {
+            names: HashMap::new(),
+        }
+    }
+
+    fn rename(&mut self, name: &str) -> String {
+        if let Some(renamed) = self.names.get(name) {
+            return renamed.clone();
+        }
+        let fresh = format!("v{}", self.names.len());
+        self.names.insert(name.to_string(), fresh.clone());
+        fresh
+    }
+}
+
+/// Returns the alpha-renamed canonical program.
+///
+/// Statement line numbers are preserved (they do not participate in the
+/// canonical *source*, which is produced by the pretty-printer and carries
+/// no line information).
+pub fn canonicalize(program: &Program) -> Program {
+    let mut canonical = Program::new();
+    for func in &program.funcs {
+        canonical.funcs.push(canonicalize_func(func));
+    }
+    let mut renamer = Renamer::new();
+    canonical.top_level = program
+        .top_level
+        .iter()
+        .map(|stmt| rename_stmt(stmt, &mut renamer))
+        .collect();
+    canonical
+}
+
+fn canonicalize_func(func: &FuncDef) -> FuncDef {
+    let mut renamer = Renamer::new();
+    let params = func
+        .params
+        .iter()
+        .map(|p| crate::Param {
+            name: renamer.rename(&p.name),
+            ty: p.ty.clone(),
+        })
+        .collect();
+    let body = func
+        .body
+        .iter()
+        .map(|stmt| rename_stmt(stmt, &mut renamer))
+        .collect();
+    FuncDef {
+        name: func.name.clone(),
+        params,
+        body,
+        line: func.line,
+    }
+}
+
+fn rename_stmt(stmt: &Stmt, renamer: &mut Renamer) -> Stmt {
+    let kind = match &stmt.kind {
+        StmtKind::Assign(target, value) => {
+            StmtKind::Assign(rename_target(target, renamer), rename_expr(value, renamer))
+        }
+        StmtKind::AugAssign(target, op, value) => StmtKind::AugAssign(
+            rename_target(target, renamer),
+            *op,
+            rename_expr(value, renamer),
+        ),
+        StmtKind::ExprStmt(expr) => StmtKind::ExprStmt(rename_expr(expr, renamer)),
+        StmtKind::If(cond, then_body, else_body) => StmtKind::If(
+            rename_expr(cond, renamer),
+            rename_block(then_body, renamer),
+            rename_block(else_body, renamer),
+        ),
+        StmtKind::While(cond, body) => {
+            StmtKind::While(rename_expr(cond, renamer), rename_block(body, renamer))
+        }
+        StmtKind::For(var, iter, body) => {
+            // Evaluation order: the iterable is computed before the loop
+            // variable is bound, so it is renamed first — this keeps the
+            // numbering consistent with first *runtime* occurrence.
+            let iter = rename_expr(iter, renamer);
+            let var = renamer.rename(var);
+            StmtKind::For(var, iter, rename_block(body, renamer))
+        }
+        StmtKind::Return(expr) => StmtKind::Return(expr.as_ref().map(|e| rename_expr(e, renamer))),
+        StmtKind::Print(args) => {
+            StmtKind::Print(args.iter().map(|e| rename_expr(e, renamer)).collect())
+        }
+        StmtKind::Pass => StmtKind::Pass,
+        StmtKind::Break => StmtKind::Break,
+        StmtKind::Continue => StmtKind::Continue,
+    };
+    Stmt {
+        line: stmt.line,
+        kind,
+    }
+}
+
+fn rename_block(body: &[Stmt], renamer: &mut Renamer) -> Vec<Stmt> {
+    body.iter().map(|s| rename_stmt(s, renamer)).collect()
+}
+
+fn rename_target(target: &Target, renamer: &mut Renamer) -> Target {
+    match target {
+        Target::Var(name) => Target::Var(renamer.rename(name)),
+        Target::Index(base, index) => {
+            Target::Index(rename_expr(base, renamer), rename_expr(index, renamer))
+        }
+        Target::Tuple(items) => {
+            Target::Tuple(items.iter().map(|t| rename_target(t, renamer)).collect())
+        }
+    }
+}
+
+fn rename_expr(expr: &Expr, renamer: &mut Renamer) -> Expr {
+    // `map_expr` rebuilds bottom-up but MPY expressions contain no binders,
+    // so the rename map is insensitive to the rewrite order within one
+    // expression only when names were already assigned; to number names by
+    // first occurrence in *reading* order we pre-walk the tree.
+    assign_names(expr, renamer);
+    map_expr(expr, &mut |e| match &e {
+        Expr::Var(name) => Expr::Var(renamer.rename(name)),
+        _ => e,
+    })
+}
+
+fn assign_names(expr: &Expr, renamer: &mut Renamer) {
+    if let Expr::Var(name) = expr {
+        renamer.rename(name);
+    }
+    for child in crate::visit::expr_children(expr) {
+        assign_names(child, renamer);
+    }
+}
+
+/// The canonical source of a program: the pretty-printed alpha-renamed
+/// program followed by the declared parameter types of every function.
+///
+/// Equal canonical source ⟺ alpha-equivalent programs with identical
+/// declared types — the exactness the fingerprint cache keys on.
+pub fn canonical_source(program: &Program) -> String {
+    let canonical = canonicalize(program);
+    let mut out = pretty::program_to_string(&canonical);
+    for func in &canonical.funcs {
+        if func.params.is_empty() {
+            continue;
+        }
+        out.push_str("# types ");
+        out.push_str(&func.name);
+        out.push(':');
+        for param in &func.params {
+            out.push(' ');
+            out.push_str(&param.ty.to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A 64-bit FNV-1a fingerprint of [`canonical_source`].
+///
+/// FNV-1a is used instead of `DefaultHasher` because its output is stable
+/// across Rust releases — fingerprints can be logged, compared across
+/// processes and stored beyond one run.  Collisions are possible in
+/// principle; the cache stores the full canonical source alongside and
+/// compares it on lookup, so a collision costs a cache miss, never a wrong
+/// grade.
+pub fn fingerprint64(program: &Program) -> u64 {
+    fnv1a64(canonical_source(program).as_bytes())
+}
+
+/// The FNV-1a hash of a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MpyType;
+
+    fn sample(name_a: &str, name_b: &str) -> Program {
+        // def f(A):
+        //     B = A + 1
+        //     return B
+        let mut program = Program::new();
+        program.funcs.push(FuncDef {
+            name: "f".into(),
+            params: vec![crate::Param::new(name_a, MpyType::Int)],
+            body: vec![
+                Stmt::new(
+                    2,
+                    StmtKind::Assign(
+                        Target::Var(name_b.into()),
+                        Expr::binop(crate::ops::BinOp::Add, Expr::var(name_a), Expr::Int(1)),
+                    ),
+                ),
+                Stmt::new(3, StmtKind::Return(Some(Expr::var(name_b)))),
+            ],
+            line: 1,
+        });
+        program
+    }
+
+    #[test]
+    fn alpha_equivalent_programs_share_a_fingerprint() {
+        let a = sample("x", "y");
+        let b = sample("count", "total");
+        assert_eq!(canonical_source(&a), canonical_source(&b));
+        assert_eq!(fingerprint64(&a), fingerprint64(&b));
+    }
+
+    #[test]
+    fn different_structure_changes_the_fingerprint() {
+        let a = sample("x", "y");
+        let mut c = sample("x", "y");
+        c.funcs[0].body.pop();
+        assert_ne!(fingerprint64(&a), fingerprint64(&c));
+    }
+
+    #[test]
+    fn declared_types_are_part_of_the_fingerprint() {
+        let a = sample("x", "y");
+        let mut b = sample("x", "y");
+        b.funcs[0].params[0].ty = MpyType::list_int();
+        assert_ne!(fingerprint64(&a), fingerprint64(&b));
+        assert!(canonical_source(&a).contains("# types f: int"));
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let program = sample("alpha", "beta");
+        let once = canonicalize(&program);
+        let twice = canonicalize(&once);
+        assert_eq!(
+            pretty::program_to_string(&once),
+            pretty::program_to_string(&twice)
+        );
+    }
+
+    #[test]
+    fn variables_number_in_first_occurrence_order() {
+        let canonical = canonicalize(&sample("arg", "tmp"));
+        let rendered = pretty::program_to_string(&canonical);
+        assert_eq!(rendered, "def f(v0):\n    v1 = v0 + 1\n    return v1\n\n");
+    }
+
+    #[test]
+    fn swapping_preexisting_v_names_is_still_a_bijection() {
+        // A program that already uses canonical-looking names in a
+        // different order must not collide with its own canonical form.
+        let a = sample("v1", "v0");
+        let rendered = pretty::program_to_string(&canonicalize(&a));
+        assert_eq!(rendered, "def f(v0):\n    v1 = v0 + 1\n    return v1\n\n");
+        assert_eq!(fingerprint64(&a), fingerprint64(&sample("x", "y")));
+    }
+
+    #[test]
+    fn function_names_are_preserved() {
+        let mut program = sample("x", "y");
+        program.funcs[0].name = "computeDeriv".into();
+        let canonical = canonicalize(&program);
+        assert_eq!(canonical.funcs[0].name, "computeDeriv");
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Known FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

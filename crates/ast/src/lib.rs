@@ -17,7 +17,9 @@
 //!   used both by tests (round-tripping) and by the feedback generator
 //!   (reporting "the problematic expression in the line"),
 //! * [`visit`] — traversal, size and variable-collection helpers used by the
-//!   error-model transformation.
+//!   error-model transformation,
+//! * [`canon`] — alpha-renamed canonical forms and the 64-bit submission
+//!   fingerprints behind `afg-core`'s grading cache.
 //!
 //! # Example
 //!
@@ -30,6 +32,7 @@
 //! assert_eq!(afg_ast::visit::expr_size(&e), 3);
 //! ```
 
+pub mod canon;
 pub mod ops;
 pub mod pretty;
 pub mod types;

@@ -1,0 +1,364 @@
+//! `loadgen` — drives the grading daemon over real TCP and measures it.
+//!
+//! ```text
+//! cargo run --release -p afg-bench --bin loadgen -- \
+//!     [--problem ID] [--attempts N] [--requests N] [--connections N] \
+//!     [--seed S] [--addr HOST:PORT] [--no-cache]
+//! ```
+//!
+//! The driver generates a seeded submission corpus for one benchmark
+//! problem, builds a **Zipf-skewed** request schedule over it (real
+//! classroom traffic is dominated by a few canonical solutions and
+//! canonical mistakes), and replays that schedule against the daemon from
+//! `--connections` concurrent keep-alive TCP connections — twice: once
+//! against a cache-enabled registration and once against a `--no-cache`
+//! one — reporting throughput, p50/p99 latency and the speedup.
+//!
+//! Every response is checked against a serial, library-path grading of the
+//! same submission with the same budget: the run fails (exit 1) unless all
+//! responses are **byte-identical** to the library feedback.
+//!
+//! Without `--addr` the daemon is booted in-process on an ephemeral port —
+//! the traffic still crosses real TCP sockets.  With `--addr` an external
+//! daemon is driven instead (it must allow registration).
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use afg_bench::{percentile, zipf_schedule};
+use afg_core::{Autograder, FeedbackLevel, GradeOutcome, GraderConfig};
+use afg_corpus::{generate_corpus, problems, CorpusSpec};
+use afg_json::Json;
+use afg_service::client::Client;
+use afg_service::{ServerHandle, ServiceConfig};
+
+struct Options {
+    problem: String,
+    attempts: usize,
+    requests: usize,
+    connections: usize,
+    seed: u64,
+    addr: Option<String>,
+    no_cache: bool,
+}
+
+fn usage() -> String {
+    "usage: loadgen [--problem ID] [--attempts N] [--requests N] [--connections N]\n\
+     \x20              [--seed S] [--addr HOST:PORT] [--no-cache]\n\
+     \n\
+     --problem ID      benchmark problem to grade (default compDeriv)\n\
+     --attempts N      distinct submissions in the corpus (default 48)\n\
+     --requests N      total grade requests per run (default 400)\n\
+     --connections N   concurrent keep-alive TCP connections (default 8)\n\
+     --seed S          corpus + schedule RNG seed (default 20130616)\n\
+     --addr HOST:PORT  drive an external daemon instead of booting one\n\
+     --no-cache        only run the cache-disabled mode"
+        .to_string()
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        problem: "compDeriv".to_string(),
+        attempts: 48,
+        requests: 400,
+        connections: 8,
+        seed: 20130616,
+        addr: None,
+        no_cache: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    let exit_usage = |message: &str| -> ! {
+        eprintln!("{message}\n\n{}", usage());
+        std::process::exit(2)
+    };
+    let number = |flag: &str, value: Option<&String>| -> u64 {
+        match value.and_then(|v| v.parse().ok()) {
+            Some(n) => n,
+            None => exit_usage(&format!("option '{flag}' expects a non-negative integer")),
+        }
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--problem" => match iter.next() {
+                Some(id) => options.problem = id.clone(),
+                None => exit_usage("option '--problem' requires a value"),
+            },
+            "--attempts" => options.attempts = number(arg, iter.next()).max(1) as usize,
+            "--requests" => options.requests = number(arg, iter.next()).max(1) as usize,
+            "--connections" => options.connections = number(arg, iter.next()).max(1) as usize,
+            "--seed" => options.seed = number(arg, iter.next()),
+            "--addr" => match iter.next() {
+                Some(addr) => options.addr = Some(addr.clone()),
+                None => exit_usage("option '--addr' requires a value"),
+            },
+            "--no-cache" => options.no_cache = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => exit_usage(&format!("unknown option '{other}'")),
+        }
+    }
+    options
+}
+
+/// The deterministic (candidate-bounded) search budget used on both the
+/// library path and the daemon registrations, so byte-identity holds
+/// regardless of machine load.  Small enough that the worst pathological
+/// submission grades in a couple of seconds on one core — loadgen measures
+/// the *service*, not the synthesizer's deep tail.
+fn budget() -> GraderConfig {
+    GraderConfig {
+        synthesis: afg_synth::SynthesisConfig {
+            max_cost: 2,
+            max_candidates: 300,
+            time_budget: Duration::from_secs(600),
+        },
+        ..GraderConfig::fast()
+    }
+}
+
+/// What the library path says a submission grades to: the `"outcome"` tag
+/// and, for feedback, the fully rendered text.
+fn expected_of(grader: &Autograder, source: &str) -> (String, Option<String>) {
+    match grader.grade_source(source) {
+        GradeOutcome::SyntaxError(_) => ("syntax_error".into(), None),
+        GradeOutcome::Correct => ("correct".into(), None),
+        GradeOutcome::Feedback(feedback) => (
+            "feedback".into(),
+            Some(feedback.render(FeedbackLevel::full())),
+        ),
+        GradeOutcome::CannotFix => ("cannot_fix".into(), None),
+        GradeOutcome::Timeout => ("timeout".into(), None),
+    }
+}
+
+struct RunResult {
+    wall: Duration,
+    latencies: Vec<Duration>,
+    mismatches: usize,
+}
+
+/// Replays `schedule` (indices into `sources`) against one registered
+/// problem from `connections` concurrent keep-alive connections.
+fn run_phase(
+    addr: SocketAddr,
+    problem_id: &str,
+    sources: &[String],
+    expected: &HashMap<&str, (String, Option<String>)>,
+    schedule: &[usize],
+    connections: usize,
+) -> RunResult {
+    let path = format!("/problems/{problem_id}/grade");
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<(Vec<Duration>, usize)> = Mutex::new((Vec::new(), 0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..connections {
+            scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("connect to daemon");
+                let mut latencies = Vec::new();
+                let mut mismatches = 0usize;
+                loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= schedule.len() {
+                        break;
+                    }
+                    let source = sources[schedule[slot]].as_str();
+                    let body = Json::object([("source", Json::str(source))]);
+                    let sent = Instant::now();
+                    let (status, response) = client.post(&path, &body).expect("grade request");
+                    latencies.push(sent.elapsed());
+                    if status != 200 || !matches_expected(&response, &expected[source]) {
+                        mismatches += 1;
+                    }
+                }
+                let mut guard = collected.lock().expect("result lock");
+                guard.0.extend(latencies);
+                guard.1 += mismatches;
+            });
+        }
+    });
+    let wall = start.elapsed();
+    let (latencies, mismatches) = collected.into_inner().expect("result lock");
+    RunResult {
+        wall,
+        latencies,
+        mismatches,
+    }
+}
+
+fn matches_expected(response: &Json, expected: &(String, Option<String>)) -> bool {
+    if response.get("outcome").and_then(Json::as_str) != Some(expected.0.as_str()) {
+        return false;
+    }
+    let rendered = response
+        .get("feedback")
+        .and_then(|f| f.get("rendered"))
+        .and_then(Json::as_str);
+    rendered == expected.1.as_deref()
+}
+
+fn report(label: &str, result: &RunResult, requests: usize) -> f64 {
+    let mut sorted = result.latencies.clone();
+    sorted.sort_unstable();
+    let throughput = requests as f64 / result.wall.as_secs_f64();
+    println!(
+        "{label:<9} {requests:>6} requests in {:>7.2}s  {throughput:>8.1} req/s  \
+         p50 {:>7.2}ms  p99 {:>7.2}ms  mismatches {}",
+        result.wall.as_secs_f64(),
+        percentile(&sorted, 50).as_secs_f64() * 1e3,
+        percentile(&sorted, 99).as_secs_f64() * 1e3,
+        result.mismatches,
+    );
+    throughput
+}
+
+fn main() {
+    let options = parse_options();
+    let Some(problem) = problems::problem(&options.problem) else {
+        eprintln!("unknown problem '{}'", options.problem);
+        std::process::exit(2);
+    };
+
+    // Seeded corpus and Zipf-skewed schedule over it.
+    let spec = CorpusSpec::table1_like(options.attempts, options.seed);
+    let corpus = generate_corpus(&problem, &spec);
+    let sources: Vec<String> = corpus.into_iter().map(|s| s.source).collect();
+    let schedule = zipf_schedule(sources.len(), options.requests, options.seed ^ 0x5ca1e);
+    let distinct_graded: std::collections::HashSet<usize> = schedule.iter().copied().collect();
+
+    // Library-path ground truth, graded serially with the same budget.
+    let grader = problem.autograder(budget());
+    println!(
+        "loadgen: problem {} — {} distinct submissions ({} reached by the schedule), \
+         {} requests, {} connections, seed {}",
+        problem.id,
+        sources.len(),
+        distinct_graded.len(),
+        options.requests,
+        options.connections,
+        options.seed
+    );
+    println!("grading the corpus once through the library path (ground truth)...");
+    let expected: HashMap<&str, (String, Option<String>)> = sources
+        .iter()
+        .map(|source| (source.as_str(), expected_of(&grader, source)))
+        .collect();
+
+    // A daemon to drive: external via --addr, or booted in-process (the
+    // worker pool must at least match the connection count, since each
+    // worker owns one keep-alive connection at a time).
+    let mut booted: Option<ServerHandle> = None;
+    let addr: SocketAddr = match &options.addr {
+        Some(addr) => {
+            use std::net::ToSocketAddrs;
+            match addr.to_socket_addrs().ok().and_then(|mut it| it.next()) {
+                Some(resolved) => resolved,
+                None => {
+                    eprintln!("bad --addr '{addr}' (expected HOST:PORT)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => {
+            let handle = afg_service::start(ServiceConfig {
+                threads: options.connections.max(4),
+                ..ServiceConfig::default()
+            })
+            .expect("boot the daemon");
+            let addr = handle.addr();
+            booted = Some(handle);
+            addr
+        }
+    };
+
+    // Register the problem twice: with and without the fingerprint cache.
+    // Admin calls use one-shot connections — a held keep-alive connection
+    // would idle out server-side during a long measurement phase.
+    let register = |id: &str, cache: bool| {
+        let body = Json::object([
+            ("problem", Json::str(problem.id)),
+            ("id", Json::str(id)),
+            ("cache", Json::Bool(cache)),
+            ("max_cost", Json::Int(2)),
+            ("max_candidates", Json::Int(300)),
+            ("time_budget_ms", Json::Int(600_000)),
+        ]);
+        let (status, response) =
+            afg_service::client::post(addr, "/problems", &body).expect("register problem");
+        assert_eq!(status, 201, "registration failed: {response}");
+    };
+
+    let nocache_id = format!("{}-nocache", problem.id);
+    register(&nocache_id, false);
+    let uncached = run_phase(
+        addr,
+        &nocache_id,
+        &sources,
+        &expected,
+        &schedule,
+        options.connections,
+    );
+    println!();
+    let uncached_throughput = report("no-cache", &uncached, options.requests);
+
+    if !options.no_cache {
+        let cached_id = format!("{}-cached", problem.id);
+        register(&cached_id, true);
+        let cached = run_phase(
+            addr,
+            &cached_id,
+            &sources,
+            &expected,
+            &schedule,
+            options.connections,
+        );
+        let cached_throughput = report("cached", &cached, options.requests);
+        let speedup = cached_throughput / uncached_throughput;
+
+        // Surface the daemon's own cache counters.
+        let (_, stats) = afg_service::client::get(addr, "/stats").expect("stats");
+        if let Some(problems) = stats.get("problems").and_then(Json::as_array) {
+            for entry in problems {
+                if entry.get("id").and_then(Json::as_str) == Some(cached_id.as_str()) {
+                    if let Some(cache) = entry.get("cache").filter(|c| !c.is_null()) {
+                        println!(
+                            "cache: {} hits, {} misses ({:.0}% hit rate), {} entries",
+                            cache.get("hits").and_then(Json::as_i64).unwrap_or(0),
+                            cache.get("misses").and_then(Json::as_i64).unwrap_or(0),
+                            cache.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0) * 100.0,
+                            cache.get("entries").and_then(Json::as_i64).unwrap_or(0),
+                        );
+                    }
+                }
+            }
+        }
+        if cached.mismatches == 0 && uncached.mismatches == 0 {
+            println!(
+                "feedback byte-identical to serial library grading across all {} responses",
+                2 * options.requests
+            );
+        }
+        let total_mismatches = cached.mismatches + uncached.mismatches;
+        println!("speedup: cache-enabled throughput is {speedup:.2}x the --no-cache run");
+        if total_mismatches > 0 {
+            eprintln!("FAILED: {total_mismatches} responses diverged from the library path");
+            std::process::exit(1);
+        }
+    } else if uncached.mismatches > 0 {
+        eprintln!(
+            "FAILED: {} responses diverged from the library path",
+            uncached.mismatches
+        );
+        std::process::exit(1);
+    }
+
+    if let Some(handle) = booted {
+        handle.shutdown();
+    }
+}

@@ -3,8 +3,12 @@
 //! generated feedback, and average/median grading time.
 //!
 //! ```text
-//! cargo run --release -p afg-bench --bin table1 -- [--attempts N] [--seed S] [--workers N]
+//! cargo run --release -p afg-bench --bin table1 -- [--attempts N] [--seed S] [--workers N] [--json]
 //! ```
+//!
+//! With `--json` the table is emitted as a single JSON document (via
+//! `afg-json`) so CI and scripts can consume the results without scraping
+//! the human-formatted text.
 //!
 //! The corpora are synthetic (see DESIGN.md); absolute counts therefore
 //! differ from the paper, but the shape — a majority of incorrect attempts
@@ -17,6 +21,7 @@
 
 use afg_bench::{run_problem_on, CliOptions, Table1Row};
 use afg_corpus::{problems, CorpusSpec};
+use afg_json::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,14 +29,17 @@ fn main() {
     let engine = options.engine();
     let (attempts, seed) = (options.attempts, options.seed);
 
-    println!("Table 1: attempts corrected and grading time per benchmark");
-    println!(
-        "(synthetic corpus: {attempts} attempts per benchmark, seed {seed}, {} workers)",
-        engine.workers()
-    );
-    println!();
-    println!("{}", Table1Row::header());
+    if !options.json {
+        println!("Table 1: attempts corrected and grading time per benchmark");
+        println!(
+            "(synthetic corpus: {attempts} attempts per benchmark, seed {seed}, {} workers)",
+            engine.workers()
+        );
+        println!();
+        println!("{}", Table1Row::header());
+    }
 
+    let mut rows = Vec::new();
     let mut total_incorrect = 0usize;
     let mut total_fixed = 0usize;
     for problem in problems::all_problems() {
@@ -43,18 +51,42 @@ fn main() {
             afg_bench::experiment_config(),
             &engine,
         );
-        println!("{}", row.format_row());
+        if !options.json {
+            println!("{}", row.format_row());
+        }
         total_incorrect += row.incorrect;
         total_fixed += row.generated_feedback;
+        rows.push(row);
     }
 
-    println!();
     let overall = if total_incorrect == 0 {
         0.0
     } else {
         100.0 * total_fixed as f64 / total_incorrect as f64
     };
-    println!(
-        "Overall: {total_fixed}/{total_incorrect} incorrect attempts repaired ({overall:.1}%); the paper reports 64%."
-    );
+
+    if options.json {
+        // Machine-readable mode for CI and scripts: one JSON document on
+        // stdout, nothing else.
+        let doc = Json::object([
+            ("attempts", attempts.to_json()),
+            ("seed", seed.to_json()),
+            ("workers", engine.workers().to_json()),
+            ("rows", rows.to_json()),
+            (
+                "overall",
+                Json::object([
+                    ("incorrect", total_incorrect.to_json()),
+                    ("generated_feedback", total_fixed.to_json()),
+                    ("feedback_percent", overall.to_json()),
+                ]),
+            ),
+        ]);
+        println!("{doc}");
+    } else {
+        println!();
+        println!(
+            "Overall: {total_fixed}/{total_incorrect} incorrect attempts repaired ({overall:.1}%); the paper reports 64%."
+        );
+    }
 }

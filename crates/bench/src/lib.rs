@@ -133,6 +133,60 @@ impl Table1Row {
     }
 }
 
+impl afg_json::ToJson for Table1Row {
+    fn to_json(&self) -> afg_json::Json {
+        use afg_json::Json;
+        Json::object([
+            ("name", Json::str(&self.name)),
+            ("median_loc", self.median_loc.to_json()),
+            ("total_attempts", self.total_attempts.to_json()),
+            ("syntax_errors", self.syntax_errors.to_json()),
+            ("test_set", self.test_set.to_json()),
+            ("correct", self.correct.to_json()),
+            ("incorrect", self.incorrect.to_json()),
+            ("generated_feedback", self.generated_feedback.to_json()),
+            ("feedback_percent", self.feedback_percent().to_json()),
+            ("average_time_ms", self.average_time.to_json()),
+            ("median_time_ms", self.median_time.to_json()),
+        ])
+    }
+}
+
+impl afg_json::FromJson for Table1Row {
+    fn from_json(json: &afg_json::Json) -> Result<Table1Row, afg_json::JsonError> {
+        use afg_json::{Json, JsonError};
+
+        let count = |name: &str| {
+            json.get(name)
+                .and_then(Json::as_i64)
+                .and_then(|v| usize::try_from(v).ok())
+                .ok_or_else(|| JsonError::missing_field("table1 row", name))
+        };
+        let duration = |name: &str| {
+            json.get(name)
+                .and_then(Json::as_f64)
+                .map(|ms| Duration::from_secs_f64(ms.max(0.0) / 1e3))
+                .ok_or_else(|| JsonError::missing_field("table1 row", name))
+        };
+        Ok(Table1Row {
+            name: json
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| JsonError::missing_field("table1 row", "name"))?
+                .to_string(),
+            median_loc: count("median_loc")?,
+            total_attempts: count("total_attempts")?,
+            syntax_errors: count("syntax_errors")?,
+            test_set: count("test_set")?,
+            correct: count("correct")?,
+            incorrect: count("incorrect")?,
+            generated_feedback: count("generated_feedback")?,
+            average_time: duration("average_time_ms")?,
+            median_time: duration("median_time_ms")?,
+        })
+    }
+}
+
 /// The grading budget used by the experiment binaries: up to four coordinated
 /// corrections (the paper's Figure 14(a) tail) with a two-second per-submission
 /// budget.
@@ -260,6 +314,37 @@ fn aggregate(problem: &Problem, records: &[GradeRecord]) -> Table1Row {
     }
 }
 
+/// A seeded, Zipf-like request schedule over `population` items: item at
+/// rank `r` (0-based) is drawn with weight `1 / (r + 1)` — the skew of real
+/// classroom traffic, where a handful of canonical solutions and canonical
+/// mistakes dominate the stream.  Used by the `loadgen` driver.
+pub fn zipf_schedule(population: usize, requests: usize, seed: u64) -> Vec<usize> {
+    assert!(population > 0, "empty population");
+    let mut rng = afg_corpus::rng::StdRng::seed_from_u64(seed);
+    let cumulative: Vec<f64> = (0..population)
+        .scan(0.0f64, |acc, rank| {
+            *acc += 1.0 / (rank as f64 + 1.0);
+            Some(*acc)
+        })
+        .collect();
+    let total = *cumulative.last().expect("non-empty");
+    (0..requests)
+        .map(|_| {
+            let u = ((rng.next_u64() >> 11) as f64) / ((1u64 << 53) as f64) * total;
+            cumulative.partition_point(|&c| c <= u).min(population - 1)
+        })
+        .collect()
+}
+
+/// The `q`-th percentile (0–100) of a sorted sample, by nearest-rank.
+pub fn percentile(sorted: &[Duration], q: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (q * sorted.len()).div_ceil(100);
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
 /// Histogram of the number of corrections over the fixed submissions
 /// (Figure 14(a)).
 pub fn corrections_histogram(records: &[GradeRecord], max_bucket: usize) -> Vec<usize> {
@@ -282,6 +367,8 @@ pub struct CliOptions {
     pub seed: u64,
     /// Worker-pool size; 0 selects the machine's available parallelism.
     pub workers: usize,
+    /// Emit machine-readable JSON instead of the human table (`table1`).
+    pub json: bool,
 }
 
 impl CliOptions {
@@ -344,11 +431,12 @@ impl std::error::Error for CliError {}
 
 /// The usage string shared by the experiment binaries.
 pub fn usage() -> String {
-    "usage: <binary> [--attempts N] [--seed N] [--workers N]\n\
+    "usage: <binary> [--attempts N] [--seed N] [--workers N] [--json]\n\
      \n\
      --attempts N   submissions generated per benchmark\n\
      --seed N       corpus RNG seed (corpora are reproducible)\n\
-     --workers N    grading worker threads (default: all cores)"
+     --workers N    grading worker threads (default: all cores)\n\
+     --json         emit machine-readable JSON (table1)"
         .to_string()
 }
 
@@ -368,6 +456,7 @@ pub fn parse_cli_options(args: &[String], default_attempts: usize) -> Result<Cli
         attempts: default_attempts,
         seed: 20130616, // PLDI 2013's first day.
         workers: 0,
+        json: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -384,6 +473,7 @@ pub fn parse_cli_options(args: &[String], default_attempts: usize) -> Result<Cli
             "--attempts" => options.attempts = parse_value(arg, iter.next())? as usize,
             "--seed" => options.seed = parse_value(arg, iter.next())?,
             "--workers" => options.workers = parse_value(arg, iter.next())? as usize,
+            "--json" => options.json = true,
             "--help" | "-h" => {
                 return Err(CliError {
                     message: "help requested".to_string(),
@@ -547,11 +637,63 @@ mod tests {
     }
 
     #[test]
+    fn table1_rows_round_trip_through_json() {
+        use afg_json::{FromJson, Json, ToJson};
+        let row = Table1Row {
+            name: "iterPower-6.00x".into(),
+            median_loc: 4,
+            total_attempts: 64,
+            syntax_errors: 16,
+            test_set: 48,
+            correct: 20,
+            incorrect: 28,
+            generated_feedback: 21,
+            average_time: Duration::from_millis(150),
+            median_time: Duration::from_millis(90),
+        };
+        let doc = afg_json::parse_json(&row.to_json().to_string()).unwrap();
+        assert_eq!(Table1Row::from_json(&doc).unwrap(), row);
+        assert_eq!(
+            doc.get("feedback_percent").and_then(Json::as_f64),
+            Some(75.0)
+        );
+    }
+
+    #[test]
+    fn zipf_schedule_is_seeded_skewed_and_in_range() {
+        let schedule = zipf_schedule(16, 4000, 9);
+        assert_eq!(schedule.len(), 4000);
+        assert!(schedule.iter().all(|&i| i < 16));
+        assert_eq!(schedule, zipf_schedule(16, 4000, 9));
+        assert_ne!(schedule, zipf_schedule(16, 4000, 10));
+        // Rank 0 dominates rank 15 heavily (weights 1 vs 1/16).
+        let count = |rank: usize| schedule.iter().filter(|&&i| i == rank).count();
+        assert!(count(0) > 5 * count(15), "{} vs {}", count(0), count(15));
+        // Even the tail is hit in 4000 draws.
+        assert!(count(15) > 0);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&sorted, 50), Duration::from_millis(50));
+        assert_eq!(percentile(&sorted, 99), Duration::from_millis(99));
+        assert_eq!(percentile(&sorted, 100), Duration::from_millis(100));
+        assert_eq!(percentile(&[], 50), Duration::ZERO);
+        let single = [Duration::from_millis(7)];
+        assert_eq!(percentile(&single, 1), Duration::from_millis(7));
+        assert_eq!(percentile(&single, 99), Duration::from_millis(7));
+    }
+
+    #[test]
     fn cli_parsing_defaults_and_overrides() {
         let options = parse_cli_options(&[], 40).unwrap();
         assert_eq!(options.attempts, 40);
         assert_eq!(options.seed, 20130616);
         assert_eq!(options.workers, 0);
+        assert!(!options.json);
+        let json: Vec<String> = vec!["--json".into()];
+        assert!(parse_cli_options(&json, 40).unwrap().json);
         let args: Vec<String> = ["--attempts", "12", "--seed", "99", "--workers", "2"]
             .iter()
             .map(|s| s.to_string())

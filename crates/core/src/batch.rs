@@ -17,6 +17,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use crate::cache::FingerprintCache;
 use crate::grader::{Autograder, GradeOutcome};
 
 /// The result of grading one submission within a batch.
@@ -47,10 +48,18 @@ pub struct WorkerStats {
     pub cannot_fix: usize,
     /// Submissions whose search budget ran out.
     pub timeouts: usize,
+    /// Submissions answered from the fingerprint cache (0 when grading
+    /// without one).
+    pub cache_hits: usize,
+    /// Submissions that consulted the fingerprint cache and missed (0 when
+    /// grading without one).
+    pub cache_misses: usize,
 }
 
 impl WorkerStats {
-    fn record(&mut self, outcome: &GradeOutcome, elapsed: Duration) {
+    /// `cache`: `None` when no cache was consulted, otherwise whether the
+    /// lookup hit.
+    fn record(&mut self, outcome: &GradeOutcome, elapsed: Duration, cache: Option<bool>) {
         self.graded += 1;
         self.busy += elapsed;
         match outcome {
@@ -59,6 +68,11 @@ impl WorkerStats {
             GradeOutcome::Feedback(_) => self.fixed += 1,
             GradeOutcome::CannotFix => self.cannot_fix += 1,
             GradeOutcome::Timeout => self.timeouts += 1,
+        }
+        match cache {
+            Some(true) => self.cache_hits += 1,
+            Some(false) => self.cache_misses += 1,
+            None => {}
         }
     }
 
@@ -71,6 +85,8 @@ impl WorkerStats {
         self.fixed += other.fixed;
         self.cannot_fix += other.cannot_fix;
         self.timeouts += other.timeouts;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 }
 
@@ -139,9 +155,21 @@ impl BatchGrader {
         grader: &Autograder,
         sources: &[S],
     ) -> BatchReport {
+        self.grade_sources_with_cache(grader, sources, None)
+    }
+
+    /// Grades every submission source, optionally through a shared
+    /// [`FingerprintCache`]; with a cache, per-worker stats additionally
+    /// count hits and misses.
+    pub fn grade_sources_with_cache<S: AsRef<str> + Sync>(
+        &self,
+        grader: &Autograder,
+        sources: &[S],
+        cache: Option<&FingerprintCache>,
+    ) -> BatchReport {
         let start = Instant::now();
         if self.workers == 1 || sources.len() <= 1 {
-            return self.grade_serial(grader, sources, start);
+            return self.grade_serial(grader, sources, cache, start);
         }
 
         let workers = self.workers.min(sources.len());
@@ -161,9 +189,9 @@ impl BatchGrader {
                             break;
                         }
                         let item_start = Instant::now();
-                        let outcome = grader.grade_source(sources[index].as_ref());
+                        let (outcome, hit) = grade_one(grader, sources[index].as_ref(), cache);
                         let elapsed = item_start.elapsed();
-                        stats.record(&outcome, elapsed);
+                        stats.record(&outcome, elapsed, hit);
                         items.push((
                             index,
                             BatchItem {
@@ -205,6 +233,7 @@ impl BatchGrader {
         &self,
         grader: &Autograder,
         sources: &[S],
+        cache: Option<&FingerprintCache>,
         start: Instant,
     ) -> BatchReport {
         let mut stats = WorkerStats::default();
@@ -212,9 +241,9 @@ impl BatchGrader {
             .iter()
             .map(|source| {
                 let item_start = Instant::now();
-                let outcome = grader.grade_source(source.as_ref());
+                let (outcome, hit) = grade_one(grader, source.as_ref(), cache);
                 let elapsed = item_start.elapsed();
-                stats.record(&outcome, elapsed);
+                stats.record(&outcome, elapsed, hit);
                 BatchItem {
                     outcome,
                     elapsed,
@@ -227,6 +256,21 @@ impl BatchGrader {
             worker_stats: vec![stats],
             wall_time: start.elapsed(),
         }
+    }
+}
+
+/// Grades one submission, through the cache when one is provided.
+fn grade_one(
+    grader: &Autograder,
+    source: &str,
+    cache: Option<&FingerprintCache>,
+) -> (GradeOutcome, Option<bool>) {
+    match cache {
+        Some(cache) => {
+            let (outcome, hit) = grader.grade_source_cached(source, cache);
+            (outcome, Some(hit))
+        }
+        None => (grader.grade_source(source), None),
     }
 }
 
@@ -354,5 +398,46 @@ def computeDeriv(poly_list_int):
         let report = BatchGrader::new(4).grade_sources(&grader(), &Vec::<String>::new());
         assert!(report.items.is_empty());
         assert_eq!(report.totals().graded, 0);
+    }
+
+    #[test]
+    fn cached_batch_counts_hits_and_agrees_with_the_uncached_run() {
+        let grader = grader();
+        let sources = sample_sources();
+        let uncached = BatchGrader::new(2).grade_sources(&grader, &sources);
+        // Warm the cache serially: each of the 4 distinct submissions
+        // misses exactly once, and every repeat hits — deterministic,
+        // unlike a parallel first pass where a duplicate can race its own
+        // first occurrence.
+        let cache = FingerprintCache::new();
+        let warm = BatchGrader::new(1).grade_sources_with_cache(&grader, &sources, Some(&cache));
+        let totals = warm.totals();
+        assert_eq!(totals.cache_misses, 4);
+        assert_eq!(totals.cache_hits, sources.len() - 4);
+
+        // A parallel pass over the warm cache hits on every submission and
+        // agrees with the uncached run position by position (rendered
+        // feedback included).
+        let cached = BatchGrader::new(2).grade_sources_with_cache(&grader, &sources, Some(&cache));
+        assert_eq!(cached.totals().cache_hits, sources.len());
+        for (u, c) in uncached.items.iter().zip(cached.items.iter()) {
+            match (&u.outcome, &c.outcome) {
+                (GradeOutcome::Feedback(a), GradeOutcome::Feedback(b)) => {
+                    assert_eq!(a.to_string(), b.to_string());
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+
+        // The uncached run never consults a cache; the cache's own
+        // counters line up with the engine's view.
+        let uncached_totals = uncached.totals();
+        assert_eq!(uncached_totals.cache_hits, 0);
+        assert_eq!(uncached_totals.cache_misses, 0);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, (totals.cache_hits + sources.len()) as u64);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.entries, 3); // correct, off-by-one, hopeless
+        assert_eq!(stats.syntax_entries, 1);
     }
 }

@@ -1,0 +1,503 @@
+//! The submission fingerprint cache.
+//!
+//! A class (or a MOOC) produces thousands of submissions against the same
+//! assignment, and the mix is heavily skewed: identical and near-identical
+//! programs recur constantly — the same copied skeleton, the same canonical
+//! wrong answer, the same resubmission with renamed variables.  Grading is
+//! dominated by the CEGIS search, so re-running it on a program the grader
+//! has effectively already seen is pure waste.
+//!
+//! The cache keys grading results on the **canonical form** of the parsed
+//! submission ([`afg_ast::canon`]): alpha-renamed variables plus normalized
+//! formatting, so two submissions that differ only in naming, whitespace or
+//! layout share one entry.  Correctness is preserved exactly:
+//!
+//! * `Correct` / `CannotFix` verdicts depend only on program *semantics*,
+//!   which canonical equality guarantees, so they are returned as-is;
+//!   `Timeout` verdicts are cached only when the search exhausted its
+//!   candidate budget (deterministic on any machine) — a wall-clock
+//!   timeout reflects transient load and is never cached;
+//! * a `Feedback` verdict mentions line numbers and the student's own
+//!   variable names, so the cached entry stores the minimal **choice
+//!   assignment** instead of the rendered feedback, and a hit *replays*
+//!   that assignment against the choice program of the submission actually
+//!   being graded — the expensive search is skipped, and the feedback is
+//!   byte-identical to what a fresh grading run would produce;
+//! * the full canonical source is the map key (the 64-bit fingerprint is
+//!   only a convenience for logging), so hash collisions are impossible,
+//!   and the replay path re-validates the choice-program structure,
+//!   falling back to a fresh grading run on any mismatch.
+//!
+//! A second, raw-text-keyed map short-circuits submissions that do not
+//! parse: byte-identical broken files (another classroom staple) skip even
+//! the parse.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use afg_ast::canon::{canonical_source, fnv1a64};
+use afg_ast::Program;
+use afg_eml::{apply_error_model, ChoiceAssignment, ChoiceProgram};
+use afg_parser::{parse_program, ParseError};
+use afg_synth::SynthesisStats;
+
+use crate::feedback::{corrections_from_assignment, Feedback};
+use crate::grader::{Autograder, GradeOutcome};
+
+/// One cached grading verdict (see the module docs for why `Fixed` stores
+/// an assignment rather than the feedback).
+#[derive(Debug, Clone)]
+enum CachedGrade {
+    Correct,
+    CannotFix,
+    Timeout,
+    Fixed {
+        assignment: ChoiceAssignment,
+        cost: usize,
+        stats: SynthesisStats,
+        signature: u64,
+    },
+}
+
+/// Counters describing how the cache has performed so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a full grading run.
+    pub misses: u64,
+    /// Distinct canonical forms currently stored.
+    pub entries: usize,
+    /// Distinct non-parsing sources currently stored.
+    pub syntax_entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when the cache is untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent map from canonical submission form to grading verdict.
+///
+/// Shared by reference across grading workers; lookups take a read lock,
+/// inserts a write lock.  Concurrent misses on the *same* canonical form
+/// are **single-flighted**: the first worker runs the search while the
+/// rest block until the entry lands, then replay it as a hit — without
+/// this, a hot submission arriving on N connections at once (the very
+/// skew the cache exists for) would run N identical CEGIS searches.
+#[derive(Debug, Default)]
+pub struct FingerprintCache {
+    entries: RwLock<HashMap<String, CachedGrade>>,
+    syntax: RwLock<HashMap<String, ParseError>>,
+    /// Canonical forms currently being graded by some worker.
+    inflight: Mutex<HashSet<String>>,
+    /// Signalled whenever an in-flight grading completes (or aborts).
+    inflight_done: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Hard bound on stored entries per map.  A long-running daemon must not
+/// grow without limit under a stream of distinct submissions; once a map is
+/// full, new verdicts are simply not stored (the resident entries are the
+/// oldest, which in classroom traffic are also the hottest).  At typical
+/// submission sizes this bounds each map to low hundreds of MB.
+const MAX_ENTRIES: usize = 65_536;
+
+impl FingerprintCache {
+    /// Creates an empty cache.
+    pub fn new() -> FingerprintCache {
+        FingerprintCache::default()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.read().expect("cache lock").len(),
+            syntax_entries: self.syntax.read().expect("cache lock").len(),
+        }
+    }
+
+    fn record(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Claims the right to grade `key`, or waits for the worker already
+    /// grading it.  Returns a guard when this caller should grade; `None`
+    /// after another worker has published the entry (the caller re-reads
+    /// the map).
+    fn claim_or_wait<'cache, 'key>(
+        &'cache self,
+        key: &'key str,
+    ) -> Option<InflightGuard<'cache, 'key>> {
+        let mut inflight = self.inflight.lock().expect("inflight lock");
+        loop {
+            if !inflight.contains(key) {
+                inflight.insert(key.to_string());
+                return Some(InflightGuard { cache: self, key });
+            }
+            // Bounded waits so an aborted grading (panicked worker whose
+            // guard already cleaned up, spurious wakeups, …) can never
+            // wedge a waiter; each wakeup re-checks the published map.
+            let (guard, _) = self
+                .inflight_done
+                .wait_timeout(inflight, Duration::from_millis(50))
+                .expect("inflight lock");
+            inflight = guard;
+            if self.entries.read().expect("cache lock").contains_key(key) {
+                return None;
+            }
+        }
+    }
+}
+
+/// Removes the in-flight marker on drop — including on unwind, so a
+/// panicking grading run cannot leave waiters stranded.
+struct InflightGuard<'cache, 'key> {
+    cache: &'cache FingerprintCache,
+    key: &'key str,
+}
+
+impl Drop for InflightGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.cache
+            .inflight
+            .lock()
+            .expect("inflight lock")
+            .remove(self.key);
+        self.cache.inflight_done.notify_all();
+    }
+}
+
+/// The structural signature of a choice program: rule names and option
+/// counts per site, in site order.  Deliberately **alpha-invariant** (the
+/// rendered option *texts* contain variable names and are excluded) so the
+/// signature agrees across alpha-equivalent submissions, yet any structural
+/// drift — a rule matching differently than it did for the cached
+/// representative — is caught before a stale assignment is replayed.
+pub(crate) fn choice_signature(choice_program: &ChoiceProgram) -> u64 {
+    let mut description = String::new();
+    for info in &choice_program.choices {
+        description.push_str(&info.rule);
+        description.push('/');
+        description.push_str(&info.options.len().to_string());
+        description.push(';');
+    }
+    fnv1a64(description.as_bytes())
+}
+
+impl Autograder {
+    /// Grades a submission through the fingerprint cache.
+    ///
+    /// Returns the outcome and whether it was served from the cache.  The
+    /// outcome is identical to what [`Autograder::grade_source`] would
+    /// produce (for `Feedback`, byte-identical rendered text; only the
+    /// `elapsed` timing differs, honestly reporting the hit's cost).
+    pub fn grade_source_cached(
+        &self,
+        source: &str,
+        cache: &FingerprintCache,
+    ) -> (GradeOutcome, bool) {
+        // Level 1: byte-identical sources that failed to parse before.
+        // Keyed by the full source text — a hash collision must never turn
+        // a parsable program into someone else's syntax error.
+        if let Some(err) = cache.syntax.read().expect("cache lock").get(source) {
+            cache.record(true);
+            return (GradeOutcome::SyntaxError(err.clone()), true);
+        }
+
+        let program = match parse_program(source) {
+            Ok(program) => program,
+            Err(err) => {
+                let mut syntax = cache.syntax.write().expect("cache lock");
+                if syntax.len() < MAX_ENTRIES {
+                    syntax.insert(source.to_string(), err.clone());
+                }
+                drop(syntax);
+                cache.record(false);
+                return (GradeOutcome::SyntaxError(err), false);
+            }
+        };
+
+        // Level 2: canonical-form lookup.
+        let key = canonical_source(&program);
+        let cached = cache.entries.read().expect("cache lock").get(&key).cloned();
+        if let Some(entry) = cached {
+            if let Some(outcome) = self.replay(&program, &entry) {
+                cache.record(true);
+                return (outcome, true);
+            }
+            // Structural mismatch (possible only if rule matching is not
+            // alpha-invariant for this model): fall through and re-grade.
+        }
+
+        // Single-flight: either claim the grading of this canonical form,
+        // or wait for the worker already grading it and replay its result.
+        let guard = cache.claim_or_wait(&key);
+        if guard.is_none() {
+            let cached = cache.entries.read().expect("cache lock").get(&key).cloned();
+            if let Some(entry) = cached {
+                if let Some(outcome) = self.replay(&program, &entry) {
+                    cache.record(true);
+                    return (outcome, true);
+                }
+            }
+            // The published entry did not replay (or vanished): grade it
+            // ourselves, un-deduplicated.
+        }
+
+        let traced = self.grade_program_traced(&program);
+        let entry = match (&traced.outcome, traced.repair, traced.cacheable) {
+            (_, _, false) => None,
+            (GradeOutcome::Correct, _, _) => Some(CachedGrade::Correct),
+            (GradeOutcome::CannotFix, _, _) => Some(CachedGrade::CannotFix),
+            (GradeOutcome::Timeout, _, _) => Some(CachedGrade::Timeout),
+            (GradeOutcome::Feedback(feedback), Some(trace), _) => Some(CachedGrade::Fixed {
+                assignment: trace.assignment,
+                cost: feedback.cost,
+                stats: trace.stats,
+                signature: trace.signature,
+            }),
+            _ => None,
+        };
+        if let Some(entry) = entry {
+            let mut entries = cache.entries.write().expect("cache lock");
+            if entries.len() < MAX_ENTRIES {
+                entries.insert(key.clone(), entry);
+            }
+        }
+        drop(guard); // release the in-flight claim only after publishing
+        cache.record(false);
+        (traced.outcome, false)
+    }
+
+    /// Replays a cached verdict against the submission actually being
+    /// graded.  Returns `None` when the cached assignment does not fit this
+    /// submission's choice program — the caller then grades afresh.
+    fn replay(&self, program: &Program, entry: &CachedGrade) -> Option<GradeOutcome> {
+        let (assignment, cost, stats, signature) = match entry {
+            CachedGrade::Correct => return Some(GradeOutcome::Correct),
+            CachedGrade::CannotFix => return Some(GradeOutcome::CannotFix),
+            CachedGrade::Timeout => return Some(GradeOutcome::Timeout),
+            CachedGrade::Fixed {
+                assignment,
+                cost,
+                stats,
+                signature,
+            } => (assignment, *cost, stats, *signature),
+        };
+        let start = Instant::now();
+        let choice_program = apply_error_model(program, Some(self.entry()), self.model()).ok()?;
+        if choice_signature(&choice_program) != signature {
+            return None;
+        }
+        for (id, option) in assignment.non_default() {
+            let info = choice_program.choice_info(id)?;
+            if option >= info.options.len() {
+                return None;
+            }
+        }
+        let corrections = corrections_from_assignment(&choice_program, assignment);
+        Some(GradeOutcome::Feedback(Feedback {
+            corrections,
+            cost,
+            elapsed: start.elapsed(),
+            stats: stats.clone(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grader::GraderConfig;
+    use afg_eml::library;
+
+    const REFERENCE: &str = "\
+def computeDeriv(poly_list_int):
+    result = []
+    for i in range(len(poly_list_int)):
+        result += [i * poly_list_int[i]]
+    if len(poly_list_int) == 1:
+        return result
+    else:
+        return result[1:]
+";
+
+    /// The paper's off-by-one submission, and an alpha-renamed,
+    /// reformatted variant of the same program.
+    const BUGGY: &str = "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    d = []\n    for i in range(0, len(poly)):\n        d.append(i * poly[i])\n    return d\n";
+    const BUGGY_RENAMED: &str = "def computeDeriv(coeffs):\n    if len(coeffs) == 1:\n        return [0]\n    out = []\n    for k in range(0, len(coeffs)):\n        out.append(k * coeffs[k])\n    return out\n";
+    const CORRECT: &str = "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    d = []\n    for i in range(1, len(poly)):\n        d.append(i * poly[i])\n    return d\n";
+
+    fn grader() -> Autograder {
+        // Candidate-bounded budget: deterministic outcomes regardless of
+        // machine load, as the cache-equivalence assertions require.
+        let config = GraderConfig {
+            synthesis: afg_synth::SynthesisConfig {
+                max_cost: 3,
+                max_candidates: 2_000,
+                time_budget: std::time::Duration::from_secs(600),
+            },
+            ..GraderConfig::fast()
+        };
+        Autograder::new(
+            REFERENCE,
+            "computeDeriv",
+            library::compute_deriv_model(),
+            config,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_resubmission_hits_and_feedback_is_byte_identical() {
+        let grader = grader();
+        let cache = FingerprintCache::new();
+        let fresh = grader.grade_source(BUGGY);
+        let (first, hit1) = grader.grade_source_cached(BUGGY, &cache);
+        let (second, hit2) = grader.grade_source_cached(BUGGY, &cache);
+        assert!(!hit1);
+        assert!(hit2);
+        let rendered: Vec<String> = [&fresh, &first, &second]
+            .iter()
+            .map(|o| o.feedback().expect("feedback").to_string())
+            .collect();
+        assert_eq!(rendered[0], rendered[1]);
+        assert_eq!(rendered[1], rendered[2]);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn alpha_renamed_submission_hits_with_its_own_names_in_the_feedback() {
+        let grader = grader();
+        let cache = FingerprintCache::new();
+        let (_, hit1) = grader.grade_source_cached(BUGGY, &cache);
+        assert!(!hit1);
+        let (outcome, hit2) = grader.grade_source_cached(BUGGY_RENAMED, &cache);
+        assert!(hit2, "alpha-equivalent submission must hit");
+        // The replayed feedback must match a fresh grading of the renamed
+        // submission byte for byte — names and lines from *its* source.
+        let fresh = grader.grade_source(BUGGY_RENAMED);
+        assert_eq!(
+            outcome.feedback().expect("feedback").to_string(),
+            fresh.feedback().expect("feedback").to_string()
+        );
+        // And it must not leak text from the cached representative: any
+        // variable the message mentions is the renamed submission's own.
+        assert!(!outcome.feedback().unwrap().to_string().contains("poly"));
+    }
+
+    #[test]
+    fn correct_and_unfixable_verdicts_cache_too() {
+        let grader = grader();
+        let cache = FingerprintCache::new();
+        assert_eq!(
+            grader.grade_source_cached(CORRECT, &cache).0,
+            GradeOutcome::Correct
+        );
+        let (outcome, hit) = grader.grade_source_cached(CORRECT, &cache);
+        assert_eq!(outcome, GradeOutcome::Correct);
+        assert!(hit);
+
+        let hopeless = "def computeDeriv(poly):\n    return 42\n";
+        let (first, _) = grader.grade_source_cached(hopeless, &cache);
+        let (second, hit) = grader.grade_source_cached(hopeless, &cache);
+        assert_eq!(first, second);
+        assert!(hit);
+    }
+
+    #[test]
+    fn syntax_errors_cache_by_raw_source() {
+        let grader = grader();
+        let cache = FingerprintCache::new();
+        let broken = "def computeDeriv(poly)\n    return poly\n";
+        let (first, hit1) = grader.grade_source_cached(broken, &cache);
+        let (second, hit2) = grader.grade_source_cached(broken, &cache);
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(first, second);
+        assert!(matches!(first, GradeOutcome::SyntaxError(_)));
+        assert_eq!(cache.stats().syntax_entries, 1);
+    }
+
+    #[test]
+    fn wall_clock_timeouts_are_never_cached() {
+        // A zero wall-clock budget times every incorrect submission out
+        // before the candidate budget is touched — a load-dependent
+        // verdict the cache must not pin onto future submissions.
+        let config = GraderConfig {
+            synthesis: afg_synth::SynthesisConfig {
+                max_cost: 3,
+                max_candidates: 1_000_000,
+                time_budget: std::time::Duration::ZERO,
+            },
+            ..GraderConfig::fast()
+        };
+        let grader = Autograder::new(
+            REFERENCE,
+            "computeDeriv",
+            library::compute_deriv_model(),
+            config,
+        )
+        .unwrap();
+        let cache = FingerprintCache::new();
+        let (first, hit1) = grader.grade_source_cached(BUGGY, &cache);
+        let (second, hit2) = grader.grade_source_cached(BUGGY, &cache);
+        assert_eq!(first, GradeOutcome::Timeout);
+        assert_eq!(second, GradeOutcome::Timeout);
+        assert!(!hit1);
+        assert!(!hit2, "a wall-clock timeout must not be served from cache");
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_submission_are_single_flighted() {
+        let grader = grader();
+        let cache = FingerprintCache::new();
+        let outcomes: Vec<(GradeOutcome, bool)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| grader.grade_source_cached(BUGGY, &cache)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Exactly one thread ran the search; the rest waited and replayed.
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.hits, 3, "{stats:?}");
+        assert_eq!(outcomes.iter().filter(|(_, hit)| !hit).count(), 1);
+        let rendered: Vec<String> = outcomes
+            .iter()
+            .map(|(o, _)| o.feedback().expect("feedback").to_string())
+            .collect();
+        assert!(rendered.iter().all(|r| r == &rendered[0]));
+    }
+
+    #[test]
+    fn hit_rate_tracks_counters() {
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 1,
+            syntax_entries: 0,
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -21,6 +21,19 @@ use crate::feedback::{corrections_from_assignment, Feedback};
 pub enum GraderError {
     /// The reference implementation does not parse.
     ReferenceSyntax(ParseError),
+    /// The reference implementation defines no function with the entry name.
+    MissingEntry {
+        /// The requested entry-function name.
+        entry: String,
+    },
+    /// A parameter of the entry function lacks the type suffix that drives
+    /// bounded input enumeration (`poly_list_int`, `n_int`, …).
+    UntypedParam {
+        /// The entry-function name.
+        entry: String,
+        /// The offending parameter, as written.
+        param: String,
+    },
     /// The error model is ill-formed.
     Model(TransformError),
 }
@@ -29,6 +42,17 @@ impl fmt::Display for GraderError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraderError::ReferenceSyntax(err) => write!(f, "reference implementation: {err}"),
+            GraderError::MissingEntry { entry } => write!(
+                f,
+                "reference implementation: no function named '{entry}' \
+                 (the graded entry function must be defined)"
+            ),
+            GraderError::UntypedParam { entry, param } => write!(
+                f,
+                "reference implementation: parameter '{param}' of '{entry}' has no \
+                 type suffix; declare one (e.g. '{param}_int' or '{param}_list_int') \
+                 so the equivalence oracle can enumerate bounded inputs"
+            ),
             GraderError::Model(err) => write!(f, "error model: {err}"),
         }
     }
@@ -104,7 +128,11 @@ impl Autograder {
     /// # Errors
     ///
     /// Returns [`GraderError::ReferenceSyntax`] if the reference does not
-    /// parse.
+    /// parse, [`GraderError::MissingEntry`] if it defines no function named
+    /// `entry`, and [`GraderError::UntypedParam`] if a parameter of the
+    /// entry function lacks a type suffix — each is an instructor mistake
+    /// better rejected at construction time than discovered as misbehaviour
+    /// halfway through grading a class.
     pub fn new(
         reference_source: &str,
         entry: &str,
@@ -112,26 +140,28 @@ impl Autograder {
         config: GraderConfig,
     ) -> Result<Autograder, GraderError> {
         let reference = parse_program(reference_source).map_err(GraderError::ReferenceSyntax)?;
-        Ok(Autograder::from_program(reference, entry, model, config))
+        Autograder::from_program(reference, entry, model, config)
     }
 
-    /// Builds a grader from an already-parsed reference implementation.
+    /// Builds a grader from an already-parsed reference implementation,
+    /// applying the same validation as [`Autograder::new`].
     pub fn from_program(
         reference: Program,
         entry: &str,
         model: ErrorModel,
         config: GraderConfig,
-    ) -> Autograder {
+    ) -> Result<Autograder, GraderError> {
+        validate_reference(&reference, entry)?;
         let mut equivalence = config.equivalence.clone();
         equivalence.entry = Some(entry.to_string());
         let oracle = EquivalenceOracle::from_reference(&reference, equivalence);
-        Autograder {
+        Ok(Autograder {
             reference,
             entry: entry.to_string(),
             model,
             config,
             oracle,
-        }
+        })
     }
 
     /// The reference implementation being graded against.
@@ -170,15 +200,26 @@ impl Autograder {
 
     /// Grades an already-parsed submission.
     pub fn grade_program(&self, student: &Program) -> GradeOutcome {
+        self.grade_program_traced(student).outcome
+    }
+
+    /// Grades a submission and additionally returns what the fingerprint
+    /// cache needs: the minimal choice assignment behind a
+    /// [`GradeOutcome::Feedback`] (so an alpha-equivalent submission can
+    /// *replay* the repair instead of re-running synthesis) and whether the
+    /// verdict is deterministic enough to cache at all.
+    pub(crate) fn grade_program_traced(&self, student: &Program) -> TracedGrade {
         let start = Instant::now();
         let choice_program = match apply_error_model(student, Some(&self.entry), &self.model) {
             Ok(cp) => cp,
-            Err(TransformError::NoEntryFunction) => return GradeOutcome::CannotFix,
+            Err(TransformError::NoEntryFunction) => {
+                return TracedGrade::cacheable(GradeOutcome::CannotFix)
+            }
             Err(err) => {
                 // An ill-formed model is an instructor error; surface it as
                 // an unfixable submission rather than panicking mid-batch.
                 debug_assert!(false, "error model rejected at grading time: {err}");
-                return GradeOutcome::CannotFix;
+                return TracedGrade::cacheable(GradeOutcome::CannotFix);
             }
         };
         let outcome =
@@ -186,21 +227,89 @@ impl Autograder {
                 .backend
                 .synthesize(&choice_program, &self.oracle, &self.config.synthesis);
         match outcome {
-            SynthesisOutcome::AlreadyCorrect => GradeOutcome::Correct,
+            SynthesisOutcome::AlreadyCorrect => TracedGrade::cacheable(GradeOutcome::Correct),
             SynthesisOutcome::Fixed(solution) => {
                 let corrections =
                     corrections_from_assignment(&choice_program, &solution.assignment);
-                GradeOutcome::Feedback(Feedback {
-                    corrections,
-                    cost: solution.cost,
-                    elapsed: start.elapsed(),
-                    stats: solution.stats,
-                })
+                let trace = RepairTrace {
+                    signature: crate::cache::choice_signature(&choice_program),
+                    assignment: solution.assignment,
+                    stats: solution.stats.clone(),
+                };
+                TracedGrade {
+                    outcome: GradeOutcome::Feedback(Feedback {
+                        corrections,
+                        cost: solution.cost,
+                        elapsed: start.elapsed(),
+                        stats: solution.stats,
+                    }),
+                    repair: Some(trace),
+                    cacheable: true,
+                }
             }
-            SynthesisOutcome::NoRepairFound(_) => GradeOutcome::CannotFix,
-            SynthesisOutcome::Timeout(_) => GradeOutcome::Timeout,
+            SynthesisOutcome::NoRepairFound(_) => TracedGrade::cacheable(GradeOutcome::CannotFix),
+            SynthesisOutcome::Timeout(stats) => TracedGrade {
+                outcome: GradeOutcome::Timeout,
+                repair: None,
+                // A timeout is only a *property of the submission* when the
+                // search exhausted its candidate budget — that replays
+                // identically anywhere.  A wall-clock timeout depends on
+                // machine load: caching it would pin a transient verdict
+                // onto every future alpha-equivalent submission.
+                cacheable: stats.candidates_checked > self.config.synthesis.max_candidates,
+            },
         }
     }
+}
+
+/// The result of [`Autograder::grade_program_traced`].
+pub(crate) struct TracedGrade {
+    pub outcome: GradeOutcome,
+    /// The replayable repair, for `Feedback` outcomes.
+    pub repair: Option<RepairTrace>,
+    /// Whether the verdict may be stored in the fingerprint cache.
+    pub cacheable: bool,
+}
+
+impl TracedGrade {
+    fn cacheable(outcome: GradeOutcome) -> TracedGrade {
+        TracedGrade {
+            outcome,
+            repair: None,
+            cacheable: true,
+        }
+    }
+}
+
+/// The replayable part of a synthesis result (see
+/// [`Autograder::grade_program_traced`]).
+#[derive(Debug, Clone)]
+pub(crate) struct RepairTrace {
+    /// The minimal-cost selection of correction options.
+    pub assignment: afg_eml::ChoiceAssignment,
+    /// Structural signature of the choice program the assignment indexes
+    /// into (rule names and option counts; alpha-invariant).
+    pub signature: u64,
+    /// Synthesizer counters from the original run.
+    pub stats: afg_synth::SynthesisStats,
+}
+
+/// Construction-time validation of the instructor's reference program.
+fn validate_reference(reference: &Program, entry: &str) -> Result<(), GraderError> {
+    let Some(func) = reference.funcs.iter().rev().find(|f| f.name == entry) else {
+        return Err(GraderError::MissingEntry {
+            entry: entry.to_string(),
+        });
+    };
+    for param in &func.params {
+        if param.ty == afg_ast::types::MpyType::Dynamic {
+            return Err(GraderError::UntypedParam {
+                entry: entry.to_string(),
+                param: param.name.clone(),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -235,6 +344,58 @@ def computeDeriv(poly_list_int):
             .unwrap_err();
         assert!(matches!(err, GraderError::ReferenceSyntax(_)));
         assert!(err.to_string().contains("reference implementation"));
+    }
+
+    #[test]
+    fn rejects_reference_without_the_entry_function() {
+        let err = Autograder::new(
+            "def helper(x_int):\n    return x_int\n",
+            "computeDeriv",
+            ErrorModel::new("m"),
+            GraderConfig::fast(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GraderError::MissingEntry {
+                entry: "computeDeriv".to_string()
+            }
+        );
+        assert!(
+            err.to_string().contains("no function named 'computeDeriv'"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_reference_with_untyped_parameters() {
+        let err = Autograder::new(
+            "def f(poly):\n    return poly\n",
+            "f",
+            ErrorModel::new("m"),
+            GraderConfig::fast(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GraderError::UntypedParam {
+                entry: "f".to_string(),
+                param: "poly".to_string()
+            }
+        );
+        let rendered = err.to_string();
+        assert!(rendered.contains("parameter 'poly' of 'f'"), "{rendered}");
+        assert!(rendered.contains("poly_int"), "{rendered}");
+
+        // A mix of typed and untyped parameters names the untyped one.
+        let err = Autograder::new(
+            "def f(n_int, acc):\n    return acc\n",
+            "f",
+            ErrorModel::new("m"),
+            GraderConfig::fast(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraderError::UntypedParam { param, .. } if param == "acc"));
     }
 
     #[test]

@@ -51,10 +51,13 @@
 //! ```
 
 mod batch;
+mod cache;
 mod feedback;
 mod grader;
+mod json;
 
 pub use batch::{BatchGrader, BatchItem, BatchReport, WorkerStats};
+pub use cache::{CacheStats, FingerprintCache};
 pub use feedback::{corrections_from_assignment, Correction, Feedback, FeedbackLevel};
 pub use grader::{Autograder, GradeOutcome, GraderConfig, GraderError};
 

@@ -1,0 +1,150 @@
+//! In-tree JSON support for the grading service.
+//!
+//! The workspace carries **no external dependencies**, so the wire format of
+//! `afg-service` and the `--json` output of the experiment binaries cannot
+//! come from `serde`.  This crate provides the three pieces they need:
+//!
+//! * [`Json`] — a JSON document as a plain Rust value (objects preserve
+//!   insertion order so serialized output is deterministic),
+//! * a strict RFC 8259 parser ([`parse_json`]) and a serializer
+//!   ([`Json::to_string`] / [`Json::to_pretty`]),
+//! * the [`ToJson`] / [`FromJson`] trait layer that the public report types
+//!   of `afg-core` and `afg-bench` implement.
+//!
+//! # Example
+//!
+//! ```
+//! use afg_json::{parse_json, Json};
+//!
+//! let doc = parse_json(r#"{"cost": 1, "rules": ["RANR"]}"#)?;
+//! assert_eq!(doc.get("cost").and_then(Json::as_i64), Some(1));
+//! assert_eq!(doc.to_string(), r#"{"cost":1,"rules":["RANR"]}"#);
+//! # Ok::<(), afg_json::JsonError>(())
+//! ```
+
+mod parse;
+mod value;
+
+pub use parse::{parse_json, JsonError};
+pub use value::Json;
+
+/// Serialization into a [`Json`] document.
+pub trait ToJson {
+    /// Renders `self` as a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Deserialization from a [`Json`] document.
+pub trait FromJson: Sized {
+    /// Reconstructs a value from its JSON rendering.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first missing or mistyped
+    /// field.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        Json::Int(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::Int(*self as i64)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        // Counters beyond i64::MAX are unrepresentable in interoperable
+        // JSON integers; saturate rather than silently wrap.
+        Json::Int(i64::try_from(*self).unwrap_or(i64::MAX))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(value) => value.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl ToJson for std::time::Duration {
+    /// Durations serialize as fractional milliseconds — the unit every
+    /// latency-shaped field of the service API uses.
+    fn to_json(&self) -> Json {
+        Json::Float(self.as_secs_f64() * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn scalar_conversions() {
+        assert_eq!(true.to_json(), Json::Bool(true));
+        assert_eq!(7i64.to_json(), Json::Int(7));
+        assert_eq!(7usize.to_json(), Json::Int(7));
+        assert_eq!(u64::MAX.to_json(), Json::Int(i64::MAX));
+        assert_eq!("hi".to_json(), Json::Str("hi".into()));
+        assert_eq!(None::<i64>.to_json(), Json::Null);
+        assert_eq!(
+            vec![1i64, 2].to_json(),
+            Json::Array(vec![Json::Int(1), Json::Int(2)])
+        );
+    }
+
+    #[test]
+    fn durations_become_milliseconds() {
+        assert_eq!(Duration::from_micros(1500).to_json(), Json::Float(1.5),);
+    }
+}

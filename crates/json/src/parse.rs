@@ -1,0 +1,422 @@
+//! A strict, recursive-descent JSON parser (RFC 8259).
+//!
+//! Strictness matters for a network-facing service: trailing garbage,
+//! unquoted keys, single quotes, comments and control characters inside
+//! strings are all rejected with a byte offset, so a malformed grading
+//! request fails loudly instead of being half-understood.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Json;
+
+/// Nesting deeper than this is rejected — a hostile request must not be able
+/// to overflow the parser's stack.
+const MAX_DEPTH: usize = 128;
+
+/// A parse or decode failure, with the byte offset for parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+    /// Byte offset of the failure in the input (`None` for decode errors
+    /// raised by [`crate::FromJson`] implementations).
+    offset: Option<usize>,
+}
+
+impl JsonError {
+    pub(crate) fn at(offset: usize, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    /// A decode error for [`crate::FromJson`] implementations: the document
+    /// parsed, but does not have the expected shape.
+    pub fn decode(message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    /// The convenience decode error for a missing or mistyped field.
+    pub fn missing_field(context: &str, field: &str) -> JsonError {
+        JsonError::decode(format!("{context}: missing or mistyped field '{field}'"))
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(offset) => write!(f, "invalid JSON at byte {offset}: {}", self.message),
+            None => write!(f, "invalid JSON document: {}", self.message),
+        }
+    }
+}
+
+impl Error for JsonError {}
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+pub fn parse_json(input: &str) -> Result<Json, JsonError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value(0)?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(JsonError::at(parser.pos, "trailing characters"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::at(
+                self.pos,
+                format!("expected '{}'", byte as char),
+            ))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::at(self.pos, "nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Json::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(JsonError::at(
+                self.pos,
+                format!("unexpected character '{}'", other as char),
+            )),
+            None => Err(JsonError::at(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(JsonError::at(self.pos, format!("expected '{keyword}'")))
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(JsonError::at(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(JsonError::at(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err(JsonError::at(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            out.push(self.parse_unicode_escape()?);
+                            continue;
+                        }
+                        _ => return Err(JsonError::at(start, "invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(JsonError::at(start, "control character in string"));
+                }
+                Some(_) => {
+                    // Consume one complete UTF-8 scalar (the input is a
+                    // `&str`, so boundaries are trustworthy).
+                    let rest = &self.bytes[self.pos..];
+                    let len = utf8_len(rest[0]);
+                    let chunk = std::str::from_utf8(&rest[..len])
+                        .map_err(|_| JsonError::at(start, "invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u`, combining surrogate pairs.
+    fn parse_unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.parse_hex4()?;
+        if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: a `\uXXXX` low surrogate must follow.
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let second = self.parse_hex4()?;
+                if (0xDC00..0xE000).contains(&second) {
+                    let combined = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                    return char::from_u32(combined)
+                        .ok_or_else(|| JsonError::at(self.pos, "invalid surrogate pair"));
+                }
+            }
+            return Err(JsonError::at(self.pos, "unpaired surrogate"));
+        }
+        char::from_u32(first).ok_or_else(|| JsonError::at(self.pos, "invalid unicode escape"))
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(JsonError::at(self.pos, "expected 4 hex digits")),
+            };
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn parse_number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => self.consume_digits(),
+            _ => return Err(JsonError::at(self.pos, "expected a digit")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonError::at(self.pos, "expected a fractional digit"));
+            }
+            self.consume_digits();
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonError::at(self.pos, "expected an exponent digit"));
+            }
+            self.consume_digits();
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+            // Integer literal outside i64: fall through to f64, like
+            // every dynamic-language JSON reader.
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| JsonError::at(start, "invalid number"))
+    }
+
+    fn consume_digits(&mut self) {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) -> String {
+        parse_json(text).unwrap().to_string()
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json("-42").unwrap(), Json::Int(-42));
+        assert_eq!(parse_json("2.5e2").unwrap(), Json::Float(250.0));
+        assert_eq!(parse_json(r#""hi""#).unwrap(), Json::str("hi"));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = parse_json(r#"{"a": [1, {"b": null}], "c": ""}"#).unwrap();
+        assert_eq!(doc.to_string(), r#"{"a":[1,{"b":null}],"c":""}"#);
+        assert_eq!(roundtrip("[]"), "[]");
+        assert_eq!(roundtrip("{}"), "{}");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        assert_eq!(
+            parse_json(r#""a\"b\\c\ndA\/""#).unwrap(),
+            Json::str("a\"b\\c\ndA/")
+        );
+        // Surrogate pair for 🚀 (U+1F680).
+        assert_eq!(
+            parse_json(r#""\ud83d\ude80""#).unwrap(),
+            Json::str("\u{1F680}")
+        );
+        // Raw multi-byte UTF-8 passes through.
+        assert_eq!(parse_json("\"é🚀\"").unwrap(), Json::str("é🚀"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "tru",
+            "[1,]",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "'x'",
+            "1 2",
+            "{\"a\": 01}",
+            "1.",
+            "--1",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"\u{01}\"",
+            "[1, 2",
+            r#""\ud800""#,
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = parse_json("[1, x]").unwrap_err();
+        assert!(err.to_string().contains("byte 4"), "{err}");
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = parse_json(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"));
+        let ok = "[".repeat(50) + &"]".repeat(50);
+        assert!(parse_json(&ok).is_ok());
+    }
+
+    #[test]
+    fn huge_integers_degrade_to_floats() {
+        assert_eq!(
+            parse_json("9223372036854775807").unwrap(),
+            Json::Int(i64::MAX)
+        );
+        assert!(matches!(
+            parse_json("92233720368547758080").unwrap(),
+            Json::Float(_)
+        ));
+    }
+
+    #[test]
+    fn decode_errors_render_without_offset() {
+        let err = JsonError::missing_field("grade request", "source");
+        assert_eq!(
+            err.to_string(),
+            "invalid JSON document: grade request: missing or mistyped field 'source'"
+        );
+    }
+}

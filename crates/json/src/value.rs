@@ -1,0 +1,264 @@
+//! The [`Json`] value type, its accessors and the serializer.
+
+use std::fmt;
+
+/// A JSON document.
+///
+/// Integers and floats are kept apart so that counters survive a round trip
+/// exactly (`17` never resurfaces as `17.0`).  Objects are stored as an
+/// insertion-ordered `Vec` of pairs — serialization is deterministic and the
+/// handful of keys a grading request carries make linear lookup cheaper than
+/// a map.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without a fractional part or exponent.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(value: impl Into<String>) -> Json {
+        Json::Str(value.into())
+    }
+
+    /// The value under `key`, when `self` is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, when `self` is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer value, when `self` is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, when `self` is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string slice, when `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, when `self` is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, when `self` is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Whether `self` is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Serializes with two-space indentation (for humans; the service always
+    /// sends the compact form).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(0));
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for Json {
+    /// The compact serialization (no insignificant whitespace).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, None);
+        f.write_str(&out)
+    }
+}
+
+/// `indent`: `None` for compact output, `Some(depth)` for pretty output.
+fn write_value(out: &mut String, value: &Json, indent: Option<usize>) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Int(v) => out.push_str(&v.to_string()),
+        Json::Float(v) => write_float(out, *v),
+        Json::Str(s) => write_string(out, s),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_child_indent(out, indent);
+                write_value(out, item, indent.map(|d| d + 1));
+            }
+            write_close_indent(out, indent);
+            out.push(']');
+        }
+        Json::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_child_indent(out, indent);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent.map(|d| d + 1));
+            }
+            write_close_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn write_child_indent(out: &mut String, indent: Option<usize>) {
+    if let Some(depth) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(depth + 1));
+    }
+}
+
+fn write_close_indent(out: &mut String, indent: Option<usize>) {
+    if let Some(depth) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(depth));
+    }
+}
+
+/// JSON has no NaN/Infinity; they serialize as `null` like every mainstream
+/// encoder.  Finite floats use Rust's shortest round-trip rendering, with a
+/// `.0` appended to integral values so they re-parse as floats.
+fn write_float(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let rendered = v.to_string();
+    out.push_str(&rendered);
+    if !rendered.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_serialization_is_deterministic() {
+        let doc = Json::object([
+            ("b", Json::Int(2)),
+            ("a", Json::Array(vec![Json::Null, Json::Bool(false)])),
+            ("s", Json::str("x\"y\n")),
+        ]);
+        assert_eq!(doc.to_string(), r#"{"b":2,"a":[null,false],"s":"x\"y\n"}"#);
+    }
+
+    #[test]
+    fn floats_round_trip_as_floats() {
+        assert_eq!(Json::Float(2.0).to_string(), "2.0");
+        assert_eq!(Json::Float(2.5).to_string(), "2.5");
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Int(2).to_string(), "2");
+    }
+
+    #[test]
+    fn accessors_select_by_shape() {
+        let doc = Json::object([("n", Json::Int(3)), ("s", Json::str("hi"))]);
+        assert_eq!(doc.get("n").and_then(Json::as_i64), Some(3));
+        assert_eq!(doc.get("n").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(doc.get("missing"), None);
+        assert!(Json::Null.is_null());
+        assert_eq!(Json::Int(1).get("x"), None);
+    }
+
+    #[test]
+    fn pretty_output_indents_and_terminates() {
+        let doc = Json::object([("xs", Json::Array(vec![Json::Int(1)]))]);
+        assert_eq!(doc.to_pretty(), "{\n  \"xs\": [\n    1\n  ]\n}\n");
+        assert_eq!(Json::Object(vec![]).to_pretty(), "{}\n");
+    }
+
+    #[test]
+    fn control_characters_escape_as_unicode() {
+        assert_eq!(Json::str("\u{01}").to_string(), "\"\\u0001\"");
+    }
+}

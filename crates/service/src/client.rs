@@ -1,0 +1,124 @@
+//! A minimal JSON-over-HTTP client for the grading daemon.
+//!
+//! Used by the integration tests and the `loadgen` benchmark driver; it
+//! speaks exactly the subset of HTTP/1.1 the server does (keep-alive,
+//! `Content-Length` bodies).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use afg_json::{parse_json, Json};
+
+/// A persistent (keep-alive) connection to the daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Opens a connection.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends one request and reads the JSON response.
+    ///
+    /// Returns `(status, body)`.  The connection stays open for the next
+    /// request.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> io::Result<(u16, Json)> {
+        let payload = body.map(Json::to_string).unwrap_or_default();
+        let mut message = format!(
+            "{method} {path} HTTP/1.1\r\n\
+             Host: afg-service\r\n\
+             Content-Type: application/json\r\n\
+             Content-Length: {}\r\n\
+             \r\n",
+            payload.len()
+        );
+        message.push_str(&payload);
+        self.writer.write_all(message.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Convenience: `POST` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &Json) -> io::Result<(u16, Json)> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Convenience: `GET`.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, Json)> {
+        self.request("GET", path, None)
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, Json)> {
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line: {status_line:?}"),
+                )
+            })?;
+
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside response headers",
+                ));
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+            }
+        }
+
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let text = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        let json = parse_json(&text)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        Ok((status, json))
+    }
+}
+
+/// One-shot `POST` on a fresh connection.
+pub fn post(addr: impl ToSocketAddrs, path: &str, body: &Json) -> io::Result<(u16, Json)> {
+    Client::connect(addr)?.post(path, body)
+}
+
+/// One-shot `GET` on a fresh connection.
+pub fn get(addr: impl ToSocketAddrs, path: &str) -> io::Result<(u16, Json)> {
+    Client::connect(addr)?.get(path)
+}

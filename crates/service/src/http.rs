@@ -1,0 +1,306 @@
+//! A minimal HTTP/1.1 layer over `std::net::TcpStream`.
+//!
+//! Only what the grading API needs: request-line + header parsing,
+//! `Content-Length` bodies, keep-alive, and fixed-size limits so a hostile
+//! peer cannot balloon memory.  No chunked encoding, no TLS, no
+//! compression — the daemon is meant to sit behind a real edge proxy.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body (a submission corpus for batch grading).
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+/// Largest accepted header section.
+const MAX_HEADER_LINE: usize = 8 * 1024;
+const MAX_HEADERS: usize = 100;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// The path component, query string stripped.
+    pub path: String,
+    /// `HTTP/1.0` or `HTTP/1.1`.
+    pub version: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The raw body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after the response.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.version == "HTTP/1.1",
+        }
+    }
+}
+
+/// Why reading a request stopped.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The bytes on the wire are not HTTP (connection must be dropped).
+    Malformed(String),
+    /// The request exceeds a size limit (respond 413, then drop).
+    TooLarge,
+    /// An I/O error or read timeout.  The error itself is carried for
+    /// `Debug` rendering in tests; the server treats every I/O failure the
+    /// same way (drop the connection).
+    Io(#[allow(dead_code)] io::Error),
+}
+
+/// Reads one request from the stream.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> ReadOutcome {
+    let mut line = String::new();
+    match read_limited_line(reader, &mut line) {
+        Ok(0) => return ReadOutcome::Closed,
+        Ok(_) => {}
+        Err(LineError::TooLong) => return ReadOutcome::TooLarge,
+        Err(LineError::Io(err)) => return ReadOutcome::Io(err),
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Malformed(format!("bad request line: {line:?}"));
+    };
+    if !version.starts_with("HTTP/") {
+        return ReadOutcome::Malformed(format!("bad version: {version:?}"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let mut request = Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        version: version.to_string(),
+        headers: Vec::new(),
+        body: Vec::new(),
+    };
+
+    loop {
+        line.clear();
+        match read_limited_line(reader, &mut line) {
+            Ok(0) => return ReadOutcome::Malformed("eof inside headers".into()),
+            Ok(_) => {}
+            Err(LineError::TooLong) => return ReadOutcome::TooLarge,
+            Err(LineError::Io(err)) => return ReadOutcome::Io(err),
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if request.headers.len() >= MAX_HEADERS {
+            return ReadOutcome::TooLarge;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return ReadOutcome::Malformed(format!("bad header: {trimmed:?}"));
+        };
+        request
+            .headers
+            .push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // No chunked-body support: treating an unread chunked body as "length
+    // 0" would let its payload be parsed as the *next* request on this
+    // keep-alive connection (request smuggling) — reject instead.
+    if request.header("transfer-encoding").is_some() {
+        return ReadOutcome::Malformed("transfer-encoding is not supported".into());
+    }
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(value) => match value.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return ReadOutcome::Malformed(format!("bad content-length: {value:?}")),
+        },
+    };
+    if content_length > MAX_BODY {
+        return ReadOutcome::TooLarge;
+    }
+    request.body = vec![0; content_length];
+    if let Err(err) = reader.read_exact(&mut request.body) {
+        return ReadOutcome::Io(err);
+    }
+    ReadOutcome::Request(request)
+}
+
+enum LineError {
+    TooLong,
+    Io(io::Error),
+}
+
+/// `read_line` with a hard cap, so an endless unterminated line cannot
+/// balloon memory.
+fn read_limited_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> Result<usize, LineError> {
+    let mut bytes = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                bytes.push(byte[0]);
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if bytes.len() > MAX_HEADER_LINE {
+                    return Err(LineError::TooLong);
+                }
+            }
+            Err(err) => return Err(LineError::Io(err)),
+        }
+    }
+    match String::from_utf8(bytes) {
+        Ok(text) => {
+            let len = text.len();
+            line.push_str(&text);
+            Ok(len)
+        }
+        Err(_) => Err(LineError::Io(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "non-UTF-8 header bytes",
+        ))),
+    }
+}
+
+/// Writes one `application/json` response.
+///
+/// Header and body go out in a single `write_all` — two small writes on a
+/// socket without `TCP_NODELAY` interact with Nagle + delayed ACK into
+/// ~40 ms stalls, which would dwarf a cache-hit grading time.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = reason_phrase(status);
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut response = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\
+         Connection: {connection}\r\n\
+         \r\n",
+        body.len()
+    );
+    response.push_str(body);
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    /// Feeds raw bytes to `read_request` through a real socket pair.
+    fn parse_raw(raw: &'static [u8]) -> ReadOutcome {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(raw).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let outcome = read_request(&mut BufReader::new(stream));
+        writer.join().unwrap();
+        outcome
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let outcome = parse_raw(
+            b"POST /problems/x/grade?verbose=1 HTTP/1.1\r\n\
+              Host: localhost\r\n\
+              Content-Length: 4\r\n\
+              \r\n\
+              {\"a\"",
+        );
+        let ReadOutcome::Request(request) = outcome else {
+            panic!("expected request, got {outcome:?}");
+        };
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/problems/x/grade");
+        assert_eq!(request.body, b"{\"a\"");
+        assert_eq!(request.header("host"), Some("localhost"));
+        assert!(request.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let outcome = parse_raw(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let ReadOutcome::Request(request) = outcome else {
+            panic!("{outcome:?}")
+        };
+        assert!(!request.keep_alive());
+        let outcome = parse_raw(b"GET /healthz HTTP/1.0\r\n\r\n");
+        let ReadOutcome::Request(request) = outcome else {
+            panic!("{outcome:?}")
+        };
+        assert!(!request.keep_alive());
+    }
+
+    #[test]
+    fn clean_eof_reports_closed_and_garbage_reports_malformed() {
+        assert!(matches!(parse_raw(b""), ReadOutcome::Closed));
+        assert!(matches!(
+            parse_raw(b"nonsense\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_raw(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_without_allocation() {
+        let outcome = parse_raw(b"POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n");
+        assert!(matches!(outcome, ReadOutcome::TooLarge));
+    }
+
+    #[test]
+    fn chunked_bodies_are_rejected_not_smuggled() {
+        // Without this rejection the chunk lines would be parsed as a
+        // second request on the keep-alive connection.
+        let outcome = parse_raw(
+            b"POST /problems HTTP/1.1\r\n\
+              Transfer-Encoding: chunked\r\n\
+              \r\n\
+              5\r\nhello\r\n0\r\n\r\n",
+        );
+        assert!(matches!(outcome, ReadOutcome::Malformed(_)), "{outcome:?}");
+    }
+}

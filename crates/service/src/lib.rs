@@ -1,0 +1,44 @@
+//! `afg-service` — the grading daemon.
+//!
+//! A zero-dependency HTTP/1.1 server (hand-rolled on
+//! `std::net::TcpListener` with a worker-thread pool) that fronts the
+//! `afg-core` grading engine for classroom/MOOC-scale traffic:
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `POST /problems` | Register an assignment: a built-in benchmark (`{"problem": "compDeriv"}`) or instructor-supplied `{"id", "entry", "reference", "model"}` (MPY source + EML text) |
+//! | `POST /problems/{id}/grade` | Grade one submission `{"source": "..."}` |
+//! | `POST /problems/{id}/grade/batch` | Grade a corpus `{"sources": [...], "workers": N?}` through [`afg_core::BatchGrader`] |
+//! | `GET /stats` | Per-problem outcome counters and fingerprint-cache hit/miss counters |
+//! | `GET /healthz` | Liveness |
+//!
+//! Each registered problem owns an [`afg_core::Autograder`] (shared
+//! read-only across connections) and, unless registered with
+//! `"cache": false`, an [`afg_core::FingerprintCache`]: submissions that
+//! are alpha-equivalent to one already graded — same program modulo
+//! variable names and formatting — skip the CEGIS search entirely, and
+//! grade responses carry `"cache": "hit" | "miss" | "off"`.
+//!
+//! ```no_run
+//! use afg_json::Json;
+//!
+//! let handle = afg_service::start(afg_service::ServiceConfig::default())?;
+//! let mut client = afg_service::client::Client::connect(handle.addr())?;
+//! let (status, _) =
+//!     client.post("/problems", &Json::object([("problem", Json::str("compDeriv"))]))?;
+//! assert_eq!(status, 201);
+//! let (_, graded) = client.post(
+//!     "/problems/compDeriv/grade",
+//!     &Json::object([("source", Json::str("def computeDeriv(poly):\n    return poly\n"))]),
+//! )?;
+//! println!("{}", graded.to_pretty());
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod client;
+mod http;
+mod registry;
+mod server;
+
+pub use http::{Request, MAX_BODY};
+pub use server::{start, ServerHandle, ServiceConfig};

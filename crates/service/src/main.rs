@@ -1,0 +1,63 @@
+//! The `afg-serve` daemon binary.
+//!
+//! ```text
+//! cargo run --release -p afg-service --bin afg-serve -- [--addr HOST:PORT] [--threads N]
+//! ```
+//!
+//! Runs until killed.  See the crate docs (or the README's "Grading
+//! service" section) for the endpoint reference and curl examples.
+
+use afg_service::ServiceConfig;
+
+fn usage() -> String {
+    "usage: afg-serve [--addr HOST:PORT] [--threads N]\n\
+     \n\
+     --addr HOST:PORT  bind address (default 127.0.0.1:8080; port 0 = ephemeral)\n\
+     --threads N       connection-serving worker threads (default 16)"
+        .to_string()
+}
+
+fn main() {
+    let mut config = ServiceConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        ..ServiceConfig::default()
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => match iter.next() {
+                Some(addr) => config.addr = addr.clone(),
+                None => exit_usage("option '--addr' requires a value"),
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(threads) if threads > 0 => config.threads = threads,
+                _ => exit_usage("option '--threads' expects a positive integer"),
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return;
+            }
+            other => exit_usage(&format!("unknown option '{other}'")),
+        }
+    }
+
+    match afg_service::start(config) {
+        Ok(handle) => {
+            println!(
+                "afg-serve listening on http://{} (POST /problems to register an assignment)",
+                handle.addr()
+            );
+            handle.wait();
+        }
+        Err(err) => {
+            eprintln!("failed to start: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn exit_usage(message: &str) -> ! {
+    eprintln!("{message}\n\n{}", usage());
+    std::process::exit(2)
+}

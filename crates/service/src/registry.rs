@@ -1,0 +1,198 @@
+//! The concurrent problem registry: assignment id → ready-to-grade state.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use afg_core::{Autograder, FingerprintCache, GradeOutcome};
+use afg_json::{Json, ToJson};
+
+/// Everything the daemon holds for one registered assignment.
+pub struct ProblemEntry {
+    /// The registered identifier.
+    pub id: String,
+    /// The shared, read-only grading pipeline.
+    pub grader: Autograder,
+    /// The fingerprint cache (`None` when registered with `"cache": false`).
+    pub cache: Option<FingerprintCache>,
+    /// Outcome counters over every submission this entry has graded.
+    pub counters: OutcomeCounters,
+}
+
+/// Lock-free outcome counters (one instance per problem).
+#[derive(Debug, Default)]
+pub struct OutcomeCounters {
+    graded: AtomicU64,
+    syntax_errors: AtomicU64,
+    correct: AtomicU64,
+    fixed: AtomicU64,
+    cannot_fix: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl OutcomeCounters {
+    /// Records one graded submission.
+    pub fn record(&self, outcome: &GradeOutcome) {
+        self.graded.fetch_add(1, Ordering::Relaxed);
+        let bucket = match outcome {
+            GradeOutcome::SyntaxError(_) => &self.syntax_errors,
+            GradeOutcome::Correct => &self.correct,
+            GradeOutcome::Feedback(_) => &self.fixed,
+            GradeOutcome::CannotFix => &self.cannot_fix,
+            GradeOutcome::Timeout => &self.timeouts,
+        };
+        bucket.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Json {
+        Json::object([
+            ("graded", self.graded.load(Ordering::Relaxed).to_json()),
+            (
+                "syntax_errors",
+                self.syntax_errors.load(Ordering::Relaxed).to_json(),
+            ),
+            ("correct", self.correct.load(Ordering::Relaxed).to_json()),
+            ("fixed", self.fixed.load(Ordering::Relaxed).to_json()),
+            (
+                "cannot_fix",
+                self.cannot_fix.load(Ordering::Relaxed).to_json(),
+            ),
+            ("timeouts", self.timeouts.load(Ordering::Relaxed).to_json()),
+        ])
+    }
+}
+
+impl ProblemEntry {
+    /// The `/stats` rendering of this entry.
+    pub fn stats_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id".to_string(), Json::str(&self.id)),
+            ("entry".to_string(), Json::str(self.grader.entry())),
+            ("outcomes".to_string(), self.counters.snapshot()),
+        ];
+        match &self.cache {
+            Some(cache) => pairs.push(("cache".to_string(), cache.stats().to_json())),
+            None => pairs.push(("cache".to_string(), Json::Null)),
+        }
+        Json::Object(pairs)
+    }
+}
+
+/// The registry proper.  Problems are few and listed in `/stats`, so a
+/// `BTreeMap` keeps the output deterministically ordered.
+pub struct Registry {
+    problems: RwLock<BTreeMap<String, Arc<ProblemEntry>>>,
+    started: Instant,
+}
+
+impl Registry {
+    /// An empty registry; `started` anchors the `/stats` uptime.
+    pub fn new() -> Registry {
+        Registry {
+            problems: RwLock::new(BTreeMap::new()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Registers (or replaces) a problem.
+    pub fn insert(&self, entry: ProblemEntry) {
+        self.problems
+            .write()
+            .expect("registry lock")
+            .insert(entry.id.clone(), Arc::new(entry));
+    }
+
+    /// Looks up a problem by id.
+    pub fn get(&self, id: &str) -> Option<Arc<ProblemEntry>> {
+        self.problems
+            .read()
+            .expect("registry lock")
+            .get(id)
+            .cloned()
+    }
+
+    /// Number of registered problems.
+    pub fn len(&self) -> usize {
+        self.problems.read().expect("registry lock").len()
+    }
+
+    /// The `/stats` document.
+    pub fn stats_json(&self) -> Json {
+        let problems: Vec<Json> = self
+            .problems
+            .read()
+            .expect("registry lock")
+            .values()
+            .map(|entry| entry.stats_json())
+            .collect();
+        Json::object([
+            ("uptime_ms", self.started.elapsed().to_json()),
+            ("problems", Json::Array(problems)),
+        ])
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afg_core::GraderConfig;
+    use afg_eml::library;
+
+    fn entry(id: &str, cache: bool) -> ProblemEntry {
+        let problem = afg_corpus::problems::compute_deriv();
+        ProblemEntry {
+            id: id.to_string(),
+            grader: Autograder::new(
+                problem.reference,
+                problem.entry,
+                library::compute_deriv_model(),
+                GraderConfig::fast(),
+            )
+            .unwrap(),
+            cache: cache.then(FingerprintCache::new),
+            counters: OutcomeCounters::default(),
+        }
+    }
+
+    #[test]
+    fn registration_lookup_and_replacement() {
+        let registry = Registry::new();
+        assert_eq!(registry.len(), 0);
+        assert!(registry.get("deriv").is_none());
+        registry.insert(entry("deriv", true));
+        assert_eq!(registry.len(), 1);
+        let first = registry.get("deriv").unwrap();
+        assert_eq!(first.id, "deriv");
+        assert!(first.cache.is_some());
+        // Re-registering replaces the entry.
+        registry.insert(entry("deriv", false));
+        assert_eq!(registry.len(), 1);
+        assert!(registry.get("deriv").unwrap().cache.is_none());
+    }
+
+    #[test]
+    fn stats_counts_outcomes_per_problem() {
+        let registry = Registry::new();
+        registry.insert(entry("deriv", true));
+        let problem = registry.get("deriv").unwrap();
+        problem.counters.record(&GradeOutcome::Correct);
+        problem.counters.record(&GradeOutcome::Correct);
+        problem.counters.record(&GradeOutcome::CannotFix);
+
+        let stats = registry.stats_json();
+        let problems = stats.get("problems").and_then(Json::as_array).unwrap();
+        assert_eq!(problems.len(), 1);
+        let outcomes = problems[0].get("outcomes").unwrap();
+        assert_eq!(outcomes.get("graded").and_then(Json::as_i64), Some(3));
+        assert_eq!(outcomes.get("correct").and_then(Json::as_i64), Some(2));
+        assert_eq!(outcomes.get("cannot_fix").and_then(Json::as_i64), Some(1));
+        assert!(problems[0].get("cache").unwrap().get("hits").is_some());
+    }
+}

@@ -1,0 +1,425 @@
+//! The daemon: accept loop, worker pool, routing and request handlers.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use afg_core::{Autograder, BatchGrader, FingerprintCache, GraderConfig};
+use afg_eml::parse_error_model;
+use afg_json::{parse_json, Json, ToJson};
+
+use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::registry::{OutcomeCounters, ProblemEntry, Registry};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Connection-serving worker threads.  Each worker owns one connection
+    /// at a time (keep-alive included), so this bounds the number of
+    /// concurrently served connections; excess connections queue.
+    pub threads: usize,
+    /// How long an idle keep-alive connection is held before it is closed
+    /// and its worker freed.
+    pub keep_alive_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 16,
+            keep_alive_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A running daemon.  Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<ConnectionQueue>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Most workers a single batch request may ask for — a remote client must
+/// not be able to make the daemon spawn an arbitrary number of OS threads.
+const MAX_BATCH_WORKERS: usize = 64;
+
+/// Most accepted-but-unserved connections held at once.  Beyond this the
+/// daemon sheds load with an immediate 503 instead of hoarding file
+/// descriptors while every worker is busy grading.
+const MAX_PENDING_CONNECTIONS: usize = 1024;
+
+struct ConnectionQueue {
+    pending: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+}
+
+impl ConnectionQueue {
+    /// Enqueues a connection, or sheds it with a best-effort 503 when the
+    /// backlog is full.
+    fn push(&self, mut stream: TcpStream) {
+        let mut pending = self.pending.lock().expect("queue lock");
+        if pending.len() >= MAX_PENDING_CONNECTIONS {
+            drop(pending);
+            let _ = write_response(&mut stream, 503, r#"{"error":"server overloaded"}"#, false);
+            return;
+        }
+        pending.push_back(stream);
+        drop(pending);
+        self.available.notify_one();
+    }
+
+    /// Blocks until a connection is available or shutdown is signalled.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut pending = self.pending.lock().expect("queue lock");
+        loop {
+            if let Some(stream) = pending.pop_front() {
+                return Some(stream);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .available
+                .wait_timeout(pending, Duration::from_millis(100))
+                .expect("queue lock");
+            pending = guard;
+        }
+    }
+}
+
+/// Starts the daemon on `config.addr` with a fresh, empty problem registry.
+pub fn start(config: ServiceConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let registry = Arc::new(Registry::new());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(ConnectionQueue {
+        pending: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+    });
+
+    let mut workers = Vec::with_capacity(config.threads.max(1));
+    for _ in 0..config.threads.max(1) {
+        let registry = Arc::clone(&registry);
+        let shutdown = Arc::clone(&shutdown);
+        let queue = Arc::clone(&queue);
+        let keep_alive_timeout = config.keep_alive_timeout;
+        workers.push(std::thread::spawn(move || {
+            while let Some(stream) = queue.pop(&shutdown) {
+                // A panic while serving one connection must not shrink the
+                // pool — swallow it and move on to the next connection.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    serve_connection(stream, &registry, &shutdown, keep_alive_timeout);
+                }));
+            }
+        }));
+    }
+
+    let accept = {
+        let shutdown = Arc::clone(&shutdown);
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => queue.push(stream),
+                    Err(_) => continue,
+                }
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        queue,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server shuts down (for the daemon binary).
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Stops accepting, drains workers and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.queue.available.notify_all();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serves one connection until it closes, errors, idles out or the server
+/// shuts down.
+fn serve_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    shutdown: &AtomicBool,
+    keep_alive_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(keep_alive_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let request = match read_request(&mut reader) {
+            ReadOutcome::Request(request) => request,
+            ReadOutcome::Closed | ReadOutcome::Io(_) => return,
+            ReadOutcome::Malformed(message) => {
+                let body = error_json(&message).to_string();
+                let _ = write_response(&mut writer, 400, &body, false);
+                return;
+            }
+            ReadOutcome::TooLarge => {
+                let body = error_json("request too large").to_string();
+                let _ = write_response(&mut writer, 413, &body, false);
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive();
+        let (status, body) = handle(&request, registry);
+        if write_response(&mut writer, status, &body.to_string(), keep_alive).is_err() {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+fn error_json(message: &str) -> Json {
+    Json::object([("error", Json::str(message))])
+}
+
+/// Routes one request.  Paths:
+/// `POST /problems`, `POST /problems/{id}/grade`,
+/// `POST /problems/{id}/grade/batch`, `GET /stats`, `GET /healthz`.
+fn handle(request: &Request, registry: &Registry) -> (u16, Json) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => (
+            200,
+            Json::object([
+                ("status", Json::str("ok")),
+                ("problems", registry.len().to_json()),
+            ]),
+        ),
+        ("GET", ["stats"]) => (200, registry.stats_json()),
+        ("POST", ["problems"]) => handle_register(request, registry),
+        ("POST", ["problems", id, "grade"]) => handle_grade(request, registry, id),
+        ("POST", ["problems", id, "grade", "batch"]) => handle_batch(request, registry, id),
+        (_, ["healthz" | "stats"]) | (_, ["problems", ..]) => {
+            (405, error_json("method not allowed"))
+        }
+        _ => (404, error_json("no such route")),
+    }
+}
+
+fn parse_body(request: &Request) -> Result<Json, (u16, Json)> {
+    let text =
+        std::str::from_utf8(&request.body).map_err(|_| (400, error_json("body is not UTF-8")))?;
+    parse_json(text).map_err(|err| (400, error_json(&err.to_string())))
+}
+
+/// `POST /problems` — body:
+/// `{"problem": "compDeriv"}` registers a built-in benchmark problem, or
+/// `{"id", "entry", "reference", "model"}` registers instructor-supplied
+/// MPY reference source plus an EML error-model text.  Optional fields:
+/// `"cache": bool` (default true), `"max_cost"`, `"max_candidates"`,
+/// `"time_budget_ms"` (search budget overrides).
+fn handle_register(request: &Request, registry: &Registry) -> (u16, Json) {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+
+    let mut config = GraderConfig::fast();
+    if let Some(max_cost) = body.get("max_cost").and_then(Json::as_i64) {
+        config.synthesis.max_cost = max_cost.max(0) as usize;
+    }
+    if let Some(max_candidates) = body.get("max_candidates").and_then(Json::as_i64) {
+        config.synthesis.max_candidates = max_candidates.max(0) as usize;
+    }
+    if let Some(budget_ms) = body.get("time_budget_ms").and_then(Json::as_f64) {
+        config.synthesis.time_budget = Duration::from_secs_f64(budget_ms.max(0.0) / 1e3);
+    }
+    let use_cache = body.get("cache").and_then(Json::as_bool).unwrap_or(true);
+
+    let built = if let Some(problem_id) = body.get("problem").and_then(Json::as_str) {
+        let Some(problem) = afg_corpus::problems::problem(problem_id) else {
+            return (
+                404,
+                error_json(&format!("unknown built-in problem '{problem_id}'")),
+            );
+        };
+        let id = body
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap_or(problem.id)
+            .to_string();
+        Autograder::new(
+            problem.reference,
+            problem.entry,
+            problem.model.clone(),
+            config,
+        )
+        .map(|grader| (id, grader))
+    } else {
+        let field = |name: &str| {
+            body.get(name)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("missing string field '{name}'"))
+        };
+        let (id, entry, reference, model_text) = match (
+            field("id"),
+            field("entry"),
+            field("reference"),
+            field("model"),
+        ) {
+            (Ok(id), Ok(entry), Ok(reference), Ok(model)) => (id, entry, reference, model),
+            (id, entry, reference, model) => {
+                let message = [id.err(), entry.err(), reference.err(), model.err()]
+                    .into_iter()
+                    .flatten()
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return (400, error_json(&message));
+            }
+        };
+        let model = match parse_error_model(id, model_text) {
+            Ok(model) => model,
+            Err(err) => return (422, error_json(&format!("error model: {err}"))),
+        };
+        Autograder::new(reference, entry, model, config).map(|grader| (id.to_string(), grader))
+    };
+
+    match built {
+        Ok((id, grader)) => {
+            let response = Json::object([
+                ("id", Json::str(&id)),
+                ("entry", Json::str(grader.entry())),
+                ("cache", Json::Bool(use_cache)),
+            ]);
+            registry.insert(ProblemEntry {
+                id,
+                grader,
+                cache: use_cache.then(FingerprintCache::new),
+                counters: OutcomeCounters::default(),
+            });
+            (201, response)
+        }
+        Err(err) => (422, error_json(&err.to_string())),
+    }
+}
+
+/// `POST /problems/{id}/grade` — body `{"source": "..."}`.
+fn handle_grade(request: &Request, registry: &Registry, id: &str) -> (u16, Json) {
+    let Some(entry) = registry.get(id) else {
+        return (404, error_json(&format!("no problem '{id}'")));
+    };
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let Some(source) = body.get("source").and_then(Json::as_str) else {
+        return (400, error_json("missing string field 'source'"));
+    };
+
+    let start = Instant::now();
+    let (outcome, cache_state) = match &entry.cache {
+        Some(cache) => {
+            let (outcome, hit) = entry.grader.grade_source_cached(source, cache);
+            (outcome, if hit { "hit" } else { "miss" })
+        }
+        None => (entry.grader.grade_source(source), "off"),
+    };
+    entry.counters.record(&outcome);
+
+    let mut pairs = match outcome.to_json() {
+        Json::Object(pairs) => pairs,
+        other => vec![("outcome".to_string(), other)],
+    };
+    pairs.push(("cache".to_string(), Json::str(cache_state)));
+    pairs.push(("elapsed_ms".to_string(), start.elapsed().to_json()));
+    (200, Json::Object(pairs))
+}
+
+/// `POST /problems/{id}/grade/batch` — body
+/// `{"sources": ["...", ...], "workers": N?}`.
+fn handle_batch(request: &Request, registry: &Registry, id: &str) -> (u16, Json) {
+    let Some(entry) = registry.get(id) else {
+        return (404, error_json(&format!("no problem '{id}'")));
+    };
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let Some(items) = body.get("sources").and_then(Json::as_array) else {
+        return (400, error_json("missing array field 'sources'"));
+    };
+    let mut sources = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        match item.as_str() {
+            Some(source) => sources.push(source),
+            None => {
+                return (400, error_json(&format!("sources[{i}] is not a string")));
+            }
+        }
+    }
+    let engine = match body.get("workers").and_then(Json::as_i64) {
+        Some(workers) if workers > 0 => BatchGrader::new((workers as usize).min(MAX_BATCH_WORKERS)),
+        _ => BatchGrader::default(),
+    };
+
+    let report = engine.grade_sources_with_cache(&entry.grader, &sources, entry.cache.as_ref());
+    for item in &report.items {
+        entry.counters.record(&item.outcome);
+    }
+    (200, report.to_json())
+}

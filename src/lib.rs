@@ -16,7 +16,11 @@
 //! * [`sat`] (`afg-sat`) — the CDCL SAT solver substrate,
 //! * [`corpus`] (`afg-corpus`) — benchmark problems and the synthetic
 //!   student-submission generator,
-//! * [`baseline`] (`afg-baseline`) — the test-case feedback baseline.
+//! * [`baseline`] (`afg-baseline`) — the test-case feedback baseline,
+//! * [`json`] (`afg-json`) — the in-tree JSON parser/serializer and the
+//!   `ToJson`/`FromJson` trait layer,
+//! * [`service`] (`afg-service`) — the HTTP grading daemon (problem
+//!   registry, grade/batch endpoints, fingerprint-cache stats).
 //!
 //! See the crate-level examples (`examples/quickstart.rs` and friends) and
 //! the experiment binaries in `afg-bench` for end-to-end usage.
@@ -27,11 +31,13 @@ pub use afg_core as core;
 pub use afg_corpus as corpus;
 pub use afg_eml as eml;
 pub use afg_interp as interp;
+pub use afg_json as json;
 pub use afg_parser as parser;
 pub use afg_sat as sat;
+pub use afg_service as service;
 pub use afg_synth as synth;
 
 pub use afg_core::{
-    Autograder, Correction, ErrorModel, Feedback, FeedbackLevel, GradeOutcome, GraderConfig,
-    GraderError,
+    Autograder, CacheStats, Correction, ErrorModel, Feedback, FeedbackLevel, FingerprintCache,
+    GradeOutcome, GraderConfig, GraderError,
 };

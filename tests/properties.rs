@@ -61,6 +61,54 @@ fn default_concretisation_preserves_behaviour() {
     }
 }
 
+/// The fingerprint cache's guard rail: `pretty-print → parse → canonical
+/// hash` is a fixpoint for every benchmark problem's reference, correct
+/// variants and conceptual mutants, and across a seeded mutant sweep.  If
+/// the parser or the printer ever drift apart (a normalisation one does
+/// and the other undoes), an identical resubmission would stop hitting the
+/// cache — this test turns that silent performance regression into a
+/// loud failure.
+#[test]
+fn canonical_fingerprint_survives_a_print_parse_round_trip() {
+    use autofeedback::ast::canon::{canonical_source, canonicalize, fingerprint64};
+    use autofeedback::ast::pretty::program_to_string;
+
+    let check = |program: &autofeedback::ast::Program, context: &str| {
+        let printed = program_to_string(program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("{context}: printed program parses: {e}\n{printed}"));
+        assert_eq!(
+            fingerprint64(program),
+            fingerprint64(&reparsed),
+            "{context}: fingerprint must survive print→parse\n{printed}"
+        );
+        // Canonicalisation is idempotent: hashing the canonical form again
+        // changes nothing.
+        assert_eq!(
+            canonical_source(program),
+            canonical_source(&canonicalize(program)),
+            "{context}: canonicalisation must be idempotent"
+        );
+    };
+
+    for problem in problems::all_problems() {
+        let mut fixed_sources = problem.mutation_seeds();
+        fixed_sources.extend(problem.conceptual_mutants.iter().copied());
+        for (i, source) in fixed_sources.iter().enumerate() {
+            let program = parse_program(source).expect("corpus sources parse");
+            check(&program, &format!("{} source {i}", problem.id));
+        }
+
+        // Seeded mutant sweep: 1–3 injected mistakes per seed.
+        for seed in 0..12u64 {
+            let mut program = parse_program(problem.reference).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            mutate_program(&mut program, 1 + (seed as usize % 3), &mut rng);
+            check(&program, &format!("{} mutant seed {seed}", problem.id));
+        }
+    }
+}
+
 /// Cost accounting: the cost of an assignment equals the number of
 /// non-default selections, and concretising the same assignment twice is
 /// deterministic.
