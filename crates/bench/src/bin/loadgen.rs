@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p afg-bench --bin loadgen -- \
 //!     [--problem ID] [--attempts N] [--requests N] [--connections N] \
-//!     [--seed S] [--addr HOST:PORT] [--no-cache]
+//!     [--seed S] [--addr HOST:PORT] [--no-cache] [--backend cegis|enum|portfolio]
 //! ```
 //!
 //! The driver generates a seeded submission corpus for one benchmark
@@ -29,7 +29,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use afg_bench::{percentile, zipf_schedule};
-use afg_core::{Autograder, FeedbackLevel, GradeOutcome, GraderConfig};
+use afg_core::{Autograder, Backend, FeedbackLevel, GradeOutcome, GraderConfig};
 use afg_corpus::{generate_corpus, problems, CorpusSpec};
 use afg_json::Json;
 use afg_service::client::Client;
@@ -43,11 +43,13 @@ struct Options {
     seed: u64,
     addr: Option<String>,
     no_cache: bool,
+    backend: Backend,
 }
 
 fn usage() -> String {
     "usage: loadgen [--problem ID] [--attempts N] [--requests N] [--connections N]\n\
      \x20              [--seed S] [--addr HOST:PORT] [--no-cache]\n\
+     \x20              [--backend cegis|enum|portfolio]\n\
      \n\
      --problem ID      benchmark problem to grade (default compDeriv)\n\
      --attempts N      distinct submissions in the corpus (default 48)\n\
@@ -55,7 +57,8 @@ fn usage() -> String {
      --connections N   concurrent keep-alive TCP connections (default 8)\n\
      --seed S          corpus + schedule RNG seed (default 20130616)\n\
      --addr HOST:PORT  drive an external daemon instead of booting one\n\
-     --no-cache        only run the cache-disabled mode"
+     --no-cache        only run the cache-disabled mode\n\
+     --backend B       synthesis back end on both daemon and library path"
         .to_string()
 }
 
@@ -68,6 +71,7 @@ fn parse_options() -> Options {
         seed: 20130616,
         addr: None,
         no_cache: false,
+        backend: Backend::Cegis,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -96,6 +100,10 @@ fn parse_options() -> Options {
                 None => exit_usage("option '--addr' requires a value"),
             },
             "--no-cache" => options.no_cache = true,
+            "--backend" => match iter.next().and_then(|v| Backend::parse(v)) {
+                Some(backend) => options.backend = backend,
+                None => exit_usage("option '--backend' expects cegis, enum or portfolio"),
+            },
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -111,29 +119,33 @@ fn parse_options() -> Options {
 /// regardless of machine load.  Small enough that the worst pathological
 /// submission grades in a couple of seconds on one core — loadgen measures
 /// the *service*, not the synthesizer's deep tail.
-fn budget() -> GraderConfig {
+fn budget(backend: Backend) -> GraderConfig {
     GraderConfig {
         synthesis: afg_synth::SynthesisConfig {
             max_cost: 2,
             max_candidates: 300,
             time_budget: Duration::from_secs(600),
         },
+        backend,
         ..GraderConfig::fast()
     }
 }
 
 /// What the library path says a submission grades to: the `"outcome"` tag
-/// and, for feedback, the fully rendered text.
-fn expected_of(grader: &Autograder, source: &str) -> (String, Option<String>) {
+/// and, for feedback, the fully rendered text plus the repair cost.
+type Expected = (String, Option<String>, Option<usize>);
+
+fn expected_of(grader: &Autograder, source: &str) -> Expected {
     match grader.grade_source(source) {
-        GradeOutcome::SyntaxError(_) => ("syntax_error".into(), None),
-        GradeOutcome::Correct => ("correct".into(), None),
+        GradeOutcome::SyntaxError(_) => ("syntax_error".into(), None, None),
+        GradeOutcome::Correct => ("correct".into(), None, None),
         GradeOutcome::Feedback(feedback) => (
             "feedback".into(),
             Some(feedback.render(FeedbackLevel::full())),
+            Some(feedback.cost),
         ),
-        GradeOutcome::CannotFix => ("cannot_fix".into(), None),
-        GradeOutcome::Timeout => ("timeout".into(), None),
+        GradeOutcome::CannotFix => ("cannot_fix".into(), None, None),
+        GradeOutcome::Timeout => ("timeout".into(), None, None),
     }
 }
 
@@ -149,9 +161,10 @@ fn run_phase(
     addr: SocketAddr,
     problem_id: &str,
     sources: &[String],
-    expected: &HashMap<&str, (String, Option<String>)>,
+    expected: &HashMap<&str, Expected>,
     schedule: &[usize],
     connections: usize,
+    strict: bool,
 ) -> RunResult {
     let path = format!("/problems/{problem_id}/grade");
     let next = AtomicUsize::new(0);
@@ -173,7 +186,7 @@ fn run_phase(
                     let sent = Instant::now();
                     let (status, response) = client.post(&path, &body).expect("grade request");
                     latencies.push(sent.elapsed());
-                    if status != 200 || !matches_expected(&response, &expected[source]) {
+                    if status != 200 || !matches_expected(&response, &expected[source], strict) {
                         mismatches += 1;
                     }
                 }
@@ -192,15 +205,28 @@ fn run_phase(
     }
 }
 
-fn matches_expected(response: &Json, expected: &(String, Option<String>)) -> bool {
+/// `strict` compares rendered feedback byte for byte (deterministic
+/// backends); otherwise only the outcome tag and repair cost must agree —
+/// the portfolio's race winner varies between runs, and different winners
+/// may legitimately pick different (equally minimal) repairs.
+fn matches_expected(response: &Json, expected: &Expected, strict: bool) -> bool {
     if response.get("outcome").and_then(Json::as_str) != Some(expected.0.as_str()) {
         return false;
     }
-    let rendered = response
-        .get("feedback")
-        .and_then(|f| f.get("rendered"))
-        .and_then(Json::as_str);
-    rendered == expected.1.as_deref()
+    if strict {
+        let rendered = response
+            .get("feedback")
+            .and_then(|f| f.get("rendered"))
+            .and_then(Json::as_str);
+        rendered == expected.1.as_deref()
+    } else {
+        let cost = response
+            .get("feedback")
+            .and_then(|f| f.get("cost"))
+            .and_then(Json::as_i64)
+            .and_then(|v| usize::try_from(v).ok());
+        cost == expected.2
+    }
 }
 
 fn report(label: &str, result: &RunResult, requests: usize) -> f64 {
@@ -233,7 +259,7 @@ fn main() {
     let distinct_graded: std::collections::HashSet<usize> = schedule.iter().copied().collect();
 
     // Library-path ground truth, graded serially with the same budget.
-    let grader = problem.autograder(budget());
+    let grader = problem.autograder(budget(options.backend));
     println!(
         "loadgen: problem {} — {} distinct submissions ({} reached by the schedule), \
          {} requests, {} connections, seed {}",
@@ -245,7 +271,8 @@ fn main() {
         options.seed
     );
     println!("grading the corpus once through the library path (ground truth)...");
-    let expected: HashMap<&str, (String, Option<String>)> = sources
+    let strict = options.backend != Backend::Portfolio;
+    let expected: HashMap<&str, Expected> = sources
         .iter()
         .map(|source| (source.as_str(), expected_of(&grader, source)))
         .collect();
@@ -285,6 +312,7 @@ fn main() {
             ("problem", Json::str(problem.id)),
             ("id", Json::str(id)),
             ("cache", Json::Bool(cache)),
+            ("backend", Json::str(options.backend.name())),
             ("max_cost", Json::Int(2)),
             ("max_candidates", Json::Int(300)),
             ("time_budget_ms", Json::Int(600_000)),
@@ -303,6 +331,7 @@ fn main() {
         &expected,
         &schedule,
         options.connections,
+        strict,
     );
     println!();
     let uncached_throughput = report("no-cache", &uncached, options.requests);
@@ -317,6 +346,7 @@ fn main() {
             &expected,
             &schedule,
             options.connections,
+            strict,
         );
         let cached_throughput = report("cached", &cached, options.requests);
         let speedup = cached_throughput / uncached_throughput;
@@ -339,10 +369,17 @@ fn main() {
             }
         }
         if cached.mismatches == 0 && uncached.mismatches == 0 {
-            println!(
-                "feedback byte-identical to serial library grading across all {} responses",
-                2 * options.requests
-            );
+            if strict {
+                println!(
+                    "feedback byte-identical to serial library grading across all {} responses",
+                    2 * options.requests
+                );
+            } else {
+                println!(
+                    "outcome and repair cost match serial library grading across all {} responses",
+                    2 * options.requests
+                );
+            }
         }
         let total_mismatches = cached.mismatches + uncached.mismatches;
         println!("speedup: cache-enabled throughput is {speedup:.2}x the --no-cache run");

@@ -3,12 +3,16 @@
 //! generated feedback, and average/median grading time.
 //!
 //! ```text
-//! cargo run --release -p afg-bench --bin table1 -- [--attempts N] [--seed S] [--workers N] [--json]
+//! cargo run --release -p afg-bench --bin table1 -- [--attempts N] [--seed S] [--workers N] [--json] [--backend cegis|enum|portfolio]
 //! ```
 //!
 //! With `--json` the table is emitted as a single JSON document (via
 //! `afg-json`) so CI and scripts can consume the results without scraping
-//! the human-formatted text.
+//! the human-formatted text; the document carries per-row solver work
+//! (`sat_conflicts`/`sat_learnts`/…), per-row winning-strategy counts
+//! (`winners`, interesting under `--backend portfolio`) and an aggregate
+//! `solver` object.  `--backend` selects the search engine, so backend
+//! speedups are *measured* on the same corpus rather than asserted.
 //!
 //! The corpora are synthetic (see DESIGN.md); absolute counts therefore
 //! differ from the paper, but the shape — a majority of incorrect attempts
@@ -28,12 +32,15 @@ fn main() {
     let options = CliOptions::parse_or_exit(&args, 40);
     let engine = options.engine();
     let (attempts, seed) = (options.attempts, options.seed);
+    let mut config = afg_bench::experiment_config();
+    options.apply_to(&mut config);
 
     if !options.json {
         println!("Table 1: attempts corrected and grading time per benchmark");
         println!(
-            "(synthetic corpus: {attempts} attempts per benchmark, seed {seed}, {} workers)",
-            engine.workers()
+            "(synthetic corpus: {attempts} attempts per benchmark, seed {seed}, {} workers, {} backend)",
+            engine.workers(),
+            options.backend.name()
         );
         println!();
         println!("{}", Table1Row::header());
@@ -44,13 +51,8 @@ fn main() {
     let mut total_fixed = 0usize;
     for problem in problems::all_problems() {
         let spec = CorpusSpec::table1_like(attempts, seed ^ problem.id.len() as u64);
-        let (row, _records, _report) = run_problem_on(
-            &problem,
-            None,
-            &spec,
-            afg_bench::experiment_config(),
-            &engine,
-        );
+        let (row, _records, _report) =
+            run_problem_on(&problem, None, &spec, config.clone(), &engine);
         if !options.json {
             println!("{}", row.format_row());
         }
@@ -64,6 +66,33 @@ fn main() {
     } else {
         100.0 * total_fixed as f64 / total_incorrect as f64
     };
+    // Aggregate solver work across the corpus — the trend line CI prints
+    // into its job log.
+    let solver = Json::object([
+        (
+            "sat_conflicts",
+            rows.iter().map(|r| r.sat_conflicts).sum::<u64>().to_json(),
+        ),
+        (
+            "sat_propagations",
+            rows.iter()
+                .map(|r| r.sat_propagations)
+                .sum::<u64>()
+                .to_json(),
+        ),
+        (
+            "sat_learnts",
+            rows.iter().map(|r| r.sat_learnts).sum::<u64>().to_json(),
+        ),
+        (
+            "restarts",
+            rows.iter().map(|r| r.restarts).sum::<u64>().to_json(),
+        ),
+        (
+            "timeouts",
+            rows.iter().map(|r| r.timeouts).sum::<usize>().to_json(),
+        ),
+    ]);
 
     if options.json {
         // Machine-readable mode for CI and scripts: one JSON document on
@@ -72,7 +101,9 @@ fn main() {
             ("attempts", attempts.to_json()),
             ("seed", seed.to_json()),
             ("workers", engine.workers().to_json()),
+            ("backend", Json::str(options.backend.name())),
             ("rows", rows.to_json()),
+            ("solver", solver),
             (
                 "overall",
                 Json::object([
@@ -87,6 +118,18 @@ fn main() {
         println!();
         println!(
             "Overall: {total_fixed}/{total_incorrect} incorrect attempts repaired ({overall:.1}%); the paper reports 64%."
+        );
+        println!(
+            "Solver: {} conflicts, {} learnts, {} propagations, {} restarts, {} timeouts ({} backend)",
+            solver.get("sat_conflicts").and_then(Json::as_i64).unwrap_or(0),
+            solver.get("sat_learnts").and_then(Json::as_i64).unwrap_or(0),
+            solver
+                .get("sat_propagations")
+                .and_then(Json::as_i64)
+                .unwrap_or(0),
+            solver.get("restarts").and_then(Json::as_i64).unwrap_or(0),
+            solver.get("timeouts").and_then(Json::as_i64).unwrap_or(0),
+            options.backend.name()
         );
     }
 }

@@ -18,6 +18,7 @@ use std::time::Duration;
 use afg_core::{BatchGrader, BatchReport, GradeOutcome, GraderConfig};
 use afg_corpus::{generate_corpus, CorpusSpec, Problem};
 use afg_eml::ErrorModel;
+use afg_synth::{Backend, SynthesisStats};
 
 /// How one submission was graded, with timing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +29,10 @@ pub struct GradeRecord {
     pub corrections: Option<usize>,
     /// Wall-clock grading time (includes the parse for syntax errors).
     pub elapsed: Duration,
+    /// The synthesizer's counters (present for `Fixed` submissions, whose
+    /// outcome carries them; includes the winning strategy name under the
+    /// portfolio backend).
+    pub stats: Option<SynthesisStats>,
 }
 
 /// The buckets of Table 1.
@@ -65,6 +70,20 @@ pub struct Table1Row {
     pub incorrect: usize,
     /// Incorrect attempts for which feedback was generated.
     pub generated_feedback: usize,
+    /// Attempts whose search budget ran out.
+    pub timeouts: usize,
+    /// SAT conflicts summed over the fixed attempts.
+    pub sat_conflicts: u64,
+    /// SAT propagations summed over the fixed attempts.
+    pub sat_propagations: u64,
+    /// SAT learnt clauses summed over the fixed attempts.
+    pub sat_learnts: u64,
+    /// SAT restarts summed over the fixed attempts.
+    pub restarts: u64,
+    /// Winning-strategy histogram over the fixed attempts (strategy name →
+    /// count), sorted by name.  Under single-strategy backends this has one
+    /// entry; under the portfolio it shows who actually won the races.
+    pub winners: Vec<(String, usize)>,
     /// Mean grading time over the incorrect attempts.
     pub average_time: Duration,
     /// Median grading time over the incorrect attempts.
@@ -121,7 +140,7 @@ impl Table1Row {
 
     /// The counter fields (everything except the timing columns).  Serial
     /// and parallel runs of the same corpus must agree on these exactly.
-    pub fn counters(&self) -> (usize, usize, usize, usize, usize, usize) {
+    pub fn counters(&self) -> (usize, usize, usize, usize, usize, usize, usize) {
         (
             self.total_attempts,
             self.syntax_errors,
@@ -129,6 +148,7 @@ impl Table1Row {
             self.correct,
             self.incorrect,
             self.generated_feedback,
+            self.timeouts,
         )
     }
 }
@@ -136,6 +156,12 @@ impl Table1Row {
 impl afg_json::ToJson for Table1Row {
     fn to_json(&self) -> afg_json::Json {
         use afg_json::Json;
+        let winners = Json::Object(
+            self.winners
+                .iter()
+                .map(|(name, count)| (name.clone(), count.to_json()))
+                .collect(),
+        );
         Json::object([
             ("name", Json::str(&self.name)),
             ("median_loc", self.median_loc.to_json()),
@@ -146,6 +172,12 @@ impl afg_json::ToJson for Table1Row {
             ("incorrect", self.incorrect.to_json()),
             ("generated_feedback", self.generated_feedback.to_json()),
             ("feedback_percent", self.feedback_percent().to_json()),
+            ("timeouts", self.timeouts.to_json()),
+            ("sat_conflicts", self.sat_conflicts.to_json()),
+            ("sat_propagations", self.sat_propagations.to_json()),
+            ("sat_learnts", self.sat_learnts.to_json()),
+            ("restarts", self.restarts.to_json()),
+            ("winners", winners),
             ("average_time_ms", self.average_time.to_json()),
             ("median_time_ms", self.median_time.to_json()),
         ])
@@ -168,6 +200,25 @@ impl afg_json::FromJson for Table1Row {
                 .map(|ms| Duration::from_secs_f64(ms.max(0.0) / 1e3))
                 .ok_or_else(|| JsonError::missing_field("table1 row", name))
         };
+        let wide = |name: &str| {
+            json.get(name)
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| JsonError::missing_field("table1 row", name))
+        };
+        let mut winners: Vec<(String, usize)> = match json.get("winners") {
+            Some(Json::Object(pairs)) => pairs
+                .iter()
+                .filter_map(|(name, value)| {
+                    value
+                        .as_i64()
+                        .and_then(|v| usize::try_from(v).ok())
+                        .map(|count| (name.clone(), count))
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        winners.sort();
         Ok(Table1Row {
             name: json
                 .get("name")
@@ -181,6 +232,12 @@ impl afg_json::FromJson for Table1Row {
             correct: count("correct")?,
             incorrect: count("incorrect")?,
             generated_feedback: count("generated_feedback")?,
+            timeouts: count("timeouts")?,
+            sat_conflicts: wide("sat_conflicts")?,
+            sat_propagations: wide("sat_propagations")?,
+            sat_learnts: wide("sat_learnts")?,
+            restarts: wide("restarts")?,
+            winners,
             average_time: duration("average_time_ms")?,
             median_time: duration("median_time_ms")?,
         })
@@ -202,17 +259,20 @@ pub fn experiment_config() -> GraderConfig {
 }
 
 fn record_from_outcome(outcome: GradeOutcome, elapsed: Duration) -> GradeRecord {
-    let (kind, corrections) = match outcome {
-        GradeOutcome::SyntaxError(_) => (GradeKind::SyntaxError, None),
-        GradeOutcome::Correct => (GradeKind::Correct, None),
-        GradeOutcome::Feedback(feedback) => (GradeKind::Fixed, Some(feedback.cost)),
-        GradeOutcome::CannotFix => (GradeKind::NotFixed, None),
-        GradeOutcome::Timeout => (GradeKind::Timeout, None),
+    let (kind, corrections, stats) = match outcome {
+        GradeOutcome::SyntaxError(_) => (GradeKind::SyntaxError, None, None),
+        GradeOutcome::Correct => (GradeKind::Correct, None, None),
+        GradeOutcome::Feedback(feedback) => {
+            (GradeKind::Fixed, Some(feedback.cost), Some(feedback.stats))
+        }
+        GradeOutcome::CannotFix => (GradeKind::NotFixed, None, None),
+        GradeOutcome::Timeout => (GradeKind::Timeout, None, None),
     };
     GradeRecord {
         kind,
         corrections,
         elapsed,
+        stats,
     }
 }
 
@@ -276,8 +336,30 @@ fn aggregate(problem: &Problem, records: &[GradeRecord]) -> Table1Row {
         .iter()
         .filter(|r| r.kind == GradeKind::Fixed)
         .count();
+    let timeouts = records
+        .iter()
+        .filter(|r| r.kind == GradeKind::Timeout)
+        .count();
     let test_set = records.len() - syntax_errors;
     let incorrect = test_set - correct;
+
+    // Solver work and winning strategies over the fixed submissions.
+    let mut sat_conflicts = 0u64;
+    let mut sat_propagations = 0u64;
+    let mut sat_learnts = 0u64;
+    let mut restarts = 0u64;
+    let mut winner_counts: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+    for stats in records.iter().filter_map(|r| r.stats.as_ref()) {
+        sat_conflicts += stats.sat_conflicts;
+        sat_propagations += stats.sat_propagations;
+        sat_learnts += stats.sat_learnts;
+        restarts += stats.restarts;
+        if !stats.strategy.is_empty() {
+            *winner_counts.entry(stats.strategy.to_string()).or_default() += 1;
+        }
+    }
+    let winners: Vec<(String, usize)> = winner_counts.into_iter().collect();
 
     let mut incorrect_times: Vec<Duration> = records
         .iter()
@@ -309,6 +391,12 @@ fn aggregate(problem: &Problem, records: &[GradeRecord]) -> Table1Row {
         correct,
         incorrect,
         generated_feedback: fixed,
+        timeouts,
+        sat_conflicts,
+        sat_propagations,
+        sat_learnts,
+        restarts,
+        winners,
         average_time,
         median_time,
     }
@@ -369,6 +457,12 @@ pub struct CliOptions {
     pub workers: usize,
     /// Emit machine-readable JSON instead of the human table (`table1`).
     pub json: bool,
+    /// Which synthesis back end grades the corpus.
+    pub backend: Backend,
+    /// Candidate-budget override (`None` = the binary's default config).
+    pub max_candidates: Option<usize>,
+    /// Wall-clock budget override in milliseconds.
+    pub time_budget_ms: Option<u64>,
 }
 
 impl CliOptions {
@@ -386,6 +480,17 @@ impl CliOptions {
                 eprintln!("{err}");
                 std::process::exit(2);
             }
+        }
+    }
+
+    /// Applies the backend and any budget overrides to `config`.
+    pub fn apply_to(&self, config: &mut GraderConfig) {
+        config.backend = self.backend;
+        if let Some(max_candidates) = self.max_candidates {
+            config.synthesis.max_candidates = max_candidates;
+        }
+        if let Some(ms) = self.time_budget_ms {
+            config.synthesis.time_budget = Duration::from_millis(ms);
         }
     }
 
@@ -432,11 +537,17 @@ impl std::error::Error for CliError {}
 /// The usage string shared by the experiment binaries.
 pub fn usage() -> String {
     "usage: <binary> [--attempts N] [--seed N] [--workers N] [--json]\n\
+     \x20              [--backend cegis|enum|portfolio]\n\
+     \x20              [--max-candidates N] [--time-budget-ms N]\n\
      \n\
      --attempts N   submissions generated per benchmark\n\
      --seed N       corpus RNG seed (corpora are reproducible)\n\
      --workers N    grading worker threads (default: all cores)\n\
-     --json         emit machine-readable JSON (table1)"
+     --json         emit machine-readable JSON (table1)\n\
+     --backend B    synthesis back end: cegis (default), enum, or portfolio\n\
+     \x20              (portfolio races the other two and keeps the first proof)\n\
+     --max-candidates N   per-submission candidate budget override\n\
+     --time-budget-ms N   per-submission wall-clock budget override"
         .to_string()
 }
 
@@ -457,6 +568,9 @@ pub fn parse_cli_options(args: &[String], default_attempts: usize) -> Result<Cli
         seed: 20130616, // PLDI 2013's first day.
         workers: 0,
         json: false,
+        backend: Backend::Cegis,
+        max_candidates: None,
+        time_budget_ms: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -474,6 +588,20 @@ pub fn parse_cli_options(args: &[String], default_attempts: usize) -> Result<Cli
             "--seed" => options.seed = parse_value(arg, iter.next())?,
             "--workers" => options.workers = parse_value(arg, iter.next())? as usize,
             "--json" => options.json = true,
+            "--max-candidates" => {
+                options.max_candidates = Some(parse_value(arg, iter.next())? as usize)
+            }
+            "--time-budget-ms" => options.time_budget_ms = Some(parse_value(arg, iter.next())?),
+            "--backend" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::new("option '--backend' requires a value".into()))?;
+                options.backend = Backend::parse(value).ok_or_else(|| {
+                    CliError::new(format!(
+                        "option '--backend' expects cegis, enum or portfolio, got '{value}'"
+                    ))
+                })?;
+            }
             "--help" | "-h" => {
                 return Err(CliError {
                     message: "help requested".to_string(),
@@ -589,26 +717,31 @@ mod tests {
                 kind: GradeKind::Fixed,
                 corrections: Some(1),
                 elapsed: Duration::ZERO,
+                stats: None,
             },
             GradeRecord {
                 kind: GradeKind::Fixed,
                 corrections: Some(2),
                 elapsed: Duration::ZERO,
+                stats: None,
             },
             GradeRecord {
                 kind: GradeKind::Fixed,
                 corrections: Some(1),
                 elapsed: Duration::ZERO,
+                stats: None,
             },
             GradeRecord {
                 kind: GradeKind::NotFixed,
                 corrections: None,
                 elapsed: Duration::ZERO,
+                stats: None,
             },
             GradeRecord {
                 kind: GradeKind::Fixed,
                 corrections: Some(7),
                 elapsed: Duration::ZERO,
+                stats: None,
             },
         ];
         let histogram = corrections_histogram(&records, 4);
@@ -626,6 +759,12 @@ mod tests {
             correct: 30,
             incorrect: 45,
             generated_feedback: 30,
+            timeouts: 2,
+            sat_conflicts: 0,
+            sat_propagations: 0,
+            sat_learnts: 0,
+            restarts: 0,
+            winners: Vec::new(),
             average_time: Duration::from_millis(120),
             median_time: Duration::from_millis(80),
         };
@@ -648,6 +787,12 @@ mod tests {
             correct: 20,
             incorrect: 28,
             generated_feedback: 21,
+            timeouts: 1,
+            sat_conflicts: 420,
+            sat_propagations: 99_000,
+            sat_learnts: 77,
+            restarts: 3,
+            winners: vec![("cegis".to_string(), 18), ("enum".to_string(), 3)],
             average_time: Duration::from_millis(150),
             median_time: Duration::from_millis(90),
         };
@@ -703,6 +848,36 @@ mod tests {
         assert_eq!(options.seed, 99);
         assert_eq!(options.workers, 2);
         assert_eq!(options.engine().workers(), 2);
+        assert_eq!(options.backend, Backend::Cegis);
+
+        let backend: Vec<String> = vec!["--backend".into(), "portfolio".into()];
+        assert_eq!(
+            parse_cli_options(&backend, 40).unwrap().backend,
+            Backend::Portfolio
+        );
+        let bad: Vec<String> = vec!["--backend".into(), "sketch".into()];
+        let err = parse_cli_options(&bad, 40).unwrap_err();
+        assert!(err.to_string().contains("cegis, enum or portfolio"));
+        let missing: Vec<String> = vec!["--backend".into()];
+        assert!(parse_cli_options(&missing, 40).is_err());
+
+        // Budget overrides land in the grader config; absent flags leave
+        // the binary's defaults untouched.
+        let budget: Vec<String> = ["--max-candidates", "300000", "--time-budget-ms", "600000"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = parse_cli_options(&budget, 40).unwrap();
+        let mut config = experiment_config();
+        options.apply_to(&mut config);
+        assert_eq!(config.synthesis.max_candidates, 300_000);
+        assert_eq!(config.synthesis.time_budget, Duration::from_secs(600));
+        let mut untouched = experiment_config();
+        parse_cli_options(&[], 40).unwrap().apply_to(&mut untouched);
+        assert_eq!(
+            untouched.synthesis.max_candidates,
+            experiment_config().synthesis.max_candidates
+        );
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Differential test of the synthesis back ends (CEGIS vs enumeration vs
+//! portfolio).
+//!
+//! For every corpus problem and a seeded mutant sweep over its correct
+//! variants, all three back ends must agree on the verdict: already
+//! correct, repairable at the *same* minimal cost, or not repairable
+//! within the bounds.  The search budget is candidate-bounded and the cost
+//! bound is 1 (single injected mistake), so every back end runs its search
+//! space to exhaustion and the comparison is deterministic — a divergence
+//! is a real bug in one of the engines, not budget noise.  Portfolio
+//! outcomes must additionally be definitive (first proof wins) and name
+//! the winning strategy in their stats.
+
+use std::time::Duration;
+
+use afg_corpus::problems;
+use afg_corpus::rng::StdRng;
+use afg_eml::apply_error_model;
+use afg_synth::{Backend, SynthesisConfig, SynthesisOutcome};
+
+fn config() -> SynthesisConfig {
+    SynthesisConfig {
+        max_cost: 1,
+        max_candidates: 200_000,
+        time_budget: Duration::from_secs(600),
+    }
+}
+
+/// Collapses an outcome into the comparable verdict.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Verdict {
+    Correct,
+    Fixed(usize),
+    NoRepair,
+}
+
+fn verdict(outcome: &SynthesisOutcome, context: &str) -> Verdict {
+    match outcome {
+        SynthesisOutcome::AlreadyCorrect => Verdict::Correct,
+        SynthesisOutcome::Fixed(solution) => {
+            assert!(
+                solution.minimal,
+                "{context}: exhaustive budgets must prove minimality"
+            );
+            Verdict::Fixed(solution.cost)
+        }
+        SynthesisOutcome::NoRepairFound(_) => Verdict::NoRepair,
+        SynthesisOutcome::Timeout(_) => {
+            panic!("{context}: candidate-bounded search must not time out")
+        }
+    }
+}
+
+#[test]
+fn all_backends_agree_on_repair_cost_across_the_corpus() {
+    let mut checked = 0usize;
+    for problem in problems::all_problems() {
+        let grader = problem.autograder(afg_core::GraderConfig::fast());
+        let oracle = grader.oracle();
+        let model = grader.model();
+
+        // The submissions under test: each correct variant untouched (must
+        // grade AlreadyCorrect) plus seeded single-mutation mutants.
+        let mut submissions = Vec::new();
+        for (variant_index, seed_source) in problem.mutation_seeds().into_iter().enumerate() {
+            let clean = afg_parser::parse_program(seed_source).expect("corpus seeds parse");
+            if variant_index == 0 {
+                submissions.push((format!("{}/clean", problem.id), clean.clone()));
+            }
+            for seed in 0..2u64 {
+                let mut mutant = clean.clone();
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (problem.id.len() as u64) << 8 ^ (variant_index as u64) << 16,
+                );
+                afg_corpus::mutate_program(&mut mutant, 1, &mut rng);
+                submissions.push((format!("{}/v{variant_index}s{seed}", problem.id), mutant));
+            }
+        }
+
+        for (label, submission) in submissions {
+            let Ok(choice_program) = apply_error_model(&submission, Some(problem.entry), model)
+            else {
+                continue; // mutant lost its entry function — nothing to compare
+            };
+            let cegis = Backend::Cegis.synthesize(&choice_program, oracle, &config());
+            let enumerative = Backend::Enumerative.synthesize(&choice_program, oracle, &config());
+            let portfolio = Backend::Portfolio.synthesize(&choice_program, oracle, &config());
+
+            let cegis_verdict = verdict(&cegis, &format!("{label} cegis"));
+            let enum_verdict = verdict(&enumerative, &format!("{label} enum"));
+            let portfolio_verdict = verdict(&portfolio, &format!("{label} portfolio"));
+            assert_eq!(
+                cegis_verdict, enum_verdict,
+                "{label}: cegis and enumeration disagree ({cegis:?} vs {enumerative:?})"
+            );
+            assert_eq!(
+                cegis_verdict, portfolio_verdict,
+                "{label}: portfolio disagrees with its members"
+            );
+
+            // The portfolio's result is a proof and its stats attribute the
+            // win to one of the racing strategies.
+            assert!(portfolio.is_definitive(), "{label}: portfolio must prove");
+            if let Some(stats) = portfolio.stats() {
+                assert!(
+                    ["cegis", "enum"].contains(&stats.strategy),
+                    "{label}: portfolio stats name '{}' as winner",
+                    stats.strategy
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= problems::all_problems().len(),
+        "the sweep must exercise every problem (checked {checked})"
+    );
+}

@@ -29,6 +29,9 @@ pub struct BatchItem {
     pub elapsed: Duration,
     /// Index of the worker that graded it (0 for the serial path).
     pub worker: usize,
+    /// Whether the fingerprint cache answered (`None` when the batch ran
+    /// without a cache).
+    pub cache_hit: Option<bool>,
 }
 
 /// Statistics aggregated by one worker over the submissions it graded.
@@ -198,6 +201,7 @@ impl BatchGrader {
                                 outcome,
                                 elapsed,
                                 worker,
+                                cache_hit: hit,
                             },
                         ));
                     }
@@ -248,6 +252,7 @@ impl BatchGrader {
                     outcome,
                     elapsed,
                     worker: 0,
+                    cache_hit: hit,
                 }
             })
             .collect();

@@ -21,12 +21,20 @@
 //!   variable names, so the cached entry stores the minimal **choice
 //!   assignment** instead of the rendered feedback, and a hit *replays*
 //!   that assignment against the choice program of the submission actually
-//!   being graded — the expensive search is skipped, and the feedback is
-//!   byte-identical to what a fresh grading run would produce;
-//! * the full canonical source is the map key (the 64-bit fingerprint is
+//!   being graded — the expensive search is skipped, the replayed repair is
+//!   **re-verified** on the bounded input space (error models may embed
+//!   teacher-written fragments with hardcoded names, so alpha-equivalent
+//!   submissions need not agree on every candidate), and the feedback is
+//!   rendered from the submission's own source.  Byte-for-byte resubmission
+//!   of the same source replays to byte-identical feedback; an
+//!   alpha-renamed variant receives an equally minimal (verified) repair
+//!   that may pick a different correction when several tie;
+//! * the full canonical source is the map key prefixed by the grader's
+//!   [`Autograder::config_fingerprint`] (the 64-bit source fingerprint is
 //!   only a convenience for logging), so hash collisions are impossible,
-//!   and the replay path re-validates the choice-program structure,
-//!   falling back to a fresh grading run on any mismatch.
+//!   configuration changes cannot cross-contaminate, and the replay path
+//!   re-validates the choice-program structure, falling back to a fresh
+//!   grading run on any mismatch.
 //!
 //! A second, raw-text-keyed map short-circuits submissions that do not
 //! parse: byte-identical broken files (another classroom staple) skip even
@@ -51,13 +59,26 @@ use crate::grader::{Autograder, GradeOutcome};
 #[derive(Debug, Clone)]
 enum CachedGrade {
     Correct,
-    CannotFix,
-    Timeout,
+    CannotFix {
+        /// Structural precondition (`None` = structure-independent, e.g. a
+        /// missing entry function).  A search-produced no-repair verdict
+        /// only transfers to a submission whose choice program has the
+        /// same shape — hardcoded teacher names in a model can make the
+        /// shapes diverge across alpha-renamings.
+        guard: Option<crate::grader::ReplayGuard>,
+    },
+    Timeout {
+        /// As for `CannotFix`.
+        guard: Option<crate::grader::ReplayGuard>,
+    },
     Fixed {
         assignment: ChoiceAssignment,
         cost: usize,
         stats: SynthesisStats,
         signature: u64,
+        /// The escalation tier that produced the repair; replay rebuilds
+        /// the choice program with the same tier model.
+        tier: usize,
     },
 }
 
@@ -234,8 +255,15 @@ impl Autograder {
             }
         };
 
-        // Level 2: canonical-form lookup.
-        let key = canonical_source(&program);
+        // Level 2: canonical-form lookup.  The key mixes in the grader's
+        // configuration fingerprint (backend, budgets, escalation ladder,
+        // model identity) so graders with different configurations can
+        // share one cache without cross-contaminating verdicts.
+        let key = format!(
+            "{:016x}\n{}",
+            self.config_fingerprint(),
+            canonical_source(&program)
+        );
         let cached = cache.entries.read().expect("cache lock").get(&key).cloned();
         if let Some(entry) = cached {
             if let Some(outcome) = self.replay(&program, &entry) {
@@ -265,13 +293,18 @@ impl Autograder {
         let entry = match (&traced.outcome, traced.repair, traced.cacheable) {
             (_, _, false) => None,
             (GradeOutcome::Correct, _, _) => Some(CachedGrade::Correct),
-            (GradeOutcome::CannotFix, _, _) => Some(CachedGrade::CannotFix),
-            (GradeOutcome::Timeout, _, _) => Some(CachedGrade::Timeout),
+            (GradeOutcome::CannotFix, _, _) => Some(CachedGrade::CannotFix {
+                guard: traced.guard,
+            }),
+            (GradeOutcome::Timeout, _, _) => Some(CachedGrade::Timeout {
+                guard: traced.guard,
+            }),
             (GradeOutcome::Feedback(feedback), Some(trace), _) => Some(CachedGrade::Fixed {
                 assignment: trace.assignment,
                 cost: feedback.cost,
                 stats: trace.stats,
                 signature: trace.signature,
+                tier: trace.tier,
             }),
             _ => None,
         };
@@ -290,19 +323,37 @@ impl Autograder {
     /// graded.  Returns `None` when the cached assignment does not fit this
     /// submission's choice program — the caller then grades afresh.
     fn replay(&self, program: &Program, entry: &CachedGrade) -> Option<GradeOutcome> {
-        let (assignment, cost, stats, signature) = match entry {
+        let (assignment, cost, stats, signature, tier) = match entry {
+            // Correctness depends only on program semantics, which
+            // canonical equality guarantees.
             CachedGrade::Correct => return Some(GradeOutcome::Correct),
-            CachedGrade::CannotFix => return Some(GradeOutcome::CannotFix),
-            CachedGrade::Timeout => return Some(GradeOutcome::Timeout),
+            // Search-dependent verdicts transfer only when this
+            // submission's choice program has the same structure the
+            // search actually explored.
+            CachedGrade::CannotFix { guard } => {
+                return self
+                    .guard_holds(program, *guard)
+                    .then_some(GradeOutcome::CannotFix)
+            }
+            CachedGrade::Timeout { guard } => {
+                return self
+                    .guard_holds(program, *guard)
+                    .then_some(GradeOutcome::Timeout)
+            }
             CachedGrade::Fixed {
                 assignment,
                 cost,
                 stats,
                 signature,
-            } => (assignment, *cost, stats, *signature),
+                tier,
+            } => (assignment, *cost, stats, *signature, *tier),
         };
         let start = Instant::now();
-        let choice_program = apply_error_model(program, Some(self.entry()), self.model()).ok()?;
+        // Rebuild with the model of the tier that found the repair — under
+        // an escalation ladder the full model would produce a different
+        // choice program than the (truncated) tier model did.
+        let model = self.tier_model(tier)?;
+        let choice_program = apply_error_model(program, Some(self.entry()), &model).ok()?;
         if choice_signature(&choice_program) != signature {
             return None;
         }
@@ -312,6 +363,17 @@ impl Autograder {
                 return None;
             }
         }
+        // Re-verify: the replayed assignment must actually repair *this*
+        // submission.  Error models may embed teacher-supplied fragments
+        // with hardcoded names (e.g. a BASECASE insertion mentioning the
+        // reference's parameter), so two alpha-equivalent submissions are
+        // not guaranteed to agree on every candidate — one bounded sweep
+        // (the cost of checking a correct submission, far below a search)
+        // turns that hazard into a fresh-grade fallback.
+        let session = self.oracle().choice_session(&choice_program);
+        if !session.is_equivalent(assignment) {
+            return None;
+        }
         let corrections = corrections_from_assignment(&choice_program, assignment);
         Some(GradeOutcome::Feedback(Feedback {
             corrections,
@@ -319,6 +381,30 @@ impl Autograder {
             elapsed: start.elapsed(),
             stats: stats.clone(),
         }))
+    }
+
+    /// Whether a cached search-dependent verdict's structural guard holds
+    /// for `program`: every attempted tier's model produces a choice
+    /// program with the signature the original searches explored (all of
+    /// them — an earlier tier's model need not be a subset of the final
+    /// one, so any tier's structure diverging invalidates the verdict).
+    /// `None` guards (verdicts independent of the choice structure) always
+    /// hold.
+    fn guard_holds(&self, program: &Program, guard: Option<crate::grader::ReplayGuard>) -> bool {
+        let Some(guard) = guard else {
+            return true;
+        };
+        let mut signatures = Vec::with_capacity(guard.tiers_attempted);
+        for tier in 0..guard.tiers_attempted {
+            let Some(model) = self.tier_model(tier) else {
+                return false;
+            };
+            match apply_error_model(program, Some(self.entry()), &model) {
+                Ok(choice_program) => signatures.push(choice_signature(&choice_program)),
+                Err(_) => return false,
+            }
+        }
+        crate::grader::combine_signatures(&signatures) == guard.combined_signature
     }
 }
 
@@ -385,23 +471,43 @@ def computeDeriv(poly_list_int):
     }
 
     #[test]
-    fn alpha_renamed_submission_hits_with_its_own_names_in_the_feedback() {
+    fn alpha_renamed_submission_hits_with_a_verified_repair_of_its_own() {
         let grader = grader();
         let cache = FingerprintCache::new();
         let (_, hit1) = grader.grade_source_cached(BUGGY, &cache);
         assert!(!hit1);
         let (outcome, hit2) = grader.grade_source_cached(BUGGY_RENAMED, &cache);
         assert!(hit2, "alpha-equivalent submission must hit");
-        // The replayed feedback must match a fresh grading of the renamed
-        // submission byte for byte — names and lines from *its* source.
+        // Replay re-verifies the cached assignment against the renamed
+        // submission, so the feedback is a true repair of *it*: same
+        // minimal cost as a fresh grade (several cost-1 repairs tie; replay
+        // may legitimately pick a different one than a fresh search would).
         let fresh = grader.grade_source(BUGGY_RENAMED);
-        assert_eq!(
-            outcome.feedback().expect("feedback").to_string(),
-            fresh.feedback().expect("feedback").to_string()
+        let replayed = outcome.feedback().expect("feedback");
+        assert_eq!(replayed.cost, fresh.feedback().expect("feedback").cost);
+        // The replayed repair really fixes the renamed submission.
+        let renamed = afg_parser::parse_program(BUGGY_RENAMED).unwrap();
+        let choice_program =
+            apply_error_model(&renamed, Some(grader.entry()), grader.model()).unwrap();
+        let session = grader.oracle().choice_session(&choice_program);
+        // Reconstruct the assignment from the cache entry to check it.
+        let key = format!(
+            "{:016x}\n{}",
+            grader.config_fingerprint(),
+            afg_ast::canon::canonical_source(&renamed)
         );
+        let entries = cache.entries.read().unwrap();
+        let assignment = match entries.get(&key).expect("cached entry") {
+            CachedGrade::Fixed {
+                assignment: cached, ..
+            } => cached.clone(),
+            other => panic!("expected a Fixed entry, got {other:?}"),
+        };
+        drop(entries);
+        assert!(session.is_equivalent(&assignment));
         // And it must not leak text from the cached representative: any
         // variable the message mentions is the renamed submission's own.
-        assert!(!outcome.feedback().unwrap().to_string().contains("poly"));
+        assert!(!replayed.to_string().contains("poly"));
     }
 
     #[test]
@@ -424,6 +530,38 @@ def computeDeriv(poly_list_int):
     }
 
     #[test]
+    fn portfolio_cannot_fix_verdicts_are_cacheable() {
+        // The portfolio's winning path cancels the losers, which then
+        // report wall-clock-limited timeouts; the loser's flag must not
+        // poison the winner's deterministic NoRepairFound proof, or every
+        // CannotFix would re-run the search on each resubmission.
+        let config = GraderConfig {
+            synthesis: afg_synth::SynthesisConfig {
+                max_cost: 2,
+                max_candidates: 200_000,
+                time_budget: std::time::Duration::from_secs(600),
+            },
+            backend: afg_synth::Backend::Portfolio,
+            ..GraderConfig::fast()
+        };
+        let grader = Autograder::new(
+            REFERENCE,
+            "computeDeriv",
+            library::compute_deriv_model(),
+            config,
+        )
+        .unwrap();
+        let cache = FingerprintCache::new();
+        let hopeless = "def computeDeriv(poly):\n    return 42\n";
+        let (first, hit1) = grader.grade_source_cached(hopeless, &cache);
+        let (second, hit2) = grader.grade_source_cached(hopeless, &cache);
+        assert_eq!(first, GradeOutcome::CannotFix);
+        assert_eq!(second, GradeOutcome::CannotFix);
+        assert!(!hit1);
+        assert!(hit2, "a proven CannotFix under the portfolio must cache");
+    }
+
+    #[test]
     fn syntax_errors_cache_by_raw_source() {
         let grader = grader();
         let cache = FingerprintCache::new();
@@ -441,12 +579,48 @@ def computeDeriv(poly_list_int):
     fn wall_clock_timeouts_are_never_cached() {
         // A zero wall-clock budget times every incorrect submission out
         // before the candidate budget is touched — a load-dependent
-        // verdict the cache must not pin onto future submissions.
+        // verdict the cache must not pin onto future submissions.  The
+        // portfolio backend is the tricky case: its merged stats sum the
+        // racers' candidate counters, so cacheability must come from the
+        // explicit wall-clock flag, not from comparing counters to the
+        // budget.
+        for backend in [afg_synth::Backend::Cegis, afg_synth::Backend::Portfolio] {
+            let config = GraderConfig {
+                synthesis: afg_synth::SynthesisConfig {
+                    max_cost: 3,
+                    max_candidates: 1_000_000,
+                    time_budget: std::time::Duration::ZERO,
+                },
+                backend,
+                ..GraderConfig::fast()
+            };
+            let grader = Autograder::new(
+                REFERENCE,
+                "computeDeriv",
+                library::compute_deriv_model(),
+                config,
+            )
+            .unwrap();
+            let cache = FingerprintCache::new();
+            let (first, hit1) = grader.grade_source_cached(BUGGY, &cache);
+            let (second, hit2) = grader.grade_source_cached(BUGGY, &cache);
+            assert_eq!(first, GradeOutcome::Timeout, "{backend:?}");
+            assert_eq!(second, GradeOutcome::Timeout, "{backend:?}");
+            assert!(!hit1, "{backend:?}");
+            assert!(
+                !hit2,
+                "{backend:?}: a wall-clock timeout must not be served from cache"
+            );
+            assert_eq!(cache.stats().entries, 0, "{backend:?}");
+        }
+
+        // The flip side: a candidate-budget timeout is deterministic and
+        // IS cacheable.
         let config = GraderConfig {
             synthesis: afg_synth::SynthesisConfig {
                 max_cost: 3,
-                max_candidates: 1_000_000,
-                time_budget: std::time::Duration::ZERO,
+                max_candidates: 3,
+                time_budget: std::time::Duration::from_secs(600),
             },
             ..GraderConfig::fast()
         };
@@ -463,8 +637,7 @@ def computeDeriv(poly_list_int):
         assert_eq!(first, GradeOutcome::Timeout);
         assert_eq!(second, GradeOutcome::Timeout);
         assert!(!hit1);
-        assert!(!hit2, "a wall-clock timeout must not be served from cache");
-        assert_eq!(cache.stats().entries, 0);
+        assert!(hit2, "a candidate-budget timeout replays identically");
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! `student.py` → *Program Rewriter* (error model) → M̃PY → *Sketch
 //! Translator / Solver* (choice encoding + CEGISMIN) → *Feedback Generator*.
 
+use std::borrow::Cow;
 use std::error::Error;
 use std::fmt;
 use std::time::Instant;
 
+use afg_ast::canon::fnv1a64;
 use afg_ast::Program;
 use afg_eml::{apply_error_model, ErrorModel, TransformError};
 use afg_interp::{EquivalenceConfig, EquivalenceOracle};
@@ -60,6 +62,74 @@ impl fmt::Display for GraderError {
 
 impl Error for GraderError {}
 
+/// One rung of an escalation ladder: a (possibly reduced) error model, its
+/// own search budget and an optional back-end override.
+///
+/// Escalation exists because most incorrect submissions need only the
+/// handful of cheapest correction rules, and a small model means a small
+/// choice space — fast searches and fast `NoRepairFound` verdicts.  A tier
+/// that cannot repair the submission hands it to the next, larger tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscalationTier {
+    /// Display label (shown in `/stats`).
+    pub label: String,
+    /// Truncate the grader's error model to its first `n` rules for this
+    /// tier (`None` = the full model).  Mirrors the paper's E0..E5 models of
+    /// increasing size (Figure 14(b)).
+    pub model_rules: Option<usize>,
+    /// This tier's search budget.
+    pub synthesis: SynthesisConfig,
+    /// This tier's back end (`None` = the grader's configured backend).
+    pub backend: Option<Backend>,
+}
+
+/// The full ladder.  An empty ladder means single-shot grading with the
+/// grader's own model, budget and backend.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EscalationPolicy {
+    /// The tiers, tried in order; grading escalates past a tier on
+    /// `NoRepairFound` (and on `Timeout` for every tier but the last).
+    pub tiers: Vec<EscalationTier>,
+}
+
+impl EscalationPolicy {
+    /// Single-shot grading (no ladder).
+    pub fn single_shot() -> EscalationPolicy {
+        EscalationPolicy::default()
+    }
+
+    /// Whether grading runs as a single shot.
+    pub fn is_single_shot(&self) -> bool {
+        self.tiers.is_empty()
+    }
+
+    /// The canonical two-rung ladder: the model's first `cheap_rules` rules
+    /// under `cheap` budgets first, the full model under `full` budgets on
+    /// escalation.
+    pub fn cheap_first(
+        cheap_rules: usize,
+        cheap: SynthesisConfig,
+        full: SynthesisConfig,
+    ) -> EscalationPolicy {
+        EscalationPolicy {
+            tiers: vec![
+                EscalationTier {
+                    label: format!("cheap-{cheap_rules}"),
+                    model_rules: Some(cheap_rules),
+                    synthesis: cheap,
+                    backend: None,
+                },
+                EscalationTier {
+                    label: "full".to_string(),
+                    model_rules: None,
+                    synthesis: full,
+                    backend: None,
+                },
+            ],
+        }
+    }
+}
+
 /// Configuration of the grading pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct GraderConfig {
@@ -69,6 +139,8 @@ pub struct GraderConfig {
     pub synthesis: SynthesisConfig,
     /// Which synthesis back end to run.
     pub backend: Backend,
+    /// Optional escalation ladder (empty = grade in one shot).
+    pub escalation: EscalationPolicy,
 }
 
 impl GraderConfig {
@@ -78,6 +150,7 @@ impl GraderConfig {
             equivalence: EquivalenceConfig::default(),
             synthesis: SynthesisConfig::fast(),
             backend: Backend::Cegis,
+            escalation: EscalationPolicy::single_shot(),
         }
     }
 }
@@ -120,6 +193,9 @@ pub struct Autograder {
     model: ErrorModel,
     config: GraderConfig,
     oracle: EquivalenceOracle,
+    /// Memoized [`Autograder::config_fingerprint`] (grading is hot; the
+    /// configuration is fixed after construction modulo `set_model`).
+    config_fingerprint: u64,
 }
 
 impl Autograder {
@@ -155,12 +231,14 @@ impl Autograder {
         let mut equivalence = config.equivalence.clone();
         equivalence.entry = Some(entry.to_string());
         let oracle = EquivalenceOracle::from_reference(&reference, equivalence);
+        let config_fingerprint = fingerprint_configuration(&reference, entry, &config, &model);
         Ok(Autograder {
             reference,
             entry: entry.to_string(),
             model,
             config,
             oracle,
+            config_fingerprint,
         })
     }
 
@@ -184,10 +262,50 @@ impl Autograder {
         &self.oracle
     }
 
+    /// The grading configuration (backend, budgets, escalation ladder).
+    pub fn config(&self) -> &GraderConfig {
+        &self.config
+    }
+
+    /// A 64-bit fingerprint of everything that can change a verdict: the
+    /// reference implementation and entry name, the full grading
+    /// configuration (backend, budgets, escalation ladder,
+    /// equivalence/input-space settings) and the error model's content.
+    /// The fingerprint cache mixes this into its keys so one cache can
+    /// safely serve differently-configured graders.  Memoized at
+    /// construction (and on [`Autograder::set_model`]).
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config_fingerprint
+    }
+
+    /// The error model a tier grades with (possibly a truncation of the
+    /// full model).  `None` when the tier index is out of range for the
+    /// configured ladder — only possible when replaying a cache entry
+    /// recorded under a different configuration, which the config
+    /// fingerprint in the cache key already rules out in practice.
+    pub(crate) fn tier_model(&self, tier_index: usize) -> Option<Cow<'_, ErrorModel>> {
+        let model_rules = if self.config.escalation.is_single_shot() {
+            if tier_index != 0 {
+                return None;
+            }
+            None
+        } else {
+            self.config.escalation.tiers.get(tier_index)?.model_rules
+        };
+        Some(match model_rules {
+            Some(rules) if rules < self.model.rules.len() => {
+                Cow::Owned(self.model.truncated(rules))
+            }
+            _ => Cow::Borrowed(&self.model),
+        })
+    }
+
     /// Replaces the error model (used by the Figure 14(b)/(c) experiments
     /// that sweep over models of increasing size).
     pub fn set_model(&mut self, model: ErrorModel) {
         self.model = model;
+        self.config_fingerprint =
+            fingerprint_configuration(&self.reference, &self.entry, &self.config, &self.model);
     }
 
     /// Grades a submission given as source text.
@@ -210,55 +328,125 @@ impl Autograder {
     /// verdict is deterministic enough to cache at all.
     pub(crate) fn grade_program_traced(&self, student: &Program) -> TracedGrade {
         let start = Instant::now();
-        let choice_program = match apply_error_model(student, Some(&self.entry), &self.model) {
-            Ok(cp) => cp,
-            Err(TransformError::NoEntryFunction) => {
-                return TracedGrade::cacheable(GradeOutcome::CannotFix)
-            }
-            Err(err) => {
-                // An ill-formed model is an instructor error; surface it as
-                // an unfixable submission rather than panicking mid-batch.
-                debug_assert!(false, "error model rejected at grading time: {err}");
-                return TracedGrade::cacheable(GradeOutcome::CannotFix);
-            }
+        // The resolved plan: the configured ladder, or an implicit single
+        // tier borrowed-together from the grader's own settings.
+        let single_shot;
+        let plan: &[EscalationTier] = if self.config.escalation.is_single_shot() {
+            single_shot = [EscalationTier {
+                label: "default".to_string(),
+                model_rules: None,
+                synthesis: self.config.synthesis.clone(),
+                backend: Some(self.config.backend),
+            }];
+            &single_shot
+        } else {
+            &self.config.escalation.tiers
         };
-        let outcome =
-            self.config
-                .backend
-                .synthesize(&choice_program, &self.oracle, &self.config.synthesis);
-        match outcome {
-            SynthesisOutcome::AlreadyCorrect => TracedGrade::cacheable(GradeOutcome::Correct),
-            SynthesisOutcome::Fixed(solution) => {
-                let corrections =
-                    corrections_from_assignment(&choice_program, &solution.assignment);
-                let trace = RepairTrace {
-                    signature: crate::cache::choice_signature(&choice_program),
-                    assignment: solution.assignment,
-                    stats: solution.stats.clone(),
-                };
-                TracedGrade {
-                    outcome: GradeOutcome::Feedback(Feedback {
-                        corrections,
-                        cost: solution.cost,
-                        elapsed: start.elapsed(),
-                        stats: solution.stats,
-                    }),
-                    repair: Some(trace),
-                    cacheable: true,
+        let last_tier = plan.len() - 1;
+        // Set when ANY tier attempted so far stopped on the wall clock: on
+        // an idle machine that tier might have produced a different
+        // verdict, so every non-Fixed verdict downstream of it is
+        // load-dependent and must not be cached.
+        let mut load_dependent = false;
+        // The choice-program signature of every tier attempted, for the
+        // structural replay guard of cached CannotFix/Timeout verdicts.
+        let mut attempted_signatures: Vec<u64> = Vec::new();
+        for (tier_index, tier) in plan.iter().enumerate() {
+            let model = self
+                .tier_model(tier_index)
+                .expect("tier index comes from the plan");
+            let choice_program = match apply_error_model(student, Some(&self.entry), &model) {
+                Ok(cp) => cp,
+                Err(TransformError::NoEntryFunction) => {
+                    return TracedGrade::cacheable(GradeOutcome::CannotFix)
+                }
+                Err(err) => {
+                    // An ill-formed model is an instructor error; surface it as
+                    // an unfixable submission rather than panicking mid-batch.
+                    debug_assert!(false, "error model rejected at grading time: {err}");
+                    return TracedGrade::cacheable(GradeOutcome::CannotFix);
+                }
+            };
+            attempted_signatures.push(crate::cache::choice_signature(&choice_program));
+            let backend = tier.backend.unwrap_or(self.config.backend);
+            let outcome = backend.synthesize(&choice_program, &self.oracle, &tier.synthesis);
+            match outcome {
+                SynthesisOutcome::AlreadyCorrect => {
+                    return TracedGrade::cacheable(GradeOutcome::Correct)
+                }
+                SynthesisOutcome::Fixed(solution) => {
+                    let corrections =
+                        corrections_from_assignment(&choice_program, &solution.assignment);
+                    // A proven-minimal repair is a deterministic verdict; a
+                    // best-so-far repair is only cacheable when the search
+                    // stopped on its candidate budget — if the wall clock
+                    // cut it (or an earlier tier) short, an idle machine
+                    // could find a cheaper repair, and caching would pin
+                    // this cost onto all alpha-equivalent resubmissions.
+                    let cacheable =
+                        !load_dependent && (solution.minimal || !solution.stats.wall_clock_limited);
+                    let trace = RepairTrace {
+                        signature: crate::cache::choice_signature(&choice_program),
+                        assignment: solution.assignment,
+                        stats: solution.stats.clone(),
+                        tier: tier_index,
+                    };
+                    return TracedGrade {
+                        outcome: GradeOutcome::Feedback(Feedback {
+                            corrections,
+                            cost: solution.cost,
+                            elapsed: start.elapsed(),
+                            stats: solution.stats,
+                        }),
+                        repair: Some(trace),
+                        cacheable,
+                        guard: None,
+                    };
+                }
+                // This tier cannot repair the submission (or ran out of
+                // budget): escalate to the next, larger tier, remembering
+                // whether the stop was load-dependent.
+                SynthesisOutcome::NoRepairFound(stats) | SynthesisOutcome::Timeout(stats)
+                    if tier_index < last_tier =>
+                {
+                    load_dependent |= stats.wall_clock_limited;
+                }
+                SynthesisOutcome::NoRepairFound(stats) => {
+                    return TracedGrade {
+                        outcome: GradeOutcome::CannotFix,
+                        repair: None,
+                        // Sound only if no earlier tier was cut short by
+                        // the clock — that tier might have repaired it.
+                        cacheable: !load_dependent && !stats.wall_clock_limited,
+                        guard: Some(ReplayGuard {
+                            combined_signature: combine_signatures(&attempted_signatures),
+                            tiers_attempted: attempted_signatures.len(),
+                        }),
+                    };
+                }
+                SynthesisOutcome::Timeout(stats) => {
+                    return TracedGrade {
+                        outcome: GradeOutcome::Timeout,
+                        repair: None,
+                        // A timeout is only a *property of the submission*
+                        // when every search along the ladder exhausted its
+                        // candidate budget — that replays identically
+                        // anywhere.  A wall-clock (or cancellation) stop in
+                        // ANY tier depends on machine load: caching it
+                        // would pin a transient verdict onto every future
+                        // alpha-equivalent submission.  The strategies
+                        // record which one happened — for a portfolio,
+                        // whether any racer hit the clock.
+                        cacheable: !load_dependent && !stats.wall_clock_limited,
+                        guard: Some(ReplayGuard {
+                            combined_signature: combine_signatures(&attempted_signatures),
+                            tiers_attempted: attempted_signatures.len(),
+                        }),
+                    };
                 }
             }
-            SynthesisOutcome::NoRepairFound(_) => TracedGrade::cacheable(GradeOutcome::CannotFix),
-            SynthesisOutcome::Timeout(stats) => TracedGrade {
-                outcome: GradeOutcome::Timeout,
-                repair: None,
-                // A timeout is only a *property of the submission* when the
-                // search exhausted its candidate budget — that replays
-                // identically anywhere.  A wall-clock timeout depends on
-                // machine load: caching it would pin a transient verdict
-                // onto every future alpha-equivalent submission.
-                cacheable: stats.candidates_checked > self.config.synthesis.max_candidates,
-            },
         }
+        unreachable!("the final tier always returns")
     }
 }
 
@@ -269,6 +457,13 @@ pub(crate) struct TracedGrade {
     pub repair: Option<RepairTrace>,
     /// Whether the verdict may be stored in the fingerprint cache.
     pub cacheable: bool,
+    /// Structural guard for cached `CannotFix`/`Timeout` verdicts: these
+    /// depend on the choice program searched, and error models with
+    /// hardcoded teacher names make choice programs alpha-variant, so
+    /// replay onto another submission must confirm the structure matches
+    /// (`None` = the verdict is structure-independent, e.g. a missing
+    /// entry function).
+    pub guard: Option<ReplayGuard>,
 }
 
 impl TracedGrade {
@@ -277,8 +472,35 @@ impl TracedGrade {
             outcome,
             repair: None,
             cacheable: true,
+            guard: None,
         }
     }
+}
+
+/// The structural precondition for replaying a search-dependent verdict
+/// (see [`TracedGrade::guard`]).
+///
+/// A `CannotFix`/`Timeout` verdict reflects searches over the choice
+/// programs of *every* tier attempted, so the guard folds all of their
+/// signatures — guarding only the final tier would let a stale verdict
+/// replay onto a submission that an earlier tier (whose model need not be
+/// a subset of the final one) would now repair.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReplayGuard {
+    /// [`combine_signatures`] over the attempted tiers' choice programs,
+    /// in tier order.
+    pub combined_signature: u64,
+    /// How many tiers (0..n) were attempted before the verdict.
+    pub tiers_attempted: usize,
+}
+
+/// Folds per-tier choice-program signatures into one comparison value.
+pub(crate) fn combine_signatures(signatures: &[u64]) -> u64 {
+    let mut description = String::new();
+    for signature in signatures {
+        description.push_str(&format!("{signature:016x};"));
+    }
+    fnv1a64(description.as_bytes())
 }
 
 /// The replayable part of a synthesis result (see
@@ -292,6 +514,28 @@ pub(crate) struct RepairTrace {
     pub signature: u64,
     /// Synthesizer counters from the original run.
     pub stats: afg_synth::SynthesisStats,
+    /// Which escalation tier produced the repair — replay must rebuild the
+    /// choice program with the same (possibly truncated) model.
+    pub tier: usize,
+}
+
+/// Hashes everything that can change a verdict into a 64-bit fingerprint
+/// (see [`Autograder::config_fingerprint`]): the canonical reference
+/// source and entry name (they define the oracle), the full grading
+/// configuration via its `Debug` rendering — equivalence/input-space
+/// settings, budgets, backend, ladder; a later field addition cannot
+/// silently fall out of the key — and the error model's rule content.
+fn fingerprint_configuration(
+    reference: &Program,
+    entry: &str,
+    config: &GraderConfig,
+    model: &ErrorModel,
+) -> u64 {
+    let description = format!(
+        "{}\u{1f}{entry}\u{1f}{config:?}\u{1f}{model:?}",
+        afg_ast::canon::canonical_source(reference)
+    );
+    fnv1a64(description.as_bytes())
 }
 
 /// Construction-time validation of the instructor's reference program.
@@ -429,6 +673,108 @@ def computeDeriv(poly_list_int):
             "{rendered}"
         );
         assert!(rendered.contains("in line"), "{rendered}");
+    }
+
+    const OFF_BY_ONE: &str = "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    d = []\n    for i in range(0, len(poly)):\n        d.append(i * poly[i])\n    return d\n";
+
+    #[test]
+    fn escalation_reaches_the_tier_that_can_repair() {
+        // Tier 0 grades with zero rules (an empty model cannot repair
+        // anything), tier 1 with the full model: the off-by-one submission
+        // must escalate and still come out with the cost-1 feedback, byte
+        // identical to single-shot grading.
+        let mut config = GraderConfig::fast();
+        config.escalation =
+            EscalationPolicy::cheap_first(0, SynthesisConfig::fast(), SynthesisConfig::fast());
+        let escalating = Autograder::new(
+            REFERENCE,
+            "computeDeriv",
+            library::compute_deriv_model(),
+            config,
+        )
+        .unwrap();
+
+        let single_shot = grader().grade_source(OFF_BY_ONE);
+        let escalated = escalating.grade_source(OFF_BY_ONE);
+        let (a, b) = (
+            single_shot.feedback().expect("feedback"),
+            escalated.feedback().expect("feedback"),
+        );
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.to_string(), b.to_string());
+        // Correct submissions do not escalate past tier 0's verdict.
+        let correct = "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    d = []\n    for i in range(1, len(poly)):\n        d.append(i * poly[i])\n    return d\n";
+        assert_eq!(escalating.grade_source(correct), GradeOutcome::Correct);
+    }
+
+    #[test]
+    fn escalation_and_backend_change_the_config_fingerprint() {
+        let base = grader();
+        let mut portfolio_config = GraderConfig::fast();
+        portfolio_config.backend = Backend::Portfolio;
+        let portfolio = Autograder::new(
+            REFERENCE,
+            "computeDeriv",
+            library::compute_deriv_model(),
+            portfolio_config,
+        )
+        .unwrap();
+        let mut ladder_config = GraderConfig::fast();
+        ladder_config.escalation =
+            EscalationPolicy::cheap_first(2, SynthesisConfig::fast(), SynthesisConfig::fast());
+        let ladder = Autograder::new(
+            REFERENCE,
+            "computeDeriv",
+            library::compute_deriv_model(),
+            ladder_config,
+        )
+        .unwrap();
+
+        assert_eq!(base.config_fingerprint(), grader().config_fingerprint());
+        assert_ne!(base.config_fingerprint(), portfolio.config_fingerprint());
+        assert_ne!(base.config_fingerprint(), ladder.config_fingerprint());
+        assert_ne!(portfolio.config_fingerprint(), ladder.config_fingerprint());
+
+        // The equivalence configuration changes verdicts (it defines the
+        // bounded input space), so it must change the fingerprint too.
+        let mut equiv_config = GraderConfig::fast();
+        equiv_config.equivalence.limits.fuel += 1;
+        let equiv = Autograder::new(
+            REFERENCE,
+            "computeDeriv",
+            library::compute_deriv_model(),
+            equiv_config,
+        )
+        .unwrap();
+        assert_ne!(base.config_fingerprint(), equiv.config_fingerprint());
+
+        // So does the error model's *content*, not just its name: swapping
+        // the model via set_model refreshes the memoized fingerprint.
+        let mut swapped = grader();
+        let before = swapped.config_fingerprint();
+        swapped.set_model(library::compute_deriv_model().truncated(1));
+        assert_ne!(before, swapped.config_fingerprint());
+    }
+
+    #[test]
+    fn portfolio_backend_grades_like_cegis() {
+        let mut config = GraderConfig::fast();
+        config.backend = Backend::Portfolio;
+        let portfolio = Autograder::new(
+            REFERENCE,
+            "computeDeriv",
+            library::compute_deriv_model(),
+            config,
+        )
+        .unwrap();
+        let outcome = portfolio.grade_source(OFF_BY_ONE);
+        let feedback = outcome.feedback().expect("feedback");
+        assert_eq!(feedback.cost, 1);
+        assert!(
+            ["cegis", "enum"].contains(&feedback.stats.strategy),
+            "portfolio feedback must name the winning strategy, got '{}'",
+            feedback.stats.strategy
+        );
     }
 
     #[test]

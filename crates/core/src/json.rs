@@ -64,6 +64,11 @@ impl ToJson for Feedback {
                     ),
                     ("cegis_iterations", self.stats.cegis_iterations.to_json()),
                     ("counterexamples", self.stats.counterexamples.to_json()),
+                    ("sat_conflicts", self.stats.sat_conflicts.to_json()),
+                    ("sat_propagations", self.stats.sat_propagations.to_json()),
+                    ("sat_learnts", self.stats.sat_learnts.to_json()),
+                    ("restarts", self.stats.restarts.to_json()),
+                    ("strategy", Json::str(self.stats.strategy)),
                     ("elapsed_ms", self.stats.elapsed.to_json()),
                 ]),
             ),
@@ -141,6 +146,12 @@ impl ToJson for BatchItem {
         };
         pairs.push(("elapsed_ms".to_string(), self.elapsed.to_json()));
         pairs.push(("worker".to_string(), self.worker.to_json()));
+        let cache = match self.cache_hit {
+            Some(true) => "hit",
+            Some(false) => "miss",
+            None => "off",
+        };
+        pairs.push(("cache".to_string(), Json::str(cache)));
         Json::Object(pairs)
     }
 }

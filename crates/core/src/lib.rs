@@ -59,10 +59,12 @@ mod json;
 pub use batch::{BatchGrader, BatchItem, BatchReport, WorkerStats};
 pub use cache::{CacheStats, FingerprintCache};
 pub use feedback::{corrections_from_assignment, Correction, Feedback, FeedbackLevel};
-pub use grader::{Autograder, GradeOutcome, GraderConfig, GraderError};
+pub use grader::{
+    Autograder, EscalationPolicy, EscalationTier, GradeOutcome, GraderConfig, GraderError,
+};
 
 // Re-export the pieces callers need to configure a grader without adding
 // direct dependencies on every sub-crate.
 pub use afg_eml::{ErrorModel, Rule};
 pub use afg_interp::{EquivalenceConfig, ExecLimits, InputSpace};
-pub use afg_synth::{Backend, SynthesisConfig};
+pub use afg_synth::{Backend, CancelToken, SearchStrategy, SynthesisConfig};

@@ -1,14 +1,143 @@
-//! Cardinality constraints via the sequential-counter encoding.
+//! Cardinality constraints: a sequential-counter encoding for one-shot
+//! bounds and an incremental **totalizer** for assumption-activated bounds.
 //!
 //! CEGISMIN repeatedly tightens the bound "total number of corrections
 //! `< k`" (paper Algorithm 1, line 13).  The synthesis encoding expresses
 //! the total cost as the number of true choice-selector variables, so the
-//! bound is an *at-most-(k−1)* cardinality constraint.  The sequential
-//! counter encoding (Sinz 2005) is used because it is small, propagates
-//! well, and is easy to audit.
+//! bound is an *at-most-(k−1)* cardinality constraint.  Two encodings are
+//! provided:
+//!
+//! * [`add_at_most`]/[`add_at_least`] — the sequential counter (Sinz 2005),
+//!   used where a bound is part of the formula itself (e.g. at-most-one
+//!   constraints); small, propagates well, easy to audit.
+//! * [`Totalizer`] (Bailleux & Boufkhad 2003) — built **once** per
+//!   encoding, it exposes one output literal per possible count; the bound
+//!   `≤ k` is then activated per solve call by *assuming* the negation of
+//!   the `k+1`-th output ([`Totalizer::at_most`]) instead of adding hard
+//!   clauses.  This is what lets the CEGISMIN minimisation descent tighten
+//!   its bound on a single solver instance while keeping every learnt
+//!   clause.
 
 use crate::literal::Lit;
 use crate::solver::Solver;
+
+/// An incremental cardinality structure over a fixed set of input literals.
+///
+/// The totalizer is a balanced tree of unary counters: for `n` inputs it
+/// defines output literals `o_1 … o_n` with clauses entailing
+/// "at least `j` inputs are true → `o_j`".  Assuming `¬o_{k+1}` therefore
+/// forbids more than `k` true inputs, and dropping the assumption on the
+/// next solve relaxes the bound without touching the clause database.
+#[derive(Debug, Clone)]
+pub struct Totalizer {
+    /// `outputs[j]` is entailed whenever at least `j + 1` inputs are true
+    /// (counts above the pruning cap all collapse onto the last output).
+    outputs: Vec<Lit>,
+    /// Number of input literals counted.
+    inputs: usize,
+}
+
+impl Totalizer {
+    /// Builds the full totalizer tree over `lits` (every count
+    /// representable), adding its clauses to the solver.  O(n²) merge
+    /// clauses; prefer [`Totalizer::with_cap`] when only small bounds will
+    /// ever be queried.
+    pub fn new(solver: &mut Solver, lits: &[Lit]) -> Totalizer {
+        Totalizer::with_cap(solver, lits, lits.len())
+    }
+
+    /// Builds a **bound-pruned** totalizer: every tree node keeps at most
+    /// `cap` outputs, with higher counts clamped onto the last one, so the
+    /// clause count is O(n · cap²) instead of O(n²).  Only bounds `< cap`
+    /// can be queried afterwards.  Not currently on the CEGISMIN path —
+    /// the choice encoding deliberately builds the full-width totalizer
+    /// (see `ChoiceEncoding::new` in `afg-synth` for the measurement) —
+    /// but available for future encodings with hundreds of inputs.
+    pub fn with_cap(solver: &mut Solver, lits: &[Lit], cap: usize) -> Totalizer {
+        let cap = cap.clamp(1, lits.len().max(1));
+        Totalizer {
+            outputs: build_tree(solver, lits, cap),
+            inputs: lits.len(),
+        }
+    }
+
+    /// Number of input literals counted.
+    pub fn len(&self) -> usize {
+        self.inputs
+    }
+
+    /// Whether the totalizer counts no literals at all.
+    pub fn is_empty(&self) -> bool {
+        self.inputs == 0
+    }
+
+    /// The output literals, in count order (`outputs()[j]` ⇔ count > `j`;
+    /// at most the pruning cap of them).
+    pub fn outputs(&self) -> &[Lit] {
+        &self.outputs
+    }
+
+    /// The assumption literal activating "at most `bound` inputs true", or
+    /// `None` when the bound is vacuous (`bound ≥ n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is non-vacuous but exceeds what the pruning cap
+    /// can express — silently under-constraining would be unsound.
+    pub fn at_most(&self, bound: usize) -> Option<Lit> {
+        if bound >= self.inputs {
+            return None;
+        }
+        assert!(
+            bound < self.outputs.len(),
+            "bound {bound} exceeds this totalizer's pruning cap {}",
+            self.outputs.len()
+        );
+        Some(self.outputs[bound].negated())
+    }
+}
+
+/// Recursively builds the (cap-pruned) totalizer tree and returns the
+/// output literals of the root node.
+fn build_tree(solver: &mut Solver, lits: &[Lit], cap: usize) -> Vec<Lit> {
+    match lits {
+        [] => Vec::new(),
+        // A leaf counts itself.
+        [single] => vec![*single],
+        _ => {
+            let (left_half, right_half) = lits.split_at(lits.len() / 2);
+            let left = build_tree(solver, left_half, cap);
+            let right = build_tree(solver, right_half, cap);
+            let width = (left.len() + right.len()).min(cap);
+            let outputs: Vec<Lit> = solver
+                .new_vars(width)
+                .iter()
+                .map(|v| v.positive())
+                .collect();
+            // Merge clauses: left ≥ α ∧ right ≥ β → out ≥ min(α + β, cap),
+            // i.e. ¬L_α ∨ ¬R_β ∨ O_{min(α+β, cap)} (with the L/R part
+            // omitted when the respective count is zero).  The clamp is
+            // sound because a query never distinguishes counts ≥ cap.
+            for alpha in 0..=left.len() {
+                for beta in 0..=right.len() {
+                    if alpha + beta == 0 {
+                        continue;
+                    }
+                    let mut clause = Vec::with_capacity(3);
+                    if alpha > 0 {
+                        clause.push(left[alpha - 1].negated());
+                    }
+                    if beta > 0 {
+                        clause.push(right[beta - 1].negated());
+                    }
+                    clause.push(outputs[(alpha + beta).min(width) - 1]);
+                    solver.add_clause(&clause);
+                }
+            }
+            outputs
+        }
+    }
+}
 
 /// Adds clauses enforcing "at most `bound` of `lits` are true".
 ///
@@ -162,6 +291,125 @@ mod tests {
         let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
         add_at_least(&mut solver, &lits, 3);
         assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn totalizer_bounds_hold_under_assumptions() {
+        // One totalizer, every bound probed by assumption on the same
+        // solver — no re-encoding between queries.
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(5);
+        let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        let totalizer = Totalizer::new(&mut solver, &lits);
+        assert_eq!(totalizer.len(), 5);
+        assert_eq!(totalizer.at_most(5), None, "bound ≥ n is vacuous");
+
+        for bound in 0..5 {
+            let assumptions: Vec<Lit> = totalizer.at_most(bound).into_iter().collect();
+            match solver.solve_under_assumptions(&assumptions) {
+                SatResult::Sat(model) => {
+                    let count = count_true(&model, &lits);
+                    assert!(count <= bound, "bound {bound} admitted {count}");
+                }
+                SatResult::Unsat => panic!("at-most-{bound} over free literals must be sat"),
+            }
+        }
+        // The bounds were assumptions, not clauses: all-true is still a model.
+        for lit in &lits {
+            assert!(solver.add_clause(&[*lit]));
+        }
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn totalizer_conflicts_name_the_bound_assumption() {
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(4);
+        let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        let totalizer = Totalizer::new(&mut solver, &lits);
+        // Force three inputs true; at-most-2 must then fail and the core
+        // must blame the bound assumption.
+        for lit in &lits[0..3] {
+            assert!(solver.add_clause(&[*lit]));
+        }
+        let bound = totalizer.at_most(2).expect("non-vacuous bound");
+        assert_eq!(solver.solve_under_assumptions(&[bound]), SatResult::Unsat);
+        assert_eq!(solver.unsat_core(), &[bound]);
+        // Relaxing to at-most-3 succeeds on the same solver.
+        let relaxed: Vec<Lit> = totalizer.at_most(3).into_iter().collect();
+        assert!(solver.solve_under_assumptions(&relaxed).is_sat());
+    }
+
+    #[test]
+    fn totalizer_tightening_descends_like_cegismin() {
+        // Mimics the minimisation descent: one encoding, bounds 3, 2, 1, 0
+        // activated in turn, with a hard at-least-2 making bounds < 2 unsat.
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(6);
+        let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        let totalizer = Totalizer::new(&mut solver, &lits);
+        assert!(add_at_least(&mut solver, &lits, 2));
+        for bound in (0..=3usize).rev() {
+            let assumptions: Vec<Lit> = totalizer.at_most(bound).into_iter().collect();
+            let result = solver.solve_under_assumptions(&assumptions);
+            if bound >= 2 {
+                let model = result.model().expect("bound ≥ 2 is satisfiable");
+                assert!(count_true(model, &lits) <= bound);
+            } else {
+                assert_eq!(result, SatResult::Unsat, "bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_totalizer_agrees_with_the_full_one_up_to_its_cap() {
+        // cap = 3 supports bounds 0..=2 over 6 inputs with far fewer
+        // clauses; every queryable bound behaves exactly like the full
+        // encoding, and out-of-cap bounds panic instead of under-counting.
+        for forced in 0..5usize {
+            let mut solver = Solver::new();
+            let vars = solver.new_vars(6);
+            let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+            let totalizer = Totalizer::with_cap(&mut solver, &lits, 3);
+            assert_eq!(totalizer.len(), 6);
+            for lit in &lits[0..forced] {
+                assert!(solver.add_clause(&[*lit]));
+            }
+            for bound in 0..3usize {
+                let assumptions: Vec<Lit> = totalizer.at_most(bound).into_iter().collect();
+                match solver.solve_under_assumptions(&assumptions) {
+                    SatResult::Sat(model) => {
+                        assert!(forced <= bound, "bound {bound} admitted {forced} forced");
+                        assert!(count_true(&model, &lits) <= bound);
+                    }
+                    SatResult::Unsat => {
+                        assert!(forced > bound, "bound {bound} rejected {forced} forced");
+                    }
+                }
+            }
+        }
+
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(6);
+        let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        let totalizer = Totalizer::with_cap(&mut solver, &lits, 3);
+        assert_eq!(totalizer.at_most(6), None, "vacuous bound stays None");
+        assert!(std::panic::catch_unwind(|| totalizer.at_most(4)).is_err());
+    }
+
+    #[test]
+    fn empty_and_singleton_totalizers() {
+        let mut solver = Solver::new();
+        let empty = Totalizer::new(&mut solver, &[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.at_most(0), None);
+
+        let var = solver.new_var();
+        let single = Totalizer::new(&mut solver, &[var.positive()]);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.at_most(0), Some(var.negative()));
+        let result = solver.solve_under_assumptions(&[single.at_most(0).unwrap()]);
+        assert!(!result.model().expect("sat").value(var));
     }
 
     #[test]

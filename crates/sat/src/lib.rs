@@ -27,9 +27,9 @@ pub mod cardinality;
 mod literal;
 mod solver;
 
-pub use cardinality::{add_at_least, add_at_most};
+pub use cardinality::{add_at_least, add_at_most, Totalizer};
 pub use literal::{Lit, Model, Var};
-pub use solver::{SatResult, Solver};
+pub use solver::{SatResult, Solver, SolverStats};
 
 #[cfg(test)]
 mod proptests {
@@ -132,6 +132,91 @@ mod proptests {
                         !expected,
                         "seed {seed}: solver said UNSAT but brute force says SAT"
                     );
+                }
+            }
+        }
+    }
+
+    /// Solving under assumptions agrees with baking the assumptions in as
+    /// unit clauses on a fresh solver — across random CNFs and random
+    /// assumption sets, on one incrementally reused solver.
+    #[test]
+    fn assumptions_agree_with_unit_clauses() {
+        let num_vars = 5usize;
+        for seed in 0..96u64 {
+            let mut rng = Rng(seed.wrapping_mul(0x9E37).wrapping_add(1));
+            let num_clauses = 1 + rng.below(16) as usize;
+            let clauses: Vec<Vec<(usize, bool)>> = (0..num_clauses)
+                .map(|_| {
+                    let len = 1 + rng.below(3) as usize;
+                    (0..len)
+                        .map(|_| (rng.below(num_vars as u64) as usize, rng.below(2) == 1))
+                        .collect()
+                })
+                .collect();
+
+            let mut incremental = Solver::new();
+            let vars = incremental.new_vars(num_vars);
+            let to_lit = |(v, positive): (usize, bool)| {
+                if positive {
+                    vars[v].positive()
+                } else {
+                    vars[v].negative()
+                }
+            };
+            let mut base_ok = true;
+            for clause in &clauses {
+                let lits: Vec<Lit> = clause.iter().map(|&l| to_lit(l)).collect();
+                base_ok &= incremental.add_clause(&lits);
+            }
+            if !base_ok {
+                continue; // trivially unsat base: nothing to compare
+            }
+
+            // Several assumption sets against the SAME solver instance.
+            for round in 0..4u64 {
+                let mut rng = Rng(seed ^ (round << 32) ^ 0xA5A5);
+                let picks = rng.below(3) + 1;
+                let assumption_raw: Vec<(usize, bool)> = (0..picks)
+                    .map(|_| (rng.below(num_vars as u64) as usize, rng.below(2) == 1))
+                    .collect();
+                let assumptions: Vec<Lit> = assumption_raw.iter().map(|&l| to_lit(l)).collect();
+
+                // Reference: clauses + assumptions as units, brute forced.
+                let mut reference = clauses.clone();
+                reference.extend(assumption_raw.iter().map(|&l| vec![l]));
+                let expected = brute_force_sat(num_vars, &reference);
+
+                match incremental.solve_under_assumptions(&assumptions) {
+                    SatResult::Sat(model) => {
+                        assert!(expected, "seed {seed} round {round}: spurious SAT");
+                        for &lit in &assumptions {
+                            assert!(model.lit_is_true(lit), "assumption {lit} violated");
+                        }
+                        for clause in &clauses {
+                            assert!(clause
+                                .iter()
+                                .any(|&(v, positive)| model.value(vars[v]) == positive));
+                        }
+                    }
+                    SatResult::Unsat => {
+                        assert!(!expected, "seed {seed} round {round}: spurious UNSAT");
+                        // The core is a subset of the assumptions and is
+                        // itself sufficient for unsatisfiability.
+                        let core: Vec<Lit> = incremental.unsat_core().to_vec();
+                        for lit in &core {
+                            assert!(assumptions.contains(lit), "core leaked {lit}");
+                        }
+                        let mut with_core = clauses.clone();
+                        with_core.extend(
+                            core.iter()
+                                .map(|lit| vec![(lit.var().index(), lit.is_positive())]),
+                        );
+                        assert!(
+                            !brute_force_sat(num_vars, &with_core),
+                            "seed {seed} round {round}: core {core:?} does not justify UNSAT"
+                        );
+                    }
                 }
             }
         }

@@ -3,10 +3,12 @@
 //! The paper delegates its search over correction choices to the SKETCH
 //! synthesizer, whose inner loop is a SAT solver.  This module provides that
 //! substrate: a conflict-driven clause-learning solver with two-literal
-//! watching, first-UIP conflict analysis, VSIDS-style activity ordering,
-//! phase saving and geometric restarts.  The instances produced by the
-//! synthesis encoding are small (hundreds of variables), so the solver
-//! favours clarity over heroic optimisation.
+//! watching, first-UIP conflict analysis, VSIDS-style activity ordering via
+//! an indexed max-heap, phase saving, geometric restarts and **incremental
+//! solving under assumptions** — the mechanism CEGISMIN uses to tighten its
+//! cost bound without re-encoding (assumption literals are pseudo-decisions,
+//! so every learnt clause remains a consequence of the clause database alone
+//! and stays valid across `solve` calls).
 
 use crate::literal::{Lit, Model, Var};
 
@@ -15,7 +17,8 @@ use crate::literal::{Lit, Model, Var};
 pub enum SatResult {
     /// The formula is satisfiable; a model is provided.
     Sat(Model),
-    /// The formula is unsatisfiable.
+    /// The formula is unsatisfiable (under the given assumptions, if any —
+    /// see [`Solver::unsat_core`]).
     Unsat,
 }
 
@@ -34,13 +37,129 @@ impl SatResult {
     }
 }
 
+/// Counters describing the work a [`Solver`] has performed since creation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Branching decisions taken.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Conflicts analysed.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Clauses learnt (and kept — the solver never forgets).
+    pub learnts: u64,
+}
+
 const UNASSIGNED: u8 = 2;
+
+/// Marker for a variable currently absent from the branching heap.
+const NOT_IN_HEAP: usize = usize::MAX;
+
+/// An indexed binary max-heap over variable activities.
+///
+/// Replaces the former O(vars) linear scan in `pick_branch_var`: decisions
+/// pop the most active variable in O(log n), activity bumps sift in place,
+/// and backtracking lazily re-inserts freed variables.  Variables assigned
+/// by propagation stay in the heap and are discarded on pop (lazy deletion).
+#[derive(Debug, Default)]
+struct VarOrder {
+    /// Variable indices arranged as a binary max-heap on activity.
+    heap: Vec<u32>,
+    /// `pos[v]` is `v`'s position in `heap`, or [`NOT_IN_HEAP`].
+    pos: Vec<usize>,
+}
+
+impl VarOrder {
+    fn contains(&self, var: usize) -> bool {
+        self.pos[var] != NOT_IN_HEAP
+    }
+
+    fn push_new_var(&mut self, activity: &[f64]) {
+        let var = self.pos.len() as u32;
+        self.pos.push(NOT_IN_HEAP);
+        self.insert(var, activity);
+    }
+
+    fn insert(&mut self, var: u32, activity: &[f64]) {
+        if self.contains(var as usize) {
+            return;
+        }
+        self.pos[var as usize] = self.heap.len();
+        self.heap.push(var);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Restores the heap property after `var`'s activity increased.
+    fn bumped(&mut self, var: u32, activity: &[f64]) {
+        let position = self.pos[var as usize];
+        if position != NOT_IN_HEAP {
+            self.sift_up(position, activity);
+        }
+    }
+
+    fn pop(&mut self, activity: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        self.pos[top as usize] = NOT_IN_HEAP;
+        let last = self.heap.pop().expect("non-empty heap");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a;
+        self.pos[self.heap[b] as usize] = b;
+    }
+
+    fn sift_up(&mut self, mut index: usize, activity: &[f64]) {
+        while index > 0 {
+            let parent = (index - 1) / 2;
+            if activity[self.heap[index] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(index, parent);
+            index = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut index: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * index + 1;
+            let right = left + 1;
+            let mut best = index;
+            if left < self.heap.len()
+                && activity[self.heap[left] as usize] > activity[self.heap[best] as usize]
+            {
+                best = left;
+            }
+            if right < self.heap.len()
+                && activity[self.heap[right] as usize] > activity[self.heap[best] as usize]
+            {
+                best = right;
+            }
+            if best == index {
+                break;
+            }
+            self.swap(index, best);
+            index = best;
+        }
+    }
+}
 
 /// An incremental CDCL SAT solver.
 ///
 /// Clauses may be added between `solve` calls; learnt clauses are kept, so
-/// repeated solving (as done by the CEGIS loop, which adds blocking clauses
-/// and tightening cost bounds) is cheap.
+/// repeated solving (as done by the CEGIS loop, which adds blocking clauses)
+/// is cheap.  [`Solver::solve_under_assumptions`] additionally decides
+/// satisfiability under a conjunction of assumption literals without adding
+/// them to the clause database — the CEGISMIN minimisation descent activates
+/// successively tighter cost bounds this way, one encoding per grade.
 #[derive(Debug, Default)]
 pub struct Solver {
     /// Clause database; index 0.. are both original and learnt clauses.
@@ -63,16 +182,24 @@ pub struct Solver {
     propagate_head: usize,
     /// VSIDS activity per variable.
     activity: Vec<f64>,
+    /// Activity-ordered branching heap.
+    order: VarOrder,
     /// Current activity increment.
     var_inc: f64,
     /// False once a top-level conflict has been derived.
     ok: bool,
+    /// Assumption subset responsible for the last assumption-driven `Unsat`.
+    last_core: Vec<Lit>,
     /// Number of conflicts seen (drives restarts).
     conflicts: u64,
     /// Statistics: number of decisions.
     decisions: u64,
     /// Statistics: number of propagations.
     propagations: u64,
+    /// Statistics: number of restarts.
+    restarts: u64,
+    /// Statistics: number of learnt clauses retained.
+    learnts: u64,
 }
 
 impl Solver {
@@ -95,9 +222,15 @@ impl Solver {
         self.clauses.len()
     }
 
-    /// Statistics: `(decisions, propagations, conflicts)` since creation.
-    pub fn stats(&self) -> (u64, u64, u64) {
-        (self.decisions, self.propagations, self.conflicts)
+    /// Work counters since creation.
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions,
+            propagations: self.propagations,
+            conflicts: self.conflicts,
+            restarts: self.restarts,
+            learnts: self.learnts,
+        }
     }
 
     /// Allocates a fresh variable.
@@ -110,6 +243,7 @@ impl Solver {
         self.activity.push(0.0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.order.push_new_var(&self.activity);
         Var(index)
     }
 
@@ -288,11 +422,14 @@ impl Solver {
     fn bump_activity(&mut self, var: Var) {
         self.activity[var.index()] += self.var_inc;
         if self.activity[var.index()] > 1e100 {
+            // Rescaling multiplies every activity by the same constant, so
+            // the heap order is untouched.
             for a in &mut self.activity {
                 *a *= 1e-100;
             }
             self.var_inc *= 1e-100;
         }
+        self.order.bumped(var.index() as u32, &self.activity);
     }
 
     /// First-UIP conflict analysis.  Returns the learnt clause and the level
@@ -366,6 +503,48 @@ impl Solver {
         (learnt, backtrack_level)
     }
 
+    /// Computes the subset of assumptions responsible for forcing the
+    /// assumption literal `failed` false (MiniSat's `analyzeFinal`): walks
+    /// the implication graph from `¬failed` back to the pseudo-decisions.
+    /// The result — `failed` plus every assumption reached — is a conjunction
+    /// that is unsatisfiable with the clause database alone.
+    fn analyze_final(&mut self, failed: Lit) {
+        self.last_core.clear();
+        self.last_core.push(failed);
+        if self.trail_lim.is_empty() {
+            return;
+        }
+        let mut seen = vec![false; self.num_vars()];
+        seen[failed.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            if !seen[lit.var().index()] {
+                continue;
+            }
+            match self.reason[lit.var().index()] {
+                // A pseudo-decision above level 0 is an assumption.
+                None => self.last_core.push(lit),
+                Some(clause_index) => {
+                    for k in 0..self.clauses[clause_index].len() {
+                        let q = self.clauses[clause_index][k];
+                        if q.var() != lit.var() && self.level[q.var().index()] > 0 {
+                            seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            seen[lit.var().index()] = false;
+        }
+    }
+
+    /// The subset of assumption literals responsible for the most recent
+    /// `Unsat` answer of [`Solver::solve_under_assumptions`].  Their
+    /// conjunction is unsatisfiable together with the clause database; an
+    /// empty core means the clauses are unsatisfiable on their own.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.last_core
+    }
+
     fn cancel_until(&mut self, target_level: u32) {
         while self.trail_lim.len() as u32 > target_level {
             let start = self.trail_lim.pop().expect("non-empty trail_lim");
@@ -374,26 +553,43 @@ impl Solver {
                 let var = lit.var().index();
                 self.assign[var] = UNASSIGNED;
                 self.reason[var] = None;
+                // Lazy heap re-insertion: freed variables become branchable
+                // again.
+                self.order.insert(var as u32, &self.activity);
             }
         }
         self.propagate_head = self.propagate_head.min(self.trail.len());
     }
 
-    fn pick_branch_var(&self) -> Option<Var> {
-        let mut best: Option<(f64, usize)> = None;
-        for (index, &value) in self.assign.iter().enumerate() {
-            if value == UNASSIGNED {
-                let act = self.activity[index];
-                if best.is_none_or(|(b, _)| act > b) {
-                    best = Some((act, index));
-                }
+    /// Pops the most active unassigned variable (lazy deletion: entries
+    /// assigned by propagation since insertion are discarded on the way).
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(var) = self.order.pop(&self.activity) {
+            if self.assign[var as usize] == UNASSIGNED {
+                return Some(Var(var));
             }
         }
-        best.map(|(_, index)| Var(index as u32))
+        None
     }
 
     /// Decides satisfiability of the current clause set.
     pub fn solve(&mut self) -> SatResult {
+        self.solve_under_assumptions(&[])
+    }
+
+    /// Decides satisfiability of the current clause set under the
+    /// conjunction of `assumptions`.
+    ///
+    /// Assumptions are applied as pseudo-decisions (one per decision level,
+    /// before any branching), so nothing is added to the clause database and
+    /// every clause learnt during the search remains valid for later calls —
+    /// this is what makes CEGISMIN's repeated bound tightening incremental.
+    /// When the answer is `Unsat` because of the assumptions,
+    /// [`Solver::unsat_core`] names the responsible subset and the solver
+    /// stays usable; an `Unsat` with an empty core means the clauses
+    /// themselves are contradictory and the solver is dead.
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.last_core.clear();
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -419,6 +615,7 @@ impl Solver {
                 self.var_inc *= 1.05;
                 if learnt.len() == 1 {
                     if self.lit_value(learnt[0]) == 0 {
+                        // False at level 0: contradictory clause database.
                         self.ok = false;
                         return SatResult::Unsat;
                     }
@@ -431,13 +628,39 @@ impl Solver {
                     self.watches[learnt[1].negated().index()].push(index);
                     let asserting = learnt[0];
                     self.clauses.push(learnt);
+                    self.learnts += 1;
                     self.enqueue(asserting, Some(index));
                 }
             } else {
                 if conflicts_since_restart >= restart_limit {
                     conflicts_since_restart = 0;
                     restart_limit = restart_limit.saturating_mul(3) / 2;
+                    self.restarts += 1;
+                    // Assumptions are re-applied below, one per iteration.
                     self.cancel_until(0);
+                    continue;
+                }
+                // Apply (or re-apply, after a restart or deep backjump) the
+                // next pending assumption as a pseudo-decision.
+                if self.trail_lim.len() < assumptions.len() {
+                    let lit = assumptions[self.trail_lim.len()];
+                    match self.lit_value(lit) {
+                        // Already entailed: push an empty decision level so
+                        // assumption i always sits at level ≤ i + 1.
+                        1 => self.trail_lim.push(self.trail.len()),
+                        0 => {
+                            // The clause database (plus earlier assumptions)
+                            // forces this assumption false: unsat under
+                            // assumptions, solver still healthy.
+                            self.analyze_final(lit);
+                            self.cancel_until(0);
+                            return SatResult::Unsat;
+                        }
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(lit, None);
+                        }
+                    }
                     continue;
                 }
                 match self.pick_branch_var() {
@@ -643,7 +866,118 @@ mod tests {
         let v = lits(&mut s, 3);
         s.add_clause(&[v[0].positive(), v[1].positive(), v[2].positive()]);
         let _ = s.solve();
-        let (decisions, propagations, _conflicts) = s.stats();
-        assert!(decisions + propagations > 0);
+        let stats = s.stats();
+        assert!(stats.decisions + stats.propagations > 0);
+    }
+
+    #[test]
+    fn assumptions_restrict_models_without_adding_clauses() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        assert!(s.add_clause(&[v[0].positive(), v[1].positive()]));
+        let clauses_before = s.num_clauses();
+
+        // Under ¬a the only way to satisfy a ∨ b is b.
+        let result = s.solve_under_assumptions(&[v[0].negative()]);
+        let model = result.model().expect("sat under ¬a");
+        assert!(!model.value(v[0]));
+        assert!(model.value(v[1]));
+
+        // The assumption was temporary: a is free again.
+        let result = s.solve_under_assumptions(&[v[0].positive()]);
+        assert!(result.model().expect("sat under a").value(v[0]));
+        assert_eq!(s.num_clauses(), clauses_before);
+    }
+
+    #[test]
+    fn failed_assumptions_yield_a_core_and_a_reusable_solver() {
+        // a → b, so assuming {a, ¬b} is contradictory while the clause
+        // database stays satisfiable.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        assert!(s.add_implication(v[0].positive(), v[1].positive()));
+
+        let result =
+            s.solve_under_assumptions(&[v[2].positive(), v[0].positive(), v[1].negative()]);
+        assert_eq!(result, SatResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(!core.is_empty(), "assumption failure must produce a core");
+        // The irrelevant assumption on v[2] is not to blame.
+        assert!(!core.contains(&v[2].positive()), "core {core:?}");
+        assert!(core.contains(&v[1].negative()) || core.contains(&v[0].positive()));
+
+        // The solver survives: the same query without the bad assumption
+        // succeeds, as does an unconditional solve.
+        assert!(s.solve_under_assumptions(&[v[0].positive()]).is_sat());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn directly_conflicting_assumptions_are_detected() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        let result = s.solve_under_assumptions(&[v[0].positive(), v[0].negative()]);
+        assert_eq!(result, SatResult::Unsat);
+        let core = s.unsat_core();
+        assert!(core.contains(&v[0].positive()) && core.contains(&v[0].negative()));
+        assert!(s.solve().is_sat(), "solver must remain usable");
+    }
+
+    #[test]
+    fn unsat_clause_database_reports_an_empty_core() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        assert!(s.add_clause(&[v[0].positive()]));
+        let _ = s.add_clause(&[v[0].negative()]);
+        assert_eq!(
+            s.solve_under_assumptions(&[v[0].positive()]),
+            SatResult::Unsat
+        );
+        assert!(s.unsat_core().is_empty());
+    }
+
+    #[test]
+    fn learnt_clauses_survive_assumption_solves() {
+        // A pigeonhole core reachable only when the `enable` assumption is
+        // on.  Conflicts analysed under the assumption must produce learnt
+        // clauses that are sound without it (assumptions are decisions, so
+        // learning never depends on them being true).
+        let mut s = Solver::new();
+        let enable = s.new_var();
+        let mut p = vec![vec![]; 3];
+        for row in p.iter_mut() {
+            *row = s.new_vars(2);
+        }
+        for row in &p {
+            assert!(s.add_clause(&[enable.negative(), row[0].positive(), row[1].positive()]));
+        }
+        #[allow(clippy::needless_range_loop)]
+        for hole in 0..2usize {
+            for i in 0..3 {
+                for k in (i + 1)..3 {
+                    assert!(s.add_clause(&[
+                        enable.negative(),
+                        p[i][hole].negative(),
+                        p[k][hole].negative()
+                    ]));
+                }
+            }
+        }
+        assert_eq!(
+            s.solve_under_assumptions(&[enable.positive()]),
+            SatResult::Unsat
+        );
+        assert_eq!(s.unsat_core(), &[enable.positive()]);
+        let learnts_after_first = s.stats().learnts;
+
+        // Re-solving the same query reuses what was learnt: at least it must
+        // not lose soundness, and without the assumption the formula is sat.
+        assert_eq!(
+            s.solve_under_assumptions(&[enable.positive()]),
+            SatResult::Unsat
+        );
+        assert!(s.stats().learnts >= learnts_after_first);
+        let model = s.solve().model().cloned().expect("sat without assumption");
+        assert!(!model.value(enable));
     }
 }

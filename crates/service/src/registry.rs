@@ -20,7 +20,10 @@ pub struct ProblemEntry {
     pub counters: OutcomeCounters,
 }
 
-/// Lock-free outcome counters (one instance per problem).
+/// Lock-free outcome counters (one instance per problem).  Alongside the
+/// verdict buckets, solver-work totals (SAT conflicts, propagations, learnt
+/// clauses, restarts) are accumulated from every `Feedback` outcome so
+/// `/stats` consumers can track search effort per grade over time.
 #[derive(Debug, Default)]
 pub struct OutcomeCounters {
     graded: AtomicU64,
@@ -29,11 +32,18 @@ pub struct OutcomeCounters {
     fixed: AtomicU64,
     cannot_fix: AtomicU64,
     timeouts: AtomicU64,
+    sat_conflicts: AtomicU64,
+    sat_propagations: AtomicU64,
+    sat_learnts: AtomicU64,
+    restarts: AtomicU64,
 }
 
 impl OutcomeCounters {
-    /// Records one graded submission.
-    pub fn record(&self, outcome: &GradeOutcome) {
+    /// Records one graded submission.  `from_cache` suppresses the
+    /// solver-work accumulation: a cache hit replays the original run's
+    /// stats without running a search, and counting them again would
+    /// inflate the reported effort by the hit rate.
+    pub fn record(&self, outcome: &GradeOutcome, from_cache: bool) {
         self.graded.fetch_add(1, Ordering::Relaxed);
         let bucket = match outcome {
             GradeOutcome::SyntaxError(_) => &self.syntax_errors,
@@ -43,6 +53,19 @@ impl OutcomeCounters {
             GradeOutcome::Timeout => &self.timeouts,
         };
         bucket.fetch_add(1, Ordering::Relaxed);
+        if from_cache {
+            return;
+        }
+        if let GradeOutcome::Feedback(feedback) = outcome {
+            self.sat_conflicts
+                .fetch_add(feedback.stats.sat_conflicts, Ordering::Relaxed);
+            self.sat_propagations
+                .fetch_add(feedback.stats.sat_propagations, Ordering::Relaxed);
+            self.sat_learnts
+                .fetch_add(feedback.stats.sat_learnts, Ordering::Relaxed);
+            self.restarts
+                .fetch_add(feedback.stats.restarts, Ordering::Relaxed);
+        }
     }
 
     fn snapshot(&self) -> Json {
@@ -61,15 +84,61 @@ impl OutcomeCounters {
             ("timeouts", self.timeouts.load(Ordering::Relaxed).to_json()),
         ])
     }
+
+    fn solver_snapshot(&self) -> Json {
+        Json::object([
+            (
+                "sat_conflicts",
+                self.sat_conflicts.load(Ordering::Relaxed).to_json(),
+            ),
+            (
+                "sat_propagations",
+                self.sat_propagations.load(Ordering::Relaxed).to_json(),
+            ),
+            (
+                "sat_learnts",
+                self.sat_learnts.load(Ordering::Relaxed).to_json(),
+            ),
+            ("restarts", self.restarts.load(Ordering::Relaxed).to_json()),
+        ])
+    }
 }
 
 impl ProblemEntry {
     /// The `/stats` rendering of this entry.
     pub fn stats_json(&self) -> Json {
+        let config = self.grader.config();
+        let escalation: Vec<Json> = config
+            .escalation
+            .tiers
+            .iter()
+            .map(|tier| {
+                Json::object([
+                    ("label", Json::str(&tier.label)),
+                    (
+                        "model_rules",
+                        match tier.model_rules {
+                            Some(rules) => rules.to_json(),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "backend",
+                        Json::str(tier.backend.unwrap_or(config.backend).name()),
+                    ),
+                    ("max_cost", tier.synthesis.max_cost.to_json()),
+                    ("max_candidates", tier.synthesis.max_candidates.to_json()),
+                    ("time_budget_ms", tier.synthesis.time_budget.to_json()),
+                ])
+            })
+            .collect();
         let mut pairs = vec![
             ("id".to_string(), Json::str(&self.id)),
             ("entry".to_string(), Json::str(self.grader.entry())),
+            ("backend".to_string(), Json::str(config.backend.name())),
+            ("escalation".to_string(), Json::Array(escalation)),
             ("outcomes".to_string(), self.counters.snapshot()),
+            ("solver".to_string(), self.counters.solver_snapshot()),
         ];
         match &self.cache {
             Some(cache) => pairs.push(("cache".to_string(), cache.stats().to_json())),
@@ -182,9 +251,9 @@ mod tests {
         let registry = Registry::new();
         registry.insert(entry("deriv", true));
         let problem = registry.get("deriv").unwrap();
-        problem.counters.record(&GradeOutcome::Correct);
-        problem.counters.record(&GradeOutcome::Correct);
-        problem.counters.record(&GradeOutcome::CannotFix);
+        problem.counters.record(&GradeOutcome::Correct, false);
+        problem.counters.record(&GradeOutcome::Correct, false);
+        problem.counters.record(&GradeOutcome::CannotFix, true);
 
         let stats = registry.stats_json();
         let problems = stats.get("problems").and_then(Json::as_array).unwrap();

@@ -267,12 +267,32 @@ fn parse_body(request: &Request) -> Result<Json, (u16, Json)> {
     parse_json(text).map_err(|err| (400, error_json(&err.to_string())))
 }
 
+/// Applies the shared search-budget override fields of `body` to
+/// `synthesis` (`"max_cost"`, `"max_candidates"`, `"time_budget_ms"`).
+fn apply_budget_overrides(body: &Json, synthesis: &mut afg_core::SynthesisConfig) {
+    if let Some(max_cost) = body.get("max_cost").and_then(Json::as_i64) {
+        synthesis.max_cost = max_cost.max(0) as usize;
+    }
+    if let Some(max_candidates) = body.get("max_candidates").and_then(Json::as_i64) {
+        synthesis.max_candidates = max_candidates.max(0) as usize;
+    }
+    if let Some(budget_ms) = body.get("time_budget_ms").and_then(Json::as_f64) {
+        synthesis.time_budget = Duration::from_secs_f64(budget_ms.max(0.0) / 1e3);
+    }
+}
+
 /// `POST /problems` — body:
 /// `{"problem": "compDeriv"}` registers a built-in benchmark problem, or
 /// `{"id", "entry", "reference", "model"}` registers instructor-supplied
 /// MPY reference source plus an EML error-model text.  Optional fields:
 /// `"cache": bool` (default true), `"max_cost"`, `"max_candidates"`,
-/// `"time_budget_ms"` (search budget overrides).
+/// `"time_budget_ms"` (search budget overrides),
+/// `"backend": "cegis" | "enum" | "portfolio"` (search engine), and
+/// `"escalation": [{"label"?, "rules"?, "backend"?, "max_cost"?,
+/// "max_candidates"?, "time_budget_ms"?}, ...]` — an escalation ladder
+/// graded cheapest tier first (`"rules": n` truncates the error model to
+/// its first `n` rules for that tier; omitted budget fields inherit the
+/// problem-level budget).
 fn handle_register(request: &Request, registry: &Registry) -> (u16, Json) {
     let body = match parse_body(request) {
         Ok(body) => body,
@@ -280,14 +300,61 @@ fn handle_register(request: &Request, registry: &Registry) -> (u16, Json) {
     };
 
     let mut config = GraderConfig::fast();
-    if let Some(max_cost) = body.get("max_cost").and_then(Json::as_i64) {
-        config.synthesis.max_cost = max_cost.max(0) as usize;
+    apply_budget_overrides(&body, &mut config.synthesis);
+    if let Some(backend_name) = body.get("backend").and_then(Json::as_str) {
+        match afg_core::Backend::parse(backend_name) {
+            Some(backend) => config.backend = backend,
+            None => {
+                return (
+                    422,
+                    error_json(&format!(
+                        "unknown backend '{backend_name}' (expected cegis, enum or portfolio)"
+                    )),
+                );
+            }
+        }
     }
-    if let Some(max_candidates) = body.get("max_candidates").and_then(Json::as_i64) {
-        config.synthesis.max_candidates = max_candidates.max(0) as usize;
-    }
-    if let Some(budget_ms) = body.get("time_budget_ms").and_then(Json::as_f64) {
-        config.synthesis.time_budget = Duration::from_secs_f64(budget_ms.max(0.0) / 1e3);
+    if let Some(tiers) = body.get("escalation") {
+        let Some(tiers) = tiers.as_array() else {
+            return (400, error_json("'escalation' must be an array of tiers"));
+        };
+        for (index, tier) in tiers.iter().enumerate() {
+            if !matches!(tier, Json::Object(_)) {
+                return (
+                    400,
+                    error_json(&format!("escalation[{index}] must be an object")),
+                );
+            }
+            let mut synthesis = config.synthesis.clone();
+            apply_budget_overrides(tier, &mut synthesis);
+            let backend = match tier.get("backend").and_then(Json::as_str) {
+                Some(name) => match afg_core::Backend::parse(name) {
+                    Some(backend) => Some(backend),
+                    None => {
+                        return (
+                            422,
+                            error_json(&format!("escalation[{index}]: unknown backend '{name}'")),
+                        );
+                    }
+                },
+                None => None,
+            };
+            let model_rules = tier
+                .get("rules")
+                .and_then(Json::as_i64)
+                .map(|rules| rules.max(0) as usize);
+            let label = tier
+                .get("label")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("tier-{index}"));
+            config.escalation.tiers.push(afg_core::EscalationTier {
+                label,
+                model_rules,
+                synthesis,
+                backend,
+            });
+        }
     }
     let use_cache = body.get("cache").and_then(Json::as_bool).unwrap_or(true);
 
@@ -345,6 +412,11 @@ fn handle_register(request: &Request, registry: &Registry) -> (u16, Json) {
                 ("id", Json::str(&id)),
                 ("entry", Json::str(grader.entry())),
                 ("cache", Json::Bool(use_cache)),
+                ("backend", Json::str(grader.config().backend.name())),
+                (
+                    "escalation_tiers",
+                    grader.config().escalation.tiers.len().to_json(),
+                ),
             ]);
             registry.insert(ProblemEntry {
                 id,
@@ -379,7 +451,7 @@ fn handle_grade(request: &Request, registry: &Registry, id: &str) -> (u16, Json)
         }
         None => (entry.grader.grade_source(source), "off"),
     };
-    entry.counters.record(&outcome);
+    entry.counters.record(&outcome, cache_state == "hit");
 
     let mut pairs = match outcome.to_json() {
         Json::Object(pairs) => pairs,
@@ -419,7 +491,9 @@ fn handle_batch(request: &Request, registry: &Registry, id: &str) -> (u16, Json)
 
     let report = engine.grade_sources_with_cache(&entry.grader, &sources, entry.cache.as_ref());
     for item in &report.items {
-        entry.counters.record(&item.outcome);
+        entry
+            .counters
+            .record(&item.outcome, item.cache_hit == Some(true));
     }
     (200, report.to_json())
 }

@@ -103,6 +103,21 @@ fn grades_a_buggy_submission_twice_with_a_cache_hit() {
     assert_eq!(cache.get("misses").and_then(Json::as_i64), Some(1));
     assert_eq!(cache.get("entries").and_then(Json::as_i64), Some(1));
 
+    // Solver-work totals count the one real search only: the cache hit
+    // replays the stored stats but must not re-add them.
+    let solver = problems[0].get("solver").unwrap();
+    let searched = first
+        .get("feedback")
+        .and_then(|f| f.get("stats"))
+        .and_then(|s| s.get("sat_propagations"))
+        .and_then(Json::as_i64)
+        .expect("miss carries solver stats");
+    assert_eq!(
+        solver.get("sat_propagations").and_then(Json::as_i64),
+        Some(searched),
+        "a cache hit must not inflate the solver-work totals"
+    );
+
     handle.shutdown();
 }
 
@@ -180,6 +195,123 @@ fn registers_a_custom_problem_from_eml_text_and_batch_grades() {
             + totals.get("cache_misses").and_then(Json::as_i64).unwrap(),
         4
     );
+
+    handle.shutdown();
+}
+
+#[test]
+fn registers_with_portfolio_backend_and_escalation_ladder() {
+    let (handle, mut client) = boot();
+
+    // Portfolio backend, two-tier escalation: an empty cheap model first
+    // (tier 0 can repair nothing and escalates), the full model second.
+    let (status, registered) = client
+        .post(
+            "/problems",
+            &Json::object([
+                ("problem", Json::str("compDeriv")),
+                ("id", Json::str("deriv-ladder")),
+                ("backend", Json::str("portfolio")),
+                ("max_candidates", Json::Int(2000)),
+                ("time_budget_ms", Json::Int(600_000)),
+                (
+                    "escalation",
+                    Json::Array(vec![
+                        Json::object([
+                            ("label", Json::str("cheap")),
+                            ("rules", Json::Int(0)),
+                            ("max_candidates", Json::Int(50)),
+                        ]),
+                        Json::object([("label", Json::str("full"))]),
+                    ]),
+                ),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 201, "{registered}");
+    assert_eq!(
+        registered.get("backend").and_then(Json::as_str),
+        Some("portfolio")
+    );
+    assert_eq!(
+        registered.get("escalation_tiers").and_then(Json::as_i64),
+        Some(2)
+    );
+
+    // The buggy submission escalates past the empty tier and is repaired.
+    let body = Json::object([("source", Json::str(BUGGY))]);
+    let (status, graded) = client.post("/problems/deriv-ladder/grade", &body).unwrap();
+    assert_eq!(status, 200, "{graded}");
+    assert_eq!(
+        graded.get("outcome").and_then(Json::as_str),
+        Some("feedback")
+    );
+    let stats = graded.get("feedback").and_then(|f| f.get("stats")).unwrap();
+    let winner = stats.get("strategy").and_then(Json::as_str).unwrap();
+    assert!(
+        winner == "cegis" || winner == "enum",
+        "portfolio feedback must name the winning strategy, got '{winner}'"
+    );
+
+    // /stats exposes backend, ladder and solver-work totals.
+    let (status, stats) = client.get("/stats").unwrap();
+    assert_eq!(status, 200);
+    let problems = stats.get("problems").and_then(Json::as_array).unwrap();
+    let entry = problems
+        .iter()
+        .find(|p| p.get("id").and_then(Json::as_str) == Some("deriv-ladder"))
+        .expect("registered problem listed");
+    assert_eq!(
+        entry.get("backend").and_then(Json::as_str),
+        Some("portfolio")
+    );
+    let tiers = entry.get("escalation").and_then(Json::as_array).unwrap();
+    assert_eq!(tiers.len(), 2);
+    assert_eq!(tiers[0].get("label").and_then(Json::as_str), Some("cheap"));
+    assert_eq!(tiers[0].get("model_rules").and_then(Json::as_i64), Some(0));
+    assert!(tiers[1].get("model_rules").unwrap().is_null());
+    let solver = entry.get("solver").expect("solver work totals");
+    assert!(solver
+        .get("sat_propagations")
+        .and_then(Json::as_i64)
+        .is_some());
+
+    // Malformed escalation tiers are rejected, not silently defaulted.
+    let (status, body) = client
+        .post(
+            "/problems",
+            &Json::object([
+                ("problem", Json::str("compDeriv")),
+                (
+                    "escalation",
+                    Json::Array(vec![Json::str("cheap"), Json::Int(42)]),
+                ),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("escalation[0]"));
+
+    // Unknown backends are rejected with a helpful message.
+    let (status, body) = client
+        .post(
+            "/problems",
+            &Json::object([
+                ("problem", Json::str("compDeriv")),
+                ("backend", Json::str("sketch")),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 422);
+    assert!(body
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("unknown backend"));
 
     handle.shutdown();
 }

@@ -1,0 +1,61 @@
+//! A growable index bitset.
+//!
+//! The CEGIS and enumerative loops keep counterexamples in an ordered `Vec`
+//! (the *order* is the fast-rejection heuristic: oldest killers first) but
+//! also need an O(1) "have we already recorded this input index?" check —
+//! previously a linear `Vec::contains` that degraded quadratically on
+//! counterexample-heavy searches.  Input indices are dense (positions in
+//! the oracle's bounded input enumeration), so a word-packed bitset is the
+//! natural membership structure.
+
+/// A set of `usize` indices backed by 64-bit words.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IndexBitset {
+    words: Vec<u64>,
+}
+
+impl IndexBitset {
+    /// Inserts `index`; returns `true` when it was not present before.
+    pub(crate) fn insert(&mut self, index: usize) -> bool {
+        let word = index / 64;
+        let mask = 1u64 << (index % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        fresh
+    }
+
+    /// Whether `index` has been inserted.
+    #[cfg(test)]
+    pub(crate) fn contains(&self, index: usize) -> bool {
+        self.words
+            .get(index / 64)
+            .is_some_and(|word| word & (1u64 << (index % 64)) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_reports_novelty_and_membership_tracks() {
+        let mut set = IndexBitset::default();
+        assert!(!set.contains(0));
+        assert!(set.insert(0));
+        assert!(!set.insert(0));
+        assert!(set.contains(0));
+
+        // Across word boundaries, including growth.
+        for index in [63, 64, 65, 1000] {
+            assert!(!set.contains(index));
+            assert!(set.insert(index));
+            assert!(set.contains(index));
+            assert!(!set.insert(index));
+        }
+        assert!(!set.contains(999));
+        assert!(!set.contains(100_000));
+    }
+}

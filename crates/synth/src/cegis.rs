@@ -6,6 +6,14 @@
 //! until the constraints become unsatisfiable, at which point the best
 //! solution seen so far is returned.
 //!
+//! The whole minimisation descent is **incremental**: one [`Solver`] and one
+//! [`ChoiceEncoding`] serve every iteration.  The cost bound is never baked
+//! into the clause database — the encoding's totalizer exposes per-bound
+//! output literals and each `totalCost ≤ k` is activated by *assumption*
+//! ([`Solver::solve_under_assumptions`]), so tightening the bound after a
+//! verified candidate costs nothing and every learnt clause, blocking
+//! clause and counterexample survives to the next round.
+//!
 //! Our verifier is the bounded-exhaustive [`EquivalenceOracle`] rather than
 //! SKETCH's symbolic one, so candidate consistency with the accumulated
 //! counterexamples is established by (cheap) interpretation and failed
@@ -26,8 +34,10 @@ use afg_eml::ChoiceProgram;
 use afg_interp::EquivalenceOracle;
 use afg_sat::{SatResult, Solver};
 
+use crate::bitset::IndexBitset;
 use crate::config::{Solution, SynthesisConfig, SynthesisOutcome, SynthesisStats};
 use crate::encode::ChoiceEncoding;
+use crate::strategy::{CancelToken, SearchStrategy};
 
 /// The SAT-backed CEGIS/CEGISMIN synthesizer.
 #[derive(Debug, Clone, Default)]
@@ -38,18 +48,28 @@ impl CegisSolver {
     pub fn new() -> CegisSolver {
         CegisSolver
     }
+}
+
+impl SearchStrategy for CegisSolver {
+    fn name(&self) -> &'static str {
+        "cegis"
+    }
 
     /// Searches for a minimal-cost choice assignment that makes the
     /// transformed submission equivalent to the reference on the bounded
     /// input space.
-    pub fn synthesize(
+    fn synthesize_with(
         &self,
         program: &ChoiceProgram,
         oracle: &EquivalenceOracle,
         config: &SynthesisConfig,
+        cancel: &CancelToken,
     ) -> SynthesisOutcome {
         let start = Instant::now();
-        let mut stats = SynthesisStats::default();
+        let mut stats = SynthesisStats {
+            strategy: self.name(),
+            ..SynthesisStats::default()
+        };
         let session = oracle.choice_session(program);
 
         // Step 0: a submission that is already equivalent needs no feedback.
@@ -62,58 +82,70 @@ impl CegisSolver {
             Some(cex) => cex,
         };
 
+        // One solver, one encoding — the entire CEGISMIN descent below is
+        // incremental on this pair.
         let mut solver = Solver::new();
         let encoding = ChoiceEncoding::new(&mut solver, program);
-        encoding.add_cost_bound(&mut solver, config.max_cost);
 
         // The counterexample set σ of Algorithm 1, seeded with the input that
-        // already distinguishes the unmodified submission.
+        // already distinguishes the unmodified submission.  The `Vec` keeps
+        // the fast-rejection order; the bitset answers membership in O(1).
         let mut counterexamples: Vec<usize> = vec![first_cex];
+        let mut seen_counterexamples = IndexBitset::default();
+        seen_counterexamples.insert(first_cex);
         stats.counterexamples = 1;
         // The original program (all-default assignment) is known bad.
         encoding.block_assignment(&mut solver, &default_assignment);
 
         let mut best: Option<Solution> = None;
+        // CEGISMIN line 13 (`minHole < minHoleVal`): the current bound,
+        // activated per solve call through totalizer assumptions and
+        // tightened to `cost - 1` after every verified candidate.
+        let mut bound = config.max_cost;
+        // Set when the SAT solver proves no cheaper candidate exists.
+        let mut proven_minimal = false;
 
         loop {
-            if start.elapsed() > config.time_budget
-                || stats.candidates_checked > config.max_candidates
-            {
-                stats.elapsed = start.elapsed();
-                return match best {
-                    Some(mut solution) => {
-                        solution.stats = stats;
-                        SynthesisOutcome::Fixed(solution)
-                    }
-                    None => SynthesisOutcome::Timeout(stats),
-                };
+            if cancel.is_cancelled() || start.elapsed() > config.time_budget {
+                stats.wall_clock_limited = true;
+                break;
+            }
+            if stats.candidates_checked > config.max_candidates {
+                break;
             }
             stats.cegis_iterations += 1;
 
             // Synthesis phase: ask the SAT solver for a candidate assignment
-            // consistent with all blocking clauses and the cost bound.
-            let assignment = match solver.solve() {
+            // consistent with all blocking clauses, under the current cost
+            // bound assumption.
+            let assumptions = encoding.cost_bound_assumptions(bound);
+            let assignment = match solver.solve_under_assumptions(&assumptions) {
                 SatResult::Unsat => {
-                    stats.elapsed = start.elapsed();
-                    return match best {
-                        Some(mut solution) => {
-                            solution.stats = stats;
-                            SynthesisOutcome::Fixed(solution)
-                        }
-                        None => SynthesisOutcome::NoRepairFound(stats),
-                    };
+                    // No candidate under the bound: whatever we hold is the
+                    // proven minimum (or the model can't repair this at all).
+                    proven_minimal = true;
+                    break;
                 }
                 SatResult::Sat(model) => encoding.decode(&model),
             };
 
             stats.candidates_checked += 1;
 
+            // Cancellation is polled once more between the SAT call and the
+            // verification sweep — the two potentially long steps of an
+            // iteration — so a portfolio loser stands down without paying
+            // for one last full bounded-input pass.
+            if cancel.is_cancelled() {
+                stats.wall_clock_limited = true;
+                break;
+            }
+
             // Verification phase: bounded-exhaustive equivalence check over
             // the shared choice AST, accumulated counterexamples first — the
             // fast-rejection path and the full sweep in one ordered pass.
             match session.find_counterexample(&assignment, &counterexamples) {
                 Some(cex) => {
-                    if !counterexamples.contains(&cex) {
+                    if seen_counterexamples.insert(cex) {
                         counterexamples.push(cex);
                         stats.counterexamples += 1;
                     }
@@ -123,30 +155,39 @@ impl CegisSolver {
                     // Verification succeeded: record the solution and tighten
                     // the cost bound (CEGISMIN line 13: minHole < minHoleVal).
                     let cost = assignment.cost();
-                    let improved = best.as_ref().is_none_or(|b| cost < b.cost);
-                    if improved {
+                    if best.as_ref().is_none_or(|b| cost < b.cost) {
                         best = Some(Solution {
                             assignment: assignment.clone(),
                             cost,
+                            minimal: false,
                             stats: SynthesisStats::default(),
                         });
                     }
                     if cost == 0 {
+                        proven_minimal = true;
                         break;
                     }
-                    encoding.add_cost_bound(&mut solver, cost - 1);
+                    bound = cost - 1;
+                    stats.descent_learnts.push(solver.stats().learnts);
                     encoding.block_assignment(&mut solver, &assignment);
                 }
             }
         }
 
+        let sat = solver.stats();
+        stats.sat_conflicts = sat.conflicts;
+        stats.sat_propagations = sat.propagations;
+        stats.sat_learnts = sat.learnts;
+        stats.restarts = sat.restarts;
         stats.elapsed = start.elapsed();
         match best {
             Some(mut solution) => {
+                solution.minimal = proven_minimal;
                 solution.stats = stats;
                 SynthesisOutcome::Fixed(solution)
             }
-            None => SynthesisOutcome::NoRepairFound(stats),
+            None if proven_minimal => SynthesisOutcome::NoRepairFound(stats),
+            None => SynthesisOutcome::Timeout(stats),
         }
     }
 }
@@ -216,9 +257,81 @@ def computeDeriv(poly_list_int):
             solution.cost, 1,
             "minimal repair should be a single correction"
         );
+        assert!(solution.minimal, "the descent ran to Unsat");
+        assert_eq!(solution.stats.strategy, "cegis");
         // The repaired program really is equivalent.
         let repaired = cp.concretize(&solution.assignment);
         assert!(oracle().is_equivalent(&repaired));
+    }
+
+    #[test]
+    fn minimisation_descent_runs_on_a_single_encoding() {
+        // The incremental-search acceptance criterion: one synthesize call
+        // constructs exactly one ChoiceEncoding (hence one solver encoding),
+        // and the learnt-clause count sampled at each bound tightening is
+        // monotone — impossible if the descent re-encoded per bound, since a
+        // fresh solver would reset the counter.
+        let student = parse_program(
+            "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    out = []\n    for i in range(0, len(poly)):\n        out.append(i * poly[i])\n    return out\n",
+        )
+        .unwrap();
+        let cp = apply_error_model(
+            &student,
+            Some("computeDeriv"),
+            &library::compute_deriv_model(),
+        )
+        .unwrap();
+        let oracle = oracle();
+        let config = SynthesisConfig::fast();
+
+        let before = crate::encode::instrument::encodings_created();
+        let outcome = CegisSolver::new().synthesize(&cp, &oracle, &config);
+        let after = crate::encode::instrument::encodings_created();
+        assert_eq!(
+            after - before,
+            1,
+            "CEGISMIN must build exactly one ChoiceEncoding per synthesize call"
+        );
+
+        let solution = outcome.solution().expect("fixable");
+        assert!(solution.minimal);
+        let descent = &solution.stats.descent_learnts;
+        assert!(
+            descent.windows(2).all(|w| w[0] <= w[1]),
+            "learnt-clause counts must be monotone across the descent: {descent:?}"
+        );
+        assert!(
+            solution.stats.sat_learnts >= descent.last().copied().unwrap_or(0),
+            "final learnt count cannot drop below the last descent sample"
+        );
+        assert!(
+            solution.stats.sat_propagations > 0,
+            "solver work must be reported"
+        );
+    }
+
+    #[test]
+    fn cancellation_stops_the_search_cooperatively() {
+        let student = parse_program(
+            "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    out = []\n    for i in range(0, len(poly)):\n        out.append(i * poly[i])\n    return out\n",
+        )
+        .unwrap();
+        let cp = apply_error_model(
+            &student,
+            Some("computeDeriv"),
+            &library::compute_deriv_model(),
+        )
+        .unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let outcome =
+            CegisSolver::new().synthesize_with(&cp, &oracle(), &SynthesisConfig::fast(), &cancel);
+        // A pre-cancelled search gives up before proposing any candidate
+        // (the cheap already-correct check still runs).
+        match outcome {
+            SynthesisOutcome::Timeout(stats) => assert_eq!(stats.cegis_iterations, 0),
+            other => panic!("expected Timeout from a cancelled search, got {other:?}"),
+        }
     }
 
     #[test]

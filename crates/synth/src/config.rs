@@ -42,14 +42,52 @@ impl SynthesisConfig {
 /// Counters describing how hard the synthesizer had to work.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SynthesisStats {
-    /// Candidate programs concretised and interpreted.
+    /// Candidate programs evaluated against the oracle.
     pub candidates_checked: usize,
     /// CEGIS iterations (synthesis-phase / verification-phase round trips).
     pub cegis_iterations: usize,
     /// Counterexample inputs accumulated.
     pub counterexamples: usize,
+    /// SAT conflicts analysed (0 for SAT-free back ends).
+    pub sat_conflicts: u64,
+    /// SAT unit propagations performed.
+    pub sat_propagations: u64,
+    /// SAT clauses learnt and retained.
+    pub sat_learnts: u64,
+    /// SAT restarts performed.
+    pub restarts: u64,
+    /// Which strategy produced this result (`"cegis"`, `"enum"`, …; for a
+    /// portfolio run, the *winning* strategy).
+    pub strategy: &'static str,
+    /// Whether the search was stopped by the wall clock or a cancellation
+    /// (as opposed to exhausting its candidate budget).  A wall-clock stop
+    /// depends on machine load, so such outcomes must never be cached; a
+    /// candidate-budget stop replays identically anywhere.
+    pub wall_clock_limited: bool,
+    /// Learnt-clause count sampled at each CEGISMIN bound tightening —
+    /// monotone when (and only when) the whole descent runs on one solver.
+    pub descent_learnts: Vec<u64>,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+}
+
+impl SynthesisStats {
+    /// Folds another strategy's counters into this one (used by the
+    /// portfolio so the reported work covers *all* racers, not just the
+    /// winner).  `strategy`, `descent_learnts`, `elapsed` and
+    /// `wall_clock_limited` are the winner's and are left untouched — a
+    /// definitive winner's proof stays deterministic even when the losers
+    /// were (deliberately) stopped by cancellation; the portfolio ORs the
+    /// flag in itself for the non-definitive fallback case.
+    pub fn absorb_work(&mut self, other: &SynthesisStats) {
+        self.candidates_checked += other.candidates_checked;
+        self.cegis_iterations += other.cegis_iterations;
+        self.counterexamples += other.counterexamples;
+        self.sat_conflicts += other.sat_conflicts;
+        self.sat_propagations += other.sat_propagations;
+        self.sat_learnts += other.sat_learnts;
+        self.restarts += other.restarts;
+    }
 }
 
 /// A repair found by the synthesizer.
@@ -60,6 +98,11 @@ pub struct Solution {
     pub assignment: ChoiceAssignment,
     /// Number of corrections (`totalCost` in the paper).
     pub cost: usize,
+    /// Whether minimality was *proven* (the search space below `cost` was
+    /// exhausted) rather than being the best candidate found before the
+    /// budget ran out.  The portfolio only declares a winner on proven
+    /// results.
+    pub minimal: bool,
     /// Search statistics.
     pub stats: SynthesisStats,
 }
@@ -84,6 +127,43 @@ impl SynthesisOutcome {
         match self {
             SynthesisOutcome::Fixed(solution) => Some(solution),
             _ => None,
+        }
+    }
+
+    /// The search statistics, for every outcome that carries them
+    /// (everything but [`SynthesisOutcome::AlreadyCorrect`]).
+    pub fn stats(&self) -> Option<&SynthesisStats> {
+        match self {
+            SynthesisOutcome::AlreadyCorrect => None,
+            SynthesisOutcome::Fixed(solution) => Some(&solution.stats),
+            SynthesisOutcome::NoRepairFound(stats) | SynthesisOutcome::Timeout(stats) => {
+                Some(stats)
+            }
+        }
+    }
+
+    /// Mutable access to the carried statistics (used by the portfolio to
+    /// fold the losers' work into the winner's report).
+    pub fn stats_mut(&mut self) -> Option<&mut SynthesisStats> {
+        match self {
+            SynthesisOutcome::AlreadyCorrect => None,
+            SynthesisOutcome::Fixed(solution) => Some(&mut solution.stats),
+            SynthesisOutcome::NoRepairFound(stats) | SynthesisOutcome::Timeout(stats) => {
+                Some(stats)
+            }
+        }
+    }
+
+    /// Whether this outcome settles the search: the submission is correct,
+    /// provably unrepairable within the configured bounds, or repaired with
+    /// *proven* minimal cost.  Budget-limited outcomes (timeouts,
+    /// best-so-far repairs) are not definitive — another strategy might
+    /// still do better, which is exactly what the portfolio exploits.
+    pub fn is_definitive(&self) -> bool {
+        match self {
+            SynthesisOutcome::AlreadyCorrect | SynthesisOutcome::NoRepairFound(_) => true,
+            SynthesisOutcome::Fixed(solution) => solution.minimal,
+            SynthesisOutcome::Timeout(_) => false,
         }
     }
 
@@ -121,11 +201,55 @@ mod tests {
         let solution = Solution {
             assignment: ChoiceAssignment::default_choices(),
             cost: 0,
+            minimal: true,
             stats: SynthesisStats::default(),
         };
         assert_eq!(
             SynthesisOutcome::Fixed(solution.clone()).solution(),
             Some(&solution)
         );
+    }
+
+    #[test]
+    fn definitive_outcomes_are_the_proven_ones() {
+        let stats = SynthesisStats::default();
+        assert!(SynthesisOutcome::AlreadyCorrect.is_definitive());
+        assert!(SynthesisOutcome::NoRepairFound(stats.clone()).is_definitive());
+        assert!(!SynthesisOutcome::Timeout(stats.clone()).is_definitive());
+        let mut solution = Solution {
+            assignment: ChoiceAssignment::default_choices(),
+            cost: 1,
+            minimal: true,
+            stats: stats.clone(),
+        };
+        assert!(SynthesisOutcome::Fixed(solution.clone()).is_definitive());
+        solution.minimal = false;
+        assert!(!SynthesisOutcome::Fixed(solution).is_definitive());
+        assert!(SynthesisOutcome::AlreadyCorrect.stats().is_none());
+        assert!(SynthesisOutcome::Timeout(stats).stats().is_some());
+    }
+
+    #[test]
+    fn absorbing_work_sums_counters_but_keeps_identity() {
+        let mut winner = SynthesisStats {
+            candidates_checked: 10,
+            sat_conflicts: 5,
+            strategy: "cegis",
+            descent_learnts: vec![1, 2],
+            ..SynthesisStats::default()
+        };
+        let loser = SynthesisStats {
+            candidates_checked: 90,
+            sat_conflicts: 1,
+            restarts: 2,
+            strategy: "enum",
+            ..SynthesisStats::default()
+        };
+        winner.absorb_work(&loser);
+        assert_eq!(winner.candidates_checked, 100);
+        assert_eq!(winner.sat_conflicts, 6);
+        assert_eq!(winner.restarts, 2);
+        assert_eq!(winner.strategy, "cegis");
+        assert_eq!(winner.descent_learnts, vec![1, 2]);
     }
 }

@@ -5,13 +5,41 @@
 //! choice a SKETCH hole plus a boolean `choice_k` variable, §2.3).  The
 //! encoding enforces at most one selected option per site; a site with no
 //! selected option takes its default.  `totalCost` is the number of selector
-//! variables set to true, bounded with the sequential-counter cardinality
-//! encoding during CEGISMIN.
+//! variables set to true.  The cost bound is **not** baked into the clause
+//! database: a [`afg_sat::Totalizer`] built once over the selectors exposes
+//! one output literal per possible count, and CEGISMIN activates
+//! `totalCost ≤ k` by passing the negated `k+1`-th output as an
+//! *assumption* to each solve call — the whole minimisation descent then
+//! runs on a single solver instance with all learnt clauses intact.
 
 use std::collections::BTreeMap;
 
 use afg_eml::{ChoiceAssignment, ChoiceId, ChoiceProgram};
-use afg_sat::{add_at_most, Lit, Model, Solver, Var};
+use afg_sat::{add_at_most, Lit, Model, Solver, Totalizer, Var};
+
+/// Per-thread instrumentation of encoding constructions.
+///
+/// The incremental-CEGISMIN acceptance criterion is "exactly one
+/// [`ChoiceEncoding::new`] per synthesize call"; a thread-local counter
+/// makes that checkable from a unit test without false positives from
+/// concurrently running tests.
+pub mod instrument {
+    use std::cell::Cell;
+
+    thread_local! {
+        static ENCODINGS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(super) fn record_encoding() {
+        ENCODINGS.with(|count| count.set(count.get() + 1));
+    }
+
+    /// Number of [`super::ChoiceEncoding`] values constructed on this
+    /// thread since it started.
+    pub fn encodings_created() -> u64 {
+        ENCODINGS.with(Cell::get)
+    }
+}
 
 /// The selector variables for one synthesis run.
 #[derive(Debug, Clone)]
@@ -19,12 +47,24 @@ pub struct ChoiceEncoding {
     /// For every choice site, the selector variable of each non-default
     /// option (`selectors[id][j]` selects option `j + 1`).
     selectors: BTreeMap<ChoiceId, Vec<Var>>,
+    /// Unary counter over all selector literals; drives the assumption-based
+    /// cost bounds.
+    totalizer: Totalizer,
 }
 
 impl ChoiceEncoding {
-    /// Creates selector variables and at-most-one constraints for every
-    /// choice site of the program.
+    /// Creates selector variables, at-most-one constraints for every choice
+    /// site, and the totalizer counting the total cost.
+    ///
+    /// The totalizer is built at full width: real choice programs have
+    /// tens of selectors, so the O(n²) merge is ~1–2k clauses, and
+    /// measurements showed the bound-pruned variant
+    /// ([`Totalizer::with_cap`]) perturbs the solver's model-enumeration
+    /// order enough to cost more candidate verifications than the clause
+    /// savings buy.  Revisit if error models ever grow to hundreds of
+    /// selectors.
     pub fn new(solver: &mut Solver, program: &ChoiceProgram) -> ChoiceEncoding {
+        instrument::record_encoding();
         let mut selectors = BTreeMap::new();
         for info in &program.choices {
             let non_default_options = info.options.len().saturating_sub(1);
@@ -36,7 +76,15 @@ impl ChoiceEncoding {
             }
             selectors.insert(info.id, vars);
         }
-        ChoiceEncoding { selectors }
+        let all_lits: Vec<Lit> = selectors
+            .values()
+            .flat_map(|vars| vars.iter().map(|v| v.positive()))
+            .collect();
+        let totalizer = Totalizer::new(solver, &all_lits);
+        ChoiceEncoding {
+            selectors,
+            totalizer,
+        }
     }
 
     /// All selector literals, used for the global cost bound.
@@ -52,11 +100,13 @@ impl ChoiceEncoding {
         self.selectors.len()
     }
 
-    /// Adds the bound `totalCost <= bound` to the solver (the CEGISMIN
-    /// refinement step adds `totalCost < best` by calling this with
-    /// `best - 1`).
-    pub fn add_cost_bound(&self, solver: &mut Solver, bound: usize) -> bool {
-        add_at_most(solver, &self.all_selector_lits(), bound)
+    /// The assumptions activating `totalCost ≤ bound` for one solve call
+    /// (the CEGISMIN refinement step enforces `totalCost < best` by passing
+    /// `best - 1`).  Empty when the bound is vacuous.  Nothing is added to
+    /// the solver: tightening the bound on the next call is free and every
+    /// learnt clause remains valid.
+    pub fn cost_bound_assumptions(&self, bound: usize) -> Vec<Lit> {
+        self.totalizer.at_most(bound).into_iter().collect()
     }
 
     /// Decodes a SAT model into a choice assignment.
@@ -157,11 +207,55 @@ mod tests {
         let mut solver = Solver::new();
         let program = toy_program(&[3, 3]);
         let encoding = ChoiceEncoding::new(&mut solver, &program);
-        assert!(encoding.add_cost_bound(&mut solver, 0));
-        match solver.solve() {
+        let assumptions = encoding.cost_bound_assumptions(0);
+        assert_eq!(assumptions.len(), 1);
+        match solver.solve_under_assumptions(&assumptions) {
             SatResult::Sat(model) => assert_eq!(encoding.decode(&model).cost(), 0),
             SatResult::Unsat => panic!("all-default must satisfy a zero cost bound"),
         }
+        // The bound was an assumption: the same solver can still select.
+        let lits = encoding.all_selector_lits();
+        assert!(solver.add_clause(&lits[0..1]));
+        match solver.solve() {
+            SatResult::Sat(model) => assert!(encoding.decode(&model).cost() >= 1),
+            SatResult::Unsat => panic!("unbounded solve must succeed"),
+        }
+    }
+
+    #[test]
+    fn tightening_bounds_by_assumption_reaches_unsat() {
+        // Force a selection at both sites; bounds 2, 1, 0 then descend to
+        // Unsat on one solver, the CEGISMIN shape.
+        let mut solver = Solver::new();
+        let program = toy_program(&[2, 2]);
+        let encoding = ChoiceEncoding::new(&mut solver, &program);
+        let lits = encoding.all_selector_lits();
+        for lit in &lits {
+            assert!(solver.add_clause(&[*lit]));
+        }
+        assert!(solver
+            .solve_under_assumptions(&encoding.cost_bound_assumptions(2))
+            .is_sat());
+        assert_eq!(
+            solver.solve_under_assumptions(&encoding.cost_bound_assumptions(1)),
+            SatResult::Unsat
+        );
+        assert_eq!(
+            solver.solve_under_assumptions(&encoding.cost_bound_assumptions(0)),
+            SatResult::Unsat
+        );
+        // Vacuous bound: no assumptions, still satisfiable.
+        assert!(encoding.cost_bound_assumptions(2).len() <= 1);
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn instrument_counts_encodings_per_thread() {
+        let before = instrument::encodings_created();
+        let mut solver = Solver::new();
+        let _ = ChoiceEncoding::new(&mut solver, &toy_program(&[2]));
+        let _ = ChoiceEncoding::new(&mut solver, &toy_program(&[3]));
+        assert_eq!(instrument::encodings_created() - before, 2);
     }
 
     #[test]

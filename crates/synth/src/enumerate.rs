@@ -13,7 +13,9 @@ use std::time::Instant;
 use afg_eml::{ChoiceAssignment, ChoiceProgram};
 use afg_interp::EquivalenceOracle;
 
+use crate::bitset::IndexBitset;
 use crate::config::{Solution, SynthesisConfig, SynthesisOutcome, SynthesisStats};
+use crate::strategy::{CancelToken, SearchStrategy};
 
 /// The enumerative synthesizer.
 #[derive(Debug, Clone, Default)]
@@ -24,16 +26,26 @@ impl EnumerativeSolver {
     pub fn new() -> EnumerativeSolver {
         EnumerativeSolver
     }
+}
+
+impl SearchStrategy for EnumerativeSolver {
+    fn name(&self) -> &'static str {
+        "enum"
+    }
 
     /// Searches candidates in order of increasing correction count.
-    pub fn synthesize(
+    fn synthesize_with(
         &self,
         program: &ChoiceProgram,
         oracle: &EquivalenceOracle,
         config: &SynthesisConfig,
+        cancel: &CancelToken,
     ) -> SynthesisOutcome {
         let start = Instant::now();
-        let mut stats = SynthesisStats::default();
+        let mut stats = SynthesisStats {
+            strategy: self.name(),
+            ..SynthesisStats::default()
+        };
         let session = oracle.choice_session(program);
 
         stats.candidates_checked += 1;
@@ -43,6 +55,8 @@ impl EnumerativeSolver {
             Some(cex) => cex,
         };
         let mut counterexamples = vec![first_cex];
+        let mut seen_counterexamples = IndexBitset::default();
+        seen_counterexamples.insert(first_cex);
         stats.counterexamples = 1;
 
         // Per-site option counts in a stable order.
@@ -55,9 +69,12 @@ impl EnumerativeSolver {
         for cost in 1..=config.max_cost.min(sites.len()) {
             let mut combination = (0..cost).collect::<Vec<usize>>();
             loop {
-                if start.elapsed() > config.time_budget
-                    || stats.candidates_checked > config.max_candidates
-                {
+                if cancel.is_cancelled() || start.elapsed() > config.time_budget {
+                    stats.wall_clock_limited = true;
+                    stats.elapsed = start.elapsed();
+                    return SynthesisOutcome::Timeout(stats);
+                }
+                if stats.candidates_checked > config.max_candidates {
                     stats.elapsed = start.elapsed();
                     return SynthesisOutcome::Timeout(stats);
                 }
@@ -80,19 +97,25 @@ impl EnumerativeSolver {
                             return SynthesisOutcome::Fixed(Solution {
                                 assignment,
                                 cost,
+                                // Cost-ordered exploration: the first
+                                // accepted candidate is provably minimal.
+                                minimal: true,
                                 stats,
                             });
                         }
                         Some(cex) => {
-                            if !counterexamples.contains(&cex) {
+                            if seen_counterexamples.insert(cex) {
                                 counterexamples.push(cex);
                                 stats.counterexamples += 1;
                             }
                         }
                     }
-                    if start.elapsed() > config.time_budget
-                        || stats.candidates_checked > config.max_candidates
-                    {
+                    if cancel.is_cancelled() || start.elapsed() > config.time_budget {
+                        stats.wall_clock_limited = true;
+                        stats.elapsed = start.elapsed();
+                        return SynthesisOutcome::Timeout(stats);
+                    }
+                    if stats.candidates_checked > config.max_candidates {
                         stats.elapsed = start.elapsed();
                         return SynthesisOutcome::Timeout(stats);
                     }

@@ -6,23 +6,28 @@
 //! student submission behaviourally equivalent to the reference on all
 //! inputs of a bounded size.
 //!
-//! Two back ends are provided:
+//! Every back end implements the [`SearchStrategy`] trait (one entry point,
+//! cooperative cancellation through [`CancelToken`]):
 //!
 //! * [`CegisSolver`] — the paper's approach: choice selectors are encoded as
 //!   boolean variables in a SAT solver (`afg-sat`), candidates are proposed
 //!   by the solver, checked against accumulated counterexamples, verified by
 //!   bounded-exhaustive interpretation, and the CEGISMIN refinement
-//!   `totalCost < best` drives the search to a minimum (Algorithm 1).
+//!   `totalCost < best` drives the search to a minimum (Algorithm 1).  The
+//!   whole minimisation descent is incremental: one solver, one encoding,
+//!   cost bounds activated per call as totalizer assumptions.
 //! * [`EnumerativeSolver`] — a branch-and-bound baseline that explores
 //!   candidates in order of increasing cost, used for ablation benchmarks
 //!   and as an independent correctness check.
+//! * [`PortfolioSolver`] — races the two on std threads and cancels the
+//!   losers as soon as one returns a proven-minimal result.
 //!
 //! # Example
 //!
 //! ```
 //! use afg_eml::{apply_error_model, library};
 //! use afg_interp::{EquivalenceConfig, EquivalenceOracle};
-//! use afg_synth::{CegisSolver, SynthesisConfig};
+//! use afg_synth::{CegisSolver, SearchStrategy, SynthesisConfig};
 //!
 //! let reference = afg_parser::parse_program(
 //!     "def double(x_int):\n    return x_int * 2\n",
@@ -42,17 +47,24 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod bitset;
 mod cegis;
 mod config;
 mod encode;
 mod enumerate;
+mod portfolio;
+mod strategy;
 
 pub use cegis::CegisSolver;
 pub use config::{Solution, SynthesisConfig, SynthesisOutcome, SynthesisStats};
-pub use encode::ChoiceEncoding;
+pub use encode::{instrument, ChoiceEncoding};
 pub use enumerate::EnumerativeSolver;
+pub use portfolio::PortfolioSolver;
+pub use strategy::{CancelToken, SearchStrategy};
 
-/// Which synthesis back end to use.
+/// Which synthesis back end to use — the value-level selector over the
+/// [`SearchStrategy`] implementations, as carried in configuration, CLI
+/// flags (`--backend`) and service registrations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
     /// SAT-backed CEGIS with CEGISMIN minimisation (the paper's approach).
@@ -60,20 +72,63 @@ pub enum Backend {
     Cegis,
     /// Cost-ordered enumerative branch-and-bound (ablation baseline).
     Enumerative,
+    /// CEGIS and enumeration raced; first proven-minimal result wins.
+    Portfolio,
 }
 
 impl Backend {
-    /// Runs the selected back end.
+    /// Every backend, in presentation order.
+    pub const ALL: [Backend; 3] = [Backend::Cegis, Backend::Enumerative, Backend::Portfolio];
+
+    /// The stable identifier used on CLI flags and in JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Cegis => "cegis",
+            Backend::Enumerative => "enum",
+            Backend::Portfolio => "portfolio",
+        }
+    }
+
+    /// Parses a backend identifier (`"cegis"`, `"enum"`/`"enumerative"`,
+    /// `"portfolio"`); `None` for anything else.
+    pub fn parse(text: &str) -> Option<Backend> {
+        match text {
+            "cegis" => Some(Backend::Cegis),
+            "enum" | "enumerative" => Some(Backend::Enumerative),
+            "portfolio" => Some(Backend::Portfolio),
+            _ => None,
+        }
+    }
+
+    /// Builds the strategy object this selector denotes.
+    pub fn strategy(self) -> Box<dyn SearchStrategy> {
+        match self {
+            Backend::Cegis => Box::new(CegisSolver::new()),
+            Backend::Enumerative => Box::new(EnumerativeSolver::new()),
+            Backend::Portfolio => Box::new(PortfolioSolver::new()),
+        }
+    }
+
+    /// Runs the selected back end to completion.
     pub fn synthesize(
         self,
         program: &afg_eml::ChoiceProgram,
         oracle: &afg_interp::EquivalenceOracle,
         config: &SynthesisConfig,
     ) -> SynthesisOutcome {
-        match self {
-            Backend::Cegis => CegisSolver::new().synthesize(program, oracle, config),
-            Backend::Enumerative => EnumerativeSolver::new().synthesize(program, oracle, config),
-        }
+        self.strategy().synthesize(program, oracle, config)
+    }
+
+    /// Runs the selected back end under a cancellation token.
+    pub fn synthesize_with(
+        self,
+        program: &afg_eml::ChoiceProgram,
+        oracle: &afg_interp::EquivalenceOracle,
+        config: &SynthesisConfig,
+        cancel: &CancelToken,
+    ) -> SynthesisOutcome {
+        self.strategy()
+            .synthesize_with(program, oracle, config, cancel)
     }
 }
 
@@ -84,5 +139,15 @@ mod tests {
     #[test]
     fn backend_default_is_cegis() {
         assert_eq!(Backend::default(), Backend::Cegis);
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for backend in Backend::ALL {
+            assert_eq!(Backend::parse(backend.name()), Some(backend));
+            assert_eq!(backend.strategy().name(), backend.name());
+        }
+        assert_eq!(Backend::parse("enumerative"), Some(Backend::Enumerative));
+        assert_eq!(Backend::parse("sketch"), None);
     }
 }

@@ -1,0 +1,244 @@
+//! A cancellable portfolio: race several strategies, keep the first proof.
+//!
+//! CEGIS and enumeration have complementary strengths — SAT-guided search
+//! shines when coordinated multi-site corrections are needed, while
+//! cost-ordered enumeration wins on tiny choice spaces where encoding
+//! overhead dominates.  Rather than guessing per problem, the portfolio
+//! runs every registered strategy concurrently (plain `std::thread`, no
+//! external dependencies) against the same borrowed choice program and
+//! oracle, and the moment one of them returns a **definitive** outcome
+//! (already correct, proven-minimal repair, or proven no-repair) the
+//! others are cancelled through their shared [`CancelToken`] child and the
+//! winner's result is returned.
+//!
+//! The merged [`SynthesisStats`] report the *total* work of the race (all
+//! racers' counters summed) while `strategy` names the winner, so
+//! experiment output can attribute both the answer and the cost.
+
+use std::time::Instant;
+
+use afg_eml::ChoiceProgram;
+use afg_interp::EquivalenceOracle;
+
+use crate::cegis::CegisSolver;
+use crate::config::{SynthesisConfig, SynthesisOutcome};
+use crate::enumerate::EnumerativeSolver;
+use crate::strategy::{CancelToken, SearchStrategy};
+
+/// Races a set of [`SearchStrategy`] implementations on std threads.
+pub struct PortfolioSolver {
+    strategies: Vec<Box<dyn SearchStrategy>>,
+}
+
+impl PortfolioSolver {
+    /// The default portfolio: CEGIS racing enumeration.
+    pub fn new() -> PortfolioSolver {
+        PortfolioSolver::with_strategies(vec![
+            Box::new(CegisSolver::new()),
+            Box::new(EnumerativeSolver::new()),
+        ])
+    }
+
+    /// A portfolio over an explicit strategy set (must be non-empty).
+    pub fn with_strategies(strategies: Vec<Box<dyn SearchStrategy>>) -> PortfolioSolver {
+        assert!(!strategies.is_empty(), "a portfolio needs strategies");
+        PortfolioSolver { strategies }
+    }
+
+    /// The registered strategy names, in race order.
+    pub fn strategy_names(&self) -> Vec<&'static str> {
+        self.strategies.iter().map(|s| s.name()).collect()
+    }
+}
+
+impl Default for PortfolioSolver {
+    fn default() -> PortfolioSolver {
+        PortfolioSolver::new()
+    }
+}
+
+impl SearchStrategy for PortfolioSolver {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn synthesize_with(
+        &self,
+        program: &ChoiceProgram,
+        oracle: &EquivalenceOracle,
+        config: &SynthesisConfig,
+        cancel: &CancelToken,
+    ) -> SynthesisOutcome {
+        if self.strategies.len() == 1 {
+            return self.strategies[0].synthesize_with(program, oracle, config, cancel);
+        }
+        let start = Instant::now();
+        // One shared race token, child of the caller's: an outer
+        // cancellation stops every racer, while declaring a winner below
+        // cancels only this race.
+        let race = cancel.child();
+
+        let (winner, mut others) = std::thread::scope(|scope| {
+            let (sender, receiver) = std::sync::mpsc::channel();
+            for strategy in &self.strategies {
+                let sender = sender.clone();
+                let race = race.clone();
+                scope.spawn(move || {
+                    let outcome = strategy.synthesize_with(program, oracle, config, &race);
+                    // The receiver hangs up only after all results arrived;
+                    // a send can therefore only fail on a panicked receiver,
+                    // in which case the scope propagates the panic anyway.
+                    let _ = sender.send(outcome);
+                });
+            }
+            drop(sender);
+
+            let mut winner: Option<SynthesisOutcome> = None;
+            let mut others: Vec<SynthesisOutcome> = Vec::new();
+            while let Ok(outcome) = receiver.recv() {
+                if winner.is_none() && outcome.is_definitive() {
+                    // First proof wins; losers stand down cooperatively.
+                    race.cancel();
+                    winner = Some(outcome);
+                } else {
+                    others.push(outcome);
+                }
+            }
+            (winner, others)
+        });
+
+        let mut outcome = match winner {
+            Some(outcome) => outcome,
+            // Nobody finished with a proof (budgets ran out, or the caller
+            // cancelled us): fall back to the best effort — the cheapest
+            // repair found, else any timeout report.
+            None => {
+                let best_index = others
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| o.solution().is_some())
+                    .min_by_key(|(_, o)| o.solution().expect("filtered").cost)
+                    .map(|(index, _)| index)
+                    .unwrap_or(0);
+                others.swap_remove(best_index)
+            }
+        };
+
+        // Merge: the outcome (and its strategy attribution) is the
+        // winner's; the counters cover the whole race.  A definitive
+        // winner keeps its own wall-clock flag — its proof is
+        // deterministic even though the losers were cancelled mid-flight;
+        // a non-definitive fallback inherits any racer's clock stop, since
+        // an idle machine might have let that racer do better.
+        let definitive = outcome.is_definitive();
+        if let Some(stats) = outcome.stats_mut() {
+            for other_stats in others.iter().filter_map(SynthesisOutcome::stats) {
+                stats.absorb_work(other_stats);
+                if !definitive {
+                    stats.wall_clock_limited |= other_stats.wall_clock_limited;
+                }
+            }
+            stats.elapsed = start.elapsed();
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afg_eml::{apply_error_model, library};
+    use afg_interp::{EquivalenceConfig, EquivalenceOracle};
+    use afg_parser::parse_program;
+
+    const REFERENCE: &str = "\
+def computeDeriv(poly_list_int):
+    result = []
+    for i in range(len(poly_list_int)):
+        result += [i * poly_list_int[i]]
+    if len(poly_list_int) == 1:
+        return result
+    else:
+        return result[1:]
+";
+
+    fn oracle() -> EquivalenceOracle {
+        let reference = parse_program(REFERENCE).unwrap();
+        EquivalenceOracle::from_reference(
+            &reference,
+            EquivalenceConfig {
+                entry: Some("computeDeriv".into()),
+                ..EquivalenceConfig::default()
+            },
+        )
+    }
+
+    fn buggy_choice_program() -> afg_eml::ChoiceProgram {
+        let student = parse_program(
+            "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    out = []\n    for i in range(0, len(poly)):\n        out.append(i * poly[i])\n    return out\n",
+        )
+        .unwrap();
+        apply_error_model(
+            &student,
+            Some("computeDeriv"),
+            &library::compute_deriv_model(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn portfolio_finds_the_minimal_repair_and_names_a_winner() {
+        let cp = buggy_choice_program();
+        let outcome = PortfolioSolver::new().synthesize(&cp, &oracle(), &SynthesisConfig::fast());
+        let solution = outcome.solution().expect("fixable");
+        assert_eq!(solution.cost, 1);
+        assert!(solution.minimal, "portfolio winners carry proofs");
+        assert!(
+            ["cegis", "enum"].contains(&solution.stats.strategy),
+            "winner must be one of the racers, got '{}'",
+            solution.stats.strategy
+        );
+        // Merged counters cover at least the winner's own work.
+        assert!(solution.stats.candidates_checked >= 1);
+    }
+
+    #[test]
+    fn portfolio_agrees_with_its_members_on_correct_submissions() {
+        let student = parse_program(
+            "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    out = []\n    for i in range(1, len(poly)):\n        out.append(i * poly[i])\n    return out\n",
+        )
+        .unwrap();
+        let cp = apply_error_model(
+            &student,
+            Some("computeDeriv"),
+            &library::compute_deriv_model(),
+        )
+        .unwrap();
+        let outcome = PortfolioSolver::new().synthesize(&cp, &oracle(), &SynthesisConfig::fast());
+        assert_eq!(outcome, SynthesisOutcome::AlreadyCorrect);
+    }
+
+    #[test]
+    fn external_cancellation_reaches_every_racer() {
+        let cp = buggy_choice_program();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let outcome = PortfolioSolver::new().synthesize_with(
+            &cp,
+            &oracle(),
+            &SynthesisConfig::fast(),
+            &cancel,
+        );
+        // With everyone pre-cancelled nobody can prove anything.
+        assert!(!outcome.is_definitive());
+    }
+
+    #[test]
+    fn single_strategy_portfolio_delegates() {
+        let cp = buggy_choice_program();
+        let portfolio = PortfolioSolver::with_strategies(vec![Box::new(EnumerativeSolver::new())]);
+        assert_eq!(portfolio.strategy_names(), vec!["enum"]);
+        let outcome = portfolio.synthesize(&cp, &oracle(), &SynthesisConfig::fast());
+        assert_eq!(outcome.solution().expect("fixable").stats.strategy, "enum");
+    }
+}
