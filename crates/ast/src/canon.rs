@@ -183,7 +183,15 @@ fn assign_names(expr: &Expr, renamer: &mut Renamer) {
 pub fn canonical_source(program: &Program) -> String {
     let canonical = canonicalize(program);
     let mut out = pretty::program_to_string(&canonical);
-    for func in &canonical.funcs {
+    append_declared_types(&canonical, &mut out);
+    out
+}
+
+/// Appends the `# types f: ...` trailer shared by [`canonical_source`] and
+/// [`skeleton_source`] — declared parameter types drive the bounded input
+/// space, so they are part of both identities.
+fn append_declared_types(program: &Program, out: &mut String) {
+    for func in &program.funcs {
         if func.params.is_empty() {
             continue;
         }
@@ -196,7 +204,54 @@ pub fn canonical_source(program: &Program) -> String {
         }
         out.push('\n');
     }
+}
+
+/// Returns the *structural skeleton* of a program: the canonicalized
+/// (alpha-renamed) program with every constant literal collapsed to a
+/// fixed placeholder — `Int` to `0`, `Str` to `''`, `Bool` to `True`.
+///
+/// Where [`canonicalize`] makes *exact* near-duplicates collide (same
+/// program up to naming and layout), the skeleton makes *shape*
+/// near-duplicates collide: cohort-mates who copied the same scaffold but
+/// filled in different bounds, initialisers or debug strings share one
+/// skeleton even though their canonical forms differ.  The cluster index
+/// in `afg-core` keys on it to transfer verified repairs between
+/// cluster-mates as CEGISMIN warm starts.
+///
+/// Unlike canonical equality, skeleton equality implies **nothing** about
+/// behaviour — `range(0, n)` and `range(1, n)` share a skeleton on
+/// purpose.  Every consumer must treat a skeleton match as a *hint* and
+/// re-verify whatever it transfers.
+pub fn skeletonize(program: &Program) -> Program {
+    let mut skeleton = canonicalize(program);
+    let mut erase = |e: Expr| match e {
+        Expr::Int(_) => Expr::Int(0),
+        Expr::Str(_) => Expr::Str(String::new()),
+        Expr::Bool(_) => Expr::Bool(true),
+        other => other,
+    };
+    for func in &mut skeleton.funcs {
+        crate::visit::map_exprs_in_stmts(&mut func.body, &mut erase);
+    }
+    crate::visit::map_exprs_in_stmts(&mut skeleton.top_level, &mut erase);
+    skeleton
+}
+
+/// The skeleton source of a program: the pretty-printed [`skeletonize`]d
+/// program with declared parameter types appended (two submissions graded
+/// under different declared input spaces must never share a cluster).
+pub fn skeleton_source(program: &Program) -> String {
+    let skeleton = skeletonize(program);
+    let mut out = pretty::program_to_string(&skeleton);
+    append_declared_types(&skeleton, &mut out);
     out
+}
+
+/// A 64-bit FNV-1a fingerprint of [`skeleton_source`] (logging/metrics
+/// convenience; the cluster index stores the full skeleton source and
+/// compares it on lookup, exactly like the fingerprint cache).
+pub fn skeleton_fingerprint64(program: &Program) -> u64 {
+    fnv1a64(skeleton_source(program).as_bytes())
 }
 
 /// A 64-bit FNV-1a fingerprint of [`canonical_source`].
@@ -308,6 +363,87 @@ mod tests {
         program.funcs[0].name = "computeDeriv".into();
         let canonical = canonicalize(&program);
         assert_eq!(canonical.funcs[0].name, "computeDeriv");
+    }
+
+    #[test]
+    fn skeleton_erases_names_and_constants_but_not_structure() {
+        // Same shape, different names AND different constants.
+        let mut a = sample("x", "y");
+        let mut b = sample("count", "total");
+        a.funcs[0].body[0] = Stmt::new(
+            2,
+            StmtKind::Assign(
+                Target::Var("y".into()),
+                Expr::binop(crate::ops::BinOp::Add, Expr::var("x"), Expr::Int(1)),
+            ),
+        );
+        b.funcs[0].body[0] = Stmt::new(
+            2,
+            StmtKind::Assign(
+                Target::Var("total".into()),
+                Expr::binop(crate::ops::BinOp::Add, Expr::var("count"), Expr::Int(17)),
+            ),
+        );
+        assert_ne!(
+            canonical_source(&a),
+            canonical_source(&b),
+            "different constants must keep distinct canonical forms"
+        );
+        assert_eq!(skeleton_source(&a), skeleton_source(&b));
+        assert_eq!(skeleton_fingerprint64(&a), skeleton_fingerprint64(&b));
+
+        // But structural drift still separates skeletons.
+        let mut c = sample("x", "y");
+        c.funcs[0].body.pop();
+        assert_ne!(skeleton_fingerprint64(&a), skeleton_fingerprint64(&c));
+    }
+
+    #[test]
+    fn skeleton_normalises_string_and_bool_literals() {
+        let with_literals = |text: &str, flag: bool| {
+            let mut program = Program::new();
+            program.funcs.push(FuncDef {
+                name: "f".into(),
+                params: vec![crate::Param::new("x", MpyType::Int)],
+                body: vec![
+                    Stmt::new(
+                        2,
+                        StmtKind::Print(vec![Expr::Str(text.into()), Expr::var("x")]),
+                    ),
+                    Stmt::new(3, StmtKind::Return(Some(Expr::Bool(flag)))),
+                ],
+                line: 1,
+            });
+            program
+        };
+        let a = with_literals("debug: got here", true);
+        let b = with_literals("xx", false);
+        assert_ne!(canonical_source(&a), canonical_source(&b));
+        assert_eq!(skeleton_source(&a), skeleton_source(&b));
+    }
+
+    #[test]
+    fn skeleton_keeps_declared_types_apart() {
+        let a = sample("x", "y");
+        let mut b = sample("x", "y");
+        b.funcs[0].params[0].ty = MpyType::list_int();
+        assert_ne!(skeleton_fingerprint64(&a), skeleton_fingerprint64(&b));
+    }
+
+    #[test]
+    fn skeletonize_is_idempotent_and_renders_placeholders() {
+        let program = sample("alpha", "beta");
+        let once = skeletonize(&program);
+        let twice = skeletonize(&once);
+        assert_eq!(
+            pretty::program_to_string(&once),
+            pretty::program_to_string(&twice)
+        );
+        // `x + 1` collapses to `v0 + 0`.
+        assert_eq!(
+            pretty::program_to_string(&once),
+            "def f(v0):\n    v1 = v0 + 0\n    return v1\n\n"
+        );
     }
 
     #[test]

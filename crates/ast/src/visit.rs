@@ -271,6 +271,63 @@ pub fn map_expr(expr: &Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
     f(rebuilt)
 }
 
+/// Rewrites every expression position of a statement block in place —
+/// nested blocks and assignment-target subscripts included — applying
+/// [`map_expr`] at each position.  The shared walker behind constant
+/// erasure (`crate::canon::skeletonize`) and the test suites' constant
+/// perturbations, so the set of "expression positions" cannot drift
+/// between them.
+pub fn map_exprs_in_stmts<F: FnMut(Expr) -> Expr>(body: &mut [Stmt], f: &mut F) {
+    for stmt in body.iter_mut() {
+        match &mut stmt.kind {
+            StmtKind::Assign(target, value) => {
+                map_exprs_in_target(target, f);
+                *value = map_expr(value, f);
+            }
+            StmtKind::AugAssign(target, _, value) => {
+                map_exprs_in_target(target, f);
+                *value = map_expr(value, f);
+            }
+            StmtKind::ExprStmt(value) => *value = map_expr(value, f),
+            StmtKind::If(cond, then_body, else_body) => {
+                *cond = map_expr(cond, f);
+                map_exprs_in_stmts(then_body, f);
+                map_exprs_in_stmts(else_body, f);
+            }
+            StmtKind::While(cond, inner) => {
+                *cond = map_expr(cond, f);
+                map_exprs_in_stmts(inner, f);
+            }
+            StmtKind::For(_, iter, inner) => {
+                *iter = map_expr(iter, f);
+                map_exprs_in_stmts(inner, f);
+            }
+            StmtKind::Return(Some(value)) => *value = map_expr(value, f),
+            StmtKind::Print(args) => {
+                for arg in args.iter_mut() {
+                    *arg = map_expr(arg, f);
+                }
+            }
+            StmtKind::Return(None) | StmtKind::Pass | StmtKind::Break | StmtKind::Continue => {}
+        }
+    }
+}
+
+fn map_exprs_in_target<F: FnMut(Expr) -> Expr>(target: &mut Target, f: &mut F) {
+    match target {
+        Target::Var(_) => {}
+        Target::Index(base, index) => {
+            *base = map_expr(base, f);
+            *index = map_expr(index, f);
+        }
+        Target::Tuple(items) => {
+            for item in items {
+                map_exprs_in_target(item, f);
+            }
+        }
+    }
+}
+
 /// Substitutes variables by expressions (capture is not a concern in MPY
 /// because there are no binders inside expressions).
 pub fn substitute_vars(expr: &Expr, subst: &dyn Fn(&str) -> Option<Expr>) -> Expr {

@@ -44,12 +44,19 @@ struct Options {
     addr: Option<String>,
     no_cache: bool,
     backend: Backend,
+    classroom: bool,
+    students: usize,
+    skeletons: usize,
+    no_transfer: bool,
+    workers: usize,
 }
 
 fn usage() -> String {
     "usage: loadgen [--problem ID] [--attempts N] [--requests N] [--connections N]\n\
      \x20              [--seed S] [--addr HOST:PORT] [--no-cache]\n\
      \x20              [--backend cegis|enum|portfolio]\n\
+     \x20              [--classroom] [--students N] [--skeletons K]\n\
+     \x20              [--no-transfer] [--workers N]\n\
      \n\
      --problem ID      benchmark problem to grade (default compDeriv)\n\
      --attempts N      distinct submissions in the corpus (default 48)\n\
@@ -58,7 +65,17 @@ fn usage() -> String {
      --seed S          corpus + schedule RNG seed (default 20130616)\n\
      --addr HOST:PORT  drive an external daemon instead of booting one\n\
      --no-cache        only run the cache-disabled mode\n\
-     --backend B       synthesis back end on both daemon and library path"
+     --backend B       synthesis back end on both daemon and library path\n\
+     \n\
+     classroom mode (library-path cohort study, JSON on stdout):\n\
+     --classroom       grade a seeded mutant cohort of N students over K\n\
+     \x20               skeletons, cold AND warm (cluster repair transfer),\n\
+     \x20               and emit cold-vs-warm SAT conflicts + wall clock\n\
+     --students N      cohort size (default 64)\n\
+     --skeletons K     distinct buggy skeletons (default 8)\n\
+     --no-transfer     cold pass only (the baseline the warm pass beats)\n\
+     --workers N       grading worker threads (default 1: deterministic\n\
+     \x20               arrival order maximises transfer opportunities)"
         .to_string()
 }
 
@@ -72,6 +89,11 @@ fn parse_options() -> Options {
         addr: None,
         no_cache: false,
         backend: Backend::Cegis,
+        classroom: false,
+        students: 64,
+        skeletons: 8,
+        no_transfer: false,
+        workers: 1,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -100,6 +122,11 @@ fn parse_options() -> Options {
                 None => exit_usage("option '--addr' requires a value"),
             },
             "--no-cache" => options.no_cache = true,
+            "--classroom" => options.classroom = true,
+            "--students" => options.students = number(arg, iter.next()).max(1) as usize,
+            "--skeletons" => options.skeletons = number(arg, iter.next()).max(1) as usize,
+            "--no-transfer" => options.no_transfer = true,
+            "--workers" => options.workers = number(arg, iter.next()).max(1) as usize,
             "--backend" => match iter.next().and_then(|v| Backend::parse(v)) {
                 Some(backend) => options.backend = backend,
                 None => exit_usage("option '--backend' expects cegis, enum or portfolio"),
@@ -244,12 +271,77 @@ fn report(label: &str, result: &RunResult, requests: usize) -> f64 {
     throughput
 }
 
+/// `--classroom`: grade one seeded cohort cold (no cluster index) and —
+/// unless `--no-transfer` — warm (skeleton-cluster repair transfer), then
+/// emit a JSON comparison on stdout.  Exits 1 if any warm verdict differs
+/// from its cold counterpart: transfer must change the work, never the
+/// grade.
+fn run_classroom_mode(options: &Options, problem: &afg_corpus::Problem) -> ! {
+    use afg_bench::classroom::{classroom_cohort, classroom_json, run_classroom, ClassroomSpec};
+
+    let spec = ClassroomSpec {
+        students: options.students,
+        skeletons: options.skeletons,
+        seed: options.seed,
+    };
+    let cohort = classroom_cohort(problem, &spec);
+    let grader = problem.autograder(budget(options.backend));
+
+    eprintln!(
+        "classroom: problem {} — {} students over {} skeletons, seed {}, {} workers",
+        problem.id, spec.students, spec.skeletons, spec.seed, options.workers
+    );
+    eprintln!("cold pass (cache only, no repair transfer)...");
+    let cold = run_classroom(&grader, &cohort, options.workers, false);
+    let warm = if options.no_transfer {
+        None
+    } else {
+        eprintln!("warm pass (cache + skeleton-cluster repair transfer)...");
+        Some(run_classroom(&grader, &cohort, options.workers, true))
+    };
+
+    if let Some(warm) = &warm {
+        let cluster = warm.cluster.as_ref().expect("warm pass tracks clusters");
+        eprintln!(
+            "cold: {} SAT conflicts, {} candidates, {:.2}s wall",
+            cold.sat_conflicts,
+            cold.candidates_checked,
+            cold.wall.as_secs_f64()
+        );
+        eprintln!(
+            "warm: {} SAT conflicts, {} candidates, {:.2}s wall — {} clusters \
+             (largest {}), {}/{} transfers verified, ~{} conflicts saved",
+            warm.sat_conflicts,
+            warm.candidates_checked,
+            warm.wall.as_secs_f64(),
+            cluster.clusters,
+            cluster.largest,
+            warm.totals.transfer_hits,
+            warm.totals.transfer_attempts,
+            cluster.conflicts_saved,
+        );
+    }
+    println!("{}", classroom_json(problem, &spec, &cold, warm.as_ref()));
+
+    if let Some(warm) = &warm {
+        if warm.verdicts != cold.verdicts {
+            eprintln!("FAILED: warm verdicts diverged from the cold baseline");
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0)
+}
+
 fn main() {
     let options = parse_options();
     let Some(problem) = problems::problem(&options.problem) else {
         eprintln!("unknown problem '{}'", options.problem);
         std::process::exit(2);
     };
+
+    if options.classroom {
+        run_classroom_mode(&options, &problem);
+    }
 
     // Seeded corpus and Zipf-skewed schedule over it.
     let spec = CorpusSpec::table1_like(options.attempts, options.seed);

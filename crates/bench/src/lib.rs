@@ -12,6 +12,8 @@
 //! [`experiment_config`]) can flip a borderline submission to `Timeout`
 //! under contention.
 
+pub mod classroom;
+
 use std::fmt;
 use std::time::Duration;
 

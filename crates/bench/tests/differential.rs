@@ -51,6 +51,70 @@ fn verdict(outcome: &SynthesisOutcome, context: &str) -> Verdict {
     }
 }
 
+/// The repair-transfer acceptance criterion, as a differential property:
+/// for seeded classroom cohorts over several problems, warm-started
+/// grading (fingerprint cache + skeleton-cluster repair transfer) must
+/// produce outcome- and cost-identical verdicts to the cold run, while
+/// actually transferring (hits > 0) and doing strictly less search work.
+#[test]
+fn clustered_warm_grading_is_outcome_identical_to_cold() {
+    use afg_bench::classroom::{classroom_cohort, run_classroom, ClassroomSpec};
+
+    // Candidate-bounded and small: this sweep runs in debug CI, so every
+    // interpreted candidate counts.  Unfixable members settle as
+    // (deterministic) candidate-budget timeouts, which compare fine.
+    let grading = afg_core::GraderConfig {
+        synthesis: SynthesisConfig {
+            max_cost: 2,
+            max_candidates: 300,
+            time_budget: Duration::from_secs(600),
+        },
+        ..afg_core::GraderConfig::fast()
+    };
+
+    let mut total_hits = 0u64;
+    for (problem, seed) in [
+        (problems::compute_deriv(), 3u64),
+        (problems::iter_power(), 17u64),
+    ] {
+        let spec = ClassroomSpec {
+            students: 12,
+            skeletons: 3,
+            seed,
+        };
+        let cohort = classroom_cohort(&problem, &spec);
+        let grader = problem.autograder(grading.clone());
+        let cold = run_classroom(&grader, &cohort, 1, false);
+        let warm = run_classroom(&grader, &cohort, 1, true);
+
+        assert_eq!(
+            cold.verdicts, warm.verdicts,
+            "{}: repair transfer must never change a verdict or its cost",
+            problem.id
+        );
+        assert!(
+            warm.sat_conflicts < cold.sat_conflicts,
+            "{}: warm-started grading must report strictly fewer SAT \
+             conflicts than the cold baseline ({} vs {})",
+            problem.id,
+            warm.sat_conflicts,
+            cold.sat_conflicts
+        );
+        assert!(
+            warm.candidates_checked <= cold.candidates_checked,
+            "{}: warm pass must not add candidate verifications ({} vs {})",
+            problem.id,
+            warm.candidates_checked,
+            cold.candidates_checked
+        );
+        total_hits += warm.totals.transfer_hits as u64;
+    }
+    assert!(
+        total_hits > 0,
+        "the cohorts' redundancy must produce at least one verified transfer"
+    );
+}
+
 #[test]
 fn all_backends_agree_on_repair_cost_across_the_corpus() {
     let mut checked = 0usize;

@@ -17,7 +17,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use crate::cache::FingerprintCache;
+use crate::cache::{FingerprintCache, GradeDisposition};
+use crate::cluster::ClusterIndex;
 use crate::grader::{Autograder, GradeOutcome};
 
 /// The result of grading one submission within a batch.
@@ -32,6 +33,10 @@ pub struct BatchItem {
     /// Whether the fingerprint cache answered (`None` when the batch ran
     /// without a cache).
     pub cache_hit: Option<bool>,
+    /// Whether a cluster repair transfer was tried, and whether the
+    /// hypothesis verified (`None` when no transfer was attempted — see
+    /// [`GradeDisposition::transfer`]).
+    pub transfer: Option<bool>,
 }
 
 /// Statistics aggregated by one worker over the submissions it graded.
@@ -57,12 +62,23 @@ pub struct WorkerStats {
     /// Submissions that consulted the fingerprint cache and missed (0 when
     /// grading without one).
     pub cache_misses: usize,
+    /// Cluster warm starts the searches actually tried (0 when grading
+    /// without a cluster index).
+    pub transfer_attempts: usize,
+    /// Tried warm starts whose hypothesis verified.
+    pub transfer_hits: usize,
 }
 
 impl WorkerStats {
     /// `cache`: `None` when no cache was consulted, otherwise whether the
-    /// lookup hit.
-    fn record(&mut self, outcome: &GradeOutcome, elapsed: Duration, cache: Option<bool>) {
+    /// lookup hit; `transfer` likewise for cluster repair transfer.
+    fn record(
+        &mut self,
+        outcome: &GradeOutcome,
+        elapsed: Duration,
+        cache: Option<bool>,
+        transfer: Option<bool>,
+    ) {
         self.graded += 1;
         self.busy += elapsed;
         match outcome {
@@ -75,6 +91,14 @@ impl WorkerStats {
         match cache {
             Some(true) => self.cache_hits += 1,
             Some(false) => self.cache_misses += 1,
+            None => {}
+        }
+        match transfer {
+            Some(true) => {
+                self.transfer_attempts += 1;
+                self.transfer_hits += 1;
+            }
+            Some(false) => self.transfer_attempts += 1,
             None => {}
         }
     }
@@ -90,6 +114,8 @@ impl WorkerStats {
         self.timeouts += other.timeouts;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.transfer_attempts += other.transfer_attempts;
+        self.transfer_hits += other.transfer_hits;
     }
 }
 
@@ -170,9 +196,25 @@ impl BatchGrader {
         sources: &[S],
         cache: Option<&FingerprintCache>,
     ) -> BatchReport {
+        self.grade_sources_clustered(grader, sources, cache, None)
+    }
+
+    /// Grades every submission source through the cache *and* a cluster
+    /// index: cache misses whose skeleton matches an already-repaired
+    /// cluster-mate warm-start their search with the transferred repair
+    /// (see [`ClusterIndex`]).  A cluster index without a cache is
+    /// meaningless (the clustered path lives behind the cache lookup), so
+    /// `clusters` is ignored when `cache` is `None`.
+    pub fn grade_sources_clustered<S: AsRef<str> + Sync>(
+        &self,
+        grader: &Autograder,
+        sources: &[S],
+        cache: Option<&FingerprintCache>,
+        clusters: Option<&ClusterIndex>,
+    ) -> BatchReport {
         let start = Instant::now();
         if self.workers == 1 || sources.len() <= 1 {
-            return self.grade_serial(grader, sources, cache, start);
+            return self.grade_serial(grader, sources, cache, clusters, start);
         }
 
         let workers = self.workers.min(sources.len());
@@ -192,9 +234,11 @@ impl BatchGrader {
                             break;
                         }
                         let item_start = Instant::now();
-                        let (outcome, hit) = grade_one(grader, sources[index].as_ref(), cache);
+                        let (outcome, disposition) =
+                            grade_one(grader, sources[index].as_ref(), cache, clusters);
                         let elapsed = item_start.elapsed();
-                        stats.record(&outcome, elapsed, hit);
+                        let hit = cache.map(|_| disposition.cache_hit);
+                        stats.record(&outcome, elapsed, hit, disposition.transfer);
                         items.push((
                             index,
                             BatchItem {
@@ -202,6 +246,7 @@ impl BatchGrader {
                                 elapsed,
                                 worker,
                                 cache_hit: hit,
+                                transfer: disposition.transfer,
                             },
                         ));
                     }
@@ -238,6 +283,7 @@ impl BatchGrader {
         grader: &Autograder,
         sources: &[S],
         cache: Option<&FingerprintCache>,
+        clusters: Option<&ClusterIndex>,
         start: Instant,
     ) -> BatchReport {
         let mut stats = WorkerStats::default();
@@ -245,14 +291,16 @@ impl BatchGrader {
             .iter()
             .map(|source| {
                 let item_start = Instant::now();
-                let (outcome, hit) = grade_one(grader, source.as_ref(), cache);
+                let (outcome, disposition) = grade_one(grader, source.as_ref(), cache, clusters);
                 let elapsed = item_start.elapsed();
-                stats.record(&outcome, elapsed, hit);
+                let hit = cache.map(|_| disposition.cache_hit);
+                stats.record(&outcome, elapsed, hit, disposition.transfer);
                 BatchItem {
                     outcome,
                     elapsed,
                     worker: 0,
                     cache_hit: hit,
+                    transfer: disposition.transfer,
                 }
             })
             .collect();
@@ -264,18 +312,17 @@ impl BatchGrader {
     }
 }
 
-/// Grades one submission, through the cache when one is provided.
+/// Grades one submission, through the cache (and cluster index) when
+/// provided.
 fn grade_one(
     grader: &Autograder,
     source: &str,
     cache: Option<&FingerprintCache>,
-) -> (GradeOutcome, Option<bool>) {
+    clusters: Option<&ClusterIndex>,
+) -> (GradeOutcome, GradeDisposition) {
     match cache {
-        Some(cache) => {
-            let (outcome, hit) = grader.grade_source_cached(source, cache);
-            (outcome, Some(hit))
-        }
-        None => (grader.grade_source(source), None),
+        Some(cache) => grader.grade_source_clustered(source, cache, clusters),
+        None => (grader.grade_source(source), GradeDisposition::default()),
     }
 }
 

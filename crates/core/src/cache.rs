@@ -45,14 +45,28 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use afg_ast::canon::{canonical_source, fnv1a64};
+use afg_ast::canon::{canonical_source, fnv1a64, skeleton_source};
 use afg_ast::Program;
 use afg_eml::{apply_error_model, ChoiceAssignment, ChoiceProgram};
 use afg_parser::{parse_program, ParseError};
 use afg_synth::SynthesisStats;
 
+use crate::cluster::{ClusterIndex, ClusterRepair};
 use crate::feedback::{corrections_from_assignment, Feedback};
 use crate::grader::{Autograder, GradeOutcome};
+
+/// How one clustered-grading call was answered (see
+/// [`Autograder::grade_source_clustered`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GradeDisposition {
+    /// Whether the fingerprint cache answered.
+    pub cache_hit: bool,
+    /// Whether a cluster repair transfer was tried, and if so whether the
+    /// hypothesis verified (`None` = no transfer was attempted — no
+    /// cluster index, no representative yet, structural mismatch, or the
+    /// lookup was answered upstream).
+    pub transfer: Option<bool>,
+}
 
 /// One cached grading verdict (see the module docs for why `Fixed` stores
 /// an assignment rather than the feedback).
@@ -234,12 +248,38 @@ impl Autograder {
         source: &str,
         cache: &FingerprintCache,
     ) -> (GradeOutcome, bool) {
+        let (outcome, disposition) = self.grade_source_clustered(source, cache, None);
+        (outcome, disposition.cache_hit)
+    }
+
+    /// Grades a submission through the fingerprint cache *and* the cluster
+    /// index: exact canonical matches replay the cached verdict as before;
+    /// on a miss, the submission's structural skeleton is looked up in
+    /// `clusters` and the cluster representative's verified repair (if
+    /// any) warm-starts the search (see [`ClusterIndex`]).  Outcomes stay
+    /// cost-identical to [`Autograder::grade_source`]; only the search
+    /// effort changes.
+    pub fn grade_source_clustered(
+        &self,
+        source: &str,
+        cache: &FingerprintCache,
+        clusters: Option<&ClusterIndex>,
+    ) -> (GradeOutcome, GradeDisposition) {
+        let hit = |outcome| {
+            (
+                outcome,
+                GradeDisposition {
+                    cache_hit: true,
+                    transfer: None,
+                },
+            )
+        };
         // Level 1: byte-identical sources that failed to parse before.
         // Keyed by the full source text — a hash collision must never turn
         // a parsable program into someone else's syntax error.
         if let Some(err) = cache.syntax.read().expect("cache lock").get(source) {
             cache.record(true);
-            return (GradeOutcome::SyntaxError(err.clone()), true);
+            return hit(GradeOutcome::SyntaxError(err.clone()));
         }
 
         let program = match parse_program(source) {
@@ -251,7 +291,7 @@ impl Autograder {
                 }
                 drop(syntax);
                 cache.record(false);
-                return (GradeOutcome::SyntaxError(err), false);
+                return (GradeOutcome::SyntaxError(err), GradeDisposition::default());
             }
         };
 
@@ -268,7 +308,7 @@ impl Autograder {
         if let Some(entry) = cached {
             if let Some(outcome) = self.replay(&program, &entry) {
                 cache.record(true);
-                return (outcome, true);
+                return hit(outcome);
             }
             // Structural mismatch (possible only if rule matching is not
             // alpha-invariant for this model): fall through and re-grade.
@@ -282,14 +322,69 @@ impl Autograder {
             if let Some(entry) = cached {
                 if let Some(outcome) = self.replay(&program, &entry) {
                     cache.record(true);
-                    return (outcome, true);
+                    return hit(outcome);
                 }
             }
             // The published entry did not replay (or vanished): grade it
             // ourselves, un-deduplicated.
         }
 
-        let traced = self.grade_program_traced(&program);
+        // Level 3: the cluster index.  A distinct canonical form is about
+        // to be searched — record its skeleton's cluster membership and
+        // fetch the representative's repair as a warm-start candidate.
+        let cluster = clusters.map(|index| {
+            let cluster_key = format!(
+                "{:016x}\n{}",
+                self.config_fingerprint(),
+                skeleton_source(&program)
+            );
+            let repair = index.observe(&cluster_key);
+            (index, cluster_key, repair)
+        });
+        let warm = cluster.as_ref().and_then(|(_, _, repair)| repair.as_ref());
+
+        let traced = self.grade_program_traced_warm(&program, warm);
+
+        // Transfer accounting: an attempt is a hypothesis the search
+        // actually spent a verification sweep on; the conflicts-saved
+        // estimate compares the warm run's SAT work against the donor's
+        // recorded cold search.
+        let mut transfer = None;
+        if let Some((index, _, Some(repair))) = &cluster {
+            if traced.transfer.attempted {
+                let saved = if traced.transfer.verified {
+                    let spent = match &traced.outcome {
+                        GradeOutcome::Feedback(feedback) => feedback.stats.sat_conflicts,
+                        _ => 0,
+                    };
+                    repair.sat_conflicts.saturating_sub(spent)
+                } else {
+                    0
+                };
+                index.record_transfer(traced.transfer.verified, saved);
+                transfer = Some(traced.transfer.verified);
+            }
+        }
+
+        // A deterministic repair earned without (or despite) a transfer
+        // becomes the cluster representative for future skeleton-mates.
+        if let Some((index, cluster_key, None)) = &cluster {
+            if traced.cacheable {
+                if let (GradeOutcome::Feedback(_), Some(trace)) = (&traced.outcome, &traced.repair)
+                {
+                    index.publish(
+                        cluster_key,
+                        ClusterRepair {
+                            assignment: trace.assignment.clone(),
+                            counterexamples: trace.counterexamples.clone(),
+                            signature: trace.signature,
+                            tier: trace.tier,
+                            sat_conflicts: trace.stats.sat_conflicts,
+                        },
+                    );
+                }
+            }
+        }
         let entry = match (&traced.outcome, traced.repair, traced.cacheable) {
             (_, _, false) => None,
             (GradeOutcome::Correct, _, _) => Some(CachedGrade::Correct),
@@ -316,7 +411,13 @@ impl Autograder {
         }
         drop(guard); // release the in-flight claim only after publishing
         cache.record(false);
-        (traced.outcome, false)
+        (
+            traced.outcome,
+            GradeDisposition {
+                cache_hit: false,
+                transfer,
+            },
+        )
     }
 
     /// Replays a cached verdict against the submission actually being
@@ -559,6 +660,119 @@ def computeDeriv(poly_list_int):
         assert_eq!(second, GradeOutcome::CannotFix);
         assert!(!hit1);
         assert!(hit2, "a proven CannotFix under the portfolio must cache");
+    }
+
+    /// A cohort member: the paper's off-by-one bug plus an unused
+    /// assignment whose constant varies per student — distinct canonical
+    /// forms (so the exact cache misses) sharing one skeleton.
+    fn cohort_member(constant: i64) -> String {
+        format!(
+            "def computeDeriv(poly):\n    scratch = {constant}\n    if len(poly) == 1:\n        return [0]\n    d = []\n    for i in range(0, len(poly)):\n        d.append(i * poly[i])\n    return d\n"
+        )
+    }
+
+    #[test]
+    fn skeleton_mates_transfer_the_repair_and_stay_cost_identical() {
+        let grader = grader();
+        let cache = FingerprintCache::new();
+        let clusters = crate::ClusterIndex::new();
+        let cohort: Vec<String> = [7, 21, 99].into_iter().map(cohort_member).collect();
+
+        let mut dispositions = Vec::new();
+        let mut outcomes = Vec::new();
+        for source in &cohort {
+            let (outcome, disposition) =
+                grader.grade_source_clustered(source, &cache, Some(&clusters));
+            outcomes.push(outcome);
+            dispositions.push(disposition);
+        }
+
+        // The first member grades cold and becomes the representative; the
+        // mates' searches try its repair and it verifies.
+        assert!(!dispositions[0].cache_hit);
+        assert_eq!(dispositions[0].transfer, None);
+        for disposition in &dispositions[1..] {
+            assert!(!disposition.cache_hit, "distinct canonical forms");
+            assert_eq!(disposition.transfer, Some(true), "{dispositions:?}");
+        }
+
+        // Cost identity with plain cold grading, member by member.
+        let donor_stats = outcomes[0].feedback().expect("fixable").stats.clone();
+        for (source, outcome) in cohort.iter().zip(&outcomes) {
+            let cold = grader.grade_source(source);
+            assert_eq!(
+                cold.feedback().expect("fixable").cost,
+                outcome.feedback().expect("fixable").cost
+            );
+        }
+        // And the warm-started mates did strictly less search work.
+        for outcome in &outcomes[1..] {
+            let stats = &outcome.feedback().expect("fixable").stats;
+            assert!(stats.warm_start_verified);
+            assert!(
+                stats.candidates_checked < donor_stats.candidates_checked,
+                "warm {} vs donor {}",
+                stats.candidates_checked,
+                donor_stats.candidates_checked
+            );
+        }
+
+        let stats = clusters.stats();
+        assert_eq!(stats.clusters, 1);
+        assert_eq!(stats.members, 3);
+        assert_eq!(stats.repairs, 1);
+        assert_eq!(stats.transfer_attempts, 2);
+        assert_eq!(stats.transfer_hits, 2);
+    }
+
+    #[test]
+    fn correct_skeleton_mates_do_not_count_as_transfer_attempts() {
+        // `range(0, …)` and `range(1, …)` share a skeleton (constants are
+        // erased), so the correct variant lands in the buggy cluster — but
+        // its grade short-circuits at the already-correct check and no
+        // hypothesis is ever tried.
+        let grader = grader();
+        let cache = FingerprintCache::new();
+        let clusters = crate::ClusterIndex::new();
+        let (_, first) = grader.grade_source_clustered(&cohort_member(7), &cache, Some(&clusters));
+        assert_eq!(first.transfer, None);
+        let correct = "def computeDeriv(poly):\n    scratch = 5\n    if len(poly) == 1:\n        return [0]\n    d = []\n    for i in range(1, len(poly)):\n        d.append(i * poly[i])\n    return d\n";
+        let (outcome, disposition) =
+            grader.grade_source_clustered(correct, &cache, Some(&clusters));
+        assert_eq!(outcome, GradeOutcome::Correct);
+        assert_eq!(disposition.transfer, None);
+        let stats = clusters.stats();
+        assert_eq!(stats.clusters, 1, "same skeleton, one cluster");
+        assert_eq!(stats.members, 2);
+        assert_eq!(stats.transfer_attempts, 0);
+    }
+
+    #[test]
+    fn refuted_transfers_fall_back_to_the_cold_verdict() {
+        // A mate whose *material* constant differs: the donor's repair
+        // (increment the range start) does not fix `range(2, …)`, so the
+        // hypothesis is refuted and grading falls back to the cold path —
+        // whose verdict must be exactly what plain grading produces.
+        let grader = grader();
+        let cache = FingerprintCache::new();
+        let clusters = crate::ClusterIndex::new();
+        let (_, first) = grader.grade_source_clustered(&cohort_member(7), &cache, Some(&clusters));
+        assert_eq!(first.transfer, None);
+
+        let drifted = "def computeDeriv(poly):\n    scratch = 7\n    if len(poly) == 1:\n        return [0]\n    d = []\n    for i in range(2, len(poly)):\n        d.append(i * poly[i])\n    return d\n";
+        let (outcome, disposition) =
+            grader.grade_source_clustered(drifted, &cache, Some(&clusters));
+        let cold = grader.grade_source(drifted);
+        match (&outcome, &cold) {
+            (GradeOutcome::Feedback(warm), GradeOutcome::Feedback(cold)) => {
+                assert_eq!(warm.cost, cold.cost)
+            }
+            (warm, cold) => assert_eq!(warm, cold),
+        }
+        if let Some(verified) = disposition.transfer {
+            assert!(!verified, "the drifted mate's hypothesis must be refuted");
+        }
+        assert_eq!(clusters.stats().transfer_hits, 0);
     }
 
     #[test]

@@ -327,6 +327,21 @@ impl Autograder {
     /// *replay* the repair instead of re-running synthesis) and whether the
     /// verdict is deterministic enough to cache at all.
     pub(crate) fn grade_program_traced(&self, student: &Program) -> TracedGrade {
+        self.grade_program_traced_warm(student, None)
+    }
+
+    /// As [`Autograder::grade_program_traced`], additionally offering a
+    /// cluster representative's repair to the synthesizer as a warm start.
+    /// The hypothesis is only handed to the tier that produced it, and only
+    /// when that tier's choice program has the structural signature the
+    /// donor search explored; the search re-verifies it before trusting it,
+    /// so outcomes stay cost-identical to a cold grade (see
+    /// [`crate::ClusterIndex`]).
+    pub(crate) fn grade_program_traced_warm(
+        &self,
+        student: &Program,
+        transfer: Option<&crate::cluster::ClusterRepair>,
+    ) -> TracedGrade {
         let start = Instant::now();
         // The resolved plan: the configured ladder, or an implicit single
         // tier borrowed-together from the grader's own settings.
@@ -351,6 +366,9 @@ impl Autograder {
         // The choice-program signature of every tier attempted, for the
         // structural replay guard of cached CannotFix/Timeout verdicts.
         let mut attempted_signatures: Vec<u64> = Vec::new();
+        // Whether any tier actually tried / verified the transferred
+        // hypothesis, for the cluster index's counters.
+        let mut transfer_record = TransferRecord::default();
         for (tier_index, tier) in plan.iter().enumerate() {
             let model = self
                 .tier_model(tier_index)
@@ -367,12 +385,55 @@ impl Autograder {
                     return TracedGrade::cacheable(GradeOutcome::CannotFix);
                 }
             };
-            attempted_signatures.push(crate::cache::choice_signature(&choice_program));
+            let signature = crate::cache::choice_signature(&choice_program);
+            attempted_signatures.push(signature);
             let backend = tier.backend.unwrap_or(self.config.backend);
-            let outcome = backend.synthesize(&choice_program, &self.oracle, &tier.synthesis);
+            // The transferred hypothesis applies only to the donor's tier,
+            // and only if this submission's choice program has the shape
+            // the donor's search explored.
+            let warm = transfer.and_then(|repair| {
+                (repair.tier == tier_index && repair.signature == signature).then(|| {
+                    afg_synth::WarmStart {
+                        assignment: repair.assignment.clone(),
+                        counterexamples: repair.counterexamples.clone(),
+                    }
+                })
+            });
+            let mut outcome = backend.synthesize_with_hint(
+                &choice_program,
+                &self.oracle,
+                &tier.synthesis,
+                warm.as_ref(),
+            );
+            let warm_attempted = outcome
+                .stats()
+                .is_some_and(|stats| stats.warm_start_attempted);
+            if warm_attempted && !outcome.is_definitive() {
+                // The budget truncated a warm-started search.  A truncated
+                // descent explores a different trajectory than cold would
+                // (the hypothesis sweep, its blocking clause and the
+                // pre-seeded counterexamples all shift which candidates the
+                // budget covers), so the best-so-far verdict could differ
+                // from cold grading's — and verdicts must never depend on
+                // cluster arrival order.  Re-grade cold and use that result;
+                // the transfer is recorded as a (costly) miss.
+                transfer_record.attempted = true;
+                outcome = backend.synthesize_with_hint(
+                    &choice_program,
+                    &self.oracle,
+                    &tier.synthesis,
+                    None,
+                );
+            } else if let Some(stats) = outcome.stats() {
+                transfer_record.attempted |= stats.warm_start_attempted;
+                transfer_record.verified |= stats.warm_start_verified;
+            }
             match outcome {
                 SynthesisOutcome::AlreadyCorrect => {
-                    return TracedGrade::cacheable(GradeOutcome::Correct)
+                    return TracedGrade {
+                        transfer: transfer_record,
+                        ..TracedGrade::cacheable(GradeOutcome::Correct)
+                    }
                 }
                 SynthesisOutcome::Fixed(solution) => {
                     let corrections =
@@ -386,8 +447,9 @@ impl Autograder {
                     let cacheable =
                         !load_dependent && (solution.minimal || !solution.stats.wall_clock_limited);
                     let trace = RepairTrace {
-                        signature: crate::cache::choice_signature(&choice_program),
+                        signature,
                         assignment: solution.assignment,
+                        counterexamples: solution.counterexamples,
                         stats: solution.stats.clone(),
                         tier: tier_index,
                     };
@@ -401,6 +463,7 @@ impl Autograder {
                         repair: Some(trace),
                         cacheable,
                         guard: None,
+                        transfer: transfer_record,
                     };
                 }
                 // This tier cannot repair the submission (or ran out of
@@ -422,6 +485,7 @@ impl Autograder {
                             combined_signature: combine_signatures(&attempted_signatures),
                             tiers_attempted: attempted_signatures.len(),
                         }),
+                        transfer: transfer_record,
                     };
                 }
                 SynthesisOutcome::Timeout(stats) => {
@@ -442,6 +506,7 @@ impl Autograder {
                             combined_signature: combine_signatures(&attempted_signatures),
                             tiers_attempted: attempted_signatures.len(),
                         }),
+                        transfer: transfer_record,
                     };
                 }
             }
@@ -464,6 +529,18 @@ pub(crate) struct TracedGrade {
     /// (`None` = the verdict is structure-independent, e.g. a missing
     /// entry function).
     pub guard: Option<ReplayGuard>,
+    /// What happened to the offered cluster warm start, if any.
+    pub transfer: TransferRecord,
+}
+
+/// Whether a transferred cluster hypothesis was tried / verified during
+/// one grading run (for [`crate::ClusterIndex`]'s counters).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TransferRecord {
+    /// The search actually spent a verification sweep on the hypothesis.
+    pub attempted: bool,
+    /// The hypothesis verified and warm-started the descent.
+    pub verified: bool,
 }
 
 impl TracedGrade {
@@ -473,6 +550,7 @@ impl TracedGrade {
             repair: None,
             cacheable: true,
             guard: None,
+            transfer: TransferRecord::default(),
         }
     }
 }
@@ -512,6 +590,9 @@ pub(crate) struct RepairTrace {
     /// Structural signature of the choice program the assignment indexes
     /// into (rule names and option counts; alpha-invariant).
     pub signature: u64,
+    /// The counterexample input indices the search accumulated, stored by
+    /// the cluster index to pre-seed cluster-mates' warm starts.
+    pub counterexamples: Vec<usize>,
     /// Synthesizer counters from the original run.
     pub stats: afg_synth::SynthesisStats,
     /// Which escalation tier produced the repair — replay must rebuild the

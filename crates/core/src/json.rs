@@ -10,6 +10,7 @@ use afg_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::batch::{BatchItem, BatchReport, WorkerStats};
 use crate::cache::CacheStats;
+use crate::cluster::ClusterStats;
 use crate::feedback::{Correction, Feedback, FeedbackLevel};
 use crate::grader::GradeOutcome;
 
@@ -106,6 +107,8 @@ impl ToJson for WorkerStats {
             ("timeouts", self.timeouts.to_json()),
             ("cache_hits", self.cache_hits.to_json()),
             ("cache_misses", self.cache_misses.to_json()),
+            ("transfer_attempts", self.transfer_attempts.to_json()),
+            ("transfer_hits", self.transfer_hits.to_json()),
         ])
     }
 }
@@ -132,6 +135,9 @@ impl FromJson for WorkerStats {
             timeouts: count("timeouts")?,
             cache_hits: count("cache_hits")?,
             cache_misses: count("cache_misses")?,
+            // Absent in pre-clustering documents: read as 0, not an error.
+            transfer_attempts: count("transfer_attempts").unwrap_or(0),
+            transfer_hits: count("transfer_hits").unwrap_or(0),
         })
     }
 }
@@ -152,6 +158,12 @@ impl ToJson for BatchItem {
             None => "off",
         };
         pairs.push(("cache".to_string(), Json::str(cache)));
+        let transfer = match self.transfer {
+            Some(true) => "hit",
+            Some(false) => "miss",
+            None => "none",
+        };
+        pairs.push(("transfer".to_string(), Json::str(transfer)));
         Json::Object(pairs)
     }
 }
@@ -177,6 +189,41 @@ impl ToJson for CacheStats {
             ("entries", self.entries.to_json()),
             ("syntax_entries", self.syntax_entries.to_json()),
         ])
+    }
+}
+
+impl ToJson for ClusterStats {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("clusters", self.clusters.to_json()),
+            ("members", self.members.to_json()),
+            ("largest", self.largest.to_json()),
+            ("repairs", self.repairs.to_json()),
+            ("transfer_attempts", self.transfer_attempts.to_json()),
+            ("transfer_hits", self.transfer_hits.to_json()),
+            ("transfer_hit_rate", self.hit_rate().to_json()),
+            ("conflicts_saved", self.conflicts_saved.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ClusterStats {
+    fn from_json(json: &Json) -> Result<ClusterStats, JsonError> {
+        let count = |name: &str| {
+            json.get(name)
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| JsonError::missing_field("cluster stats", name))
+        };
+        Ok(ClusterStats {
+            clusters: count("clusters")? as usize,
+            members: count("members")?,
+            largest: count("largest")?,
+            repairs: count("repairs")? as usize,
+            transfer_attempts: count("transfer_attempts")?,
+            transfer_hits: count("transfer_hits")?,
+            conflicts_saved: count("conflicts_saved")?,
+        })
     }
 }
 
@@ -272,9 +319,41 @@ mod tests {
             timeouts: 1,
             cache_hits: 6,
             cache_misses: 4,
+            transfer_attempts: 3,
+            transfer_hits: 2,
         };
         let doc = parse_json(&stats.to_json().to_string()).unwrap();
         assert_eq!(WorkerStats::from_json(&doc).unwrap(), stats);
+
+        // Pre-clustering documents lack the transfer counters; they read
+        // back as zero instead of erroring.
+        let mut legacy = stats.to_json();
+        if let Json::Object(pairs) = &mut legacy {
+            pairs.retain(|(k, _)| !k.starts_with("transfer"));
+        }
+        let parsed = WorkerStats::from_json(&legacy).unwrap();
+        assert_eq!(parsed.transfer_attempts, 0);
+        assert_eq!(parsed.transfer_hits, 0);
+    }
+
+    #[test]
+    fn cluster_stats_round_trip() {
+        let stats = ClusterStats {
+            clusters: 4,
+            members: 40,
+            largest: 21,
+            repairs: 3,
+            transfer_attempts: 30,
+            transfer_hits: 24,
+            conflicts_saved: 1234,
+        };
+        let doc = stats.to_json();
+        assert_eq!(
+            doc.get("transfer_hit_rate").and_then(Json::as_f64),
+            Some(0.8)
+        );
+        let parsed = parse_json(&doc.to_string()).unwrap();
+        assert_eq!(ClusterStats::from_json(&parsed).unwrap(), stats);
     }
 
     #[test]

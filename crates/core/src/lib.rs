@@ -52,12 +52,14 @@
 
 mod batch;
 mod cache;
+mod cluster;
 mod feedback;
 mod grader;
 mod json;
 
 pub use batch::{BatchGrader, BatchItem, BatchReport, WorkerStats};
-pub use cache::{CacheStats, FingerprintCache};
+pub use cache::{CacheStats, FingerprintCache, GradeDisposition};
+pub use cluster::{ClusterIndex, ClusterStats};
 pub use feedback::{corrections_from_assignment, Correction, Feedback, FeedbackLevel};
 pub use grader::{
     Autograder, EscalationPolicy, EscalationTier, GradeOutcome, GraderConfig, GraderError,

@@ -250,8 +250,22 @@ impl<'a> ChoiceSession<'a> {
                 return Some(index);
             }
         }
-        (0..self.oracle.inputs.len())
-            .filter(|i| !priority.contains(i))
+        let total = self.oracle.inputs.len();
+        if priority.is_empty() {
+            return (0..total).find(|&i| !self.check_input(assignment, i));
+        }
+        // Mark the already-checked indices once instead of scanning the
+        // priority list per input — with warm starts pre-seeding whole
+        // counterexample sets, that scan would make every surviving
+        // sweep O(|inputs| · |priority|).
+        let mut already_checked = vec![false; total];
+        for &index in priority {
+            if index < total {
+                already_checked[index] = true;
+            }
+        }
+        (0..total)
+            .filter(|&i| !already_checked[i])
             .find(|&i| !self.check_input(assignment, i))
     }
 

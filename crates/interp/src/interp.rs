@@ -734,14 +734,16 @@ pub fn binary_op(op: BinOp, left: &Value, right: &Value) -> Result<Value, Runtim
         BinOp::Mul => match (left, right) {
             (Str(s), other) | (other, Str(s)) if other.as_int().is_some() => {
                 let n = other.as_int().unwrap_or(0).max(0) as usize;
-                if n * s.len() > 10_000 {
+                if n.checked_mul(s.len()).is_none_or(|total| total > 10_000) {
                     return Err(RuntimeError::Overflow);
                 }
                 Ok(Str(s.repeat(n)))
             }
             (List(items), other) | (other, List(items)) if other.as_int().is_some() => {
                 let n = other.as_int().unwrap_or(0).max(0) as usize;
-                if n * items.len() > 10_000 {
+                if n.checked_mul(items.len())
+                    .is_none_or(|total| total > 10_000)
+                {
                     return Err(RuntimeError::Overflow);
                 }
                 let mut result = Vec::with_capacity(n * items.len());
@@ -759,7 +761,8 @@ pub fn binary_op(op: BinOp, left: &Value, right: &Value) -> Result<Value, Runtim
             (Some(_), Some(0)) => Err(RuntimeError::ZeroDivision),
             (Some(a), Some(b)) => {
                 // Python floor division rounds toward negative infinity.
-                let q = a / b;
+                // `i64::MIN // -1` is the one quotient that does not fit.
+                let q = a.checked_div(b).ok_or(RuntimeError::Overflow)?;
                 let q = if a % b != 0 && (a < 0) != (b < 0) {
                     q - 1
                 } else {
@@ -772,8 +775,10 @@ pub fn binary_op(op: BinOp, left: &Value, right: &Value) -> Result<Value, Runtim
         BinOp::Mod => match (left.as_int(), right.as_int()) {
             (Some(_), Some(0)) => Err(RuntimeError::ZeroDivision),
             (Some(a), Some(b)) => {
-                // Python's % takes the sign of the divisor.
-                let r = a % b;
+                // Python's % takes the sign of the divisor.  `checked_rem` is
+                // `None` only for `i64::MIN % -1`, whose mathematical value
+                // (0) fits fine — the truncated *quotient* is what overflows.
+                let r = a.checked_rem(b).unwrap_or(0);
                 let r = if r != 0 && (r < 0) != (b < 0) {
                     r + b
                 } else {
@@ -790,6 +795,18 @@ pub fn binary_op(op: BinOp, left: &Value, right: &Value) -> Result<Value, Runtim
                         "negative exponents produce floats, which MPY does not support".to_string(),
                     ));
                 }
+                // Bases 0, 1 and -1 never leave {-1, 0, 1}, no matter how
+                // large the exponent — students write `(-1) ** n` and
+                // `1 ** big` on purpose, so these must not trip the
+                // large-exponent overflow guard below.
+                match a {
+                    0 => return Ok(Int(if b == 0 { 1 } else { 0 })),
+                    1 => return Ok(Int(1)),
+                    -1 => return Ok(Int(if b % 2 == 0 { 1 } else { -1 })),
+                    _ => {}
+                }
+                // |a| >= 2: any exponent above 63 overflows i64, and the
+                // u32/checked_pow pair covers everything below.
                 let exp = u32::try_from(b).map_err(|_| RuntimeError::Overflow)?;
                 if exp > 63 {
                     return Err(RuntimeError::Overflow);
@@ -881,6 +898,51 @@ def computeDeriv(poly_list_int):
         // Note: for a single-element list the reference returns [0*c] = [0].
         let out = run(source, "computeDeriv", &[Value::int_list([7])]).unwrap();
         assert_eq!(out.value, Value::int_list([0]));
+    }
+
+    #[test]
+    fn pow_with_unit_bases_never_overflows() {
+        let pow = |a: i64, b: i64| binary_op(BinOp::Pow, &Value::Int(a), &Value::Int(b));
+        // |base| <= 1 stays in {-1, 0, 1} for any exponent, including ones
+        // far beyond the 63-bit guard for wider bases.
+        assert_eq!(pow(1, 100).unwrap(), Value::Int(1));
+        assert_eq!(pow(1, i64::MAX).unwrap(), Value::Int(1));
+        assert_eq!(pow(-1, 101).unwrap(), Value::Int(-1));
+        assert_eq!(pow(-1, 100).unwrap(), Value::Int(1));
+        assert_eq!(pow(-1, i64::MAX).unwrap(), Value::Int(-1));
+        assert_eq!(pow(0, 1000).unwrap(), Value::Int(0));
+        assert_eq!(pow(0, 0).unwrap(), Value::Int(1));
+        assert_eq!(pow(-1, 0).unwrap(), Value::Int(1));
+        // Wider bases still hit the guard exactly where i64 gives out.
+        assert_eq!(pow(2, 62).unwrap(), Value::Int(1 << 62));
+        assert_eq!(pow(2, 63).unwrap_err(), RuntimeError::Overflow);
+        assert_eq!(pow(-2, 63).unwrap(), Value::Int(i64::MIN));
+        assert_eq!(pow(2, 64).unwrap_err(), RuntimeError::Overflow);
+        assert_eq!(pow(3, 1_000_000).unwrap_err(), RuntimeError::Overflow);
+        assert!(matches!(
+            pow(1, -1).unwrap_err(),
+            RuntimeError::Unsupported(_)
+        ));
+    }
+
+    #[test]
+    fn floor_division_and_modulo_survive_the_i64_min_corner() {
+        let div = |a: i64, b: i64| binary_op(BinOp::FloorDiv, &Value::Int(a), &Value::Int(b));
+        let rem = |a: i64, b: i64| binary_op(BinOp::Mod, &Value::Int(a), &Value::Int(b));
+        // i64::MIN // -1 is the single quotient outside i64; the matching
+        // remainder is mathematically 0 and must come back as 0, not a
+        // panic or a bogus Overflow.
+        assert_eq!(div(i64::MIN, -1).unwrap_err(), RuntimeError::Overflow);
+        assert_eq!(rem(i64::MIN, -1).unwrap(), Value::Int(0));
+        // Both-negative and mixed-sign corners keep Python semantics.
+        assert_eq!(div(-7, -2).unwrap(), Value::Int(3));
+        assert_eq!(rem(-7, -2).unwrap(), Value::Int(-1));
+        assert_eq!(div(-7, 2).unwrap(), Value::Int(-4));
+        assert_eq!(rem(-7, 2).unwrap(), Value::Int(1));
+        assert_eq!(div(7, -2).unwrap(), Value::Int(-4));
+        assert_eq!(rem(7, -2).unwrap(), Value::Int(-1));
+        assert_eq!(div(i64::MIN, 1).unwrap(), Value::Int(i64::MIN));
+        assert_eq!(rem(i64::MIN, 1).unwrap(), Value::Int(0));
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub use equiv::{
 };
 pub use error::RuntimeError;
 pub use inputs::InputSpace;
-pub use interp::{run_function, ExecLimits, Interpreter, Outcome};
+pub use interp::{binary_op, compare_op, run_function, unary_op, ExecLimits, Interpreter, Outcome};
 pub use value::Value;

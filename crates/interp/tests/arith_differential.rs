@@ -1,0 +1,233 @@
+//! Differential property test of the integer arithmetic primitives.
+//!
+//! `binary_op`/`unary_op` implement Python integer semantics over `i64`
+//! with explicit `Overflow` errors.  The intended meaning is simple to
+//! state in a wider type: compute the mathematical result in `i128`; if it
+//! fits in `i64` that is the answer, otherwise the operation overflows.
+//! This test sweeps a seeded SplitMix64 stream of operand pairs — biased
+//! hard toward the corners where the two can drift apart (both-negative
+//! `//`/`%` sign handling, `i64::MIN`/`i64::MAX` boundaries, tiny bases
+//! with huge exponents) — and compares the production implementation
+//! against that independent i128 oracle for `+ - * // % **`.
+//!
+//! The sweep found (and now guards) three real divergences: `**` rejected
+//! any exponent above 63 even for bases 0/1/-1, and `i64::MIN // -1` /
+//! `i64::MIN % -1` overflowed the native operators instead of reporting
+//! `Overflow` / returning 0.
+
+use afg_ast::ops::{BinOp, UnaryOp};
+use afg_interp::{binary_op, unary_op, RuntimeError, Value};
+
+/// What the mathematical (i128-widened) semantics say an operation does.
+#[derive(Debug, PartialEq, Eq)]
+enum Oracle {
+    /// The result fits in `i64`.
+    Int(i64),
+    /// The mathematical result does not fit in `i64`.
+    Overflow,
+    /// Division or modulo by zero.
+    ZeroDivision,
+    /// Negative exponent (floats are unsupported in MPY).
+    Unsupported,
+}
+
+fn fits(wide: i128) -> Oracle {
+    match i64::try_from(wide) {
+        Ok(narrow) => Oracle::Int(narrow),
+        Err(_) => Oracle::Overflow,
+    }
+}
+
+/// Floor of `a / b` in i128 (`b != 0`).  Written independently of the
+/// production code: `div_euclid` rounds toward negative infinity only for
+/// positive divisors, and `a / b == (-a) / (-b)` maps the negative-divisor
+/// case onto it.  No i128 overflow is reachable: |a|, |b| ≤ 2^63.
+fn floor_div_i128(a: i128, b: i128) -> i128 {
+    if b > 0 {
+        a.div_euclid(b)
+    } else {
+        (-a).div_euclid(-b)
+    }
+}
+
+fn oracle_binary(op: BinOp, a: i64, b: i64) -> Oracle {
+    let (wa, wb) = (i128::from(a), i128::from(b));
+    match op {
+        BinOp::Add => fits(wa + wb),
+        BinOp::Sub => fits(wa - wb),
+        BinOp::Mul => fits(wa * wb),
+        BinOp::Div | BinOp::FloorDiv => {
+            if b == 0 {
+                Oracle::ZeroDivision
+            } else {
+                fits(floor_div_i128(wa, wb))
+            }
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                Oracle::ZeroDivision
+            } else {
+                // Python: a == b * (a // b) + (a % b), remainder signed like b.
+                fits(wa - wb * floor_div_i128(wa, wb))
+            }
+        }
+        BinOp::Pow => {
+            if b < 0 {
+                return Oracle::Unsupported;
+            }
+            // |a| <= 1 cycles through {-1, 0, 1}; otherwise multiply in
+            // i128, bailing out the moment the accumulator leaves i64 range
+            // (every further multiplication only moves it further out).
+            match a {
+                0 => return Oracle::Int(if b == 0 { 1 } else { 0 }),
+                1 => return Oracle::Int(1),
+                -1 => return Oracle::Int(if b % 2 == 0 { 1 } else { -1 }),
+                _ => {}
+            }
+            let mut acc: i128 = 1;
+            for _ in 0..b {
+                acc *= wa;
+                if i64::try_from(acc).is_err() {
+                    return Oracle::Overflow;
+                }
+            }
+            fits(acc)
+        }
+    }
+}
+
+fn observed_binary(op: BinOp, a: i64, b: i64) -> Oracle {
+    match binary_op(op, &Value::Int(a), &Value::Int(b)) {
+        Ok(Value::Int(v)) => Oracle::Int(v),
+        Ok(other) => panic!("int {op:?} produced a non-int: {other:?}"),
+        Err(RuntimeError::Overflow) => Oracle::Overflow,
+        Err(RuntimeError::ZeroDivision) => Oracle::ZeroDivision,
+        Err(RuntimeError::Unsupported(_)) => Oracle::Unsupported,
+        Err(other) => panic!("int {op:?} raised {other:?}"),
+    }
+}
+
+/// The corpus crate's SplitMix64 is not a dependency of `afg-interp`, so
+/// the sweep carries its own copy of the (tiny, stable) generator.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// An operand biased toward the values where i64 arithmetic diverges
+    /// from the mathematical semantics: boundary constants, small numbers
+    /// around zero (sign corners), and occasional full-width noise.
+    fn operand(&mut self) -> i64 {
+        const EDGES: [i64; 10] = [0, 1, -1, 2, -2, 63, 64, i64::MAX, i64::MIN, i64::MIN + 1];
+        match self.next_u64() % 4 {
+            0 => EDGES[(self.next_u64() % EDGES.len() as u64) as usize],
+            1 => (self.next_u64() % 21) as i64 - 10,
+            2 => {
+                let magnitude = (self.next_u64() % 64) as u32;
+                let base = 1i64.wrapping_shl(magnitude);
+                let jitter = (self.next_u64() % 3) as i64 - 1;
+                let signed = base.wrapping_add(jitter);
+                // Wrapping negation keeps i64::MIN reachable on both paths.
+                if self.next_u64().is_multiple_of(2) {
+                    signed
+                } else {
+                    signed.wrapping_neg()
+                }
+            }
+            _ => self.next_u64() as i64,
+        }
+    }
+}
+
+const OPS: [BinOp; 6] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::FloorDiv,
+    BinOp::Mod,
+    BinOp::Pow,
+];
+
+#[test]
+fn binary_ops_agree_with_the_i128_oracle_on_a_seeded_sweep() {
+    let mut rng = SplitMix64::new(0x5106_1353_2013_0616);
+    for case in 0..60_000u32 {
+        let a = rng.operand();
+        let mut b = rng.operand();
+        let op = OPS[(rng.next_u64() % OPS.len() as u64) as usize];
+        if op == BinOp::Pow {
+            // Cap exponents so the oracle's multiply loop stays cheap; the
+            // early-exit makes anything past ~128 steps unreachable for
+            // |a| > 1, and |a| <= 1 short-circuits, so small exponents plus
+            // a huge-edge sprinkle cover every branch.
+            if rng.next_u64().is_multiple_of(8) {
+                b = [i64::MAX, 1 << 40, 64, 63][(rng.next_u64() % 4) as usize];
+            } else {
+                b = (rng.next_u64() % 200) as i64 - 20;
+            }
+        }
+        assert_eq!(
+            observed_binary(op, a, b),
+            oracle_binary(op, a, b),
+            "case {case}: {a} {op:?} {b}"
+        );
+    }
+}
+
+#[test]
+fn floor_div_and_mod_sweep_every_small_sign_corner_exhaustively() {
+    // The randomized sweep above hits the corners with high probability;
+    // this exhaustive grid makes the both-negative sign cases certain.
+    for a in -12i64..=12 {
+        for b in -12i64..=12 {
+            for op in [BinOp::FloorDiv, BinOp::Mod] {
+                assert_eq!(
+                    observed_binary(op, a, b),
+                    oracle_binary(op, a, b),
+                    "{a} {op:?} {b}"
+                );
+            }
+            // Python invariant: a == b * (a // b) + (a % b) whenever defined.
+            if b != 0 {
+                let q = match observed_binary(BinOp::FloorDiv, a, b) {
+                    Oracle::Int(q) => q,
+                    other => panic!("{a} // {b} -> {other:?}"),
+                };
+                let r = match observed_binary(BinOp::Mod, a, b) {
+                    Oracle::Int(r) => r,
+                    other => panic!("{a} % {b} -> {other:?}"),
+                };
+                assert_eq!(a, b * q + r, "{a} = {b} * {q} + {r}");
+                assert!(r == 0 || (r < 0) == (b < 0), "{a} % {b} = {r}");
+            }
+        }
+    }
+}
+
+#[test]
+fn unary_negation_agrees_with_the_widened_oracle() {
+    let mut rng = SplitMix64::new(0xFEED_F00D);
+    for _ in 0..10_000 {
+        let a = rng.operand();
+        let expected = fits(-i128::from(a));
+        let observed = match unary_op(UnaryOp::Neg, &Value::Int(a)) {
+            Ok(Value::Int(v)) => Oracle::Int(v),
+            Ok(other) => panic!("-({a}) produced {other:?}"),
+            Err(RuntimeError::Overflow) => Oracle::Overflow,
+            Err(other) => panic!("-({a}) raised {other:?}"),
+        };
+        assert_eq!(observed, expected, "-({a})");
+    }
+}

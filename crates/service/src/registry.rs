@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
-use afg_core::{Autograder, FingerprintCache, GradeOutcome};
+use afg_core::{Autograder, ClusterIndex, FingerprintCache, GradeOutcome};
 use afg_json::{Json, ToJson};
 
 /// Everything the daemon holds for one registered assignment.
@@ -16,6 +16,10 @@ pub struct ProblemEntry {
     pub grader: Autograder,
     /// The fingerprint cache (`None` when registered with `"cache": false`).
     pub cache: Option<FingerprintCache>,
+    /// The skeleton cluster index for repair transfer (`None` when
+    /// registered with `"clustering": false` or without a cache — the
+    /// clustered path lives behind the cache lookup).
+    pub clusters: Option<ClusterIndex>,
     /// Outcome counters over every submission this entry has graded.
     pub counters: OutcomeCounters,
 }
@@ -144,6 +148,10 @@ impl ProblemEntry {
             Some(cache) => pairs.push(("cache".to_string(), cache.stats().to_json())),
             None => pairs.push(("cache".to_string(), Json::Null)),
         }
+        match &self.clusters {
+            Some(clusters) => pairs.push(("clusters".to_string(), clusters.stats().to_json())),
+            None => pairs.push(("clusters".to_string(), Json::Null)),
+        }
         Json::Object(pairs)
     }
 }
@@ -226,6 +234,7 @@ mod tests {
             )
             .unwrap(),
             cache: cache.then(FingerprintCache::new),
+            clusters: cache.then(ClusterIndex::new),
             counters: OutcomeCounters::default(),
         }
     }

@@ -8,7 +8,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use afg_core::{Autograder, BatchGrader, FingerprintCache, GraderConfig};
+use afg_core::{Autograder, BatchGrader, ClusterIndex, FingerprintCache, GraderConfig};
 use afg_eml::parse_error_model;
 use afg_json::{parse_json, Json, ToJson};
 
@@ -285,8 +285,10 @@ fn apply_budget_overrides(body: &Json, synthesis: &mut afg_core::SynthesisConfig
 /// `{"problem": "compDeriv"}` registers a built-in benchmark problem, or
 /// `{"id", "entry", "reference", "model"}` registers instructor-supplied
 /// MPY reference source plus an EML error-model text.  Optional fields:
-/// `"cache": bool` (default true), `"max_cost"`, `"max_candidates"`,
-/// `"time_budget_ms"` (search budget overrides),
+/// `"cache": bool` (default true), `"clustering": bool` (default true;
+/// skeleton-cluster repair transfer, effective only with the cache),
+/// `"max_cost"`, `"max_candidates"`, `"time_budget_ms"` (search budget
+/// overrides),
 /// `"backend": "cegis" | "enum" | "portfolio"` (search engine), and
 /// `"escalation": [{"label"?, "rules"?, "backend"?, "max_cost"?,
 /// "max_candidates"?, "time_budget_ms"?}, ...]` — an escalation ladder
@@ -357,6 +359,13 @@ fn handle_register(request: &Request, registry: &Registry) -> (u16, Json) {
         }
     }
     let use_cache = body.get("cache").and_then(Json::as_bool).unwrap_or(true);
+    // Cluster transfer rides on the cache-miss path, so it is only
+    // meaningful when the cache is on.
+    let use_clustering = use_cache
+        && body
+            .get("clustering")
+            .and_then(Json::as_bool)
+            .unwrap_or(true);
 
     let built = if let Some(problem_id) = body.get("problem").and_then(Json::as_str) {
         let Some(problem) = afg_corpus::problems::problem(problem_id) else {
@@ -412,6 +421,7 @@ fn handle_register(request: &Request, registry: &Registry) -> (u16, Json) {
                 ("id", Json::str(&id)),
                 ("entry", Json::str(grader.entry())),
                 ("cache", Json::Bool(use_cache)),
+                ("clustering", Json::Bool(use_clustering)),
                 ("backend", Json::str(grader.config().backend.name())),
                 (
                     "escalation_tiers",
@@ -422,6 +432,7 @@ fn handle_register(request: &Request, registry: &Registry) -> (u16, Json) {
                 id,
                 grader,
                 cache: use_cache.then(FingerprintCache::new),
+                clusters: use_clustering.then(ClusterIndex::new),
                 counters: OutcomeCounters::default(),
             });
             (201, response)
@@ -444,12 +455,23 @@ fn handle_grade(request: &Request, registry: &Registry, id: &str) -> (u16, Json)
     };
 
     let start = Instant::now();
-    let (outcome, cache_state) = match &entry.cache {
+    let (outcome, cache_state, transfer_state) = match &entry.cache {
         Some(cache) => {
-            let (outcome, hit) = entry.grader.grade_source_cached(source, cache);
-            (outcome, if hit { "hit" } else { "miss" })
+            let (outcome, disposition) =
+                entry
+                    .grader
+                    .grade_source_clustered(source, cache, entry.clusters.as_ref());
+            (
+                outcome,
+                if disposition.cache_hit { "hit" } else { "miss" },
+                match disposition.transfer {
+                    Some(true) => "hit",
+                    Some(false) => "miss",
+                    None => "none",
+                },
+            )
         }
-        None => (entry.grader.grade_source(source), "off"),
+        None => (entry.grader.grade_source(source), "off", "none"),
     };
     entry.counters.record(&outcome, cache_state == "hit");
 
@@ -458,6 +480,7 @@ fn handle_grade(request: &Request, registry: &Registry, id: &str) -> (u16, Json)
         other => vec![("outcome".to_string(), other)],
     };
     pairs.push(("cache".to_string(), Json::str(cache_state)));
+    pairs.push(("transfer".to_string(), Json::str(transfer_state)));
     pairs.push(("elapsed_ms".to_string(), start.elapsed().to_json()));
     (200, Json::Object(pairs))
 }
@@ -489,7 +512,12 @@ fn handle_batch(request: &Request, registry: &Registry, id: &str) -> (u16, Json)
         _ => BatchGrader::default(),
     };
 
-    let report = engine.grade_sources_with_cache(&entry.grader, &sources, entry.cache.as_ref());
+    let report = engine.grade_sources_clustered(
+        &entry.grader,
+        &sources,
+        entry.cache.as_ref(),
+        entry.clusters.as_ref(),
+    );
     for item in &report.items {
         entry
             .counters

@@ -317,6 +317,114 @@ fn registers_with_portfolio_backend_and_escalation_ladder() {
 }
 
 #[test]
+fn skeleton_cluster_transfer_is_reported_in_stats() {
+    let (handle, mut client) = boot();
+    let (status, registered) = client
+        .post(
+            "/problems",
+            &Json::object([
+                ("problem", Json::str("compDeriv")),
+                ("id", Json::str("deriv-cluster")),
+                ("max_candidates", Json::Int(2000)),
+                ("time_budget_ms", Json::Int(600_000)),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 201, "{registered}");
+    assert_eq!(
+        registered.get("clustering").and_then(Json::as_bool),
+        Some(true)
+    );
+
+    // Two cohort-mates: same buggy scaffold, different constant in an
+    // unused assignment — distinct canonical forms, one skeleton.
+    let mate = |constant: i64| {
+        format!(
+            "def computeDeriv(poly):\n    scratch = {constant}\n    if len(poly) == 1:\n        return [0]\n    d = []\n    for i in range(0, len(poly)):\n        d.append(i * poly[i])\n    return d\n"
+        )
+    };
+    let grade = |client: &mut Client, source: &str| {
+        let body = Json::object([("source", Json::str(source))]);
+        let (status, response) = client.post("/problems/deriv-cluster/grade", &body).unwrap();
+        assert_eq!(status, 200, "{response}");
+        response
+    };
+
+    let first = grade(&mut client, &mate(7));
+    assert_eq!(first.get("cache").and_then(Json::as_str), Some("miss"));
+    assert_eq!(first.get("transfer").and_then(Json::as_str), Some("none"));
+
+    let second = grade(&mut client, &mate(21));
+    assert_eq!(second.get("cache").and_then(Json::as_str), Some("miss"));
+    assert_eq!(
+        second.get("transfer").and_then(Json::as_str),
+        Some("hit"),
+        "{second}"
+    );
+    // Transfer keeps the verdict cost-identical to the cold run.
+    assert_eq!(
+        first.get("feedback").and_then(|f| f.get("cost")),
+        second.get("feedback").and_then(|f| f.get("cost"))
+    );
+
+    // An exact resubmission is an exact-cache hit — the cluster is not
+    // consulted again.
+    let third = grade(&mut client, &mate(21));
+    assert_eq!(third.get("cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(third.get("transfer").and_then(Json::as_str), Some("none"));
+
+    let (status, stats) = client.get("/stats").unwrap();
+    assert_eq!(status, 200);
+    let problems = stats.get("problems").and_then(Json::as_array).unwrap();
+    let entry = problems
+        .iter()
+        .find(|p| p.get("id").and_then(Json::as_str) == Some("deriv-cluster"))
+        .expect("registered problem listed");
+    let clusters = entry.get("clusters").expect("clusters stats present");
+    assert_eq!(clusters.get("clusters").and_then(Json::as_i64), Some(1));
+    assert_eq!(clusters.get("members").and_then(Json::as_i64), Some(2));
+    assert_eq!(clusters.get("repairs").and_then(Json::as_i64), Some(1));
+    assert_eq!(
+        clusters.get("transfer_attempts").and_then(Json::as_i64),
+        Some(1)
+    );
+    assert_eq!(
+        clusters.get("transfer_hits").and_then(Json::as_i64),
+        Some(1)
+    );
+    assert!(clusters
+        .get("conflicts_saved")
+        .and_then(Json::as_i64)
+        .is_some());
+
+    // Clustering can be disabled per problem; /stats then reports null.
+    let (status, registered) = client
+        .post(
+            "/problems",
+            &Json::object([
+                ("problem", Json::str("compDeriv")),
+                ("id", Json::str("deriv-noclusters")),
+                ("clustering", Json::Bool(false)),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 201, "{registered}");
+    assert_eq!(
+        registered.get("clustering").and_then(Json::as_bool),
+        Some(false)
+    );
+    let (_, stats) = client.get("/stats").unwrap();
+    let problems = stats.get("problems").and_then(Json::as_array).unwrap();
+    let entry = problems
+        .iter()
+        .find(|p| p.get("id").and_then(Json::as_str) == Some("deriv-noclusters"))
+        .unwrap();
+    assert!(entry.get("clusters").unwrap().is_null());
+
+    handle.shutdown();
+}
+
+#[test]
 fn api_errors_are_json_with_proper_status_codes() {
     let (handle, mut client) = boot();
 

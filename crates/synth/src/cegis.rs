@@ -35,7 +35,7 @@ use afg_interp::EquivalenceOracle;
 use afg_sat::{SatResult, Solver};
 
 use crate::bitset::IndexBitset;
-use crate::config::{Solution, SynthesisConfig, SynthesisOutcome, SynthesisStats};
+use crate::config::{Solution, SynthesisConfig, SynthesisOutcome, SynthesisStats, WarmStart};
 use crate::encode::ChoiceEncoding;
 use crate::strategy::{CancelToken, SearchStrategy};
 
@@ -63,6 +63,25 @@ impl SearchStrategy for CegisSolver {
         program: &ChoiceProgram,
         oracle: &EquivalenceOracle,
         config: &SynthesisConfig,
+        cancel: &CancelToken,
+    ) -> SynthesisOutcome {
+        self.synthesize_with_hint(program, oracle, config, None, cancel)
+    }
+
+    /// As [`CegisSolver::synthesize_with`], but seeded with a transferred
+    /// hypothesis: the verified minimal repair of a *skeleton cluster-mate*
+    /// plus its counterexample set.  The hypothesis is verified with one
+    /// bounded sweep before it is trusted; on success the CEGISMIN descent
+    /// opens at `hypothesis cost - 1` instead of `max_cost` and the
+    /// counterexample bitset is pre-seeded, on failure the hypothesis is
+    /// just one more blocked candidate — either way the descent still runs
+    /// to Unsat, so the outcome is cost-identical to the cold search.
+    fn synthesize_with_hint(
+        &self,
+        program: &ChoiceProgram,
+        oracle: &EquivalenceOracle,
+        config: &SynthesisConfig,
+        warm: Option<&WarmStart>,
         cancel: &CancelToken,
     ) -> SynthesisOutcome {
         let start = Instant::now();
@@ -102,6 +121,51 @@ impl SearchStrategy for CegisSolver {
         // activated per solve call through totalizer assumptions and
         // tightened to `cost - 1` after every verified candidate.
         let mut bound = config.max_cost;
+
+        // Transferred warm start: pre-seed the counterexample set (stale
+        // indices are harmless — each is just a bounded-space input checked
+        // early), then spend one bounded sweep on the hypothesis.  Verified
+        // ⇒ the descent opens at its cost; refuted ⇒ it becomes an ordinary
+        // blocked candidate and the refuting input a counterexample.
+        if let Some(warm) = warm {
+            let input_count = session.oracle().inputs().len();
+            for &cex in &warm.counterexamples {
+                if cex < input_count && seen_counterexamples.insert(cex) {
+                    counterexamples.push(cex);
+                    stats.counterexamples += 1;
+                }
+            }
+            let hypothesis = &warm.assignment;
+            let cost = hypothesis.cost();
+            if cost > 0 && cost <= config.max_cost && assignment_fits(program, hypothesis) {
+                stats.warm_start_attempted = true;
+                stats.candidates_checked += 1;
+                match session.find_counterexample(hypothesis, &counterexamples) {
+                    None => {
+                        stats.warm_start_verified = true;
+                        best = Some(Solution {
+                            assignment: hypothesis.clone(),
+                            cost,
+                            minimal: false,
+                            counterexamples: Vec::new(),
+                            stats: SynthesisStats::default(),
+                        });
+                        bound = cost - 1;
+                        stats.descent_learnts.push(solver.stats().learnts);
+                    }
+                    Some(cex) => {
+                        if seen_counterexamples.insert(cex) {
+                            counterexamples.push(cex);
+                            stats.counterexamples += 1;
+                        }
+                    }
+                }
+                // Equivalent or not, the hypothesis itself never needs to be
+                // proposed again.
+                encoding.block_assignment(&mut solver, hypothesis);
+            }
+        }
+
         // Set when the SAT solver proves no cheaper candidate exists.
         let mut proven_minimal = false;
 
@@ -160,6 +224,7 @@ impl SearchStrategy for CegisSolver {
                             assignment: assignment.clone(),
                             cost,
                             minimal: false,
+                            counterexamples: Vec::new(),
                             stats: SynthesisStats::default(),
                         });
                     }
@@ -183,6 +248,7 @@ impl SearchStrategy for CegisSolver {
         match best {
             Some(mut solution) => {
                 solution.minimal = proven_minimal;
+                solution.counterexamples = counterexamples;
                 solution.stats = stats;
                 SynthesisOutcome::Fixed(solution)
             }
@@ -190,6 +256,17 @@ impl SearchStrategy for CegisSolver {
             None => SynthesisOutcome::Timeout(stats),
         }
     }
+}
+
+/// Whether every non-default selection of `assignment` indexes an existing
+/// option of `program` — the structural precondition for trying a
+/// transferred hypothesis at all.
+fn assignment_fits(program: &ChoiceProgram, assignment: &afg_eml::ChoiceAssignment) -> bool {
+    assignment.non_default().all(|(id, option)| {
+        program
+            .choice_info(id)
+            .is_some_and(|info| option < info.options.len())
+    })
 }
 
 #[cfg(test)]
@@ -308,6 +385,97 @@ def computeDeriv(poly_list_int):
             solution.stats.sat_propagations > 0,
             "solver work must be reported"
         );
+    }
+
+    #[test]
+    fn warm_start_replays_a_transferred_repair_and_stays_cost_identical() {
+        let student = parse_program(
+            "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    out = []\n    for i in range(0, len(poly)):\n        out.append(i * poly[i])\n    return out\n",
+        )
+        .unwrap();
+        let cp = apply_error_model(
+            &student,
+            Some("computeDeriv"),
+            &library::compute_deriv_model(),
+        )
+        .unwrap();
+        let oracle = oracle();
+        let config = SynthesisConfig::fast();
+
+        // Cold baseline: the donor run whose repair and counterexamples a
+        // cluster-mate would inherit.
+        let cold = CegisSolver::new().synthesize(&cp, &oracle, &config);
+        let donor = cold.solution().expect("fixable").clone();
+        assert!(!donor.counterexamples.is_empty());
+        assert!(!donor.stats.warm_start_attempted);
+
+        // Warm run seeded with the donor's own repair: one hypothesis
+        // verification, then straight to the Unsat proof below its cost.
+        let warm = WarmStart {
+            assignment: donor.assignment.clone(),
+            counterexamples: donor.counterexamples.clone(),
+        };
+        let warm_outcome = CegisSolver::new().synthesize_with_hint(
+            &cp,
+            &oracle,
+            &config,
+            Some(&warm),
+            &CancelToken::new(),
+        );
+        let warm_solution = warm_outcome.solution().expect("fixable");
+        assert_eq!(warm_solution.cost, donor.cost, "cost-identical to cold");
+        assert!(warm_solution.minimal, "the descent still proves minimality");
+        assert!(warm_solution.stats.warm_start_attempted);
+        assert!(warm_solution.stats.warm_start_verified);
+        assert!(
+            warm_solution.stats.candidates_checked < donor.stats.candidates_checked,
+            "warm {} vs cold {} candidates",
+            warm_solution.stats.candidates_checked,
+            donor.stats.candidates_checked
+        );
+        assert!(
+            warm_solution.stats.sat_conflicts <= donor.stats.sat_conflicts,
+            "warm {} vs cold {} conflicts",
+            warm_solution.stats.sat_conflicts,
+            donor.stats.sat_conflicts
+        );
+
+        // A refuted hypothesis (a non-repair) must fall back to the cold
+        // path with the same verdict and cost.
+        let bogus = WarmStart {
+            assignment: afg_eml::ChoiceAssignment::default_choices(),
+            counterexamples: vec![0],
+        };
+        let refuted = CegisSolver::new().synthesize_with_hint(
+            &cp,
+            &oracle,
+            &config,
+            Some(&bogus),
+            &CancelToken::new(),
+        );
+        // Cost-0 hypotheses are rejected up front (the default assignment
+        // is already known bad), so this counts as no attempt.
+        let refuted_solution = refuted.solution().expect("fixable");
+        assert_eq!(refuted_solution.cost, donor.cost);
+        assert!(refuted_solution.minimal);
+        assert!(!refuted_solution.stats.warm_start_attempted);
+
+        // An out-of-range hypothesis (unknown choice site) is ignored, not
+        // trusted.
+        let misfit = WarmStart {
+            assignment: afg_eml::ChoiceAssignment::from_pairs([(afg_eml::ChoiceId(9_999), 1)]),
+            counterexamples: vec![99_999],
+        };
+        let ignored = CegisSolver::new().synthesize_with_hint(
+            &cp,
+            &oracle,
+            &config,
+            Some(&misfit),
+            &CancelToken::new(),
+        );
+        let ignored_solution = ignored.solution().expect("fixable");
+        assert_eq!(ignored_solution.cost, donor.cost);
+        assert!(!ignored_solution.stats.warm_start_attempted);
     }
 
     #[test]

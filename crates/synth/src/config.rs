@@ -64,6 +64,13 @@ pub struct SynthesisStats {
     /// depends on machine load, so such outcomes must never be cached; a
     /// candidate-budget stop replays identically anywhere.
     pub wall_clock_limited: bool,
+    /// Whether a transferred [`WarmStart`] hypothesis was actually tried
+    /// (the submission was incorrect and the hypothesis fit this choice
+    /// program under the cost budget).
+    pub warm_start_attempted: bool,
+    /// Whether the tried hypothesis verified, letting the minimisation
+    /// descent start at its cost instead of the top of the cost scale.
+    pub warm_start_verified: bool,
     /// Learnt-clause count sampled at each CEGISMIN bound tightening —
     /// monotone when (and only when) the whole descent runs on one solver.
     pub descent_learnts: Vec<u64>,
@@ -87,6 +94,11 @@ impl SynthesisStats {
         self.sat_propagations += other.sat_propagations;
         self.sat_learnts += other.sat_learnts;
         self.restarts += other.restarts;
+        // The warm-start flags describe the race as a whole — a transfer
+        // tried by a losing racer must stay visible in the merged report,
+        // or the cluster index undercounts whenever the other racer wins.
+        self.warm_start_attempted |= other.warm_start_attempted;
+        self.warm_start_verified |= other.warm_start_verified;
     }
 }
 
@@ -103,8 +115,36 @@ pub struct Solution {
     /// budget ran out.  The portfolio only declares a winner on proven
     /// results.
     pub minimal: bool,
+    /// The oracle input indices accumulated as counterexamples during the
+    /// search, in discovery order.  The cluster index stores them with the
+    /// repair so a skeleton-mate's warm start can pre-seed its fast
+    /// rejection set (the inputs that killed this cohort's candidates kill
+    /// the mate's candidates too).
+    pub counterexamples: Vec<usize>,
     /// Search statistics.
     pub stats: SynthesisStats,
+}
+
+/// A transferred hypothesis offered to a search as a warm start: the
+/// verified minimal repair (and counterexample set) of a *cluster
+/// representative* — a previously graded submission with the same
+/// structural skeleton ([`afg_ast::canon::skeleton_source`]).
+///
+/// The contract keeps warm-started outcomes **cost-identical** to cold
+/// ones: the hypothesis is first re-verified against *this* submission
+/// with one bounded sweep (skeleton-mates need not agree on behaviour);
+/// only on success does the minimisation descent start at the hypothesis
+/// cost, and the descent still runs to Unsat, so the proven minimal cost
+/// cannot differ from a cold search.  On failure the hypothesis is just
+/// one more blocked candidate and the search proceeds cold.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WarmStart {
+    /// The representative's verified minimal repair.
+    pub assignment: ChoiceAssignment,
+    /// The representative's counterexample input indices, used to pre-seed
+    /// the fast-rejection ordering (harmless if stale: every index is just
+    /// a bounded-space input checked early).
+    pub counterexamples: Vec<usize>,
 }
 
 /// The overall outcome of grading one submission.
@@ -202,6 +242,7 @@ mod tests {
             assignment: ChoiceAssignment::default_choices(),
             cost: 0,
             minimal: true,
+            counterexamples: Vec::new(),
             stats: SynthesisStats::default(),
         };
         assert_eq!(
@@ -220,6 +261,7 @@ mod tests {
             assignment: ChoiceAssignment::default_choices(),
             cost: 1,
             minimal: true,
+            counterexamples: Vec::new(),
             stats: stats.clone(),
         };
         assert!(SynthesisOutcome::Fixed(solution.clone()).is_definitive());
@@ -243,6 +285,8 @@ mod tests {
             sat_conflicts: 1,
             restarts: 2,
             strategy: "enum",
+            warm_start_attempted: true,
+            warm_start_verified: true,
             ..SynthesisStats::default()
         };
         winner.absorb_work(&loser);
@@ -251,5 +295,8 @@ mod tests {
         assert_eq!(winner.restarts, 2);
         assert_eq!(winner.strategy, "cegis");
         assert_eq!(winner.descent_learnts, vec![1, 2]);
+        // A losing racer's tried transfer survives the merge.
+        assert!(winner.warm_start_attempted);
+        assert!(winner.warm_start_verified);
     }
 }

@@ -100,6 +100,7 @@ impl SearchStrategy for EnumerativeSolver {
                                 // Cost-ordered exploration: the first
                                 // accepted candidate is provably minimal.
                                 minimal: true,
+                                counterexamples,
                                 stats,
                             });
                         }

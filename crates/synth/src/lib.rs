@@ -56,7 +56,7 @@ mod portfolio;
 mod strategy;
 
 pub use cegis::CegisSolver;
-pub use config::{Solution, SynthesisConfig, SynthesisOutcome, SynthesisStats};
+pub use config::{Solution, SynthesisConfig, SynthesisOutcome, SynthesisStats, WarmStart};
 pub use encode::{instrument, ChoiceEncoding};
 pub use enumerate::EnumerativeSolver;
 pub use portfolio::PortfolioSolver;
@@ -129,6 +129,20 @@ impl Backend {
     ) -> SynthesisOutcome {
         self.strategy()
             .synthesize_with(program, oracle, config, cancel)
+    }
+
+    /// Runs the selected back end to completion with an optional
+    /// transferred [`WarmStart`] hypothesis (see
+    /// [`SearchStrategy::synthesize_with_hint`]).
+    pub fn synthesize_with_hint(
+        self,
+        program: &afg_eml::ChoiceProgram,
+        oracle: &afg_interp::EquivalenceOracle,
+        config: &SynthesisConfig,
+        warm: Option<&WarmStart>,
+    ) -> SynthesisOutcome {
+        self.strategy()
+            .synthesize_with_hint(program, oracle, config, warm, &CancelToken::new())
     }
 }
 

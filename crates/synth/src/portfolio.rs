@@ -21,7 +21,7 @@ use afg_eml::ChoiceProgram;
 use afg_interp::EquivalenceOracle;
 
 use crate::cegis::CegisSolver;
-use crate::config::{SynthesisConfig, SynthesisOutcome};
+use crate::config::{SynthesisConfig, SynthesisOutcome, WarmStart};
 use crate::enumerate::EnumerativeSolver;
 use crate::strategy::{CancelToken, SearchStrategy};
 
@@ -69,8 +69,21 @@ impl SearchStrategy for PortfolioSolver {
         config: &SynthesisConfig,
         cancel: &CancelToken,
     ) -> SynthesisOutcome {
+        self.synthesize_with_hint(program, oracle, config, None, cancel)
+    }
+
+    /// Races the strategies, handing each one the transferred warm-start
+    /// hypothesis (strategies that cannot exploit it ignore it).
+    fn synthesize_with_hint(
+        &self,
+        program: &ChoiceProgram,
+        oracle: &EquivalenceOracle,
+        config: &SynthesisConfig,
+        warm: Option<&WarmStart>,
+        cancel: &CancelToken,
+    ) -> SynthesisOutcome {
         if self.strategies.len() == 1 {
-            return self.strategies[0].synthesize_with(program, oracle, config, cancel);
+            return self.strategies[0].synthesize_with_hint(program, oracle, config, warm, cancel);
         }
         let start = Instant::now();
         // One shared race token, child of the caller's: an outer
@@ -84,7 +97,8 @@ impl SearchStrategy for PortfolioSolver {
                 let sender = sender.clone();
                 let race = race.clone();
                 scope.spawn(move || {
-                    let outcome = strategy.synthesize_with(program, oracle, config, &race);
+                    let outcome =
+                        strategy.synthesize_with_hint(program, oracle, config, warm, &race);
                     // The receiver hangs up only after all results arrived;
                     // a send can therefore only fail on a panicked receiver,
                     // in which case the scope propagates the panic anyway.

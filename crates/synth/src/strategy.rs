@@ -15,7 +15,7 @@ use std::sync::Arc;
 use afg_eml::ChoiceProgram;
 use afg_interp::EquivalenceOracle;
 
-use crate::config::{SynthesisConfig, SynthesisOutcome};
+use crate::config::{SynthesisConfig, SynthesisOutcome, WarmStart};
 
 /// A shareable, hierarchical cancellation flag.
 ///
@@ -91,6 +91,23 @@ pub trait SearchStrategy: Send + Sync {
         config: &SynthesisConfig,
         cancel: &CancelToken,
     ) -> SynthesisOutcome;
+
+    /// Runs the search with an optional transferred [`WarmStart`]
+    /// hypothesis from a cluster representative.  The default
+    /// implementation ignores the hint — strategies that can exploit it
+    /// (CEGIS starts its minimisation descent at the verified hypothesis
+    /// cost) override this; either way the outcome must stay
+    /// cost-identical to the hint-free search.
+    fn synthesize_with_hint(
+        &self,
+        program: &ChoiceProgram,
+        oracle: &EquivalenceOracle,
+        config: &SynthesisConfig,
+        _warm: Option<&WarmStart>,
+        cancel: &CancelToken,
+    ) -> SynthesisOutcome {
+        self.synthesize_with(program, oracle, config, cancel)
+    }
 
     /// Runs the search to completion (no external cancellation).
     fn synthesize(

@@ -109,6 +109,111 @@ fn canonical_fingerprint_survives_a_print_parse_round_trip() {
     }
 }
 
+/// The cluster index's guard rail, the skeleton analogue of the canonical
+/// fixpoint above: `pretty-print → parse → skeleton fingerprint` is a
+/// fixpoint over every corpus problem (reference, correct variants,
+/// conceptual mutants and a seeded mutant sweep) — if the printer and
+/// parser drifted, skeleton-mates would silently stop clustering.
+#[test]
+fn skeleton_fingerprint_survives_a_print_parse_round_trip() {
+    use autofeedback::ast::canon::{skeleton_fingerprint64, skeleton_source, skeletonize};
+    use autofeedback::ast::pretty::program_to_string;
+
+    let check = |program: &autofeedback::ast::Program, context: &str| {
+        let printed = program_to_string(program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("{context}: printed program parses: {e}\n{printed}"));
+        assert_eq!(
+            skeleton_fingerprint64(program),
+            skeleton_fingerprint64(&reparsed),
+            "{context}: skeleton fingerprint must survive print→parse\n{printed}"
+        );
+        // Skeletonisation is idempotent.
+        assert_eq!(
+            skeleton_source(program),
+            skeleton_source(&skeletonize(program)),
+            "{context}: skeletonisation must be idempotent"
+        );
+    };
+
+    for problem in problems::all_problems() {
+        let mut fixed_sources = problem.mutation_seeds();
+        fixed_sources.extend(problem.conceptual_mutants.iter().copied());
+        for (i, source) in fixed_sources.iter().enumerate() {
+            let program = parse_program(source).expect("corpus sources parse");
+            check(&program, &format!("{} source {i}", problem.id));
+        }
+        for seed in 0..12u64 {
+            let mut program = parse_program(problem.reference).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            mutate_program(&mut program, 1 + (seed as usize % 3), &mut rng);
+            check(&program, &format!("{} mutant seed {seed}", problem.id));
+        }
+    }
+}
+
+/// Skeleton invariance: alpha-renaming every variable AND perturbing every
+/// integer constant leaves the skeleton fingerprint unchanged (that is the
+/// clustering contract), while the *canonical* fingerprint keeps the
+/// constant-perturbed variant distinct (that is the cache's contract).
+#[test]
+fn skeleton_is_invariant_under_renaming_and_constant_perturbation() {
+    use autofeedback::ast::canon::{canonicalize, fingerprint64, skeleton_fingerprint64};
+    use autofeedback::ast::visit::map_exprs_in_stmts;
+    use autofeedback::ast::Expr;
+
+    for problem in problems::all_problems() {
+        for (i, source) in problem.mutation_seeds().iter().enumerate() {
+            let program = parse_program(source).expect("corpus sources parse");
+
+            // Alpha-renaming: canonicalize() IS a renaming of every
+            // variable, so it must preserve both fingerprints.
+            let renamed = canonicalize(&program);
+            assert_eq!(
+                fingerprint64(&program),
+                fingerprint64(&renamed),
+                "{} source {i}: canonical fingerprint is alpha-invariant",
+                problem.id
+            );
+            assert_eq!(
+                skeleton_fingerprint64(&program),
+                skeleton_fingerprint64(&renamed),
+                "{} source {i}: skeleton fingerprint is alpha-invariant",
+                problem.id
+            );
+
+            // Constant perturbation: shifts every integer literal, which
+            // changes the canonical form (when the program has any
+            // integer literal) but never the skeleton.
+            for delta in [1, -3, 40] {
+                let mut perturbed = program.clone();
+                let mut perturb = |e: Expr| match e {
+                    Expr::Int(v) => Expr::Int(v.wrapping_add(delta)),
+                    other => other,
+                };
+                for func in &mut perturbed.funcs {
+                    map_exprs_in_stmts(&mut func.body, &mut perturb);
+                }
+                assert_eq!(
+                    skeleton_fingerprint64(&program),
+                    skeleton_fingerprint64(&perturbed),
+                    "{} source {i} delta {delta}: skeleton ignores constants",
+                    problem.id
+                );
+                if perturbed != program {
+                    assert_ne!(
+                        fingerprint64(&program),
+                        fingerprint64(&perturbed),
+                        "{} source {i} delta {delta}: canonical form must \
+                         still distinguish the constants",
+                        problem.id
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Cost accounting: the cost of an assignment equals the number of
 /// non-default selections, and concretising the same assignment twice is
 /// deterministic.
