@@ -3,7 +3,7 @@
 //! generated feedback, and average/median grading time.
 //!
 //! ```text
-//! cargo run --release -p afg-bench --bin table1 -- [--attempts N] [--seed S] [--workers N] [--json] [--backend cegis|enum|portfolio]
+//! cargo run --release -p afg-bench --bin table1 -- [--attempts N] [--seed S] [--workers N] [--json] [--backend cegis|enum|portfolio] [--sweep tree|compiled]
 //! ```
 //!
 //! With `--json` the table is emitted as a single JSON document (via
@@ -12,7 +12,10 @@
 //! (`sat_conflicts`/`sat_learnts`/…), per-row winning-strategy counts
 //! (`winners`, interesting under `--backend portfolio`) and an aggregate
 //! `solver` object.  `--backend` selects the search engine, so backend
-//! speedups are *measured* on the same corpus rather than asserted.
+//! speedups are *measured* on the same corpus rather than asserted, and
+//! `--sweep` selects the verification back end (tree walker vs compiled
+//! bytecode VM) the same way — the aggregate `sweep_ns_per_input` is the
+//! A/B metric.
 //!
 //! The corpora are synthetic (see DESIGN.md); absolute counts therefore
 //! differ from the paper, but the shape — a majority of incorrect attempts
@@ -27,6 +30,17 @@ use afg_bench::{run_problem_on, CliOptions, Table1Row};
 use afg_corpus::{problems, CorpusSpec};
 use afg_json::{Json, ToJson};
 
+/// Corpus-wide verification throughput: total verification wall over total
+/// candidate executions, in nanoseconds per input.
+fn sweep_ns_per_input(rows: &[Table1Row]) -> f64 {
+    let inputs: u64 = rows.iter().map(|r| r.sweep_inputs).sum();
+    if inputs == 0 {
+        return 0.0;
+    }
+    let wall: std::time::Duration = rows.iter().map(|r| r.verify_elapsed).sum();
+    wall.as_nanos() as f64 / inputs as f64
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = CliOptions::parse_or_exit(&args, 40);
@@ -38,9 +52,10 @@ fn main() {
     if !options.json {
         println!("Table 1: attempts corrected and grading time per benchmark");
         println!(
-            "(synthetic corpus: {attempts} attempts per benchmark, seed {seed}, {} workers, {} backend)",
+            "(synthetic corpus: {attempts} attempts per benchmark, seed {seed}, {} workers, {} backend, {} sweeps)",
             engine.workers(),
-            options.backend.name()
+            options.backend.name(),
+            options.sweep.name()
         );
         println!();
         println!("{}", Table1Row::header());
@@ -92,6 +107,22 @@ fn main() {
             "timeouts",
             rows.iter().map(|r| r.timeouts).sum::<usize>().to_json(),
         ),
+        (
+            "sweeps",
+            rows.iter().map(|r| r.sweeps).sum::<u64>().to_json(),
+        ),
+        (
+            "sweep_inputs",
+            rows.iter().map(|r| r.sweep_inputs).sum::<u64>().to_json(),
+        ),
+        (
+            "verify_ms",
+            rows.iter()
+                .map(|r| r.verify_elapsed)
+                .sum::<std::time::Duration>()
+                .to_json(),
+        ),
+        ("sweep_ns_per_input", sweep_ns_per_input(&rows).to_json()),
     ]);
 
     if options.json {
@@ -102,6 +133,7 @@ fn main() {
             ("seed", seed.to_json()),
             ("workers", engine.workers().to_json()),
             ("backend", Json::str(options.backend.name())),
+            ("sweep", Json::str(options.sweep.name())),
             ("rows", rows.to_json()),
             ("solver", solver),
             (
@@ -118,6 +150,16 @@ fn main() {
         println!();
         println!(
             "Overall: {total_fixed}/{total_incorrect} incorrect attempts repaired ({overall:.1}%); the paper reports 64%."
+        );
+        println!(
+            "Verification: {} sweeps, {} candidate executions, {:.0} ns/input ({} sweeps)",
+            solver.get("sweeps").and_then(Json::as_i64).unwrap_or(0),
+            solver
+                .get("sweep_inputs")
+                .and_then(Json::as_i64)
+                .unwrap_or(0),
+            sweep_ns_per_input(&rows),
+            options.sweep.name()
         );
         println!(
             "Solver: {} conflicts, {} learnts, {} propagations, {} restarts, {} timeouts ({} backend)",

@@ -105,6 +105,12 @@ pub struct ClassroomRun {
     pub sat_conflicts: u64,
     /// Candidate programs interpreted, same exclusion.
     pub candidates_checked: u64,
+    /// Wall clock the actually-run searches spent inside the SAT solver
+    /// (proposing candidates), same exclusion.
+    pub sat_elapsed: Duration,
+    /// Wall clock those searches spent verifying candidates against the
+    /// bounded input space — the part compiled sweeps accelerate.
+    pub verify_elapsed: Duration,
     /// Wall-clock time for the whole pass.
     pub wall: Duration,
     /// Merged per-worker counters (cache and transfer tallies included).
@@ -132,6 +138,8 @@ pub fn run_classroom(
 
     let mut sat_conflicts = 0u64;
     let mut candidates_checked = 0u64;
+    let mut sat_elapsed = Duration::ZERO;
+    let mut verify_elapsed = Duration::ZERO;
     let mut verdicts = Vec::with_capacity(report.items.len());
     for item in &report.items {
         let verdict = match &item.outcome {
@@ -141,6 +149,8 @@ pub fn run_classroom(
                 if item.cache_hit != Some(true) {
                     sat_conflicts += feedback.stats.sat_conflicts;
                     candidates_checked += feedback.stats.candidates_checked as u64;
+                    sat_elapsed += feedback.stats.sat_elapsed;
+                    verify_elapsed += feedback.stats.verify_elapsed;
                 }
                 ("feedback", Some(feedback.cost))
             }
@@ -153,6 +163,8 @@ pub fn run_classroom(
         verdicts,
         sat_conflicts,
         candidates_checked,
+        sat_elapsed,
+        verify_elapsed,
         wall: report.wall_time,
         totals: report.totals(),
         cluster: clusters.map(|index| index.stats()),
@@ -183,6 +195,16 @@ pub fn classroom_json(
             (
                 "transfer_hits".to_string(),
                 run.totals.transfer_hits.to_json(),
+            ),
+            (
+                "sweep".to_string(),
+                Json::object([
+                    ("sweeps", run.totals.sweeps.to_json()),
+                    ("sweep_inputs", run.totals.sweep_inputs.to_json()),
+                    ("compiled", Json::Bool(run.totals.sweep_compiled)),
+                    ("sat_ms", run.sat_elapsed.to_json()),
+                    ("verify_ms", run.verify_elapsed.to_json()),
+                ]),
             ),
         ];
         if let Some(cluster) = &run.cluster {
@@ -299,5 +321,19 @@ mod tests {
             .get("warm")
             .and_then(|w| w.get("transfer_hits"))
             .is_some());
+
+        // Both runs report their verification-sweep work: counts plus the
+        // SAT-vs-verification wall-clock split.
+        for pass in ["cold", "warm"] {
+            let sweep = doc
+                .get(pass)
+                .and_then(|run| run.get("sweep"))
+                .unwrap_or_else(|| panic!("{pass} run reports sweep work"));
+            assert!(
+                sweep.get("sweeps").and_then(Json::as_i64).unwrap_or(0) > 0,
+                "{pass} run swept at least once: {sweep}"
+            );
+            assert!(sweep.get("sat_ms").is_some() && sweep.get("verify_ms").is_some());
+        }
     }
 }

@@ -17,7 +17,7 @@ pub mod classroom;
 use std::fmt;
 use std::time::Duration;
 
-use afg_core::{BatchGrader, BatchReport, GradeOutcome, GraderConfig};
+use afg_core::{BatchGrader, BatchReport, GradeOutcome, GraderConfig, SweepMode};
 use afg_corpus::{generate_corpus, CorpusSpec, Problem};
 use afg_eml::ErrorModel;
 use afg_synth::{Backend, SynthesisStats};
@@ -82,6 +82,14 @@ pub struct Table1Row {
     pub sat_learnts: u64,
     /// SAT restarts summed over the fixed attempts.
     pub restarts: u64,
+    /// Verification sweeps summed over the fixed attempts.
+    pub sweeps: u64,
+    /// Candidate executions across those sweeps (one per
+    /// (assignment, input) pair) — the denominator of ns-per-input.
+    pub sweep_inputs: u64,
+    /// Wall-clock spent inside verification sweeps over the fixed
+    /// attempts — the numerator of ns-per-input.
+    pub verify_elapsed: Duration,
     /// Winning-strategy histogram over the fixed attempts (strategy name →
     /// count), sorted by name.  Under single-strategy backends this has one
     /// entry; under the portfolio it shows who actually won the races.
@@ -93,6 +101,16 @@ pub struct Table1Row {
 }
 
 impl Table1Row {
+    /// Verification-sweep throughput: nanoseconds of verification wall
+    /// per candidate execution (0.0 when the row ran no sweeps).
+    pub fn sweep_ns_per_input(&self) -> f64 {
+        if self.sweep_inputs == 0 {
+            0.0
+        } else {
+            self.verify_elapsed.as_nanos() as f64 / self.sweep_inputs as f64
+        }
+    }
+
     /// Percentage of incorrect attempts with generated feedback.
     pub fn feedback_percent(&self) -> f64 {
         if self.incorrect == 0 {
@@ -179,6 +197,10 @@ impl afg_json::ToJson for Table1Row {
             ("sat_propagations", self.sat_propagations.to_json()),
             ("sat_learnts", self.sat_learnts.to_json()),
             ("restarts", self.restarts.to_json()),
+            ("sweeps", self.sweeps.to_json()),
+            ("sweep_inputs", self.sweep_inputs.to_json()),
+            ("verify_ms", self.verify_elapsed.to_json()),
+            ("sweep_ns_per_input", self.sweep_ns_per_input().to_json()),
             ("winners", winners),
             ("average_time_ms", self.average_time.to_json()),
             ("median_time_ms", self.median_time.to_json()),
@@ -239,6 +261,10 @@ impl afg_json::FromJson for Table1Row {
             sat_propagations: wide("sat_propagations")?,
             sat_learnts: wide("sat_learnts")?,
             restarts: wide("restarts")?,
+            // Absent in pre-sweep documents: read as 0.
+            sweeps: wide("sweeps").unwrap_or(0),
+            sweep_inputs: wide("sweep_inputs").unwrap_or(0),
+            verify_elapsed: duration("verify_ms").unwrap_or(Duration::ZERO),
             winners,
             average_time: duration("average_time_ms")?,
             median_time: duration("median_time_ms")?,
@@ -350,6 +376,9 @@ fn aggregate(problem: &Problem, records: &[GradeRecord]) -> Table1Row {
     let mut sat_propagations = 0u64;
     let mut sat_learnts = 0u64;
     let mut restarts = 0u64;
+    let mut sweeps = 0u64;
+    let mut sweep_inputs = 0u64;
+    let mut verify_elapsed = Duration::ZERO;
     let mut winner_counts: std::collections::BTreeMap<String, usize> =
         std::collections::BTreeMap::new();
     for stats in records.iter().filter_map(|r| r.stats.as_ref()) {
@@ -357,6 +386,9 @@ fn aggregate(problem: &Problem, records: &[GradeRecord]) -> Table1Row {
         sat_propagations += stats.sat_propagations;
         sat_learnts += stats.sat_learnts;
         restarts += stats.restarts;
+        sweeps += stats.sweeps;
+        sweep_inputs += stats.sweep_inputs;
+        verify_elapsed += stats.verify_elapsed;
         if !stats.strategy.is_empty() {
             *winner_counts.entry(stats.strategy.to_string()).or_default() += 1;
         }
@@ -398,6 +430,9 @@ fn aggregate(problem: &Problem, records: &[GradeRecord]) -> Table1Row {
         sat_propagations,
         sat_learnts,
         restarts,
+        sweeps,
+        sweep_inputs,
+        verify_elapsed,
         winners,
         average_time,
         median_time,
@@ -461,6 +496,9 @@ pub struct CliOptions {
     pub json: bool,
     /// Which synthesis back end grades the corpus.
     pub backend: Backend,
+    /// How verification sweeps run candidates: on the compiled bytecode VM
+    /// (default) or the tree-walking interpreter (the A/B baseline).
+    pub sweep: SweepMode,
     /// Candidate-budget override (`None` = the binary's default config).
     pub max_candidates: Option<usize>,
     /// Wall-clock budget override in milliseconds.
@@ -485,9 +523,10 @@ impl CliOptions {
         }
     }
 
-    /// Applies the backend and any budget overrides to `config`.
+    /// Applies the backend, sweep mode and any budget overrides to `config`.
     pub fn apply_to(&self, config: &mut GraderConfig) {
         config.backend = self.backend;
+        config.equivalence.sweep = self.sweep;
         if let Some(max_candidates) = self.max_candidates {
             config.synthesis.max_candidates = max_candidates;
         }
@@ -539,7 +578,7 @@ impl std::error::Error for CliError {}
 /// The usage string shared by the experiment binaries.
 pub fn usage() -> String {
     "usage: <binary> [--attempts N] [--seed N] [--workers N] [--json]\n\
-     \x20              [--backend cegis|enum|portfolio]\n\
+     \x20              [--backend cegis|enum|portfolio] [--sweep compiled|tree]\n\
      \x20              [--max-candidates N] [--time-budget-ms N]\n\
      \n\
      --attempts N   submissions generated per benchmark\n\
@@ -548,6 +587,8 @@ pub fn usage() -> String {
      --json         emit machine-readable JSON (table1)\n\
      --backend B    synthesis back end: cegis (default), enum, or portfolio\n\
      \x20              (portfolio races the other two and keeps the first proof)\n\
+     --sweep M      verification sweeps: compiled (default, bytecode VM) or\n\
+     \x20              tree (interpreter baseline; outcomes are identical)\n\
      --max-candidates N   per-submission candidate budget override\n\
      --time-budget-ms N   per-submission wall-clock budget override"
         .to_string()
@@ -571,6 +612,7 @@ pub fn parse_cli_options(args: &[String], default_attempts: usize) -> Result<Cli
         workers: 0,
         json: false,
         backend: Backend::Cegis,
+        sweep: SweepMode::default(),
         max_candidates: None,
         time_budget_ms: None,
     };
@@ -601,6 +643,16 @@ pub fn parse_cli_options(args: &[String], default_attempts: usize) -> Result<Cli
                 options.backend = Backend::parse(value).ok_or_else(|| {
                     CliError::new(format!(
                         "option '--backend' expects cegis, enum or portfolio, got '{value}'"
+                    ))
+                })?;
+            }
+            "--sweep" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::new("option '--sweep' requires a value".into()))?;
+                options.sweep = SweepMode::parse(value).ok_or_else(|| {
+                    CliError::new(format!(
+                        "option '--sweep' expects compiled or tree, got '{value}'"
                     ))
                 })?;
             }
@@ -766,6 +818,9 @@ mod tests {
             sat_propagations: 0,
             sat_learnts: 0,
             restarts: 0,
+            sweeps: 0,
+            sweep_inputs: 0,
+            verify_elapsed: Duration::ZERO,
             winners: Vec::new(),
             average_time: Duration::from_millis(120),
             median_time: Duration::from_millis(80),
@@ -794,6 +849,9 @@ mod tests {
             sat_propagations: 99_000,
             sat_learnts: 77,
             restarts: 3,
+            sweeps: 1_200,
+            sweep_inputs: 48_000,
+            verify_elapsed: Duration::from_millis(36),
             winners: vec![("cegis".to_string(), 18), ("enum".to_string(), 3)],
             average_time: Duration::from_millis(150),
             median_time: Duration::from_millis(90),
@@ -857,6 +915,22 @@ mod tests {
             parse_cli_options(&backend, 40).unwrap().backend,
             Backend::Portfolio
         );
+
+        // Sweep mode: compiled by default, tree as the A/B baseline, typos
+        // rejected.
+        assert_eq!(
+            parse_cli_options(&[], 40).unwrap().sweep,
+            SweepMode::Compiled
+        );
+        let tree: Vec<String> = vec!["--sweep".into(), "tree".into()];
+        let options = parse_cli_options(&tree, 40).unwrap();
+        assert_eq!(options.sweep, SweepMode::Tree);
+        let mut config = experiment_config();
+        options.apply_to(&mut config);
+        assert_eq!(config.equivalence.sweep, SweepMode::Tree);
+        let bad_sweep: Vec<String> = vec!["--sweep".into(), "jit".into()];
+        let err = parse_cli_options(&bad_sweep, 40).unwrap_err();
+        assert!(err.to_string().contains("compiled or tree"));
         let bad: Vec<String> = vec!["--backend".into(), "sketch".into()];
         let err = parse_cli_options(&bad, 40).unwrap_err();
         assert!(err.to_string().contains("cegis, enum or portfolio"));

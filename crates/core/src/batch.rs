@@ -67,6 +67,15 @@ pub struct WorkerStats {
     pub transfer_attempts: usize,
     /// Tried warm starts whose hypothesis verified.
     pub transfer_hits: usize,
+    /// Verification sweeps performed by this worker's fresh repairs
+    /// (cache replays do no verification work and are not counted).
+    pub sweeps: u64,
+    /// Candidate executions across those sweeps — one per
+    /// (assignment, input) pair the equivalence sessions ran.
+    pub sweep_inputs: u64,
+    /// Whether any of this worker's searches ran candidates on the
+    /// compiled bytecode VM rather than the tree walker.
+    pub sweep_compiled: bool,
 }
 
 impl WorkerStats {
@@ -84,7 +93,17 @@ impl WorkerStats {
         match outcome {
             GradeOutcome::SyntaxError(_) => self.syntax_errors += 1,
             GradeOutcome::Correct => self.correct += 1,
-            GradeOutcome::Feedback(_) => self.fixed += 1,
+            GradeOutcome::Feedback(feedback) => {
+                self.fixed += 1;
+                // A cache hit replays the donor's recorded statistics; the
+                // sweep counters track work *this* worker performed, so
+                // only fresh grades contribute.
+                if cache != Some(true) {
+                    self.sweeps += feedback.stats.sweeps;
+                    self.sweep_inputs += feedback.stats.sweep_inputs;
+                    self.sweep_compiled |= feedback.stats.sweep_compiled;
+                }
+            }
             GradeOutcome::CannotFix => self.cannot_fix += 1,
             GradeOutcome::Timeout => self.timeouts += 1,
         }
@@ -116,6 +135,9 @@ impl WorkerStats {
         self.cache_misses += other.cache_misses;
         self.transfer_attempts += other.transfer_attempts;
         self.transfer_hits += other.transfer_hits;
+        self.sweeps += other.sweeps;
+        self.sweep_inputs += other.sweep_inputs;
+        self.sweep_compiled |= other.sweep_compiled;
     }
 }
 

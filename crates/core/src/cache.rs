@@ -148,6 +148,12 @@ pub struct FingerprintCache {
 /// submission sizes this bounds each map to low hundreds of MB.
 const MAX_ENTRIES: usize = 65_536;
 
+/// How many learned killer inputs a cluster contributes to a warm start's
+/// priority counterexamples.  Small on purpose: each hint costs one
+/// candidate execution per surviving sweep, and the head of the lethality
+/// ranking carries nearly all of the rejection power.
+const KILLER_HINT_LIMIT: usize = 8;
+
 impl FingerprintCache {
     /// Creates an empty cache.
     pub fn new() -> FingerprintCache {
@@ -341,9 +347,25 @@ impl Autograder {
             let repair = index.observe(&cluster_key);
             (index, cluster_key, repair)
         });
-        let warm = cluster.as_ref().and_then(|(_, _, repair)| repair.as_ref());
+        // Learned input ordering: extend the transferred repair's priority
+        // counterexamples with the cluster's historically lethal deck
+        // indices, so the warm search probes likely killers before sweeping.
+        // Appending preserves the donor's own counterexamples; the search
+        // dedups and bounds-checks priority indices, so stale hints are
+        // harmless.
+        let warm = cluster.as_ref().and_then(|(index, cluster_key, repair)| {
+            repair.as_ref().map(|repair| {
+                let mut hinted = repair.clone();
+                for cex in index.killer_ordering(cluster_key, KILLER_HINT_LIMIT) {
+                    if !hinted.counterexamples.contains(&cex) {
+                        hinted.counterexamples.push(cex);
+                    }
+                }
+                hinted
+            })
+        });
 
-        let traced = self.grade_program_traced_warm(&program, warm);
+        let traced = self.grade_program_traced_warm(&program, warm.as_ref());
 
         // Transfer accounting: an attempt is a hypothesis the search
         // actually spent a verification sweep on; the conflicts-saved
@@ -383,6 +405,15 @@ impl Autograder {
                         },
                     );
                 }
+            }
+        }
+
+        // Killer-input statistics: remember which deck indices actually
+        // falsified this skeleton's candidates, so future cluster-mates
+        // sweep those inputs counterexample-first.
+        if let Some((index, cluster_key, _)) = &cluster {
+            if let Some(trace) = &traced.repair {
+                index.record_killers(cluster_key, &trace.counterexamples);
             }
         }
         let entry = match (&traced.outcome, traced.repair, traced.cacheable) {

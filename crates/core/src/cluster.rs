@@ -80,6 +80,11 @@ struct Cluster {
     /// The representative's repair, once one member earned a
     /// deterministic `Fixed` verdict.
     repair: Option<ClusterRepair>,
+    /// Killer-input statistics: oracle input index → how many times that
+    /// input surfaced as a counterexample while grading this cohort.  Used
+    /// to order future cluster-mates' verification sweeps
+    /// counterexample-first beyond the CEGIS-local priority list.
+    killer_counts: HashMap<usize, u64>,
 }
 
 /// Counters describing the index and how repair transfer has performed.
@@ -101,6 +106,9 @@ pub struct ClusterStats {
     /// Estimated SAT conflicts saved by hits: Σ max(0, donor conflicts −
     /// warm-run conflicts).
     pub conflicts_saved: u64,
+    /// Killer-input observations recorded across all clusters (one per
+    /// counterexample discovered while grading a cluster member).
+    pub killer_observations: u64,
 }
 
 impl ClusterStats {
@@ -148,6 +156,10 @@ impl ClusterIndex {
             transfer_attempts: self.attempts.load(Ordering::Relaxed),
             transfer_hits: self.hits.load(Ordering::Relaxed),
             conflicts_saved: self.conflicts_saved.load(Ordering::Relaxed),
+            killer_observations: clusters
+                .values()
+                .map(|c| c.killer_counts.values().sum::<u64>())
+                .sum(),
         }
     }
 
@@ -164,11 +176,47 @@ impl ClusterIndex {
                 key.to_string(),
                 Cluster {
                     members: 1,
-                    repair: None,
+                    ..Cluster::default()
                 },
             );
         }
         None
+    }
+
+    /// Records the counterexample input indices that refuted candidates
+    /// while grading a member of cluster `key` — the cohort's "killer
+    /// inputs".  Called post-grade with a search's accumulated
+    /// counterexample set.
+    pub(crate) fn record_killers(&self, key: &str, indices: &[usize]) {
+        if indices.is_empty() {
+            return;
+        }
+        let mut clusters = self.clusters.write().expect("cluster lock");
+        if let Some(cluster) = clusters.get_mut(key) {
+            for &index in indices {
+                *cluster.killer_counts.entry(index).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// The cohort's killer inputs for cluster `key`, most lethal first
+    /// (count descending, index ascending on ties — deterministic).  A
+    /// cluster-mate's verification sweep checks these before the plain
+    /// deck order; stale or out-of-range indices are harmless, each is
+    /// just a bounded-space input checked early (or skipped).
+    pub(crate) fn killer_ordering(&self, key: &str, limit: usize) -> Vec<usize> {
+        let clusters = self.clusters.read().expect("cluster lock");
+        let Some(cluster) = clusters.get(key) else {
+            return Vec::new();
+        };
+        let mut ranked: Vec<(usize, u64)> = cluster
+            .killer_counts
+            .iter()
+            .map(|(&index, &count)| (index, count))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(limit);
+        ranked.into_iter().map(|(index, _)| index).collect()
     }
 
     /// Installs `repair` as cluster `key`'s representative unless one is
@@ -230,6 +278,23 @@ mod tests {
         assert_eq!(stats.members, 4);
         assert_eq!(stats.largest, 4);
         assert_eq!(stats.repairs, 1);
+    }
+
+    #[test]
+    fn killer_ordering_ranks_by_lethality_then_index() {
+        let index = ClusterIndex::new();
+        index.observe("sk");
+        index.record_killers("sk", &[4, 2, 4]);
+        index.record_killers("sk", &[4, 7, 2]);
+        index.record_killers("sk", &[9]);
+        // Counts: 4→3, 2→2, 7→1, 9→1 ⇒ ties broken by ascending index.
+        assert_eq!(index.killer_ordering("sk", 16), vec![4, 2, 7, 9]);
+        assert_eq!(index.killer_ordering("sk", 2), vec![4, 2]);
+        assert!(index.killer_ordering("unknown", 16).is_empty());
+        // Recording against an untracked key is a no-op.
+        index.record_killers("unknown", &[1]);
+        assert!(index.killer_ordering("unknown", 16).is_empty());
+        assert_eq!(index.stats().killer_observations, 7);
     }
 
     #[test]

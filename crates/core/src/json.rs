@@ -69,6 +69,9 @@ impl ToJson for Feedback {
                     ("sat_propagations", self.stats.sat_propagations.to_json()),
                     ("sat_learnts", self.stats.sat_learnts.to_json()),
                     ("restarts", self.stats.restarts.to_json()),
+                    ("sweeps", self.stats.sweeps.to_json()),
+                    ("sweep_inputs", self.stats.sweep_inputs.to_json()),
+                    ("sweep_compiled", Json::Bool(self.stats.sweep_compiled)),
                     ("strategy", Json::str(self.stats.strategy)),
                     ("elapsed_ms", self.stats.elapsed.to_json()),
                 ]),
@@ -109,6 +112,9 @@ impl ToJson for WorkerStats {
             ("cache_misses", self.cache_misses.to_json()),
             ("transfer_attempts", self.transfer_attempts.to_json()),
             ("transfer_hits", self.transfer_hits.to_json()),
+            ("sweeps", self.sweeps.to_json()),
+            ("sweep_inputs", self.sweep_inputs.to_json()),
+            ("sweep_compiled", Json::Bool(self.sweep_compiled)),
         ])
     }
 }
@@ -138,6 +144,13 @@ impl FromJson for WorkerStats {
             // Absent in pre-clustering documents: read as 0, not an error.
             transfer_attempts: count("transfer_attempts").unwrap_or(0),
             transfer_hits: count("transfer_hits").unwrap_or(0),
+            // Likewise absent before compiled verification sweeps.
+            sweeps: count("sweeps").unwrap_or(0) as u64,
+            sweep_inputs: count("sweep_inputs").unwrap_or(0) as u64,
+            sweep_compiled: json
+                .get("sweep_compiled")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         })
     }
 }
@@ -203,6 +216,7 @@ impl ToJson for ClusterStats {
             ("transfer_hits", self.transfer_hits.to_json()),
             ("transfer_hit_rate", self.hit_rate().to_json()),
             ("conflicts_saved", self.conflicts_saved.to_json()),
+            ("killer_observations", self.killer_observations.to_json()),
         ])
     }
 }
@@ -223,6 +237,8 @@ impl FromJson for ClusterStats {
             transfer_attempts: count("transfer_attempts")?,
             transfer_hits: count("transfer_hits")?,
             conflicts_saved: count("conflicts_saved")?,
+            // Absent before killer-input learning: read as 0.
+            killer_observations: count("killer_observations").unwrap_or(0),
         })
     }
 }
@@ -321,6 +337,9 @@ mod tests {
             cache_misses: 4,
             transfer_attempts: 3,
             transfer_hits: 2,
+            sweeps: 17,
+            sweep_inputs: 420,
+            sweep_compiled: true,
         };
         let doc = parse_json(&stats.to_json().to_string()).unwrap();
         assert_eq!(WorkerStats::from_json(&doc).unwrap(), stats);
@@ -346,6 +365,7 @@ mod tests {
             transfer_attempts: 30,
             transfer_hits: 24,
             conflicts_saved: 1234,
+            killer_observations: 12,
         };
         let doc = stats.to_json();
         assert_eq!(

@@ -18,6 +18,8 @@
 //! The `properties` integration test enforces this agreement differentially
 //! across the benchmark corpus.
 
+use std::sync::Arc;
+
 use afg_ast::Program;
 use afg_eml::{
     concretize_expr, CExpr, CStmt, CStmtKind, ChoiceAssignment, ChoiceProgram, OpChoice,
@@ -44,6 +46,9 @@ pub struct ChoiceEvaluator<'p> {
     /// The student's helper functions, packaged as a plain program so the
     /// ordinary interpreter machinery can resolve calls to them.
     helpers: Program,
+    /// Entry-function parameter names interned once, so binding arguments
+    /// on every candidate run clones pointers instead of `String`s.
+    param_keys: Vec<Arc<str>>,
     limits: ExecLimits,
 }
 
@@ -55,6 +60,12 @@ impl<'p> ChoiceEvaluator<'p> {
         ChoiceEvaluator {
             program,
             helpers,
+            param_keys: program
+                .func
+                .params
+                .iter()
+                .map(|p| Arc::from(p.name.as_str()))
+                .collect(),
             limits,
         }
     }
@@ -80,6 +91,7 @@ impl<'p> ChoiceEvaluator<'p> {
         interp.choice = Some(ChoiceCtx {
             func: &self.program.func,
             assignment,
+            param_keys: &self.param_keys,
         });
         let value = interp.call_choice_func(args.to_vec())?;
         Ok(Outcome {
@@ -93,7 +105,7 @@ impl<'p> Interpreter<'p> {
     /// Calls the choice-bearing entry function of the active [`ChoiceCtx`].
     pub(crate) fn call_choice_func(&mut self, args: Vec<Value>) -> Result<Value, RuntimeError> {
         let ctx = self.choice.as_ref().expect("choice context is set");
-        let (func, assignment) = (ctx.func, ctx.assignment);
+        let (func, assignment, param_keys) = (ctx.func, ctx.assignment, ctx.param_keys);
         if self.depth >= self.limits.max_recursion {
             return Err(RuntimeError::RecursionLimit);
         }
@@ -106,8 +118,8 @@ impl<'p> Interpreter<'p> {
             )));
         }
         let mut frame = Frame::new();
-        for (param, arg) in func.params.iter().zip(args) {
-            frame.insert(param.name.clone(), arg);
+        for (key, arg) in param_keys.iter().zip(args) {
+            frame.insert(Arc::clone(key), arg);
         }
         self.depth += 1;
         let flow = self.exec_cblock(&func.body, assignment, &mut frame);
@@ -185,9 +197,10 @@ impl<'p> Interpreter<'p> {
             }
             CStmtKind::For(var, iter, body) => {
                 let items = iterable_items(&self.eval_cexpr(iter, assignment, frame)?)?;
+                let key: Arc<str> = Arc::from(var.as_str());
                 for item in items {
                     self.charge(1)?;
-                    frame.insert(var.clone(), item);
+                    frame.insert(Arc::clone(&key), item);
                     match self.exec_cblock(body, assignment, frame)? {
                         Flow::Break => break,
                         Flow::Return(v) => return Ok(Flow::Return(v)),

@@ -7,10 +7,13 @@
 //! reference outcome on every bounded input once, then answers
 //! counterexample queries for candidate programs.
 
+use std::cell::RefCell;
+
 use afg_ast::types::MpyType;
 use afg_ast::Program;
 use afg_eml::{ChoiceAssignment, ChoiceProgram};
 
+use crate::bytecode::{CompiledProgram, TraceStep, Vm};
 use crate::choice_eval::ChoiceEvaluator;
 use crate::error::RuntimeError;
 use crate::inputs::InputSpace;
@@ -65,6 +68,38 @@ impl ExecResult {
     }
 }
 
+/// How candidate programs are executed during verification sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SweepMode {
+    /// Walk the shared (choice) AST per input — the original evaluator and
+    /// the semantic ground truth.
+    Tree,
+    /// Lower the candidate space to bytecode once and run the deck through
+    /// the [`Vm`] (behaviour- and fuel-identical; programs the compiler
+    /// cannot lower silently fall back to the tree walker).
+    #[default]
+    Compiled,
+}
+
+impl SweepMode {
+    /// Parses `"tree"` / `"compiled"` (CLI A/B flags).
+    pub fn parse(text: &str) -> Option<SweepMode> {
+        match text {
+            "tree" => Some(SweepMode::Tree),
+            "compiled" => Some(SweepMode::Compiled),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (`"tree"` / `"compiled"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepMode::Tree => "tree",
+            SweepMode::Compiled => "compiled",
+        }
+    }
+}
+
 /// Configuration of the equivalence check.
 #[derive(Debug, Clone)]
 pub struct EquivalenceConfig {
@@ -77,6 +112,13 @@ pub struct EquivalenceConfig {
     /// Whether printed output is part of the observable behaviour
     /// (only the stdin/print style problems set this).
     pub compare_output: bool,
+    /// Execution back end for verification sweeps.
+    pub sweep: SweepMode,
+    /// Whether compiled sweeps may memoize check verdicts on the choice
+    /// sites a run actually consults (sound observational-equivalence
+    /// caching over consultation traces).  On by default; benchmarks that
+    /// want to time raw execution turn it off.
+    pub sweep_cache: bool,
 }
 
 impl Default for EquivalenceConfig {
@@ -86,6 +128,8 @@ impl Default for EquivalenceConfig {
             limits: ExecLimits::fast(),
             entry: None,
             compare_output: false,
+            sweep: SweepMode::default(),
+            sweep_cache: true,
         }
     }
 }
@@ -111,12 +155,33 @@ impl EquivalenceOracle {
         config: EquivalenceConfig,
     ) -> EquivalenceOracle {
         let inputs = config.space.enumerate_args(param_types);
-        let reference_results = inputs
-            .iter()
-            .map(|args| {
-                ExecResult::observe(reference, config.entry.as_deref(), args, config.limits)
-            })
-            .collect();
+        // Reference pre-pass: compile once and run the whole deck through
+        // the VM when the sweep mode allows it (behaviour-identical to the
+        // tree walker; the differential suite enforces this).
+        let compiled = match config.sweep {
+            SweepMode::Compiled => {
+                CompiledProgram::from_program(reference, config.entry.as_deref())
+            }
+            SweepMode::Tree => None,
+        };
+        let reference_results = match &compiled {
+            Some(compiled) => {
+                let mut vm = Vm::new(config.limits);
+                inputs
+                    .iter()
+                    .map(|args| match vm.run(compiled, args) {
+                        Ok(outcome) => ExecResult::Ok(outcome),
+                        Err(err) => ExecResult::Err(err.kind()),
+                    })
+                    .collect()
+            }
+            None => inputs
+                .iter()
+                .map(|args| {
+                    ExecResult::observe(reference, config.entry.as_deref(), args, config.limits)
+                })
+                .collect(),
+        };
         EquivalenceOracle {
             inputs,
             reference_results,
@@ -187,19 +252,274 @@ impl EquivalenceOracle {
     /// their hot loop; [`ChoiceProgram::concretize`] remains the cold path
     /// for rendering the final repaired program.
     pub fn choice_session<'a>(&'a self, program: &'a ChoiceProgram) -> ChoiceSession<'a> {
+        let compiled = match self.config.sweep {
+            SweepMode::Compiled => CompiledProgram::from_choice(program),
+            SweepMode::Tree => None,
+        };
         ChoiceSession {
             oracle: self,
             evaluator: ChoiceEvaluator::new(program, self.config.limits),
+            compiled,
+            scratch: RefCell::new(SweepScratch::new(self.config.limits)),
         }
+    }
+
+    /// The configured sweep mode.
+    pub fn sweep_mode(&self) -> SweepMode {
+        self.config.sweep
+    }
+}
+
+/// Counters describing the verification work one session performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Full-deck sweeps answered (`find_counterexample` / `sweep` calls).
+    pub sweeps: u64,
+    /// Candidate checks answered (one per (assignment, input) pair),
+    /// whether executed or answered from the verdict cache.
+    pub inputs_run: u64,
+    /// Checks answered from the verdict cache without executing (always 0
+    /// on the tree path or with `sweep_cache` off).
+    pub cache_hits: u64,
+    /// Whether the session ran candidates on the bytecode VM (false when
+    /// the mode is [`SweepMode::Tree`] or the program failed to compile).
+    pub compiled: bool,
+}
+
+/// Sound memoization of check verdicts across candidates, keyed on the
+/// choice sites a run *actually consults*.
+///
+/// A compiled run is a deterministic function of its input and the
+/// sequence of (site, clamped option) consultations the VM records as its
+/// [`TraceStep`] trace — two candidates that agree on every consulted
+/// site behave identically on that input, whatever they do elsewhere.
+/// The cache stores, per input, a decision trie over consultations:
+/// branches ask "which option does the current selection take at site
+/// `s`?", leaves hold the check verdict.  Lookups walk the trie against
+/// the loaded selection without executing anything; misses run the
+/// candidate and insert the recorded path.  This is the observational-
+/// equivalence reduction that makes CEGIS sweeps cheap: solver proposals
+/// differ from already-checked candidates in a handful of sites, and a
+/// given counterexample input rarely executes the changed site.
+#[derive(Debug, Clone, Default)]
+struct VerdictCache {
+    /// Per-input root node, `u32::MAX` ⇔ nothing cached yet.
+    roots: Vec<u32>,
+    nodes: Vec<CacheNode>,
+}
+
+#[derive(Debug, Clone)]
+enum CacheNode {
+    /// Check verdict for the consultation path leading here.
+    Leaf(bool),
+    /// The run consults `site` next (with `bound` options at the
+    /// consulting instruction); children are (clamped option, node),
+    /// linear-scanned — option counts are tiny.
+    Branch {
+        site: u32,
+        bound: u32,
+        children: Vec<(u32, u32)>,
+    },
+}
+
+/// Arena-growth backstop: stop inserting (lookups keep working) once the
+/// trie holds this many nodes, so adversarial programs with thousands of
+/// hot choice sites cannot balloon a session's memory.
+const CACHE_NODE_CAP: usize = 1 << 20;
+
+const NO_NODE: u32 = u32::MAX;
+
+impl VerdictCache {
+    /// Answers the check for `input` under `selection` if some previously
+    /// executed candidate agreed with it on every consulted site.
+    fn lookup(&self, input: usize, selection: &[usize]) -> Option<bool> {
+        let mut node = *self.roots.get(input)?;
+        loop {
+            match self.nodes.get(node as usize)? {
+                CacheNode::Leaf(verdict) => return Some(*verdict),
+                CacheNode::Branch {
+                    site,
+                    bound,
+                    children,
+                } => {
+                    let option = selection
+                        .get(*site as usize)
+                        .copied()
+                        .unwrap_or(0)
+                        .min(*bound as usize - 1) as u32;
+                    node = children.iter().find(|(o, _)| *o == option)?.1;
+                }
+            }
+        }
+    }
+
+    /// Records a run's consultation trace and its check verdict.
+    fn insert(&mut self, input: usize, trace: &[TraceStep], verdict: bool) {
+        if self.nodes.len() >= CACHE_NODE_CAP {
+            return;
+        }
+        if input >= self.roots.len() {
+            self.roots.resize(input + 1, NO_NODE);
+        }
+        // Walk the already-cached prefix.  `link` is where the next node
+        // pointer lives: the input's root slot, or a missing child edge.
+        let mut link = Link::Root(input);
+        let mut depth = 0usize;
+        while let Some(node) = self.get(link) {
+            match &self.nodes[node as usize] {
+                // Full path already cached (determinism guarantees the
+                // stored verdict equals ours).
+                CacheNode::Leaf(_) => return,
+                CacheNode::Branch {
+                    site,
+                    bound,
+                    children,
+                } => {
+                    // A trace shorter than the stored path, or consulting
+                    // a different site, would mean the VM is not
+                    // deterministic; bail out rather than corrupt the trie.
+                    let Some(step) = trace.get(depth) else { return };
+                    if *site != step.site || *bound != step.bound {
+                        debug_assert!(false, "non-deterministic consultation order");
+                        return;
+                    }
+                    match children.iter().find(|(o, _)| *o == step.option) {
+                        Some(&(_, child)) => {
+                            link = Link::Child(node as usize, step.option);
+                            debug_assert!(self.get(link) == Some(child));
+                        }
+                        None => link = Link::Child(node as usize, step.option),
+                    }
+                    depth += 1;
+                }
+            }
+        }
+        // Append the uncached suffix, one single-child branch per step.
+        for step in &trace[depth..] {
+            if self.nodes.len() >= CACHE_NODE_CAP {
+                return;
+            }
+            let fresh = self.nodes.len() as u32;
+            self.nodes.push(CacheNode::Branch {
+                site: step.site,
+                bound: step.bound,
+                children: Vec::new(),
+            });
+            self.set(link, fresh);
+            link = Link::Child(fresh as usize, step.option);
+        }
+        if self.nodes.len() >= CACHE_NODE_CAP {
+            return;
+        }
+        let leaf = self.nodes.len() as u32;
+        self.nodes.push(CacheNode::Leaf(verdict));
+        self.set(link, leaf);
+    }
+
+    fn get(&self, link: Link) -> Option<u32> {
+        let node = match link {
+            Link::Root(input) => self.roots[input],
+            Link::Child(node, option) => match &self.nodes[node] {
+                CacheNode::Branch { children, .. } => children
+                    .iter()
+                    .find(|(o, _)| *o == option)
+                    .map_or(NO_NODE, |(_, n)| *n),
+                CacheNode::Leaf(_) => NO_NODE,
+            },
+        };
+        (node != NO_NODE).then_some(node)
+    }
+
+    fn set(&mut self, link: Link, node: u32) {
+        match link {
+            Link::Root(input) => self.roots[input] = node,
+            Link::Child(parent, option) => {
+                if let CacheNode::Branch { children, .. } = &mut self.nodes[parent] {
+                    children.push((option, node));
+                }
+            }
+        }
+    }
+}
+
+/// A position in the [`VerdictCache`] trie where a node pointer lives.
+#[derive(Debug, Clone, Copy)]
+enum Link {
+    Root(usize),
+    Child(usize, u32),
+}
+
+/// Reusable per-session scratch: the bytecode VM (operand stack, slot
+/// arena, selection array), a generation-stamped visited set (so a sweep
+/// allocates nothing — replacing the former per-sweep `vec![false;
+/// total]`), and the cross-candidate verdict cache.
+#[derive(Debug, Clone)]
+struct SweepScratch {
+    vm: Vm,
+    /// `marks[i] == generation` ⇔ input `i` was already checked during the
+    /// current sweep.  Bumping the generation invalidates every mark at
+    /// once, so the buffer never needs clearing.
+    marks: Vec<u32>,
+    generation: u32,
+    cache: VerdictCache,
+    sweeps: u64,
+    inputs_run: u64,
+    cache_hits: u64,
+}
+
+impl SweepScratch {
+    fn new(limits: ExecLimits) -> SweepScratch {
+        SweepScratch {
+            vm: Vm::new(limits),
+            marks: Vec::new(),
+            generation: 0,
+            cache: VerdictCache::default(),
+            sweeps: 0,
+            inputs_run: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Starts a fresh visited set covering `total` inputs.
+    fn begin_marks(&mut self, total: usize) {
+        if self.marks.len() < total {
+            self.marks.resize(total, 0);
+        }
+        // On wrap-around, stale marks could alias the new generation; reset
+        // the buffer (once every 2^32 sweeps) to keep the trick sound.
+        self.generation = match self.generation.checked_add(1) {
+            Some(g) => g,
+            None => {
+                self.marks.fill(0);
+                1
+            }
+        };
+    }
+
+    fn mark(&mut self, index: usize) {
+        self.marks[index] = self.generation;
+    }
+
+    fn is_marked(&self, index: usize) -> bool {
+        self.marks[index] == self.generation
     }
 }
 
 /// A verification session over one candidate space (one transformed
 /// submission), bound to the oracle's cached reference results.
-#[derive(Debug, Clone)]
+///
+/// Under [`SweepMode::Compiled`] the choice program is lowered to bytecode
+/// once at session open; every candidate evaluation afterwards loads the
+/// assignment into the VM's selection array and sweeps the input deck
+/// through one reusable scratch arena.  The tree-walking
+/// [`ChoiceEvaluator`] remains both the fallback (for programs the
+/// compiler cannot lower) and the A/B baseline.
+#[derive(Debug)]
 pub struct ChoiceSession<'a> {
     oracle: &'a EquivalenceOracle,
     evaluator: ChoiceEvaluator<'a>,
+    compiled: Option<CompiledProgram>,
+    scratch: RefCell<SweepScratch>,
 }
 
 impl<'a> ChoiceSession<'a> {
@@ -208,27 +528,115 @@ impl<'a> ChoiceSession<'a> {
         self.oracle
     }
 
-    /// Runs the candidate selected by `assignment` on one input and captures
-    /// the result.
-    pub fn observe(&self, assignment: &ChoiceAssignment, index: usize) -> ExecResult {
-        match self.evaluator.run(assignment, &self.oracle.inputs[index]) {
+    /// Whether candidates run on the bytecode VM (as opposed to the
+    /// tree-walking fallback).
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// The verification-work counters accumulated so far.
+    pub fn sweep_stats(&self) -> SweepStats {
+        let scratch = self.scratch.borrow();
+        SweepStats {
+            sweeps: scratch.sweeps,
+            inputs_run: scratch.inputs_run,
+            cache_hits: scratch.cache_hits,
+            compiled: self.compiled.is_some(),
+        }
+    }
+
+    /// Loads `assignment` into the VM selection array (no-op on the tree
+    /// path, where the evaluator consults the assignment directly).
+    fn prepare(&self, scratch: &mut SweepScratch, assignment: &ChoiceAssignment) {
+        if let Some(compiled) = &self.compiled {
+            scratch.vm.select(compiled, assignment);
+        }
+    }
+
+    /// Runs the prepared candidate on one input.  `prepare` must have been
+    /// called with the same assignment first.
+    fn run_prepared(
+        &self,
+        scratch: &mut SweepScratch,
+        assignment: &ChoiceAssignment,
+        index: usize,
+    ) -> ExecResult {
+        scratch.inputs_run += 1;
+        let result = match &self.compiled {
+            Some(compiled) => scratch.vm.run(compiled, &self.oracle.inputs[index]),
+            None => self.evaluator.run(assignment, &self.oracle.inputs[index]),
+        };
+        match result {
             Ok(outcome) => ExecResult::Ok(outcome),
             Err(err) => ExecResult::Err(err.kind()),
         }
     }
 
-    /// Checks the candidate on a single input, by index.
-    pub fn check_input(&self, assignment: &ChoiceAssignment, index: usize) -> bool {
-        self.observe(assignment, index).matches(
+    fn check_prepared(
+        &self,
+        scratch: &mut SweepScratch,
+        assignment: &ChoiceAssignment,
+        index: usize,
+    ) -> bool {
+        // The compiled path checks in place: the outcome stays inside the
+        // VM scratch (no output-vector move, no `ExecResult` built), which
+        // matters in the CEGIS mix where most sweeps die after a handful
+        // of runs.  Matching semantics are identical to `matches`.
+        if let Some(compiled) = &self.compiled {
+            scratch.inputs_run += 1;
+            let cached = self.oracle.config.sweep_cache;
+            if cached {
+                if let Some(verdict) = scratch.cache.lookup(index, scratch.vm.selection()) {
+                    scratch.cache_hits += 1;
+                    return verdict;
+                }
+            }
+            let run = scratch
+                .vm
+                .run_for_check(compiled, &self.oracle.inputs[index]);
+            let verdict = match (&run, &self.oracle.reference_results[index]) {
+                // Reference errors put the input outside the reference's
+                // domain; it never counts against the student.
+                (_, ExecResult::Err(_)) => true,
+                (Ok(()), ExecResult::Ok(reference)) => scratch
+                    .vm
+                    .outcome_matches(reference, self.oracle.config.compare_output),
+                (Err(_), ExecResult::Ok(_)) => false,
+            };
+            if cached {
+                scratch.cache.insert(index, scratch.vm.trace(), verdict);
+            }
+            return verdict;
+        }
+        self.run_prepared(scratch, assignment, index).matches(
             &self.oracle.reference_results[index],
             self.oracle.config.compare_output,
         )
     }
 
+    /// Runs the candidate selected by `assignment` on one input and captures
+    /// the result.
+    pub fn observe(&self, assignment: &ChoiceAssignment, index: usize) -> ExecResult {
+        let scratch = &mut *self.scratch.borrow_mut();
+        self.prepare(scratch, assignment);
+        self.run_prepared(scratch, assignment, index)
+    }
+
+    /// Checks the candidate on a single input, by index.
+    pub fn check_input(&self, assignment: &ChoiceAssignment, index: usize) -> bool {
+        let scratch = &mut *self.scratch.borrow_mut();
+        self.prepare(scratch, assignment);
+        self.check_prepared(scratch, assignment, index)
+    }
+
     /// Runs the candidate on an explicit list of input indices (the CEGIS
     /// counterexample set) and reports whether it agrees on all of them.
     pub fn agrees_on(&self, assignment: &ChoiceAssignment, indices: &[usize]) -> bool {
-        indices.iter().all(|&i| self.check_input(assignment, i))
+        let scratch = &mut *self.scratch.borrow_mut();
+        self.prepare(scratch, assignment);
+        indices
+            .iter()
+            .all(|&i| self.check_prepared(scratch, assignment, i))
     }
 
     /// Finds the first input on which the candidate disagrees with the
@@ -245,34 +653,43 @@ impl<'a> ChoiceSession<'a> {
         assignment: &ChoiceAssignment,
         priority: &[usize],
     ) -> Option<usize> {
+        let scratch = &mut *self.scratch.borrow_mut();
+        scratch.sweeps += 1;
+        self.prepare(scratch, assignment);
         for &index in priority {
-            if !self.check_input(assignment, index) {
+            if !self.check_prepared(scratch, assignment, index) {
                 return Some(index);
             }
         }
         let total = self.oracle.inputs.len();
         if priority.is_empty() {
-            return (0..total).find(|&i| !self.check_input(assignment, i));
+            return (0..total).find(|&i| !self.check_prepared(scratch, assignment, i));
         }
         // Mark the already-checked indices once instead of scanning the
         // priority list per input — with warm starts pre-seeding whole
         // counterexample sets, that scan would make every surviving
-        // sweep O(|inputs| · |priority|).
-        let mut already_checked = vec![false; total];
+        // sweep O(|inputs| · |priority|).  The generation-stamped mark
+        // buffer persists across sweeps, so this allocates nothing.
+        scratch.begin_marks(total);
         for &index in priority {
             if index < total {
-                already_checked[index] = true;
+                scratch.mark(index);
             }
         }
-        (0..total)
-            .filter(|&i| !already_checked[i])
-            .find(|&i| !self.check_input(assignment, i))
+        (0..total).find(|&i| !scratch.is_marked(i) && !self.check_prepared(scratch, assignment, i))
+    }
+
+    /// Deck-batched sweep: evaluates the candidate across the entire
+    /// precomputed input deck in one pass and returns the first failing
+    /// input index (`None` ⇔ equivalent on the bounded space).
+    pub fn sweep(&self, assignment: &ChoiceAssignment) -> Option<usize> {
+        self.find_counterexample(assignment, &[])
     }
 
     /// Whether the candidate is equivalent to the reference on the whole
     /// bounded space.
     pub fn is_equivalent(&self, assignment: &ChoiceAssignment) -> bool {
-        self.find_counterexample(assignment, &[]).is_none()
+        self.sweep(assignment).is_none()
     }
 }
 

@@ -14,6 +14,7 @@
 //! out of fuel surfaces as [`RuntimeError::FuelExhausted`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use afg_ast::ops::{BinOp, BoolOp, CmpOp, UnaryOp};
 use afg_ast::{Expr, FuncDef, Program, Stmt, StmtKind, Target};
@@ -70,7 +71,11 @@ pub(crate) enum Flow {
     Continue,
 }
 
-pub(crate) type Frame = HashMap<String, Value>;
+/// A local frame.  Keyed by shared `Arc<str>` so hot binding sites (entry
+/// parameters, loop variables) clone a pointer instead of the name's bytes;
+/// `Arc` rather than `Rc` because [`crate::ChoiceEvaluator`] shares its
+/// pre-resolved parameter keys across grading threads.
+pub(crate) type Frame = HashMap<Arc<str>, Value>;
 
 /// The choice context of an interpreter evaluating an M̃PY program directly:
 /// the choice-bearing entry function plus the option selection to apply at
@@ -78,6 +83,9 @@ pub(crate) type Frame = HashMap<String, Value>;
 pub(crate) struct ChoiceCtx<'p> {
     pub(crate) func: &'p afg_eml::CFuncDef,
     pub(crate) assignment: &'p afg_eml::ChoiceAssignment,
+    /// Parameter names of `func`, interned once per evaluator so binding
+    /// arguments on every candidate run allocates nothing.
+    pub(crate) param_keys: &'p [Arc<str>],
 }
 
 /// An interpreter instance bound to one program.
@@ -171,6 +179,12 @@ impl<'p> Interpreter<'p> {
         }
     }
 
+    /// Fuel consumed by the most recent entry-point call (complete or
+    /// not), for differential fuel-parity checks against the bytecode VM.
+    pub fn fuel_used(&self) -> u64 {
+        self.limits.fuel - self.fuel
+    }
+
     pub(crate) fn charge(&mut self, amount: u64) -> Result<(), RuntimeError> {
         if self.fuel < amount {
             return Err(RuntimeError::FuelExhausted);
@@ -197,7 +211,7 @@ impl<'p> Interpreter<'p> {
         }
         let mut frame = Frame::new();
         for (param, arg) in func.params.iter().zip(args) {
-            frame.insert(param.name.clone(), arg);
+            frame.insert(Arc::from(param.name.as_str()), arg);
         }
         self.depth += 1;
         let flow = self.exec_block(&func.body, &mut frame);
@@ -261,9 +275,10 @@ impl<'p> Interpreter<'p> {
             }
             StmtKind::For(var, iter, body) => {
                 let items = iterable_items(&self.eval(iter, frame)?)?;
+                let key: Arc<str> = Arc::from(var.as_str());
                 for item in items {
                     self.charge(1)?;
-                    frame.insert(var.clone(), item);
+                    frame.insert(Arc::clone(&key), item);
                     match self.exec_block(body, frame)? {
                         Flow::Break => break,
                         Flow::Return(v) => return Ok(Flow::Return(v)),
@@ -301,7 +316,7 @@ impl<'p> Interpreter<'p> {
     ) -> Result<(), RuntimeError> {
         match target {
             Target::Var(name) => {
-                frame.insert(name.clone(), value);
+                frame.insert(Arc::from(name.as_str()), value);
                 Ok(())
             }
             Target::Index(base, index) => {
@@ -350,7 +365,7 @@ impl<'p> Interpreter<'p> {
     ) -> Result<Value, RuntimeError> {
         match target {
             Target::Var(name) => frame
-                .get(name)
+                .get(name.as_str())
                 .cloned()
                 .ok_or_else(|| RuntimeError::Name(format!("name '{name}' is not defined"))),
             Target::Index(base, index) => {
@@ -372,7 +387,7 @@ impl<'p> Interpreter<'p> {
             Expr::Str(s) => Ok(Value::Str(s.clone())),
             Expr::None => Ok(Value::None),
             Expr::Var(name) => frame
-                .get(name)
+                .get(name.as_str())
                 .cloned()
                 .ok_or_else(|| RuntimeError::Name(format!("name '{name}' is not defined"))),
             Expr::List(items) => {

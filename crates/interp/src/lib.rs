@@ -29,6 +29,7 @@
 //! ```
 
 pub mod builtins;
+pub mod bytecode;
 pub mod choice_eval;
 pub mod equiv;
 pub mod error;
@@ -36,9 +37,11 @@ pub mod inputs;
 pub mod interp;
 pub mod value;
 
+pub use bytecode::{CompiledProgram, Vm};
 pub use choice_eval::ChoiceEvaluator;
 pub use equiv::{
-    classify, ChoiceSession, EquivalenceConfig, EquivalenceOracle, ExecResult, Verdict,
+    classify, ChoiceSession, EquivalenceConfig, EquivalenceOracle, ExecResult, SweepMode,
+    SweepStats, Verdict,
 };
 pub use error::RuntimeError;
 pub use inputs::InputSpace;

@@ -111,31 +111,62 @@ impl Value {
     /// Renders the value the way Python's `repr` would (single-quoted
     /// strings, `True`/`False`, `None`).
     pub fn repr(&self) -> String {
+        let mut out = String::new();
+        self.repr_into(&mut out);
+        out
+    }
+
+    /// Appends the `repr` rendering to `out` without allocating
+    /// intermediate strings per element.
+    pub fn repr_into(&self, out: &mut String) {
+        use std::fmt::Write;
         match self {
-            Value::Int(v) => v.to_string(),
-            Value::Bool(true) => "True".to_string(),
-            Value::Bool(false) => "False".to_string(),
-            Value::Str(s) => format!("'{s}'"),
+            Value::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Bool(true) => out.push_str("True"),
+            Value::Bool(false) => out.push_str("False"),
+            Value::Str(s) => {
+                out.push('\'');
+                out.push_str(s);
+                out.push('\'');
+            }
             Value::List(items) => {
-                let inner: Vec<String> = items.iter().map(Value::repr).collect();
-                format!("[{}]", inner.join(", "))
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.repr_into(out);
+                }
+                out.push(']');
             }
             Value::Tuple(items) => {
-                let inner: Vec<String> = items.iter().map(Value::repr).collect();
-                if items.len() == 1 {
-                    format!("({},)", inner[0])
-                } else {
-                    format!("({})", inner.join(", "))
+                out.push('(');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.repr_into(out);
                 }
+                if items.len() == 1 {
+                    out.push(',');
+                }
+                out.push(')');
             }
             Value::Dict(items) => {
-                let inner: Vec<String> = items
-                    .iter()
-                    .map(|(k, v)| format!("{}: {}", k.repr(), v.repr()))
-                    .collect();
-                format!("{{{}}}", inner.join(", "))
+                out.push('{');
+                for (i, (k, v)) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    k.repr_into(out);
+                    out.push_str(": ");
+                    v.repr_into(out);
+                }
+                out.push('}');
             }
-            Value::None => "None".to_string(),
+            Value::None => out.push_str("None"),
         }
     }
 
@@ -144,6 +175,15 @@ impl Value {
         match self {
             Value::Str(s) => s.clone(),
             other => other.repr(),
+        }
+    }
+
+    /// Appends the `str` rendering to `out` — the allocation-free form of
+    /// [`Value::display_str`] used by the bytecode VM's print path.
+    pub fn display_into(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => out.push_str(s),
+            other => other.repr_into(out),
         }
     }
 

@@ -40,6 +40,8 @@ pub struct OutcomeCounters {
     sat_propagations: AtomicU64,
     sat_learnts: AtomicU64,
     restarts: AtomicU64,
+    sweeps: AtomicU64,
+    sweep_inputs: AtomicU64,
 }
 
 impl OutcomeCounters {
@@ -69,6 +71,10 @@ impl OutcomeCounters {
                 .fetch_add(feedback.stats.sat_learnts, Ordering::Relaxed);
             self.restarts
                 .fetch_add(feedback.stats.restarts, Ordering::Relaxed);
+            self.sweeps
+                .fetch_add(feedback.stats.sweeps, Ordering::Relaxed);
+            self.sweep_inputs
+                .fetch_add(feedback.stats.sweep_inputs, Ordering::Relaxed);
         }
     }
 
@@ -104,6 +110,19 @@ impl OutcomeCounters {
                 self.sat_learnts.load(Ordering::Relaxed).to_json(),
             ),
             ("restarts", self.restarts.load(Ordering::Relaxed).to_json()),
+        ])
+    }
+
+    /// Verification-sweep work accumulated from fresh (non-cache) grades;
+    /// `mode` comes from the grader's configuration.
+    fn sweep_snapshot(&self, mode: &str) -> Json {
+        Json::object([
+            ("mode", Json::str(mode)),
+            ("sweeps", self.sweeps.load(Ordering::Relaxed).to_json()),
+            (
+                "sweep_inputs",
+                self.sweep_inputs.load(Ordering::Relaxed).to_json(),
+            ),
         ])
     }
 }
@@ -143,6 +162,11 @@ impl ProblemEntry {
             ("escalation".to_string(), Json::Array(escalation)),
             ("outcomes".to_string(), self.counters.snapshot()),
             ("solver".to_string(), self.counters.solver_snapshot()),
+            (
+                "sweep".to_string(),
+                self.counters
+                    .sweep_snapshot(config.equivalence.sweep.name()),
+            ),
         ];
         match &self.cache {
             Some(cache) => pairs.push(("cache".to_string(), cache.stats().to_json())),

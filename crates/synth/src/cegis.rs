@@ -96,7 +96,10 @@ impl SearchStrategy for CegisSolver {
         // all-default assignment) so grading materialises nothing.
         let default_assignment = afg_eml::ChoiceAssignment::default_choices();
         stats.candidates_checked += 1;
-        let first_cex = match session.find_counterexample(&default_assignment, &[]) {
+        let verify_start = Instant::now();
+        let first_cex = session.find_counterexample(&default_assignment, &[]);
+        stats.verify_elapsed += verify_start.elapsed();
+        let first_cex = match first_cex {
             None => return SynthesisOutcome::AlreadyCorrect,
             Some(cex) => cex,
         };
@@ -140,7 +143,10 @@ impl SearchStrategy for CegisSolver {
             if cost > 0 && cost <= config.max_cost && assignment_fits(program, hypothesis) {
                 stats.warm_start_attempted = true;
                 stats.candidates_checked += 1;
-                match session.find_counterexample(hypothesis, &counterexamples) {
+                let verify_start = Instant::now();
+                let hypothesis_cex = session.find_counterexample(hypothesis, &counterexamples);
+                stats.verify_elapsed += verify_start.elapsed();
+                match hypothesis_cex {
                     None => {
                         stats.warm_start_verified = true;
                         best = Some(Solution {
@@ -183,7 +189,10 @@ impl SearchStrategy for CegisSolver {
             // consistent with all blocking clauses, under the current cost
             // bound assumption.
             let assumptions = encoding.cost_bound_assumptions(bound);
-            let assignment = match solver.solve_under_assumptions(&assumptions) {
+            let sat_start = Instant::now();
+            let proposal = solver.solve_under_assumptions(&assumptions);
+            stats.sat_elapsed += sat_start.elapsed();
+            let assignment = match proposal {
                 SatResult::Unsat => {
                     // No candidate under the bound: whatever we hold is the
                     // proven minimum (or the model can't repair this at all).
@@ -207,7 +216,10 @@ impl SearchStrategy for CegisSolver {
             // Verification phase: bounded-exhaustive equivalence check over
             // the shared choice AST, accumulated counterexamples first — the
             // fast-rejection path and the full sweep in one ordered pass.
-            match session.find_counterexample(&assignment, &counterexamples) {
+            let verify_start = Instant::now();
+            let verdict = session.find_counterexample(&assignment, &counterexamples);
+            stats.verify_elapsed += verify_start.elapsed();
+            match verdict {
                 Some(cex) => {
                     if seen_counterexamples.insert(cex) {
                         counterexamples.push(cex);
@@ -244,6 +256,10 @@ impl SearchStrategy for CegisSolver {
         stats.sat_propagations = sat.propagations;
         stats.sat_learnts = sat.learnts;
         stats.restarts = sat.restarts;
+        let sweep = session.sweep_stats();
+        stats.sweeps = sweep.sweeps;
+        stats.sweep_inputs = sweep.inputs_run;
+        stats.sweep_compiled = sweep.compiled;
         stats.elapsed = start.elapsed();
         match best {
             Some(mut solution) => {

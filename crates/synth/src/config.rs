@@ -56,6 +56,16 @@ pub struct SynthesisStats {
     pub sat_learnts: u64,
     /// SAT restarts performed.
     pub restarts: u64,
+    /// Verification sweeps answered by the equivalence session
+    /// (`find_counterexample` calls, including the already-correct check).
+    pub sweeps: u64,
+    /// Candidate executions performed during those sweeps — one per
+    /// (assignment, input) pair actually run.
+    pub sweep_inputs: u64,
+    /// Whether verification ran on the compiled bytecode VM (false under
+    /// [`afg_interp::SweepMode::Tree`] or when the candidate space used a
+    /// construct the compiler cannot lower).
+    pub sweep_compiled: bool,
     /// Which strategy produced this result (`"cegis"`, `"enum"`, …; for a
     /// portfolio run, the *winning* strategy).
     pub strategy: &'static str,
@@ -76,6 +86,12 @@ pub struct SynthesisStats {
     pub descent_learnts: Vec<u64>,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+    /// The share of `elapsed` spent inside SAT `solve` calls (zero for
+    /// SAT-free back ends).
+    pub sat_elapsed: Duration,
+    /// The share of `elapsed` spent in verification sweeps
+    /// (`find_counterexample` calls against the equivalence session).
+    pub verify_elapsed: Duration,
 }
 
 impl SynthesisStats {
@@ -94,6 +110,11 @@ impl SynthesisStats {
         self.sat_propagations += other.sat_propagations;
         self.sat_learnts += other.sat_learnts;
         self.restarts += other.restarts;
+        self.sweeps += other.sweeps;
+        self.sweep_inputs += other.sweep_inputs;
+        self.sweep_compiled |= other.sweep_compiled;
+        self.sat_elapsed += other.sat_elapsed;
+        self.verify_elapsed += other.verify_elapsed;
         // The warm-start flags describe the race as a whole — a transfer
         // tried by a losing racer must stay visible in the merged report,
         // or the cluster index undercounts whenever the other racer wins.

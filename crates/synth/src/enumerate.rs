@@ -11,11 +11,19 @@
 use std::time::Instant;
 
 use afg_eml::{ChoiceAssignment, ChoiceProgram};
-use afg_interp::EquivalenceOracle;
+use afg_interp::{ChoiceSession, EquivalenceOracle};
 
 use crate::bitset::IndexBitset;
 use crate::config::{Solution, SynthesisConfig, SynthesisOutcome, SynthesisStats};
 use crate::strategy::{CancelToken, SearchStrategy};
+
+/// Copies the session's verification-work counters into the final report.
+fn harvest_sweeps(stats: &mut SynthesisStats, session: &ChoiceSession) {
+    let sweep = session.sweep_stats();
+    stats.sweeps = sweep.sweeps;
+    stats.sweep_inputs = sweep.inputs_run;
+    stats.sweep_compiled = sweep.compiled;
+}
 
 /// The enumerative synthesizer.
 #[derive(Debug, Clone, Default)]
@@ -49,8 +57,10 @@ impl SearchStrategy for EnumerativeSolver {
         let session = oracle.choice_session(program);
 
         stats.candidates_checked += 1;
-        let first_cex = match session.find_counterexample(&ChoiceAssignment::default_choices(), &[])
-        {
+        let verify_start = Instant::now();
+        let first_cex = session.find_counterexample(&ChoiceAssignment::default_choices(), &[]);
+        stats.verify_elapsed += verify_start.elapsed();
+        let first_cex = match first_cex {
             None => return SynthesisOutcome::AlreadyCorrect,
             Some(cex) => cex,
         };
@@ -71,10 +81,12 @@ impl SearchStrategy for EnumerativeSolver {
             loop {
                 if cancel.is_cancelled() || start.elapsed() > config.time_budget {
                     stats.wall_clock_limited = true;
+                    harvest_sweeps(&mut stats, &session);
                     stats.elapsed = start.elapsed();
                     return SynthesisOutcome::Timeout(stats);
                 }
                 if stats.candidates_checked > config.max_candidates {
+                    harvest_sweeps(&mut stats, &session);
                     stats.elapsed = start.elapsed();
                     return SynthesisOutcome::Timeout(stats);
                 }
@@ -91,8 +103,12 @@ impl SearchStrategy for EnumerativeSolver {
 
                     // Zero-materialisation check: accumulated counterexamples
                     // first, then the rest of the bounded space.
-                    match session.find_counterexample(&assignment, &counterexamples) {
+                    let verify_start = Instant::now();
+                    let verdict = session.find_counterexample(&assignment, &counterexamples);
+                    stats.verify_elapsed += verify_start.elapsed();
+                    match verdict {
                         None => {
+                            harvest_sweeps(&mut stats, &session);
                             stats.elapsed = start.elapsed();
                             return SynthesisOutcome::Fixed(Solution {
                                 assignment,
@@ -113,10 +129,12 @@ impl SearchStrategy for EnumerativeSolver {
                     }
                     if cancel.is_cancelled() || start.elapsed() > config.time_budget {
                         stats.wall_clock_limited = true;
+                        harvest_sweeps(&mut stats, &session);
                         stats.elapsed = start.elapsed();
                         return SynthesisOutcome::Timeout(stats);
                     }
                     if stats.candidates_checked > config.max_candidates {
+                        harvest_sweeps(&mut stats, &session);
                         stats.elapsed = start.elapsed();
                         return SynthesisOutcome::Timeout(stats);
                     }
@@ -142,6 +160,7 @@ impl SearchStrategy for EnumerativeSolver {
             }
         }
 
+        harvest_sweeps(&mut stats, &session);
         stats.elapsed = start.elapsed();
         SynthesisOutcome::NoRepairFound(stats)
     }
