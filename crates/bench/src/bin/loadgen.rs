@@ -25,10 +25,9 @@
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use afg_bench::{percentile, zipf_schedule};
+use afg_bench::zipf_schedule;
 use afg_core::{Autograder, Backend, FeedbackLevel, GradeOutcome, GraderConfig, SweepMode};
 use afg_corpus::{generate_corpus, problems, CorpusSpec};
 use afg_json::Json;
@@ -188,7 +187,10 @@ fn expected_of(grader: &Autograder, source: &str) -> Expected {
 
 struct RunResult {
     wall: Duration,
-    latencies: Vec<Duration>,
+    /// Request latencies at microsecond resolution — the same log-linear
+    /// histogram the daemon's own `/metrics` latency series uses, so the
+    /// p50/p99 here and a scraped `afg_grade_seconds` agree on bucketing.
+    latencies: afg_obs::Histogram,
     mismatches: usize,
 }
 
@@ -205,14 +207,15 @@ fn run_phase(
 ) -> RunResult {
     let path = format!("/problems/{problem_id}/grade");
     let next = AtomicUsize::new(0);
-    let collected: Mutex<(Vec<Duration>, usize)> = Mutex::new((Vec::new(), 0));
+    let mismatched = AtomicUsize::new(0);
+    // Recording is lock-free, so every connection thread shares one
+    // histogram directly — no per-thread Vec + merge step.
+    let latencies = afg_obs::Histogram::new(1e-6);
     let start = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..connections {
             scope.spawn(|| {
                 let mut client = Client::connect(addr).expect("connect to daemon");
-                let mut latencies = Vec::new();
-                let mut mismatches = 0usize;
                 loop {
                     let slot = next.fetch_add(1, Ordering::Relaxed);
                     if slot >= schedule.len() {
@@ -222,23 +225,19 @@ fn run_phase(
                     let body = Json::object([("source", Json::str(source))]);
                     let sent = Instant::now();
                     let (status, response) = client.post(&path, &body).expect("grade request");
-                    latencies.push(sent.elapsed());
+                    latencies.record_duration(sent.elapsed());
                     if status != 200 || !matches_expected(&response, &expected[source], strict) {
-                        mismatches += 1;
+                        mismatched.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                let mut guard = collected.lock().expect("result lock");
-                guard.0.extend(latencies);
-                guard.1 += mismatches;
             });
         }
     });
     let wall = start.elapsed();
-    let (latencies, mismatches) = collected.into_inner().expect("result lock");
     RunResult {
         wall,
         latencies,
-        mismatches,
+        mismatches: mismatched.into_inner(),
     }
 }
 
@@ -267,15 +266,13 @@ fn matches_expected(response: &Json, expected: &Expected, strict: bool) -> bool 
 }
 
 fn report(label: &str, result: &RunResult, requests: usize) -> f64 {
-    let mut sorted = result.latencies.clone();
-    sorted.sort_unstable();
     let throughput = requests as f64 / result.wall.as_secs_f64();
     println!(
         "{label:<9} {requests:>6} requests in {:>7.2}s  {throughput:>8.1} req/s  \
          p50 {:>7.2}ms  p99 {:>7.2}ms  mismatches {}",
         result.wall.as_secs_f64(),
-        percentile(&sorted, 50).as_secs_f64() * 1e3,
-        percentile(&sorted, 99).as_secs_f64() * 1e3,
+        result.latencies.quantile(0.50) as f64 / 1e3,
+        result.latencies.quantile(0.99) as f64 / 1e3,
         result.mismatches,
     );
     throughput

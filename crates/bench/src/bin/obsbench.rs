@@ -1,0 +1,171 @@
+//! `obsbench` — measures what the observability layer costs.
+//!
+//! ```text
+//! cargo run --release -p afg-bench --bin obsbench -- \
+//!     [--problem ID] [--attempts N] [--reps R] [--seed S]
+//! ```
+//!
+//! Two measurements, JSON on stdout:
+//!
+//! 1. **Span primitive**: ns per `afg_obs::span()` open/close with no
+//!    trace installed (the always-on cost every pipeline stage pays) and
+//!    with a trace installed (the per-request cost behind `/debug/traces`).
+//! 2. **End-to-end grading**: wall-clock to grade a seeded corpus through
+//!    the library path with tracing off (no trace installed) vs on (one
+//!    installed trace + root span per submission, as the daemon does),
+//!    best of `--reps` runs each, and the relative delta.  The delta is
+//!    the number the "near-free when idle" contract is judged by.
+
+use std::time::{Duration, Instant};
+
+use afg_core::{Autograder, GraderConfig};
+use afg_corpus::{generate_corpus, problems, CorpusSpec};
+use afg_json::{Json, ToJson};
+use afg_obs::{span, Trace};
+
+struct Options {
+    problem: String,
+    attempts: usize,
+    reps: usize,
+    seed: u64,
+}
+
+fn usage() -> String {
+    "usage: obsbench [--problem ID] [--attempts N] [--reps R] [--seed S]\n\
+     \n\
+     --problem ID   benchmark problem to grade (default compDeriv)\n\
+     --attempts N   distinct submissions in the corpus (default 16)\n\
+     --reps R       repetitions per mode, best-of (default 3)\n\
+     --seed S       corpus RNG seed (default 20130616)"
+        .to_string()
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        problem: "compDeriv".to_string(),
+        attempts: 16,
+        reps: 3,
+        seed: 20130616,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    let exit_usage = |message: &str| -> ! {
+        eprintln!("{message}\n\n{}", usage());
+        std::process::exit(2)
+    };
+    let number = |flag: &str, value: Option<&String>| -> u64 {
+        match value.and_then(|v| v.parse().ok()) {
+            Some(n) => n,
+            None => exit_usage(&format!("option '{flag}' expects a non-negative integer")),
+        }
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--problem" => match iter.next() {
+                Some(id) => options.problem = id.clone(),
+                None => exit_usage("option '--problem' requires a value"),
+            },
+            "--attempts" => options.attempts = number(arg, iter.next()).max(1) as usize,
+            "--reps" => options.reps = number(arg, iter.next()).max(1) as usize,
+            "--seed" => options.seed = number(arg, iter.next()),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => exit_usage(&format!("unknown option '{other}'")),
+        }
+    }
+    options
+}
+
+/// ns per span open/close with no trace installed: one TLS read.
+fn bench_span_off() -> f64 {
+    const N: u64 = 1_000_000;
+    let start = Instant::now();
+    for _ in 0..N {
+        std::hint::black_box(span("bench"));
+    }
+    start.elapsed().as_nanos() as f64 / N as f64
+}
+
+/// ns per span open/close with a trace installed.  Traces are rotated
+/// every 256 spans so the measured cost is the steady per-span push, not
+/// the growth of one enormous span vector.
+fn bench_span_on() -> f64 {
+    const N: u64 = 100_000;
+    const CHUNK: u64 = 256;
+    let start = Instant::now();
+    for _ in 0..N / CHUNK {
+        let trace = Trace::new();
+        let _guard = trace.install();
+        for _ in 0..CHUNK {
+            std::hint::black_box(span("bench"));
+        }
+    }
+    start.elapsed().as_nanos() as f64 / N as f64
+}
+
+/// Grades every submission once; `traced` reproduces the daemon's
+/// per-request wiring (fresh trace, install, root span).
+fn grade_corpus(grader: &Autograder, sources: &[String], traced: bool) -> Duration {
+    let start = Instant::now();
+    for source in sources {
+        if traced {
+            let trace = Trace::new();
+            let _guard = trace.install();
+            let _root = span("grade");
+            std::hint::black_box(grader.grade_source(source));
+        } else {
+            std::hint::black_box(grader.grade_source(source));
+        }
+    }
+    start.elapsed()
+}
+
+fn main() {
+    let options = parse_options();
+    let Some(problem) = problems::problem(&options.problem) else {
+        eprintln!("unknown problem '{}'", options.problem);
+        std::process::exit(2);
+    };
+
+    let span_off_ns = bench_span_off();
+    let span_on_ns = bench_span_on();
+    eprintln!("span open/close: {span_off_ns:.1} ns untraced, {span_on_ns:.1} ns traced");
+
+    let spec = CorpusSpec::table1_like(options.attempts, options.seed);
+    let corpus = generate_corpus(&problem, &spec);
+    let sources: Vec<String> = corpus.into_iter().map(|s| s.source).collect();
+    let grader = problem.autograder(GraderConfig::fast());
+
+    // Warm-up primes every lazily-built table (and the metric handles) so
+    // neither measured mode pays first-run costs.
+    grade_corpus(&grader, &sources, true);
+
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    for _ in 0..options.reps {
+        best_off = best_off.min(grade_corpus(&grader, &sources, false));
+        best_on = best_on.min(grade_corpus(&grader, &sources, true));
+    }
+    let overhead_pct =
+        (best_on.as_secs_f64() - best_off.as_secs_f64()) / best_off.as_secs_f64() * 100.0;
+    eprintln!(
+        "grading {} submissions: {:.2}ms untraced, {:.2}ms traced — {overhead_pct:+.2}% tracing overhead",
+        sources.len(),
+        best_off.as_secs_f64() * 1e3,
+        best_on.as_secs_f64() * 1e3,
+    );
+
+    let doc = Json::object([
+        ("problem", Json::str(problem.id)),
+        ("submissions", sources.len().to_json()),
+        ("reps", options.reps.to_json()),
+        ("span_ns_untraced", Json::Float(span_off_ns)),
+        ("span_ns_traced", Json::Float(span_on_ns)),
+        ("grade_ms_untraced", best_off.to_json()),
+        ("grade_ms_traced", best_on.to_json()),
+        ("tracing_overhead_pct", Json::Float(overhead_pct)),
+    ]);
+    println!("{doc}");
+}

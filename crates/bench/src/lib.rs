@@ -461,15 +461,6 @@ pub fn zipf_schedule(population: usize, requests: usize, seed: u64) -> Vec<usize
         .collect()
 }
 
-/// The `q`-th percentile (0–100) of a sorted sample, by nearest-rank.
-pub fn percentile(sorted: &[Duration], q: usize) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = (q * sorted.len()).div_ceil(100);
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
-}
-
 /// Histogram of the number of corrections over the fixed submissions
 /// (Figure 14(a)).
 pub fn corrections_histogram(records: &[GradeRecord], max_bucket: usize) -> Vec<usize> {
@@ -876,18 +867,6 @@ mod tests {
         assert!(count(0) > 5 * count(15), "{} vs {}", count(0), count(15));
         // Even the tail is hit in 4000 draws.
         assert!(count(15) > 0);
-    }
-
-    #[test]
-    fn percentile_is_nearest_rank() {
-        let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
-        assert_eq!(percentile(&sorted, 50), Duration::from_millis(50));
-        assert_eq!(percentile(&sorted, 99), Duration::from_millis(99));
-        assert_eq!(percentile(&sorted, 100), Duration::from_millis(100));
-        assert_eq!(percentile(&[], 50), Duration::ZERO);
-        let single = [Duration::from_millis(7)];
-        assert_eq!(percentile(&single, 1), Duration::from_millis(7));
-        assert_eq!(percentile(&single, 99), Duration::from_millis(7));
     }
 
     #[test]

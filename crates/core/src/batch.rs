@@ -243,11 +243,20 @@ impl BatchGrader {
         let next = AtomicUsize::new(0);
         let mut per_worker: Vec<(Vec<(usize, BatchItem)>, WorkerStats)> = Vec::new();
 
+        // Propagate the caller's trace (if one is installed) into the
+        // worker threads, so per-submission spans land under the batch
+        // request's span tree instead of disappearing.
+        let trace = afg_obs::current_handle();
+
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for worker in 0..workers {
                 let next = &next;
+                let trace = trace.clone();
                 handles.push(scope.spawn(move || {
+                    let _trace_guard = trace.map(afg_obs::TraceHandle::install);
+                    let mut worker_span = afg_obs::span("worker");
+                    worker_span.attr("index", worker.to_string());
                     let mut items: Vec<(usize, BatchItem)> = Vec::new();
                     let mut stats = WorkerStats::default();
                     loop {

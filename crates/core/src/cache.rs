@@ -88,7 +88,8 @@ enum CachedGrade {
     Fixed {
         assignment: ChoiceAssignment,
         cost: usize,
-        stats: SynthesisStats,
+        /// Boxed to keep `Fixed` from dwarfing the unit-like variants.
+        stats: Box<SynthesisStats>,
         signature: u64,
         /// The escalation tier that produced the repair; replay rebuilds
         /// the choice program with the same tier model.
@@ -173,8 +174,10 @@ impl FingerprintCache {
     fn record(&self, hit: bool) {
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            afg_obs::counter!("afg_cache_hits_total", "Fingerprint-cache hits").inc();
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            afg_obs::counter!("afg_cache_misses_total", "Fingerprint-cache misses").inc();
         }
     }
 
@@ -288,6 +291,7 @@ impl Autograder {
             return hit(GradeOutcome::SyntaxError(err.clone()));
         }
 
+        let parse_span = afg_obs::stage_span!("parse");
         let program = match parse_program(source) {
             Ok(program) => program,
             Err(err) => {
@@ -300,16 +304,20 @@ impl Autograder {
                 return (GradeOutcome::SyntaxError(err), GradeDisposition::default());
             }
         };
+        drop(parse_span);
 
         // Level 2: canonical-form lookup.  The key mixes in the grader's
         // configuration fingerprint (backend, budgets, escalation ladder,
         // model identity) so graders with different configurations can
         // share one cache without cross-contaminating verdicts.
+        let canon_span = afg_obs::stage_span!("canon");
         let key = format!(
             "{:016x}\n{}",
             self.config_fingerprint(),
             canonical_source(&program)
         );
+        drop(canon_span);
+        let lookup_span = afg_obs::stage_span!("cache_lookup");
         let cached = cache.entries.read().expect("cache lock").get(&key).cloned();
         if let Some(entry) = cached {
             if let Some(outcome) = self.replay(&program, &entry) {
@@ -319,9 +327,13 @@ impl Autograder {
             // Structural mismatch (possible only if rule matching is not
             // alpha-invariant for this model): fall through and re-grade.
         }
+        drop(lookup_span);
 
         // Single-flight: either claim the grading of this canonical form,
         // or wait for the worker already grading it and replay its result.
+        // The span covers the (possibly long) wait on the in-flight
+        // worker plus the replay of its published entry.
+        let wait_span = afg_obs::stage_span!("cache_wait");
         let guard = cache.claim_or_wait(&key);
         if guard.is_none() {
             let cached = cache.entries.read().expect("cache lock").get(&key).cloned();
@@ -334,10 +346,12 @@ impl Autograder {
             // The published entry did not replay (or vanished): grade it
             // ourselves, un-deduplicated.
         }
+        drop(wait_span);
 
         // Level 3: the cluster index.  A distinct canonical form is about
         // to be searched — record its skeleton's cluster membership and
         // fetch the representative's repair as a warm-start candidate.
+        let cluster_span = afg_obs::stage_span!("cluster_lookup");
         let cluster = clusters.map(|index| {
             let cluster_key = format!(
                 "{:016x}\n{}",
@@ -364,6 +378,7 @@ impl Autograder {
                 hinted
             })
         });
+        drop(cluster_span);
 
         let traced = self.grade_program_traced_warm(&program, warm.as_ref());
 
@@ -428,7 +443,7 @@ impl Autograder {
             (GradeOutcome::Feedback(feedback), Some(trace), _) => Some(CachedGrade::Fixed {
                 assignment: trace.assignment,
                 cost: feedback.cost,
-                stats: trace.stats,
+                stats: Box::new(trace.stats),
                 signature: trace.signature,
                 tier: trace.tier,
             }),
@@ -478,7 +493,7 @@ impl Autograder {
                 stats,
                 signature,
                 tier,
-            } => (assignment, *cost, stats, *signature, *tier),
+            } => (assignment, *cost, stats.as_ref(), *signature, *tier),
         };
         let start = Instant::now();
         // Rebuild with the model of the tier that found the repair — under

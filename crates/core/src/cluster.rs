@@ -235,9 +235,19 @@ impl ClusterIndex {
     /// conflicts-saved estimate for a hit (0 for a miss).
     pub(crate) fn record_transfer(&self, verified: bool, saved: u64) {
         self.attempts.fetch_add(1, Ordering::Relaxed);
+        afg_obs::counter!(
+            "afg_transfer_attempts_total",
+            "Cluster repair-transfer hypotheses tried"
+        )
+        .inc();
         if verified {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.conflicts_saved.fetch_add(saved, Ordering::Relaxed);
+            afg_obs::counter!(
+                "afg_transfer_hits_total",
+                "Cluster repair transfers that verified"
+            )
+            .inc();
         }
     }
 }

@@ -399,6 +399,8 @@ impl Autograder {
                     }
                 })
             });
+            let mut search_span = afg_obs::stage_span!("search");
+            search_span.attr("tier", tier.label.clone());
             let mut outcome = backend.synthesize_with_hint(
                 &choice_program,
                 &self.oracle,
@@ -428,6 +430,22 @@ impl Autograder {
                 transfer_record.attempted |= stats.warm_start_attempted;
                 transfer_record.verified |= stats.warm_start_verified;
             }
+            if let Some(stats) = outcome.stats() {
+                search_span.attr("strategy", stats.strategy);
+                afg_obs::counter!("afg_sat_conflicts_total", "SAT conflicts across searches")
+                    .add(stats.sat_conflicts);
+                afg_obs::counter!(
+                    "afg_sat_propagations_total",
+                    "SAT unit propagations across searches"
+                )
+                .add(stats.sat_propagations);
+                afg_obs::counter!(
+                    "afg_sat_learnts_total",
+                    "SAT clauses learnt across searches"
+                )
+                .add(stats.sat_learnts);
+            }
+            drop(search_span);
             match outcome {
                 SynthesisOutcome::AlreadyCorrect => {
                     return TracedGrade {

@@ -284,6 +284,9 @@ pub struct SweepStats {
     /// Whether the session ran candidates on the bytecode VM (false when
     /// the mode is [`SweepMode::Tree`] or the program failed to compile).
     pub compiled: bool,
+    /// Nodes currently held by the session's verdict-cache trie (0 on the
+    /// tree path or with `sweep_cache` off).
+    pub cache_nodes: u64,
 }
 
 /// Sound memoization of check verdicts across candidates, keyed on the
@@ -465,6 +468,9 @@ struct SweepScratch {
     sweeps: u64,
     inputs_run: u64,
     cache_hits: u64,
+    /// Wall-clock accumulated inside `find_counterexample`, for the
+    /// sweep-throughput metrics flushed when the session drops.
+    sweep_ns: u64,
 }
 
 impl SweepScratch {
@@ -477,6 +483,7 @@ impl SweepScratch {
             sweeps: 0,
             inputs_run: 0,
             cache_hits: 0,
+            sweep_ns: 0,
         }
     }
 
@@ -542,6 +549,7 @@ impl<'a> ChoiceSession<'a> {
             inputs_run: scratch.inputs_run,
             cache_hits: scratch.cache_hits,
             compiled: self.compiled.is_some(),
+            cache_nodes: scratch.cache.nodes.len() as u64,
         }
     }
 
@@ -653,6 +661,20 @@ impl<'a> ChoiceSession<'a> {
         assignment: &ChoiceAssignment,
         priority: &[usize],
     ) -> Option<usize> {
+        // One clock pair per sweep (not per input): the throughput
+        // metrics cost tens of nanoseconds against sweeps that run
+        // hundreds of inputs.
+        let sweep_start = std::time::Instant::now();
+        let result = self.find_counterexample_untimed(assignment, priority);
+        self.scratch.borrow_mut().sweep_ns += sweep_start.elapsed().as_nanos() as u64;
+        result
+    }
+
+    fn find_counterexample_untimed(
+        &self,
+        assignment: &ChoiceAssignment,
+        priority: &[usize],
+    ) -> Option<usize> {
         let scratch = &mut *self.scratch.borrow_mut();
         scratch.sweeps += 1;
         self.prepare(scratch, assignment);
@@ -690,6 +712,40 @@ impl<'a> ChoiceSession<'a> {
     /// bounded space.
     pub fn is_equivalent(&self, assignment: &ChoiceAssignment) -> bool {
         self.sweep(assignment).is_none()
+    }
+}
+
+/// Sessions flush their verification-work counters into the global
+/// metrics registry when they close: one batch of relaxed atomic adds
+/// per session, zero cost inside the sweep loop, and the grading outcome
+/// cannot observe any of it.
+impl Drop for ChoiceSession<'_> {
+    fn drop(&mut self) {
+        let scratch = self.scratch.borrow();
+        if scratch.sweeps == 0 && scratch.inputs_run == 0 {
+            return;
+        }
+        afg_obs::counter!("afg_sweeps_total", "Full-deck verification sweeps").add(scratch.sweeps);
+        afg_obs::counter!(
+            "afg_sweep_inputs_total",
+            "Candidate checks answered (executed or from the verdict cache)"
+        )
+        .add(scratch.inputs_run);
+        afg_obs::counter!(
+            "afg_sweep_cache_hits_total",
+            "Checks answered from the verdict cache without executing"
+        )
+        .add(scratch.cache_hits);
+        afg_obs::counter!(
+            "afg_sweep_ns_total",
+            "Wall-clock nanoseconds spent inside verification sweeps"
+        )
+        .add(scratch.sweep_ns);
+        afg_obs::gauge!(
+            "afg_verdict_cache_nodes",
+            "High-water mark of verdict-cache trie nodes in one session"
+        )
+        .max(scratch.cache.nodes.len() as i64);
     }
 }
 

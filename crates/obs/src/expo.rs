@@ -1,0 +1,234 @@
+//! Prometheus text exposition (the classic `text/plain; version=0.0.4`
+//! format): `# HELP`/`# TYPE` headers, cumulative `_bucket{le=...}`
+//! series, `_sum`/`_count`, escaped label values.
+
+use std::fmt::Write;
+
+use crate::metrics::{Metric, MetricEntry, Registry};
+
+/// The Content-Type a `/metrics` endpoint should serve.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Escapes a label *value*: backslash, double quote and newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text: backslash and newline only (quotes are legal).
+fn escape_help(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a label set, optionally with an extra `le` pair appended.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Recognizes `scale` as `10^-k` (the only scales the stack uses:
+/// 1, 1e-3, 1e-6, 1e-9), enabling exact decimal formatting.
+fn pow10_exp(scale: f64) -> Option<u32> {
+    let mut p = 1.0f64;
+    for k in 0..=12 {
+        if (scale - p).abs() < p * 1e-9 {
+            return Some(k);
+        }
+        p /= 10.0;
+    }
+    None
+}
+
+/// Formats `raw * scale` the way Prometheus expects: a plain decimal,
+/// no exponent, no float noise, no trailing zeros.
+fn format_scaled(raw: u64, scale: f64) -> String {
+    match pow10_exp(scale) {
+        Some(0) => raw.to_string(),
+        Some(k) => {
+            let div = 10u64.pow(k);
+            let (whole, frac) = (raw / div, raw % div);
+            if frac == 0 {
+                return whole.to_string();
+            }
+            let mut s = format!("{whole}.{frac:0width$}", width = k as usize);
+            while s.ends_with('0') {
+                s.pop();
+            }
+            s
+        }
+        // f64 shortest round-trip; always parseable by a scraper.
+        None => format!("{}", raw as f64 * scale),
+    }
+}
+
+impl Registry {
+    /// Renders every registered metric in the Prometheus text format.
+    /// Deterministic: metrics sort by name then label set, and only
+    /// non-empty histogram buckets (plus `+Inf`) are emitted, so a
+    /// scrape stays small even with ~1000-bucket log-linear histograms.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_header: Option<String> = None;
+        for entry in self.entries() {
+            render_entry(&mut out, &entry, &mut last_header);
+        }
+        out
+    }
+}
+
+fn render_entry(out: &mut String, entry: &MetricEntry, last_header: &mut Option<String>) {
+    let name = &entry.key.name;
+    let kind = match &entry.metric {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    };
+    // One HELP/TYPE header per metric name, shared by all label sets.
+    if last_header.as_deref() != Some(name.as_str()) {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(entry.help));
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        *last_header = Some(name.clone());
+    }
+    let labels = &entry.key.labels;
+    match &entry.metric {
+        Metric::Counter(c) => {
+            let _ = writeln!(out, "{name}{} {}", label_block(labels, None), c.get());
+        }
+        Metric::Gauge(g) => {
+            let _ = writeln!(out, "{name}{} {}", label_block(labels, None), g.get());
+        }
+        Metric::Histogram(h) => {
+            let scale = h.scale();
+            let mut cum = 0;
+            for (bound, cumulative) in h.cumulative_buckets() {
+                cum = cumulative;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {cumulative}",
+                    label_block(labels, Some(&format_scaled(bound, scale))),
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cum}",
+                label_block(labels, Some("+Inf"))
+            );
+            let sum = format_scaled(h.sum(), scale);
+            let _ = writeln!(out, "{name}_sum{} {sum}", label_block(labels, None));
+            let _ = writeln!(out, "{name}_count{} {cum}", label_block(labels, None));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_values_are_escaped() {
+        let labels = vec![("path".to_string(), "a\\b\"c\nd".to_string())];
+        assert_eq!(label_block(&labels, None), "{path=\"a\\\\b\\\"c\\nd\"}");
+        assert_eq!(label_block(&[], None), "");
+        assert_eq!(label_block(&[], Some("+Inf")), "{le=\"+Inf\"}");
+    }
+
+    #[test]
+    fn bounds_format_cleanly() {
+        assert_eq!(format_scaled(250, 1.0), "250");
+        assert_eq!(format_scaled(2_000_000, 1e-6), "2");
+        assert_eq!(format_scaled(1500, 1e-3), "1.5");
+        assert_eq!(format_scaled(1, 1e-6), "0.000001");
+        assert_eq!(format_scaled(95_200, 1e-6), "0.0952");
+    }
+
+    #[test]
+    fn histogram_series_are_cumulative_and_consistent() {
+        let r = Registry::new();
+        let h = r.histogram("t_seconds", "test latencies", 1e-6, &[("stage", "parse")]);
+        for v in [100u64, 100, 5_000, 90_000] {
+            h.record(v);
+        }
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE t_seconds histogram"));
+        // Every bucket line is cumulative and the +Inf bucket equals
+        // _count.
+        let mut last = 0u64;
+        let mut inf = None;
+        for line in text.lines().filter(|l| l.starts_with("t_seconds_bucket")) {
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= last, "bucket counts must be cumulative: {line}");
+            last = count;
+            if line.contains("le=\"+Inf\"") {
+                inf = Some(count);
+            }
+        }
+        assert_eq!(inf, Some(4));
+        assert!(text.contains("t_seconds_count{stage=\"parse\"} 4"));
+        // _sum is scaled into seconds: 95,200 µs.
+        assert!(text.contains("t_seconds_sum{stage=\"parse\"} 0.0952"));
+    }
+
+    #[test]
+    fn golden_scrape_of_a_small_registry() {
+        let r = Registry::new();
+        r.counter("g_grades_total", "Grades served", &[("outcome", "fixed")])
+            .add(3);
+        r.counter("g_grades_total", "Grades served", &[("outcome", "correct")])
+            .add(2);
+        r.gauge("g_inflight", "Requests in flight", &[]).set(1);
+        let h = r.histogram("g_latency_seconds", "Grade latency", 1e-6, &[]);
+        h.record(7); // bucket upper edge 7
+        h.record(1_000_000); // bucket [983040..1015807], edge 1015807
+        let expected = "\
+# HELP g_grades_total Grades served
+# TYPE g_grades_total counter
+g_grades_total{outcome=\"correct\"} 2
+g_grades_total{outcome=\"fixed\"} 3
+# HELP g_inflight Requests in flight
+# TYPE g_inflight gauge
+g_inflight 1
+# HELP g_latency_seconds Grade latency
+# TYPE g_latency_seconds histogram
+g_latency_seconds_bucket{le=\"0.000007\"} 1
+g_latency_seconds_bucket{le=\"1.015807\"} 2
+g_latency_seconds_bucket{le=\"+Inf\"} 2
+g_latency_seconds_sum 1.000007
+g_latency_seconds_count 2
+";
+        assert_eq!(r.render_prometheus(), expected);
+    }
+}

@@ -1,0 +1,463 @@
+//! The global metrics registry: counters, gauges and log-linear
+//! histograms, all recordable lock-free from any thread.
+
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (or be set outright).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water mark).
+    pub fn max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per power-of-two
+/// octave, bounding the relative quantization error at 1/16 ≈ 6% of the
+/// bucket's lower edge (≈3% of its midpoint) across the full u64 range.
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
+/// Bucket count for the full u64 range (see `bucket_index(u64::MAX)`).
+pub(crate) const NBUCKETS: usize = (60 * SUB + SUB) as usize;
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let offset = (v >> shift) - SUB;
+    ((u64::from(shift) + 1) * SUB + offset) as usize
+}
+
+/// Inclusive upper edge of bucket `i` — every value recorded into bucket
+/// `i` is `<=` this, making it a valid Prometheus `le` bound.
+pub(crate) fn bucket_bound(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        return i;
+    }
+    let shift = (i / SUB - 1) as u32;
+    let offset = i % SUB;
+    let low = (SUB + offset) << shift;
+    low + ((1u64 << shift) - 1)
+}
+
+/// An HDR-style log-linear histogram over `u64` values.
+///
+/// Recording is one relaxed `fetch_add` into the value's bucket plus one
+/// into the running sum — lock-free and wait-free. `scale` converts raw
+/// recorded integers into the exposition unit (record microseconds,
+/// expose seconds with `scale = 1e-6`); it never affects recording.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NBUCKETS]>,
+    sum: AtomicU64,
+    scale: f64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("scale", &self.scale)
+            .finish()
+    }
+}
+
+impl Histogram {
+    pub fn new(scale: f64) -> Self {
+        let buckets: Vec<AtomicU64> = (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; NBUCKETS]> = buckets
+            .into_boxed_slice()
+            .try_into()
+            .expect("NBUCKETS-sized allocation");
+        Self {
+            buckets,
+            sum: AtomicU64::new(0),
+            scale,
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration at microsecond resolution (the convention for
+    /// every latency histogram in the stack; pair with `scale = 1e-6`).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Exposition multiplier from raw recorded units to reported units.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded values, in raw (unscaled) units.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Nearest-rank quantile (`q` in `[0, 1]`), reported as the upper
+    /// edge of the bucket holding that rank — an overestimate by at most
+    /// one sub-bucket width. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(NBUCKETS - 1)
+    }
+
+    /// Non-empty buckets as `(inclusive upper edge, cumulative count)`,
+    /// in ascending bound order. The final entry's cumulative count
+    /// equals `count()`.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                cum += c;
+                out.push((bucket_bound(i), cum));
+            }
+        }
+        out
+    }
+}
+
+/// What a registry slot holds.
+#[derive(Debug, Clone)]
+pub(crate) enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct MetricKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct MetricEntry {
+    pub key: MetricKey,
+    pub help: &'static str,
+    pub metric: Metric,
+}
+
+const SHARDS: usize = 8;
+
+/// A name-sharded metric store. Registration takes one shard mutex;
+/// recording through a returned handle takes none. Call sites cache
+/// handles (see the `counter!` family), so the mutex is off every hot
+/// path.
+pub struct Registry {
+    shards: [Mutex<HashMap<MetricKey, MetricEntry>>; SHARDS],
+    hasher: RandomState,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<HashMap<MetricKey, MetricEntry>> {
+        &self.shards[(self.hasher.hash_one(name) as usize) % SHARDS]
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let key = MetricKey {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        };
+        let mut shard = self.shard(name).lock().unwrap();
+        let entry = shard.entry(key.clone()).or_insert_with(|| MetricEntry {
+            key,
+            help,
+            metric: make(),
+        });
+        entry.metric.clone()
+    }
+
+    /// Registers (or retrieves) a counter. Panics if `name`+`labels` is
+    /// already registered as a different metric type — a wiring bug that
+    /// should fail loudly at first use, not corrupt a scrape.
+    pub fn counter(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, help, labels, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, labels, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram with the given exposition
+    /// scale (see [`Histogram::new`]).
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &'static str,
+        scale: f64,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, labels, || {
+            Metric::Histogram(Arc::new(Histogram::new(scale)))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// All registered entries, sorted by name then labels so exposition
+    /// is deterministic.
+    pub(crate) fn entries(&self) -> Vec<MetricEntry> {
+        let mut out: Vec<MetricEntry> = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().unwrap().values().cloned());
+        }
+        out.sort_by(|a, b| {
+            a.key
+                .name
+                .cmp(&b.key.name)
+                .then_with(|| a.key.labels.cmp(&b.key.labels))
+        });
+        out
+    }
+}
+
+/// The process-wide registry every `counter!`/`histogram!` call site and
+/// the `/metrics` endpoint share.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_contiguous() {
+        // Walk every bucket's lower edge in increasing value order: the
+        // indices must count up by exactly one with no gaps.
+        let mut expected = 0usize;
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), expected);
+            expected += 1;
+        }
+        for shift in 0..60u32 {
+            for offset in 0..SUB {
+                let v = (SUB + offset) << shift;
+                assert_eq!(bucket_index(v), expected, "at v={v}");
+                expected += 1;
+            }
+        }
+        assert_eq!(expected, NBUCKETS);
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), NBUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bound_is_a_true_upper_edge() {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            65_535,
+            1 << 20,
+            (1 << 33) + 7,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(bucket_bound(i) >= v, "bound below value for v={v}");
+            if i > 0 {
+                assert!(
+                    bucket_bound(i - 1) < v,
+                    "value fits an earlier bucket: v={v}"
+                );
+            }
+        }
+        // Bounds are strictly increasing across all buckets.
+        for i in 1..NBUCKETS {
+            assert!(bucket_bound(i) > bucket_bound(i - 1));
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let h = Histogram::new(1.0);
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.sum(), 10_000 * 10_001 / 2);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        // Log-linear error bound: within one sub-bucket (1/16) of exact.
+        assert!((4_700..=5_400).contains(&p50), "p50={p50}");
+        assert!((9_700..=10_700).contains(&p99), "p99={p99}");
+        assert!(h.quantile(0.0) >= 1);
+        assert!(h.quantile(1.0) >= 10_000);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_total() {
+        let h = Histogram::new(1.0);
+        for v in [3u64, 3, 17, 900, 900, 900, 1 << 30] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(!buckets.is_empty());
+        let mut last_bound = None;
+        let mut last_cum = 0;
+        for &(bound, cum) in &buckets {
+            if let Some(prev) = last_bound {
+                assert!(bound > prev);
+            }
+            assert!(cum >= last_cum);
+            last_bound = Some(bound);
+            last_cum = cum;
+        }
+        assert_eq!(last_cum, h.count());
+    }
+
+    #[test]
+    fn registry_dedupes_by_name_and_labels() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "help", &[]);
+        let b = r.counter("x_total", "help", &[]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let labeled = r.counter("x_total", "help", &[("mode", "tree")]);
+        labeled.inc();
+        assert_eq!(labeled.get(), 1);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.entries().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_type_confusion() {
+        let r = Registry::new();
+        r.counter("y_total", "help", &[]);
+        r.gauge("y_total", "help", &[]);
+    }
+}

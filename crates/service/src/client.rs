@@ -9,6 +9,10 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use afg_json::{parse_json, Json};
 
+/// Response headers: `(name, value)` pairs with lower-cased names, in
+/// arrival order.
+pub type Headers = Vec<(String, String)>;
+
 /// A persistent (keep-alive) connection to the daemon.
 pub struct Client {
     writer: TcpStream,
@@ -37,6 +41,32 @@ impl Client {
         path: &str,
         body: Option<&Json>,
     ) -> io::Result<(u16, Json)> {
+        let (status, _, json) = self.request_full(method, path, body)?;
+        Ok((status, json))
+    }
+
+    /// [`Client::request`] keeping the response headers (lower-cased
+    /// names) — for `X-Afg-Trace-Id`.
+    pub fn request_full(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> io::Result<(u16, Headers, Json)> {
+        let (status, headers, text) = self.request_raw(method, path, body)?;
+        let json = parse_json(&text)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        Ok((status, headers, json))
+    }
+
+    /// Sends one request and returns the body as raw text — for
+    /// non-JSON endpoints (`/metrics` is Prometheus text).
+    pub fn request_raw(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> io::Result<(u16, Headers, String)> {
         let payload = body.map(Json::to_string).unwrap_or_default();
         let mut message = format!(
             "{method} {path} HTTP/1.1\r\n\
@@ -62,7 +92,13 @@ impl Client {
         self.request("GET", path, None)
     }
 
-    fn read_response(&mut self) -> io::Result<(u16, Json)> {
+    /// Convenience: `GET` returning the raw body text.
+    pub fn get_text(&mut self, path: &str) -> io::Result<(u16, String)> {
+        let (status, _, text) = self.request_raw("GET", path, None)?;
+        Ok((status, text))
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, Headers, String)> {
         let mut status_line = String::new();
         if self.reader.read_line(&mut status_line)? == 0 {
             return Err(io::Error::new(
@@ -82,6 +118,7 @@ impl Client {
             })?;
 
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         loop {
             let mut line = String::new();
             if self.reader.read_line(&mut line)? == 0 {
@@ -95,11 +132,14 @@ impl Client {
                 break;
             }
             if let Some((name, value)) = trimmed.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().map_err(|_| {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| {
                         io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
                     })?;
                 }
+                headers.push((name, value));
             }
         }
 
@@ -107,9 +147,7 @@ impl Client {
         self.reader.read_exact(&mut body)?;
         let text = String::from_utf8(body)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
-        let json = parse_json(&text)
-            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
-        Ok((status, json))
+        Ok((status, headers, text))
     }
 }
 

@@ -189,16 +189,36 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with(stream, status, "application/json", &[], body, keep_alive)
+}
+
+/// [`write_response`] with an explicit content type and extra headers —
+/// for `/metrics` (Prometheus text) and the `X-Afg-Trace-Id` grade
+/// header.  Same single-`write_all` discipline.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
     let reason = reason_phrase(status);
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut response = format!(
         "HTTP/1.1 {status} {reason}\r\n\
-         Content-Type: application/json\r\n\
+         Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
-         Connection: {connection}\r\n\
-         \r\n",
+         Connection: {connection}\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        response.push_str(name);
+        response.push_str(": ");
+        response.push_str(value);
+        response.push_str("\r\n");
+    }
+    response.push_str("\r\n");
     response.push_str(body);
     stream.write_all(response.as_bytes())?;
     stream.flush()

@@ -9,8 +9,16 @@
 //! | `POST /problems` | Register an assignment: a built-in benchmark (`{"problem": "compDeriv"}`) or instructor-supplied `{"id", "entry", "reference", "model"}` (MPY source + EML text) |
 //! | `POST /problems/{id}/grade` | Grade one submission `{"source": "..."}` |
 //! | `POST /problems/{id}/grade/batch` | Grade a corpus `{"sources": [...], "workers": N?}` through [`afg_core::BatchGrader`] |
-//! | `GET /stats` | Per-problem outcome counters and fingerprint-cache hit/miss counters |
+//! | `GET /stats` | Per-problem outcome counters, fingerprint-cache and verdict-cache hit/miss counters |
 //! | `GET /healthz` | Liveness |
+//! | `GET /metrics` | Process-wide metrics in Prometheus text exposition (grade latency, per-stage latency, cache ratios, SAT/sweep work) |
+//! | `GET /debug/traces` | The most recent grade span trees as JSON (ring capacity set by [`ServiceConfig::trace_ring`]) |
+//!
+//! Every grade response carries an `X-Afg-Trace-Id` header (unless the
+//! daemon runs with tracing disabled); the matching span tree —
+//! parse → canonicalize → search → verify, with per-stage wall-clock —
+//! is retrievable from `/debug/traces`, and grades slower than
+//! [`ServiceConfig::slow_grade`] log their tree to stderr.
 //!
 //! Each registered problem owns an [`afg_core::Autograder`] (shared
 //! read-only across connections) and, unless registered with

@@ -10,10 +10,15 @@
 use afg_service::ServiceConfig;
 
 fn usage() -> String {
-    "usage: afg-serve [--addr HOST:PORT] [--threads N]\n\
+    "usage: afg-serve [--addr HOST:PORT] [--threads N] [--no-tracing]\n\
+     \x20                [--slow-grade-ms N] [--trace-ring N]\n\
      \n\
      --addr HOST:PORT  bind address (default 127.0.0.1:8080; port 0 = ephemeral)\n\
-     --threads N       connection-serving worker threads (default 16)"
+     --threads N       connection-serving worker threads (default 16)\n\
+     --no-tracing      disable per-request span traces (/debug/traces, X-Afg-Trace-Id)\n\
+     --slow-grade-ms N log the span tree of grades slower than N ms to stderr\n\
+     \x20                (default 1000; 0 disables the slow-grade log)\n\
+     --trace-ring N    recent traces retained for /debug/traces (default 64)"
         .to_string()
 }
 
@@ -33,6 +38,16 @@ fn main() {
             "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(threads) if threads > 0 => config.threads = threads,
                 _ => exit_usage("option '--threads' expects a positive integer"),
+            },
+            "--no-tracing" => config.tracing = false,
+            "--slow-grade-ms" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(0) => config.slow_grade = None,
+                Some(ms) => config.slow_grade = Some(std::time::Duration::from_millis(ms)),
+                None => exit_usage("option '--slow-grade-ms' expects a non-negative integer"),
+            },
+            "--trace-ring" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(cap) if cap > 0 => config.trace_ring = cap,
+                _ => exit_usage("option '--trace-ring' expects a positive integer"),
             },
             "--help" | "-h" => {
                 println!("{}", usage());

@@ -42,6 +42,8 @@ pub struct OutcomeCounters {
     restarts: AtomicU64,
     sweeps: AtomicU64,
     sweep_inputs: AtomicU64,
+    sweep_cache_hits: AtomicU64,
+    sweep_cache_nodes: AtomicU64,
 }
 
 impl OutcomeCounters {
@@ -75,6 +77,10 @@ impl OutcomeCounters {
                 .fetch_add(feedback.stats.sweeps, Ordering::Relaxed);
             self.sweep_inputs
                 .fetch_add(feedback.stats.sweep_inputs, Ordering::Relaxed);
+            self.sweep_cache_hits
+                .fetch_add(feedback.stats.sweep_cache_hits, Ordering::Relaxed);
+            self.sweep_cache_nodes
+                .fetch_max(feedback.stats.sweep_cache_nodes, Ordering::Relaxed);
         }
     }
 
@@ -114,14 +120,28 @@ impl OutcomeCounters {
     }
 
     /// Verification-sweep work accumulated from fresh (non-cache) grades;
-    /// `mode` comes from the grader's configuration.
+    /// `mode` comes from the grader's configuration.  The verdict cache is
+    /// the per-sweep trie memoising (program, input) verdicts: `inputs`
+    /// counts every input considered (hits included), so misses — inputs
+    /// that actually ran — are the difference, and `nodes` is the largest
+    /// trie any single search grew.
     fn sweep_snapshot(&self, mode: &str) -> Json {
+        let inputs = self.sweep_inputs.load(Ordering::Relaxed);
+        let hits = self.sweep_cache_hits.load(Ordering::Relaxed);
         Json::object([
             ("mode", Json::str(mode)),
             ("sweeps", self.sweeps.load(Ordering::Relaxed).to_json()),
+            ("sweep_inputs", inputs.to_json()),
             (
-                "sweep_inputs",
-                self.sweep_inputs.load(Ordering::Relaxed).to_json(),
+                "verdict_cache",
+                Json::object([
+                    ("hits", hits.to_json()),
+                    ("misses", inputs.saturating_sub(hits).to_json()),
+                    (
+                        "max_nodes",
+                        self.sweep_cache_nodes.load(Ordering::Relaxed).to_json(),
+                    ),
+                ]),
             ),
         ])
     }

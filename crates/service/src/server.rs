@@ -8,11 +8,14 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use afg_core::{Autograder, BatchGrader, ClusterIndex, FingerprintCache, GraderConfig};
+use afg_core::{
+    Autograder, BatchGrader, ClusterIndex, FingerprintCache, GradeOutcome, GraderConfig,
+};
 use afg_eml::parse_error_model;
 use afg_json::{parse_json, Json, ToJson};
+use afg_obs::{Trace, TraceRing};
 
-use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::http::{read_request, write_response, write_response_with, ReadOutcome, Request};
 use crate::registry::{OutcomeCounters, ProblemEntry, Registry};
 
 /// Daemon configuration.
@@ -27,6 +30,15 @@ pub struct ServiceConfig {
     /// How long an idle keep-alive connection is held before it is closed
     /// and its worker freed.
     pub keep_alive_timeout: Duration,
+    /// Record a span tree per grade request (served at `/debug/traces`,
+    /// echoed back as `X-Afg-Trace-Id`).  Tracing observes, it never
+    /// steers: grade responses are byte-identical either way.
+    pub tracing: bool,
+    /// Grades at or above this wall-clock log their span tree to stderr;
+    /// `None` disables the slow-grade log.
+    pub slow_grade: Option<Duration>,
+    /// How many recent traces `/debug/traces` retains.
+    pub trace_ring: usize,
 }
 
 impl Default for ServiceConfig {
@@ -35,6 +47,39 @@ impl Default for ServiceConfig {
             addr: "127.0.0.1:0".to_string(),
             threads: 16,
             keep_alive_timeout: Duration::from_secs(5),
+            tracing: true,
+            slow_grade: Some(Duration::from_secs(1)),
+            trace_ring: 64,
+        }
+    }
+}
+
+/// Everything the request handlers share: the problem registry plus the
+/// observability knobs and the recent-trace ring.
+struct ServiceState {
+    registry: Registry,
+    traces: TraceRing,
+    tracing: bool,
+    slow_grade: Option<Duration>,
+}
+
+/// A fully-formed response.  Handlers return this rather than
+/// `(status, Json)` so routes can carry non-JSON bodies (`/metrics` is
+/// Prometheus text) and per-response headers (`X-Afg-Trace-Id`).
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    headers: Vec<(&'static str, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn json(status: u16, body: Json) -> Reply {
+        Reply {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.to_string(),
         }
     }
 }
@@ -100,7 +145,12 @@ impl ConnectionQueue {
 pub fn start(config: ServiceConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let registry = Arc::new(Registry::new());
+    let state = Arc::new(ServiceState {
+        registry: Registry::new(),
+        traces: TraceRing::new(config.trace_ring),
+        tracing: config.tracing,
+        slow_grade: config.slow_grade,
+    });
     let shutdown = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(ConnectionQueue {
         pending: Mutex::new(VecDeque::new()),
@@ -109,7 +159,7 @@ pub fn start(config: ServiceConfig) -> std::io::Result<ServerHandle> {
 
     let mut workers = Vec::with_capacity(config.threads.max(1));
     for _ in 0..config.threads.max(1) {
-        let registry = Arc::clone(&registry);
+        let state = Arc::clone(&state);
         let shutdown = Arc::clone(&shutdown);
         let queue = Arc::clone(&queue);
         let keep_alive_timeout = config.keep_alive_timeout;
@@ -118,7 +168,7 @@ pub fn start(config: ServiceConfig) -> std::io::Result<ServerHandle> {
                 // A panic while serving one connection must not shrink the
                 // pool — swallow it and move on to the next connection.
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    serve_connection(stream, &registry, &shutdown, keep_alive_timeout);
+                    serve_connection(stream, &state, &shutdown, keep_alive_timeout);
                 }));
             }
         }));
@@ -193,7 +243,7 @@ impl Drop for ServerHandle {
 /// shuts down.
 fn serve_connection(
     stream: TcpStream,
-    registry: &Registry,
+    state: &ServiceState,
     shutdown: &AtomicBool,
     keep_alive_timeout: Duration,
 ) {
@@ -223,8 +273,17 @@ fn serve_connection(
             }
         };
         let keep_alive = request.keep_alive();
-        let (status, body) = handle(&request, registry);
-        if write_response(&mut writer, status, &body.to_string(), keep_alive).is_err() {
+        let reply = handle(&request, state);
+        if write_response_with(
+            &mut writer,
+            reply.status,
+            reply.content_type,
+            &reply.headers,
+            &reply.body,
+            keep_alive,
+        )
+        .is_err()
+        {
             return;
         }
         if !keep_alive {
@@ -239,25 +298,94 @@ fn error_json(message: &str) -> Json {
 
 /// Routes one request.  Paths:
 /// `POST /problems`, `POST /problems/{id}/grade`,
-/// `POST /problems/{id}/grade/batch`, `GET /stats`, `GET /healthz`.
-fn handle(request: &Request, registry: &Registry) -> (u16, Json) {
+/// `POST /problems/{id}/grade/batch`, `GET /stats`, `GET /healthz`,
+/// `GET /metrics` (Prometheus text), `GET /debug/traces`.
+fn handle(request: &Request, state: &ServiceState) -> Reply {
+    let registry = &state.registry;
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => (
+        ("GET", ["healthz"]) => Reply::json(
             200,
             Json::object([
                 ("status", Json::str("ok")),
                 ("problems", registry.len().to_json()),
             ]),
         ),
-        ("GET", ["stats"]) => (200, registry.stats_json()),
-        ("POST", ["problems"]) => handle_register(request, registry),
-        ("POST", ["problems", id, "grade"]) => handle_grade(request, registry, id),
-        ("POST", ["problems", id, "grade", "batch"]) => handle_batch(request, registry, id),
-        (_, ["healthz" | "stats"]) | (_, ["problems", ..]) => {
-            (405, error_json("method not allowed"))
+        ("GET", ["stats"]) => Reply::json(200, registry.stats_json()),
+        ("GET", ["metrics"]) => Reply {
+            status: 200,
+            content_type: afg_obs::CONTENT_TYPE,
+            headers: Vec::new(),
+            body: afg_obs::global().render_prometheus(),
+        },
+        ("GET", ["debug", "traces"]) => Reply::json(200, traces_json(&state.traces)),
+        ("POST", ["problems"]) => {
+            let (status, body) = handle_register(request, registry);
+            Reply::json(status, body)
         }
-        _ => (404, error_json("no such route")),
+        ("POST", ["problems", id, "grade"]) => handle_grade(request, state, id),
+        ("POST", ["problems", id, "grade", "batch"]) => handle_batch(request, state, id),
+        (_, ["healthz" | "stats" | "metrics"])
+        | (_, ["debug", "traces"])
+        | (_, ["problems", ..]) => Reply::json(405, error_json("method not allowed")),
+        _ => Reply::json(404, error_json("no such route")),
+    }
+}
+
+/// The `/debug/traces` rendering of the recent-trace ring: every span's
+/// name, parent index, offset and duration, oldest trace first.
+fn traces_json(ring: &TraceRing) -> Json {
+    let traces: Vec<Json> = ring
+        .snapshot()
+        .iter()
+        .map(|trace| {
+            let spans: Vec<Json> = trace
+                .spans()
+                .iter()
+                .map(|span| {
+                    let attrs: Vec<(String, Json)> = span
+                        .attrs
+                        .iter()
+                        .map(|(key, value)| (key.to_string(), Json::str(value)))
+                        .collect();
+                    Json::object([
+                        ("name", Json::str(span.name)),
+                        (
+                            "parent",
+                            match span.parent {
+                                Some(parent) => parent.to_json(),
+                                None => Json::Null,
+                            },
+                        ),
+                        ("start_ms", span.start.to_json()),
+                        ("duration_ms", span.duration.to_json()),
+                        ("attrs", Json::Object(attrs)),
+                    ])
+                })
+                .collect();
+            Json::object([
+                ("id", Json::str(trace.id().to_string())),
+                ("started_unix_ms", trace.started_unix().to_json()),
+                ("duration_ms", trace.duration().to_json()),
+                ("spans", Json::Array(spans)),
+            ])
+        })
+        .collect();
+    Json::object([
+        ("capacity", ring.capacity().to_json()),
+        ("traces", Json::Array(traces)),
+    ])
+}
+
+/// Stable outcome label for the `afg_grade_outcomes_total` counter and
+/// the root span's `outcome` attribute.
+fn outcome_label(outcome: &GradeOutcome) -> &'static str {
+    match outcome {
+        GradeOutcome::SyntaxError(_) => "syntax_error",
+        GradeOutcome::Correct => "correct",
+        GradeOutcome::Feedback(_) => "fixed",
+        GradeOutcome::CannotFix => "cannot_fix",
+        GradeOutcome::Timeout => "timeout",
     }
 }
 
@@ -462,38 +590,82 @@ fn handle_register(request: &Request, registry: &Registry) -> (u16, Json) {
 }
 
 /// `POST /problems/{id}/grade` — body `{"source": "..."}`.
-fn handle_grade(request: &Request, registry: &Registry, id: &str) -> (u16, Json) {
-    let Some(entry) = registry.get(id) else {
-        return (404, error_json(&format!("no problem '{id}'")));
+fn handle_grade(request: &Request, state: &ServiceState, id: &str) -> Reply {
+    let Some(entry) = state.registry.get(id) else {
+        return Reply::json(404, error_json(&format!("no problem '{id}'")));
     };
     let body = match parse_body(request) {
         Ok(body) => body,
-        Err(response) => return response,
+        Err((status, body)) => return Reply::json(status, body),
     };
     let Some(source) = body.get("source").and_then(Json::as_str) else {
-        return (400, error_json("missing string field 'source'"));
+        return Reply::json(400, error_json("missing string field 'source'"));
     };
 
+    // One trace per request (when tracing is on): installed for the
+    // duration of grading so every pipeline stage span lands in it.
+    let trace = state.tracing.then(Trace::new);
     let start = Instant::now();
-    let (outcome, cache_state, transfer_state) = match &entry.cache {
-        Some(cache) => {
-            let (outcome, disposition) =
-                entry
-                    .grader
-                    .grade_source_clustered(source, cache, entry.clusters.as_ref());
-            (
-                outcome,
-                if disposition.cache_hit { "hit" } else { "miss" },
-                match disposition.transfer {
-                    Some(true) => "hit",
-                    Some(false) => "miss",
-                    None => "none",
-                },
-            )
-        }
-        None => (entry.grader.grade_source(source), "off", "none"),
+    let (outcome, cache_state, transfer_state) = {
+        let _guard = trace.as_ref().map(|trace| trace.install());
+        let mut root = afg_obs::span("grade");
+        let (outcome, cache_state, transfer_state) = match &entry.cache {
+            Some(cache) => {
+                let (outcome, disposition) =
+                    entry
+                        .grader
+                        .grade_source_clustered(source, cache, entry.clusters.as_ref());
+                (
+                    outcome,
+                    if disposition.cache_hit { "hit" } else { "miss" },
+                    match disposition.transfer {
+                        Some(true) => "hit",
+                        Some(false) => "miss",
+                        None => "none",
+                    },
+                )
+            }
+            None => (entry.grader.grade_source(source), "off", "none"),
+        };
+        root.attr("problem", id);
+        root.attr("cache", cache_state);
+        root.attr("transfer", transfer_state);
+        root.attr("outcome", outcome_label(&outcome));
+        (outcome, cache_state, transfer_state)
     };
+    let elapsed = start.elapsed();
     entry.counters.record(&outcome, cache_state == "hit");
+    afg_obs::counter!("afg_grades_total", "Grade requests served").inc();
+    afg_obs::histogram!(
+        "afg_grade_seconds",
+        "End-to-end grade request latency",
+        1e-6
+    )
+    .record_duration(elapsed);
+    afg_obs::global()
+        .counter(
+            "afg_grade_outcomes_total",
+            "Grade requests served, by outcome",
+            &[("outcome", outcome_label(&outcome))],
+        )
+        .inc();
+
+    let mut headers = Vec::new();
+    if let Some(trace) = trace {
+        if state
+            .slow_grade
+            .is_some_and(|threshold| elapsed >= threshold)
+        {
+            eprintln!(
+                "[afg-serve] slow grade problem={id} trace={} elapsed={:.1}ms\n{}",
+                trace.id(),
+                elapsed.as_secs_f64() * 1e3,
+                trace.render_tree()
+            );
+        }
+        headers.push(("X-Afg-Trace-Id", trace.id().to_string()));
+        state.traces.push(trace);
+    }
 
     let mut pairs = match outcome.to_json() {
         Json::Object(pairs) => pairs,
@@ -501,29 +673,34 @@ fn handle_grade(request: &Request, registry: &Registry, id: &str) -> (u16, Json)
     };
     pairs.push(("cache".to_string(), Json::str(cache_state)));
     pairs.push(("transfer".to_string(), Json::str(transfer_state)));
-    pairs.push(("elapsed_ms".to_string(), start.elapsed().to_json()));
-    (200, Json::Object(pairs))
+    pairs.push(("elapsed_ms".to_string(), elapsed.to_json()));
+    Reply {
+        status: 200,
+        content_type: "application/json",
+        headers,
+        body: Json::Object(pairs).to_string(),
+    }
 }
 
 /// `POST /problems/{id}/grade/batch` — body
 /// `{"sources": ["...", ...], "workers": N?}`.
-fn handle_batch(request: &Request, registry: &Registry, id: &str) -> (u16, Json) {
-    let Some(entry) = registry.get(id) else {
-        return (404, error_json(&format!("no problem '{id}'")));
+fn handle_batch(request: &Request, state: &ServiceState, id: &str) -> Reply {
+    let Some(entry) = state.registry.get(id) else {
+        return Reply::json(404, error_json(&format!("no problem '{id}'")));
     };
     let body = match parse_body(request) {
         Ok(body) => body,
-        Err(response) => return response,
+        Err((status, body)) => return Reply::json(status, body),
     };
     let Some(items) = body.get("sources").and_then(Json::as_array) else {
-        return (400, error_json("missing array field 'sources'"));
+        return Reply::json(400, error_json("missing array field 'sources'"));
     };
     let mut sources = Vec::with_capacity(items.len());
     for (i, item) in items.iter().enumerate() {
         match item.as_str() {
             Some(source) => sources.push(source),
             None => {
-                return (400, error_json(&format!("sources[{i}] is not a string")));
+                return Reply::json(400, error_json(&format!("sources[{i}] is not a string")));
             }
         }
     }
@@ -532,16 +709,40 @@ fn handle_batch(request: &Request, registry: &Registry, id: &str) -> (u16, Json)
         _ => BatchGrader::default(),
     };
 
-    let report = engine.grade_sources_clustered(
-        &entry.grader,
-        &sources,
-        entry.cache.as_ref(),
-        entry.clusters.as_ref(),
-    );
+    let trace = state.tracing.then(Trace::new);
+    let report = {
+        let _guard = trace.as_ref().map(|trace| trace.install());
+        let mut root = afg_obs::span("grade_batch");
+        root.attr("problem", id);
+        root.attr("submissions", sources.len().to_string());
+        engine.grade_sources_clustered(
+            &entry.grader,
+            &sources,
+            entry.cache.as_ref(),
+            entry.clusters.as_ref(),
+        )
+    };
     for item in &report.items {
         entry
             .counters
             .record(&item.outcome, item.cache_hit == Some(true));
     }
-    (200, report.to_json())
+    afg_obs::counter!("afg_batches_total", "Batch grade requests served").inc();
+    afg_obs::counter!(
+        "afg_batch_submissions_total",
+        "Submissions graded via batch requests"
+    )
+    .add(report.items.len() as u64);
+
+    let mut headers = Vec::new();
+    if let Some(trace) = trace {
+        headers.push(("X-Afg-Trace-Id", trace.id().to_string()));
+        state.traces.push(trace);
+    }
+    Reply {
+        status: 200,
+        content_type: "application/json",
+        headers,
+        body: report.to_json().to_string(),
+    }
 }

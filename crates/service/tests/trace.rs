@@ -1,0 +1,208 @@
+//! Trace-propagation and exposition tests for the observability layer.
+//!
+//! Boots daemons in-process (ephemeral ports, real TCP) and asserts the
+//! three contracts the layer makes: every grade response names a trace
+//! retrievable from `/debug/traces` whose span tree covers the pipeline
+//! (parse → canonicalize → search → verify); `/metrics` serves Prometheus
+//! text with the grade latency series populated; and tracing on vs off
+//! changes *observability only* — grade response bodies stay
+//! byte-identical.
+//!
+//! The metrics registry is process-global (tests in this binary share
+//! it), so counter assertions are monotone (`>=`) rather than exact.
+
+use afg_json::{parse_json, Json};
+use afg_service::client::Client;
+use afg_service::{start, ServerHandle, ServiceConfig};
+
+/// The paper's worked example: iteration starts at 0 instead of 1 —
+/// incorrect, repairable with one correction.
+const BUGGY: &str = "def computeDeriv(poly):\n    if len(poly) == 1:\n        return [0]\n    d = []\n    for i in range(0, len(poly)):\n        d.append(i * poly[i])\n    return d\n";
+
+fn boot(config: ServiceConfig) -> (ServerHandle, Client) {
+    let handle = start(ServiceConfig {
+        threads: 4,
+        ..config
+    })
+    .expect("bind an ephemeral port");
+    let client = Client::connect(handle.addr()).expect("connect");
+    (handle, client)
+}
+
+/// Registers `computeDeriv` with the deterministic (candidate-bounded)
+/// budget the smoke test uses, so grading never depends on machine load.
+fn register(client: &mut Client) {
+    let (status, response) = client
+        .post(
+            "/problems",
+            &Json::object([
+                ("problem", Json::str("compDeriv")),
+                ("max_candidates", Json::Int(2000)),
+                ("time_budget_ms", Json::Int(600_000)),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 201, "{response}");
+}
+
+fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn grade_trace_id_resolves_to_a_full_span_tree() {
+    let (_handle, mut client) = boot(ServiceConfig::default());
+    register(&mut client);
+
+    let body = Json::object([("source", Json::str(BUGGY))]);
+    let (status, headers, graded) = client
+        .request_full("POST", "/problems/compDeriv/grade", Some(&body))
+        .unwrap();
+    assert_eq!(status, 200, "{graded}");
+    let trace_id = header(&headers, "x-afg-trace-id")
+        .expect("grade responses carry X-Afg-Trace-Id")
+        .to_string();
+    assert_eq!(trace_id.len(), 32, "{trace_id:?}");
+    assert!(trace_id.chars().all(|c| c.is_ascii_hexdigit()));
+
+    let (status, traces) = client.get("/debug/traces").unwrap();
+    assert_eq!(status, 200);
+    let traces = traces.get("traces").and_then(Json::as_array).unwrap();
+    let trace = traces
+        .iter()
+        .find(|t| t.get("id").and_then(Json::as_str) == Some(trace_id.as_str()))
+        .expect("the graded request's trace is in the ring");
+
+    let spans = trace.get("spans").and_then(Json::as_array).unwrap();
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Json::as_str))
+        .collect();
+    // The root request span plus the Figure-3 pipeline stages.  This was
+    // a cache miss, so the search actually ran and verified candidates.
+    assert_eq!(names.first(), Some(&"grade"));
+    assert!(spans[0].get("parent").unwrap().is_null());
+    for stage in ["parse", "canon", "cache_lookup", "search", "verify"] {
+        assert!(
+            names.contains(&stage),
+            "missing span {stage:?} in {names:?}"
+        );
+    }
+    // Every non-root span points at an earlier span — a well-formed tree.
+    for (i, span) in spans.iter().enumerate().skip(1) {
+        let parent = span.get("parent").and_then(Json::as_i64).unwrap();
+        assert!((parent as usize) < i, "span {i} has parent {parent}");
+    }
+    // The root span is annotated with the request disposition.
+    let attrs = spans[0].get("attrs").unwrap();
+    assert_eq!(attrs.get("cache").and_then(Json::as_str), Some("miss"));
+    assert_eq!(attrs.get("outcome").and_then(Json::as_str), Some("fixed"));
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_text_with_grade_latency() {
+    let (_handle, mut client) = boot(ServiceConfig::default());
+    register(&mut client);
+    let body = Json::object([("source", Json::str(BUGGY))]);
+    let (status, graded) = client.post("/problems/compDeriv/grade", &body).unwrap();
+    assert_eq!(status, 200, "{graded}");
+
+    let (status, headers, text) = client.request_raw("GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        header(&headers, "content-type")
+            .unwrap()
+            .starts_with("text/plain"),
+        "Prometheus exposition is text, not JSON"
+    );
+
+    assert!(text.contains("# TYPE afg_grades_total counter"), "{text}");
+    assert!(
+        text.contains("# TYPE afg_grade_seconds histogram"),
+        "{text}"
+    );
+    let grades: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("afg_grades_total "))
+        .expect("afg_grades_total sample")
+        .parse()
+        .unwrap();
+    assert!(grades >= 1);
+    let count: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("afg_grade_seconds_count "))
+        .expect("latency histogram count")
+        .parse()
+        .unwrap();
+    assert!(count >= 1, "grade latency histogram must not be empty");
+    assert!(
+        text.contains("afg_grade_seconds_bucket{le=\"+Inf\"}"),
+        "{text}"
+    );
+    // Per-stage latency histograms fire even without a trace installed.
+    assert!(
+        text.contains("afg_stage_seconds_bucket{stage=\"parse\","),
+        "{text}"
+    );
+}
+
+#[test]
+fn tracing_off_and_on_grade_byte_identically() {
+    let (_on_handle, mut on) = boot(ServiceConfig::default());
+    let (_off_handle, mut off) = boot(ServiceConfig {
+        tracing: false,
+        ..ServiceConfig::default()
+    });
+    register(&mut on);
+    register(&mut off);
+
+    let body = Json::object([("source", Json::str(BUGGY))]);
+    let (on_status, on_headers, on_text) = on
+        .request_raw("POST", "/problems/compDeriv/grade", Some(&body))
+        .unwrap();
+    let (off_status, off_headers, off_text) = off
+        .request_raw("POST", "/problems/compDeriv/grade", Some(&body))
+        .unwrap();
+    assert_eq!(on_status, 200);
+    assert_eq!(off_status, 200);
+    assert!(header(&on_headers, "x-afg-trace-id").is_some());
+    assert!(
+        header(&off_headers, "x-afg-trace-id").is_none(),
+        "tracing off must not mint trace IDs"
+    );
+
+    // Tracing must be byte-invisible to grading: after stripping the
+    // genuinely run-dependent fields — wall-clock `elapsed_ms` at every
+    // nesting level (the response, the feedback, its search stats) — the
+    // serialized response bodies are identical.
+    fn strip_elapsed(json: Json) -> Json {
+        match json {
+            Json::Object(pairs) => Json::Object(
+                pairs
+                    .into_iter()
+                    .filter(|(key, _)| key != "elapsed_ms")
+                    .map(|(key, value)| (key, strip_elapsed(value)))
+                    .collect(),
+            ),
+            Json::Array(items) => Json::Array(items.into_iter().map(strip_elapsed).collect()),
+            other => other,
+        }
+    }
+    assert_eq!(
+        strip_elapsed(parse_json(&on_text).unwrap()).to_string(),
+        strip_elapsed(parse_json(&off_text).unwrap()).to_string()
+    );
+
+    // And the untraced daemon's ring stays empty.
+    let (_, traces) = off.get("/debug/traces").unwrap();
+    assert_eq!(
+        traces
+            .get("traces")
+            .and_then(Json::as_array)
+            .map(|t| t.len()),
+        Some(0)
+    );
+}

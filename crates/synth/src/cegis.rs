@@ -260,7 +260,14 @@ impl SearchStrategy for CegisSolver {
         stats.sweeps = sweep.sweeps;
         stats.sweep_inputs = sweep.inputs_run;
         stats.sweep_compiled = sweep.compiled;
+        stats.sweep_cache_hits = sweep.cache_hits;
+        stats.sweep_cache_nodes = sweep.cache_nodes;
         stats.elapsed = start.elapsed();
+        // Trace-only accounting: the verification share of this search,
+        // attached under the caller's current span. Observes wall-clock
+        // already measured above; steers nothing.
+        afg_obs::record_span("verify", stats.verify_elapsed);
+        afg_obs::record_span("sat", stats.sat_elapsed);
         match best {
             Some(mut solution) => {
                 solution.minimal = proven_minimal;

@@ -66,6 +66,12 @@ pub struct SynthesisStats {
     /// [`afg_interp::SweepMode::Tree`] or when the candidate space used a
     /// construct the compiler cannot lower).
     pub sweep_compiled: bool,
+    /// Checks answered from the verdict cache without executing (a subset
+    /// of `sweep_inputs`; 0 on the tree path or with the cache off).
+    pub sweep_cache_hits: u64,
+    /// Verdict-cache trie nodes held at the end of the search (high-water
+    /// across merged strategies).
+    pub sweep_cache_nodes: u64,
     /// Which strategy produced this result (`"cegis"`, `"enum"`, …; for a
     /// portfolio run, the *winning* strategy).
     pub strategy: &'static str,
@@ -113,6 +119,8 @@ impl SynthesisStats {
         self.sweeps += other.sweeps;
         self.sweep_inputs += other.sweep_inputs;
         self.sweep_compiled |= other.sweep_compiled;
+        self.sweep_cache_hits += other.sweep_cache_hits;
+        self.sweep_cache_nodes = self.sweep_cache_nodes.max(other.sweep_cache_nodes);
         self.sat_elapsed += other.sat_elapsed;
         self.verify_elapsed += other.verify_elapsed;
         // The warm-start flags describe the race as a whole — a transfer

@@ -17,12 +17,16 @@ use crate::bitset::IndexBitset;
 use crate::config::{Solution, SynthesisConfig, SynthesisOutcome, SynthesisStats};
 use crate::strategy::{CancelToken, SearchStrategy};
 
-/// Copies the session's verification-work counters into the final report.
+/// Copies the session's verification-work counters into the final report
+/// and attaches the verification share to the current trace (if any).
 fn harvest_sweeps(stats: &mut SynthesisStats, session: &ChoiceSession) {
     let sweep = session.sweep_stats();
     stats.sweeps = sweep.sweeps;
     stats.sweep_inputs = sweep.inputs_run;
     stats.sweep_compiled = sweep.compiled;
+    stats.sweep_cache_hits = sweep.cache_hits;
+    stats.sweep_cache_nodes = sweep.cache_nodes;
+    afg_obs::record_span("verify", stats.verify_elapsed);
 }
 
 /// The enumerative synthesizer.

@@ -91,12 +91,22 @@ impl SearchStrategy for PortfolioSolver {
         // cancels only this race.
         let race = cancel.child();
 
+        // Racers run on their own threads; hand each one the caller's
+        // trace position so racer spans nest under the grade's search
+        // span (purely observational — losers still get cancelled the
+        // same way).
+        let trace = afg_obs::current_handle();
+
         let (winner, mut others) = std::thread::scope(|scope| {
             let (sender, receiver) = std::sync::mpsc::channel();
             for strategy in &self.strategies {
                 let sender = sender.clone();
                 let race = race.clone();
+                let trace = trace.clone();
                 scope.spawn(move || {
+                    let _guard = trace.map(afg_obs::TraceHandle::install);
+                    let mut span = afg_obs::span("racer");
+                    span.attr("strategy", strategy.name());
                     let outcome =
                         strategy.synthesize_with_hint(program, oracle, config, warm, &race);
                     // The receiver hangs up only after all results arrived;
