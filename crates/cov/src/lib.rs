@@ -1,0 +1,193 @@
+//! Branch-edge coverage map for the in-tree fuzzer (`afg-fuzz`).
+//!
+//! The attacker-facing decoders (`afg-parser`, `afg-json`, `afg-eml`) and
+//! the interpreter sprinkle [`cov_hit!`] at their decision points.  Each
+//! call site gets a stable compile-time *site id* (an FNV-1a hash of
+//! `file!()`/`line!()`), and consecutive sites on one thread form a
+//! *branch edge* `prev → cur` that is bucketed into a fixed-size global
+//! map, AFL-style: `index = ((prev >> 1) ^ cur) % MAP_SIZE`.  The fuzzer
+//! keeps any input that lights an edge bucket no earlier input lit.
+//!
+//! Everything is behind the `enabled` cargo feature.  Without it (the
+//! default for every production build) [`hit`] is an empty `#[inline]`
+//! function and the map does not exist, so the hot grading path is
+//! untouched — `ENABLED` is a `const` precisely so a test can assert the
+//! configuration at compile time (see `tests/cov_off.rs` at the workspace
+//! root and the release-build check in CI).
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Whether coverage recording is compiled in.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// Number of edge buckets in the global map.  16k buckets keeps collision
+/// rates negligible for the few hundred instrumented sites while the whole
+/// map still fits in L1/L2 during a fuzzing run.
+pub const MAP_SIZE: usize = 1 << 14;
+
+/// Compile-time FNV-1a hash of a call site, used by [`cov_hit!`] so that
+/// site ids are stable across runs and builds of the same source.
+#[must_use]
+pub const fn site_id(file: &str, line: u32) -> u32 {
+    let mut hash: u32 = 0x811C_9DC5;
+    let bytes = file.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+        i += 1;
+    }
+    let mut l = line;
+    while l > 0 {
+        hash ^= l & 0xFF;
+        hash = hash.wrapping_mul(0x0100_0193);
+        l >>= 8;
+    }
+    hash
+}
+
+/// Records a coverage hit for the call site.  Expands to a no-op function
+/// call when the `enabled` feature is off.
+#[macro_export]
+macro_rules! cov_hit {
+    () => {{
+        const SITE: u32 = $crate::site_id(file!(), line!());
+        $crate::hit(SITE);
+    }};
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::*;
+
+    pub(super) static MAP: [AtomicU32; MAP_SIZE] = {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU32 = AtomicU32::new(0);
+        [ZERO; MAP_SIZE]
+    };
+
+    thread_local! {
+        pub(super) static PREV: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    }
+}
+
+/// Records one hit of `site`, combining it with the previous site on this
+/// thread into a branch edge.
+#[inline(always)]
+pub fn hit(site: u32) {
+    #[cfg(feature = "enabled")]
+    {
+        let prev = imp::PREV.with(|p| p.replace(site));
+        let index = (((prev >> 1) ^ site) as usize) & (MAP_SIZE - 1);
+        imp::MAP[index].fetch_add(1, Ordering::Relaxed);
+    }
+    #[cfg(not(feature = "enabled"))]
+    let _ = site;
+}
+
+/// Zeroes the whole edge map and this thread's edge chain.  The fuzzer
+/// calls this before every target execution.
+pub fn reset() {
+    #[cfg(feature = "enabled")]
+    {
+        for bucket in &imp::MAP {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        imp::PREV.with(|p| p.set(0));
+    }
+}
+
+/// The non-zero edge buckets as `(index, count)` pairs, sorted by index.
+/// Empty when recording is compiled out.
+#[must_use]
+pub fn snapshot() -> Vec<(u32, u32)> {
+    #[cfg(feature = "enabled")]
+    {
+        let mut edges = Vec::new();
+        for (index, bucket) in imp::MAP.iter().enumerate() {
+            let count = bucket.load(Ordering::Relaxed);
+            if count > 0 {
+                edges.push((index as u32, count));
+            }
+        }
+        edges
+    }
+    #[cfg(not(feature = "enabled"))]
+    Vec::new()
+}
+
+/// AFL-style count bucketing: collapse an edge hit count into one of eight
+/// coarse classes so "loop ran 100 vs 101 times" is not novelty but
+/// "loop ran 1 vs 3 vs 50 times" is.
+#[must_use]
+pub fn count_class(count: u32) -> u8 {
+    match count {
+        0 => 0,
+        1 => 1,
+        2 => 2,
+        3 => 3,
+        4..=7 => 4,
+        8..=15 => 5,
+        16..=127 => 6,
+        _ => 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_ids_are_stable_and_distinct() {
+        let a = site_id("crates/parser/src/parser.rs", 100);
+        let b = site_id("crates/parser/src/parser.rs", 101);
+        let c = site_id("crates/json/src/parse.rs", 100);
+        assert_eq!(a, site_id("crates/parser/src/parser.rs", 100));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn count_classes_are_monotone() {
+        let classes: Vec<u8> = [0u32, 1, 2, 3, 4, 7, 8, 15, 16, 127, 128, 100_000]
+            .iter()
+            .map(|&c| count_class(c))
+            .collect();
+        let mut sorted = classes.clone();
+        sorted.sort_unstable();
+        assert_eq!(classes, sorted);
+        assert_eq!(count_class(0), 0);
+        assert_eq!(count_class(u32::MAX), 7);
+    }
+
+    // The zero-overhead contract: in a default build the hooks are inert.
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn disabled_build_records_nothing() {
+        assert!(!ENABLED);
+        reset();
+        cov_hit!();
+        cov_hit!();
+        assert!(snapshot().is_empty());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn enabled_build_records_edges() {
+        assert!(ENABLED);
+        reset();
+        assert!(snapshot().is_empty());
+        cov_hit!();
+        cov_hit!();
+        cov_hit!();
+        let edges = snapshot();
+        assert!(!edges.is_empty());
+        let total: u32 = edges.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 3);
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

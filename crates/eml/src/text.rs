@@ -78,6 +78,7 @@ pub fn parse_error_model(name: &str, text: &str) -> Result<ErrorModel, EmlParseE
         let line_no = (idx + 1) as u32;
         let line = raw_line.trim();
         if line.is_empty() || line.starts_with('#') {
+            afg_cov::cov_hit!();
             continue;
         }
         model.rules.push(parse_rule(line, line_no)?);
@@ -86,9 +87,13 @@ pub fn parse_error_model(name: &str, text: &str) -> Result<ErrorModel, EmlParseE
 }
 
 fn parse_rule(line: &str, line_no: u32) -> Result<Rule, EmlParseError> {
+    afg_cov::cov_hit!();
     let (name, rest) = match line.split_once(':') {
         Some((name, rest)) => (name.trim().to_string(), rest.trim()),
-        None => return Err(EmlParseError::new(line_no, "expected 'NAME: lhs -> rhs'")),
+        None => {
+            afg_cov::cov_hit!();
+            return Err(EmlParseError::new(line_no, "expected 'NAME: lhs -> rhs'"));
+        }
     };
     let (lhs_text, rhs_text) = match rest.split_once("->") {
         Some((lhs, rhs)) => (lhs.trim(), rhs.trim()),
@@ -108,6 +113,7 @@ fn parse_rule(line: &str, line_no: u32) -> Result<Rule, EmlParseError> {
 
     // Statement-shaped left-hand sides.
     if let Some(ret_expr) = lhs_text.strip_prefix("return ") {
+        afg_cov::cov_hit!();
         let metavars = vec![ret_expr.trim().to_string()];
         if metavars[0] != "a" {
             return Err(EmlParseError::new(
@@ -119,12 +125,14 @@ fn parse_rule(line: &str, line_no: u32) -> Result<Rule, EmlParseError> {
         return Ok(Rule::ret(name, alternatives));
     }
     if lhs_text == "v = n" {
+        afg_cov::cov_hit!();
         let metavars = vec!["v".to_string(), "n".to_string()];
         let alternatives = parse_alternatives(rhs_text, &metavars, line_no)?;
         return Ok(Rule::init(name, alternatives));
     }
 
     // Expression rules.
+    afg_cov::cov_hit!();
     let lhs_expr = parse_mpy(lhs_text, line_no)?;
     let pattern = expr_to_pattern(&lhs_expr);
     let mut metavars = Vec::new();
@@ -143,6 +151,7 @@ fn parse_alternatives(
         .map(|alt| {
             let alt = alt.trim();
             if alt.starts_with('?') {
+                afg_cov::cov_hit!();
                 return Ok(Template::AnyScopeVar);
             }
             let expr = parse_mpy(alt, line_no)?;

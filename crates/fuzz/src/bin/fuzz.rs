@@ -1,0 +1,97 @@
+//! CLI for the coverage-guided fuzzer.
+//!
+//! ```text
+//! fuzz --target {eml,parser,json,arith,vm} [--max-execs N] [--seed S]
+//!      [--corpus DIR] [--findings DIR] [--max-len N]
+//! ```
+//!
+//! Prints the run summary as JSON on stdout.  Exit code 0 even when
+//! findings exist — CI asserts over the summary with `jq` so the log
+//! always carries the full report.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use afg_fuzz::{Config, TargetKind};
+
+const USAGE: &str = "usage: fuzz --target {eml|parser|json|arith|vm} \
+[--max-execs N] [--seed S] [--corpus DIR] [--findings DIR] [--max-len N]";
+
+fn parse_args(args: &[String]) -> Result<Config, String> {
+    let mut target: Option<TargetKind> = None;
+    let mut max_execs: u64 = 10_000;
+    let mut seed: u64 = 1;
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut findings_dir: Option<PathBuf> = Some(PathBuf::from("fuzz/findings"));
+    let mut max_len: usize = 4096;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--target" => {
+                let name = value("--target")?;
+                target = Some(
+                    TargetKind::from_name(&name)
+                        .ok_or_else(|| format!("unknown target '{name}'"))?,
+                );
+            }
+            "--max-execs" => {
+                max_execs = value("--max-execs")?
+                    .parse()
+                    .map_err(|_| "--max-execs expects an integer".to_string())?;
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--corpus" => corpus_dir = Some(PathBuf::from(value("--corpus")?)),
+            "--findings" => {
+                let dir = value("--findings")?;
+                findings_dir = if dir == "none" {
+                    None
+                } else {
+                    Some(PathBuf::from(dir))
+                };
+            }
+            "--max-len" => {
+                max_len = value("--max-len")?
+                    .parse()
+                    .map_err(|_| "--max-len expects an integer".to_string())?;
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+
+    let target = target.ok_or_else(|| "--target is required".to_string())?;
+    let mut config = Config::new(target, max_execs, seed);
+    config.corpus_dir = corpus_dir;
+    config.findings_dir = findings_dir;
+    config.max_len = max_len;
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("fuzz: {message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if !afg_cov::ENABLED {
+        eprintln!(
+            "fuzz: warning: coverage recording is compiled out; corpus retention \
+             is blind.  Re-run with `--features coverage`."
+        );
+    }
+    let summary = afg_fuzz::run(&config);
+    println!("{}", summary.to_json().to_pretty());
+    ExitCode::SUCCESS
+}

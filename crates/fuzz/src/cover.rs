@@ -1,0 +1,94 @@
+//! Cumulative coverage state for one fuzzing run.  Tracks, per edge
+//! bucket, the highest AFL-style count class seen so far; an execution is
+//! *novel* (and its input retained) when it raises any bucket's class.
+
+use afg_cov::{count_class, MAP_SIZE};
+
+/// Highest count class observed per edge bucket across the whole run.
+pub struct CoverageMap {
+    classes: Vec<u8>,
+}
+
+impl Default for CoverageMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoverageMap {
+    #[must_use]
+    pub fn new() -> CoverageMap {
+        CoverageMap {
+            classes: vec![0; MAP_SIZE],
+        }
+    }
+
+    /// Merges one execution's edge snapshot (`(index, count)` pairs from
+    /// `afg_cov::snapshot()`); returns true if any bucket reached a count
+    /// class it had never reached before.
+    pub fn merge(&mut self, snapshot: &[(u32, u32)]) -> bool {
+        let mut novel = false;
+        for &(index, count) in snapshot {
+            let class = count_class(count);
+            let slot = &mut self.classes[index as usize];
+            if class > *slot {
+                *slot = class;
+                novel = true;
+            }
+        }
+        novel
+    }
+
+    /// Number of edge buckets hit at least once.
+    #[must_use]
+    pub fn edges(&self) -> usize {
+        self.classes.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// FNV-1a digest over all `(bucket, class)` pairs — two runs with the
+    /// same seed must produce the same signature, which CI asserts.
+    #[must_use]
+    pub fn signature(&self) -> u64 {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for (index, &class) in self.classes.iter().enumerate() {
+            if class == 0 {
+                continue;
+            }
+            for byte in (index as u32)
+                .to_le_bytes()
+                .into_iter()
+                .chain(std::iter::once(class))
+            {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_reports_novelty_then_saturates() {
+        let mut map = CoverageMap::new();
+        assert!(map.merge(&[(3, 1), (9, 2)]));
+        assert!(!map.merge(&[(3, 1), (9, 2)]));
+        // Raising a bucket's count class is novelty again.
+        assert!(map.merge(&[(3, 10)]));
+        assert_eq!(map.edges(), 2);
+    }
+
+    #[test]
+    fn signature_tracks_content() {
+        let mut a = CoverageMap::new();
+        let mut b = CoverageMap::new();
+        assert_eq!(a.signature(), b.signature());
+        a.merge(&[(5, 1)]);
+        assert_ne!(a.signature(), b.signature());
+        b.merge(&[(5, 1)]);
+        assert_eq!(a.signature(), b.signature());
+    }
+}

@@ -1,0 +1,424 @@
+//! The coverage-guided loop: seed from the committed corpus, mutate,
+//! execute, retain inputs that light new edges, and minimize any crash or
+//! divergence into a ready-to-paste regression test.  Fully deterministic
+//! for a fixed `(target, seed, corpus, max_execs)` — CI runs the parser
+//! target twice and diffs the JSON summaries.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+use afg_json::Json;
+
+use crate::cover::CoverageMap;
+use crate::minimize::minimize;
+use crate::mutate::mutate;
+use crate::rng::SplitMix64;
+use crate::targets::{run_target, TargetKind, Verdict};
+
+/// One fuzzing run's configuration.
+pub struct Config {
+    pub target: TargetKind,
+    pub max_execs: u64,
+    pub seed: u64,
+    /// Directory of seed inputs; loaded in sorted filename order.
+    pub corpus_dir: Option<PathBuf>,
+    /// Where minimized reproducers are written (only when a finding
+    /// occurs).  `None` disables emission.
+    pub findings_dir: Option<PathBuf>,
+    /// Mutants are truncated to this length.
+    pub max_len: usize,
+}
+
+impl Config {
+    #[must_use]
+    pub fn new(target: TargetKind, max_execs: u64, seed: u64) -> Config {
+        Config {
+            target,
+            max_execs,
+            seed,
+            corpus_dir: None,
+            findings_dir: None,
+            max_len: 4096,
+        }
+    }
+}
+
+/// A deduplicated crash or divergence, post-minimization.
+pub struct Finding {
+    /// `"crash"` or `"divergence"`.
+    pub kind: &'static str,
+    /// The panic message or differential mismatch description.
+    pub message: String,
+    /// Minimized input bytes.
+    pub input: Vec<u8>,
+    /// Path of the emitted reproducer snippet, if any.
+    pub reproducer: Option<String>,
+}
+
+/// End-of-run report; serialized to JSON by the `fuzz` binary.
+pub struct Summary {
+    pub target: TargetKind,
+    pub seed: u64,
+    pub max_execs: u64,
+    pub execs: u64,
+    pub coverage_enabled: bool,
+    pub corpus_files: usize,
+    pub retained: usize,
+    pub edges: usize,
+    pub coverage_signature: u64,
+    pub findings: Vec<Finding>,
+}
+
+impl Summary {
+    #[must_use]
+    pub fn new_crashes(&self) -> usize {
+        self.findings.iter().filter(|f| f.kind == "crash").count()
+    }
+
+    #[must_use]
+    pub fn new_divergences(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.kind == "divergence")
+            .count()
+    }
+
+    /// The JSON document CI asserts over with `jq`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("target", Json::str(self.target.name())),
+            ("seed", Json::Int(self.seed as i64)),
+            ("max_execs", Json::Int(self.max_execs as i64)),
+            ("execs", Json::Int(self.execs as i64)),
+            ("coverage_enabled", Json::Bool(self.coverage_enabled)),
+            ("corpus_files", Json::Int(self.corpus_files as i64)),
+            ("retained", Json::Int(self.retained as i64)),
+            ("edges", Json::Int(self.edges as i64)),
+            (
+                "coverage_signature",
+                Json::str(format!("{:016x}", self.coverage_signature)),
+            ),
+            ("new_crashes", Json::Int(self.new_crashes() as i64)),
+            ("new_divergences", Json::Int(self.new_divergences() as i64)),
+            (
+                "findings",
+                Json::Array(
+                    self.findings
+                        .iter()
+                        .map(|f| {
+                            Json::object([
+                                ("kind", Json::str(f.kind)),
+                                ("message", Json::str(&*f.message)),
+                                ("len", Json::Int(f.input.len() as i64)),
+                                ("input", Json::str(escape_bytes(&f.input))),
+                                (
+                                    "reproducer",
+                                    match &f.reproducer {
+                                        Some(path) => Json::str(&**path),
+                                        None => Json::Null,
+                                    },
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Built-in seeds used when the corpus directory is absent or empty, so
+/// `fuzz --target X` works out of the box.
+#[must_use]
+pub fn builtin_seeds(target: TargetKind) -> Vec<Vec<u8>> {
+    let texts: &[&str] = match target {
+        TargetKind::Eml => &[
+            "ret: return ?a -> return [?a + 1, ?a - 1]\n",
+            "cmp: ?a < ?b -> [?a <= ?b, ?a > ?b]\n",
+        ],
+        TargetKind::Parser | TargetKind::Vm => &[
+            "def f_int(x):\n    if x > 0:\n        return x\n    return 0 - x\n",
+            "def g_int(n):\n    total = 0\n    while n > 0:\n        total = total + n\n        n = n - 1\n    return total\n",
+        ],
+        TargetKind::Json => &[
+            "{\"a\": [1, 2.5, -3], \"b\": {\"c\": \"\\u0041\", \"d\": [true, false, null]}}",
+            "[[[[0]]]]",
+        ],
+        TargetKind::Arith => {
+            // One chunk per operator over boundary operands.
+            let mut seeds = Vec::new();
+            let mut bytes = Vec::new();
+            for (op, a, b) in [
+                (0u8, i64::MAX, 1i64),
+                (2, i64::MIN, -1),
+                (3, i64::MIN, -1),
+                (4, -7, -3),
+                (5, -1, 1_000_000),
+            ] {
+                bytes.push(op);
+                bytes.extend_from_slice(&a.to_le_bytes());
+                bytes.extend_from_slice(&b.to_le_bytes());
+            }
+            seeds.push(bytes);
+            return seeds;
+        }
+    };
+    texts.iter().map(|t| t.as_bytes().to_vec()).collect()
+}
+
+/// Executes one input: resets the edge map, runs the target, merges the
+/// snapshot.  Returns the verdict and whether coverage was novel.
+fn execute(target: TargetKind, data: &[u8], coverage: &mut CoverageMap) -> (Verdict, bool) {
+    afg_cov::reset();
+    let verdict = run_target(target, data);
+    let novel = coverage.merge(&afg_cov::snapshot());
+    (verdict, novel)
+}
+
+/// Stable deduplication key for a finding: its class plus the first line
+/// of its message (panic locations and argument lists stay, counters and
+/// full input dumps do not).
+fn dedup_key(verdict: &Verdict) -> Option<String> {
+    match verdict {
+        Verdict::Crash(message) => Some(format!("crash:{}", first_line(message))),
+        Verdict::Divergence(message) => Some(format!("divergence:{}", first_line(message))),
+        _ => None,
+    }
+}
+
+fn first_line(message: &str) -> &str {
+    message.lines().next().unwrap_or("")
+}
+
+/// Renders bytes as the contents of a Rust byte-string literal.
+#[must_use]
+pub fn escape_bytes(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\t' => out.push_str("\\t"),
+            b'\r' => out.push_str("\\r"),
+            0x20..=0x7E => out.push(b as char),
+            _ => out.push_str(&format!("\\x{b:02X}")),
+        }
+    }
+    out
+}
+
+/// The ready-to-paste `#[test]` snippet for a minimized finding.
+#[must_use]
+pub fn reproducer_snippet(target: TargetKind, finding_index: usize, f: &Finding) -> String {
+    let target_variant = match target {
+        TargetKind::Eml => "Eml",
+        TargetKind::Parser => "Parser",
+        TargetKind::Json => "Json",
+        TargetKind::Arith => "Arith",
+        TargetKind::Vm => "Vm",
+    };
+    format!(
+        "// Minimized {kind} reproducer emitted by `fuzz --target {name}`.\n\
+         // {message}\n\
+         // Paste into crates/fuzz/tests/ (or port to the owning crate) and\n\
+         // keep it after fixing the bug.\n\
+         #[test]\n\
+         fn fuzz_{name}_regression_{finding_index}() {{\n\
+         \x20   let input: &[u8] = b\"{input}\";\n\
+         \x20   let verdict = afg_fuzz::run_target(afg_fuzz::TargetKind::{target_variant}, input);\n\
+         \x20   assert!(!verdict.is_finding(), \"{{verdict:?}}\");\n\
+         }}\n",
+        kind = f.kind,
+        name = target.name(),
+        message = first_line(&f.message),
+        input = escape_bytes(&f.input),
+    )
+}
+
+/// Runs the full loop and returns the summary.
+#[must_use]
+pub fn run(config: &Config) -> Summary {
+    // Silence panic backtraces while targets run: crashes are expected
+    // events here, captured via `catch_unwind` and reported in the
+    // summary, not on stderr.
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let summary = run_inner(config);
+    std::panic::set_hook(previous_hook);
+    summary
+}
+
+fn run_inner(config: &Config) -> Summary {
+    let mut coverage = CoverageMap::new();
+    let mut rng = SplitMix64::new(config.seed);
+    let mut execs: u64 = 0;
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut seen_keys: BTreeSet<String> = BTreeSet::new();
+
+    // Load the corpus in sorted filename order for determinism.
+    let mut corpus: Vec<Vec<u8>> = Vec::new();
+    let mut corpus_files = 0;
+    if let Some(dir) = &config.corpus_dir {
+        let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|entry| entry.path())
+            .filter(|path| path.is_file())
+            .collect();
+        paths.sort();
+        for path in paths {
+            if let Ok(bytes) = fs::read(&path) {
+                corpus.push(bytes);
+                corpus_files += 1;
+            }
+        }
+    }
+    if corpus.is_empty() {
+        corpus = builtin_seeds(config.target);
+    }
+
+    // Queue of retained inputs; seeded with the corpus.
+    let mut queue: Vec<Vec<u8>> = Vec::new();
+    for input in &corpus {
+        if execs >= config.max_execs {
+            break;
+        }
+        let (verdict, _novel) = execute(config.target, input, &mut coverage);
+        execs += 1;
+        record_finding(config, &verdict, input, &mut seen_keys, &mut findings);
+        queue.push(input.clone());
+    }
+    if queue.is_empty() {
+        queue.push(Vec::new());
+    }
+    let seed_count = queue.len();
+
+    // Main mutation loop.
+    while execs < config.max_execs {
+        let base = &queue[rng.below(queue.len())];
+        let candidate = mutate(base, &mut rng, config.max_len);
+        let (verdict, novel) = execute(config.target, &candidate, &mut coverage);
+        execs += 1;
+        let found = record_finding(config, &verdict, &candidate, &mut seen_keys, &mut findings);
+        // Retain coverage novelty, but never retain finding inputs — the
+        // loop should explore the healthy frontier, not re-crash forever.
+        if novel && !found {
+            queue.push(candidate);
+        }
+    }
+
+    Summary {
+        target: config.target,
+        seed: config.seed,
+        max_execs: config.max_execs,
+        execs,
+        coverage_enabled: afg_cov::ENABLED,
+        corpus_files,
+        retained: queue.len() - seed_count,
+        edges: coverage.edges(),
+        coverage_signature: coverage.signature(),
+        findings,
+    }
+}
+
+/// If `verdict` is a novel finding, minimizes it, emits a reproducer, and
+/// appends it.  Returns true if the verdict was a finding (novel or not).
+fn record_finding(
+    config: &Config,
+    verdict: &Verdict,
+    input: &[u8],
+    seen_keys: &mut BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) -> bool {
+    let Some(key) = dedup_key(verdict) else {
+        return false;
+    };
+    if !seen_keys.insert(key.clone()) {
+        return true;
+    }
+    let kind = match verdict {
+        Verdict::Crash(_) => "crash",
+        _ => "divergence",
+    };
+    let message = match verdict {
+        Verdict::Crash(m) | Verdict::Divergence(m) => m.clone(),
+        _ => unreachable!(),
+    };
+    // Shrink while the candidate still produces a finding with the same
+    // deduplication key.
+    let target = config.target;
+    let minimized = minimize(input, &mut |candidate: &[u8]| {
+        dedup_key(&run_target(target, candidate)).as_deref() == Some(key.as_str())
+    });
+    let mut finding = Finding {
+        kind,
+        message,
+        input: minimized,
+        reproducer: None,
+    };
+    if let Some(dir) = &config.findings_dir {
+        let index = findings.len();
+        let snippet = reproducer_snippet(target, index, &finding);
+        let path = dir.join(format!("{}-{index:02}.rs", target.name()));
+        if fs::create_dir_all(dir).is_ok() && fs::write(&path, snippet).is_ok() {
+            finding.reproducer = Some(path.display().to_string());
+        }
+    }
+    findings.push(finding);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_seeds_are_healthy() {
+        for target in TargetKind::ALL {
+            for seed in builtin_seeds(target) {
+                let verdict = run_target(target, &seed);
+                assert!(!verdict.is_finding(), "{target:?}: {verdict:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_runs_are_deterministic() {
+        let run_once = || {
+            let config = Config::new(TargetKind::Parser, 300, 1);
+            let summary = run(&config);
+            (
+                summary.execs,
+                summary.retained,
+                summary.edges,
+                summary.coverage_signature,
+                summary.findings.len(),
+            )
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn escaping_round_trips_through_rust_syntax() {
+        assert_eq!(escape_bytes(b"a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_bytes(&[0x00, 0xFF]), "\\x00\\xFF");
+    }
+
+    #[test]
+    fn summary_json_has_the_ci_contract_fields() {
+        let config = Config::new(TargetKind::Json, 50, 7);
+        let summary = run(&config);
+        let json = summary.to_json();
+        assert!(json.get("new_crashes").and_then(Json::as_i64).is_some());
+        assert!(json.get("new_divergences").and_then(Json::as_i64).is_some());
+        assert!(json
+            .get("coverage_signature")
+            .and_then(Json::as_str)
+            .is_some());
+        assert_eq!(json.get("target").and_then(Json::as_str), Some("json"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Coverage-guided mutational fuzzer for the untrusted-input surface.
+//!
+//! The autograder's whole job is to eat adversarial input: student
+//! submissions hit `afg-parser`, error models hit `afg-eml`, service
+//! payloads hit `afg-json`, and everything that parses is then executed
+//! by the interpreter/VM.  This crate institutionalizes the discovery
+//! loop that PR 4/5's seeded differential tests ran by hand:
+//!
+//! * **Targets** ([`targets`]) — the three decoders (crash-freedom: every
+//!   input must parse or return a structured error) plus two differential
+//!   targets (the i128-widened arithmetic oracle vs `binary_op`, and the
+//!   bytecode VM vs the tree walker on value/output/error/fuel).
+//! * **Coverage** ([`cover`]) — an AFL-style branch-edge map fed by the
+//!   feature-gated `afg_cov::cov_hit!` hooks compiled into the parsers
+//!   and interpreter.  Off by default; `--features coverage` turns it on.
+//! * **Mutation** ([`mutate`]) — seeded SplitMix64 byte mutations with a
+//!   cross-target dictionary; no entropy outside the `--seed`.
+//! * **Minimization** ([`minimize`]) — greedy chunk removal plus
+//!   token-level canonicalization, preserving the finding's dedup key.
+//! * **Loop** ([`fuzzer`]) — corpus → mutate → execute → retain novelty,
+//!   emitting minimized reproducers as ready-to-paste `#[test]` snippets
+//!   and a JSON summary that CI asserts over (`new_crashes == 0`).
+//!
+//! Run locally with:
+//!
+//! ```text
+//! cargo run --release -p afg-fuzz --features coverage --bin fuzz -- \
+//!     --target parser --max-execs 50000 --seed 1 --corpus fuzz/corpus/parser
+//! ```
+
+pub mod cover;
+pub mod fuzzer;
+pub mod minimize;
+pub mod mutate;
+pub mod rng;
+pub mod targets;
+
+pub use cover::CoverageMap;
+pub use fuzzer::{builtin_seeds, run, Config, Finding, Summary};
+pub use minimize::minimize;
+pub use rng::SplitMix64;
+pub use targets::{run_target, TargetKind, Verdict};

@@ -1,0 +1,77 @@
+//! Greedy reproducer shrinking: chunk removal at halving granularity,
+//! then token-level simplification.  `keep` must return true while the
+//! candidate still exhibits the original finding (same verdict class and
+//! deduplication key), so every step preserves the bug.
+
+/// Shrinks `data` while `keep` stays true.  Deterministic: no randomness,
+/// fixed scan order, bounded passes.
+pub fn minimize(data: &[u8], keep: &mut dyn FnMut(&[u8]) -> bool) -> Vec<u8> {
+    let mut best = data.to_vec();
+    // Phase 1: greedy chunk removal, halving the chunk size each round.
+    let mut chunk = (best.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < best.len() {
+            let end = (start + chunk).min(best.len());
+            let mut candidate = Vec::with_capacity(best.len() - (end - start));
+            candidate.extend_from_slice(&best[..start]);
+            candidate.extend_from_slice(&best[end..]);
+            if keep(&candidate) {
+                best = candidate;
+                // Do not advance: the next chunk shifted into `start`.
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    // Phase 2: token-level shrinking — canonicalize every byte we can to
+    // a small alphabet so reproducers read cleanly in a test file.
+    for i in 0..best.len() {
+        for replacement in [b'0', b'a', b' '] {
+            if best[i] == replacement {
+                break;
+            }
+            let saved = best[i];
+            best[i] = replacement;
+            if keep(&best) {
+                break;
+            }
+            best[i] = saved;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_essential_substring() {
+        // The "bug" fires whenever the input contains `((((`.
+        let data = b"prefix garbage (((( suffix garbage".to_vec();
+        let minimized = minimize(&data, &mut |candidate: &[u8]| {
+            candidate.windows(4).any(|w| w == b"((((")
+        });
+        assert_eq!(minimized, b"((((");
+    }
+
+    #[test]
+    fn canonicalizes_irrelevant_bytes() {
+        // Only the length matters; bytes should all collapse to '0'.
+        let data = vec![0xF7u8; 5];
+        let minimized = minimize(&data, &mut |candidate: &[u8]| candidate.len() >= 3);
+        assert_eq!(minimized, vec![b'0'; 3]);
+    }
+
+    #[test]
+    fn keeps_input_when_nothing_can_go() {
+        let data = b"xy".to_vec();
+        let minimized = minimize(&data, &mut |candidate: &[u8]| candidate == b"xy");
+        assert_eq!(minimized, b"xy");
+    }
+}

@@ -1,0 +1,144 @@
+//! Deterministic byte-level mutations.  Nothing here is clever — the
+//! coverage loop supplies the feedback; this just needs to be cheap,
+//! seeded, and biased toward the tokens the five targets actually parse.
+
+use crate::rng::SplitMix64;
+
+/// Boundary values that historically break integer decoders.
+const INTERESTING_BYTES: [u8; 12] = [
+    0x00, 0x01, 0x7F, 0x80, 0xFF, b'0', b'9', b'(', b')', b':', b'\n', b' ',
+];
+
+/// Grammar fragments across all five targets: MPY keywords, JSON
+/// scaffolding, EML arrows, and the i64 boundary literals the arithmetic
+/// oracle cares about.
+const DICTIONARY: [&str; 24] = [
+    "def f_int(x):\n",
+    "    return ",
+    "if ",
+    "else:\n",
+    "elif ",
+    "while ",
+    "for x in ",
+    "print ",
+    "not ",
+    " == ",
+    " // ",
+    " ** ",
+    "((((",
+    "[[[[",
+    "{\"a\": ",
+    "\\u0041",
+    "null",
+    "true",
+    "1e999",
+    "9223372036854775807",
+    "-9223372036854775808",
+    " -> ",
+    "?x",
+    "range(",
+];
+
+/// Produces one seeded mutant of `data`, capped at `max_len` bytes.
+#[must_use]
+pub fn mutate(data: &[u8], rng: &mut SplitMix64, max_len: usize) -> Vec<u8> {
+    let mut out = data.to_vec();
+    // Stack 1–4 mutations so the fuzzer can jump more than one edit away
+    // from the corpus.
+    let rounds = 1 + rng.below(4);
+    for _ in 0..rounds {
+        apply_one(&mut out, rng);
+    }
+    out.truncate(max_len);
+    out
+}
+
+fn apply_one(out: &mut Vec<u8>, rng: &mut SplitMix64) {
+    match rng.below(8) {
+        // Bit flip.
+        0 if !out.is_empty() => {
+            let i = rng.below(out.len());
+            out[i] ^= 1 << rng.below(8);
+        }
+        // Replace with a random byte.
+        1 if !out.is_empty() => {
+            let i = rng.below(out.len());
+            out[i] = rng.byte();
+        }
+        // Replace with an interesting byte.
+        2 if !out.is_empty() => {
+            let i = rng.below(out.len());
+            out[i] = INTERESTING_BYTES[rng.below(INTERESTING_BYTES.len())];
+        }
+        // Insert a random byte.
+        3 => {
+            let i = rng.below(out.len() + 1);
+            out.insert(i, rng.byte());
+        }
+        // Delete a chunk.
+        4 if !out.is_empty() => {
+            let start = rng.below(out.len());
+            let len = 1 + rng.below((out.len() - start).min(8));
+            out.drain(start..start + len);
+        }
+        // Duplicate a chunk (drives loop/nesting count classes).
+        5 if !out.is_empty() => {
+            let start = rng.below(out.len());
+            let len = 1 + rng.below((out.len() - start).min(16));
+            let chunk: Vec<u8> = out[start..start + len].to_vec();
+            let at = rng.below(out.len() + 1);
+            out.splice(at..at, chunk);
+        }
+        // Splice in a dictionary token.
+        6 => {
+            let token = DICTIONARY[rng.below(DICTIONARY.len())];
+            let at = rng.below(out.len() + 1);
+            out.splice(at..at, token.bytes());
+        }
+        // Overwrite a run with one repeated byte (long literals, deep
+        // indentation).
+        7 if out.len() > 1 => {
+            let start = rng.below(out.len());
+            let len = 1 + rng.below((out.len() - start).min(12));
+            let b = INTERESTING_BYTES[rng.below(INTERESTING_BYTES.len())];
+            for slot in &mut out[start..start + len] {
+                *slot = b;
+            }
+        }
+        // Guarded arms fall through to insertion when the input is empty.
+        _ => {
+            let at = rng.below(out.len() + 1);
+            out.insert(at, rng.byte());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic_and_bounded() {
+        let seedling = b"def f_int(x):\n    return x\n";
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for _ in 0..200 {
+            let ma = mutate(seedling, &mut a, 64);
+            let mb = mutate(seedling, &mut b, 64);
+            assert_eq!(ma, mb);
+            assert!(ma.len() <= 64);
+        }
+    }
+
+    #[test]
+    fn empty_input_grows() {
+        let mut rng = SplitMix64::new(1);
+        let mut grew = false;
+        for _ in 0..50 {
+            if !mutate(b"", &mut rng, 64).is_empty() {
+                grew = true;
+            }
+        }
+        assert!(grew);
+    }
+}

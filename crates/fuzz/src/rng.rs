@@ -1,0 +1,62 @@
+//! SplitMix64 — the same tiny deterministic generator the corpus crate
+//! uses for mutation seeding.  The fuzzer must be reproducible from a
+//! single `--seed`, so no entropy source other than this stream exists
+//! anywhere in `afg-fuzz`.
+
+/// Deterministic 64-bit PRNG (Steele, Lea & Flood's SplitMix64).
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    pub fn byte(&mut self) -> u8 {
+        (self.next_u64() & 0xFF) as u8
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SplitMix64::new(7);
+        for bound in 1..50 {
+            for _ in 0..20 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+}

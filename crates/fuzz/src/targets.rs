@@ -1,0 +1,343 @@
+//! The five fuzz targets: three attacker-facing decoders run for
+//! crash-freedom, and two differential targets run against an independent
+//! oracle.  Every target maps a raw byte string to a [`Verdict`]; panics
+//! are caught with `catch_unwind` so the loop survives them and can
+//! minimize the input that triggered one.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use afg_ast::ops::BinOp;
+use afg_interp::{binary_op, CompiledProgram, ExecLimits, Interpreter, RuntimeError, Value, Vm};
+
+/// Which decoder/differential pair an input is fed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetKind {
+    /// EML error-model text → `afg_eml::parse_error_model`.
+    Eml,
+    /// MPY submission source → `afg_parser::parse_program`.
+    Parser,
+    /// JSON document → `afg_json::parse_json`.
+    Json,
+    /// 17-byte `(op, a, b)` chunks → `binary_op` vs the i128-widened oracle.
+    Arith,
+    /// MPY source → bytecode VM vs tree walker (value + output + fuel).
+    Vm,
+}
+
+impl TargetKind {
+    pub const ALL: [TargetKind; 5] = [
+        TargetKind::Eml,
+        TargetKind::Parser,
+        TargetKind::Json,
+        TargetKind::Arith,
+        TargetKind::Vm,
+    ];
+
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<TargetKind> {
+        match name {
+            "eml" => Some(TargetKind::Eml),
+            "parser" => Some(TargetKind::Parser),
+            "json" => Some(TargetKind::Json),
+            "arith" => Some(TargetKind::Arith),
+            "vm" => Some(TargetKind::Vm),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetKind::Eml => "eml",
+            TargetKind::Parser => "parser",
+            TargetKind::Json => "json",
+            TargetKind::Arith => "arith",
+            TargetKind::Vm => "vm",
+        }
+    }
+}
+
+/// Outcome of feeding one input to one target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The input was accepted (or, for differential targets, all probed
+    /// operations agreed).
+    Ok,
+    /// The input was rejected with a structured error — the healthy path
+    /// for malformed input.
+    Rejected(String),
+    /// The target panicked; the payload is the panic message.
+    Crash(String),
+    /// A differential target disagreed with its oracle.
+    Divergence(String),
+}
+
+impl Verdict {
+    /// Crashes and divergences are findings; Ok/Rejected are not.
+    #[must_use]
+    pub fn is_finding(&self) -> bool {
+        matches!(self, Verdict::Crash(_) | Verdict::Divergence(_))
+    }
+}
+
+/// Runs `data` through `kind`, converting panics into [`Verdict::Crash`].
+#[must_use]
+pub fn run_target(kind: TargetKind, data: &[u8]) -> Verdict {
+    let result = catch_unwind(AssertUnwindSafe(|| run_target_inner(kind, data)));
+    match result {
+        Ok(verdict) => verdict,
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Verdict::Crash(message)
+        }
+    }
+}
+
+fn run_target_inner(kind: TargetKind, data: &[u8]) -> Verdict {
+    match kind {
+        TargetKind::Eml => {
+            let text = String::from_utf8_lossy(data);
+            match afg_eml::parse_error_model("fuzz", &text) {
+                Ok(_) => Verdict::Ok,
+                Err(err) => Verdict::Rejected(err.to_string()),
+            }
+        }
+        TargetKind::Parser => {
+            let text = String::from_utf8_lossy(data);
+            match afg_parser::parse_program(&text) {
+                Ok(_) => Verdict::Ok,
+                Err(err) => Verdict::Rejected(err.to_string()),
+            }
+        }
+        TargetKind::Json => {
+            let text = String::from_utf8_lossy(data);
+            match afg_json::parse_json(&text) {
+                Ok(_) => Verdict::Ok,
+                Err(err) => Verdict::Rejected(err.to_string()),
+            }
+        }
+        TargetKind::Arith => run_arith(data),
+        TargetKind::Vm => run_vm(data),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential target: binary_op vs i128 oracle
+// ---------------------------------------------------------------------------
+
+/// What the i128-widened mathematical semantics say an operation does.
+/// Written independently of `afg-interp` (same contract as the seeded
+/// sweep in `crates/interp/tests/arith_differential.rs`).
+#[derive(Debug, PartialEq, Eq)]
+enum Oracle {
+    Int(i64),
+    Overflow,
+    ZeroDivision,
+    Unsupported,
+}
+
+fn fits(wide: i128) -> Oracle {
+    match i64::try_from(wide) {
+        Ok(narrow) => Oracle::Int(narrow),
+        Err(_) => Oracle::Overflow,
+    }
+}
+
+/// Floor of `a / b` in i128 (`b != 0`); `div_euclid` floors only for
+/// positive divisors, and `a / b == (-a) / (-b)` maps the rest onto it.
+fn floor_div_i128(a: i128, b: i128) -> i128 {
+    if b > 0 {
+        a.div_euclid(b)
+    } else {
+        (-a).div_euclid(-b)
+    }
+}
+
+fn oracle_binary(op: BinOp, a: i64, b: i64) -> Oracle {
+    let (wa, wb) = (i128::from(a), i128::from(b));
+    match op {
+        BinOp::Add => fits(wa + wb),
+        BinOp::Sub => fits(wa - wb),
+        BinOp::Mul => fits(wa * wb),
+        BinOp::Div | BinOp::FloorDiv => {
+            if b == 0 {
+                Oracle::ZeroDivision
+            } else {
+                fits(floor_div_i128(wa, wb))
+            }
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                Oracle::ZeroDivision
+            } else {
+                fits(wa - wb * floor_div_i128(wa, wb))
+            }
+        }
+        BinOp::Pow => {
+            if b < 0 {
+                return Oracle::Unsupported;
+            }
+            match a {
+                0 => return Oracle::Int(if b == 0 { 1 } else { 0 }),
+                1 => return Oracle::Int(1),
+                -1 => return Oracle::Int(if b % 2 == 0 { 1 } else { -1 }),
+                _ => {}
+            }
+            let mut acc: i128 = 1;
+            for _ in 0..b {
+                acc *= wa;
+                if i64::try_from(acc).is_err() {
+                    return Oracle::Overflow;
+                }
+            }
+            fits(acc)
+        }
+    }
+}
+
+const OPS: [BinOp; 6] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::FloorDiv,
+    BinOp::Mod,
+    BinOp::Pow,
+];
+
+/// Decodes the input as a sequence of 17-byte `(op, a, b)` chunks and
+/// checks `binary_op` against the oracle on each.  A trailing partial
+/// chunk is ignored; an empty input is trivially Ok.
+fn run_arith(data: &[u8]) -> Verdict {
+    for chunk in data.chunks_exact(17) {
+        let op = OPS[(chunk[0] % 6) as usize];
+        let a = i64::from_le_bytes(chunk[1..9].try_into().expect("8 bytes"));
+        let b = i64::from_le_bytes(chunk[9..17].try_into().expect("8 bytes"));
+        let expected = oracle_binary(op, a, b);
+        let observed = match binary_op(op, &Value::Int(a), &Value::Int(b)) {
+            Ok(Value::Int(v)) => Oracle::Int(v),
+            Ok(other) => {
+                return Verdict::Divergence(format!("int {op:?} produced a non-int: {other:?}"))
+            }
+            Err(RuntimeError::Overflow) => Oracle::Overflow,
+            Err(RuntimeError::ZeroDivision) => Oracle::ZeroDivision,
+            Err(RuntimeError::Unsupported(_)) => Oracle::Unsupported,
+            Err(other) => return Verdict::Divergence(format!("int {op:?} raised {other:?}")),
+        };
+        if observed != expected {
+            return Verdict::Divergence(format!(
+                "{op:?}({a}, {b}): interp {observed:?} vs oracle {expected:?}"
+            ));
+        }
+    }
+    Verdict::Ok
+}
+
+// ---------------------------------------------------------------------------
+// Differential target: bytecode VM vs tree walker
+// ---------------------------------------------------------------------------
+
+/// Cap on the number of argument tuples probed per program so a single
+/// exec stays bounded regardless of arity.
+const VM_MAX_ARG_TUPLES: usize = 12;
+
+fn run_vm(data: &[u8]) -> Verdict {
+    let text = String::from_utf8_lossy(data);
+    let program = match afg_parser::parse_program(&text) {
+        Ok(program) => program,
+        Err(err) => return Verdict::Rejected(err.to_string()),
+    };
+    let Some(func) = program.funcs.first() else {
+        return Verdict::Rejected("no function definition".to_string());
+    };
+    let entry = func.name.clone();
+    let Some(compiled) = CompiledProgram::from_program(&program, Some(&entry)) else {
+        // Programs the compiler cannot lower fall back to the tree walker
+        // in production, so there is nothing to compare.
+        return Verdict::Rejected("not compilable to bytecode".to_string());
+    };
+    let params: Vec<_> = func.params.iter().map(|p| p.ty.clone()).collect();
+    let limits = ExecLimits::fast();
+    let arg_tuples = afg_interp::InputSpace::tiny().enumerate_args(&params);
+    for args in arg_tuples.into_iter().take(VM_MAX_ARG_TUPLES) {
+        let mut vm = Vm::new(limits);
+        let vm_result = vm.run(&compiled, &args);
+        let mut interp = Interpreter::with_limits(&program, limits);
+        let tree_result = interp.call_entry(Some(&entry), &args);
+        let agree = match (&vm_result, &tree_result) {
+            (Ok(v), Ok(t)) => v.value == t.value && v.output == t.output,
+            (Err(v), Err(t)) => v == t,
+            _ => false,
+        };
+        if !agree {
+            return Verdict::Divergence(format!(
+                "args {args:?}: vm {vm_result:?} vs tree {tree_result:?}"
+            ));
+        }
+        if vm.fuel_used() != interp.fuel_used() {
+            return Verdict::Divergence(format!(
+                "args {args:?}: fuel vm {} vs tree {}",
+                vm.fuel_used(),
+                interp.fuel_used()
+            ));
+        }
+    }
+    Verdict::Ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_names_round_trip() {
+        for kind in TargetKind::ALL {
+            assert_eq!(TargetKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(TargetKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn decoders_accept_and_reject_without_crashing() {
+        assert_eq!(run_target(TargetKind::Json, b"[1, 2, 3]"), Verdict::Ok);
+        assert!(matches!(
+            run_target(TargetKind::Json, b"[1, 2,"),
+            Verdict::Rejected(_)
+        ));
+        assert_eq!(
+            run_target(TargetKind::Parser, b"def f_int(x):\n    return x\n"),
+            Verdict::Ok
+        );
+        assert!(matches!(
+            run_target(TargetKind::Parser, b"def ("),
+            Verdict::Rejected(_)
+        ));
+        assert!(matches!(
+            run_target(TargetKind::Eml, b"not a rule"),
+            Verdict::Rejected(_)
+        ));
+    }
+
+    #[test]
+    fn arith_target_agrees_on_edge_chunks() {
+        // i64::MIN // -1 — the historical overflow, now pinned.
+        let mut chunk = vec![3u8]; // FloorDiv
+        chunk.extend_from_slice(&i64::MIN.to_le_bytes());
+        chunk.extend_from_slice(&(-1i64).to_le_bytes());
+        assert_eq!(run_target(TargetKind::Arith, &chunk), Verdict::Ok);
+    }
+
+    #[test]
+    fn vm_target_agrees_on_simple_program() {
+        let verdict = run_target(
+            TargetKind::Vm,
+            b"def f_int(x):\n    if x > 0:\n        return x\n    return 0 - x\n",
+        );
+        assert_eq!(verdict, Verdict::Ok);
+    }
+}

@@ -1,0 +1,106 @@
+//! The committed seed corpus can never rot: every file under
+//! `fuzz/corpus/` must parse-or-reject cleanly — no panic, no
+//! differential divergence — across *all five* targets, not just the one
+//! it was written for (the fuzzer splices corpus bytes across targets, so
+//! cross-target robustness is part of the contract).  Runs as a plain
+//! `cargo test`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use afg_fuzz::{builtin_seeds, run_target, TargetKind};
+
+fn corpus_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for target in TargetKind::ALL {
+        let dir = corpus_root().join(target.name());
+        let entries = fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("corpus dir {} must exist: {e}", dir.display()));
+        for entry in entries {
+            let path = entry.expect("readable corpus entry").path();
+            if path.is_file() {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+#[test]
+fn every_target_has_committed_seeds() {
+    for target in TargetKind::ALL {
+        let dir = corpus_root().join(target.name());
+        let count = fs::read_dir(&dir)
+            .map(|entries| entries.flatten().filter(|e| e.path().is_file()).count())
+            .unwrap_or(0);
+        assert!(
+            count >= 2,
+            "target {} has {count} seed files, want >= 2",
+            target.name()
+        );
+    }
+}
+
+#[test]
+fn corpus_files_are_clean_across_all_five_targets() {
+    let files = corpus_files();
+    assert!(!files.is_empty(), "no corpus files found");
+    for path in &files {
+        let data = fs::read(path).expect("corpus file is readable");
+        for target in TargetKind::ALL {
+            let verdict = run_target(target, &data);
+            assert!(
+                !verdict.is_finding(),
+                "{} on target {}: {verdict:?}",
+                path.display(),
+                target.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn own_target_seeds_are_accepted_or_structurally_rejected() {
+    // Each target's own directory should exercise its happy path: at
+    // least one file per target must be *accepted*, not merely rejected.
+    for target in TargetKind::ALL {
+        let dir = corpus_root().join(target.name());
+        let mut accepted = 0;
+        for entry in fs::read_dir(&dir).expect("corpus dir") {
+            let path = entry.expect("entry").path();
+            if !path.is_file() {
+                continue;
+            }
+            let data = fs::read(&path).expect("readable");
+            if run_target(target, &data) == afg_fuzz::Verdict::Ok {
+                accepted += 1;
+            }
+        }
+        assert!(
+            accepted >= 1,
+            "target {} has no accepted seed — corpus rotted",
+            target.name()
+        );
+    }
+}
+
+#[test]
+fn builtin_seeds_stay_in_sync_with_the_targets() {
+    // The binary falls back to built-in seeds when no corpus is given;
+    // those must stay healthy too.
+    for target in TargetKind::ALL {
+        for (i, seed) in builtin_seeds(target).iter().enumerate() {
+            let verdict = run_target(target, seed);
+            assert!(
+                !verdict.is_finding(),
+                "builtin seed {i} for {}: {verdict:?}",
+                target.name()
+            );
+        }
+    }
+}

@@ -240,11 +240,13 @@ impl<'p> Interpreter<'p> {
         self.charge(1)?;
         match &stmt.kind {
             StmtKind::Assign(target, value) => {
+                afg_cov::cov_hit!();
                 let value = self.eval(value, frame)?;
                 self.assign(target, value, frame)?;
                 Ok(Flow::Normal)
             }
             StmtKind::AugAssign(target, op, value) => {
+                afg_cov::cov_hit!();
                 let rhs = self.eval(value, frame)?;
                 let current = self.read_target(target, frame)?;
                 let updated = binary_op(*op, &current, &rhs)?;
@@ -256,6 +258,7 @@ impl<'p> Interpreter<'p> {
                 Ok(Flow::Normal)
             }
             StmtKind::If(cond, then_body, else_body) => {
+                afg_cov::cov_hit!();
                 if self.eval(cond, frame)?.is_truthy() {
                     self.exec_block(then_body, frame)
                 } else {
@@ -263,6 +266,7 @@ impl<'p> Interpreter<'p> {
                 }
             }
             StmtKind::While(cond, body) => {
+                afg_cov::cov_hit!();
                 while self.eval(cond, frame)?.is_truthy() {
                     self.charge(1)?;
                     match self.exec_block(body, frame)? {
@@ -274,6 +278,7 @@ impl<'p> Interpreter<'p> {
                 Ok(Flow::Normal)
             }
             StmtKind::For(var, iter, body) => {
+                afg_cov::cov_hit!();
                 let items = iterable_items(&self.eval(iter, frame)?)?;
                 let key: Arc<str> = Arc::from(var.as_str());
                 for item in items {
@@ -288,6 +293,7 @@ impl<'p> Interpreter<'p> {
                 Ok(Flow::Normal)
             }
             StmtKind::Return(expr) => {
+                afg_cov::cov_hit!();
                 let value = match expr {
                     Some(e) => self.eval(e, frame)?,
                     None => Value::None,
@@ -295,6 +301,7 @@ impl<'p> Interpreter<'p> {
                 Ok(Flow::Return(value))
             }
             StmtKind::Print(args) => {
+                afg_cov::cov_hit!();
                 let mut parts = Vec::new();
                 for arg in args {
                     parts.push(self.eval(arg, frame)?.display_str());
@@ -734,6 +741,13 @@ pub fn binary_op(op: BinOp, left: &Value, right: &Value) -> Result<Value, Runtim
     };
     match op {
         BinOp::Add => match (left, right) {
+            _ if {
+                afg_cov::cov_hit!();
+                false
+            } =>
+            {
+                unreachable!()
+            }
             (Str(a), Str(b)) => Ok(Str(format!("{a}{b}"))),
             (List(a), List(b)) => Ok(List(a.iter().cloned().chain(b.iter().cloned()).collect())),
             (Tuple(a), Tuple(b)) => Ok(Tuple(a.iter().cloned().chain(b.iter().cloned()).collect())),
@@ -742,12 +756,16 @@ pub fn binary_op(op: BinOp, left: &Value, right: &Value) -> Result<Value, Runtim
                 _ => Err(type_error()),
             },
         },
-        BinOp::Sub => match (left.as_int(), right.as_int()) {
-            (Some(a), Some(b)) => Ok(Int(a.checked_sub(b).ok_or(RuntimeError::Overflow)?)),
-            _ => Err(type_error()),
-        },
+        BinOp::Sub => {
+            afg_cov::cov_hit!();
+            match (left.as_int(), right.as_int()) {
+                (Some(a), Some(b)) => Ok(Int(a.checked_sub(b).ok_or(RuntimeError::Overflow)?)),
+                _ => Err(type_error()),
+            }
+        }
         BinOp::Mul => match (left, right) {
             (Str(s), other) | (other, Str(s)) if other.as_int().is_some() => {
+                afg_cov::cov_hit!();
                 let n = other.as_int().unwrap_or(0).max(0) as usize;
                 if n.checked_mul(s.len()).is_none_or(|total| total > 10_000) {
                     return Err(RuntimeError::Overflow);
@@ -755,6 +773,7 @@ pub fn binary_op(op: BinOp, left: &Value, right: &Value) -> Result<Value, Runtim
                 Ok(Str(s.repeat(n)))
             }
             (List(items), other) | (other, List(items)) if other.as_int().is_some() => {
+                afg_cov::cov_hit!();
                 let n = other.as_int().unwrap_or(0).max(0) as usize;
                 if n.checked_mul(items.len())
                     .is_none_or(|total| total > 10_000)
@@ -773,8 +792,12 @@ pub fn binary_op(op: BinOp, left: &Value, right: &Value) -> Result<Value, Runtim
             },
         },
         BinOp::Div | BinOp::FloorDiv => match (left.as_int(), right.as_int()) {
-            (Some(_), Some(0)) => Err(RuntimeError::ZeroDivision),
+            (Some(_), Some(0)) => {
+                afg_cov::cov_hit!();
+                Err(RuntimeError::ZeroDivision)
+            }
             (Some(a), Some(b)) => {
+                afg_cov::cov_hit!();
                 // Python floor division rounds toward negative infinity.
                 // `i64::MIN // -1` is the one quotient that does not fit.
                 let q = a.checked_div(b).ok_or(RuntimeError::Overflow)?;
@@ -788,8 +811,12 @@ pub fn binary_op(op: BinOp, left: &Value, right: &Value) -> Result<Value, Runtim
             _ => Err(type_error()),
         },
         BinOp::Mod => match (left.as_int(), right.as_int()) {
-            (Some(_), Some(0)) => Err(RuntimeError::ZeroDivision),
+            (Some(_), Some(0)) => {
+                afg_cov::cov_hit!();
+                Err(RuntimeError::ZeroDivision)
+            }
             (Some(a), Some(b)) => {
+                afg_cov::cov_hit!();
                 // Python's % takes the sign of the divisor.  `checked_rem` is
                 // `None` only for `i64::MIN % -1`, whose mathematical value
                 // (0) fits fine — the truncated *quotient* is what overflows.
@@ -805,6 +832,7 @@ pub fn binary_op(op: BinOp, left: &Value, right: &Value) -> Result<Value, Runtim
         },
         BinOp::Pow => match (left.as_int(), right.as_int()) {
             (Some(a), Some(b)) => {
+                afg_cov::cov_hit!();
                 if b < 0 {
                     return Err(RuntimeError::Unsupported(
                         "negative exponents produce floats, which MPY does not support".to_string(),

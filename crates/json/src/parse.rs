@@ -106,25 +106,45 @@ impl Parser<'_> {
 
     fn parse_value(&mut self, depth: usize) -> Result<Json, JsonError> {
         if depth > MAX_DEPTH {
+            afg_cov::cov_hit!();
             return Err(JsonError::at(self.pos, "nesting too deep"));
         }
         match self.peek() {
-            Some(b'{') => self.parse_object(depth),
-            Some(b'[') => self.parse_array(depth),
-            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b'{') => {
+                afg_cov::cov_hit!();
+                self.parse_object(depth)
+            }
+            Some(b'[') => {
+                afg_cov::cov_hit!();
+                self.parse_array(depth)
+            }
+            Some(b'"') => {
+                afg_cov::cov_hit!();
+                Ok(Json::Str(self.parse_string()?))
+            }
             Some(b't') => self.parse_keyword("true", Json::Bool(true)),
             Some(b'f') => self.parse_keyword("false", Json::Bool(false)),
             Some(b'n') => self.parse_keyword("null", Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.parse_number(),
-            Some(other) => Err(JsonError::at(
-                self.pos,
-                format!("unexpected character '{}'", other as char),
-            )),
-            None => Err(JsonError::at(self.pos, "unexpected end of input")),
+            Some(b'-' | b'0'..=b'9') => {
+                afg_cov::cov_hit!();
+                self.parse_number()
+            }
+            Some(other) => {
+                afg_cov::cov_hit!();
+                Err(JsonError::at(
+                    self.pos,
+                    format!("unexpected character '{}'", other as char),
+                ))
+            }
+            None => {
+                afg_cov::cov_hit!();
+                Err(JsonError::at(self.pos, "unexpected end of input"))
+            }
         }
     }
 
     fn parse_keyword(&mut self, keyword: &str, value: Json) -> Result<Json, JsonError> {
+        afg_cov::cov_hit!();
         if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
             self.pos += keyword.len();
             Ok(value)
@@ -138,6 +158,7 @@ impl Parser<'_> {
         let mut pairs = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
+            afg_cov::cov_hit!();
             self.pos += 1;
             return Ok(Json::Object(pairs));
         }
@@ -151,12 +172,18 @@ impl Parser<'_> {
             pairs.push((key, value));
             self.skip_whitespace();
             match self.peek() {
-                Some(b',') => self.pos += 1,
+                Some(b',') => {
+                    afg_cov::cov_hit!();
+                    self.pos += 1;
+                }
                 Some(b'}') => {
                     self.pos += 1;
                     return Ok(Json::Object(pairs));
                 }
-                _ => return Err(JsonError::at(self.pos, "expected ',' or '}'")),
+                _ => {
+                    afg_cov::cov_hit!();
+                    return Err(JsonError::at(self.pos, "expected ',' or '}'"));
+                }
             }
         }
     }
@@ -166,6 +193,7 @@ impl Parser<'_> {
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
+            afg_cov::cov_hit!();
             self.pos += 1;
             return Ok(Json::Array(items));
         }
@@ -174,12 +202,18 @@ impl Parser<'_> {
             items.push(self.parse_value(depth + 1)?);
             self.skip_whitespace();
             match self.peek() {
-                Some(b',') => self.pos += 1,
+                Some(b',') => {
+                    afg_cov::cov_hit!();
+                    self.pos += 1;
+                }
                 Some(b']') => {
                     self.pos += 1;
                     return Ok(Json::Array(items));
                 }
-                _ => return Err(JsonError::at(self.pos, "expected ',' or ']'")),
+                _ => {
+                    afg_cov::cov_hit!();
+                    return Err(JsonError::at(self.pos, "expected ',' or ']'"));
+                }
             }
         }
     }
@@ -196,6 +230,7 @@ impl Parser<'_> {
                     return Ok(out);
                 }
                 Some(b'\\') => {
+                    afg_cov::cov_hit!();
                     self.pos += 1;
                     match self.peek() {
                         Some(b'"') => out.push('"'),
@@ -207,6 +242,7 @@ impl Parser<'_> {
                         Some(b'r') => out.push('\r'),
                         Some(b't') => out.push('\t'),
                         Some(b'u') => {
+                            afg_cov::cov_hit!();
                             self.pos += 1;
                             out.push(self.parse_unicode_escape()?);
                             continue;
@@ -216,6 +252,7 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(b) if b < 0x20 => {
+                    afg_cov::cov_hit!();
                     return Err(JsonError::at(start, "control character in string"));
                 }
                 Some(_) => {
@@ -236,6 +273,7 @@ impl Parser<'_> {
     fn parse_unicode_escape(&mut self) -> Result<char, JsonError> {
         let first = self.parse_hex4()?;
         if (0xD800..0xDC00).contains(&first) {
+            afg_cov::cov_hit!();
             // High surrogate: a `\uXXXX` low surrogate must follow.
             if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
                 self.pos += 2;
@@ -278,6 +316,7 @@ impl Parser<'_> {
         }
         let mut is_float = false;
         if self.peek() == Some(b'.') {
+            afg_cov::cov_hit!();
             is_float = true;
             self.pos += 1;
             if !matches!(self.peek(), Some(b'0'..=b'9')) {
@@ -286,6 +325,7 @@ impl Parser<'_> {
             self.consume_digits();
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            afg_cov::cov_hit!();
             is_float = true;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {

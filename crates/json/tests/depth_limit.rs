@@ -1,0 +1,49 @@
+//! Pinned regression for recursion-depth exhaustion: `parse_json` is
+//! recursive-descent, so without the `MAX_DEPTH` guard a payload of a
+//! hundred thousand `[` bytes would abort the service with a stack
+//! overflow.  The guard must fire as a structured [`JsonError`] and must
+//! not reject legitimately nested documents.
+
+use afg_json::parse_json;
+
+#[test]
+fn deeply_nested_arrays_are_rejected_not_fatal() {
+    let bomb = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+    let err = parse_json(&bomb).expect_err("depth bomb must be rejected");
+    assert!(err.to_string().contains("nesting too deep"), "got {err}");
+}
+
+#[test]
+fn deeply_nested_objects_are_rejected_not_fatal() {
+    let mut bomb = String::new();
+    for _ in 0..100_000 {
+        bomb.push_str("{\"a\":");
+    }
+    bomb.push('1');
+    bomb.push_str(&"}".repeat(100_000));
+    let err = parse_json(&bomb).expect_err("depth bomb must be rejected");
+    assert!(err.to_string().contains("nesting too deep"), "got {err}");
+}
+
+#[test]
+fn alternating_array_object_nesting_is_rejected_not_fatal() {
+    // Mixed nesting exercises both recursive arms together.
+    let mut bomb = String::new();
+    for _ in 0..50_000 {
+        bomb.push_str("[{\"a\":");
+    }
+    bomb.push_str("null");
+    for _ in 0..50_000 {
+        bomb.push_str("}]");
+    }
+    let err = parse_json(&bomb).expect_err("depth bomb must be rejected");
+    assert!(err.to_string().contains("nesting too deep"), "got {err}");
+}
+
+#[test]
+fn nesting_under_the_limit_parses() {
+    // 100 levels is comfortably under MAX_DEPTH (128) and far past any
+    // document the service actually produces.
+    let doc = format!("{}0{}", "[".repeat(100), "]".repeat(100));
+    assert!(parse_json(&doc).is_ok());
+}

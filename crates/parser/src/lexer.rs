@@ -164,6 +164,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
         if bracket_depth == 0 {
             let current = *indent_stack.last().expect("indent stack is never empty");
             if indent > current {
+                afg_cov::cov_hit!();
                 indent_stack.push(indent);
                 tokens.push(Token {
                     line: line_no,
@@ -171,6 +172,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
                     kind: TokenKind::Indent,
                 });
             } else if indent < current {
+                afg_cov::cov_hit!();
                 while *indent_stack.last().expect("indent stack is never empty") > indent {
                     indent_stack.pop();
                     tokens.push(Token {
@@ -180,6 +182,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
                     });
                 }
                 if *indent_stack.last().expect("indent stack is never empty") != indent {
+                    afg_cov::cov_hit!();
                     return Err(ParseError::new(
                         line_no,
                         1,
@@ -207,6 +210,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
     }
 
     if bracket_depth > 0 {
+        afg_cov::cov_hit!();
         return Err(ParseError::new(
             source.lines().count() as u32,
             1,
@@ -246,8 +250,12 @@ fn lex_line(
             ' ' | '\t' => {
                 i += 1;
             }
-            '#' => break, // trailing comment
+            '#' => {
+                afg_cov::cov_hit!();
+                break; // trailing comment
+            }
             '0'..='9' => {
+                afg_cov::cov_hit!();
                 let start = i;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
@@ -258,6 +266,7 @@ fn lex_line(
                     && i + 1 < bytes.len()
                     && bytes[i + 1].is_ascii_digit()
                 {
+                    afg_cov::cov_hit!();
                     return Err(ParseError::new(
                         line,
                         col,
@@ -275,6 +284,7 @@ fn lex_line(
                 });
             }
             '\'' | '"' => {
+                afg_cov::cov_hit!();
                 let quote = ch;
                 let mut value = String::new();
                 i += 1;
@@ -303,6 +313,7 @@ fn lex_line(
                     i += 1;
                 }
                 if !closed {
+                    afg_cov::cov_hit!();
                     return Err(ParseError::new(line, col, "unterminated string literal"));
                 }
                 tokens.push(Token {
@@ -312,6 +323,7 @@ fn lex_line(
                 });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
+                afg_cov::cov_hit!();
                 let start = i;
                 while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
                     i += 1;
@@ -324,6 +336,7 @@ fn lex_line(
                 tokens.push(Token { line, col, kind });
             }
             _ => {
+                afg_cov::cov_hit!();
                 let (op, advance) = lex_operator(&bytes, i).ok_or_else(|| {
                     ParseError::new(line, col, format!("unexpected character '{ch}'"))
                 })?;

@@ -1,0 +1,78 @@
+//! Minimized regressions for the recursion-depth bug the fuzzer work
+//! surfaced: the recursive-descent parser used to recurse once per
+//! nesting level with no bound, so a submission like `((((…))))` with a
+//! hundred thousand parens aborted the whole grading process with a stack
+//! overflow (uncatchable — not even `catch_unwind` sees it).  Every
+//! self-recursive production is now guarded by `MAX_NESTING_DEPTH` and
+//! returns a structured "nesting too deep" error instead.
+
+use afg_parser::parse_program;
+
+fn assert_depth_rejected(source: &str, case: &str) {
+    let err = parse_program(source)
+        .err()
+        .unwrap_or_else(|| panic!("{case}: expected rejection"));
+    assert!(
+        err.message.contains("nesting too deep"),
+        "{case}: got {err}"
+    );
+}
+
+#[test]
+fn deep_parenthesis_nesting_is_rejected_not_fatal() {
+    let source = format!(
+        "def f_int(x):\n    return {}x{}\n",
+        "(".repeat(100_000),
+        ")".repeat(100_000)
+    );
+    assert_depth_rejected(&source, "parens");
+}
+
+#[test]
+fn deep_unary_minus_chain_is_rejected_not_fatal() {
+    let source = format!("def f_int(x):\n    return {}x\n", "-".repeat(100_000));
+    assert_depth_rejected(&source, "unary minus");
+}
+
+#[test]
+fn deep_not_chain_is_rejected_not_fatal() {
+    let source = format!("def f_int(x):\n    return {}x\n", "not ".repeat(100_000));
+    assert_depth_rejected(&source, "not chain");
+}
+
+#[test]
+fn deep_list_nesting_is_rejected_not_fatal() {
+    let source = format!(
+        "def f_int(x):\n    return {}x{}\n",
+        "[".repeat(100_000),
+        "]".repeat(100_000)
+    );
+    assert_depth_rejected(&source, "lists");
+}
+
+#[test]
+fn long_elif_chain_is_rejected_not_fatal() {
+    // `elif` desugars by self-recursion in `parse_if`, one frame per arm.
+    let mut source = String::from("def f_int(x):\n    if x == 0:\n        return 0\n");
+    for i in 1..50_000 {
+        source.push_str(&format!("    elif x == {i}:\n        return {i}\n"));
+    }
+    assert_depth_rejected(&source, "elif chain");
+}
+
+#[test]
+fn reasonable_nesting_still_parses() {
+    // The guard must not reject real student code: 50 levels is far past
+    // anything an introductory submission contains.
+    let source = format!(
+        "def f_int(x):\n    return {}x{}\n",
+        "(".repeat(50),
+        ")".repeat(50)
+    );
+    assert!(parse_program(&source).is_ok());
+    let mut chained = String::from("def g_int(x):\n    if x == 0:\n        return 0\n");
+    for i in 1..50 {
+        chained.push_str(&format!("    elif x == {i}:\n        return {i}\n"));
+    }
+    assert!(parse_program(&chained).is_ok());
+}

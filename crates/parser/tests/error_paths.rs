@@ -1,0 +1,127 @@
+//! Table-driven contract for the parser's error paths: malformed
+//! submissions — truncated tokens, unbalanced delimiters, huge literals,
+//! edge bytes — must come back as structured [`ParseError`]s with
+//! *stable* messages (the feedback service surfaces them verbatim to
+//! students, and the fuzzer dedups crashes by message), never as panics.
+
+use afg_parser::parse_program;
+
+/// `(case, source, expected full error display)`.
+const REJECTED: &[(&str, &str, &str)] = &[
+    (
+        "truncated_def",
+        "def ",
+        "syntax error at line 1, column 1: expected function name after 'def'",
+    ),
+    (
+        "truncated_params",
+        "def f(",
+        "syntax error at line 1, column 1: unexpected end of input inside brackets",
+    ),
+    (
+        "def_missing_colon",
+        "def f_int(x)\n    return x\n",
+        "syntax error at line 1, column 13: expected ':'",
+    ),
+    (
+        "unbalanced_paren",
+        "def f_int(x):\n    return (x\n",
+        "syntax error at line 2, column 1: unexpected end of input inside brackets",
+    ),
+    (
+        "unbalanced_bracket",
+        "def f_int(x):\n    return [1, 2\n",
+        "syntax error at line 2, column 1: unexpected end of input inside brackets",
+    ),
+    (
+        "stray_close_paren",
+        "def f_int(x):\n    return x)\n",
+        "syntax error at line 2, column 13: expected end of line",
+    ),
+    (
+        "huge_int_literal",
+        "def f_int(x):\n    return 99999999999999999999999999\n",
+        "syntax error at line 2, column 12: integer literal out of range",
+    ),
+    (
+        "float_literal",
+        "def f_int(x):\n    return 1.5\n",
+        "syntax error at line 2, column 12: floating point literals are not supported in MPY",
+    ),
+    (
+        "unterminated_string",
+        "def f_str(s):\n    return \"abc\n",
+        "syntax error at line 2, column 12: unterminated string literal",
+    ),
+    (
+        "inconsistent_indent",
+        "def f_int(x):\n  return x\n    return x\n",
+        "syntax error at line 3, column 1: unexpected token Indent",
+    ),
+    (
+        "elif_without_if",
+        "def f_int(x):\n    elif x:\n        return x\n",
+        "syntax error at line 2, column 5: unexpected token Keyword(Elif)",
+    ),
+    (
+        "assign_to_literal",
+        "def f_int(x):\n    3 = x\n",
+        "syntax error at line 2, column 1: invalid assignment target",
+    ),
+    (
+        "unknown_operator_char",
+        "def f_int(x):\n    return x @ 2\n",
+        "syntax error at line 2, column 14: unexpected character '@'",
+    ),
+    (
+        "non_ascii_identifier_byte",
+        "def f_int(x):\n    return x\u{e9}\n",
+        "syntax error at line 2, column 13: unexpected character '\u{e9}'",
+    ),
+];
+
+#[test]
+fn malformed_submissions_return_stable_structured_errors() {
+    for (case, source, expected) in REJECTED {
+        let err = parse_program(source)
+            .err()
+            .unwrap_or_else(|| panic!("{case}: expected a parse error"));
+        assert_eq!(&err.to_string(), expected, "case {case}");
+        // Structured fields stay populated — the service keys on them.
+        assert!(err.line >= 1, "case {case}: line is 1-based");
+    }
+}
+
+#[test]
+fn edge_bytes_never_panic() {
+    // NUL bytes, lone control characters, BOMs, and replacement
+    // characters (what `from_utf8_lossy` turns invalid UTF-8 into) must
+    // all be parse-or-reject, never a panic.
+    let probes = [
+        "\u{0}",
+        "def f_int(x):\n    return x\u{0}\n",
+        "\u{feff}def f_int(x):\n    return x\n",
+        "def f_int(x):\n    return \u{fffd}\n",
+        "\r\n\r\n",
+        "def f_int(x):\r\n    return x\r\n",
+    ];
+    for probe in probes {
+        let _ = parse_program(probe);
+    }
+}
+
+#[test]
+fn accepted_edge_cases_stay_accepted() {
+    // Inputs that look suspicious but are valid MPY — pinning these keeps
+    // the rejection table honest.
+    for source in [
+        "",
+        "# only a comment\n",
+        "def f_int(x):\n\treturn x\n", // tabs are legal indentation
+    ] {
+        assert!(
+            parse_program(source).is_ok(),
+            "expected acceptance: {source:?}"
+        );
+    }
+}

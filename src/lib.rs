@@ -19,6 +19,8 @@
 //! * [`baseline`] (`afg-baseline`) — the test-case feedback baseline,
 //! * [`json`] (`afg-json`) — the in-tree JSON parser/serializer and the
 //!   `ToJson`/`FromJson` trait layer,
+//! * [`cov`] (`afg-cov`) — the feature-gated branch-edge coverage map the
+//!   in-tree fuzzer (`afg-fuzz`) drives; inert in default builds,
 //! * [`service`] (`afg-service`) — the HTTP grading daemon (problem
 //!   registry, grade/batch endpoints, fingerprint-cache stats).
 //!
@@ -29,6 +31,7 @@ pub use afg_ast as ast;
 pub use afg_baseline as baseline;
 pub use afg_core as core;
 pub use afg_corpus as corpus;
+pub use afg_cov as cov;
 pub use afg_eml as eml;
 pub use afg_interp as interp;
 pub use afg_json as json;

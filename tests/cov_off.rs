@@ -1,0 +1,22 @@
+//! The zero-overhead contract for the coverage instrumentation: in the
+//! default workspace build (what production and `cargo test` use), the
+//! `afg-cov/enabled` feature must NOT be activated — not directly and not
+//! through feature unification from any default workspace member.  CI
+//! additionally checks the release feature graph with `cargo tree -e
+//! features`; this test pins the same fact at compile time.
+
+#[test]
+// Asserting a constant is the entire point of this test: the constant
+// must be `false` in every default build.
+#[allow(clippy::assertions_on_constants)]
+fn coverage_recording_is_compiled_out_by_default() {
+    assert!(
+        !afg_cov::ENABLED,
+        "afg-cov/enabled leaked into the default build — some default \
+         workspace member activates it unconditionally"
+    );
+    // And the hooks really are inert, not just flagged off.
+    afg_cov::reset();
+    afg_cov::cov_hit!();
+    assert!(afg_cov::snapshot().is_empty());
+}
