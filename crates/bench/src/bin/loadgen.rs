@@ -32,7 +32,7 @@ use afg_core::{Autograder, Backend, FeedbackLevel, GradeOutcome, GraderConfig, S
 use afg_corpus::{generate_corpus, problems, CorpusSpec};
 use afg_json::Json;
 use afg_service::client::Client;
-use afg_service::{ServerHandle, ServiceConfig};
+use afg_service::{IoMode, ServerHandle, ServiceConfig};
 
 struct Options {
     problem: String,
@@ -49,6 +49,8 @@ struct Options {
     skeletons: usize,
     no_transfer: bool,
     workers: usize,
+    io: IoMode,
+    idle_frac: Option<f64>,
 }
 
 fn usage() -> String {
@@ -68,6 +70,15 @@ fn usage() -> String {
      --backend B       synthesis back end on both daemon and library path\n\
      --sweep M         verification sweeps: compiled bytecode VM (default)\n\
      \x20               or the tree-walking interpreter\n\
+     --io MODE         I/O core for the in-process daemon: epoll or threads\n\
+     \x20               (default: the platform default, epoll on Linux)\n\
+     \n\
+     high-concurrency mode (JSON on stdout):\n\
+     --idle-frac F     hold --connections keep-alive sockets but drive grade\n\
+     \x20               traffic from only (1-F) of them; warms the cache\n\
+     \x20               first so the measured phase exercises the I/O core,\n\
+     \x20               then reports p50/p99, errors and the daemon's own\n\
+     \x20               open-connection gauge as JSON\n\
      \n\
      classroom mode (library-path cohort study, JSON on stdout):\n\
      --classroom       grade a seeded mutant cohort of N students over K\n\
@@ -97,6 +108,8 @@ fn parse_options() -> Options {
         skeletons: 8,
         no_transfer: false,
         workers: 1,
+        io: IoMode::default(),
+        idle_frac: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -137,6 +150,14 @@ fn parse_options() -> Options {
             "--sweep" => match iter.next().and_then(|v| SweepMode::parse(v)) {
                 Some(sweep) => options.sweep = sweep,
                 None => exit_usage("option '--sweep' expects compiled or tree"),
+            },
+            "--io" => match iter.next().and_then(|v| IoMode::parse(v)) {
+                Some(io) => options.io = io,
+                None => exit_usage("option '--io' expects epoll or threads"),
+            },
+            "--idle-frac" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(frac) if (0.0..1.0).contains(&frac) => options.idle_frac = Some(frac),
+                _ => exit_usage("option '--idle-frac' expects a fraction in [0, 1)"),
             },
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -339,6 +360,184 @@ fn run_classroom_mode(options: &Options, problem: &afg_corpus::Problem) -> ! {
     std::process::exit(0)
 }
 
+/// Resolves `--addr`, or boots an in-process daemon honoring `--io`.
+/// `threads_hint` sizes the worker pool for the thread-per-connection
+/// core; the epoll core keeps its default CPU-worker count, since its
+/// thread count is independent of connections.
+fn daemon_for(options: &Options, threads_hint: usize) -> (SocketAddr, Option<ServerHandle>) {
+    match &options.addr {
+        Some(addr) => {
+            use std::net::ToSocketAddrs;
+            match addr.to_socket_addrs().ok().and_then(|mut it| it.next()) {
+                Some(resolved) => (resolved, None),
+                None => {
+                    eprintln!("bad --addr '{addr}' (expected HOST:PORT)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => {
+            let threads = match options.io {
+                IoMode::Threads => threads_hint,
+                IoMode::Epoll => ServiceConfig::default().threads,
+            };
+            let handle = afg_service::start(ServiceConfig {
+                io: options.io,
+                threads,
+                // Idle sockets are the point of the high-concurrency mode;
+                // they must not be reaped mid-measurement.
+                keep_alive_timeout: Duration::from_secs(120),
+                ..ServiceConfig::default()
+            })
+            .expect("boot the daemon");
+            let addr = handle.addr();
+            (addr, Some(handle))
+        }
+    }
+}
+
+/// The daemon's own `afg_open_connections` gauge, scraped from
+/// `/metrics` Prometheus text.
+fn scrape_open_connections(addr: SocketAddr) -> i64 {
+    let text = Client::connect(addr)
+        .and_then(|mut client| client.get_text("/metrics"))
+        .map(|(_, text)| text)
+        .unwrap_or_default();
+    text.lines()
+        .find_map(|line| line.strip_prefix("afg_open_connections "))
+        .and_then(|value| value.trim().parse::<f64>().ok())
+        .map(|value| value as i64)
+        .unwrap_or(-1)
+}
+
+/// `--idle-frac`: hold `--connections` keep-alive sockets, drive grade
+/// traffic from only the active fraction, report latency quantiles plus
+/// the daemon's open-connection gauge as JSON.  The cache is warmed over
+/// every distinct submission first, so the measured phase exercises the
+/// I/O core (many sockets, cache-hit grades) rather than CEGIS queueing.
+fn run_concurrency_mode(options: &Options, problem: &afg_corpus::Problem) -> ! {
+    let idle_frac = options
+        .idle_frac
+        .expect("concurrency mode requires --idle-frac");
+    let connections = options.connections;
+    let active = ((connections as f64 * (1.0 - idle_frac)).round() as usize).clamp(1, connections);
+    let idle = connections - active;
+
+    let spec = CorpusSpec::table1_like(options.attempts, options.seed);
+    let corpus = generate_corpus(problem, &spec);
+    let sources: Vec<String> = corpus.into_iter().map(|s| s.source).collect();
+    let schedule = zipf_schedule(sources.len(), options.requests, options.seed ^ 0x5ca1e);
+
+    let (addr, booted) = daemon_for(options, connections.max(4));
+
+    let problem_id = format!("{}-conc", problem.id);
+    let body = Json::object([
+        ("problem", Json::str(problem.id)),
+        ("id", Json::str(&problem_id)),
+        ("cache", Json::Bool(true)),
+        ("backend", Json::str(options.backend.name())),
+        ("sweep", Json::str(options.sweep.name())),
+        ("max_cost", Json::Int(2)),
+        ("max_candidates", Json::Int(300)),
+        ("time_budget_ms", Json::Int(600_000)),
+    ]);
+    let (status, response) =
+        afg_service::client::post(addr, "/problems", &body).expect("register problem");
+    assert_eq!(status, 201, "registration failed: {response}");
+
+    // Warmup: one serial pass over every submission the schedule reaches.
+    let path = format!("/problems/{problem_id}/grade");
+    let distinct: std::collections::BTreeSet<usize> = schedule.iter().copied().collect();
+    eprintln!(
+        "warmup: grading {} distinct submissions once (cache fill)...",
+        distinct.len()
+    );
+    {
+        let mut client = Client::connect(addr).expect("connect for warmup");
+        for &index in &distinct {
+            let body = Json::object([("source", Json::str(sources[index].as_str()))]);
+            let (status, _) = client.post(&path, &body).expect("warmup grade");
+            assert_eq!(status, 200, "warmup grade failed");
+        }
+    }
+
+    eprintln!(
+        "holding {connections} connections ({idle} idle, {active} active), \
+         {} requests, io={}...",
+        schedule.len(),
+        options.io.name()
+    );
+    let mut idle_conns = Vec::with_capacity(idle);
+    for _ in 0..idle {
+        idle_conns.push(Client::connect(addr).expect("open idle connection"));
+    }
+
+    let next = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let latencies = afg_obs::Histogram::new(1e-6);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..active {
+            scope.spawn(|| {
+                let mut client = match Client::connect(addr) {
+                    Ok(client) => client,
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= schedule.len() {
+                        break;
+                    }
+                    let body =
+                        Json::object([("source", Json::str(sources[schedule[slot]].as_str()))]);
+                    let sent = Instant::now();
+                    match client.post(&path, &body) {
+                        Ok((200, _)) => latencies.record_duration(sent.elapsed()),
+                        Ok(_) | Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    // Scrape while the idle sockets are still held open, so the gauge
+    // reflects the concurrency actually sustained.
+    let open_connections = scrape_open_connections(addr);
+    drop(idle_conns);
+
+    let errors = errors.into_inner();
+    let summary = Json::object([
+        ("mode", Json::str("concurrency")),
+        ("io", Json::str(options.io.name())),
+        ("problem", Json::str(problem.id)),
+        ("connections", Json::Int(connections as i64)),
+        ("idle", Json::Int(idle as i64)),
+        ("active", Json::Int(active as i64)),
+        ("requests", Json::Int(schedule.len() as i64)),
+        ("wall_s", Json::Float(wall.as_secs_f64())),
+        (
+            "throughput_rps",
+            Json::Float(schedule.len() as f64 / wall.as_secs_f64()),
+        ),
+        ("p50_ms", Json::Float(latencies.quantile(0.50) as f64 / 1e3)),
+        ("p99_ms", Json::Float(latencies.quantile(0.99) as f64 / 1e3)),
+        ("errors", Json::Int(errors as i64)),
+        ("open_connections", Json::Int(open_connections)),
+    ]);
+    println!("{summary}");
+
+    if let Some(handle) = booted {
+        handle.shutdown();
+    }
+    std::process::exit(if errors > 0 { 1 } else { 0 })
+}
+
 fn main() {
     let options = parse_options();
     let Some(problem) = problems::problem(&options.problem) else {
@@ -348,6 +547,9 @@ fn main() {
 
     if options.classroom {
         run_classroom_mode(&options, &problem);
+    }
+    if options.idle_frac.is_some() {
+        run_concurrency_mode(&options, &problem);
     }
 
     // Seeded corpus and Zipf-skewed schedule over it.
@@ -376,32 +578,11 @@ fn main() {
         .map(|source| (source.as_str(), expected_of(&grader, source)))
         .collect();
 
-    // A daemon to drive: external via --addr, or booted in-process (the
-    // worker pool must at least match the connection count, since each
-    // worker owns one keep-alive connection at a time).
-    let mut booted: Option<ServerHandle> = None;
-    let addr: SocketAddr = match &options.addr {
-        Some(addr) => {
-            use std::net::ToSocketAddrs;
-            match addr.to_socket_addrs().ok().and_then(|mut it| it.next()) {
-                Some(resolved) => resolved,
-                None => {
-                    eprintln!("bad --addr '{addr}' (expected HOST:PORT)");
-                    std::process::exit(2);
-                }
-            }
-        }
-        None => {
-            let handle = afg_service::start(ServiceConfig {
-                threads: options.connections.max(4),
-                ..ServiceConfig::default()
-            })
-            .expect("boot the daemon");
-            let addr = handle.addr();
-            booted = Some(handle);
-            addr
-        }
-    };
+    // A daemon to drive: external via --addr, or booted in-process (under
+    // the thread-per-connection core the worker pool must at least match
+    // the connection count, since each worker owns one keep-alive
+    // connection at a time).
+    let (addr, booted) = daemon_for(&options, options.connections.max(4));
 
     // Register the problem twice: with and without the fingerprint cache.
     // Admin calls use one-shot connections — a held keep-alive connection

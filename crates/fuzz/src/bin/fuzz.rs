@@ -1,7 +1,7 @@
 //! CLI for the coverage-guided fuzzer.
 //!
 //! ```text
-//! fuzz --target {eml,parser,json,arith,vm} [--max-execs N] [--seed S]
+//! fuzz --target {eml,parser,json,http,arith,vm} [--max-execs N] [--seed S]
 //!      [--corpus DIR] [--findings DIR] [--max-len N]
 //! ```
 //!
@@ -14,7 +14,7 @@ use std::process::ExitCode;
 
 use afg_fuzz::{Config, TargetKind};
 
-const USAGE: &str = "usage: fuzz --target {eml|parser|json|arith|vm} \
+const USAGE: &str = "usage: fuzz --target {eml|parser|json|http|arith|vm} \
 [--max-execs N] [--seed S] [--corpus DIR] [--findings DIR] [--max-len N]";
 
 fn parse_args(args: &[String]) -> Result<Config, String> {

@@ -146,6 +146,11 @@ pub fn builtin_seeds(target: TargetKind) -> Vec<Vec<u8>> {
             "{\"a\": [1, 2.5, -3], \"b\": {\"c\": \"\\u0041\", \"d\": [true, false, null]}}",
             "[[[[0]]]]",
         ],
+        TargetKind::Http => &[
+            "GET /healthz HTTP/1.1\r\nHost: example\r\nConnection: close\r\n\r\n",
+            "POST /problems HTTP/1.1\r\nContent-Length: 15\r\n\r\n{\"problem\":\"x\"}",
+            "GET /stats HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n",
+        ],
         TargetKind::Arith => {
             // One chunk per operator over boundary operands.
             let mut seeds = Vec::new();
@@ -217,6 +222,7 @@ pub fn reproducer_snippet(target: TargetKind, finding_index: usize, f: &Finding)
         TargetKind::Eml => "Eml",
         TargetKind::Parser => "Parser",
         TargetKind::Json => "Json",
+        TargetKind::Http => "Http",
         TargetKind::Arith => "Arith",
         TargetKind::Vm => "Vm",
     };

@@ -1,6 +1,6 @@
 //! Deterministic byte-level mutations.  Nothing here is clever — the
 //! coverage loop supplies the feedback; this just needs to be cheap,
-//! seeded, and biased toward the tokens the five targets actually parse.
+//! seeded, and biased toward the tokens the six targets actually parse.
 
 use crate::rng::SplitMix64;
 
@@ -9,10 +9,10 @@ const INTERESTING_BYTES: [u8; 12] = [
     0x00, 0x01, 0x7F, 0x80, 0xFF, b'0', b'9', b'(', b')', b':', b'\n', b' ',
 ];
 
-/// Grammar fragments across all five targets: MPY keywords, JSON
-/// scaffolding, EML arrows, and the i64 boundary literals the arithmetic
-/// oracle cares about.
-const DICTIONARY: [&str; 24] = [
+/// Grammar fragments across all six targets: MPY keywords, JSON
+/// scaffolding, EML arrows, HTTP request framing, and the i64 boundary
+/// literals the arithmetic oracle cares about.
+const DICTIONARY: [&str; 28] = [
     "def f_int(x):\n",
     "    return ",
     "if ",
@@ -37,6 +37,10 @@ const DICTIONARY: [&str; 24] = [
     " -> ",
     "?x",
     "range(",
+    " HTTP/1.1\r\n",
+    "Content-Length: ",
+    "Connection: close\r\n",
+    "\r\n\r\n",
 ];
 
 /// Produces one seeded mutant of `data`, capped at `max_len` bytes.

@@ -1,8 +1,9 @@
-//! The five fuzz targets: three attacker-facing decoders run for
-//! crash-freedom, and two differential targets run against an independent
-//! oracle.  Every target maps a raw byte string to a [`Verdict`]; panics
-//! are caught with `catch_unwind` so the loop survives them and can
-//! minimize the input that triggered one.
+//! The six fuzz targets: four attacker-facing decoders run for
+//! crash-freedom (the `http` target additionally checks that parsing is
+//! invariant under how the bytes are chunked), and two differential
+//! targets run against an independent oracle.  Every target maps a raw
+//! byte string to a [`Verdict`]; panics are caught with `catch_unwind` so
+//! the loop survives them and can minimize the input that triggered one.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -18,6 +19,9 @@ pub enum TargetKind {
     Parser,
     /// JSON document → `afg_json::parse_json`.
     Json,
+    /// Raw HTTP/1.1 request bytes → `afg_service::RequestParser`, fed
+    /// under three different chunkings that must agree.
+    Http,
     /// 17-byte `(op, a, b)` chunks → `binary_op` vs the i128-widened oracle.
     Arith,
     /// MPY source → bytecode VM vs tree walker (value + output + fuel).
@@ -25,10 +29,11 @@ pub enum TargetKind {
 }
 
 impl TargetKind {
-    pub const ALL: [TargetKind; 5] = [
+    pub const ALL: [TargetKind; 6] = [
         TargetKind::Eml,
         TargetKind::Parser,
         TargetKind::Json,
+        TargetKind::Http,
         TargetKind::Arith,
         TargetKind::Vm,
     ];
@@ -39,6 +44,7 @@ impl TargetKind {
             "eml" => Some(TargetKind::Eml),
             "parser" => Some(TargetKind::Parser),
             "json" => Some(TargetKind::Json),
+            "http" => Some(TargetKind::Http),
             "arith" => Some(TargetKind::Arith),
             "vm" => Some(TargetKind::Vm),
             _ => None,
@@ -51,6 +57,7 @@ impl TargetKind {
             TargetKind::Eml => "eml",
             TargetKind::Parser => "parser",
             TargetKind::Json => "json",
+            TargetKind::Http => "http",
             TargetKind::Arith => "arith",
             TargetKind::Vm => "vm",
         }
@@ -122,8 +129,98 @@ fn run_target_inner(kind: TargetKind, data: &[u8]) -> Verdict {
                 Err(err) => Verdict::Rejected(err.to_string()),
             }
         }
+        TargetKind::Http => run_http(data),
         TargetKind::Arith => run_arith(data),
         TargetKind::Vm => run_vm(data),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunking-invariance target: the incremental HTTP request parser
+// ---------------------------------------------------------------------------
+
+/// Cap on recorded parse events per run so a pathological input (say,
+/// thousands of tiny pipelined requests) stays bounded.  The cap is a
+/// pure function of the byte stream, so it cannot itself introduce a
+/// spurious divergence between chunkings.
+const HTTP_MAX_EVENTS: usize = 64;
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Feeds `data` to a fresh parser in chunks drawn from `next_chunk`,
+/// recording every parse event (completed requests, errors, the EOF
+/// outcome) as strings.  Two runs over the same bytes must produce the
+/// same trace regardless of chunking — that is the property under test.
+fn http_trace(data: &[u8], next_chunk: &mut dyn FnMut() -> usize) -> Vec<String> {
+    let mut parser = afg_service::RequestParser::new();
+    let mut events = Vec::new();
+    let mut at = 0;
+    'stream: while at < data.len() {
+        let step = next_chunk().clamp(1, data.len() - at);
+        let mut slice = &data[at..at + step];
+        at += step;
+        loop {
+            match parser.feed(slice) {
+                afg_service::Parse::Complete(request) => {
+                    events.push(format!("req {request:?}"));
+                    if events.len() >= HTTP_MAX_EVENTS {
+                        break 'stream;
+                    }
+                    // Drain any pipelined request already buffered.
+                    slice = &[];
+                }
+                afg_service::Parse::Partial => break,
+                afg_service::Parse::Error(err) => {
+                    events.push(format!("err {err:?}"));
+                    break 'stream;
+                }
+            }
+        }
+    }
+    if events.len() < HTTP_MAX_EVENTS {
+        let eof = match parser.eof() {
+            afg_service::EofOutcome::Closed => "eof closed".to_string(),
+            afg_service::EofOutcome::Complete(request) => format!("eof req {request:?}"),
+            afg_service::EofOutcome::Error(err) => format!("eof err {err:?}"),
+            afg_service::EofOutcome::Drop => "eof drop".to_string(),
+        };
+        events.push(eof);
+    }
+    events
+}
+
+/// Parses `data` three ways — one whole feed, byte-at-a-time, and
+/// randomly sized chunks seeded from the input's own hash — and demands
+/// identical event traces.  Any panic is caught upstream as a crash; any
+/// trace mismatch is a [`Verdict::Divergence`].
+fn run_http(data: &[u8]) -> Verdict {
+    let whole = http_trace(data, &mut || data.len().max(1));
+    let bytewise = http_trace(data, &mut || 1);
+    if whole != bytewise {
+        return Verdict::Divergence(format!(
+            "byte-at-a-time parse diverged: whole {whole:?} vs bytewise {bytewise:?}"
+        ));
+    }
+    // Chunk sizes seeded from the input's own hash: reproducible per
+    // input, yet a fresh boundary pattern for every mutant.
+    let mut rng = crate::rng::SplitMix64::new(fnv1a(data));
+    let seeded = http_trace(data, &mut || rng.below(17) + 1);
+    if whole != seeded {
+        return Verdict::Divergence(format!(
+            "seeded chunking parse diverged: whole {whole:?} vs chunked {seeded:?}"
+        ));
+    }
+    match whole.first().map(String::as_str) {
+        Some(event) if event.starts_with("req ") || event.starts_with("eof req ") => Verdict::Ok,
+        Some(event) => Verdict::Rejected(event.to_string()),
+        None => Verdict::Rejected("empty trace".to_string()),
     }
 }
 
@@ -319,6 +416,31 @@ mod tests {
         ));
         assert!(matches!(
             run_target(TargetKind::Eml, b"not a rule"),
+            Verdict::Rejected(_)
+        ));
+    }
+
+    #[test]
+    fn http_target_is_chunking_invariant_on_healthy_and_hostile_input() {
+        // A well-formed pipelined pair parses (first event is a request).
+        assert_eq!(
+            run_target(
+                TargetKind::Http,
+                b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\nPOST /p HTTP/1.1\r\nContent-Length: 2\r\n\r\nok"
+            ),
+            Verdict::Ok
+        );
+        // Garbage is rejected, not a finding.
+        assert!(matches!(
+            run_target(TargetKind::Http, b"\x00\xffnot http at all"),
+            Verdict::Rejected(_)
+        ));
+        // Over-limit declared body is structurally rejected.
+        assert!(matches!(
+            run_target(
+                TargetKind::Http,
+                b"POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n"
+            ),
             Verdict::Rejected(_)
         ));
     }

@@ -1,6 +1,6 @@
 //! The committed seed corpus can never rot: every file under
 //! `fuzz/corpus/` must parse-or-reject cleanly — no panic, no
-//! differential divergence — across *all five* targets, not just the one
+//! differential divergence — across *all six* targets, not just the one
 //! it was written for (the fuzzer splices corpus bytes across targets, so
 //! cross-target robustness is part of the contract).  Runs as a plain
 //! `cargo test`.
@@ -47,7 +47,7 @@ fn every_target_has_committed_seeds() {
 }
 
 #[test]
-fn corpus_files_are_clean_across_all_five_targets() {
+fn corpus_files_are_clean_across_all_six_targets() {
     let files = corpus_files();
     assert!(!files.is_empty(), "no corpus files found");
     for path in &files {

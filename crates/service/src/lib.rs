@@ -1,7 +1,7 @@
 //! `afg-service` — the grading daemon.
 //!
-//! A zero-dependency HTTP/1.1 server (hand-rolled on
-//! `std::net::TcpListener` with a worker-thread pool) that fronts the
+//! A zero-dependency HTTP/1.1 server (hand-rolled on `std::net` with an
+//! `epoll` reactor — no async runtime, no libc crate) that fronts the
 //! `afg-core` grading engine for classroom/MOOC-scale traffic:
 //!
 //! | Endpoint | Meaning |
@@ -19,6 +19,16 @@
 //! parse → canonicalize → search → verify, with per-stage wall-clock —
 //! is retrievable from `/debug/traces`, and grades slower than
 //! [`ServiceConfig::slow_grade`] log their tree to stderr.
+//!
+//! The I/O core is selectable via [`ServiceConfig::io`] (`--io` on the
+//! daemon): **`epoll`** (default on Linux) multiplexes every connection
+//! onto one reactor thread — incremental push parsing, per-connection
+//! state machine, timer-wheel idle/slow-loris timeouts — and executes
+//! complete requests on a bounded CPU worker pool, so thousands of idle
+//! keep-alive sockets cost no threads; **`threads`** is the legacy
+//! blocking thread-per-connection pool, kept for A/B comparison and
+//! non-Linux builds.  Both cores share the parser, router and response
+//! encoder, so their responses are byte-identical.
 //!
 //! Each registered problem owns an [`afg_core::Autograder`] (shared
 //! read-only across connections) and, unless registered with
@@ -44,9 +54,13 @@
 //! ```
 
 pub mod client;
+mod handlers;
 mod http;
+#[cfg(target_os = "linux")]
+mod reactor;
 mod registry;
+mod router;
 mod server;
 
-pub use http::{Request, MAX_BODY};
-pub use server::{start, ServerHandle, ServiceConfig};
+pub use http::{EofOutcome, Parse, ParseError, Request, RequestParser, Stage, MAX_BODY};
+pub use server::{start, IoMode, ServerHandle, ServiceConfig};

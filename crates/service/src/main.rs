@@ -7,14 +7,27 @@
 //! Runs until killed.  See the crate docs (or the README's "Grading
 //! service" section) for the endpoint reference and curl examples.
 
-use afg_service::ServiceConfig;
+use afg_service::{IoMode, ServiceConfig};
 
 fn usage() -> String {
-    "usage: afg-serve [--addr HOST:PORT] [--threads N] [--no-tracing]\n\
+    "usage: afg-serve [--addr HOST:PORT] [--io epoll|threads] [--threads N]\n\
+     \x20                [--idle-timeout-ms N] [--header-timeout-ms N]\n\
+     \x20                [--queue-depth N] [--max-connections N] [--no-tracing]\n\
      \x20                [--slow-grade-ms N] [--trace-ring N]\n\
      \n\
      --addr HOST:PORT  bind address (default 127.0.0.1:8080; port 0 = ephemeral)\n\
-     --threads N       connection-serving worker threads (default 16)\n\
+     --io MODE         I/O core: 'epoll' (reactor + CPU worker pool; default on\n\
+     \x20                Linux) or 'threads' (thread-per-connection)\n\
+     --threads N       worker threads (default 16): CPU workers under epoll,\n\
+     \x20                connection-serving workers under threads\n\
+     --idle-timeout-ms N    close idle keep-alive connections after N ms\n\
+     \x20                (default 5000)\n\
+     --header-timeout-ms N  close connections that dribble a request for more\n\
+     \x20                than N ms — slow-loris guard, epoll mode (default 10000)\n\
+     --queue-depth N   parsed-request queue bound before 503 shedding, epoll\n\
+     \x20                mode (default 1024)\n\
+     --max-connections N    open-connection cap before 503 shedding, epoll mode\n\
+     \x20                (default 16384)\n\
      --no-tracing      disable per-request span traces (/debug/traces, X-Afg-Trace-Id)\n\
      --slow-grade-ms N log the span tree of grades slower than N ms to stderr\n\
      \x20                (default 1000; 0 disables the slow-grade log)\n\
@@ -35,9 +48,31 @@ fn main() {
                 Some(addr) => config.addr = addr.clone(),
                 None => exit_usage("option '--addr' requires a value"),
             },
+            "--io" => match iter.next().and_then(|v| IoMode::parse(v)) {
+                Some(io) => config.io = io,
+                None => exit_usage("option '--io' expects 'epoll' or 'threads'"),
+            },
             "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(threads) if threads > 0 => config.threads = threads,
                 _ => exit_usage("option '--threads' expects a positive integer"),
+            },
+            "--idle-timeout-ms" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms > 0 => {
+                    config.keep_alive_timeout = std::time::Duration::from_millis(ms)
+                }
+                _ => exit_usage("option '--idle-timeout-ms' expects a positive integer"),
+            },
+            "--header-timeout-ms" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms > 0 => config.header_timeout = std::time::Duration::from_millis(ms),
+                _ => exit_usage("option '--header-timeout-ms' expects a positive integer"),
+            },
+            "--queue-depth" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(depth) if depth > 0 => config.queue_depth = depth,
+                _ => exit_usage("option '--queue-depth' expects a positive integer"),
+            },
+            "--max-connections" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(cap) if cap > 0 => config.max_connections = cap,
+                _ => exit_usage("option '--max-connections' expects a positive integer"),
             },
             "--no-tracing" => config.tracing = false,
             "--slow-grade-ms" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
@@ -57,11 +92,13 @@ fn main() {
         }
     }
 
+    let io = config.io;
     match afg_service::start(config) {
         Ok(handle) => {
             println!(
-                "afg-serve listening on http://{} (POST /problems to register an assignment)",
-                handle.addr()
+                "afg-serve listening on http://{} (io={}; POST /problems to register an assignment)",
+                handle.addr(),
+                io.name()
             );
             handle.wait();
         }

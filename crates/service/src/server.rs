@@ -1,35 +1,101 @@
-//! The daemon: accept loop, worker pool, routing and request handlers.
+//! The daemon: listener setup, I/O-mode dispatch and lifecycle.
+//!
+//! Two interchangeable I/O cores sit behind [`start`]:
+//!
+//! * **`IoMode::Epoll`** (default on Linux) — one reactor thread
+//!   multiplexes every connection with `epoll` and nonblocking sockets
+//!   ([`crate::reactor`]); `threads` CPU workers execute requests.  Many
+//!   idle keep-alive sockets cost no threads.
+//! * **`IoMode::Threads`** — the legacy thread-per-connection pool, kept
+//!   for A/B comparison and non-Linux builds.
+//!
+//! Both modes share the incremental parser ([`crate::http`]), the router
+//! ([`crate::router`]) and the wire encoder, so their responses are
+//! byte-identical.
 
 use std::collections::VecDeque;
-use std::io::BufReader;
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use afg_core::{
-    Autograder, BatchGrader, ClusterIndex, FingerprintCache, GradeOutcome, GraderConfig,
-};
-use afg_eml::parse_error_model;
-use afg_json::{parse_json, Json, ToJson};
-use afg_obs::{Trace, TraceRing};
+use afg_obs::TraceRing;
 
-use crate::http::{read_request, write_response, write_response_with, ReadOutcome, Request};
-use crate::registry::{OutcomeCounters, ProblemEntry, Registry};
+#[cfg(target_os = "linux")]
+use crate::reactor;
+
+use crate::http::{read_request, write_response, write_response_with, ReadOutcome, RequestParser};
+use crate::registry::Registry;
+use crate::router::{error_json, handle};
+
+/// Which I/O core serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// Epoll reactor + CPU worker pool (Linux; falls back to `Threads`
+    /// elsewhere).
+    Epoll,
+    /// Legacy blocking thread-per-connection pool.
+    Threads,
+}
+
+impl IoMode {
+    /// Parses `"epoll"` / `"threads"` (the `--io` flag values).
+    pub fn parse(name: &str) -> Option<IoMode> {
+        match name {
+            "epoll" => Some(IoMode::Epoll),
+            "threads" => Some(IoMode::Threads),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            IoMode::Epoll => "epoll",
+            IoMode::Threads => "threads",
+        }
+    }
+}
+
+impl Default for IoMode {
+    fn default() -> IoMode {
+        if cfg!(target_os = "linux") {
+            IoMode::Epoll
+        } else {
+            IoMode::Threads
+        }
+    }
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Connection-serving worker threads.  Each worker owns one connection
-    /// at a time (keep-alive included), so this bounds the number of
-    /// concurrently served connections; excess connections queue.
+    /// Which I/O core serves connections (`--io`).
+    pub io: IoMode,
+    /// Worker threads.  Under `IoMode::Epoll` these are pure CPU workers
+    /// executing parsed requests — connection count is independent of
+    /// them.  Under `IoMode::Threads` each worker owns one connection at
+    /// a time (keep-alive included), so this bounds concurrently served
+    /// connections; excess connections queue.
     pub threads: usize,
     /// How long an idle keep-alive connection is held before it is closed
-    /// and its worker freed.
+    /// (`--idle-timeout-ms`).  Both modes enforce it: the reactor via its
+    /// timer wheel, the thread pool via the socket read timeout.
     pub keep_alive_timeout: Duration,
+    /// Epoll mode only: how long a connection may take from its first
+    /// request byte to the complete head + body before it is closed — the
+    /// slow-loris guard (`--header-timeout-ms`).
+    pub header_timeout: Duration,
+    /// Epoll mode only: bounded depth of the parsed-request queue feeding
+    /// the CPU workers; beyond it requests are shed with a 503
+    /// (`--queue-depth`).
+    pub queue_depth: usize,
+    /// Epoll mode only: open-connection cap; accepts beyond it are shed
+    /// with a 503 (`--max-connections`).
+    pub max_connections: usize,
     /// Record a span tree per grade request (served at `/debug/traces`,
     /// echoed back as `X-Afg-Trace-Id`).  Tracing observes, it never
     /// steers: grade responses are byte-identical either way.
@@ -45,8 +111,12 @@ impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
         ServiceConfig {
             addr: "127.0.0.1:0".to_string(),
+            io: IoMode::default(),
             threads: 16,
             keep_alive_timeout: Duration::from_secs(5),
+            header_timeout: Duration::from_secs(10),
+            queue_depth: 1024,
+            max_connections: 16384,
             tracing: true,
             slow_grade: Some(Duration::from_secs(1)),
             trace_ring: 64,
@@ -56,50 +126,38 @@ impl Default for ServiceConfig {
 
 /// Everything the request handlers share: the problem registry plus the
 /// observability knobs and the recent-trace ring.
-struct ServiceState {
-    registry: Registry,
-    traces: TraceRing,
-    tracing: bool,
-    slow_grade: Option<Duration>,
-}
-
-/// A fully-formed response.  Handlers return this rather than
-/// `(status, Json)` so routes can carry non-JSON bodies (`/metrics` is
-/// Prometheus text) and per-response headers (`X-Afg-Trace-Id`).
-struct Reply {
-    status: u16,
-    content_type: &'static str,
-    headers: Vec<(&'static str, String)>,
-    body: String,
-}
-
-impl Reply {
-    fn json(status: u16, body: Json) -> Reply {
-        Reply {
-            status,
-            content_type: "application/json",
-            headers: Vec::new(),
-            body: body.to_string(),
-        }
-    }
+pub(crate) struct ServiceState {
+    pub(crate) registry: Registry,
+    pub(crate) traces: TraceRing,
+    pub(crate) tracing: bool,
+    pub(crate) slow_grade: Option<Duration>,
 }
 
 /// A running daemon.  Dropping the handle shuts the server down.
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    queue: Arc<ConnectionQueue>,
-    accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    backend: Backend,
 }
 
-/// Most workers a single batch request may ask for — a remote client must
-/// not be able to make the daemon spawn an arbitrary number of OS threads.
-const MAX_BATCH_WORKERS: usize = 64;
+enum Backend {
+    Threads {
+        queue: Arc<ConnectionQueue>,
+        accept: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    #[cfg(target_os = "linux")]
+    Epoll {
+        reactor: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+        jobs: Arc<reactor::JobQueue>,
+        completions: Arc<reactor::Completions>,
+    },
+}
 
-/// Most accepted-but-unserved connections held at once.  Beyond this the
-/// daemon sheds load with an immediate 503 instead of hoarding file
-/// descriptors while every worker is busy grading.
+/// Most accepted-but-unserved connections held at once (threads mode).
+/// Beyond this the daemon sheds load with an immediate 503 instead of
+/// hoarding file descriptors while every worker is busy grading.
 const MAX_PENDING_CONNECTIONS: usize = 1024;
 
 struct ConnectionQueue {
@@ -114,6 +172,13 @@ impl ConnectionQueue {
         let mut pending = self.pending.lock().expect("queue lock");
         if pending.len() >= MAX_PENDING_CONNECTIONS {
             drop(pending);
+            afg_obs::global()
+                .counter(
+                    "afg_overload_rejections_total",
+                    "Requests shed under overload, by reason",
+                    &[("reason", "queue")],
+                )
+                .inc();
             let _ = write_response(&mut stream, 503, r#"{"error":"server overloaded"}"#, false);
             return;
         }
@@ -141,16 +206,76 @@ impl ConnectionQueue {
     }
 }
 
-/// Starts the daemon on `config.addr` with a fresh, empty problem registry.
-pub fn start(config: ServiceConfig) -> std::io::Result<ServerHandle> {
-    let listener = TcpListener::bind(&config.addr)?;
-    let addr = listener.local_addr()?;
-    let state = Arc::new(ServiceState {
+fn new_state(config: &ServiceConfig) -> Arc<ServiceState> {
+    Arc::new(ServiceState {
         registry: Registry::new(),
         traces: TraceRing::new(config.trace_ring),
         tracing: config.tracing,
         slow_grade: config.slow_grade,
-    });
+    })
+}
+
+/// Starts the daemon on `config.addr` with a fresh, empty problem registry.
+pub fn start(config: ServiceConfig) -> io::Result<ServerHandle> {
+    match config.io {
+        #[cfg(target_os = "linux")]
+        IoMode::Epoll => start_epoll(config),
+        // No epoll off Linux: quietly serve with the portable core.
+        #[cfg(not(target_os = "linux"))]
+        IoMode::Epoll => start_threads(config),
+        IoMode::Threads => start_threads(config),
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn start_epoll(config: ServiceConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let state = new_state(&config);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let jobs = Arc::new(reactor::JobQueue::new(config.queue_depth));
+    let completions = Arc::new(reactor::Completions::new()?);
+
+    let mut workers = Vec::with_capacity(config.threads.max(1));
+    for _ in 0..config.threads.max(1) {
+        let state = Arc::clone(&state);
+        let jobs = Arc::clone(&jobs);
+        let completions = Arc::clone(&completions);
+        workers.push(std::thread::spawn(move || {
+            reactor::worker_loop(state, jobs, completions);
+        }));
+    }
+
+    let reactor_thread = {
+        let jobs = Arc::clone(&jobs);
+        let completions = Arc::clone(&completions);
+        let shutdown = Arc::clone(&shutdown);
+        let opts = reactor::ReactorOptions {
+            idle_timeout: config.keep_alive_timeout,
+            header_timeout: config.header_timeout,
+            max_connections: config.max_connections,
+        };
+        std::thread::spawn(move || {
+            reactor::run(listener, jobs, completions, shutdown, opts);
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        backend: Backend::Epoll {
+            reactor: Some(reactor_thread),
+            workers,
+            jobs,
+            completions,
+        },
+    })
+}
+
+fn start_threads(config: ServiceConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let state = new_state(&config);
     let shutdown = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(ConnectionQueue {
         pending: Mutex::new(VecDeque::new()),
@@ -183,7 +308,10 @@ pub fn start(config: ServiceConfig) -> std::io::Result<ServerHandle> {
                     break;
                 }
                 match stream {
-                    Ok(stream) => queue.push(stream),
+                    Ok(stream) => {
+                        afg_obs::counter!("afg_accepts_total", "Accepted TCP connections").inc();
+                        queue.push(stream);
+                    }
                     Err(_) => continue,
                 }
             }
@@ -193,9 +321,11 @@ pub fn start(config: ServiceConfig) -> std::io::Result<ServerHandle> {
     Ok(ServerHandle {
         addr,
         shutdown,
-        queue,
-        accept: Some(accept),
-        workers,
+        backend: Backend::Threads {
+            queue,
+            accept: Some(accept),
+            workers,
+        },
     })
 }
 
@@ -207,8 +337,18 @@ impl ServerHandle {
 
     /// Blocks until the server shuts down (for the daemon binary).
     pub fn wait(mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        match &mut self.backend {
+            Backend::Threads { accept, .. } => {
+                if let Some(accept) = accept.take() {
+                    let _ = accept.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { reactor, .. } => {
+                if let Some(reactor) = reactor.take() {
+                    let _ = reactor.join();
+                }
+            }
         }
     }
 
@@ -221,14 +361,40 @@ impl ServerHandle {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        self.queue.available.notify_all();
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        match &mut self.backend {
+            Backend::Threads {
+                queue,
+                accept,
+                workers,
+            } => {
+                // Unblock the accept loop with a throwaway connection.
+                let _ = TcpStream::connect(self.addr);
+                queue.available.notify_all();
+                if let Some(accept) = accept.take() {
+                    let _ = accept.join();
+                }
+                for worker in workers.drain(..) {
+                    let _ = worker.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            Backend::Epoll {
+                reactor,
+                workers,
+                jobs,
+                completions,
+            } => {
+                // The eventfd write unblocks epoll_wait; closing the job
+                // queue unblocks the workers.
+                completions.waker.wake();
+                jobs.close();
+                if let Some(reactor) = reactor.take() {
+                    let _ = reactor.join();
+                }
+                for worker in workers.drain(..) {
+                    let _ = worker.join();
+                }
+            }
         }
     }
 }
@@ -239,26 +405,47 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Decrements the open-connection gauge even when a handler panics
+/// (the worker's `catch_unwind` unwinds through `serve_connection`).
+struct OpenConnGuard;
+
+impl OpenConnGuard {
+    fn new() -> OpenConnGuard {
+        afg_obs::gauge!("afg_open_connections", "Currently open client connections").add(1);
+        OpenConnGuard
+    }
+}
+
+impl Drop for OpenConnGuard {
+    fn drop(&mut self) {
+        afg_obs::gauge!("afg_open_connections", "Currently open client connections").add(-1);
+    }
+}
+
 /// Serves one connection until it closes, errors, idles out or the server
-/// shuts down.
+/// shuts down (threads mode).  Uses the same incremental parser as the
+/// reactor — one [`RequestParser`] per connection, pipelined leftovers
+/// carried between requests.
 fn serve_connection(
     stream: TcpStream,
     state: &ServiceState,
     shutdown: &AtomicBool,
     keep_alive_timeout: Duration,
 ) {
+    let _open = OpenConnGuard::new();
     let _ = stream.set_read_timeout(Some(keep_alive_timeout));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(writer) => writer,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    let mut reader = stream;
+    let mut parser = RequestParser::new();
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let request = match read_request(&mut reader) {
+        let request = match read_request(&mut reader, &mut parser) {
             ReadOutcome::Request(request) => request,
             ReadOutcome::Closed | ReadOutcome::Io(_) => return,
             ReadOutcome::Malformed(message) => {
@@ -289,460 +476,5 @@ fn serve_connection(
         if !keep_alive {
             return;
         }
-    }
-}
-
-fn error_json(message: &str) -> Json {
-    Json::object([("error", Json::str(message))])
-}
-
-/// Routes one request.  Paths:
-/// `POST /problems`, `POST /problems/{id}/grade`,
-/// `POST /problems/{id}/grade/batch`, `GET /stats`, `GET /healthz`,
-/// `GET /metrics` (Prometheus text), `GET /debug/traces`.
-fn handle(request: &Request, state: &ServiceState) -> Reply {
-    let registry = &state.registry;
-    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
-    match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Reply::json(
-            200,
-            Json::object([
-                ("status", Json::str("ok")),
-                ("problems", registry.len().to_json()),
-            ]),
-        ),
-        ("GET", ["stats"]) => Reply::json(200, registry.stats_json()),
-        ("GET", ["metrics"]) => Reply {
-            status: 200,
-            content_type: afg_obs::CONTENT_TYPE,
-            headers: Vec::new(),
-            body: afg_obs::global().render_prometheus(),
-        },
-        ("GET", ["debug", "traces"]) => Reply::json(200, traces_json(&state.traces)),
-        ("POST", ["problems"]) => {
-            let (status, body) = handle_register(request, registry);
-            Reply::json(status, body)
-        }
-        ("POST", ["problems", id, "grade"]) => handle_grade(request, state, id),
-        ("POST", ["problems", id, "grade", "batch"]) => handle_batch(request, state, id),
-        (_, ["healthz" | "stats" | "metrics"])
-        | (_, ["debug", "traces"])
-        | (_, ["problems", ..]) => Reply::json(405, error_json("method not allowed")),
-        _ => Reply::json(404, error_json("no such route")),
-    }
-}
-
-/// The `/debug/traces` rendering of the recent-trace ring: every span's
-/// name, parent index, offset and duration, oldest trace first.
-fn traces_json(ring: &TraceRing) -> Json {
-    let traces: Vec<Json> = ring
-        .snapshot()
-        .iter()
-        .map(|trace| {
-            let spans: Vec<Json> = trace
-                .spans()
-                .iter()
-                .map(|span| {
-                    let attrs: Vec<(String, Json)> = span
-                        .attrs
-                        .iter()
-                        .map(|(key, value)| (key.to_string(), Json::str(value)))
-                        .collect();
-                    Json::object([
-                        ("name", Json::str(span.name)),
-                        (
-                            "parent",
-                            match span.parent {
-                                Some(parent) => parent.to_json(),
-                                None => Json::Null,
-                            },
-                        ),
-                        ("start_ms", span.start.to_json()),
-                        ("duration_ms", span.duration.to_json()),
-                        ("attrs", Json::Object(attrs)),
-                    ])
-                })
-                .collect();
-            Json::object([
-                ("id", Json::str(trace.id().to_string())),
-                ("started_unix_ms", trace.started_unix().to_json()),
-                ("duration_ms", trace.duration().to_json()),
-                ("spans", Json::Array(spans)),
-            ])
-        })
-        .collect();
-    Json::object([
-        ("capacity", ring.capacity().to_json()),
-        ("traces", Json::Array(traces)),
-    ])
-}
-
-/// Stable outcome label for the `afg_grade_outcomes_total` counter and
-/// the root span's `outcome` attribute.
-fn outcome_label(outcome: &GradeOutcome) -> &'static str {
-    match outcome {
-        GradeOutcome::SyntaxError(_) => "syntax_error",
-        GradeOutcome::Correct => "correct",
-        GradeOutcome::Feedback(_) => "fixed",
-        GradeOutcome::CannotFix => "cannot_fix",
-        GradeOutcome::Timeout => "timeout",
-    }
-}
-
-fn parse_body(request: &Request) -> Result<Json, (u16, Json)> {
-    let text =
-        std::str::from_utf8(&request.body).map_err(|_| (400, error_json("body is not UTF-8")))?;
-    parse_json(text).map_err(|err| (400, error_json(&err.to_string())))
-}
-
-/// Applies the shared search-budget override fields of `body` to
-/// `synthesis` (`"max_cost"`, `"max_candidates"`, `"time_budget_ms"`).
-fn apply_budget_overrides(body: &Json, synthesis: &mut afg_core::SynthesisConfig) {
-    if let Some(max_cost) = body.get("max_cost").and_then(Json::as_i64) {
-        synthesis.max_cost = max_cost.max(0) as usize;
-    }
-    if let Some(max_candidates) = body.get("max_candidates").and_then(Json::as_i64) {
-        synthesis.max_candidates = max_candidates.max(0) as usize;
-    }
-    if let Some(budget_ms) = body.get("time_budget_ms").and_then(Json::as_f64) {
-        synthesis.time_budget = Duration::from_secs_f64(budget_ms.max(0.0) / 1e3);
-    }
-}
-
-/// `POST /problems` — body:
-/// `{"problem": "compDeriv"}` registers a built-in benchmark problem, or
-/// `{"id", "entry", "reference", "model"}` registers instructor-supplied
-/// MPY reference source plus an EML error-model text.  Optional fields:
-/// `"cache": bool` (default true), `"clustering": bool` (default true;
-/// skeleton-cluster repair transfer, effective only with the cache),
-/// `"max_cost"`, `"max_candidates"`, `"time_budget_ms"` (search budget
-/// overrides),
-/// `"backend": "cegis" | "enum" | "portfolio"` (search engine),
-/// `"sweep": "compiled" | "tree"` (verification back end: bytecode VM,
-/// default, or the tree-walking interpreter), and
-/// `"escalation": [{"label"?, "rules"?, "backend"?, "max_cost"?,
-/// "max_candidates"?, "time_budget_ms"?}, ...]` — an escalation ladder
-/// graded cheapest tier first (`"rules": n` truncates the error model to
-/// its first `n` rules for that tier; omitted budget fields inherit the
-/// problem-level budget).
-fn handle_register(request: &Request, registry: &Registry) -> (u16, Json) {
-    let body = match parse_body(request) {
-        Ok(body) => body,
-        Err(response) => return response,
-    };
-
-    let mut config = GraderConfig::fast();
-    apply_budget_overrides(&body, &mut config.synthesis);
-    // Per-problem verification back end: "compiled" (default) sweeps the
-    // input deck on the bytecode VM, "tree" opts this problem out and
-    // walks the AST — an escape hatch should a submission shape trip the
-    // compiler.  Outcomes are identical either way.
-    if let Some(sweep_name) = body.get("sweep").and_then(Json::as_str) {
-        match afg_core::SweepMode::parse(sweep_name) {
-            Some(sweep) => config.equivalence.sweep = sweep,
-            None => {
-                return (
-                    422,
-                    error_json(&format!(
-                        "unknown sweep mode '{sweep_name}' (expected tree or compiled)"
-                    )),
-                );
-            }
-        }
-    }
-    if let Some(backend_name) = body.get("backend").and_then(Json::as_str) {
-        match afg_core::Backend::parse(backend_name) {
-            Some(backend) => config.backend = backend,
-            None => {
-                return (
-                    422,
-                    error_json(&format!(
-                        "unknown backend '{backend_name}' (expected cegis, enum or portfolio)"
-                    )),
-                );
-            }
-        }
-    }
-    if let Some(tiers) = body.get("escalation") {
-        let Some(tiers) = tiers.as_array() else {
-            return (400, error_json("'escalation' must be an array of tiers"));
-        };
-        for (index, tier) in tiers.iter().enumerate() {
-            if !matches!(tier, Json::Object(_)) {
-                return (
-                    400,
-                    error_json(&format!("escalation[{index}] must be an object")),
-                );
-            }
-            let mut synthesis = config.synthesis.clone();
-            apply_budget_overrides(tier, &mut synthesis);
-            let backend = match tier.get("backend").and_then(Json::as_str) {
-                Some(name) => match afg_core::Backend::parse(name) {
-                    Some(backend) => Some(backend),
-                    None => {
-                        return (
-                            422,
-                            error_json(&format!("escalation[{index}]: unknown backend '{name}'")),
-                        );
-                    }
-                },
-                None => None,
-            };
-            let model_rules = tier
-                .get("rules")
-                .and_then(Json::as_i64)
-                .map(|rules| rules.max(0) as usize);
-            let label = tier
-                .get("label")
-                .and_then(Json::as_str)
-                .map(str::to_string)
-                .unwrap_or_else(|| format!("tier-{index}"));
-            config.escalation.tiers.push(afg_core::EscalationTier {
-                label,
-                model_rules,
-                synthesis,
-                backend,
-            });
-        }
-    }
-    let use_cache = body.get("cache").and_then(Json::as_bool).unwrap_or(true);
-    // Cluster transfer rides on the cache-miss path, so it is only
-    // meaningful when the cache is on.
-    let use_clustering = use_cache
-        && body
-            .get("clustering")
-            .and_then(Json::as_bool)
-            .unwrap_or(true);
-
-    let built = if let Some(problem_id) = body.get("problem").and_then(Json::as_str) {
-        let Some(problem) = afg_corpus::problems::problem(problem_id) else {
-            return (
-                404,
-                error_json(&format!("unknown built-in problem '{problem_id}'")),
-            );
-        };
-        let id = body
-            .get("id")
-            .and_then(Json::as_str)
-            .unwrap_or(problem.id)
-            .to_string();
-        Autograder::new(
-            problem.reference,
-            problem.entry,
-            problem.model.clone(),
-            config,
-        )
-        .map(|grader| (id, grader))
-    } else {
-        let field = |name: &str| {
-            body.get(name)
-                .and_then(Json::as_str)
-                .ok_or_else(|| format!("missing string field '{name}'"))
-        };
-        let (id, entry, reference, model_text) = match (
-            field("id"),
-            field("entry"),
-            field("reference"),
-            field("model"),
-        ) {
-            (Ok(id), Ok(entry), Ok(reference), Ok(model)) => (id, entry, reference, model),
-            (id, entry, reference, model) => {
-                let message = [id.err(), entry.err(), reference.err(), model.err()]
-                    .into_iter()
-                    .flatten()
-                    .collect::<Vec<_>>()
-                    .join("; ");
-                return (400, error_json(&message));
-            }
-        };
-        let model = match parse_error_model(id, model_text) {
-            Ok(model) => model,
-            Err(err) => return (422, error_json(&format!("error model: {err}"))),
-        };
-        Autograder::new(reference, entry, model, config).map(|grader| (id.to_string(), grader))
-    };
-
-    match built {
-        Ok((id, grader)) => {
-            let response = Json::object([
-                ("id", Json::str(&id)),
-                ("entry", Json::str(grader.entry())),
-                ("cache", Json::Bool(use_cache)),
-                ("clustering", Json::Bool(use_clustering)),
-                ("backend", Json::str(grader.config().backend.name())),
-                ("sweep", Json::str(grader.config().equivalence.sweep.name())),
-                (
-                    "escalation_tiers",
-                    grader.config().escalation.tiers.len().to_json(),
-                ),
-            ]);
-            registry.insert(ProblemEntry {
-                id,
-                grader,
-                cache: use_cache.then(FingerprintCache::new),
-                clusters: use_clustering.then(ClusterIndex::new),
-                counters: OutcomeCounters::default(),
-            });
-            (201, response)
-        }
-        Err(err) => (422, error_json(&err.to_string())),
-    }
-}
-
-/// `POST /problems/{id}/grade` — body `{"source": "..."}`.
-fn handle_grade(request: &Request, state: &ServiceState, id: &str) -> Reply {
-    let Some(entry) = state.registry.get(id) else {
-        return Reply::json(404, error_json(&format!("no problem '{id}'")));
-    };
-    let body = match parse_body(request) {
-        Ok(body) => body,
-        Err((status, body)) => return Reply::json(status, body),
-    };
-    let Some(source) = body.get("source").and_then(Json::as_str) else {
-        return Reply::json(400, error_json("missing string field 'source'"));
-    };
-
-    // One trace per request (when tracing is on): installed for the
-    // duration of grading so every pipeline stage span lands in it.
-    let trace = state.tracing.then(Trace::new);
-    let start = Instant::now();
-    let (outcome, cache_state, transfer_state) = {
-        let _guard = trace.as_ref().map(|trace| trace.install());
-        let mut root = afg_obs::span("grade");
-        let (outcome, cache_state, transfer_state) = match &entry.cache {
-            Some(cache) => {
-                let (outcome, disposition) =
-                    entry
-                        .grader
-                        .grade_source_clustered(source, cache, entry.clusters.as_ref());
-                (
-                    outcome,
-                    if disposition.cache_hit { "hit" } else { "miss" },
-                    match disposition.transfer {
-                        Some(true) => "hit",
-                        Some(false) => "miss",
-                        None => "none",
-                    },
-                )
-            }
-            None => (entry.grader.grade_source(source), "off", "none"),
-        };
-        root.attr("problem", id);
-        root.attr("cache", cache_state);
-        root.attr("transfer", transfer_state);
-        root.attr("outcome", outcome_label(&outcome));
-        (outcome, cache_state, transfer_state)
-    };
-    let elapsed = start.elapsed();
-    entry.counters.record(&outcome, cache_state == "hit");
-    afg_obs::counter!("afg_grades_total", "Grade requests served").inc();
-    afg_obs::histogram!(
-        "afg_grade_seconds",
-        "End-to-end grade request latency",
-        1e-6
-    )
-    .record_duration(elapsed);
-    afg_obs::global()
-        .counter(
-            "afg_grade_outcomes_total",
-            "Grade requests served, by outcome",
-            &[("outcome", outcome_label(&outcome))],
-        )
-        .inc();
-
-    let mut headers = Vec::new();
-    if let Some(trace) = trace {
-        if state
-            .slow_grade
-            .is_some_and(|threshold| elapsed >= threshold)
-        {
-            eprintln!(
-                "[afg-serve] slow grade problem={id} trace={} elapsed={:.1}ms\n{}",
-                trace.id(),
-                elapsed.as_secs_f64() * 1e3,
-                trace.render_tree()
-            );
-        }
-        headers.push(("X-Afg-Trace-Id", trace.id().to_string()));
-        state.traces.push(trace);
-    }
-
-    let mut pairs = match outcome.to_json() {
-        Json::Object(pairs) => pairs,
-        other => vec![("outcome".to_string(), other)],
-    };
-    pairs.push(("cache".to_string(), Json::str(cache_state)));
-    pairs.push(("transfer".to_string(), Json::str(transfer_state)));
-    pairs.push(("elapsed_ms".to_string(), elapsed.to_json()));
-    Reply {
-        status: 200,
-        content_type: "application/json",
-        headers,
-        body: Json::Object(pairs).to_string(),
-    }
-}
-
-/// `POST /problems/{id}/grade/batch` — body
-/// `{"sources": ["...", ...], "workers": N?}`.
-fn handle_batch(request: &Request, state: &ServiceState, id: &str) -> Reply {
-    let Some(entry) = state.registry.get(id) else {
-        return Reply::json(404, error_json(&format!("no problem '{id}'")));
-    };
-    let body = match parse_body(request) {
-        Ok(body) => body,
-        Err((status, body)) => return Reply::json(status, body),
-    };
-    let Some(items) = body.get("sources").and_then(Json::as_array) else {
-        return Reply::json(400, error_json("missing array field 'sources'"));
-    };
-    let mut sources = Vec::with_capacity(items.len());
-    for (i, item) in items.iter().enumerate() {
-        match item.as_str() {
-            Some(source) => sources.push(source),
-            None => {
-                return Reply::json(400, error_json(&format!("sources[{i}] is not a string")));
-            }
-        }
-    }
-    let engine = match body.get("workers").and_then(Json::as_i64) {
-        Some(workers) if workers > 0 => BatchGrader::new((workers as usize).min(MAX_BATCH_WORKERS)),
-        _ => BatchGrader::default(),
-    };
-
-    let trace = state.tracing.then(Trace::new);
-    let report = {
-        let _guard = trace.as_ref().map(|trace| trace.install());
-        let mut root = afg_obs::span("grade_batch");
-        root.attr("problem", id);
-        root.attr("submissions", sources.len().to_string());
-        engine.grade_sources_clustered(
-            &entry.grader,
-            &sources,
-            entry.cache.as_ref(),
-            entry.clusters.as_ref(),
-        )
-    };
-    for item in &report.items {
-        entry
-            .counters
-            .record(&item.outcome, item.cache_hit == Some(true));
-    }
-    afg_obs::counter!("afg_batches_total", "Batch grade requests served").inc();
-    afg_obs::counter!(
-        "afg_batch_submissions_total",
-        "Submissions graded via batch requests"
-    )
-    .add(report.items.len() as u64);
-
-    let mut headers = Vec::new();
-    if let Some(trace) = trace {
-        headers.push(("X-Afg-Trace-Id", trace.id().to_string()));
-        state.traces.push(trace);
-    }
-    Reply {
-        status: 200,
-        content_type: "application/json",
-        headers,
-        body: report.to_json().to_string(),
     }
 }

@@ -6,20 +6,22 @@
 //! smuggling in miniature.  The most tempting spot to get this wrong is
 //! the over-limit path: a request whose declared `Content-Length` exceeds
 //! the body cap is rejected *before* its body is read, so the server must
-//! either drain those bytes or close the connection.  `serve_connection`
-//! closes; these tests pin that down by pipelining a follow-up request
-//! behind the rejected one and asserting it is never misparsed.
+//! either drain those bytes or close the connection.  Both I/O cores
+//! close; these tests pin that down by pipelining a follow-up request
+//! behind the rejected one and asserting it is never misparsed — under
+//! `--io epoll` and `--io threads` alike.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use afg_service::{start, ServiceConfig};
+use afg_service::{start, IoMode, ServiceConfig};
 
 /// Sends raw bytes on one connection and collects everything the server
 /// sends back until it closes or idles out.
-fn raw_exchange(raw: &[u8]) -> String {
+fn raw_exchange(io: IoMode, raw: &[u8]) -> String {
     let handle = start(ServiceConfig {
+        io,
         threads: 2,
         keep_alive_timeout: Duration::from_millis(300),
         ..ServiceConfig::default()
@@ -53,8 +55,7 @@ fn status_codes(response: &str) -> Vec<&str> {
         .collect()
 }
 
-#[test]
-fn over_limit_content_length_gets_413_and_a_safe_connection_state() {
+fn over_limit_content_length_gets_413_and_a_safe_connection_state(io: IoMode) {
     // Declared Content-Length far above MAX_BODY, followed by bytes that —
     // if the server kept reading the stream as requests without draining
     // the body — would be misparsed: first some body garbage (an invalid
@@ -69,7 +70,7 @@ fn over_limit_content_length_gets_413_and_a_safe_connection_state() {
     raw.extend_from_slice(b"this is body garbage that must not become a request\r\n");
     raw.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
 
-    let response = raw_exchange(&raw);
+    let response = raw_exchange(io, &raw);
     assert!(
         response.starts_with("HTTP/1.1 413 "),
         "over-limit request must be rejected with 413, got:\n{response}"
@@ -99,8 +100,7 @@ fn over_limit_content_length_gets_413_and_a_safe_connection_state() {
     }
 }
 
-#[test]
-fn within_limit_bodies_keep_the_connection_in_sync() {
+fn within_limit_bodies_keep_the_connection_in_sync(io: IoMode) {
     // The positive control: a request whose body IS fully read must leave
     // the connection aligned so the pipelined follow-up is answered.
     let body = br#"{"source": 1}"#;
@@ -115,10 +115,30 @@ fn within_limit_bodies_keep_the_connection_in_sync() {
     raw.extend_from_slice(body);
     raw.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
 
-    let response = raw_exchange(&raw);
+    let response = raw_exchange(io, &raw);
     assert_eq!(
         status_codes(&response),
         vec!["404", "200"],
         "both pipelined requests must be answered in order:\n{response}"
     );
+}
+
+#[test]
+fn over_limit_413_is_safe_under_epoll() {
+    over_limit_content_length_gets_413_and_a_safe_connection_state(IoMode::Epoll);
+}
+
+#[test]
+fn over_limit_413_is_safe_under_threads() {
+    over_limit_content_length_gets_413_and_a_safe_connection_state(IoMode::Threads);
+}
+
+#[test]
+fn within_limit_pipelining_stays_in_sync_under_epoll() {
+    within_limit_bodies_keep_the_connection_in_sync(IoMode::Epoll);
+}
+
+#[test]
+fn within_limit_pipelining_stays_in_sync_under_threads() {
+    within_limit_bodies_keep_the_connection_in_sync(IoMode::Threads);
 }
